@@ -1,0 +1,79 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md §6:
+//! the oversampling probability, the iteration budget of the conversion, and
+//! the knapsack-cover inequalities.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftspan_core::baselines::ClprStyleBaseline;
+use ftspan_core::conversion::{ConversionParams, FaultTolerantConverter};
+use ftspan_core::two_spanner::{solve_relaxation, RelaxationConfig};
+use ftspan_graph::generate;
+use ftspan_spanners::GreedySpanner;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Oversampling (`|J| ≈ (1 − 1/r)·n`, Theorem 2.1) versus sampling fault sets
+/// of size exactly `r` (the naive union baseline) at the same iteration
+/// budget.
+fn bench_sampling_ablation(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(41);
+    let g = generate::connected_gnp(60, 0.12, generate::WeightKind::Unit, &mut rng);
+    let iterations = 100usize;
+    let mut group = c.benchmark_group("ablation_sampling_n60_r2");
+    group.sample_size(10);
+    group.bench_function("oversampled_fault_sets", |b| {
+        let params = ConversionParams::new(2).with_iterations(iterations);
+        let converter = FaultTolerantConverter::new(params);
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        b.iter(|| converter.build(&g, &GreedySpanner::new(3.0), &mut rng))
+    });
+    group.bench_function("exact_size_fault_sets", |b| {
+        let baseline = ClprStyleBaseline::sampled(2, iterations);
+        let mut rng = ChaCha8Rng::seed_from_u64(43);
+        b.iter(|| baseline.build(&g, &GreedySpanner::new(3.0), &mut rng))
+    });
+    group.finish();
+}
+
+/// How the iteration budget (the constant in `α = Θ(r³ log n)`) affects the
+/// conversion's running time; the E1 experiment reports the corresponding
+/// validity rates.
+fn bench_alpha_ablation(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(44);
+    let g = generate::connected_gnp(60, 0.12, generate::WeightKind::Unit, &mut rng);
+    let mut group = c.benchmark_group("ablation_alpha_n60_r2");
+    group.sample_size(10);
+    for scale in [0.1f64, 0.25, 1.0] {
+        group.bench_function(format!("scale={scale}"), |b| {
+            let params = ConversionParams::new(2).with_scale(scale);
+            let converter = FaultTolerantConverter::new(params);
+            let mut rng = ChaCha8Rng::seed_from_u64(45);
+            b.iter(|| converter.build(&g, &GreedySpanner::new(3.0), &mut rng))
+        });
+    }
+    group.finish();
+}
+
+/// Cost of the knapsack-cover separation: LP (3) versus LP (4) on the gadget
+/// that actually needs the cuts.
+fn bench_knapsack_cover_ablation(c: &mut Criterion) {
+    let g = generate::gap_gadget(6, 100.0).unwrap();
+    let mut group = c.benchmark_group("ablation_knapsack_cover_gadget_r6");
+    group.sample_size(10);
+    group.bench_function("lp3", |b| {
+        b.iter(|| {
+            solve_relaxation(&g, &RelaxationConfig::new(6).without_knapsack_cover()).unwrap()
+        })
+    });
+    group.bench_function("lp4", |b| {
+        b.iter(|| solve_relaxation(&g, &RelaxationConfig::new(6)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sampling_ablation,
+    bench_alpha_ablation,
+    bench_knapsack_cover_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Criterion benchmarks for the extension modules: the Thorup–Zwick black
+//! box, the edge-fault conversion, the adaptive conversion, the greedy
+//! 2-spanner cover heuristic, and the new graph substrates (MST, components,
+//! vertex connectivity).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftspan_core::adaptive::{adaptive_fault_tolerant_spanner, AdaptiveConfig};
+use ftspan_core::edge_faults::{edge_fault_tolerant_spanner, EdgeFaultParams};
+use ftspan_core::two_spanner::greedy_ft_two_spanner;
+use ftspan_graph::{components, generate, tree};
+use ftspan_spanners::{GreedySpanner, SpannerAlgorithm, ThorupZwickSpanner};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_thorup_zwick(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(41);
+    let g = generate::gnp(150, 0.2, generate::WeightKind::Unit, &mut rng);
+    let mut group = c.benchmark_group("thorup_zwick");
+    group.sample_size(10);
+    group.bench_function("k2_stretch3/n=150", |b| {
+        let mut r = ChaCha8Rng::seed_from_u64(42);
+        b.iter(|| ThorupZwickSpanner::new(2).build(&g, &mut r))
+    });
+    group.bench_function("k3_stretch5/n=150", |b| {
+        let mut r = ChaCha8Rng::seed_from_u64(43);
+        b.iter(|| ThorupZwickSpanner::new(3).build(&g, &mut r))
+    });
+    group.finish();
+}
+
+fn bench_fault_models(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(44);
+    let g = generate::connected_gnp(60, 0.15, generate::WeightKind::Unit, &mut rng);
+    let mut group = c.benchmark_group("fault_models");
+    group.sample_size(10);
+    group.bench_function("edge_fault_conversion/r=2", |b| {
+        let mut r = ChaCha8Rng::seed_from_u64(45);
+        let params = EdgeFaultParams::new(2).with_scale(0.25);
+        b.iter(|| edge_fault_tolerant_spanner(&g, &GreedySpanner::new(3.0), &params, &mut r))
+    });
+    group.bench_function("adaptive_conversion/r=2", |b| {
+        let mut r = ChaCha8Rng::seed_from_u64(46);
+        let config = AdaptiveConfig::new(2, g.node_count());
+        b.iter(|| adaptive_fault_tolerant_spanner(&g, &GreedySpanner::new(3.0), &config, &mut r))
+    });
+    group.finish();
+}
+
+fn bench_greedy_cover(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(47);
+    let g = generate::directed_gnp(40, 0.3, generate::WeightKind::Uniform { min: 1.0, max: 5.0 }, &mut rng);
+    let mut group = c.benchmark_group("greedy_cover");
+    group.sample_size(10);
+    for r in [0usize, 2] {
+        group.bench_function(format!("r={r}/n=40"), |b| {
+            b.iter(|| greedy_ft_two_spanner(&g, r))
+        });
+    }
+    group.finish();
+}
+
+fn bench_substrate_extensions(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(48);
+    let g = generate::connected_gnp(
+        300,
+        0.05,
+        generate::WeightKind::Uniform { min: 1.0, max: 4.0 },
+        &mut rng,
+    );
+    c.bench_function("minimum_spanning_forest/n=300", |b| {
+        b.iter(|| tree::minimum_spanning_forest(&g))
+    });
+    c.bench_function("articulation_points/n=300", |b| {
+        b.iter(|| components::articulation_points(&g))
+    });
+    let small = generate::connected_gnp(60, 0.15, generate::WeightKind::Unit, &mut rng);
+    c.bench_function("vertex_connectivity/n=60", |b| {
+        b.iter(|| components::vertex_connectivity(&small))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_thorup_zwick,
+    bench_fault_models,
+    bench_greedy_cover,
+    bench_substrate_extensions
+);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion benchmark for Experiments E1/E2: the Theorem 2.1 conversion
+//! (Corollary 2.2 instantiation) at increasing fault budgets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftspan_core::conversion::{ConversionParams, FaultTolerantConverter};
+use ftspan_graph::generate;
+use ftspan_spanners::GreedySpanner;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_conversion(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let g = generate::connected_gnp(80, 0.15, generate::WeightKind::Unit, &mut rng);
+    let mut group = c.benchmark_group("ft_conversion_n80_k3");
+    group.sample_size(10);
+    for r in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, &r| {
+            let params = ConversionParams::new(r).with_scale(0.25);
+            let converter = FaultTolerantConverter::new(params);
+            let mut rng = ChaCha8Rng::seed_from_u64(r as u64);
+            b.iter(|| converter.build(&g, &GreedySpanner::new(3.0), &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_conversion_vs_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ft_conversion_r2_k3_vs_n");
+    group.sample_size(10);
+    for n in [50usize, 100, 200] {
+        let mut rng = ChaCha8Rng::seed_from_u64(n as u64);
+        let g = generate::connected_gnp(
+            n,
+            (8.0 / n as f64).min(1.0),
+            generate::WeightKind::Unit,
+            &mut rng,
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            let params = ConversionParams::new(2).with_scale(0.25);
+            let converter = FaultTolerantConverter::new(params);
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            b.iter(|| converter.build(g, &GreedySpanner::new(3.0), &mut rng));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_conversion, bench_conversion_vs_n);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion benchmark for Experiments E4/E5: the 2-spanner LP relaxations
+//! (with and without knapsack-cover cuts) and the full Theorem 3.3 pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftspan_core::two_spanner::{
+    approximate_two_spanner, solve_relaxation, ApproxConfig, RelaxationConfig,
+};
+use ftspan_graph::generate;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_relaxations(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(21);
+    let g = generate::directed_gnp(12, 0.4, generate::WeightKind::Unit, &mut rng);
+    let mut group = c.benchmark_group("k2_relaxation_n12_r2");
+    group.sample_size(10);
+    group.bench_function("lp3_no_cuts", |b| {
+        b.iter(|| {
+            solve_relaxation(&g, &RelaxationConfig::new(2).without_knapsack_cover()).unwrap()
+        })
+    });
+    group.bench_function("lp4_knapsack_cover", |b| {
+        b.iter(|| solve_relaxation(&g, &RelaxationConfig::new(2)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(22);
+    let g = generate::directed_gnp(
+        10,
+        0.5,
+        generate::WeightKind::Uniform { min: 1.0, max: 5.0 },
+        &mut rng,
+    );
+    let mut group = c.benchmark_group("k2_theorem33_pipeline_n10");
+    group.sample_size(10);
+    for r in [1usize, 3] {
+        group.bench_function(format!("r={r}"), |b| {
+            let mut rng = ChaCha8Rng::seed_from_u64(r as u64);
+            b.iter(|| approximate_two_spanner(&g, &ApproxConfig::new(r), &mut rng).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_gap_gadget(c: &mut Criterion) {
+    let mut group = c.benchmark_group("k2_gap_gadget_lp4");
+    group.sample_size(10);
+    for r in [4usize, 8, 16] {
+        let g = generate::gap_gadget(r, 100.0).unwrap();
+        group.bench_function(format!("r={r}"), |b| {
+            b.iter(|| solve_relaxation(&g, &RelaxationConfig::new(r)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_relaxations, bench_full_pipeline, bench_gap_gadget);
+criterion_main!(benches);

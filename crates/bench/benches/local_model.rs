@@ -1,0 +1,69 @@
+//! Criterion benchmark for Experiment E7: the LOCAL-model algorithms.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftspan_graph::generate;
+use ftspan_local::padded::{sample_padded_decomposition, PaddedDecompositionConfig};
+use ftspan_local::simulator::Simulator;
+use ftspan_local::spanner::{
+    distributed_fault_tolerant_spanner, distributed_three_spanner, DistributedConversionConfig,
+};
+use ftspan_local::two_spanner::{distributed_two_spanner, DistributedTwoSpannerConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_padded_decomposition(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(31);
+    let g = generate::connected_gnp(200, 0.04, generate::WeightKind::Unit, &mut rng);
+    c.bench_function("padded_decomposition/n=200", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(32);
+        b.iter(|| sample_padded_decomposition(&g, &PaddedDecompositionConfig::default(), &mut rng))
+    });
+}
+
+fn bench_distributed_three_spanner(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(33);
+    let g = generate::connected_gnp(200, 0.06, generate::WeightKind::Unit, &mut rng);
+    let alive = vec![true; g.node_count()];
+    c.bench_function("distributed_three_spanner/n=200", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(34);
+        b.iter(|| {
+            let mut sim = Simulator::new(&g);
+            distributed_three_spanner(&g, &alive, &mut sim, &mut rng)
+        })
+    });
+}
+
+fn bench_distributed_conversion(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(35);
+    let g = generate::connected_gnp(60, 0.12, generate::WeightKind::Unit, &mut rng);
+    let mut group = c.benchmark_group("distributed_conversion_n60");
+    group.sample_size(10);
+    group.bench_function("r=1_50iters", |b| {
+        let cfg = DistributedConversionConfig::new(1, 3).with_iterations(50);
+        let mut rng = ChaCha8Rng::seed_from_u64(36);
+        b.iter(|| distributed_fault_tolerant_spanner(&g, &cfg, &mut rng))
+    });
+    group.finish();
+}
+
+fn bench_distributed_two_spanner(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(37);
+    let g = generate::directed_gnp(10, 0.4, generate::WeightKind::Unit, &mut rng);
+    let mut group = c.benchmark_group("distributed_two_spanner_n10");
+    group.sample_size(10);
+    group.bench_function("r=1_t=3", |b| {
+        let cfg = DistributedTwoSpannerConfig::new(1).with_repetitions(3);
+        let mut rng = ChaCha8Rng::seed_from_u64(38);
+        b.iter(|| distributed_two_spanner(&g, &cfg, &mut rng).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_padded_decomposition,
+    bench_distributed_three_spanner,
+    bench_distributed_conversion,
+    bench_distributed_two_spanner
+);
+criterion_main!(benches);

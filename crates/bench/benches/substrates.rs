@@ -1,0 +1,68 @@
+//! Criterion benchmarks for the substrates: shortest paths, edge sets and the
+//! classic spanner constructions the conversion theorem consumes.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ftspan_graph::{generate, shortest_path, EdgeId, EdgeSet, NodeId};
+use ftspan_spanners::{BaswanaSenSpanner, GreedySpanner, SpannerAlgorithm};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_shortest_paths(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let g = generate::connected_gnp(
+        300,
+        0.05,
+        generate::WeightKind::Uniform { min: 1.0, max: 4.0 },
+        &mut rng,
+    );
+    c.bench_function("dijkstra/n=300", |b| {
+        b.iter(|| shortest_path::dijkstra(&g, NodeId::new(0)).unwrap())
+    });
+    let dead: Vec<bool> = (0..g.node_count()).map(|i| i % 10 == 0).collect();
+    c.bench_function("dijkstra_avoiding/n=300", |b| {
+        b.iter(|| shortest_path::dijkstra_avoiding(&g, NodeId::new(1), &dead).unwrap())
+    });
+}
+
+fn bench_edge_sets(c: &mut Criterion) {
+    let mut a = EdgeSet::new(100_000);
+    let mut bset = EdgeSet::new(100_000);
+    for i in (0..100_000).step_by(3) {
+        a.insert(EdgeId::new(i));
+    }
+    for i in (0..100_000).step_by(5) {
+        bset.insert(EdgeId::new(i));
+    }
+    c.bench_function("edge_set_union/100k", |b| {
+        b.iter_batched(
+            || a.clone(),
+            |mut x| {
+                x.union_with(&bset);
+                x
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("edge_set_iterate/100k", |b| {
+        b.iter(|| a.iter().map(|e| e.index()).sum::<usize>())
+    });
+}
+
+fn bench_classic_spanners(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let g = generate::gnp(150, 0.2, generate::WeightKind::Unit, &mut rng);
+    let mut group = c.benchmark_group("classic_spanners");
+    group.sample_size(10);
+    group.bench_function("greedy_k3/n=150", |b| {
+        let mut r = ChaCha8Rng::seed_from_u64(3);
+        b.iter(|| GreedySpanner::new(3.0).build(&g, &mut r))
+    });
+    group.bench_function("baswana_sen_k2/n=150", |b| {
+        let mut r = ChaCha8Rng::seed_from_u64(4);
+        b.iter(|| BaswanaSenSpanner::new(2).build(&g, &mut r))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_shortest_paths, bench_edge_sets, bench_classic_spanners);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Experiment E2 — Corollary 2.2: spanner size as a function of `n` for a
+//! fixed number of faults.
+//!
+//! The claim: for fixed `r` and `k`, the fault-tolerant spanner size scales
+//! like `n^{1+2/(k+1)} log n` — the same `n`-dependence as the plain greedy
+//! spanner, only a `poly(r) log n` factor larger.
+
+use fault_tolerant_spanners::prelude::*;
+use ftspan_bench::{fmt, Table};
+use ftspan_spanners::size_bounds;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let r = 2usize;
+    let k = 3.0f64;
+    println!("E2: r = {r}, k = {k}, average degree ~10, iteration scale 0.25\n");
+
+    let mut table = Table::new(
+        "e2_size_vs_n",
+        &["n", "m", "ft_edges", "plain_edges", "blowup", "cor22_bound", "edges_per_n^1.5"],
+    );
+    for &n in &[100usize, 200, 400, 800] {
+        let p = (10.0 / n as f64).min(1.0);
+        let graph = generate::connected_gnp(n, p, generate::WeightKind::Unit, &mut rng);
+        let plain = GreedySpanner::new(k).build(&graph, &mut rng);
+        let params = ConversionParams::new(r).with_scale(0.25);
+        let result = FaultTolerantConverter::new(params).build(&graph, &GreedySpanner::new(k), &mut rng);
+        table.row(&[
+            n.to_string(),
+            graph.edge_count().to_string(),
+            result.size().to_string(),
+            plain.len().to_string(),
+            fmt(result.size() as f64 / plain.len().max(1) as f64, 2),
+            fmt(size_bounds::corollary_2_2_bound(n, r, k), 0),
+            fmt(result.size() as f64 / (n as f64).powf(1.5), 3),
+        ]);
+    }
+    table.print_and_save();
+    println!("Expected shape: `edges_per_n^1.5` stays roughly flat (up to the log n factor and graph density effects).");
+}

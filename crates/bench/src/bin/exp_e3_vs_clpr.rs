@@ -1,0 +1,67 @@
+//! Experiment E3 — the conversion theorem versus the CLPR09-style baseline.
+//!
+//! The paper's motivation: the previous construction's size bound grows
+//! exponentially in `r` (through its `k^{r+1}` factor / the union over
+//! `O(n^r)` fault sets), while Theorem 2.1 pays only `poly(r) · log n`. This
+//! binary builds both on the same graph and also prints the two theoretical
+//! bounds.
+
+use fault_tolerant_spanners::prelude::*;
+use ftspan_bench::{fmt, Table};
+use ftspan_spanners::size_bounds;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let n = 60;
+    let k = 3.0;
+    let graph = generate::connected_gnp(n, 0.12, generate::WeightKind::Unit, &mut rng);
+    println!(
+        "E3: n = {}, m = {}, k = {} (CLPR-style = union of greedy spanners over all fault sets)\n",
+        graph.node_count(),
+        graph.edge_count(),
+        k
+    );
+
+    let mut table = Table::new(
+        "e3_vs_clpr",
+        &[
+            "r",
+            "ours_edges",
+            "ours_iterations",
+            "clpr_edges",
+            "clpr_fault_sets",
+            "cor22_bound",
+            "clpr09_bound",
+        ],
+    );
+    for &r in &[0usize, 1, 2] {
+        let ours = if r == 0 {
+            // r = 0 is just the plain spanner; the conversion is not needed.
+            let plain = GreedySpanner::new(k).build(&graph, &mut rng);
+            (plain.len(), 1usize)
+        } else {
+            let params = ConversionParams::new(r).with_scale(0.25);
+            let result =
+                FaultTolerantConverter::new(params).build(&graph, &GreedySpanner::new(k), &mut rng);
+            (result.size(), result.iterations)
+        };
+        let clpr = ClprStyleBaseline::new(r).build(&graph, &GreedySpanner::new(k), &mut rng);
+        table.row(&[
+            r.to_string(),
+            ours.0.to_string(),
+            ours.1.to_string(),
+            clpr.size().to_string(),
+            clpr.iterations.to_string(),
+            fmt(size_bounds::corollary_2_2_bound(n, r, k), 0),
+            fmt(size_bounds::clpr09_bound(n, r, 2), 0),
+        ]);
+    }
+    table.print_and_save();
+    println!(
+        "Expected shape: `clpr_fault_sets` (the baseline's work) explodes combinatorially with r, and the\n\
+         clpr09_bound grows exponentially, while ours grows polynomially. Measured edge counts are capped\n\
+         by m on a fixed graph, so the contrast shows most clearly in the bounds and the amount of work."
+    );
+}

@@ -1,0 +1,64 @@
+//! Experiment E6 — Theorem 3.4: on bounded-degree graphs with unit costs the
+//! inflation can be reduced from `O(log n)` to `O(log Δ)` using the
+//! constructive Lovász Local Lemma.
+//!
+//! The binary compares the Theorem 3.3 rounding (`α = C ln n`) against the
+//! Theorem 3.4 Moser–Tardos variant (`α = C ln Δ`) on near-regular graphs of
+//! increasing degree, reporting cost ratios against the common LP lower
+//! bound.
+
+use fault_tolerant_spanners::prelude::*;
+use ftspan_bench::{fmt, Table};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(6);
+    let n = 20;
+    let r = 1usize;
+    println!("E6: n = {n}, r = {r}, unit costs, near-regular graphs\n");
+
+    let mut table = Table::new(
+        "e6_bounded_degree",
+        &[
+            "delta",
+            "arcs",
+            "lp_lower_bound",
+            "logn_cost",
+            "logn_ratio",
+            "logn_alpha",
+            "lll_cost",
+            "lll_ratio",
+            "lll_alpha",
+            "lll_resamples",
+        ],
+    );
+    for &d in &[3usize, 4, 6, 8] {
+        let undirected = generate::random_near_regular(n, d, &mut rng);
+        let graph = DiGraph::from_graph(&undirected);
+        let theorem33 = approximate_two_spanner(&graph, &ApproxConfig::new(r), &mut rng)
+            .expect("relaxation solvable");
+        let lll = bounded_degree_two_spanner(&graph, &LllConfig::new(r), &mut rng)
+            .expect("relaxation solvable");
+        assert!(verify::is_ft_two_spanner(&graph, &theorem33.arcs, r));
+        assert!(verify::is_ft_two_spanner(&graph, &lll.arcs, r));
+        table.row(&[
+            graph.max_degree().to_string(),
+            graph.arc_count().to_string(),
+            fmt(lll.lp_objective, 2),
+            fmt(theorem33.cost, 1),
+            fmt(theorem33.cost / lll.lp_objective.max(1e-9), 2),
+            fmt(theorem33.alpha, 2),
+            fmt(lll.cost, 1),
+            fmt(lll.ratio_vs_lp(), 2),
+            fmt(lll.alpha, 2),
+            lll.resamples.to_string(),
+        ]);
+    }
+    table.print_and_save();
+    println!(
+        "Expected shape: `lll_alpha` tracks ln Δ (smaller than `logn_alpha` = 3 ln n for sparse graphs)\n\
+         and the LLL cost/ratio is no worse — usually better — than the log n rounding, with only a\n\
+         handful of resampling steps."
+    );
+}

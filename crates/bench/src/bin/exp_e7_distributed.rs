@@ -1,0 +1,77 @@
+//! Experiment E7 — Theorems 2.3 / 2.4 and 3.9: the distributed algorithms.
+//!
+//! Part (a): the distributed conversion — measured LOCAL rounds scale as
+//! `iterations × O(1)` (the underlying 3-spanner is constant-round), and the
+//! output is as fault tolerant as the centralized construction.
+//!
+//! Part (b): the distributed 2-spanner approximation (Algorithm 2) —
+//! measured rounds stay `O(log² n)` and the cost stays within a small factor
+//! of the centralized LP lower bound.
+
+use fault_tolerant_spanners::core::two_spanner::{solve_relaxation, RelaxationConfig};
+use fault_tolerant_spanners::prelude::*;
+use ftspan_bench::{fmt, Table};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+
+    // --- (a) Theorem 2.3: distributed conversion, stretch 3 ---------------
+    let mut a = Table::new(
+        "e7a_distributed_conversion",
+        &["n", "m", "r", "iterations", "rounds", "messages", "edges", "valid_sampled"],
+    );
+    for &(n, r) in &[(50usize, 1usize), (50, 2), (100, 1), (100, 2)] {
+        let graph = generate::connected_gnp(n, (8.0 / n as f64).min(1.0), generate::WeightKind::Unit, &mut rng);
+        let cfg = DistributedConversionConfig::new(r, 3).with_scale(0.25);
+        let out = distributed_fault_tolerant_spanner(&graph, &cfg, &mut rng);
+        let report =
+            verify::verify_fault_tolerance_sampled(&graph, &out.edges, 3.0, r, 30, &mut rng);
+        a.row(&[
+            n.to_string(),
+            graph.edge_count().to_string(),
+            r.to_string(),
+            out.iterations.to_string(),
+            out.stats.rounds.to_string(),
+            out.stats.messages.to_string(),
+            out.edges.len().to_string(),
+            report.is_valid().to_string(),
+        ]);
+    }
+    a.print_and_save();
+    println!(
+        "Expected shape: rounds = 2 × iterations (the black box is constant-round), so the total is\n\
+         O(r^3 log n) as in Theorem 2.3, and every output verifies as fault tolerant.\n"
+    );
+
+    // --- (b) Theorem 3.9: distributed 2-spanner ---------------------------
+    let mut b = Table::new(
+        "e7b_distributed_two_spanner",
+        &["n", "arcs", "r", "repetitions", "rounds", "cost", "central_lp", "ratio", "repaired"],
+    );
+    for &(n, r) in &[(10usize, 0usize), (10, 1), (14, 1)] {
+        let graph = generate::directed_gnp(n, 0.4, generate::WeightKind::Unit, &mut rng);
+        let central = solve_relaxation(&graph, &RelaxationConfig::new(r)).expect("LP solvable");
+        let cfg = DistributedTwoSpannerConfig::new(r).with_repetitions(4);
+        let out = distributed_two_spanner(&graph, &cfg, &mut rng).expect("cluster LPs solvable");
+        assert!(verify::is_ft_two_spanner(&graph, &out.arcs, r));
+        b.row(&[
+            n.to_string(),
+            graph.arc_count().to_string(),
+            r.to_string(),
+            out.repetitions.to_string(),
+            out.stats.rounds.to_string(),
+            fmt(out.cost, 1),
+            fmt(central.objective, 2),
+            fmt(out.cost / central.objective.max(1e-9), 2),
+            out.repaired_arcs.to_string(),
+        ]);
+    }
+    b.print_and_save();
+    println!(
+        "Expected shape: rounds grow polylogarithmically in n (decomposition + cluster gathering per\n\
+         repetition), and the distributed cost stays within an O(log n)-like factor of the centralized\n\
+         LP lower bound, as promised by Theorem 3.9."
+    );
+}

@@ -1,0 +1,390 @@
+//! The conversion theorem (Theorem 2.1) and Corollary 2.2.
+//!
+//! The construction is deliberately simple — the paper's title promise. In
+//! each of `α = Θ(r³ log n)` independent iterations:
+//!
+//! 1. every vertex joins a sampled "oversized fault set" `J` independently
+//!    with probability `p = 1 − 1/r` (`p = 1/2` when `r ≤ 1`);
+//! 2. the given black-box `k`-spanner algorithm is run on `G \ J`;
+//! 3. the resulting edges are added to the output.
+//!
+//! For any real fault set `F` (`|F| ≤ r`) and any surviving edge `(u, v)`
+//! whose shortest surviving path is the edge itself, an iteration "covers"
+//! the pair when `u, v ∉ J` and `F ⊆ J`; this happens with probability at
+//! least `1/(4r²)`, so `Θ(r³ log n)` iterations cover every pair and every
+//! fault set with high probability. The expected number of surviving vertices
+//! per iteration is `n/r`, which is where the `f(2n/r)` in the size bound
+//! comes from.
+
+use ftspan_graph::{EdgeId, EdgeSet, Graph, NodeId};
+use ftspan_spanners::SpannerAlgorithm;
+use rand::Rng;
+use rand::RngCore;
+
+/// Parameters of the fault-tolerant conversion (Theorem 2.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConversionParams {
+    /// Number of vertex faults `r` to tolerate.
+    pub faults: usize,
+    /// Explicit number of iterations `α`. When `None`, the theorem's
+    /// `⌈scale · 4 r² (r + 2) ln n⌉` is used.
+    pub iterations: Option<usize>,
+    /// Multiplier on the default iteration count. The paper's analysis uses a
+    /// conservative union bound; experiments can lower this (and re-verify
+    /// the output) to study how many iterations are needed in practice — the
+    /// `ablation_alpha` benchmark does exactly that.
+    pub scale: f64,
+}
+
+impl ConversionParams {
+    /// Parameters tolerating `faults` vertex failures with the default
+    /// iteration count.
+    pub fn new(faults: usize) -> Self {
+        ConversionParams {
+            faults,
+            iterations: None,
+            scale: 1.0,
+        }
+    }
+
+    /// Overrides the number of iterations `α`.
+    pub fn with_iterations(mut self, iterations: usize) -> Self {
+        self.iterations = Some(iterations);
+        self
+    }
+
+    /// Scales the default iteration count by `scale`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not positive.
+    pub fn with_scale(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0, "iteration scale must be positive");
+        self.scale = scale;
+        self
+    }
+
+    /// The sampling probability `p` with which each vertex joins the
+    /// oversized fault set `J` (Theorem 2.1 uses `1 − 1/r`, or `1/2` when
+    /// `r ≤ 1`).
+    pub fn sampling_probability(&self) -> f64 {
+        if self.faults <= 1 {
+            0.5
+        } else {
+            1.0 - 1.0 / self.faults as f64
+        }
+    }
+
+    /// The number of iterations `α` that will be used for an `n`-vertex
+    /// graph.
+    ///
+    /// The default follows the proof of Theorem 2.1: the per-iteration
+    /// success probability for a fixed pair and fault set is at least
+    /// `1/(4r²)`, and a union bound over the roughly `n^{r+2}` (pair, fault
+    /// set) combinations requires `α ≈ 4 r² (r + 2) ln n`.
+    pub fn iterations_for(&self, n: usize) -> usize {
+        if let Some(it) = self.iterations {
+            return it.max(1);
+        }
+        let r = self.faults.max(1) as f64;
+        let ln_n = (n.max(2) as f64).ln();
+        let alpha = self.scale * 4.0 * r * r * (r + 2.0) * ln_n;
+        alpha.ceil().max(1.0) as usize
+    }
+
+    /// The size bound `O(r³ log n · f(2n/r))` of Theorem 2.1, evaluated with
+    /// the concrete iteration count used by this configuration and the
+    /// black box's own size bound `f`.
+    pub fn size_bound(&self, n: usize, f: impl Fn(usize) -> f64) -> f64 {
+        let r = self.faults.max(1);
+        let per_iteration_n = (2 * n / r).max(2);
+        self.iterations_for(n) as f64 * f(per_iteration_n)
+    }
+}
+
+/// Per-iteration record kept by [`FaultTolerantConverter::build`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IterationStats {
+    /// Number of vertices that survived the oversampled fault set `J`.
+    pub surviving_vertices: usize,
+    /// Number of edges of `G \ J`.
+    pub surviving_edges: usize,
+    /// Number of edges the black box selected in this iteration.
+    pub spanner_edges: usize,
+    /// Number of those edges that were new to the union.
+    pub new_edges: usize,
+}
+
+/// The output of the conversion: the fault-tolerant spanner plus statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConversionResult {
+    /// The edges of the `r`-fault-tolerant `k`-spanner (over the input
+    /// graph's edge identifiers).
+    pub edges: EdgeSet,
+    /// The number of iterations that were run.
+    pub iterations: usize,
+    /// Per-iteration statistics, in order.
+    pub per_iteration: Vec<IterationStats>,
+}
+
+impl ConversionResult {
+    /// Number of edges in the constructed spanner.
+    pub fn size(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The mean number of vertices surviving the oversampling per iteration
+    /// (the paper's analysis shows this concentrates around `n/r`).
+    pub fn mean_surviving_vertices(&self) -> f64 {
+        if self.per_iteration.is_empty() {
+            return 0.0;
+        }
+        self.per_iteration
+            .iter()
+            .map(|s| s.surviving_vertices as f64)
+            .sum::<f64>()
+            / self.per_iteration.len() as f64
+    }
+}
+
+/// The Theorem 2.1 converter: wraps any [`SpannerAlgorithm`] and produces
+/// `r`-fault-tolerant spanners.
+///
+/// # Example
+///
+/// ```
+/// use ftspan_core::conversion::{ConversionParams, FaultTolerantConverter};
+/// use ftspan_spanners::{BaswanaSenSpanner, SpannerAlgorithm};
+/// use ftspan_graph::{generate, verify};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+/// let g = generate::gnp(30, 0.4, generate::WeightKind::Unit, &mut rng);
+/// let alg = BaswanaSenSpanner::new(2); // a 3-spanner black box
+/// let converter = FaultTolerantConverter::new(ConversionParams::new(1));
+/// let result = converter.build(&g, &alg, &mut rng);
+/// assert!(verify::is_fault_tolerant_k_spanner(&g, &result.edges, 3.0, 1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultTolerantConverter {
+    params: ConversionParams,
+}
+
+impl FaultTolerantConverter {
+    /// Creates a converter with the given parameters.
+    pub fn new(params: ConversionParams) -> Self {
+        FaultTolerantConverter { params }
+    }
+
+    /// The conversion parameters.
+    pub fn params(&self) -> &ConversionParams {
+        &self.params
+    }
+
+    /// Runs the conversion of Theorem 2.1 on `graph` with the given black-box
+    /// spanner algorithm.
+    ///
+    /// The output is an `r`-fault-tolerant `algorithm.stretch()`-spanner with
+    /// high probability; use `ftspan_graph::verify` to check it when
+    /// certainty is required.
+    pub fn build<A>(&self, graph: &Graph, algorithm: &A, rng: &mut dyn RngCore) -> ConversionResult
+    where
+        A: SpannerAlgorithm + ?Sized,
+    {
+        let n = graph.node_count();
+        let p = self.params.sampling_probability();
+        let alpha = self.params.iterations_for(n);
+
+        let mut union = graph.empty_edge_set();
+        let mut per_iteration = Vec::with_capacity(alpha);
+
+        for _ in 0..alpha {
+            // Sample the oversized fault set J.
+            let alive: Vec<bool> = (0..n).map(|_| rng.gen::<f64>() >= p).collect();
+            // Build G \ J, remembering how its edge ids map back to G.
+            let (sub, edge_map) = induced_subgraph(graph, &alive);
+            let spanner = algorithm.build(&sub, rng);
+            let mut new_edges = 0usize;
+            for sub_edge in spanner.iter() {
+                let parent = edge_map[sub_edge.index()];
+                if union.insert(parent) {
+                    new_edges += 1;
+                }
+            }
+            per_iteration.push(IterationStats {
+                surviving_vertices: alive.iter().filter(|&&a| a).count(),
+                surviving_edges: sub.edge_count(),
+                spanner_edges: spanner.len(),
+                new_edges,
+            });
+        }
+
+        ConversionResult {
+            edges: union,
+            iterations: alpha,
+            per_iteration,
+        }
+    }
+}
+
+/// Builds the subgraph of `graph` induced by the vertices with
+/// `alive[v] == true`, preserving vertex identifiers, together with a map
+/// from the subgraph's edge ids back to the parent graph's edge ids.
+fn induced_subgraph(graph: &Graph, alive: &[bool]) -> (Graph, Vec<EdgeId>) {
+    let mut sub = Graph::new(graph.node_count());
+    let mut map = Vec::new();
+    for (id, e) in graph.edges() {
+        if alive[e.u.index()] && alive[e.v.index()] {
+            sub.add_edge(e.u, e.v, e.weight)
+                .expect("edges of a valid graph remain valid in a subgraph");
+            map.push(id);
+        }
+    }
+    (sub, map)
+}
+
+/// Corollary 2.2: the conversion applied to the greedy spanner of Althöfer et
+/// al., giving `r`-fault-tolerant `k`-spanners of size
+/// `O(r^{2−2/(k+1)} n^{1+2/(k+1)} log n)` for odd `k ≥ 1`.
+///
+/// # Panics
+///
+/// Panics if `stretch < 1`.
+pub fn corollary_2_2(
+    graph: &Graph,
+    stretch: f64,
+    faults: usize,
+    rng: &mut dyn RngCore,
+) -> ConversionResult {
+    let converter = FaultTolerantConverter::new(ConversionParams::new(faults));
+    converter.build(graph, &ftspan_spanners::GreedySpanner::new(stretch), rng)
+}
+
+/// Samples the oversized fault set once (exposed for the distributed
+/// implementation in `ftspan-local`, where each vertex makes this decision
+/// locally).
+pub fn sample_oversized_fault_set<R: Rng + ?Sized>(
+    n: usize,
+    params: &ConversionParams,
+    rng: &mut R,
+) -> Vec<NodeId> {
+    let p = params.sampling_probability();
+    (0..n)
+        .filter(|_| rng.gen::<f64>() < p)
+        .map(NodeId::new)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftspan_graph::{generate, verify};
+    use ftspan_spanners::{BaswanaSenSpanner, GreedySpanner};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn iteration_count_follows_theorem() {
+        let p = ConversionParams::new(2);
+        let n = 100;
+        let expected = (4.0 * 4.0 * 4.0 * (100f64).ln()).ceil() as usize;
+        assert_eq!(p.iterations_for(n), expected);
+        assert_eq!(p.with_iterations(17).iterations_for(n), 17);
+        let scaled = ConversionParams::new(2).with_scale(0.5);
+        assert!(scaled.iterations_for(n) < expected);
+    }
+
+    #[test]
+    fn sampling_probability_special_cases() {
+        assert_eq!(ConversionParams::new(0).sampling_probability(), 0.5);
+        assert_eq!(ConversionParams::new(1).sampling_probability(), 0.5);
+        assert_eq!(ConversionParams::new(4).sampling_probability(), 0.75);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_scale_rejected() {
+        ConversionParams::new(1).with_scale(0.0);
+    }
+
+    #[test]
+    fn output_is_fault_tolerant_r1_k3() {
+        let mut r = rng(1);
+        let g = generate::gnp(25, 0.5, generate::WeightKind::Unit, &mut r);
+        let result = corollary_2_2(&g, 3.0, 1, &mut r);
+        assert!(verify::is_fault_tolerant_k_spanner(&g, &result.edges, 3.0, 1));
+        assert!(result.size() <= g.edge_count());
+        assert_eq!(result.per_iteration.len(), result.iterations);
+    }
+
+    #[test]
+    fn output_is_fault_tolerant_r2_weighted() {
+        let mut r = rng(2);
+        let g = generate::connected_gnp(
+            18,
+            0.4,
+            generate::WeightKind::Uniform { min: 1.0, max: 3.0 },
+            &mut r,
+        );
+        let result = corollary_2_2(&g, 3.0, 2, &mut r);
+        assert!(verify::is_fault_tolerant_k_spanner(&g, &result.edges, 3.0, 2));
+    }
+
+    #[test]
+    fn works_with_baswana_sen_black_box() {
+        let mut r = rng(3);
+        let g = generate::gnp(24, 0.5, generate::WeightKind::Unit, &mut r);
+        let alg = BaswanaSenSpanner::new(2);
+        let converter = FaultTolerantConverter::new(ConversionParams::new(1));
+        let result = converter.build(&g, &alg, &mut r);
+        assert!(verify::is_fault_tolerant_k_spanner(&g, &result.edges, 3.0, 1));
+    }
+
+    #[test]
+    fn oversampling_keeps_roughly_n_over_r_vertices() {
+        let mut r = rng(4);
+        let g = generate::gnp(60, 0.2, generate::WeightKind::Unit, &mut r);
+        let params = ConversionParams::new(4).with_iterations(200);
+        let converter = FaultTolerantConverter::new(params);
+        let result = converter.build(&g, &GreedySpanner::new(3.0), &mut r);
+        let mean = result.mean_surviving_vertices();
+        // Expected survivors: n / r = 15; allow generous sampling slack.
+        assert!(mean > 9.0 && mean < 21.0, "mean survivors {mean}");
+    }
+
+    #[test]
+    fn more_faults_need_more_edges() {
+        let mut r = rng(5);
+        let g = generate::gnp(30, 0.5, generate::WeightKind::Unit, &mut r);
+        let small = corollary_2_2(&g, 3.0, 1, &mut r).size();
+        let large = corollary_2_2(&g, 3.0, 3, &mut r).size();
+        assert!(large >= small, "r=3 spanner ({large}) smaller than r=1 ({small})");
+    }
+
+    #[test]
+    fn size_bound_helper_composes_f() {
+        let params = ConversionParams::new(2);
+        let bound = params.size_bound(100, |n| n as f64);
+        assert_eq!(bound, params.iterations_for(100) as f64 * 100.0);
+    }
+
+    #[test]
+    fn sample_oversized_fault_set_has_expected_density() {
+        let mut r = rng(6);
+        let params = ConversionParams::new(4); // p = 3/4
+        let sampled = sample_oversized_fault_set(1000, &params, &mut r);
+        assert!(sampled.len() > 650 && sampled.len() < 850, "got {}", sampled.len());
+    }
+
+    #[test]
+    fn empty_graph_yields_empty_spanner() {
+        let mut r = rng(7);
+        let g = Graph::new(0);
+        let result = corollary_2_2(&g, 3.0, 2, &mut r);
+        assert_eq!(result.size(), 0);
+    }
+}

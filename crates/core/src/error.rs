@@ -1,0 +1,82 @@
+//! Error type for the fault-tolerant spanner constructions.
+
+use ftspan_graph::GraphError;
+use ftspan_lp::LpError;
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced by the fault-tolerant spanner constructions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// An error bubbled up from the graph substrate.
+    Graph(GraphError),
+    /// An error bubbled up from the LP solver (most commonly an infeasible or
+    /// unbounded relaxation, which indicates a malformed instance).
+    Lp(LpError),
+    /// A parameter of a construction was invalid.
+    InvalidParameter {
+        /// Human-readable description of the violated requirement.
+        message: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Graph(e) => write!(f, "graph error: {e}"),
+            CoreError::Lp(e) => write!(f, "linear programming error: {e}"),
+            CoreError::InvalidParameter { message } => write!(f, "invalid parameter: {message}"),
+        }
+    }
+}
+
+impl StdError for CoreError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            CoreError::Graph(e) => Some(e),
+            CoreError::Lp(e) => Some(e),
+            CoreError::InvalidParameter { .. } => None,
+        }
+    }
+}
+
+impl From<GraphError> for CoreError {
+    fn from(e: GraphError) -> Self {
+        CoreError::Graph(e)
+    }
+}
+
+impl From<LpError> for CoreError {
+    fn from(e: LpError) -> Self {
+        CoreError::Lp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let g: CoreError = GraphError::SelfLoop { node: 1 }.into();
+        assert!(g.to_string().contains("graph error"));
+        let l: CoreError = LpError::Infeasible.into();
+        assert!(l.to_string().contains("infeasible"));
+        let p = CoreError::InvalidParameter { message: "r must be positive".into() };
+        assert!(p.to_string().contains("r must be positive"));
+    }
+
+    #[test]
+    fn source_chains() {
+        let e: CoreError = LpError::Unbounded.into();
+        assert!(e.source().is_some());
+        let p = CoreError::InvalidParameter { message: "x".into() };
+        assert!(p.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<E: StdError + Send + Sync>() {}
+        check::<CoreError>();
+    }
+}

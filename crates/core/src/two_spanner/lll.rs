@@ -1,0 +1,313 @@
+//! Theorem 3.4: the `O(log Δ)` bounded-degree approximation via the
+//! constructive Lovász Local Lemma.
+//!
+//! For unit arc costs and maximum (in- and out-) degree `Δ`, the rounding of
+//! Algorithm 1 with the smaller inflation `α = C log Δ` still works — but the
+//! failure probability of a single arc is only `Δ^{-Ω(C)}`, too large for a
+//! union bound over all arcs. The paper instead observes that each bad event
+//! depends on only `O(Δ³)` others and applies the constructive Local Lemma of
+//! Moser & Tardos: resample the threshold variables of a violated event until
+//! no event is violated. Two families of events are tracked, exactly as in
+//! the paper's proof:
+//!
+//! * `A_{u,v}` — arc `(u, v)` is not satisfied (not bought and covered by
+//!   fewer than `r + 1` two-paths);
+//! * `B_u` — the arcs charged to vertex `u` cost more than
+//!   `4α·(Σ_out x + Σ_in x)`, which would break the `O(log Δ) · LP` cost
+//!   bound.
+
+use super::relaxation::{solve_relaxation, RelaxationConfig};
+use super::rounding::select_with_thresholds;
+use crate::{CoreError, Result};
+use ftspan_graph::verify::{count_spanner_two_paths, two_spanner_violations};
+use ftspan_graph::{ArcSet, DiGraph, NodeId};
+use rand::Rng;
+use rand::RngCore;
+
+/// Configuration of the bounded-degree (Theorem 3.4) algorithm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LllConfig {
+    /// Number of vertex faults `r` to tolerate.
+    pub faults: usize,
+    /// The constant `C` in the inflation factor `α = C · ln Δ`.
+    pub alpha_constant: f64,
+    /// Maximum number of Moser–Tardos resampling steps before falling back to
+    /// the repair step.
+    pub max_resamples: usize,
+    /// Maximum number of cutting-plane rounds for the relaxation.
+    pub max_cut_rounds: usize,
+}
+
+impl LllConfig {
+    /// The paper's configuration for `faults` failures.
+    pub fn new(faults: usize) -> Self {
+        LllConfig {
+            faults,
+            alpha_constant: 4.0,
+            max_resamples: 10_000,
+            max_cut_rounds: 50,
+        }
+    }
+
+    /// Sets the constant `C` of `α = C ln Δ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is not positive.
+    pub fn with_alpha_constant(mut self, c: f64) -> Self {
+        assert!(c > 0.0, "alpha constant must be positive");
+        self.alpha_constant = c;
+        self
+    }
+}
+
+/// Output of the bounded-degree algorithm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LllResult {
+    /// The arcs of the `r`-fault-tolerant 2-spanner.
+    pub arcs: ArcSet,
+    /// Total cost (= number of arcs, costs are unit).
+    pub cost: f64,
+    /// Optimal value of the LP relaxation (lower bound on OPT).
+    pub lp_objective: f64,
+    /// The inflation factor `α = C ln Δ` that was used.
+    pub alpha: f64,
+    /// The maximum degree `Δ` of the input.
+    pub max_degree: usize,
+    /// Number of Moser–Tardos resampling steps performed.
+    pub resamples: usize,
+    /// Number of arcs added by the final repair step (0 when the resampling
+    /// terminated with no bad event, which is the Local Lemma guarantee).
+    pub repaired_arcs: usize,
+}
+
+impl LllResult {
+    /// The realized approximation ratio relative to the LP lower bound.
+    pub fn ratio_vs_lp(&self) -> f64 {
+        if self.lp_objective <= f64::EPSILON {
+            1.0
+        } else {
+            self.cost / self.lp_objective
+        }
+    }
+}
+
+/// The Theorem 3.4 algorithm: `O(log Δ)`-approximation for the unit-cost
+/// `r`-fault-tolerant 2-spanner problem on graphs of maximum degree `Δ`.
+///
+/// # Errors
+///
+/// * [`CoreError::InvalidParameter`] if some arc cost is not 1 (the theorem
+///   is specific to unit costs) or the graph has no vertices.
+/// * [`CoreError::Lp`] if the relaxation cannot be solved.
+pub fn bounded_degree_two_spanner(
+    graph: &DiGraph,
+    config: &LllConfig,
+    rng: &mut dyn RngCore,
+) -> Result<LllResult> {
+    if graph.node_count() == 0 {
+        return Err(CoreError::InvalidParameter {
+            message: "cannot build a 2-spanner of a graph with no vertices".to_string(),
+        });
+    }
+    if graph.arcs().any(|(_, a)| (a.cost - 1.0).abs() > 1e-12) {
+        return Err(CoreError::InvalidParameter {
+            message: "the bounded-degree algorithm requires unit arc costs".to_string(),
+        });
+    }
+
+    let relax_cfg = RelaxationConfig {
+        faults: config.faults,
+        knapsack_cover: true,
+        max_cut_rounds: config.max_cut_rounds,
+        separation_tolerance: 1e-7,
+    };
+    let fractional = solve_relaxation(graph, &relax_cfg)?;
+    let x = &fractional.x;
+
+    let delta = graph.max_degree().max(2);
+    let alpha = config.alpha_constant * (delta as f64).ln().max(1.0);
+
+    let n = graph.node_count();
+    let mut thresholds: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+
+    // Precompute the per-vertex fractional degree sums used by the B_u events.
+    let mut out_sum = vec![0.0f64; n];
+    let mut in_sum = vec![0.0f64; n];
+    for (id, arc) in graph.arcs() {
+        out_sum[arc.tail.index()] += x[id.index()];
+        in_sum[arc.head.index()] += x[id.index()];
+    }
+
+    let mut resamples = 0usize;
+    let arcs = loop {
+        let arcs = select_with_thresholds(graph, x, alpha, &thresholds);
+        let bad_vertices = cost_events(graph, x, alpha, &thresholds, &out_sum, &in_sum);
+        let bad_arcs = two_spanner_violations(graph, &arcs, config.faults);
+
+        if bad_arcs.is_empty() && bad_vertices.is_empty() {
+            break arcs;
+        }
+        if resamples >= config.max_resamples {
+            break arcs;
+        }
+        resamples += 1;
+
+        // Resample the variables of one bad event (Moser-Tardos).
+        if let Some(&arc_id) = bad_arcs.first() {
+            let arc = graph.arc(arc_id);
+            thresholds[arc.tail.index()] = rng.gen();
+            thresholds[arc.head.index()] = rng.gen();
+            for w in graph.two_path_midpoints(arc.tail, arc.head).collect::<Vec<_>>() {
+                thresholds[w.index()] = rng.gen();
+            }
+        } else if let Some(&u) = bad_vertices.first() {
+            thresholds[u.index()] = rng.gen();
+            let neighbors: Vec<NodeId> = graph
+                .out_neighbors(NodeId::new(u.index()))
+                .chain(graph.in_neighbors(NodeId::new(u.index())))
+                .collect();
+            for w in neighbors {
+                thresholds[w.index()] = rng.gen();
+            }
+        }
+    };
+
+    // Guarantee validity even if the resampling budget ran out.
+    let mut arcs = arcs;
+    let mut repaired = 0usize;
+    for a in two_spanner_violations(graph, &arcs, config.faults) {
+        arcs.insert(a);
+        repaired += 1;
+    }
+
+    // Sanity: every satisfied arc is indeed covered (debug builds only).
+    debug_assert!(graph.arcs().all(|(id, arc)| {
+        arcs.contains(id)
+            || count_spanner_two_paths(graph, &arcs, arc.tail, arc.head) >= config.faults + 1
+    }));
+
+    let cost = graph.arc_set_cost(&arcs)?;
+    Ok(LllResult {
+        arcs,
+        cost,
+        lp_objective: fractional.objective,
+        alpha,
+        max_degree: delta,
+        resamples,
+        repaired_arcs: repaired,
+    })
+}
+
+/// Vertices `u` whose charged rounding cost exceeds the Theorem 3.4 budget
+/// `4α(Σ_out x + Σ_in x)` — the `B_u` events.
+fn cost_events(
+    graph: &DiGraph,
+    x: &[f64],
+    alpha: f64,
+    thresholds: &[f64],
+    out_sum: &[f64],
+    in_sum: &[f64],
+) -> Vec<NodeId> {
+    let n = graph.node_count();
+    let mut z = vec![0usize; n];
+    for (id, arc) in graph.arcs() {
+        let xv = x[id.index()];
+        // Z+ of the tail counts this arc when the head's threshold is low...
+        if thresholds[arc.head.index()] <= alpha * xv {
+            z[arc.tail.index()] += 1;
+        }
+        // ...and Z- of the head counts it when the tail's threshold is low.
+        if thresholds[arc.tail.index()] <= alpha * xv {
+            z[arc.head.index()] += 1;
+        }
+    }
+    (0..n)
+        .filter(|&u| {
+            let budget = 4.0 * alpha * (out_sum[u] + in_sum[u]);
+            (z[u] as f64) > budget.max(1.0)
+        })
+        .map(NodeId::new)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftspan_graph::{generate, verify};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn rejects_non_unit_costs() {
+        let g = generate::gap_gadget(2, 10.0).unwrap();
+        let err = bounded_degree_two_spanner(&g, &LllConfig::new(1), &mut rng(1));
+        assert!(matches!(err, Err(CoreError::InvalidParameter { .. })));
+    }
+
+    #[test]
+    fn rejects_empty_graph() {
+        let g = DiGraph::new(0);
+        assert!(bounded_degree_two_spanner(&g, &LllConfig::new(1), &mut rng(2)).is_err());
+    }
+
+    #[test]
+    fn produces_valid_spanners_on_bounded_degree_graphs() {
+        let mut r = rng(3);
+        for faults in [0usize, 1] {
+            let ug = generate::random_near_regular(20, 5, &mut r);
+            let g = DiGraph::from_graph(&ug);
+            let result = bounded_degree_two_spanner(&g, &LllConfig::new(faults), &mut r).unwrap();
+            assert!(
+                verify::is_ft_two_spanner(&g, &result.arcs, faults),
+                "LLL output invalid for r = {faults}"
+            );
+            assert!(result.cost <= g.total_cost() + 1e-9);
+            assert!(result.lp_objective <= result.cost + 1e-6);
+            assert_eq!(result.max_degree, g.max_degree().max(2));
+        }
+    }
+
+    #[test]
+    fn alpha_scales_with_degree_not_n() {
+        let mut r = rng(4);
+        let ug = generate::random_near_regular(30, 4, &mut r);
+        let g = DiGraph::from_graph(&ug);
+        let result = bounded_degree_two_spanner(&g, &LllConfig::new(1), &mut r).unwrap();
+        let expected_alpha = 4.0 * (g.max_degree().max(2) as f64).ln().max(1.0);
+        assert!((result.alpha - expected_alpha).abs() < 1e-9);
+        // In particular alpha is far below 4 ln n for a large sparse graph.
+        assert!(result.alpha <= 4.0 * (g.node_count() as f64).ln() + 1e-9);
+    }
+
+    #[test]
+    fn resampling_terminates_and_reports_counts() {
+        let mut r = rng(5);
+        let ug = generate::random_near_regular(16, 4, &mut r);
+        let g = DiGraph::from_graph(&ug);
+        let cfg = LllConfig::new(1).with_alpha_constant(2.0);
+        let result = bounded_degree_two_spanner(&g, &cfg, &mut r).unwrap();
+        assert!(result.resamples <= cfg.max_resamples);
+        assert!(verify::is_ft_two_spanner(&g, &result.arcs, 1));
+        assert!(result.ratio_vs_lp() >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn tiny_alpha_falls_back_to_repair_but_stays_valid() {
+        let mut r = rng(6);
+        let ug = generate::random_near_regular(14, 4, &mut r);
+        let g = DiGraph::from_graph(&ug);
+        let cfg = LllConfig {
+            faults: 1,
+            alpha_constant: 0.01,
+            max_resamples: 10,
+            max_cut_rounds: 20,
+        };
+        let result = bounded_degree_two_spanner(&g, &cfg, &mut r).unwrap();
+        assert!(verify::is_ft_two_spanner(&g, &result.arcs, 1));
+    }
+}

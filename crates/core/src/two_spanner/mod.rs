@@ -1,0 +1,31 @@
+//! Minimum-cost `r`-fault-tolerant 2-spanners (Section 3 of the paper).
+//!
+//! The problem: given a directed graph with arc costs (and unit lengths),
+//! find a minimum-cost arc subset `H` such that after *any* `r` vertex
+//! failures, every surviving arc of the input is either in `H` or has a
+//! surviving path of length 2 in `H`. Lemma 3.1 shows this is equivalent to
+//! the static condition "every arc is bought or covered by at least `r + 1`
+//! two-paths", which is what everything below works with.
+//!
+//! * [`paths`] — the length-2 path index `P_{u,v}`.
+//! * [`relaxation`] — LP (3), the knapsack-cover inequalities of LP (4), and
+//!   the Lemma 3.2 separation oracle.
+//! * [`rounding`] — Algorithm 1 (per-vertex random thresholds) and the
+//!   Theorem 3.3 `O(log n)`-approximation driver.
+//! * [`lll`] — the Theorem 3.4 `O(log Δ)` bounded-degree variant using
+//!   Moser–Tardos resampling.
+//! * [`greedy_cover`] — an LP-free greedy heuristic that maintains the
+//!   Lemma 3.1 invariant directly (always valid, no approximation
+//!   guarantee); the practical comparison point in the experiments.
+
+pub mod greedy_cover;
+pub mod lll;
+pub mod paths;
+pub mod relaxation;
+pub mod rounding;
+
+pub use greedy_cover::{greedy_ft_two_spanner, GreedyCoverResult};
+pub use lll::{bounded_degree_two_spanner, LllConfig, LllResult};
+pub use paths::{TwoPath, TwoPathIndex};
+pub use relaxation::{solve_relaxation, FractionalSolution, RelaxationConfig};
+pub use rounding::{approximate_two_spanner, round_thresholds, ApproxConfig, ApproxResult};

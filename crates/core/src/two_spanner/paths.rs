@@ -1,0 +1,134 @@
+//! The length-2 path index `P_{u,v}`.
+
+use ftspan_graph::{ArcId, DiGraph, NodeId};
+
+/// A directed length-2 path `u -> w -> v`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TwoPath {
+    /// The intermediate vertex `w`.
+    pub midpoint: NodeId,
+    /// The arc `u -> w`.
+    pub first: ArcId,
+    /// The arc `w -> v`.
+    pub second: ArcId,
+}
+
+/// For every arc `(u, v)` of a digraph, the set `P_{u,v}` of length-2 paths
+/// from `u` to `v` (excluding the arc itself), exactly as used by LP (3) and
+/// LP (4) of the paper.
+///
+/// # Example
+///
+/// ```
+/// use ftspan_core::two_spanner::TwoPathIndex;
+/// use ftspan_graph::{generate, ArcId};
+///
+/// let g = generate::gap_gadget(3, 10.0)?;
+/// let index = TwoPathIndex::build(&g);
+/// // The expensive arc (u, v) is arc 0 and has 3 parallel 2-paths.
+/// assert_eq!(index.paths(ArcId::new(0)).len(), 3);
+/// # Ok::<(), ftspan_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TwoPathIndex {
+    per_arc: Vec<Vec<TwoPath>>,
+}
+
+impl TwoPathIndex {
+    /// Builds the index for every arc of `graph`.
+    pub fn build(graph: &DiGraph) -> Self {
+        let mut per_arc = Vec::with_capacity(graph.arc_count());
+        for (_, arc) in graph.arcs() {
+            let mut paths = Vec::new();
+            for (w, first) in graph.out_incident(arc.tail) {
+                if w == arc.head {
+                    continue;
+                }
+                if let Some(second) = graph.find_arc(w, arc.head) {
+                    paths.push(TwoPath { midpoint: w, first, second });
+                }
+            }
+            per_arc.push(paths);
+        }
+        TwoPathIndex { per_arc }
+    }
+
+    /// The 2-paths covering arc `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of bounds.
+    pub fn paths(&self, a: ArcId) -> &[TwoPath] {
+        &self.per_arc[a.index()]
+    }
+
+    /// Number of arcs indexed.
+    pub fn arc_count(&self) -> usize {
+        self.per_arc.len()
+    }
+
+    /// Total number of (arc, 2-path) pairs — the number of flow variables in
+    /// the LP relaxations.
+    pub fn total_paths(&self) -> usize {
+        self.per_arc.iter().map(Vec::len).sum()
+    }
+
+    /// The largest number of 2-paths over any single arc.
+    pub fn max_paths_per_arc(&self) -> usize {
+        self.per_arc.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftspan_graph::generate;
+
+    #[test]
+    fn gap_gadget_paths() {
+        let g = generate::gap_gadget(4, 100.0).unwrap();
+        let idx = TwoPathIndex::build(&g);
+        assert_eq!(idx.arc_count(), 9);
+        assert_eq!(idx.paths(ArcId::new(0)).len(), 4);
+        assert_eq!(idx.max_paths_per_arc(), 4);
+        // Unit arcs (u, w_i) and (w_i, v) have no 2-path alternatives.
+        for a in 1..9 {
+            assert!(idx.paths(ArcId::new(a)).is_empty());
+        }
+        assert_eq!(idx.total_paths(), 4);
+    }
+
+    #[test]
+    fn complete_digraph_paths() {
+        let g = generate::complete_digraph(5);
+        let idx = TwoPathIndex::build(&g);
+        // Every arc (u, v) has n - 2 = 3 midpoints in K_5.
+        for (a, _) in g.arcs() {
+            assert_eq!(idx.paths(a).len(), 3);
+        }
+        assert_eq!(idx.total_paths(), 20 * 3);
+    }
+
+    #[test]
+    fn paths_reference_real_arcs() {
+        let g = generate::complete_digraph(4);
+        let idx = TwoPathIndex::build(&g);
+        for (a, arc) in g.arcs() {
+            for p in idx.paths(a) {
+                assert_eq!(g.arc(p.first).tail, arc.tail);
+                assert_eq!(g.arc(p.first).head, p.midpoint);
+                assert_eq!(g.arc(p.second).tail, p.midpoint);
+                assert_eq!(g.arc(p.second).head, arc.head);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = ftspan_graph::DiGraph::new(3);
+        let idx = TwoPathIndex::build(&g);
+        assert_eq!(idx.arc_count(), 0);
+        assert_eq!(idx.total_paths(), 0);
+        assert_eq!(idx.max_paths_per_arc(), 0);
+    }
+}

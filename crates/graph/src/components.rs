@@ -1,0 +1,614 @@
+//! Connectivity structure: components, union–find, cut vertices and
+//! vertex connectivity.
+//!
+//! Fault tolerance is fundamentally a connectivity property: an
+//! `r`-fault-tolerant spanner can only exist with finite stretch guarantees
+//! where the input graph itself survives `r` faults. The helpers in this
+//! module are used by the adversarial fault generators in [`crate::faults`],
+//! by the workload generators (to report how well-connected an instance is),
+//! and by the experiments to choose meaningful values of `r`.
+//!
+//! * [`UnionFind`] — disjoint-set forest, also used by Kruskal's algorithm in
+//!   [`crate::tree`].
+//! * [`connected_components`] / [`ComponentLabels`] — component labelling.
+//! * [`articulation_points`] — cut vertices (a single-fault attack surface).
+//! * [`local_vertex_connectivity`] / [`vertex_connectivity`] — Menger-style
+//!   counts of internally vertex-disjoint paths, computed with unit-capacity
+//!   augmenting paths on the vertex-split digraph.
+
+use crate::{Graph, GraphError, NodeId, Result};
+
+/// A disjoint-set forest (union–find) over `0..n` with union by rank and
+/// path compression.
+///
+/// # Example
+///
+/// ```
+/// use ftspan_graph::components::UnionFind;
+///
+/// let mut uf = UnionFind::new(4);
+/// assert!(uf.union(0, 1));
+/// assert!(uf.union(2, 3));
+/// assert!(!uf.union(1, 0)); // already joined
+/// assert!(uf.connected(0, 1));
+/// assert!(!uf.connected(0, 2));
+/// assert_eq!(uf.set_count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+    sets: usize,
+}
+
+impl UnionFind {
+    /// Creates a forest of `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+            sets: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Returns `true` if the forest has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets currently in the forest.
+    pub fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    /// Representative of the set containing `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= len()`.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets containing `x` and `y`.
+    ///
+    /// Returns `true` if the two were in different sets (a merge happened).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn union(&mut self, x: usize, y: usize) -> bool {
+        let (rx, ry) = (self.find(x), self.find(y));
+        if rx == ry {
+            return false;
+        }
+        let (hi, lo) = if self.rank[rx] >= self.rank[ry] {
+            (rx, ry)
+        } else {
+            (ry, rx)
+        };
+        self.parent[lo] = hi;
+        if self.rank[hi] == self.rank[lo] {
+            self.rank[hi] += 1;
+        }
+        self.sets -= 1;
+        true
+    }
+
+    /// Returns `true` if `x` and `y` are in the same set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn connected(&mut self, x: usize, y: usize) -> bool {
+        self.find(x) == self.find(y)
+    }
+}
+
+/// A labelling of every vertex by its connected component.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentLabels {
+    labels: Vec<usize>,
+    count: usize,
+}
+
+impl ComponentLabels {
+    /// Number of connected components (0 for the empty graph).
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Component label of vertex `v` (labels are dense, `0..count`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn label(&self, v: NodeId) -> usize {
+        self.labels[v.index()]
+    }
+
+    /// Returns `true` if `u` and `v` lie in the same component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either vertex is out of bounds.
+    pub fn same_component(&self, u: NodeId, v: NodeId) -> bool {
+        self.labels[u.index()] == self.labels[v.index()]
+    }
+
+    /// Sizes of all components, indexed by label.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.count];
+        for &l in &self.labels {
+            sizes[l] += 1;
+        }
+        sizes
+    }
+
+    /// Size of the largest component (0 for the empty graph).
+    pub fn largest(&self) -> usize {
+        self.sizes().into_iter().max().unwrap_or(0)
+    }
+
+    /// The vertices of the component with the given label.
+    pub fn members(&self, label: usize) -> Vec<NodeId> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l == label)
+            .map(|(i, _)| NodeId::new(i))
+            .collect()
+    }
+}
+
+/// Labels the connected components of `graph` by breadth-first search.
+///
+/// # Example
+///
+/// ```
+/// use ftspan_graph::{components, Graph, NodeId};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = Graph::from_unit_edges(5, [(0, 1), (2, 3)])?;
+/// let cc = components::connected_components(&g);
+/// assert_eq!(cc.count(), 3);
+/// assert!(cc.same_component(NodeId::new(0), NodeId::new(1)));
+/// assert!(!cc.same_component(NodeId::new(1), NodeId::new(2)));
+/// # Ok(())
+/// # }
+/// ```
+pub fn connected_components(graph: &Graph) -> ComponentLabels {
+    let n = graph.node_count();
+    let mut labels = vec![usize::MAX; n];
+    let mut count = 0;
+    let mut queue = std::collections::VecDeque::new();
+    for start in 0..n {
+        if labels[start] != usize::MAX {
+            continue;
+        }
+        labels[start] = count;
+        queue.push_back(NodeId::new(start));
+        while let Some(v) = queue.pop_front() {
+            for u in graph.neighbors(v) {
+                if labels[u.index()] == usize::MAX {
+                    labels[u.index()] = count;
+                    queue.push_back(u);
+                }
+            }
+        }
+        count += 1;
+    }
+    ComponentLabels { labels, count }
+}
+
+/// The articulation points (cut vertices) of `graph`: vertices whose removal
+/// increases the number of connected components.
+///
+/// Computed with the classic Tarjan/Hopcroft lowpoint depth-first search in
+/// `O(n + m)` time. A graph with an articulation point admits a *single*
+/// fault that disconnects it, so no 1-fault-tolerant spanner can preserve
+/// finite stretch across that cut — this is the first vertex an adversarial
+/// fault generator should target.
+pub fn articulation_points(graph: &Graph) -> Vec<NodeId> {
+    let n = graph.node_count();
+    let mut disc = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut is_cut = vec![false; n];
+    let mut timer = 0usize;
+
+    // Iterative DFS to avoid recursion limits on long paths.
+    #[derive(Clone, Copy)]
+    struct Frame {
+        v: usize,
+        parent: usize,
+        child_count: usize,
+        neighbor_idx: usize,
+    }
+
+    for root in 0..n {
+        if disc[root] != usize::MAX {
+            continue;
+        }
+        let mut stack = vec![Frame {
+            v: root,
+            parent: usize::MAX,
+            child_count: 0,
+            neighbor_idx: 0,
+        }];
+        disc[root] = timer;
+        low[root] = timer;
+        timer += 1;
+        while let Some(top) = stack.last().copied() {
+            let neighbors: Vec<usize> = graph
+                .neighbors(NodeId::new(top.v))
+                .map(NodeId::index)
+                .collect();
+            if top.neighbor_idx < neighbors.len() {
+                let u = neighbors[top.neighbor_idx];
+                stack.last_mut().expect("stack is non-empty").neighbor_idx += 1;
+                if disc[u] == usize::MAX {
+                    stack.last_mut().expect("stack is non-empty").child_count += 1;
+                    disc[u] = timer;
+                    low[u] = timer;
+                    timer += 1;
+                    stack.push(Frame {
+                        v: u,
+                        parent: top.v,
+                        child_count: 0,
+                        neighbor_idx: 0,
+                    });
+                } else if u != top.parent {
+                    low[top.v] = low[top.v].min(disc[u]);
+                }
+            } else {
+                let done = stack.pop().expect("stack is non-empty");
+                if let Some(parent_frame) = stack.last() {
+                    let p = parent_frame.v;
+                    low[p] = low[p].min(low[done.v]);
+                    // Non-root parent is a cut vertex if the subtree under
+                    // `done.v` cannot reach above `p`.
+                    if parent_frame.parent != usize::MAX && low[done.v] >= disc[p] {
+                        is_cut[p] = true;
+                    }
+                } else {
+                    // `done` is the root: cut vertex iff it has >= 2 DFS children.
+                    if done.child_count >= 2 {
+                        is_cut[done.v] = true;
+                    }
+                }
+            }
+        }
+    }
+    (0..n).filter(|&v| is_cut[v]).map(NodeId::new).collect()
+}
+
+/// Maximum number of internally vertex-disjoint `s`–`t` paths (Menger's
+/// theorem: equal to the minimum `s`–`t` vertex cut when `s` and `t` are not
+/// adjacent).
+///
+/// Computed by unit-capacity augmenting paths on the standard vertex-split
+/// flow network (each vertex other than `s` and `t` is split into an
+/// in-copy and an out-copy joined by a capacity-1 arc). The running time is
+/// `O(connectivity * (n + m))`, which is what the adversarial fault
+/// generators and the verification tests need on their small instances.
+///
+/// If `s` and `t` are adjacent, the direct edge contributes one path (with no
+/// internal vertices).
+///
+/// # Errors
+///
+/// Returns [`GraphError::NodeOutOfBounds`] if either endpoint is out of
+/// bounds, and [`GraphError::InvalidParameter`] if `s == t`.
+pub fn local_vertex_connectivity(graph: &Graph, s: NodeId, t: NodeId) -> Result<usize> {
+    let n = graph.node_count();
+    for x in [s, t] {
+        if x.index() >= n {
+            return Err(GraphError::NodeOutOfBounds { node: x.index(), len: n });
+        }
+    }
+    if s == t {
+        return Err(GraphError::InvalidParameter {
+            message: "local vertex connectivity requires two distinct vertices".to_string(),
+        });
+    }
+
+    // Vertex-split flow network over node indices:
+    //   in-copy of v  = 2v,  out-copy of v = 2v + 1.
+    // Arcs: in(v) -> out(v) with capacity 1 (capacity infinity for s, t);
+    // for every edge {u, v}: out(u) -> in(v) and out(v) -> in(u), capacity 1.
+    // All capacities are 0/1, stored in an adjacency map.
+    use std::collections::HashMap;
+    let node_in = |v: usize| 2 * v;
+    let node_out = |v: usize| 2 * v + 1;
+    let mut cap: HashMap<(usize, usize), u32> = HashMap::new();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); 2 * n];
+    let add_arc = |cap_map: &mut HashMap<(usize, usize), u32>,
+                       adj: &mut Vec<Vec<usize>>,
+                       a: usize,
+                       b: usize,
+                       c: u32| {
+        let entry = cap_map.entry((a, b)).or_insert(0);
+        *entry = entry.saturating_add(c);
+        cap_map.entry((b, a)).or_insert(0);
+        if !adj[a].contains(&b) {
+            adj[a].push(b);
+        }
+        if !adj[b].contains(&a) {
+            adj[b].push(a);
+        }
+    };
+
+    let big = graph.node_count() as u32 + 1;
+    for v in 0..n {
+        let c = if v == s.index() || v == t.index() { big } else { 1 };
+        add_arc(&mut cap, &mut adj, node_in(v), node_out(v), c);
+    }
+    for (_, e) in graph.edges() {
+        add_arc(&mut cap, &mut adj, node_out(e.u.index()), node_in(e.v.index()), 1);
+        add_arc(&mut cap, &mut adj, node_out(e.v.index()), node_in(e.u.index()), 1);
+    }
+
+    let source = node_out(s.index());
+    let sink = node_in(t.index());
+    let mut flow = 0usize;
+    loop {
+        // BFS for an augmenting path in the residual network.
+        let mut pred = vec![usize::MAX; 2 * n];
+        let mut queue = std::collections::VecDeque::new();
+        pred[source] = source;
+        queue.push_back(source);
+        while let Some(v) = queue.pop_front() {
+            if v == sink {
+                break;
+            }
+            for &u in &adj[v] {
+                if pred[u] == usize::MAX && cap.get(&(v, u)).copied().unwrap_or(0) > 0 {
+                    pred[u] = v;
+                    queue.push_back(u);
+                }
+            }
+        }
+        if pred[sink] == usize::MAX {
+            break;
+        }
+        // Augment by one unit along the path.
+        let mut v = sink;
+        while v != source {
+            let p = pred[v];
+            *cap.get_mut(&(p, v)).expect("arc exists on the augmenting path") -= 1;
+            *cap.get_mut(&(v, p)).expect("reverse arc was created with the arc") += 1;
+            v = p;
+        }
+        flow += 1;
+        // The connectivity can never exceed n, so this terminates.
+        if flow > n {
+            break;
+        }
+    }
+    Ok(flow)
+}
+
+/// The vertex connectivity of `graph`: the minimum number of vertices whose
+/// removal disconnects it (or `n - 1` for a complete graph).
+///
+/// Computed as the minimum of [`local_vertex_connectivity`] over a standard
+/// set of vertex pairs: a fixed vertex `s` against every non-neighbor, and
+/// every pair of non-adjacent neighbors of `s`. Intended for the small
+/// instances used by tests and experiment setup; the cost is
+/// `O(n)` max-flow computations.
+///
+/// Returns 0 for disconnected (or single-vertex / empty) graphs.
+pub fn vertex_connectivity(graph: &Graph) -> usize {
+    let n = graph.node_count();
+    if n <= 1 || !graph.is_connected() {
+        return 0;
+    }
+    if graph.edge_count() == n * (n - 1) / 2 {
+        return n - 1;
+    }
+    // Choose s as a vertex of minimum degree: its degree is an upper bound.
+    let s = graph
+        .nodes()
+        .min_by_key(|&v| graph.degree(v))
+        .expect("graph has at least two vertices");
+    let mut best = graph.degree(s);
+    let s_neighbors: Vec<NodeId> = graph.neighbors(s).collect();
+    for t in graph.nodes() {
+        if t == s || graph.has_edge(s, t) {
+            continue;
+        }
+        let c = local_vertex_connectivity(graph, s, t)
+            .expect("both endpoints come from the graph");
+        best = best.min(c);
+    }
+    // Pairs of neighbors of s that are not adjacent to each other.
+    for (i, &a) in s_neighbors.iter().enumerate() {
+        for &b in s_neighbors.iter().skip(i + 1) {
+            if !graph.has_edge(a, b) {
+                let c = local_vertex_connectivity(graph, a, b)
+                    .expect("both endpoints come from the graph");
+                best = best.min(c);
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(6);
+        assert_eq!(uf.len(), 6);
+        assert!(!uf.is_empty());
+        assert_eq!(uf.set_count(), 6);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2));
+        assert_eq!(uf.set_count(), 4);
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 3));
+        assert!(UnionFind::new(0).is_empty());
+    }
+
+    #[test]
+    fn union_find_find_is_idempotent() {
+        let mut uf = UnionFind::new(10);
+        for i in 0..9 {
+            uf.union(i, i + 1);
+        }
+        let root = uf.find(0);
+        for i in 0..10 {
+            assert_eq!(uf.find(i), root);
+        }
+        assert_eq!(uf.set_count(), 1);
+    }
+
+    #[test]
+    fn components_of_disconnected_graph() {
+        let g = Graph::from_unit_edges(6, [(0, 1), (1, 2), (3, 4)]).unwrap();
+        let cc = connected_components(&g);
+        assert_eq!(cc.count(), 3);
+        assert!(cc.same_component(NodeId::new(0), NodeId::new(2)));
+        assert!(!cc.same_component(NodeId::new(0), NodeId::new(3)));
+        assert_eq!(cc.largest(), 3);
+        let sizes = cc.sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 6);
+        let members = cc.members(cc.label(NodeId::new(3)));
+        assert_eq!(members.len(), 2);
+        assert!(members.contains(&NodeId::new(4)));
+    }
+
+    #[test]
+    fn components_of_empty_graph() {
+        let cc = connected_components(&Graph::new(0));
+        assert_eq!(cc.count(), 0);
+        assert_eq!(cc.largest(), 0);
+        let isolated = connected_components(&Graph::new(4));
+        assert_eq!(isolated.count(), 4);
+    }
+
+    #[test]
+    fn path_graph_interior_vertices_are_articulation_points() {
+        let g = generate::path(5);
+        let cuts = articulation_points(&g);
+        assert_eq!(cuts, vec![NodeId::new(1), NodeId::new(2), NodeId::new(3)]);
+    }
+
+    #[test]
+    fn cycle_and_complete_graphs_have_no_articulation_points() {
+        assert!(articulation_points(&generate::cycle(8)).is_empty());
+        assert!(articulation_points(&generate::complete(6)).is_empty());
+    }
+
+    #[test]
+    fn barbell_center_is_an_articulation_point() {
+        // Two triangles joined through vertex 2 (= vertex 3 merged): build
+        // explicitly — triangle {0,1,2} and triangle {2,3,4}.
+        let g = Graph::from_unit_edges(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)])
+            .unwrap();
+        let cuts = articulation_points(&g);
+        assert_eq!(cuts, vec![NodeId::new(2)]);
+    }
+
+    #[test]
+    fn articulation_points_of_disconnected_graph() {
+        let g = Graph::from_unit_edges(7, [(0, 1), (1, 2), (3, 4), (4, 5), (5, 3), (5, 6)])
+            .unwrap();
+        let cuts = articulation_points(&g);
+        assert!(cuts.contains(&NodeId::new(1)));
+        assert!(cuts.contains(&NodeId::new(5)));
+        assert_eq!(cuts.len(), 2);
+    }
+
+    #[test]
+    fn local_connectivity_on_cycle_is_two() {
+        let g = generate::cycle(7);
+        let c = local_vertex_connectivity(&g, NodeId::new(0), NodeId::new(3)).unwrap();
+        assert_eq!(c, 2);
+    }
+
+    #[test]
+    fn local_connectivity_counts_the_direct_edge() {
+        let g = generate::complete(5);
+        // Adjacent vertices in K5: 1 direct edge + 3 internally disjoint
+        // two-hop paths.
+        let c = local_vertex_connectivity(&g, NodeId::new(0), NodeId::new(1)).unwrap();
+        assert_eq!(c, 4);
+    }
+
+    #[test]
+    fn local_connectivity_through_a_single_cut_vertex_is_one() {
+        let g = Graph::from_unit_edges(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)])
+            .unwrap();
+        let c = local_vertex_connectivity(&g, NodeId::new(0), NodeId::new(4)).unwrap();
+        assert_eq!(c, 1);
+    }
+
+    #[test]
+    fn local_connectivity_validates_arguments() {
+        let g = generate::cycle(4);
+        assert!(local_vertex_connectivity(&g, NodeId::new(0), NodeId::new(9)).is_err());
+        assert!(local_vertex_connectivity(&g, NodeId::new(1), NodeId::new(1)).is_err());
+    }
+
+    #[test]
+    fn vertex_connectivity_of_standard_graphs() {
+        assert_eq!(vertex_connectivity(&generate::path(6)), 1);
+        assert_eq!(vertex_connectivity(&generate::cycle(6)), 2);
+        assert_eq!(vertex_connectivity(&generate::complete(5)), 4);
+        assert_eq!(vertex_connectivity(&generate::complete_bipartite(3, 5)), 3);
+        assert_eq!(vertex_connectivity(&generate::hypercube(3)), 3);
+        // Disconnected and trivial graphs.
+        assert_eq!(vertex_connectivity(&Graph::new(1)), 0);
+        assert_eq!(
+            vertex_connectivity(&Graph::from_unit_edges(4, [(0, 1), (2, 3)]).unwrap()),
+            0
+        );
+    }
+
+    #[test]
+    fn vertex_connectivity_matches_articulation_points() {
+        for seed in 0..8u64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let g = generate::connected_gnp(16, 0.2, generate::WeightKind::Unit, &mut rng);
+            let kappa = vertex_connectivity(&g);
+            let has_cut_vertex = !articulation_points(&g).is_empty();
+            if has_cut_vertex {
+                assert_eq!(kappa, 1, "graph with an articulation point has connectivity 1");
+            } else {
+                assert!(kappa >= 2, "biconnected graph must have connectivity >= 2");
+            }
+        }
+    }
+
+    #[test]
+    fn component_labels_are_dense() {
+        let g = Graph::from_unit_edges(5, [(4, 3)]).unwrap();
+        let cc = connected_components(&g);
+        for v in g.nodes() {
+            assert!(cc.label(v) < cc.count());
+        }
+    }
+}

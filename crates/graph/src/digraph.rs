@@ -1,0 +1,541 @@
+//! Directed graphs with arc costs, the setting of the minimum-cost
+//! `r`-fault-tolerant 2-spanner problem (Section 3 of the paper).
+
+use crate::{ArcId, EdgeId, EdgeSet, GraphError, NodeId, Result};
+use std::fmt;
+
+/// A directed arc `tail -> head` with a non-negative cost.
+///
+/// In the 2-spanner setting of the paper all arcs have unit *length*; the
+/// `cost` field is the objective coefficient `c_e` of the minimum-cost
+/// problem.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Arc {
+    /// The source of the arc.
+    pub tail: NodeId,
+    /// The target of the arc.
+    pub head: NodeId,
+    /// Cost `c_e >= 0` of including this arc in the spanner.
+    pub cost: f64,
+}
+
+/// A simple directed graph with non-negative arc costs.
+///
+/// Vertices are dense indices `0..n`; arcs are stored in an arc list indexed
+/// by [`ArcId`] and mirrored in out- and in-adjacency lists. Antiparallel
+/// arcs (`u -> v` and `v -> u`) may coexist, but parallel arcs and self-loops
+/// are rejected.
+///
+/// # Example
+///
+/// ```
+/// use ftspan_graph::{DiGraph, NodeId};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut g = DiGraph::new(3);
+/// g.add_arc(NodeId::new(0), NodeId::new(1), 1.0)?;
+/// g.add_arc(NodeId::new(1), NodeId::new(2), 1.0)?;
+/// g.add_arc(NodeId::new(0), NodeId::new(2), 5.0)?;
+/// // 0 -> 2 has one length-2 path through vertex 1.
+/// let mids: Vec<_> = g.two_path_midpoints(NodeId::new(0), NodeId::new(2)).collect();
+/// assert_eq!(mids, vec![NodeId::new(1)]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DiGraph {
+    arcs: Vec<Arc>,
+    out_adj: Vec<Vec<(NodeId, ArcId)>>,
+    in_adj: Vec<Vec<(NodeId, ArcId)>>,
+}
+
+impl DiGraph {
+    /// Creates a directed graph with `n` vertices and no arcs.
+    pub fn new(n: usize) -> Self {
+        DiGraph {
+            arcs: Vec::new(),
+            out_adj: vec![Vec::new(); n],
+            in_adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Creates a directed graph with `n` vertices from `(tail, head, cost)`
+    /// triples.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error under the same conditions as [`DiGraph::add_arc`].
+    pub fn from_arcs<I>(n: usize, arcs: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = (usize, usize, f64)>,
+    {
+        let mut g = DiGraph::new(n);
+        for (u, v, c) in arcs {
+            g.add_arc(NodeId::new(u), NodeId::new(v), c)?;
+        }
+        Ok(g)
+    }
+
+    /// Creates a unit-cost directed graph from `(tail, head)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error under the same conditions as [`DiGraph::add_arc`].
+    pub fn from_unit_arcs<I>(n: usize, arcs: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = (usize, usize)>,
+    {
+        Self::from_arcs(n, arcs.into_iter().map(|(u, v)| (u, v, 1.0)))
+    }
+
+    /// Builds the symmetric directed version of an undirected graph: each
+    /// undirected edge becomes two antiparallel unit-cost arcs.
+    pub fn from_graph(g: &crate::Graph) -> DiGraph {
+        let mut d = DiGraph::new(g.node_count());
+        for (_, e) in g.edges() {
+            d.add_arc(e.u, e.v, 1.0).expect("edges of a valid graph are valid arcs");
+            d.add_arc(e.v, e.u, 1.0).expect("edges of a valid graph are valid arcs");
+        }
+        d
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.out_adj.len()
+    }
+
+    /// Number of arcs.
+    #[inline]
+    pub fn arc_count(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Returns `true` if the graph has no vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.out_adj.is_empty()
+    }
+
+    /// Iterator over all vertex identifiers.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count()).map(NodeId::new)
+    }
+
+    /// Iterator over `(ArcId, &Arc)` pairs.
+    pub fn arcs(&self) -> impl Iterator<Item = (ArcId, &Arc)> + '_ {
+        self.arcs.iter().enumerate().map(|(i, a)| (ArcId::new(i), a))
+    }
+
+    /// Returns the arc with the given identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of bounds.
+    #[inline]
+    pub fn arc(&self, a: ArcId) -> &Arc {
+        &self.arcs[a.index()]
+    }
+
+    /// Total cost of all arcs.
+    pub fn total_cost(&self) -> f64 {
+        self.arcs.iter().map(|a| a.cost).sum()
+    }
+
+    /// Adds an arc `tail -> head` with the given cost and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::NodeOutOfBounds`] if either endpoint is `>= n`.
+    /// * [`GraphError::SelfLoop`] if `tail == head`.
+    /// * [`GraphError::InvalidWeight`] if `cost` is negative or not finite.
+    /// * [`GraphError::InvalidParameter`] if the arc already exists.
+    pub fn add_arc(&mut self, tail: NodeId, head: NodeId, cost: f64) -> Result<ArcId> {
+        let n = self.node_count();
+        for x in [tail, head] {
+            if x.index() >= n {
+                return Err(GraphError::NodeOutOfBounds { node: x.index(), len: n });
+            }
+        }
+        if tail == head {
+            return Err(GraphError::SelfLoop { node: tail.index() });
+        }
+        if !(cost.is_finite() && cost >= 0.0) {
+            return Err(GraphError::InvalidWeight { weight: cost });
+        }
+        if self.find_arc(tail, head).is_some() {
+            return Err(GraphError::InvalidParameter {
+                message: format!("arc ({tail}, {head}) already exists"),
+            });
+        }
+        let id = ArcId::new(self.arcs.len());
+        self.arcs.push(Arc { tail, head, cost });
+        self.out_adj[tail.index()].push((head, id));
+        self.in_adj[head.index()].push((tail, id));
+        Ok(id)
+    }
+
+    /// Returns the identifier of the arc `tail -> head`, if present.
+    pub fn find_arc(&self, tail: NodeId, head: NodeId) -> Option<ArcId> {
+        if tail.index() >= self.node_count() || head.index() >= self.node_count() {
+            return None;
+        }
+        self.out_adj[tail.index()]
+            .iter()
+            .find(|(h, _)| *h == head)
+            .map(|&(_, id)| id)
+    }
+
+    /// Returns `true` if the arc `tail -> head` exists.
+    pub fn has_arc(&self, tail: NodeId, head: NodeId) -> bool {
+        self.find_arc(tail, head).is_some()
+    }
+
+    /// Out-degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    #[inline]
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.out_adj[v.index()].len()
+    }
+
+    /// In-degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.in_adj[v.index()].len()
+    }
+
+    /// Maximum of in- and out-degree over all vertices (the `Δ` of
+    /// Theorem 3.4).
+    pub fn max_degree(&self) -> usize {
+        let out = self.out_adj.iter().map(Vec::len).max().unwrap_or(0);
+        let inn = self.in_adj.iter().map(Vec::len).max().unwrap_or(0);
+        out.max(inn)
+    }
+
+    /// Iterator over the out-neighbors of `v` (the `N+(v)` of the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn out_neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.out_adj[v.index()].iter().map(|&(u, _)| u)
+    }
+
+    /// Iterator over the in-neighbors of `v` (the `N−(v)` of the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn in_neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.in_adj[v.index()].iter().map(|&(u, _)| u)
+    }
+
+    /// Iterator over `(head, arc id)` pairs leaving `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn out_incident(&self, v: NodeId) -> impl Iterator<Item = (NodeId, ArcId)> + '_ {
+        self.out_adj[v.index()].iter().copied()
+    }
+
+    /// Iterator over `(tail, arc id)` pairs entering `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn in_incident(&self, v: NodeId) -> impl Iterator<Item = (NodeId, ArcId)> + '_ {
+        self.in_adj[v.index()].iter().copied()
+    }
+
+    /// Iterator over the midpoints `w` of directed length-2 paths
+    /// `u -> w -> v` in this graph (the path set `P_{u,v}` of the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of bounds.
+    pub fn two_path_midpoints<'a>(
+        &'a self,
+        u: NodeId,
+        v: NodeId,
+    ) -> impl Iterator<Item = NodeId> + 'a {
+        self.out_neighbors(u).filter(move |&w| w != v && self.has_arc(w, v))
+    }
+
+    /// Returns an [`ArcSet`] containing every arc of this graph.
+    pub fn full_arc_set(&self) -> ArcSet {
+        let mut s = ArcSet::new(self.arc_count());
+        for i in 0..self.arc_count() {
+            s.insert(ArcId::new(i));
+        }
+        s
+    }
+
+    /// Returns an empty [`ArcSet`] sized for this graph.
+    pub fn empty_arc_set(&self) -> ArcSet {
+        ArcSet::new(self.arc_count())
+    }
+
+    /// Total cost of the arcs in `arcs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::MismatchedEdgeSet`] if `arcs` was built for a
+    /// different arc count.
+    pub fn arc_set_cost(&self, arcs: &ArcSet) -> Result<f64> {
+        if arcs.capacity() != self.arc_count() {
+            return Err(GraphError::MismatchedEdgeSet {
+                set_len: arcs.capacity(),
+                graph_len: self.arc_count(),
+            });
+        }
+        Ok(arcs.iter().map(|a| self.arc(a).cost).sum())
+    }
+
+    /// Builds the sub-digraph containing only the arcs in `arcs`, on the same
+    /// vertex set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::MismatchedEdgeSet`] if `arcs` was built for a
+    /// different arc count.
+    pub fn subgraph(&self, arcs: &ArcSet) -> Result<DiGraph> {
+        if arcs.capacity() != self.arc_count() {
+            return Err(GraphError::MismatchedEdgeSet {
+                set_len: arcs.capacity(),
+                graph_len: self.arc_count(),
+            });
+        }
+        let mut g = DiGraph::new(self.node_count());
+        for id in arcs.iter() {
+            let a = self.arc(id);
+            g.add_arc(a.tail, a.head, a.cost)?;
+        }
+        Ok(g)
+    }
+
+    /// Builds the sub-digraph that survives after removing the vertices in
+    /// `faults` (vertex identifiers are preserved).
+    pub fn remove_vertices(&self, faults: &[NodeId]) -> DiGraph {
+        let mut dead = vec![false; self.node_count()];
+        for &f in faults {
+            if f.index() < dead.len() {
+                dead[f.index()] = true;
+            }
+        }
+        let mut g = DiGraph::new(self.node_count());
+        for a in &self.arcs {
+            if !dead[a.tail.index()] && !dead[a.head.index()] {
+                g.add_arc(a.tail, a.head, a.cost)
+                    .expect("arcs of a valid digraph remain valid");
+            }
+        }
+        g
+    }
+}
+
+/// A subset of the arcs of a parent [`DiGraph`], stored as a bitset over
+/// dense arc identifiers.
+///
+/// This mirrors [`EdgeSet`] for directed graphs; 2-spanner solutions are
+/// represented this way.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct ArcSet {
+    inner: EdgeSet,
+}
+
+impl ArcSet {
+    /// Creates an empty arc set able to hold arcs `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        ArcSet { inner: EdgeSet::new(capacity) }
+    }
+
+    /// The number of arc slots (`m` of the parent digraph).
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity()
+    }
+
+    /// Number of arcs currently in the set.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Returns `true` if the set contains no arcs.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Returns `true` if arc `a` is in the set.
+    pub fn contains(&self, a: ArcId) -> bool {
+        self.inner.contains(EdgeId::new(a.index()))
+    }
+
+    /// Inserts arc `a`; returns `true` if it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is outside the capacity of the set.
+    pub fn insert(&mut self, a: ArcId) -> bool {
+        self.inner.insert(EdgeId::new(a.index()))
+    }
+
+    /// Removes arc `a`; returns `true` if it was present.
+    pub fn remove(&mut self, a: ArcId) -> bool {
+        self.inner.remove(EdgeId::new(a.index()))
+    }
+
+    /// Adds every arc of `other` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sets have different capacities.
+    pub fn union_with(&mut self, other: &ArcSet) {
+        self.inner.union_with(&other.inner);
+    }
+
+    /// Returns `true` if every arc of `self` is also in `other`.
+    pub fn is_subset_of(&self, other: &ArcSet) -> bool {
+        self.inner.is_subset_of(&other.inner)
+    }
+
+    /// Iterator over the arc identifiers in the set, in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = ArcId> + '_ {
+        self.inner.iter().map(|e| ArcId::new(e.index()))
+    }
+}
+
+impl fmt::Debug for ArcSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ArcSet")
+            .field("capacity", &self.capacity())
+            .field("len", &self.len())
+            .field("arcs", &self.iter().map(|a| a.index()).collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl Extend<ArcId> for ArcSet {
+    fn extend<T: IntoIterator<Item = ArcId>>(&mut self, iter: T) {
+        for a in iter {
+            self.insert(a);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    fn triangle() -> DiGraph {
+        DiGraph::from_unit_arcs(3, [(0, 1), (1, 2), (0, 2), (2, 0)]).unwrap()
+    }
+
+    #[test]
+    fn construction_and_counts() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.arc_count(), 4);
+        assert_eq!(g.out_degree(NodeId::new(0)), 2);
+        assert_eq!(g.in_degree(NodeId::new(2)), 2);
+        assert_eq!(g.max_degree(), 2);
+        assert!(g.has_arc(NodeId::new(0), NodeId::new(1)));
+        assert!(!g.has_arc(NodeId::new(1), NodeId::new(0)));
+    }
+
+    #[test]
+    fn add_arc_rejects_bad_input() {
+        let mut g = DiGraph::new(2);
+        assert!(matches!(
+            g.add_arc(NodeId::new(0), NodeId::new(9), 1.0),
+            Err(GraphError::NodeOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            g.add_arc(NodeId::new(0), NodeId::new(0), 1.0),
+            Err(GraphError::SelfLoop { .. })
+        ));
+        assert!(matches!(
+            g.add_arc(NodeId::new(0), NodeId::new(1), f64::INFINITY),
+            Err(GraphError::InvalidWeight { .. })
+        ));
+        g.add_arc(NodeId::new(0), NodeId::new(1), 1.0).unwrap();
+        assert!(matches!(
+            g.add_arc(NodeId::new(0), NodeId::new(1), 2.0),
+            Err(GraphError::InvalidParameter { .. })
+        ));
+        // Antiparallel arc is allowed.
+        assert!(g.add_arc(NodeId::new(1), NodeId::new(0), 2.0).is_ok());
+    }
+
+    #[test]
+    fn two_path_midpoints() {
+        let g = triangle();
+        let mids: Vec<_> = g.two_path_midpoints(NodeId::new(0), NodeId::new(2)).collect();
+        assert_eq!(mids, vec![NodeId::new(1)]);
+        // 0 -> 1 has no length-2 path: the only candidate midpoint 2 has no
+        // arc into 1.
+        let none: Vec<_> = g.two_path_midpoints(NodeId::new(0), NodeId::new(1)).collect();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn from_graph_symmetrizes() {
+        let ug = Graph::from_unit_edges(3, [(0, 1), (1, 2)]).unwrap();
+        let dg = DiGraph::from_graph(&ug);
+        assert_eq!(dg.arc_count(), 4);
+        assert!(dg.has_arc(NodeId::new(0), NodeId::new(1)));
+        assert!(dg.has_arc(NodeId::new(1), NodeId::new(0)));
+    }
+
+    #[test]
+    fn arc_set_operations() {
+        let g = triangle();
+        let full = g.full_arc_set();
+        assert_eq!(full.len(), 4);
+        let mut s = g.empty_arc_set();
+        s.insert(ArcId::new(0));
+        s.insert(ArcId::new(2));
+        assert!(s.is_subset_of(&full));
+        assert_eq!(g.arc_set_cost(&s).unwrap(), 2.0);
+        let sub = g.subgraph(&s).unwrap();
+        assert_eq!(sub.arc_count(), 2);
+        let mut t = g.empty_arc_set();
+        t.insert(ArcId::new(1));
+        s.union_with(&t);
+        assert_eq!(s.len(), 3);
+        let ids: Vec<usize> = s.iter().map(|a| a.index()).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn arc_set_capacity_mismatch() {
+        let g = triangle();
+        let wrong = ArcSet::new(99);
+        assert!(g.arc_set_cost(&wrong).is_err());
+        assert!(g.subgraph(&wrong).is_err());
+    }
+
+    #[test]
+    fn remove_vertices_digraph() {
+        let g = triangle();
+        let h = g.remove_vertices(&[NodeId::new(1)]);
+        assert_eq!(h.node_count(), 3);
+        assert_eq!(h.arc_count(), 2); // 0->2 and 2->0 survive
+        assert!(h.has_arc(NodeId::new(0), NodeId::new(2)));
+        assert!(!h.has_arc(NodeId::new(0), NodeId::new(1)));
+    }
+
+    #[test]
+    fn total_cost() {
+        let g = DiGraph::from_arcs(3, [(0, 1, 2.0), (1, 2, 3.0)]).unwrap();
+        assert_eq!(g.total_cost(), 5.0);
+        assert_eq!(g.arc(ArcId::new(1)).cost, 3.0);
+    }
+}

@@ -1,0 +1,518 @@
+//! Undirected weighted graphs.
+
+use crate::{EdgeId, EdgeSet, GraphError, NodeId, Result};
+
+/// An undirected edge with a non-negative length.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// One endpoint (the smaller index by construction).
+    pub u: NodeId,
+    /// The other endpoint.
+    pub v: NodeId,
+    /// Length of the edge (`>= 0`, finite).
+    pub weight: f64,
+}
+
+impl Edge {
+    /// Returns the endpoint of the edge that is not `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not an endpoint of this edge.
+    pub fn other(&self, x: NodeId) -> NodeId {
+        if x == self.u {
+            self.v
+        } else if x == self.v {
+            self.u
+        } else {
+            panic!("vertex {x:?} is not an endpoint of edge {self:?}");
+        }
+    }
+
+    /// Returns `true` if `x` is an endpoint of this edge.
+    pub fn is_incident(&self, x: NodeId) -> bool {
+        x == self.u || x == self.v
+    }
+}
+
+/// An undirected graph with non-negative edge lengths.
+///
+/// Vertices are dense indices `0..n`; edges are stored once in an edge list
+/// indexed by [`EdgeId`] and mirrored in per-vertex adjacency lists. The graph
+/// is simple: no self-loops, and parallel edges are rejected by
+/// [`Graph::add_edge`].
+///
+/// This is the input type of the conversion theorem (Theorem 2.1 of the
+/// paper) and of all classic spanner constructions in `ftspan-spanners`.
+///
+/// # Example
+///
+/// ```
+/// use ftspan_graph::{Graph, NodeId};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut g = Graph::new(4);
+/// g.add_edge(NodeId::new(0), NodeId::new(1), 1.0)?;
+/// g.add_edge(NodeId::new(1), NodeId::new(2), 2.0)?;
+/// g.add_edge(NodeId::new(2), NodeId::new(3), 1.0)?;
+/// assert_eq!(g.node_count(), 4);
+/// assert_eq!(g.edge_count(), 3);
+/// assert_eq!(g.degree(NodeId::new(1)), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Graph {
+    edges: Vec<Edge>,
+    /// adjacency: for each vertex, (neighbor, edge id)
+    adj: Vec<Vec<(NodeId, EdgeId)>>,
+}
+
+impl Graph {
+    /// Creates a graph with `n` vertices and no edges.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            edges: Vec::new(),
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Creates a graph with `n` vertices from an iterator of
+    /// `(u, v, weight)` triples.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any endpoint is out of bounds, any weight is
+    /// negative or not finite, any edge is a self-loop, or an edge appears
+    /// twice.
+    pub fn from_edges<I>(n: usize, edges: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = (usize, usize, f64)>,
+    {
+        let mut g = Graph::new(n);
+        for (u, v, w) in edges {
+            g.add_edge(NodeId::new(u), NodeId::new(v), w)?;
+        }
+        Ok(g)
+    }
+
+    /// Creates a unit-weight graph with `n` vertices from `(u, v)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Graph::from_edges`].
+    pub fn from_unit_edges<I>(n: usize, edges: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = (usize, usize)>,
+    {
+        Self::from_edges(n, edges.into_iter().map(|(u, v)| (u, v, 1.0)))
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` if the graph has no vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Iterator over all vertex identifiers `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count()).map(NodeId::new)
+    }
+
+    /// Iterator over `(EdgeId, &Edge)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, &Edge)> + '_ {
+        self.edges.iter().enumerate().map(|(i, e)| (EdgeId::new(i), e))
+    }
+
+    /// Returns the edge with the given identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of bounds.
+    #[inline]
+    pub fn edge(&self, e: EdgeId) -> &Edge {
+        &self.edges[e.index()]
+    }
+
+    /// Returns the edge with the given identifier, or `None` if out of bounds.
+    pub fn get_edge(&self, e: EdgeId) -> Option<&Edge> {
+        self.edges.get(e.index())
+    }
+
+    /// Total weight of all edges.
+    pub fn total_weight(&self) -> f64 {
+        self.edges.iter().map(|e| e.weight).sum()
+    }
+
+    /// Adds an undirected edge of length `weight` between `u` and `v`.
+    ///
+    /// Returns the identifier of the new edge.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::NodeOutOfBounds`] if either endpoint is `>= n`.
+    /// * [`GraphError::SelfLoop`] if `u == v`.
+    /// * [`GraphError::InvalidWeight`] if `weight` is negative or not finite.
+    /// * [`GraphError::InvalidParameter`] if the edge already exists.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, weight: f64) -> Result<EdgeId> {
+        let n = self.node_count();
+        for x in [u, v] {
+            if x.index() >= n {
+                return Err(GraphError::NodeOutOfBounds { node: x.index(), len: n });
+            }
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u.index() });
+        }
+        if !(weight.is_finite() && weight >= 0.0) {
+            return Err(GraphError::InvalidWeight { weight });
+        }
+        if self.find_edge(u, v).is_some() {
+            return Err(GraphError::InvalidParameter {
+                message: format!("edge ({}, {}) already exists", u, v),
+            });
+        }
+        let (a, b) = if u <= v { (u, v) } else { (v, u) };
+        let id = EdgeId::new(self.edges.len());
+        self.edges.push(Edge { u: a, v: b, weight });
+        self.adj[u.index()].push((v, id));
+        self.adj[v.index()].push((u, id));
+        Ok(id)
+    }
+
+    /// Returns the identifier of the edge between `u` and `v`, if present.
+    pub fn find_edge(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        if u.index() >= self.node_count() || v.index() >= self.node_count() {
+            return None;
+        }
+        // Scan the smaller adjacency list.
+        let (a, b) = if self.adj[u.index()].len() <= self.adj[v.index()].len() {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.adj[a.index()]
+            .iter()
+            .find(|(nbr, _)| *nbr == b)
+            .map(|&(_, id)| id)
+    }
+
+    /// Returns `true` if an edge between `u` and `v` exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.find_edge(u, v).is_some()
+    }
+
+    /// Degree of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v.index()].len()
+    }
+
+    /// Maximum degree over all vertices (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Iterator over the neighbors of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.adj[v.index()].iter().map(|&(nbr, _)| nbr)
+    }
+
+    /// Iterator over `(neighbor, edge id)` pairs incident to `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn incident(&self, v: NodeId) -> impl Iterator<Item = (NodeId, EdgeId)> + '_ {
+        self.adj[v.index()].iter().copied()
+    }
+
+    /// Returns an [`EdgeSet`] containing every edge of this graph.
+    pub fn full_edge_set(&self) -> EdgeSet {
+        let mut s = EdgeSet::new(self.edge_count());
+        for i in 0..self.edge_count() {
+            s.insert(EdgeId::new(i));
+        }
+        s
+    }
+
+    /// Returns an empty [`EdgeSet`] sized for this graph.
+    pub fn empty_edge_set(&self) -> EdgeSet {
+        EdgeSet::new(self.edge_count())
+    }
+
+    /// Builds the subgraph induced by keeping only the edges in `edges` and
+    /// only the vertices for which `alive` returns `true`.
+    ///
+    /// The returned graph has the same vertex set (dead vertices become
+    /// isolated), which keeps vertex identifiers stable — this is what the
+    /// fault-tolerance machinery relies on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::MismatchedEdgeSet`] if `edges` was built for a
+    /// different edge count.
+    pub fn restricted_subgraph<F>(&self, edges: &EdgeSet, alive: F) -> Result<Graph>
+    where
+        F: Fn(NodeId) -> bool,
+    {
+        if edges.capacity() != self.edge_count() {
+            return Err(GraphError::MismatchedEdgeSet {
+                set_len: edges.capacity(),
+                graph_len: self.edge_count(),
+            });
+        }
+        let mut g = Graph::new(self.node_count());
+        for (id, e) in self.edges() {
+            if edges.contains(id) && alive(e.u) && alive(e.v) {
+                g.add_edge(e.u, e.v, e.weight)?;
+            }
+        }
+        Ok(g)
+    }
+
+    /// Builds the subgraph of this graph that survives after removing the
+    /// vertices in `faults` (vertex identifiers are preserved; removed
+    /// vertices become isolated).
+    pub fn remove_vertices(&self, faults: &[NodeId]) -> Graph {
+        let mut dead = vec![false; self.node_count()];
+        for &f in faults {
+            if f.index() < dead.len() {
+                dead[f.index()] = true;
+            }
+        }
+        let full = self.full_edge_set();
+        self.restricted_subgraph(&full, |v| !dead[v.index()])
+            .expect("full edge set always matches the graph")
+    }
+
+    /// Materializes the spanner described by `edges` as a standalone graph on
+    /// the same vertex set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::MismatchedEdgeSet`] if `edges` was built for a
+    /// different edge count.
+    pub fn subgraph(&self, edges: &EdgeSet) -> Result<Graph> {
+        self.restricted_subgraph(edges, |_| true)
+    }
+
+    /// Sum of the weights of the edges in `edges`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::MismatchedEdgeSet`] if `edges` was built for a
+    /// different edge count.
+    pub fn edge_set_weight(&self, edges: &EdgeSet) -> Result<f64> {
+        if edges.capacity() != self.edge_count() {
+            return Err(GraphError::MismatchedEdgeSet {
+                set_len: edges.capacity(),
+                graph_len: self.edge_count(),
+            });
+        }
+        Ok(edges.iter().map(|id| self.edge(id).weight).sum())
+    }
+
+    /// Returns `true` if every vertex can reach every other vertex.
+    ///
+    /// The empty graph and single-vertex graph are considered connected.
+    pub fn is_connected(&self) -> bool {
+        let n = self.node_count();
+        if n <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![NodeId::new(0)];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            for u in self.neighbors(v) {
+                if !seen[u.index()] {
+                    seen[u.index()] = true;
+                    count += 1;
+                    stack.push(u);
+                }
+            }
+        }
+        count == n
+    }
+
+    /// Returns `true` if every edge has weight exactly 1.
+    pub fn is_unit_weight(&self) -> bool {
+        self.edges.iter().all(|e| e.weight == 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> Graph {
+        Graph::from_unit_edges(n, (0..n - 1).map(|i| (i, i + 1))).unwrap()
+    }
+
+    #[test]
+    fn new_graph_is_empty() {
+        let g = Graph::new(5);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 0);
+        assert!(!g.is_empty());
+        assert!(Graph::new(0).is_empty());
+    }
+
+    #[test]
+    fn add_edge_and_lookup() {
+        let mut g = Graph::new(3);
+        let e = g.add_edge(NodeId::new(2), NodeId::new(0), 2.5).unwrap();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.edge(e).weight, 2.5);
+        // Stored with u <= v.
+        assert_eq!(g.edge(e).u, NodeId::new(0));
+        assert_eq!(g.edge(e).v, NodeId::new(2));
+        assert_eq!(g.find_edge(NodeId::new(0), NodeId::new(2)), Some(e));
+        assert_eq!(g.find_edge(NodeId::new(2), NodeId::new(0)), Some(e));
+        assert!(g.find_edge(NodeId::new(0), NodeId::new(1)).is_none());
+    }
+
+    #[test]
+    fn add_edge_rejects_bad_input() {
+        let mut g = Graph::new(3);
+        assert!(matches!(
+            g.add_edge(NodeId::new(0), NodeId::new(5), 1.0),
+            Err(GraphError::NodeOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            g.add_edge(NodeId::new(1), NodeId::new(1), 1.0),
+            Err(GraphError::SelfLoop { .. })
+        ));
+        assert!(matches!(
+            g.add_edge(NodeId::new(0), NodeId::new(1), -1.0),
+            Err(GraphError::InvalidWeight { .. })
+        ));
+        assert!(matches!(
+            g.add_edge(NodeId::new(0), NodeId::new(1), f64::NAN),
+            Err(GraphError::InvalidWeight { .. })
+        ));
+        g.add_edge(NodeId::new(0), NodeId::new(1), 1.0).unwrap();
+        assert!(matches!(
+            g.add_edge(NodeId::new(1), NodeId::new(0), 2.0),
+            Err(GraphError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn degrees_and_neighbors() {
+        let g = path_graph(4);
+        assert_eq!(g.degree(NodeId::new(0)), 1);
+        assert_eq!(g.degree(NodeId::new(1)), 2);
+        assert_eq!(g.max_degree(), 2);
+        let nbrs: Vec<_> = g.neighbors(NodeId::new(1)).collect();
+        assert!(nbrs.contains(&NodeId::new(0)));
+        assert!(nbrs.contains(&NodeId::new(2)));
+    }
+
+    #[test]
+    fn edge_other_endpoint() {
+        let g = path_graph(3);
+        let (_, e) = g.edges().next().unwrap();
+        assert_eq!(e.other(NodeId::new(0)), NodeId::new(1));
+        assert_eq!(e.other(NodeId::new(1)), NodeId::new(0));
+        assert!(e.is_incident(NodeId::new(0)));
+        assert!(!e.is_incident(NodeId::new(2)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn edge_other_panics_for_non_endpoint() {
+        let g = path_graph(3);
+        let (_, e) = g.edges().next().unwrap();
+        let _ = e.other(NodeId::new(2));
+    }
+
+    #[test]
+    fn remove_vertices_keeps_ids_stable() {
+        let g = path_graph(5);
+        let h = g.remove_vertices(&[NodeId::new(2)]);
+        assert_eq!(h.node_count(), 5);
+        assert_eq!(h.edge_count(), 2); // edges (0,1) and (3,4) survive
+        assert!(h.has_edge(NodeId::new(0), NodeId::new(1)));
+        assert!(h.has_edge(NodeId::new(3), NodeId::new(4)));
+        assert!(!h.has_edge(NodeId::new(1), NodeId::new(2)));
+    }
+
+    #[test]
+    fn subgraph_from_edge_set() {
+        let g = path_graph(4);
+        let mut s = g.empty_edge_set();
+        s.insert(EdgeId::new(0));
+        s.insert(EdgeId::new(2));
+        let h = g.subgraph(&s).unwrap();
+        assert_eq!(h.edge_count(), 2);
+        assert!(h.has_edge(NodeId::new(0), NodeId::new(1)));
+        assert!(!h.has_edge(NodeId::new(1), NodeId::new(2)));
+    }
+
+    #[test]
+    fn mismatched_edge_set_is_rejected() {
+        let g = path_graph(4);
+        let wrong = EdgeSet::new(99);
+        assert!(matches!(
+            g.subgraph(&wrong),
+            Err(GraphError::MismatchedEdgeSet { .. })
+        ));
+        assert!(matches!(
+            g.edge_set_weight(&wrong),
+            Err(GraphError::MismatchedEdgeSet { .. })
+        ));
+    }
+
+    #[test]
+    fn connectivity() {
+        let g = path_graph(6);
+        assert!(g.is_connected());
+        let h = g.remove_vertices(&[NodeId::new(3)]);
+        assert!(!h.is_connected());
+        assert!(Graph::new(0).is_connected());
+        assert!(Graph::new(1).is_connected());
+        assert!(!Graph::new(2).is_connected());
+    }
+
+    #[test]
+    fn weights_and_unit_check() {
+        let g = path_graph(4);
+        assert!(g.is_unit_weight());
+        assert_eq!(g.total_weight(), 3.0);
+        let full = g.full_edge_set();
+        assert_eq!(g.edge_set_weight(&full).unwrap(), 3.0);
+        let mut g2 = Graph::new(2);
+        g2.add_edge(NodeId::new(0), NodeId::new(1), 2.0).unwrap();
+        assert!(!g2.is_unit_weight());
+    }
+
+    #[test]
+    fn full_and_empty_edge_sets() {
+        let g = path_graph(5);
+        assert_eq!(g.full_edge_set().len(), 4);
+        assert_eq!(g.empty_edge_set().len(), 0);
+    }
+}

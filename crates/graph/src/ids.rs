@@ -1,0 +1,197 @@
+//! Strongly-typed identifiers for vertices, undirected edges and directed arcs.
+
+use std::fmt;
+
+/// Identifier of a vertex in a [`Graph`](crate::Graph) or
+/// [`DiGraph`](crate::DiGraph).
+///
+/// Node identifiers are dense indices `0..n`; they are a thin newtype over
+/// `u32` so that vertex indices, edge indices and plain counters cannot be
+/// mixed up (C-NEWTYPE).
+///
+/// ```
+/// use ftspan_graph::NodeId;
+/// let v = NodeId::new(3);
+/// assert_eq!(v.index(), 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node identifier from a dense index.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        NodeId(index as u32)
+    }
+
+    /// Returns the dense index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(index: usize) -> Self {
+        NodeId::new(index)
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(id: NodeId) -> usize {
+        id.index()
+    }
+}
+
+/// Identifier of an undirected edge in a [`Graph`](crate::Graph).
+///
+/// Edge identifiers are dense indices `0..m` into the parent graph's edge
+/// list, which makes [`EdgeSet`](crate::EdgeSet) a simple bitset.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct EdgeId(u32);
+
+impl EdgeId {
+    /// Creates an edge identifier from a dense index.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        EdgeId(index as u32)
+    }
+
+    /// Returns the dense index of this edge.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<usize> for EdgeId {
+    fn from(index: usize) -> Self {
+        EdgeId::new(index)
+    }
+}
+
+impl From<EdgeId> for usize {
+    fn from(id: EdgeId) -> usize {
+        id.index()
+    }
+}
+
+/// Identifier of a directed arc in a [`DiGraph`](crate::DiGraph).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ArcId(u32);
+
+impl ArcId {
+    /// Creates an arc identifier from a dense index.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        ArcId(index as u32)
+    }
+
+    /// Returns the dense index of this arc.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ArcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+impl fmt::Display for ArcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<usize> for ArcId {
+    fn from(index: usize) -> Self {
+        ArcId::new(index)
+    }
+}
+
+impl From<ArcId> for usize {
+    fn from(id: ArcId) -> usize {
+        id.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn node_id_roundtrip() {
+        for i in [0usize, 1, 17, 100_000] {
+            let v = NodeId::new(i);
+            assert_eq!(v.index(), i);
+            assert_eq!(usize::from(v), i);
+            assert_eq!(NodeId::from(i), v);
+        }
+    }
+
+    #[test]
+    fn edge_id_roundtrip() {
+        for i in [0usize, 5, 4096] {
+            let e = EdgeId::new(i);
+            assert_eq!(e.index(), i);
+            assert_eq!(usize::from(e), i);
+            assert_eq!(EdgeId::from(i), e);
+        }
+    }
+
+    #[test]
+    fn arc_id_roundtrip() {
+        for i in [0usize, 9, 333] {
+            let a = ArcId::new(i);
+            assert_eq!(a.index(), i);
+            assert_eq!(ArcId::from(i), a);
+        }
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        let mut set = HashSet::new();
+        set.insert(NodeId::new(1));
+        set.insert(NodeId::new(2));
+        set.insert(NodeId::new(1));
+        assert_eq!(set.len(), 2);
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert!(EdgeId::new(0) < EdgeId::new(10));
+    }
+
+    #[test]
+    fn debug_and_display_are_nonempty() {
+        assert_eq!(format!("{:?}", NodeId::new(4)), "v4");
+        assert_eq!(format!("{}", NodeId::new(4)), "4");
+        assert_eq!(format!("{:?}", EdgeId::new(2)), "e2");
+        assert_eq!(format!("{:?}", ArcId::new(7)), "a7");
+    }
+}

@@ -1,0 +1,337 @@
+//! Reading and writing graphs in a simple text format.
+//!
+//! The experiments generate their workloads procedurally, but downstream
+//! users of the library typically have graphs on disk (road networks,
+//! measured topologies, DIMACS-style instances). This module provides a
+//! minimal, dependency-free text format, close to the DIMACS edge-list
+//! convention:
+//!
+//! ```text
+//! # comment lines start with '#' (or 'c ' as in DIMACS)
+//! graph <n> <m>
+//! e <u> <v> <weight>
+//! ...
+//! ```
+//!
+//! and, for directed cost graphs,
+//!
+//! ```text
+//! digraph <n> <m>
+//! a <tail> <head> <cost>
+//! ...
+//! ```
+//!
+//! Vertices are 0-based indices. The writer emits exactly this format; the
+//! reader additionally tolerates missing weights (defaulting to 1) and
+//! DIMACS `p edge n m` headers.
+
+use crate::{DiGraph, Graph, GraphError, NodeId, Result};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Writes `graph` to `writer` in the text format described in the module
+/// documentation.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Io`] if the underlying writer fails.
+pub fn write_graph<W: Write>(graph: &Graph, mut writer: W) -> Result<()> {
+    writeln!(writer, "graph {} {}", graph.node_count(), graph.edge_count())?;
+    for (_, e) in graph.edges() {
+        writeln!(writer, "e {} {} {}", e.u, e.v, e.weight)?;
+    }
+    Ok(())
+}
+
+/// Writes `graph` to the file at `path`, creating or truncating it.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Io`] if the file cannot be created or written.
+pub fn save_graph<P: AsRef<Path>>(graph: &Graph, path: P) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_graph(graph, std::io::BufWriter::new(file))
+}
+
+/// Writes the directed graph `graph` to `writer`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Io`] if the underlying writer fails.
+pub fn write_digraph<W: Write>(graph: &DiGraph, mut writer: W) -> Result<()> {
+    writeln!(writer, "digraph {} {}", graph.node_count(), graph.arc_count())?;
+    for (_, a) in graph.arcs() {
+        writeln!(writer, "a {} {} {}", a.tail, a.head, a.cost)?;
+    }
+    Ok(())
+}
+
+/// Writes the directed graph `graph` to the file at `path`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Io`] if the file cannot be created or written.
+pub fn save_digraph<P: AsRef<Path>>(graph: &DiGraph, path: P) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_digraph(graph, std::io::BufWriter::new(file))
+}
+
+/// Reads an undirected graph from `reader`.
+///
+/// Accepts the format produced by [`write_graph`]; also tolerates DIMACS-style
+/// `c` comment lines, a `p edge <n> <m>` header, and edge lines with the
+/// weight omitted (interpreted as weight 1).
+///
+/// # Errors
+///
+/// * [`GraphError::Io`] if reading fails.
+/// * [`GraphError::Parse`] if a line cannot be interpreted.
+/// * Any error of [`Graph::add_edge`] (out-of-bounds endpoints, self-loops,
+///   duplicate edges, invalid weights).
+///
+/// # Example
+///
+/// ```
+/// use ftspan_graph::io;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let text = "graph 3 2\ne 0 1 1.5\ne 1 2 2.0\n";
+/// let g = io::read_graph(text.as_bytes())?;
+/// assert_eq!(g.node_count(), 3);
+/// assert_eq!(g.total_weight(), 3.5);
+/// # Ok(())
+/// # }
+/// ```
+pub fn read_graph<R: Read>(reader: R) -> Result<Graph> {
+    let parsed = parse_lines(reader, false)?;
+    let mut g = Graph::new(parsed.n);
+    for (line_no, u, v, w) in parsed.entries {
+        g.add_edge(NodeId::new(u), NodeId::new(v), w).map_err(|e| annotate(e, line_no))?;
+    }
+    Ok(g)
+}
+
+/// Reads an undirected graph from the file at `path`.
+///
+/// # Errors
+///
+/// Same conditions as [`read_graph`].
+pub fn load_graph<P: AsRef<Path>>(path: P) -> Result<Graph> {
+    let file = std::fs::File::open(path)?;
+    read_graph(BufReader::new(file))
+}
+
+/// Reads a directed cost graph from `reader` (format of [`write_digraph`]).
+///
+/// # Errors
+///
+/// Same conditions as [`read_graph`].
+pub fn read_digraph<R: Read>(reader: R) -> Result<DiGraph> {
+    let parsed = parse_lines(reader, true)?;
+    let mut g = DiGraph::new(parsed.n);
+    for (line_no, u, v, w) in parsed.entries {
+        g.add_arc(NodeId::new(u), NodeId::new(v), w).map_err(|e| annotate(e, line_no))?;
+    }
+    Ok(g)
+}
+
+/// Reads a directed cost graph from the file at `path`.
+///
+/// # Errors
+///
+/// Same conditions as [`read_graph`].
+pub fn load_digraph<P: AsRef<Path>>(path: P) -> Result<DiGraph> {
+    let file = std::fs::File::open(path)?;
+    read_digraph(BufReader::new(file))
+}
+
+struct ParsedFile {
+    n: usize,
+    entries: Vec<(usize, usize, usize, f64)>,
+}
+
+fn annotate(err: GraphError, line: usize) -> GraphError {
+    GraphError::Parse { line, message: err.to_string() }
+}
+
+fn parse_error(line: usize, message: impl Into<String>) -> GraphError {
+    GraphError::Parse { line, message: message.into() }
+}
+
+fn parse_lines<R: Read>(reader: R, directed: bool) -> Result<ParsedFile> {
+    let reader = BufReader::new(reader);
+    let mut n: Option<usize> = None;
+    let mut entries = Vec::new();
+    let expected_header = if directed { "digraph" } else { "graph" };
+    let expected_prefix = if directed { "a" } else { "e" };
+
+    for (idx, line) in reader.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with("c ") {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split_whitespace().collect();
+        match fields[0] {
+            h if h == expected_header => {
+                if fields.len() < 2 {
+                    return Err(parse_error(line_no, "header needs a vertex count"));
+                }
+                let count: usize = fields[1]
+                    .parse()
+                    .map_err(|_| parse_error(line_no, "vertex count is not an integer"))?;
+                n = Some(count);
+            }
+            "p" => {
+                // DIMACS: p edge <n> <m>
+                if fields.len() < 3 {
+                    return Err(parse_error(line_no, "dimacs header needs 'p edge n m'"));
+                }
+                let count: usize = fields[2]
+                    .parse()
+                    .map_err(|_| parse_error(line_no, "vertex count is not an integer"))?;
+                n = Some(count);
+            }
+            prefix if prefix == expected_prefix => {
+                if n.is_none() {
+                    return Err(parse_error(line_no, "edge line before the header"));
+                }
+                if fields.len() < 3 {
+                    return Err(parse_error(line_no, "edge line needs two endpoints"));
+                }
+                let u: usize = fields[1]
+                    .parse()
+                    .map_err(|_| parse_error(line_no, "endpoint is not an integer"))?;
+                let v: usize = fields[2]
+                    .parse()
+                    .map_err(|_| parse_error(line_no, "endpoint is not an integer"))?;
+                let w: f64 = if fields.len() >= 4 {
+                    fields[3]
+                        .parse()
+                        .map_err(|_| parse_error(line_no, "weight is not a number"))?
+                } else {
+                    1.0
+                };
+                entries.push((line_no, u, v, w));
+            }
+            "graph" | "digraph" => {
+                return Err(parse_error(
+                    line_no,
+                    format!("expected a '{expected_header}' header, found '{}'", fields[0]),
+                ));
+            }
+            other => {
+                return Err(parse_error(line_no, format!("unknown line prefix '{other}'")));
+            }
+        }
+    }
+    let n = n.ok_or_else(|| parse_error(0, "missing header line"))?;
+    Ok(ParsedFile { n, entries })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn graph_roundtrip_through_memory() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let g = generate::gnp(25, 0.3, generate::WeightKind::Uniform { min: 0.5, max: 2.0 }, &mut rng);
+        let mut buf = Vec::new();
+        write_graph(&g, &mut buf).unwrap();
+        let back = read_graph(buf.as_slice()).unwrap();
+        assert_eq!(back.node_count(), g.node_count());
+        assert_eq!(back.edge_count(), g.edge_count());
+        for (_, e) in g.edges() {
+            let id = back.find_edge(e.u, e.v).expect("edge survives the roundtrip");
+            assert!((back.edge(id).weight - e.weight).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn digraph_roundtrip_through_memory() {
+        let g = generate::gap_gadget(3, 50.0).unwrap();
+        let mut buf = Vec::new();
+        write_digraph(&g, &mut buf).unwrap();
+        let back = read_digraph(buf.as_slice()).unwrap();
+        assert_eq!(back.node_count(), g.node_count());
+        assert_eq!(back.arc_count(), g.arc_count());
+        assert!((back.total_cost() - g.total_cost()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn roundtrip_through_files() {
+        let dir = std::env::temp_dir().join("ftspan-io-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let gpath = dir.join("unit.graph");
+        let dpath = dir.join("unit.digraph");
+
+        let g = generate::grid(3, 3);
+        save_graph(&g, &gpath).unwrap();
+        let back = load_graph(&gpath).unwrap();
+        assert_eq!(back.edge_count(), g.edge_count());
+
+        let d = generate::complete_digraph(4);
+        save_digraph(&d, &dpath).unwrap();
+        let dback = load_digraph(&dpath).unwrap();
+        assert_eq!(dback.arc_count(), 12);
+
+        std::fs::remove_file(gpath).unwrap();
+        std::fs::remove_file(dpath).unwrap();
+    }
+
+    #[test]
+    fn reader_accepts_comments_missing_weights_and_dimacs_header() {
+        let text = "# a comment\nc another comment\np edge 4 3\ne 0 1\ne 1 2 2.5\n\ne 2 3\n";
+        let g = read_graph(text.as_bytes()).unwrap();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.total_weight(), 1.0 + 2.5 + 1.0);
+    }
+
+    #[test]
+    fn reader_rejects_malformed_input() {
+        // Edge before header.
+        assert!(matches!(
+            read_graph("e 0 1 1.0\n".as_bytes()),
+            Err(GraphError::Parse { .. })
+        ));
+        // Wrong header kind.
+        assert!(matches!(
+            read_graph("digraph 3 1\na 0 1 1.0\n".as_bytes()),
+            Err(GraphError::Parse { .. })
+        ));
+        // Garbage fields.
+        assert!(matches!(
+            read_graph("graph x 1\n".as_bytes()),
+            Err(GraphError::Parse { .. })
+        ));
+        assert!(matches!(
+            read_graph("graph 3 1\ne 0 one\n".as_bytes()),
+            Err(GraphError::Parse { .. })
+        ));
+        assert!(matches!(
+            read_graph("graph 3 1\nz 0 1\n".as_bytes()),
+            Err(GraphError::Parse { .. })
+        ));
+        // Missing header entirely.
+        assert!(matches!(read_graph("# nothing\n".as_bytes()), Err(GraphError::Parse { .. })));
+        // Structurally invalid edges are reported with their line number.
+        let err = read_graph("graph 2 1\ne 0 0 1.0\n".as_bytes()).unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected a parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn load_missing_file_reports_io_error() {
+        let missing = std::env::temp_dir().join("ftspan-io-tests-definitely-missing.graph");
+        assert!(matches!(load_graph(&missing), Err(GraphError::Io { .. })));
+        assert!(matches!(load_digraph(&missing), Err(GraphError::Io { .. })));
+    }
+}

@@ -1,0 +1,393 @@
+//! Shortest-path computations on the graph substrate.
+//!
+//! Everything the spanner constructions and verification oracles need:
+//! Dijkstra on the full graph, on an edge-subset (a candidate spanner), and
+//! restricted to a surviving vertex set (after faults), plus bounded-radius
+//! and hop-count variants.
+
+use crate::{EdgeSet, Graph, GraphError, NodeId, Result, INFINITY};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A heap entry ordered by ascending distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse order: BinaryHeap is a max-heap, we want the minimum
+        // distance on top. Distances are finite and non-negative, so
+        // partial_cmp never fails for entries that reach the heap.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Options restricting a shortest-path computation.
+///
+/// The default options impose no restriction; the builder-style setters
+/// restrict the traversal to a subset of edges (a candidate spanner), to a
+/// set of surviving vertices (after faults), or to a maximum search radius.
+///
+/// # Example
+///
+/// ```
+/// use ftspan_graph::{Graph, NodeId, shortest_path::SsspOptions};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = Graph::from_unit_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)])?;
+/// let dead = vec![false, true, false, false];
+/// let dist = SsspOptions::new().forbid_vertices(&dead).run(&g, NodeId::new(0))?;
+/// // With vertex 1 removed, vertex 2 is reached the long way around.
+/// assert_eq!(dist[2], 2.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SsspOptions<'a> {
+    edges: Option<&'a EdgeSet>,
+    dead: Option<&'a [bool]>,
+    cutoff: Option<f64>,
+}
+
+impl<'a> SsspOptions<'a> {
+    /// Creates options with no restrictions.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Restricts the traversal to edges contained in `edges`.
+    pub fn restrict_edges(mut self, edges: &'a EdgeSet) -> Self {
+        self.edges = Some(edges);
+        self
+    }
+
+    /// Forbids traversal through vertices `v` with `dead[v] == true`.
+    ///
+    /// If the source itself is dead, every distance is `INFINITY`.
+    pub fn forbid_vertices(mut self, dead: &'a [bool]) -> Self {
+        self.dead = Some(dead);
+        self
+    }
+
+    /// Stops the search once the tentative distance exceeds `cutoff`;
+    /// vertices further than the cutoff report `INFINITY`.
+    pub fn cutoff(mut self, cutoff: f64) -> Self {
+        self.cutoff = Some(cutoff);
+        self
+    }
+
+    /// Runs Dijkstra from `source` under these options and returns the
+    /// distance to every vertex (`INFINITY` when unreachable).
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::NodeOutOfBounds`] if `source` is out of bounds or the
+    ///   forbidden-vertex slice has the wrong length.
+    /// * [`GraphError::MismatchedEdgeSet`] if the edge restriction was built
+    ///   for a different graph.
+    pub fn run(self, graph: &Graph, source: NodeId) -> Result<Vec<f64>> {
+        let n = graph.node_count();
+        if source.index() >= n {
+            return Err(GraphError::NodeOutOfBounds { node: source.index(), len: n });
+        }
+        if let Some(dead) = self.dead {
+            if dead.len() != n {
+                return Err(GraphError::NodeOutOfBounds { node: dead.len(), len: n });
+            }
+        }
+        if let Some(edges) = self.edges {
+            if edges.capacity() != graph.edge_count() {
+                return Err(GraphError::MismatchedEdgeSet {
+                    set_len: edges.capacity(),
+                    graph_len: graph.edge_count(),
+                });
+            }
+        }
+
+        let mut dist = vec![INFINITY; n];
+        let is_dead = |v: NodeId| self.dead.map_or(false, |d| d[v.index()]);
+        if is_dead(source) {
+            return Ok(dist);
+        }
+        let mut heap = BinaryHeap::new();
+        dist[source.index()] = 0.0;
+        heap.push(HeapEntry { dist: 0.0, node: source });
+
+        while let Some(HeapEntry { dist: d, node: v }) = heap.pop() {
+            if d > dist[v.index()] {
+                continue;
+            }
+            if let Some(c) = self.cutoff {
+                if d > c {
+                    continue;
+                }
+            }
+            for (u, eid) in graph.incident(v) {
+                if is_dead(u) {
+                    continue;
+                }
+                if let Some(edges) = self.edges {
+                    if !edges.contains(eid) {
+                        continue;
+                    }
+                }
+                let nd = d + graph.edge(eid).weight;
+                if let Some(c) = self.cutoff {
+                    if nd > c {
+                        continue;
+                    }
+                }
+                if nd < dist[u.index()] {
+                    dist[u.index()] = nd;
+                    heap.push(HeapEntry { dist: nd, node: u });
+                }
+            }
+        }
+        Ok(dist)
+    }
+}
+
+/// Single-source shortest-path distances from `source` in `graph`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::NodeOutOfBounds`] if `source` is out of bounds.
+///
+/// # Example
+///
+/// ```
+/// use ftspan_graph::{Graph, NodeId, shortest_path};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = Graph::from_edges(3, [(0, 1, 1.0), (1, 2, 2.0), (0, 2, 5.0)])?;
+/// let d = shortest_path::dijkstra(&g, NodeId::new(0))?;
+/// assert_eq!(d[2], 3.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn dijkstra(graph: &Graph, source: NodeId) -> Result<Vec<f64>> {
+    SsspOptions::new().run(graph, source)
+}
+
+/// Shortest-path distances from `source` using only the edges in `edges`.
+///
+/// # Errors
+///
+/// Returns an error if `source` is out of bounds or `edges` was built for a
+/// different graph.
+pub fn dijkstra_on_edges(graph: &Graph, edges: &EdgeSet, source: NodeId) -> Result<Vec<f64>> {
+    SsspOptions::new().restrict_edges(edges).run(graph, source)
+}
+
+/// Shortest-path distances from `source` avoiding the vertices marked `true`
+/// in `dead`.
+///
+/// # Errors
+///
+/// Returns an error if `source` is out of bounds or `dead` has the wrong
+/// length.
+pub fn dijkstra_avoiding(graph: &Graph, source: NodeId, dead: &[bool]) -> Result<Vec<f64>> {
+    SsspOptions::new().forbid_vertices(dead).run(graph, source)
+}
+
+/// Shortest-path distance between a single pair of vertices.
+///
+/// # Errors
+///
+/// Returns [`GraphError::NodeOutOfBounds`] if either endpoint is out of
+/// bounds.
+pub fn distance(graph: &Graph, u: NodeId, v: NodeId) -> Result<f64> {
+    if v.index() >= graph.node_count() {
+        return Err(GraphError::NodeOutOfBounds { node: v.index(), len: graph.node_count() });
+    }
+    let d = dijkstra(graph, u)?;
+    Ok(d[v.index()])
+}
+
+/// Hop-count (unweighted BFS) distances from `source`.
+///
+/// Unreachable vertices report `usize::MAX`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::NodeOutOfBounds`] if `source` is out of bounds.
+pub fn bfs_hops(graph: &Graph, source: NodeId) -> Result<Vec<usize>> {
+    let n = graph.node_count();
+    if source.index() >= n {
+        return Err(GraphError::NodeOutOfBounds { node: source.index(), len: n });
+    }
+    let mut dist = vec![usize::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    dist[source.index()] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v.index()];
+        for u in graph.neighbors(v) {
+            if dist[u.index()] == usize::MAX {
+                dist[u.index()] = dv + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    Ok(dist)
+}
+
+/// Vertices within hop-distance `radius` of `source`, including `source`
+/// itself, in BFS order.
+///
+/// This is the primitive the padded-decomposition construction (Lemma 3.7 of
+/// the paper) uses: a cluster is the ball of radius `r_u` around its center.
+///
+/// # Errors
+///
+/// Returns [`GraphError::NodeOutOfBounds`] if `source` is out of bounds.
+pub fn ball(graph: &Graph, source: NodeId, radius: usize) -> Result<Vec<NodeId>> {
+    let hops = bfs_hops(graph, source)?;
+    Ok(graph
+        .nodes()
+        .filter(|v| hops[v.index()] <= radius)
+        .collect())
+}
+
+/// All-pairs shortest-path distances, computed by running Dijkstra from every
+/// vertex. Intended for the small graphs used by verification and tests.
+///
+/// # Errors
+///
+/// Never fails for a well-formed graph; propagates internal errors otherwise.
+pub fn all_pairs(graph: &Graph) -> Result<Vec<Vec<f64>>> {
+    graph.nodes().map(|v| dijkstra(graph, v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EdgeId;
+
+    fn weighted_square() -> Graph {
+        // 0 -1- 1
+        // |     |
+        // 4     1
+        // |     |
+        // 3 -1- 2
+        Graph::from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 4.0)]).unwrap()
+    }
+
+    #[test]
+    fn dijkstra_basic() {
+        let g = weighted_square();
+        let d = dijkstra(&g, NodeId::new(0)).unwrap();
+        assert_eq!(d, vec![0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn dijkstra_unreachable_is_infinite() {
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId::new(0), NodeId::new(1), 1.0).unwrap();
+        let d = dijkstra(&g, NodeId::new(0)).unwrap();
+        assert_eq!(d[1], 1.0);
+        assert!(d[2].is_infinite());
+    }
+
+    #[test]
+    fn dijkstra_source_out_of_bounds() {
+        let g = weighted_square();
+        assert!(dijkstra(&g, NodeId::new(10)).is_err());
+        assert!(distance(&g, NodeId::new(0), NodeId::new(10)).is_err());
+    }
+
+    #[test]
+    fn dijkstra_respects_edge_restriction() {
+        let g = weighted_square();
+        let mut s = g.empty_edge_set();
+        s.insert(EdgeId::new(0)); // (0,1)
+        s.insert(EdgeId::new(3)); // (3,0)
+        let d = dijkstra_on_edges(&g, &s, NodeId::new(0)).unwrap();
+        assert_eq!(d[1], 1.0);
+        assert_eq!(d[3], 4.0);
+        assert!(d[2].is_infinite());
+    }
+
+    #[test]
+    fn dijkstra_respects_dead_vertices() {
+        let g = weighted_square();
+        let dead = vec![false, true, false, false];
+        let d = dijkstra_avoiding(&g, NodeId::new(0), &dead).unwrap();
+        assert!(d[1].is_infinite());
+        assert_eq!(d[2], 5.0); // forced around through vertex 3
+        // Dead source: everything infinite.
+        let dead_src = vec![true, false, false, false];
+        let d2 = dijkstra_avoiding(&g, NodeId::new(0), &dead_src).unwrap();
+        assert!(d2.iter().all(|x| x.is_infinite()));
+    }
+
+    #[test]
+    fn dijkstra_cutoff_prunes() {
+        let g = weighted_square();
+        let d = SsspOptions::new().cutoff(1.5).run(&g, NodeId::new(0)).unwrap();
+        assert_eq!(d[1], 1.0);
+        assert!(d[2].is_infinite());
+        assert!(d[3].is_infinite());
+    }
+
+    #[test]
+    fn pairwise_distance() {
+        let g = weighted_square();
+        assert_eq!(distance(&g, NodeId::new(0), NodeId::new(3)).unwrap(), 3.0);
+        assert_eq!(distance(&g, NodeId::new(3), NodeId::new(0)).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn bfs_and_ball() {
+        let g = Graph::from_unit_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let hops = bfs_hops(&g, NodeId::new(0)).unwrap();
+        assert_eq!(hops[4], 4);
+        assert_eq!(hops[5], usize::MAX);
+        let b = ball(&g, NodeId::new(0), 2).unwrap();
+        assert_eq!(b.len(), 3);
+        assert!(b.contains(&NodeId::new(2)));
+        assert!(!b.contains(&NodeId::new(3)));
+    }
+
+    #[test]
+    fn all_pairs_is_symmetric() {
+        let g = weighted_square();
+        let apsp = all_pairs(&g).unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(apsp[i][j], apsp[j][i]);
+            }
+            assert_eq!(apsp[i][i], 0.0);
+        }
+    }
+
+    #[test]
+    fn options_validate_inputs() {
+        let g = weighted_square();
+        let bad_dead = vec![false; 2];
+        assert!(SsspOptions::new()
+            .forbid_vertices(&bad_dead)
+            .run(&g, NodeId::new(0))
+            .is_err());
+        let bad_edges = EdgeSet::new(1);
+        assert!(SsspOptions::new()
+            .restrict_edges(&bad_edges)
+            .run(&g, NodeId::new(0))
+            .is_err());
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests for the graph substrate.
+
+use ftspan_graph::{
+    faults, generate, shortest_path, verify, EdgeId, EdgeSet, Graph, NodeId,
+};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn graph_from_bits(n: usize, bits: &[bool], weights: &[f64]) -> Graph {
+    let mut g = Graph::new(n);
+    let mut idx = 0usize;
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if idx < bits.len() && bits[idx] {
+                let w = weights.get(idx).copied().unwrap_or(1.0).abs().max(0.01);
+                g.add_edge(NodeId::new(u), NodeId::new(v), w).unwrap();
+            }
+            idx += 1;
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Dijkstra distances satisfy the triangle inequality over edges and are
+    /// symmetric on undirected graphs.
+    #[test]
+    fn dijkstra_is_a_metric(
+        n in 2usize..12,
+        bits in proptest::collection::vec(any::<bool>(), 0..66),
+        weights in proptest::collection::vec(0.01f64..10.0, 0..66),
+    ) {
+        let g = graph_from_bits(n, &bits, &weights);
+        let apsp = shortest_path::all_pairs(&g).unwrap();
+        for u in 0..n {
+            prop_assert_eq!(apsp[u][u], 0.0);
+            for v in 0..n {
+                // Equality also covers pairs that are mutually unreachable
+                // (both distances infinite).
+                prop_assert!(
+                    apsp[u][v] == apsp[v][u] || (apsp[u][v] - apsp[v][u]).abs() < 1e-9
+                );
+            }
+        }
+        // Every edge is an upper bound on the distance of its endpoints.
+        for (_, e) in g.edges() {
+            prop_assert!(apsp[e.u.index()][e.v.index()] <= e.weight + 1e-9);
+        }
+        // Triangle inequality through any intermediate vertex.
+        for u in 0..n {
+            for v in 0..n {
+                for w in 0..n {
+                    if apsp[u][w].is_finite() && apsp[w][v].is_finite() {
+                        prop_assert!(apsp[u][v] <= apsp[u][w] + apsp[w][v] + 1e-9);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Restricting Dijkstra to an edge subset never shortens distances.
+    #[test]
+    fn subgraph_distances_dominate(
+        n in 2usize..12,
+        bits in proptest::collection::vec(any::<bool>(), 0..66),
+        subset in proptest::collection::vec(any::<bool>(), 0..66),
+    ) {
+        let g = graph_from_bits(n, &bits, &[]);
+        let mut keep = g.empty_edge_set();
+        for (i, (id, _)) in g.edges().enumerate() {
+            if subset.get(i).copied().unwrap_or(false) {
+                keep.insert(id);
+            }
+        }
+        let full = shortest_path::dijkstra(&g, NodeId::new(0)).unwrap();
+        let restricted = shortest_path::dijkstra_on_edges(&g, &keep, NodeId::new(0)).unwrap();
+        for v in 0..n {
+            prop_assert!(restricted[v] >= full[v] - 1e-9);
+        }
+    }
+
+    /// Removing vertices never decreases distances between the survivors.
+    #[test]
+    fn fault_distances_dominate(
+        n in 2usize..12,
+        bits in proptest::collection::vec(any::<bool>(), 0..66),
+        kill in proptest::collection::vec(1usize..12, 0..3),
+    ) {
+        let g = graph_from_bits(n, &bits, &[]);
+        let faults = faults::FaultSet::from_indices(kill.into_iter().filter(|&v| v < n));
+        if faults.contains(NodeId::new(0)) {
+            return Ok(());
+        }
+        let dead = faults.to_dead_mask(n);
+        let full = shortest_path::dijkstra(&g, NodeId::new(0)).unwrap();
+        let faulty = shortest_path::dijkstra_avoiding(&g, NodeId::new(0), &dead).unwrap();
+        for v in 0..n {
+            if !dead[v] {
+                prop_assert!(faulty[v] >= full[v] - 1e-9);
+            }
+        }
+    }
+
+    /// EdgeSet union/intersection behave like set algebra.
+    #[test]
+    fn edge_set_algebra(
+        cap in 1usize..200,
+        a in proptest::collection::vec(0usize..200, 0..50),
+        b in proptest::collection::vec(0usize..200, 0..50),
+    ) {
+        let mut sa = EdgeSet::new(cap);
+        let mut sb = EdgeSet::new(cap);
+        for &i in &a { if i < cap { sa.insert(EdgeId::new(i)); } }
+        for &i in &b { if i < cap { sb.insert(EdgeId::new(i)); } }
+        let mut union = sa.clone();
+        union.union_with(&sb);
+        let mut inter = sa.clone();
+        inter.intersect_with(&sb);
+        prop_assert_eq!(union.len() + inter.len(), sa.len() + sb.len());
+        prop_assert!(inter.is_subset_of(&sa) && inter.is_subset_of(&sb));
+        prop_assert!(sa.is_subset_of(&union) && sb.is_subset_of(&union));
+        for e in sa.iter() {
+            prop_assert!(union.contains(e));
+        }
+    }
+
+    /// The full edge set is always a 1-spanner and fault tolerant for any r.
+    #[test]
+    fn full_edge_set_is_always_a_perfect_spanner(
+        n in 1usize..10,
+        bits in proptest::collection::vec(any::<bool>(), 0..45),
+        r in 0usize..3,
+    ) {
+        let g = graph_from_bits(n, &bits, &[]);
+        let full = g.full_edge_set();
+        prop_assert!(verify::is_k_spanner(&g, &full, 1.0));
+        prop_assert!(verify::is_fault_tolerant_k_spanner(&g, &full, 1.0, r));
+    }
+
+    /// Generated graphs respect their documented structure.
+    #[test]
+    fn generators_respect_structure(n in 2usize..30, seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let c = generate::connected_gnp(n, 0.1, generate::WeightKind::Unit, &mut rng);
+        prop_assert!(c.is_connected());
+        let k = generate::complete(n);
+        prop_assert_eq!(k.edge_count(), n * (n - 1) / 2);
+        let p = generate::path(n);
+        prop_assert_eq!(p.edge_count(), n - 1);
+        let grid = generate::grid(2, n);
+        prop_assert_eq!(grid.node_count(), 2 * n);
+    }
+}

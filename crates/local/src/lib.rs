@@ -1,0 +1,45 @@
+//! The LOCAL model of distributed computation and the distributed
+//! fault-tolerant spanner algorithms of Dinitz & Krauthgamer (PODC 2011).
+//!
+//! In the LOCAL model the communication network *is* the input graph: in
+//! every synchronous round each vertex may send an unbounded message to each
+//! neighbor, and after `t` rounds a vertex's output may depend only on its
+//! `t`-hop neighborhood. This crate provides:
+//!
+//! * [`simulator`] — a synchronous round-based simulator with round and
+//!   message accounting; every algorithm below is written against it so the
+//!   reported round counts are measured, not asserted.
+//! * [`padded`] — the distributed padded decomposition of Lemma 3.7
+//!   (Bartal / Linial–Saks style ball carving with geometric radii).
+//! * [`spanner`] — the distributed fault-tolerant spanner conversion of
+//!   Theorem 2.3 / Corollary 2.4, built on a flooding-based cluster spanner.
+//! * [`two_spanner`] — the distributed `O(log n)`-approximation for
+//!   minimum-cost `r`-fault-tolerant 2-spanner (Algorithm 2 / Theorem 3.9):
+//!   padded decomposition, per-cluster LPs, averaging, local rounding.
+//! * [`verify`] — distributed verification: the Lemma 3.1 check in two
+//!   rounds and a `k`-round stretch check for unit-weight graphs.
+//!
+//! # Example
+//!
+//! ```
+//! use ftspan_local::spanner::{distributed_fault_tolerant_spanner, DistributedConversionConfig};
+//! use ftspan_graph::{generate, verify};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2);
+//! let g = generate::gnp(25, 0.4, generate::WeightKind::Unit, &mut rng);
+//! let cfg = DistributedConversionConfig::new(1, 3);
+//! let out = distributed_fault_tolerant_spanner(&g, &cfg, &mut rng);
+//! assert!(verify::is_fault_tolerant_k_spanner(&g, &out.edges, 3.0, 1));
+//! assert!(out.stats.rounds > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod padded;
+pub mod simulator;
+pub mod spanner;
+pub mod two_spanner;
+pub mod verify;

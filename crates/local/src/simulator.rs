@@ -1,0 +1,293 @@
+//! A synchronous message-passing simulator for the LOCAL model.
+//!
+//! The simulator does not try to be a general actor framework; it provides
+//! exactly the primitive the LOCAL model allows — one synchronous exchange of
+//! (arbitrarily large) messages along the edges of the communication graph —
+//! and keeps count of rounds and messages so experiments can report measured
+//! round complexities.
+
+use ftspan_graph::{Graph, NodeId};
+
+/// Round and message accounting for a distributed execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RoundStats {
+    /// Number of synchronous communication rounds executed.
+    pub rounds: usize,
+    /// Total number of (node-to-node) messages delivered.
+    pub messages: usize,
+    /// The largest number of entries in any single message (a proxy for the
+    /// unbounded-message-size allowance of the LOCAL model).
+    pub max_message_entries: usize,
+}
+
+impl RoundStats {
+    /// Merges the accounting of a sub-computation into this one.
+    pub fn absorb(&mut self, other: RoundStats) {
+        self.rounds += other.rounds;
+        self.messages += other.messages;
+        self.max_message_entries = self.max_message_entries.max(other.max_message_entries);
+    }
+}
+
+/// A synchronous LOCAL-model simulator over a communication graph.
+///
+/// Algorithms drive it by calling [`Simulator::exchange`] once per round; the
+/// closure decides, for every ordered pair `(sender, neighbor)`, what message
+/// (if any) the sender puts on that link. The simulator delivers all messages
+/// simultaneously and returns every node's inbox.
+#[derive(Debug)]
+pub struct Simulator<'g> {
+    graph: &'g Graph,
+    stats: RoundStats,
+}
+
+impl<'g> Simulator<'g> {
+    /// Creates a simulator over the given communication graph.
+    pub fn new(graph: &'g Graph) -> Self {
+        Simulator { graph, stats: RoundStats::default() }
+    }
+
+    /// The communication graph.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// The accounting so far.
+    pub fn stats(&self) -> RoundStats {
+        self.stats
+    }
+
+    /// Executes one synchronous round.
+    ///
+    /// `send(sender, neighbor)` is invoked for every sender and each of its
+    /// neighbors and returns the message to put on that link (`None` for no
+    /// message). The returned vector contains, for every node, the list of
+    /// `(sender, message)` pairs it received this round.
+    pub fn exchange<M, F>(&mut self, mut send: F) -> Vec<Vec<(NodeId, M)>>
+    where
+        M: Clone,
+        F: FnMut(NodeId, NodeId) -> Option<M>,
+    {
+        let n = self.graph.node_count();
+        let mut inboxes: Vec<Vec<(NodeId, M)>> = (0..n).map(|_| Vec::new()).collect();
+        for sender in self.graph.nodes() {
+            for neighbor in self.graph.neighbors(sender) {
+                if let Some(msg) = send(sender, neighbor) {
+                    self.stats.messages += 1;
+                    inboxes[neighbor.index()].push((sender, msg));
+                }
+            }
+        }
+        self.stats.rounds += 1;
+        self.stats.max_message_entries = self.stats.max_message_entries.max(1);
+        self.record_message_sizes(&inboxes);
+        inboxes
+    }
+
+    /// Charges `rounds` additional rounds of purely local computation or of a
+    /// sub-protocol whose communication is accounted elsewhere (e.g. the
+    /// cluster-internal gathering in Algorithm 2, which takes `O(diam)`
+    /// rounds along the cluster tree).
+    pub fn charge_rounds(&mut self, rounds: usize) {
+        self.stats.rounds += rounds;
+    }
+
+    fn record_message_sizes<M>(&mut self, inboxes: &[Vec<(NodeId, M)>]) {
+        for inbox in inboxes {
+            self.stats.max_message_entries = self.stats.max_message_entries.max(inbox.len());
+        }
+    }
+}
+
+/// Floods `(source id, hop distance)` tokens for `radius` rounds, but each
+/// source `u` only floods up to its own personal radius `radii[u]`.
+///
+/// Returns, for every vertex `v`, the list of `(source, hop distance,
+/// first-hop parent towards the source)` tokens it received (including
+/// itself at distance 0 with itself as parent). This is the communication
+/// pattern shared by the padded decomposition (Lemma 3.7) and the
+/// flooding-based cluster spanner.
+pub fn bounded_flood(
+    sim: &mut Simulator<'_>,
+    radii: &[usize],
+    active: &[bool],
+    radius: usize,
+) -> Vec<Vec<FloodToken>> {
+    let n = sim.graph().node_count();
+    assert_eq!(radii.len(), n, "one radius per vertex required");
+    assert_eq!(active.len(), n, "one activity flag per vertex required");
+
+    // known[v] maps source -> (distance, parent)
+    let mut known: Vec<std::collections::HashMap<usize, (usize, NodeId)>> =
+        (0..n).map(|_| std::collections::HashMap::new()).collect();
+    for v in 0..n {
+        if active[v] {
+            known[v].insert(v, (0, NodeId::new(v)));
+        }
+    }
+    // Tokens that still need to be forwarded by each vertex.
+    let mut frontier: Vec<Vec<(usize, usize)>> = (0..n)
+        .map(|v| if active[v] && radii[v] > 0 { vec![(v, 0)] } else { Vec::new() })
+        .collect();
+
+    for _ in 0..radius {
+        if frontier.iter().all(Vec::is_empty) {
+            // Nothing left to forward; later rounds would be silent but the
+            // LOCAL algorithm still waits for them, so charge the time.
+            sim.charge_rounds(1);
+            continue;
+        }
+        let outgoing: Vec<Vec<(usize, usize)>> = frontier.clone();
+        let inboxes = sim.exchange(|sender, _neighbor| {
+            let msgs = &outgoing[sender.index()];
+            if msgs.is_empty() || !active[sender.index()] {
+                None
+            } else {
+                Some(msgs.clone())
+            }
+        });
+        let mut next_frontier: Vec<Vec<(usize, usize)>> = (0..n).map(|_| Vec::new()).collect();
+        for v in 0..n {
+            if !active[v] {
+                continue;
+            }
+            for (from, tokens) in &inboxes[v] {
+                for &(source, dist) in tokens {
+                    let nd = dist + 1;
+                    if nd > radii[source] {
+                        continue;
+                    }
+                    let entry = known[v].get(&source).copied();
+                    if entry.map_or(true, |(d, _)| nd < d) {
+                        known[v].insert(source, (nd, *from));
+                        if nd < radii[source] {
+                            next_frontier[v].push((source, nd));
+                        }
+                    }
+                }
+            }
+        }
+        frontier = next_frontier;
+    }
+
+    known
+        .into_iter()
+        .map(|m| {
+            let mut tokens: Vec<FloodToken> = m
+                .into_iter()
+                .map(|(source, (distance, parent))| FloodToken {
+                    source: NodeId::new(source),
+                    distance,
+                    parent,
+                })
+                .collect();
+            tokens.sort_by_key(|t| (t.distance, t.source));
+            tokens
+        })
+        .collect()
+}
+
+/// A token received during [`bounded_flood`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FloodToken {
+    /// The vertex that originated the flood.
+    pub source: NodeId,
+    /// Hop distance from the source.
+    pub distance: usize,
+    /// The neighbor the token was first received from (the source itself at
+    /// distance 0) — the parent pointer of the implicit BFS tree.
+    pub parent: NodeId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftspan_graph::generate;
+
+    #[test]
+    fn exchange_counts_rounds_and_messages() {
+        let g = generate::path(4);
+        let mut sim = Simulator::new(&g);
+        let inboxes = sim.exchange(|sender, _| Some(sender.index()));
+        // A path has 3 edges => 6 directed messages.
+        assert_eq!(sim.stats().rounds, 1);
+        assert_eq!(sim.stats().messages, 6);
+        // Interior vertices receive two messages.
+        assert_eq!(inboxes[1].len(), 2);
+        assert_eq!(inboxes[0].len(), 1);
+    }
+
+    #[test]
+    fn exchange_can_be_selective() {
+        let g = generate::complete(5);
+        let mut sim = Simulator::new(&g);
+        let inboxes = sim.exchange(|sender, neighbor| {
+            if sender.index() == 0 && neighbor.index() == 1 {
+                Some("hello")
+            } else {
+                None
+            }
+        });
+        assert_eq!(sim.stats().messages, 1);
+        assert_eq!(inboxes[1].len(), 1);
+        assert!(inboxes[2].is_empty());
+    }
+
+    #[test]
+    fn flood_reaches_exactly_the_ball() {
+        let g = generate::path(6);
+        let mut sim = Simulator::new(&g);
+        let radii = vec![2, 0, 0, 0, 0, 0];
+        let active = vec![true; 6];
+        let tokens = bounded_flood(&mut sim, &radii, &active, 3);
+        // Vertex 0 floods up to distance 2: vertices 0, 1, 2 hear it.
+        assert!(tokens[2].iter().any(|t| t.source == NodeId::new(0) && t.distance == 2));
+        assert!(!tokens[3].iter().any(|t| t.source == NodeId::new(0)));
+        // Everyone knows itself.
+        for (v, toks) in tokens.iter().enumerate() {
+            assert!(toks.iter().any(|t| t.source == NodeId::new(v) && t.distance == 0));
+        }
+        // Three rounds were charged even though flooding stopped earlier.
+        assert_eq!(sim.stats().rounds, 3);
+    }
+
+    #[test]
+    fn flood_respects_inactive_vertices() {
+        let g = generate::path(5);
+        let mut sim = Simulator::new(&g);
+        let radii = vec![4; 5];
+        let mut active = vec![true; 5];
+        active[2] = false; // break the path in the middle
+        let tokens = bounded_flood(&mut sim, &radii, &active, 4);
+        assert!(!tokens[3].iter().any(|t| t.source == NodeId::new(0)));
+        assert!(tokens[1].iter().any(|t| t.source == NodeId::new(0)));
+        // The inactive vertex learns nothing, not even itself.
+        assert!(tokens[2].is_empty());
+    }
+
+    #[test]
+    fn flood_parent_pointers_form_shortest_paths() {
+        let g = generate::grid(3, 3);
+        let mut sim = Simulator::new(&g);
+        let radii = vec![4; 9];
+        let active = vec![true; 9];
+        let tokens = bounded_flood(&mut sim, &radii, &active, 4);
+        // Corner 0 reaches the opposite corner 8 at distance 4; walking the
+        // parent pointers decreases the distance by one per step.
+        let t = tokens[8].iter().find(|t| t.source == NodeId::new(0)).unwrap();
+        assert_eq!(t.distance, 4);
+        let p = t.parent;
+        let tp = tokens[p.index()].iter().find(|t| t.source == NodeId::new(0)).unwrap();
+        assert_eq!(tp.distance, 3);
+    }
+
+    #[test]
+    fn stats_absorb() {
+        let mut a = RoundStats { rounds: 2, messages: 10, max_message_entries: 3 };
+        let b = RoundStats { rounds: 1, messages: 5, max_message_entries: 7 };
+        a.absorb(b);
+        assert_eq!(a.rounds, 3);
+        assert_eq!(a.messages, 15);
+        assert_eq!(a.max_message_entries, 7);
+    }
+}

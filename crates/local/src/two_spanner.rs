@@ -1,0 +1,306 @@
+//! The distributed `O(log n)`-approximation for minimum-cost
+//! `r`-fault-tolerant 2-spanner (Algorithm 2 / Theorem 3.9).
+//!
+//! The only non-local ingredient of the centralized Theorem 3.3 algorithm is
+//! solving the LP. Algorithm 2 removes it: `t = O(log n)` times, sample a
+//! padded decomposition, let every cluster center gather its cluster's
+//! neighborhood `G(C)` and solve the cluster-local LP (with boundary arcs
+//! given cost 0), then average the per-cluster values over the iterations in
+//! which an arc was internal to a cluster and scale by 4. Lemma 3.8 shows the
+//! per-cluster optima sum to at most the global LP optimum, and the padding
+//! property delivers feasibility of the averaged solution with high
+//! probability; the final rounding is the purely local Algorithm 1.
+//!
+//! Round accounting: each iteration costs the decomposition's `O(log n)`
+//! flooding rounds plus `O(log n)` rounds for gathering/broadcasting inside
+//! clusters (their radius is `O(log n)`), and the rounding adds a constant
+//! number of rounds — `O(log² n)` in total, as stated by Theorem 3.9.
+
+use crate::padded::{sample_padded_decomposition, PaddedDecompositionConfig};
+use crate::simulator::RoundStats;
+use ftspan_core::two_spanner::relaxation::{solve_relaxation, RelaxationConfig};
+use ftspan_core::two_spanner::rounding::round_thresholds;
+use ftspan_core::{CoreError, Result};
+use ftspan_graph::verify::two_spanner_violations;
+use ftspan_graph::{ArcId, ArcSet, DiGraph, Graph, NodeId};
+use rand::RngCore;
+
+/// Configuration of the distributed 2-spanner approximation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistributedTwoSpannerConfig {
+    /// Number of vertex faults `r` to tolerate.
+    pub faults: usize,
+    /// Number of decomposition/averaging repetitions `t`; `None` uses
+    /// `⌈3 ln n⌉`.
+    pub repetitions: Option<usize>,
+    /// Constant `C` of the rounding inflation `α = C ln n`.
+    pub alpha_constant: f64,
+    /// Parameters of the padded decomposition (Lemma 3.7).
+    pub decomposition: PaddedDecompositionConfig,
+    /// Maximum cutting-plane rounds per cluster LP.
+    pub max_cut_rounds: usize,
+    /// Whether to repair any arc left uncovered after rounding (costs O(1)
+    /// extra rounds; keeps the output always valid).
+    pub repair: bool,
+}
+
+impl DistributedTwoSpannerConfig {
+    /// The paper's configuration for `faults` failures.
+    pub fn new(faults: usize) -> Self {
+        DistributedTwoSpannerConfig {
+            faults,
+            repetitions: None,
+            alpha_constant: 3.0,
+            decomposition: PaddedDecompositionConfig::default(),
+            max_cut_rounds: 30,
+            repair: true,
+        }
+    }
+
+    /// Overrides the number of repetitions `t`.
+    pub fn with_repetitions(mut self, t: usize) -> Self {
+        self.repetitions = Some(t.max(1));
+        self
+    }
+
+    /// The number of repetitions used for an `n`-vertex graph.
+    pub fn repetitions_for(&self, n: usize) -> usize {
+        self.repetitions
+            .unwrap_or_else(|| (3.0 * (n.max(2) as f64).ln()).ceil() as usize)
+            .max(1)
+    }
+}
+
+/// Output of the distributed 2-spanner approximation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistributedTwoSpannerResult {
+    /// The arcs of the `r`-fault-tolerant 2-spanner.
+    pub arcs: ArcSet,
+    /// Total cost of the selected arcs.
+    pub cost: f64,
+    /// The averaged fractional values `x̃` the rounding used.
+    pub x_tilde: Vec<f64>,
+    /// Sum of the per-cluster LP optima of the *last* repetition — by
+    /// Lemma 3.8 a lower bound proxy recorded for reporting.
+    pub clustered_lp_value: f64,
+    /// Number of repetitions `t` that were run.
+    pub repetitions: usize,
+    /// Number of arcs added by the repair step.
+    pub repaired_arcs: usize,
+    /// Measured round/message accounting (decomposition rounds are measured;
+    /// cluster gathering and the final rounding exchange are charged at their
+    /// LOCAL-model cost).
+    pub stats: RoundStats,
+}
+
+/// The undirected communication graph underlying a directed instance: one
+/// edge per pair of vertices joined by at least one arc (the paper assumes
+/// communication along an edge is bidirectional).
+pub fn support_graph(graph: &DiGraph) -> Graph {
+    let mut g = Graph::new(graph.node_count());
+    for (_, arc) in graph.arcs() {
+        if !g.has_edge(arc.tail, arc.head) {
+            g.add_edge(arc.tail, arc.head, 1.0)
+                .expect("arcs of a valid digraph are valid edges");
+        }
+    }
+    g
+}
+
+/// Algorithm 2: the distributed `O(log n)`-approximation for minimum-cost
+/// `r`-fault-tolerant 2-spanner.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] for an empty graph and
+/// [`CoreError::Lp`] if a cluster LP cannot be solved.
+pub fn distributed_two_spanner(
+    graph: &DiGraph,
+    config: &DistributedTwoSpannerConfig,
+    rng: &mut dyn RngCore,
+) -> Result<DistributedTwoSpannerResult> {
+    let n = graph.node_count();
+    if n == 0 {
+        return Err(CoreError::InvalidParameter {
+            message: "cannot build a 2-spanner of a graph with no vertices".to_string(),
+        });
+    }
+    let support = support_graph(graph);
+    let t = config.repetitions_for(n);
+
+    let mut accum = vec![0.0f64; graph.arc_count()];
+    let mut stats = RoundStats::default();
+    let mut clustered_lp_value = 0.0;
+
+    for _ in 0..t {
+        let decomposition = sample_padded_decomposition(&support, &config.decomposition, rng);
+        stats.absorb(decomposition.stats);
+        // Gathering G(C) at the center and broadcasting the solution back
+        // takes O(cluster radius) rounds along the flood tree.
+        stats.rounds += 2 * (decomposition.max_radius() + 1);
+
+        clustered_lp_value = 0.0;
+        for center in decomposition.centers() {
+            let members: Vec<NodeId> = decomposition.cluster(center);
+            let in_cluster = |v: NodeId| decomposition.center_of[v.index()] == center;
+            // C ∪ N(C) over the support graph.
+            let mut in_scope = vec![false; n];
+            for &v in &members {
+                in_scope[v.index()] = true;
+                for u in support.neighbors(v) {
+                    in_scope[u.index()] = true;
+                }
+            }
+            // Build the cluster-local digraph G(C) with boundary arcs at cost 0.
+            let mut local = DiGraph::new(n);
+            let mut arc_map: Vec<ArcId> = Vec::new();
+            for (id, arc) in graph.arcs() {
+                if in_scope[arc.tail.index()] && in_scope[arc.head.index()] {
+                    let internal = in_cluster(arc.tail) && in_cluster(arc.head);
+                    let cost = if internal { arc.cost } else { 0.0 };
+                    local
+                        .add_arc(arc.tail, arc.head, cost)
+                        .expect("arcs of a valid digraph remain valid");
+                    arc_map.push(id);
+                }
+            }
+            if local.arc_count() == 0 {
+                continue;
+            }
+            let relax_cfg = RelaxationConfig {
+                faults: config.faults,
+                knapsack_cover: true,
+                max_cut_rounds: config.max_cut_rounds,
+                separation_tolerance: 1e-7,
+            };
+            let solution = solve_relaxation(&local, &relax_cfg)?;
+            clustered_lp_value += solution.objective;
+            for (local_idx, &parent_id) in arc_map.iter().enumerate() {
+                let arc = graph.arc(parent_id);
+                if in_cluster(arc.tail) && in_cluster(arc.head) {
+                    accum[parent_id.index()] += solution.x[local_idx];
+                }
+            }
+        }
+    }
+
+    // x̃_e = min(1, (4/t) Σ_{i ∈ I_e} x_e^i).
+    let x_tilde: Vec<f64> = accum
+        .iter()
+        .map(|&s| (4.0 * s / t as f64).min(1.0))
+        .collect();
+
+    // Purely local rounding (Algorithm 1), one exchange so both endpoints
+    // learn which arcs were bought, plus a constant number of rounds for the
+    // optional 2-hop repair.
+    let alpha = config.alpha_constant * (n.max(2) as f64).ln();
+    let (mut arcs, _thresholds) = round_thresholds(graph, &x_tilde, alpha, rng);
+    stats.rounds += 1;
+
+    let mut repaired = 0usize;
+    if config.repair {
+        for a in two_spanner_violations(graph, &arcs, config.faults) {
+            arcs.insert(a);
+            repaired += 1;
+        }
+        stats.rounds += 2;
+    }
+
+    let cost = graph.arc_set_cost(&arcs)?;
+    Ok(DistributedTwoSpannerResult {
+        arcs,
+        cost,
+        x_tilde,
+        clustered_lp_value,
+        repetitions: t,
+        repaired_arcs: repaired,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftspan_graph::{generate, verify};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn support_graph_merges_antiparallel_arcs() {
+        let g = DiGraph::from_unit_arcs(3, [(0, 1), (1, 0), (1, 2)]).unwrap();
+        let s = support_graph(&g);
+        assert_eq!(s.edge_count(), 2);
+        assert!(s.has_edge(NodeId::new(0), NodeId::new(1)));
+    }
+
+    #[test]
+    fn empty_graph_is_rejected() {
+        let g = DiGraph::new(0);
+        let cfg = DistributedTwoSpannerConfig::new(1);
+        assert!(distributed_two_spanner(&g, &cfg, &mut rng(1)).is_err());
+    }
+
+    #[test]
+    fn output_is_valid_on_random_digraphs() {
+        let mut r = rng(2);
+        for faults in [0usize, 1] {
+            let g = generate::directed_gnp(10, 0.4, generate::WeightKind::Unit, &mut r);
+            let cfg = DistributedTwoSpannerConfig::new(faults).with_repetitions(4);
+            let out = distributed_two_spanner(&g, &cfg, &mut r).unwrap();
+            assert!(
+                verify::is_ft_two_spanner(&g, &out.arcs, faults),
+                "distributed output invalid for r = {faults}"
+            );
+            assert!(out.cost <= g.total_cost() + 1e-9);
+            assert_eq!(out.repetitions, 4);
+            assert_eq!(out.x_tilde.len(), g.arc_count());
+        }
+    }
+
+    #[test]
+    fn round_count_is_polylogarithmic() {
+        let mut r = rng(3);
+        let g = generate::directed_gnp(14, 0.3, generate::WeightKind::Unit, &mut r);
+        let cfg = DistributedTwoSpannerConfig::new(1);
+        let out = distributed_two_spanner(&g, &cfg, &mut r).unwrap();
+        let n = 14f64;
+        let t = cfg.repetitions_for(14) as f64;
+        let cap = cfg.decomposition.radius_cap(14) as f64;
+        // Each repetition: cap flooding rounds + at most 2(cap + 1) gathering
+        // rounds; plus a constant for rounding/repair.
+        let upper = t * (cap + 2.0 * (cap + 1.0)) + 4.0;
+        assert!(
+            (out.stats.rounds as f64) <= upper,
+            "rounds {} exceed the O(log^2 n) budget {} (n = {n})",
+            out.stats.rounds,
+            upper
+        );
+        assert!(out.stats.rounds > 0);
+    }
+
+    #[test]
+    fn gap_gadget_is_covered() {
+        let mut r = rng(4);
+        let g = generate::gap_gadget(2, 30.0).unwrap();
+        let cfg = DistributedTwoSpannerConfig::new(2).with_repetitions(3);
+        let out = distributed_two_spanner(&g, &cfg, &mut r).unwrap();
+        assert!(verify::is_ft_two_spanner(&g, &out.arcs, 2));
+        // The only valid solution buys everything.
+        assert_eq!(out.arcs.len(), g.arc_count());
+    }
+
+    #[test]
+    fn x_tilde_is_clamped_to_unit_interval() {
+        let mut r = rng(5);
+        let g = generate::directed_gnp(9, 0.5, generate::WeightKind::Unit, &mut r);
+        let cfg = DistributedTwoSpannerConfig::new(1).with_repetitions(2);
+        let out = distributed_two_spanner(&g, &cfg, &mut r).unwrap();
+        for &x in &out.x_tilde {
+            assert!((0.0..=1.0).contains(&x));
+        }
+    }
+}

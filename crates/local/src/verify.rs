@@ -1,0 +1,255 @@
+//! Distributed verification of spanners in the LOCAL model.
+//!
+//! One of the paper's observations is that its constructions are *local*;
+//! verification is local too, and a deployed distributed system would want
+//! both. This module provides two LOCAL-model checkers:
+//!
+//! * [`distributed_two_spanner_check`] — every vertex checks the Lemma 3.1
+//!   condition for its outgoing arcs (bought, or covered by at least `r + 1`
+//!   two-paths) after a single exchange in which each vertex announces its
+//!   outgoing spanner arcs. Two rounds, independent of `n`.
+//! * [`distributed_stretch_check`] — every vertex checks, for each incident
+//!   edge of a unit-weight graph, that the other endpoint is within `k` hops
+//!   in the candidate spanner, by flooding over spanner edges for `k`
+//!   rounds. `k + 1` rounds total.
+//!
+//! Both checkers return the set of vertices that detected a violation, so a
+//! caller can both decide validity (no complaints) and locate the problem.
+
+use crate::simulator::{RoundStats, Simulator};
+use ftspan_graph::{ArcSet, DiGraph, EdgeSet, Graph, NodeId};
+use std::collections::HashSet;
+
+/// The outcome of a distributed verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistributedCheck {
+    /// Vertices that detected at least one violated condition.
+    pub complaining: Vec<NodeId>,
+    /// Round/message accounting of the check itself.
+    pub stats: RoundStats,
+}
+
+impl DistributedCheck {
+    /// Returns `true` if no vertex complained.
+    pub fn is_valid(&self) -> bool {
+        self.complaining.is_empty()
+    }
+}
+
+/// Distributed check of the Lemma 3.1 characterization: every vertex `u`
+/// verifies that each of its outgoing arcs `(u, v)` is either in `spanner`
+/// or covered by at least `r + 1` length-2 paths whose both arcs are in
+/// `spanner`.
+///
+/// Communication: every vertex sends the list of heads of its outgoing
+/// spanner arcs to all of its neighbors in the *support graph* (the
+/// undirected graph with an edge wherever at least one arc exists); one
+/// exchange suffices, because the midpoints of all 2-paths from `u` are
+/// out-neighbors of `u`.
+///
+/// # Panics
+///
+/// Panics if `spanner` was built for a different digraph.
+pub fn distributed_two_spanner_check(
+    graph: &DiGraph,
+    spanner: &ArcSet,
+    r: usize,
+) -> DistributedCheck {
+    assert_eq!(
+        spanner.capacity(),
+        graph.arc_count(),
+        "spanner arc set does not match the digraph"
+    );
+    let support = crate::two_spanner::support_graph(graph);
+    let mut sim = Simulator::new(&support);
+
+    // Message from w to every support neighbor: the heads of w's outgoing
+    // spanner arcs.
+    let outgoing_spanner: Vec<Vec<NodeId>> = graph
+        .nodes()
+        .map(|w| {
+            graph
+                .out_incident(w)
+                .filter(|&(_, a)| spanner.contains(a))
+                .map(|(head, _)| head)
+                .collect()
+        })
+        .collect();
+    let inboxes = sim.exchange(|sender, _| Some(outgoing_spanner[sender.index()].clone()));
+    // One more round so every vertex can tell its neighbors whether it
+    // complained (the "output" round of the LOCAL algorithm).
+    sim.charge_rounds(1);
+
+    let mut complaining = Vec::new();
+    for u in graph.nodes() {
+        // What u knows after the exchange: for each out-neighbor w, the set
+        // of heads w points to inside the spanner.
+        let mut knowledge: Vec<(NodeId, HashSet<NodeId>)> = Vec::new();
+        for (from, heads) in &inboxes[u.index()] {
+            knowledge.push((*from, heads.iter().copied().collect()));
+        }
+        let mut violated = false;
+        for (v, arc) in graph.out_incident(u) {
+            if spanner.contains(arc) {
+                continue;
+            }
+            let mut covered = 0usize;
+            for (w, first) in graph.out_incident(u) {
+                if w == v || !spanner.contains(first) {
+                    continue;
+                }
+                let w_heads = knowledge.iter().find(|(from, _)| *from == w);
+                if w_heads.map_or(false, |(_, heads)| heads.contains(&v)) {
+                    covered += 1;
+                }
+            }
+            if covered < r + 1 {
+                violated = true;
+                break;
+            }
+        }
+        if violated {
+            complaining.push(u);
+        }
+    }
+    DistributedCheck { complaining, stats: sim.stats() }
+}
+
+/// Distributed stretch check for unit-weight undirected graphs: every vertex
+/// `u` verifies that each neighbor `v` (in `graph`) is reachable within `k`
+/// hops using only edges of `spanner`.
+///
+/// Implemented by `k` rounds of flooding vertex identifiers over spanner
+/// edges; each vertex then inspects its own knowledge. For unit-weight
+/// graphs this is exactly the `k`-spanner condition checked over edges
+/// (which suffices, see Section 2 of the paper).
+///
+/// # Panics
+///
+/// Panics if `spanner` was built for a different graph or `k == 0`.
+pub fn distributed_stretch_check(graph: &Graph, spanner: &EdgeSet, k: usize) -> DistributedCheck {
+    assert!(k >= 1, "stretch must be at least 1");
+    assert_eq!(
+        spanner.capacity(),
+        graph.edge_count(),
+        "spanner edge set does not match the graph"
+    );
+    let n = graph.node_count();
+    let mut sim = Simulator::new(graph);
+
+    // known[v] = vertices known to be within the current number of rounds in
+    // the spanner.
+    let mut known: Vec<HashSet<NodeId>> = (0..n).map(|v| HashSet::from([NodeId::new(v)])).collect();
+    for _ in 0..k {
+        let snapshot: Vec<Vec<NodeId>> =
+            known.iter().map(|s| s.iter().copied().collect()).collect();
+        let inboxes = sim.exchange(|sender, neighbor| {
+            // Only flood along spanner edges.
+            graph
+                .find_edge(sender, neighbor)
+                .filter(|e| spanner.contains(*e))
+                .map(|_| snapshot[sender.index()].clone())
+        });
+        for v in 0..n {
+            for (_, ids) in &inboxes[v] {
+                known[v].extend(ids.iter().copied());
+            }
+        }
+    }
+    sim.charge_rounds(1); // output round
+
+    let complaining = graph
+        .nodes()
+        .filter(|&u| graph.neighbors(u).any(|v| !known[u.index()].contains(&v)))
+        .collect();
+    DistributedCheck { complaining, stats: sim.stats() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftspan_core::two_spanner::greedy_ft_two_spanner;
+    use ftspan_graph::{generate, verify};
+    use ftspan_spanners::{GreedySpanner, SpannerAlgorithm};
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn two_spanner_check_accepts_valid_spanners() {
+        let g = generate::complete_digraph(7);
+        for r in 0..3usize {
+            let result = greedy_ft_two_spanner(&g, r);
+            assert!(verify::is_ft_two_spanner(&g, &result.arcs, r));
+            let check = distributed_two_spanner_check(&g, &result.arcs, r);
+            assert!(check.is_valid(), "valid spanner rejected at r = {r}");
+            assert_eq!(check.stats.rounds, 2);
+        }
+    }
+
+    #[test]
+    fn two_spanner_check_localizes_violations() {
+        let g = generate::gap_gadget(3, 10.0).unwrap();
+        // Empty spanner: the expensive arc (0 -> 1) and all unit arcs are
+        // uncovered, so at least vertex 0 (tail of violated arcs) complains.
+        let empty = g.empty_arc_set();
+        let check = distributed_two_spanner_check(&g, &empty, 1);
+        assert!(!check.is_valid());
+        assert!(check.complaining.contains(&NodeId::new(0)));
+        // The distributed verdict agrees with the centralized oracle.
+        assert!(!verify::is_ft_two_spanner(&g, &empty, 1));
+    }
+
+    #[test]
+    fn two_spanner_check_agrees_with_centralized_oracle_on_random_inputs() {
+        for seed in 0..4u64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let g = generate::directed_gnp(10, 0.4, generate::WeightKind::Unit, &mut rng);
+            for r in 0..2usize {
+                // Candidate: a random subset of arcs.
+                let mut candidate = g.empty_arc_set();
+                for (id, _) in g.arcs() {
+                    if rng.gen::<f64>() < 0.8 {
+                        candidate.insert(id);
+                    }
+                }
+                let centralized = verify::is_ft_two_spanner(&g, &candidate, r);
+                let distributed = distributed_two_spanner_check(&g, &candidate, r).is_valid();
+                assert_eq!(centralized, distributed, "seed {seed}, r = {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn stretch_check_accepts_greedy_spanners() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let g = generate::connected_gnp(24, 0.3, generate::WeightKind::Unit, &mut rng);
+        let spanner = GreedySpanner::new(3.0).build(&g, &mut rng);
+        assert!(verify::is_k_spanner(&g, &spanner, 3.0));
+        let check = distributed_stretch_check(&g, &spanner, 3);
+        assert!(check.is_valid());
+        assert_eq!(check.stats.rounds, 4); // k rounds of flooding + output
+    }
+
+    #[test]
+    fn stretch_check_detects_missing_edges() {
+        let g = generate::cycle(8);
+        let mut spanner = g.full_edge_set();
+        // Drop one cycle edge: its endpoints are now 7 hops apart in the
+        // spanner, far beyond stretch 3.
+        spanner.remove(ftspan_graph::EdgeId::new(0));
+        let check = distributed_stretch_check(&g, &spanner, 3);
+        assert!(!check.is_valid());
+        // Both endpoints of the dropped edge complain.
+        assert_eq!(check.complaining.len(), 2);
+        // With a large enough stretch bound the same spanner is accepted.
+        let relaxed = distributed_stretch_check(&g, &spanner, 7);
+        assert!(relaxed.is_valid());
+    }
+
+    #[test]
+    #[should_panic]
+    fn stretch_check_rejects_zero_stretch() {
+        let g = generate::path(3);
+        distributed_stretch_check(&g, &g.full_edge_set(), 0);
+    }
+}

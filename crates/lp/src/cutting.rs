@@ -1,0 +1,190 @@
+//! Cutting-plane driver around the simplex solver.
+//!
+//! LP (4) of the paper has exponentially many knapsack-cover constraints;
+//! Lemma 3.2 shows they can be separated in polynomial time. The paper then
+//! invokes the Ellipsoid method; here we use the standard practical
+//! alternative — a cutting-plane loop: solve the current relaxation, ask the
+//! separation oracle for violated constraints, add them and re-solve, until
+//! the oracle is satisfied.
+
+use crate::{Constraint, LpProblem, Result, SimplexSolver, Solution};
+
+/// A separation oracle: given a candidate solution, returns violated
+/// constraints to add to the relaxation (an empty vector means the point is
+/// feasible for the full constraint system).
+pub trait SeparationOracle {
+    /// Returns constraints violated by `values`.
+    ///
+    /// Implementations should only return constraints that are genuinely
+    /// violated (beyond their own tolerance); returning already-satisfied
+    /// constraints may prevent the cutting-plane loop from terminating early
+    /// but never affects correctness.
+    fn separate(&mut self, values: &[f64]) -> Vec<Constraint>;
+}
+
+impl<F> SeparationOracle for F
+where
+    F: FnMut(&[f64]) -> Vec<Constraint>,
+{
+    fn separate(&mut self, values: &[f64]) -> Vec<Constraint> {
+        self(values)
+    }
+}
+
+/// Statistics about a cutting-plane solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CutStats {
+    /// Number of solve/separate rounds performed.
+    pub rounds: usize,
+    /// Total number of cuts added over all rounds.
+    pub cuts_added: usize,
+    /// Whether the final solution satisfied the oracle (`true`) or the round
+    /// limit was reached first (`false`).
+    pub separated_to_optimality: bool,
+}
+
+/// Solves `problem` to optimality over the full constraint system described
+/// by `problem`'s explicit constraints *plus* everything the separation
+/// oracle can generate.
+///
+/// The problem is mutated: cuts returned by the oracle are added as ordinary
+/// constraints.
+///
+/// # Errors
+///
+/// Propagates any error of the underlying [`SimplexSolver`]; in particular
+/// the relaxation may be reported infeasible or unbounded.
+pub fn cutting_plane_solve(
+    problem: &mut LpProblem,
+    solver: &SimplexSolver,
+    oracle: &mut dyn SeparationOracle,
+    max_rounds: usize,
+) -> Result<(Solution, CutStats)> {
+    let mut stats = CutStats {
+        rounds: 0,
+        cuts_added: 0,
+        separated_to_optimality: false,
+    };
+    let mut solution = solver.solve(problem)?;
+    loop {
+        stats.rounds += 1;
+        let cuts = oracle.separate(&solution.values);
+        if cuts.is_empty() {
+            stats.separated_to_optimality = true;
+            return Ok((solution, stats));
+        }
+        for cut in cuts {
+            problem.add_constraint_checked(cut)?;
+            stats.cuts_added += 1;
+        }
+        if stats.rounds >= max_rounds {
+            // Return the best relaxation solved so far.
+            solution = solver.solve(problem)?;
+            return Ok((solution, stats));
+        }
+        solution = solver.solve(problem)?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ConstraintOp;
+
+    #[test]
+    fn lazy_constraints_reach_the_true_optimum() {
+        // minimize x + y with the full system { x >= 1, y >= 2 } but only
+        // x >= 1 stated upfront; y >= 2 is produced by the oracle on demand.
+        let mut lp = LpProblem::minimize(2);
+        lp.set_objective(0, 1.0);
+        lp.set_objective(1, 1.0);
+        lp.add_constraint(vec![(0, 1.0)], ConstraintOp::Ge, 1.0);
+
+        let mut oracle = |values: &[f64]| {
+            if values[1] < 2.0 - 1e-9 {
+                vec![Constraint::new(vec![(1, 1.0)], ConstraintOp::Ge, 2.0)]
+            } else {
+                Vec::new()
+            }
+        };
+        let (solution, stats) =
+            cutting_plane_solve(&mut lp, &SimplexSolver::default(), &mut oracle, 10).unwrap();
+        assert!((solution.objective - 3.0).abs() < 1e-6);
+        assert!(stats.separated_to_optimality);
+        assert_eq!(stats.cuts_added, 1);
+        assert!(stats.rounds >= 2);
+    }
+
+    #[test]
+    fn no_cuts_needed_terminates_in_one_round() {
+        let mut lp = LpProblem::minimize(1);
+        lp.set_objective(0, 1.0);
+        lp.add_constraint(vec![(0, 1.0)], ConstraintOp::Ge, 5.0);
+        let mut oracle = |_: &[f64]| Vec::new();
+        let (solution, stats) =
+            cutting_plane_solve(&mut lp, &SimplexSolver::default(), &mut oracle, 10).unwrap();
+        assert!((solution.objective - 5.0).abs() < 1e-6);
+        assert_eq!(stats.rounds, 1);
+        assert_eq!(stats.cuts_added, 0);
+    }
+
+    #[test]
+    fn round_limit_is_respected() {
+        // An oracle that always produces a (progressively tighter) cut.
+        let mut lp = LpProblem::minimize(1);
+        lp.set_objective(0, 1.0);
+        let mut level = 0.0f64;
+        let mut oracle = move |_: &[f64]| {
+            level += 1.0;
+            vec![Constraint::new(vec![(0, 1.0)], ConstraintOp::Ge, level)]
+        };
+        let (solution, stats) =
+            cutting_plane_solve(&mut lp, &SimplexSolver::default(), &mut oracle, 3).unwrap();
+        assert!(!stats.separated_to_optimality);
+        assert_eq!(stats.rounds, 3);
+        assert_eq!(stats.cuts_added, 3);
+        // The final solve reflects every added cut.
+        assert!((solution.objective - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn knapsack_cover_style_cuts() {
+        // A miniature version of the paper's LP (3) -> LP (4) situation:
+        // minimize M*x + sum of 2 path variables f1, f2 with the weak
+        // constraint 3x + f1 + f2 >= 3 (r = 2). The fractional optimum sets
+        // x = 1/3 when M is small relative to... then knapsack-cover cuts
+        // (r+1-|W|)x + sum_{P not in W} f_P >= r+1-|W| force x up to 1 once
+        // both paths are saturated at 1.
+        let m_cost = 30.0;
+        let mut lp = LpProblem::minimize(3); // vars: x, f1, f2
+        lp.set_objective(0, m_cost);
+        lp.set_objective(1, 1.0);
+        lp.set_objective(2, 1.0);
+        lp.set_upper_bound(0, 1.0);
+        lp.set_upper_bound(1, 1.0);
+        lp.set_upper_bound(2, 1.0);
+        lp.add_constraint(
+            vec![(0, 3.0), (1, 1.0), (2, 1.0)],
+            ConstraintOp::Ge,
+            3.0,
+        );
+        // Without cuts: f1 = f2 = 1 and x = 1/3, objective = 12.
+        let base = SimplexSolver::default().solve(&lp).unwrap();
+        assert!((base.objective - 12.0).abs() < 1e-6);
+
+        // Oracle adding the W = {f1, f2} knapsack-cover cut: x >= 1.
+        let mut oracle = |values: &[f64]| {
+            let x = values[0];
+            if x < 1.0 - 1e-9 {
+                vec![Constraint::new(vec![(0, 1.0)], ConstraintOp::Ge, 1.0)]
+            } else {
+                Vec::new()
+            }
+        };
+        let (solution, stats) =
+            cutting_plane_solve(&mut lp, &SimplexSolver::default(), &mut oracle, 10).unwrap();
+        assert!(stats.separated_to_optimality);
+        assert!((solution.values[0] - 1.0).abs() < 1e-6);
+        assert!((solution.objective - 30.0).abs() < 1e-6);
+    }
+}

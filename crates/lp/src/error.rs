@@ -1,0 +1,59 @@
+//! Error type for the LP toolkit.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced while building or solving a linear program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// The LP has no feasible solution.
+    Infeasible,
+    /// The LP is unbounded below (for a minimization problem).
+    Unbounded,
+    /// The simplex solver hit its iteration limit before reaching optimality.
+    IterationLimit {
+        /// The number of pivots performed before giving up.
+        iterations: usize,
+    },
+    /// The problem description itself is invalid.
+    InvalidProblem {
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "linear program is infeasible"),
+            LpError::Unbounded => write!(f, "linear program is unbounded"),
+            LpError::IterationLimit { iterations } => {
+                write!(f, "simplex iteration limit reached after {iterations} pivots")
+            }
+            LpError::InvalidProblem { message } => write!(f, "invalid linear program: {message}"),
+        }
+    }
+}
+
+impl StdError for LpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(LpError::Infeasible.to_string().contains("infeasible"));
+        assert!(LpError::Unbounded.to_string().contains("unbounded"));
+        assert!(LpError::IterationLimit { iterations: 7 }.to_string().contains('7'));
+        assert!(LpError::InvalidProblem { message: "bad".into() }
+            .to_string()
+            .contains("bad"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<E: StdError + Send + Sync>() {}
+        check::<LpError>();
+    }
+}

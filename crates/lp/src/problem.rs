@@ -1,0 +1,268 @@
+//! Linear program description.
+
+use crate::{LpError, Result};
+
+/// Direction of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintOp {
+    /// `a · x <= b`
+    Le,
+    /// `a · x >= b`
+    Ge,
+    /// `a · x == b`
+    Eq,
+}
+
+/// A single linear constraint `sum_j coeffs[j] * x_j  (<=, >=, ==)  rhs`.
+///
+/// Coefficients are sparse `(variable index, coefficient)` pairs; repeated
+/// indices are summed when the constraint is normalized.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    /// Sparse coefficients of the left-hand side.
+    pub coeffs: Vec<(usize, f64)>,
+    /// The comparison operator.
+    pub op: ConstraintOp,
+    /// The right-hand side constant.
+    pub rhs: f64,
+}
+
+impl Constraint {
+    /// Creates a constraint.
+    pub fn new(coeffs: Vec<(usize, f64)>, op: ConstraintOp, rhs: f64) -> Self {
+        Constraint { coeffs, op, rhs }
+    }
+
+    /// Evaluates the left-hand side at the given variable assignment.
+    ///
+    /// Variables outside the assignment are treated as 0.
+    pub fn lhs_value(&self, values: &[f64]) -> f64 {
+        self.coeffs
+            .iter()
+            .map(|&(j, c)| c * values.get(j).copied().unwrap_or(0.0))
+            .sum()
+    }
+
+    /// Amount by which the constraint is violated at `values` (0 if
+    /// satisfied).
+    pub fn violation(&self, values: &[f64]) -> f64 {
+        let lhs = self.lhs_value(values);
+        match self.op {
+            ConstraintOp::Le => (lhs - self.rhs).max(0.0),
+            ConstraintOp::Ge => (self.rhs - lhs).max(0.0),
+            ConstraintOp::Eq => (lhs - self.rhs).abs(),
+        }
+    }
+}
+
+/// A linear *minimization* problem over non-negative variables.
+///
+/// All variables implicitly satisfy `x_j >= 0`; optional upper bounds are
+/// added with [`LpProblem::set_upper_bound`] and are translated into ordinary
+/// constraints when solving. Maximization problems are expressed by negating
+/// the objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpProblem {
+    num_vars: usize,
+    objective: Vec<f64>,
+    constraints: Vec<Constraint>,
+    upper_bounds: Vec<Option<f64>>,
+}
+
+impl LpProblem {
+    /// Creates a minimization problem with `num_vars` non-negative variables
+    /// and an all-zero objective.
+    pub fn minimize(num_vars: usize) -> Self {
+        LpProblem {
+            num_vars,
+            objective: vec![0.0; num_vars],
+            constraints: Vec::new(),
+            upper_bounds: vec![None; num_vars],
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of explicit constraints (not counting upper bounds).
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// The objective coefficients.
+    pub fn objective(&self) -> &[f64] {
+        &self.objective
+    }
+
+    /// The explicit constraints.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// The per-variable upper bounds (`None` = unbounded above).
+    pub fn upper_bounds(&self) -> &[Option<f64>] {
+        &self.upper_bounds
+    }
+
+    /// Sets the objective coefficient of variable `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn set_objective(&mut self, var: usize, coeff: f64) {
+        assert!(var < self.num_vars, "variable {var} out of range");
+        self.objective[var] = coeff;
+    }
+
+    /// Sets an upper bound `x_var <= bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range or `bound` is negative/NaN.
+    pub fn set_upper_bound(&mut self, var: usize, bound: f64) {
+        assert!(var < self.num_vars, "variable {var} out of range");
+        assert!(bound >= 0.0, "upper bound must be non-negative, got {bound}");
+        self.upper_bounds[var] = Some(bound);
+    }
+
+    /// Adds a constraint and returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced variable is out of range.
+    pub fn add_constraint(
+        &mut self,
+        coeffs: Vec<(usize, f64)>,
+        op: ConstraintOp,
+        rhs: f64,
+    ) -> usize {
+        for &(j, _) in &coeffs {
+            assert!(j < self.num_vars, "variable {j} out of range");
+        }
+        self.constraints.push(Constraint::new(coeffs, op, rhs));
+        self.constraints.len() - 1
+    }
+
+    /// Adds an already-built [`Constraint`] and returns its index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError::InvalidProblem`] if the constraint references a
+    /// variable out of range or has a non-finite coefficient or right-hand
+    /// side.
+    pub fn add_constraint_checked(&mut self, constraint: Constraint) -> Result<usize> {
+        for &(j, c) in &constraint.coeffs {
+            if j >= self.num_vars {
+                return Err(LpError::InvalidProblem {
+                    message: format!("constraint references variable {j} out of range"),
+                });
+            }
+            if !c.is_finite() {
+                return Err(LpError::InvalidProblem {
+                    message: format!("non-finite coefficient {c} on variable {j}"),
+                });
+            }
+        }
+        if !constraint.rhs.is_finite() {
+            return Err(LpError::InvalidProblem {
+                message: format!("non-finite right-hand side {}", constraint.rhs),
+            });
+        }
+        self.constraints.push(constraint);
+        Ok(self.constraints.len() - 1)
+    }
+
+    /// Objective value of a variable assignment.
+    pub fn objective_value(&self, values: &[f64]) -> f64 {
+        self.objective
+            .iter()
+            .zip(values.iter())
+            .map(|(c, x)| c * x)
+            .sum()
+    }
+
+    /// Maximum violation of any constraint or bound at `values`.
+    pub fn max_violation(&self, values: &[f64]) -> f64 {
+        let mut worst: f64 = 0.0;
+        for c in &self.constraints {
+            worst = worst.max(c.violation(values));
+        }
+        for (j, ub) in self.upper_bounds.iter().enumerate() {
+            let x = values.get(j).copied().unwrap_or(0.0);
+            worst = worst.max(-x); // lower bound 0
+            if let Some(ub) = ub {
+                worst = worst.max(x - ub);
+            }
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_problem() {
+        let mut lp = LpProblem::minimize(3);
+        lp.set_objective(0, 1.0);
+        lp.set_objective(2, -2.0);
+        lp.set_upper_bound(1, 4.0);
+        let idx = lp.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Ge, 2.0);
+        assert_eq!(idx, 0);
+        assert_eq!(lp.num_vars(), 3);
+        assert_eq!(lp.num_constraints(), 1);
+        assert_eq!(lp.objective(), &[1.0, 0.0, -2.0]);
+        assert_eq!(lp.upper_bounds()[1], Some(4.0));
+    }
+
+    #[test]
+    fn constraint_violation() {
+        let c = Constraint::new(vec![(0, 1.0), (1, 2.0)], ConstraintOp::Ge, 4.0);
+        assert_eq!(c.lhs_value(&[1.0, 1.0]), 3.0);
+        assert_eq!(c.violation(&[1.0, 1.0]), 1.0);
+        assert_eq!(c.violation(&[4.0, 0.0]), 0.0);
+        let le = Constraint::new(vec![(0, 1.0)], ConstraintOp::Le, 1.0);
+        assert_eq!(le.violation(&[2.0]), 1.0);
+        let eq = Constraint::new(vec![(0, 1.0)], ConstraintOp::Eq, 1.0);
+        assert_eq!(eq.violation(&[0.5]), 0.5);
+    }
+
+    #[test]
+    fn objective_and_max_violation() {
+        let mut lp = LpProblem::minimize(2);
+        lp.set_objective(0, 3.0);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Ge, 1.0);
+        lp.set_upper_bound(0, 0.5);
+        assert_eq!(lp.objective_value(&[2.0, 0.0]), 6.0);
+        // x0 = 2 violates its upper bound by 1.5.
+        assert_eq!(lp.max_violation(&[2.0, 0.0]), 1.5);
+        assert_eq!(lp.max_violation(&[0.5, 0.5]), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_variable_panics() {
+        let mut lp = LpProblem::minimize(1);
+        lp.add_constraint(vec![(5, 1.0)], ConstraintOp::Ge, 0.0);
+    }
+
+    #[test]
+    fn checked_constraint_rejects_bad_input() {
+        let mut lp = LpProblem::minimize(2);
+        assert!(lp
+            .add_constraint_checked(Constraint::new(vec![(9, 1.0)], ConstraintOp::Le, 1.0))
+            .is_err());
+        assert!(lp
+            .add_constraint_checked(Constraint::new(vec![(0, f64::NAN)], ConstraintOp::Le, 1.0))
+            .is_err());
+        assert!(lp
+            .add_constraint_checked(Constraint::new(vec![(0, 1.0)], ConstraintOp::Le, f64::INFINITY))
+            .is_err());
+        assert!(lp
+            .add_constraint_checked(Constraint::new(vec![(0, 1.0)], ConstraintOp::Le, 1.0))
+            .is_ok());
+    }
+}

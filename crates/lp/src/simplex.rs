@@ -1,0 +1,583 @@
+//! Dense two-phase primal simplex.
+
+use crate::{ConstraintOp, LpError, LpProblem, Result};
+
+/// Status of a solved linear program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveStatus {
+    /// An optimal basic feasible solution was found.
+    Optimal,
+}
+
+/// An optimal solution of a linear program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// The optimal objective value.
+    pub objective: f64,
+    /// The value of every original variable.
+    pub values: Vec<f64>,
+    /// Status of the solve (currently always [`SolveStatus::Optimal`]; errors
+    /// are reported through [`LpError`]).
+    pub status: SolveStatus,
+    /// Number of simplex pivots performed (both phases).
+    pub pivots: usize,
+}
+
+/// A dense two-phase primal simplex solver.
+///
+/// Phase 1 minimizes the sum of artificial variables to find a basic feasible
+/// solution; phase 2 optimizes the real objective. Entering variables are
+/// chosen by Dantzig's rule with a switch to Bland's rule after a degeneracy
+/// streak to guarantee termination.
+///
+/// The solver is dense and intended for the medium-size LPs produced by the
+/// 2-spanner relaxations (hundreds to a few thousand rows); it is not a
+/// general-purpose industrial solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimplexSolver {
+    /// Numerical tolerance for optimality and feasibility tests.
+    pub tolerance: f64,
+    /// Hard cap on the number of pivots (per phase) before giving up.
+    pub max_iterations: usize,
+}
+
+impl Default for SimplexSolver {
+    fn default() -> Self {
+        SimplexSolver {
+            tolerance: 1e-8,
+            max_iterations: 200_000,
+        }
+    }
+}
+
+struct Tableau {
+    /// Row-major matrix: `rows` constraint rows, each of length `cols`
+    /// (structural + slack + artificial variables, then the RHS).
+    data: Vec<f64>,
+    rows: usize,
+    cols: usize,
+    /// Objective row (same length as a tableau row).
+    obj: Vec<f64>,
+    /// Basic variable of each row.
+    basis: Vec<usize>,
+    /// Index of the first artificial column.
+    first_artificial: usize,
+}
+
+impl Tableau {
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    fn rhs_col(&self) -> usize {
+        self.cols - 1
+    }
+
+    /// Performs a pivot on (row, col): normalizes the pivot row and
+    /// eliminates the column from every other row and the objective row.
+    fn pivot(&mut self, row: usize, col: usize) {
+        let cols = self.cols;
+        let pivot_value = self.at(row, col);
+        debug_assert!(pivot_value.abs() > 1e-12, "pivot on a (near) zero element");
+        let inv = 1.0 / pivot_value;
+        for c in 0..cols {
+            let v = self.at(row, c) * inv;
+            self.set(row, c, v);
+        }
+        for r in 0..self.rows {
+            if r == row {
+                continue;
+            }
+            let factor = self.at(r, col);
+            if factor != 0.0 {
+                for c in 0..cols {
+                    let v = self.at(r, c) - factor * self.at(row, c);
+                    self.set(r, c, v);
+                }
+            }
+        }
+        let factor = self.obj[col];
+        if factor != 0.0 {
+            for c in 0..cols {
+                self.obj[c] -= factor * self.at(row, c);
+            }
+        }
+        self.basis[row] = col;
+    }
+}
+
+impl SimplexSolver {
+    /// Creates a solver with the given tolerance and iteration limit.
+    pub fn new(tolerance: f64, max_iterations: usize) -> Self {
+        SimplexSolver { tolerance, max_iterations }
+    }
+
+    /// Solves the linear program to optimality.
+    ///
+    /// # Errors
+    ///
+    /// * [`LpError::Infeasible`] if no feasible point exists.
+    /// * [`LpError::Unbounded`] if the objective is unbounded below.
+    /// * [`LpError::IterationLimit`] if the pivot limit is exceeded.
+    /// * [`LpError::InvalidProblem`] for malformed input (non-finite data).
+    pub fn solve(&self, problem: &LpProblem) -> Result<Solution> {
+        let n = problem.num_vars();
+        for (j, &c) in problem.objective().iter().enumerate() {
+            if !c.is_finite() {
+                return Err(LpError::InvalidProblem {
+                    message: format!("objective coefficient of variable {j} is not finite"),
+                });
+            }
+        }
+
+        // Collect all rows: explicit constraints plus upper bounds.
+        let mut rows: Vec<(Vec<(usize, f64)>, ConstraintOp, f64)> = Vec::new();
+        for c in problem.constraints() {
+            rows.push((c.coeffs.clone(), c.op, c.rhs));
+        }
+        for (j, ub) in problem.upper_bounds().iter().enumerate() {
+            if let Some(ub) = ub {
+                rows.push((vec![(j, 1.0)], ConstraintOp::Le, *ub));
+            }
+        }
+
+        let m = rows.len();
+        if m == 0 {
+            // With only non-negativity constraints the optimum is x = 0 as
+            // long as the objective has no negative coefficient.
+            if problem.objective().iter().any(|&c| c < 0.0) {
+                return Err(LpError::Unbounded);
+            }
+            return Ok(Solution {
+                objective: 0.0,
+                values: vec![0.0; n],
+                status: SolveStatus::Optimal,
+                pivots: 0,
+            });
+        }
+
+        // Count auxiliary columns. Every row gets either a slack (Le), a
+        // surplus + artificial (Ge), or an artificial (Eq). Rows with a
+        // negative RHS are negated first.
+        let mut normalized = Vec::with_capacity(m);
+        let mut n_slack = 0usize;
+        let mut n_art = 0usize;
+        for (coeffs, op, rhs) in rows {
+            let (coeffs, op, rhs) = if rhs < 0.0 {
+                let flipped = coeffs.iter().map(|&(j, c)| (j, -c)).collect::<Vec<_>>();
+                let op = match op {
+                    ConstraintOp::Le => ConstraintOp::Ge,
+                    ConstraintOp::Ge => ConstraintOp::Le,
+                    ConstraintOp::Eq => ConstraintOp::Eq,
+                };
+                (flipped, op, -rhs)
+            } else {
+                (coeffs, op, rhs)
+            };
+            match op {
+                ConstraintOp::Le => n_slack += 1,
+                ConstraintOp::Ge => {
+                    n_slack += 1;
+                    n_art += 1;
+                }
+                ConstraintOp::Eq => n_art += 1,
+            }
+            normalized.push((coeffs, op, rhs));
+        }
+
+        let first_slack = n;
+        let first_artificial = n + n_slack;
+        let cols = n + n_slack + n_art + 1;
+        let rhs_col = cols - 1;
+
+        let mut tab = Tableau {
+            data: vec![0.0; m * cols],
+            rows: m,
+            cols,
+            obj: vec![0.0; cols],
+            basis: vec![0; m],
+            first_artificial,
+        };
+
+        let mut slack_cursor = first_slack;
+        let mut art_cursor = first_artificial;
+        for (i, (coeffs, op, rhs)) in normalized.iter().enumerate() {
+            for &(j, c) in coeffs {
+                if !c.is_finite() || !rhs.is_finite() {
+                    return Err(LpError::InvalidProblem {
+                        message: format!("non-finite data in constraint row {i}"),
+                    });
+                }
+                let v = tab.at(i, j) + c;
+                tab.set(i, j, v);
+            }
+            tab.set(i, rhs_col, *rhs);
+            match op {
+                ConstraintOp::Le => {
+                    tab.set(i, slack_cursor, 1.0);
+                    tab.basis[i] = slack_cursor;
+                    slack_cursor += 1;
+                }
+                ConstraintOp::Ge => {
+                    tab.set(i, slack_cursor, -1.0);
+                    slack_cursor += 1;
+                    tab.set(i, art_cursor, 1.0);
+                    tab.basis[i] = art_cursor;
+                    art_cursor += 1;
+                }
+                ConstraintOp::Eq => {
+                    tab.set(i, art_cursor, 1.0);
+                    tab.basis[i] = art_cursor;
+                    art_cursor += 1;
+                }
+            }
+        }
+
+        let mut total_pivots = 0usize;
+
+        // Phase 1: minimize the sum of artificial variables.
+        if n_art > 0 {
+            for c in 0..cols {
+                tab.obj[c] = 0.0;
+            }
+            for a in first_artificial..(first_artificial + n_art) {
+                tab.obj[a] = 1.0;
+            }
+            // Price out the basic artificials.
+            for i in 0..m {
+                if tab.basis[i] >= first_artificial {
+                    for c in 0..cols {
+                        tab.obj[c] -= tab.at(i, c);
+                    }
+                }
+            }
+            let pivots = self.iterate(&mut tab, usize::MAX)?;
+            total_pivots += pivots;
+            let phase1_value = -tab.obj[rhs_col];
+            if phase1_value > 1e-6 {
+                return Err(LpError::Infeasible);
+            }
+            // Drive remaining basic artificials out of the basis.
+            for i in 0..m {
+                if tab.basis[i] >= first_artificial {
+                    let mut pivoted = false;
+                    for j in 0..first_artificial {
+                        if tab.at(i, j).abs() > self.tolerance {
+                            tab.pivot(i, j);
+                            total_pivots += 1;
+                            pivoted = true;
+                            break;
+                        }
+                    }
+                    if !pivoted {
+                        // Redundant row: zero it out so it never interferes.
+                        for c in 0..cols {
+                            tab.set(i, c, 0.0);
+                        }
+                        tab.set(i, tab.basis[i], 1.0);
+                    }
+                }
+            }
+        }
+
+        // Phase 2: minimize the real objective, never letting artificials
+        // re-enter.
+        for c in 0..cols {
+            tab.obj[c] = 0.0;
+        }
+        for (j, &c) in problem.objective().iter().enumerate() {
+            tab.obj[j] = c;
+        }
+        for i in 0..m {
+            let b = tab.basis[i];
+            let cost = if b < n { problem.objective()[b] } else { 0.0 };
+            if cost != 0.0 {
+                for c in 0..cols {
+                    tab.obj[c] -= cost * tab.at(i, c);
+                }
+            }
+        }
+        let pivots = self.iterate(&mut tab, first_artificial)?;
+        total_pivots += pivots;
+
+        // Extract the solution.
+        let mut values = vec![0.0; n];
+        for i in 0..m {
+            let b = tab.basis[i];
+            if b < n {
+                values[b] = tab.at(i, rhs_col).max(0.0);
+            }
+        }
+        let objective = problem.objective_value(&values);
+        Ok(Solution {
+            objective,
+            values,
+            status: SolveStatus::Optimal,
+            pivots: total_pivots,
+        })
+    }
+
+    /// Runs simplex iterations until optimality. Columns with index
+    /// `>= entering_limit` are never chosen as entering variables (used to
+    /// exclude artificial columns in phase 2).
+    fn iterate(&self, tab: &mut Tableau, entering_limit: usize) -> Result<usize> {
+        let rhs_col = tab.rhs_col();
+        let limit = entering_limit.min(tab.first_artificial.max(entering_limit));
+        let choosable = if entering_limit == usize::MAX {
+            tab.cols - 1
+        } else {
+            limit
+        };
+        let mut pivots = 0usize;
+        let mut degenerate_streak = 0usize;
+        loop {
+            if pivots > self.max_iterations {
+                return Err(LpError::IterationLimit { iterations: pivots });
+            }
+            // Fall back to Bland's rule during long degenerate streaks to
+            // break stalling; return to Dantzig's rule as soon as real
+            // progress resumes (pure Bland converges far too slowly on the
+            // dense degenerate LPs produced by complete digraphs).
+            let use_bland = degenerate_streak > 64;
+            // Choose the entering column.
+            let mut entering: Option<usize> = None;
+            if use_bland {
+                for j in 0..choosable {
+                    if tab.obj[j] < -self.tolerance {
+                        entering = Some(j);
+                        break;
+                    }
+                }
+            } else {
+                let mut best = -self.tolerance;
+                for j in 0..choosable {
+                    if tab.obj[j] < best {
+                        best = tab.obj[j];
+                        entering = Some(j);
+                    }
+                }
+            }
+            let Some(col) = entering else {
+                return Ok(pivots);
+            };
+            // Ratio test.
+            let mut leaving: Option<(usize, f64)> = None;
+            for i in 0..tab.rows {
+                let a = tab.at(i, col);
+                if a > self.tolerance {
+                    let ratio = tab.at(i, rhs_col) / a;
+                    match leaving {
+                        None => leaving = Some((i, ratio)),
+                        Some((bi, br)) => {
+                            if ratio < br - self.tolerance
+                                || (ratio < br + self.tolerance && tab.basis[i] < tab.basis[bi])
+                            {
+                                leaving = Some((i, ratio));
+                            }
+                        }
+                    }
+                }
+            }
+            let Some((row, ratio)) = leaving else {
+                return Err(LpError::Unbounded);
+            };
+            if ratio.abs() <= self.tolerance {
+                degenerate_streak += 1;
+            } else {
+                degenerate_streak = 0;
+            }
+            tab.pivot(row, col);
+            pivots += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ConstraintOp::*;
+
+    fn solve(lp: &LpProblem) -> Solution {
+        SimplexSolver::default().solve(lp).expect("LP should solve")
+    }
+
+    #[test]
+    fn trivial_problem_without_constraints() {
+        let mut lp = LpProblem::minimize(2);
+        lp.set_objective(0, 1.0);
+        let s = solve(&lp);
+        assert_eq!(s.objective, 0.0);
+        assert_eq!(s.values, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn unbounded_without_constraints() {
+        let mut lp = LpProblem::minimize(1);
+        lp.set_objective(0, -1.0);
+        assert_eq!(SimplexSolver::default().solve(&lp), Err(LpError::Unbounded));
+    }
+
+    #[test]
+    fn simple_covering_problem() {
+        // minimize x + 2y  s.t.  x + y >= 1, y >= 0.25
+        let mut lp = LpProblem::minimize(2);
+        lp.set_objective(0, 1.0);
+        lp.set_objective(1, 2.0);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], Ge, 1.0);
+        lp.add_constraint(vec![(1, 1.0)], Ge, 0.25);
+        let s = solve(&lp);
+        assert!((s.objective - 1.25).abs() < 1e-6);
+        assert!((s.values[0] - 0.75).abs() < 1e-6);
+        assert!((s.values[1] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn maximization_via_negation() {
+        // maximize 3x + 2y s.t. x + y <= 4, x <= 2  (opt = 3*2 + 2*2 = 10)
+        let mut lp = LpProblem::minimize(2);
+        lp.set_objective(0, -3.0);
+        lp.set_objective(1, -2.0);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], Le, 4.0);
+        lp.set_upper_bound(0, 2.0);
+        let s = solve(&lp);
+        assert!((s.objective + 10.0).abs() < 1e-6);
+        assert!((s.values[0] - 2.0).abs() < 1e-6);
+        assert!((s.values[1] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // minimize x + y s.t. x + 2y = 3, x - y = 0  => x = y = 1, obj = 2
+        let mut lp = LpProblem::minimize(2);
+        lp.set_objective(0, 1.0);
+        lp.set_objective(1, 1.0);
+        lp.add_constraint(vec![(0, 1.0), (1, 2.0)], Eq, 3.0);
+        lp.add_constraint(vec![(0, 1.0), (1, -1.0)], Eq, 0.0);
+        let s = solve(&lp);
+        assert!((s.objective - 2.0).abs() < 1e-6);
+        assert!((s.values[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn detects_infeasibility() {
+        let mut lp = LpProblem::minimize(1);
+        lp.add_constraint(vec![(0, 1.0)], Ge, 2.0);
+        lp.add_constraint(vec![(0, 1.0)], Le, 1.0);
+        assert_eq!(SimplexSolver::default().solve(&lp), Err(LpError::Infeasible));
+    }
+
+    #[test]
+    fn detects_unboundedness_with_constraints() {
+        // minimize -x s.t. x >= 1 (x can grow forever)
+        let mut lp = LpProblem::minimize(1);
+        lp.set_objective(0, -1.0);
+        lp.add_constraint(vec![(0, 1.0)], Ge, 1.0);
+        assert_eq!(SimplexSolver::default().solve(&lp), Err(LpError::Unbounded));
+    }
+
+    #[test]
+    fn negative_rhs_rows_are_normalized() {
+        // x - y <= -1 with objective x + y  => optimum x=0, y=1.
+        let mut lp = LpProblem::minimize(2);
+        lp.set_objective(0, 1.0);
+        lp.set_objective(1, 1.0);
+        lp.add_constraint(vec![(0, 1.0), (1, -1.0)], Le, -1.0);
+        let s = solve(&lp);
+        assert!((s.objective - 1.0).abs() < 1e-6);
+        assert!((s.values[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn redundant_equalities_are_handled() {
+        // Same equality twice: the second row becomes redundant after phase 1.
+        let mut lp = LpProblem::minimize(2);
+        lp.set_objective(0, 1.0);
+        lp.set_objective(1, 1.0);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], Eq, 2.0);
+        lp.add_constraint(vec![(0, 2.0), (1, 2.0)], Eq, 4.0);
+        let s = solve(&lp);
+        assert!((s.objective - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fractional_covering_lp_matches_known_optimum() {
+        // Fractional vertex cover of a triangle: minimize x0+x1+x2 with
+        // x_i + x_j >= 1 per edge; optimum 1.5 with all x = 0.5.
+        let mut lp = LpProblem::minimize(3);
+        for j in 0..3 {
+            lp.set_objective(j, 1.0);
+            lp.set_upper_bound(j, 1.0);
+        }
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], Ge, 1.0);
+        lp.add_constraint(vec![(1, 1.0), (2, 1.0)], Ge, 1.0);
+        lp.add_constraint(vec![(0, 1.0), (2, 1.0)], Ge, 1.0);
+        let s = solve(&lp);
+        assert!((s.objective - 1.5).abs() < 1e-6);
+        for v in &s.values {
+            assert!((v - 0.5).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Many redundant constraints through the origin; the solver must not
+        // cycle.
+        let mut lp = LpProblem::minimize(3);
+        lp.set_objective(0, -1.0);
+        lp.set_objective(1, -1.0);
+        lp.set_objective(2, -1.0);
+        for a in 0..3usize {
+            for b in 0..3usize {
+                if a != b {
+                    lp.add_constraint(vec![(a, 1.0), (b, 1.0)], Le, 1.0);
+                }
+            }
+        }
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0), (2, 1.0)], Le, 1.0);
+        let s = solve(&lp);
+        assert!((s.objective + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rejects_non_finite_objective() {
+        let mut lp = LpProblem::minimize(1);
+        lp.set_objective(0, f64::NAN);
+        assert!(matches!(
+            SimplexSolver::default().solve(&lp),
+            Err(LpError::InvalidProblem { .. })
+        ));
+    }
+
+    #[test]
+    fn larger_random_like_lp_is_consistent() {
+        // Transportation-style LP with a known optimum: two suppliers with
+        // capacities 3 and 4 serving demands 2, 2, 3 at unit costs.
+        // Costs: supplier 0: [1, 2, 3], supplier 1: [4, 1, 1].
+        let cost = [[1.0, 2.0, 3.0], [4.0, 1.0, 1.0]];
+        let var = |i: usize, j: usize| i * 3 + j;
+        let mut lp = LpProblem::minimize(6);
+        for i in 0..2 {
+            for j in 0..3 {
+                lp.set_objective(var(i, j), cost[i][j]);
+            }
+        }
+        lp.add_constraint(vec![(var(0, 0), 1.0), (var(0, 1), 1.0), (var(0, 2), 1.0)], Le, 3.0);
+        lp.add_constraint(vec![(var(1, 0), 1.0), (var(1, 1), 1.0), (var(1, 2), 1.0)], Le, 4.0);
+        for j in 0..3 {
+            let demand = [2.0, 2.0, 3.0][j];
+            lp.add_constraint(vec![(var(0, j), 1.0), (var(1, j), 1.0)], Ge, demand);
+        }
+        let s = solve(&lp);
+        // Optimal plan: supplier 0 sends 2 to demand 0 (cost 2) and 1 to
+        // demand 1 (cost 2); supplier 1 sends 1 to demand 1 (cost 1) and 3 to
+        // demand 2 (cost 3). Total 8.
+        assert!((s.objective - 8.0).abs() < 1e-6, "objective {}", s.objective);
+        assert!(lp.max_violation(&s.values) < 1e-6);
+    }
+}

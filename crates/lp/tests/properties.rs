@@ -1,0 +1,108 @@
+//! Property-based tests for the simplex solver: optimality certificates on
+//! randomly generated covering and packing LPs.
+
+use ftspan_lp::{ConstraintOp, LpProblem, SimplexSolver};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// On random covering LPs (minimize c·x, A x >= b, all data non-negative)
+    /// the simplex solution is feasible and no worse than two easily-computed
+    /// feasible points.
+    #[test]
+    fn covering_lp_solution_is_feasible_and_competitive(
+        nvars in 1usize..6,
+        rows in proptest::collection::vec(
+            (proptest::collection::vec(0.0f64..3.0, 1..6), 0.1f64..4.0),
+            1..6
+        ),
+        costs in proptest::collection::vec(0.1f64..5.0, 1..6),
+    ) {
+        let mut lp = LpProblem::minimize(nvars);
+        for j in 0..nvars {
+            lp.set_objective(j, costs.get(j).copied().unwrap_or(1.0));
+        }
+        let mut usable_rows = 0usize;
+        for (coeffs, rhs) in &rows {
+            let sparse: Vec<(usize, f64)> = coeffs
+                .iter()
+                .enumerate()
+                .filter(|(j, &c)| *j < nvars && c > 0.05)
+                .map(|(j, &c)| (j, c))
+                .collect();
+            if sparse.is_empty() {
+                continue;
+            }
+            lp.add_constraint(sparse, ConstraintOp::Ge, *rhs);
+            usable_rows += 1;
+        }
+        if usable_rows == 0 {
+            return Ok(());
+        }
+        let solution = SimplexSolver::default().solve(&lp).unwrap();
+        // Feasible within tolerance.
+        prop_assert!(lp.max_violation(&solution.values) < 1e-5);
+        // Objective matches the reported value.
+        prop_assert!((lp.objective_value(&solution.values) - solution.objective).abs() < 1e-6);
+        // Competitive against the naive feasible point x_j = max_i rhs_i / a_ij
+        // computed per variable being set large enough to satisfy everything
+        // alone is hard in general; instead check against "all variables =
+        // max rhs / min positive coefficient", which is feasible.
+        let mut max_ratio: f64 = 0.0;
+        for c in lp.constraints() {
+            let total: f64 = c.coeffs.iter().map(|&(_, a)| a).sum();
+            max_ratio = max_ratio.max(c.rhs / total);
+        }
+        let naive = vec![max_ratio; nvars];
+        prop_assert!(lp.max_violation(&naive) < 1e-6);
+        prop_assert!(solution.objective <= lp.objective_value(&naive) + 1e-6);
+    }
+
+    /// On random packing LPs (maximize c·x, A x <= b) the solution is feasible
+    /// and at least as good as putting everything on the single best variable.
+    #[test]
+    fn packing_lp_solution_is_feasible_and_competitive(
+        nvars in 1usize..6,
+        rows in proptest::collection::vec(
+            (proptest::collection::vec(0.1f64..3.0, 1..6), 1.0f64..5.0),
+            1..6
+        ),
+        gains in proptest::collection::vec(0.1f64..5.0, 1..6),
+    ) {
+        let mut lp = LpProblem::minimize(nvars);
+        for j in 0..nvars {
+            // Maximize sum gains*x == minimize -gains*x.
+            lp.set_objective(j, -gains.get(j).copied().unwrap_or(1.0));
+            lp.set_upper_bound(j, 10.0);
+        }
+        for (coeffs, rhs) in &rows {
+            let sparse: Vec<(usize, f64)> = coeffs
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j < nvars)
+                .map(|(j, &c)| (j, c))
+                .collect();
+            if sparse.is_empty() {
+                continue;
+            }
+            lp.add_constraint(sparse, ConstraintOp::Le, *rhs);
+        }
+        let solution = SimplexSolver::default().solve(&lp).unwrap();
+        prop_assert!(lp.max_violation(&solution.values) < 1e-5);
+        // Single-variable feasible point: x_0 = min over rows of rhs / a_{i0},
+        // capped by the upper bound.
+        let mut limit = 10.0f64;
+        for c in lp.constraints() {
+            if let Some(&(_, a)) = c.coeffs.iter().find(|&&(j, _)| j == 0) {
+                if a > 0.0 {
+                    limit = limit.min(c.rhs / a);
+                }
+            }
+        }
+        let mut single = vec![0.0; nvars];
+        single[0] = limit;
+        prop_assert!(lp.max_violation(&single) < 1e-6);
+        prop_assert!(solution.objective <= lp.objective_value(&single) + 1e-6);
+    }
+}

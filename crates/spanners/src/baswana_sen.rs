@@ -1,0 +1,300 @@
+//! The randomized clustering spanner of Baswana & Sen.
+
+use crate::SpannerAlgorithm;
+use ftspan_graph::{EdgeId, EdgeSet, Graph, NodeId};
+use rand::Rng;
+use rand::RngCore;
+use std::collections::HashMap;
+
+/// The Baswana–Sen randomized `(2k−1)`-spanner construction.
+///
+/// The algorithm maintains a clustering of the vertices and runs `k − 1`
+/// rounds of cluster sampling (each cluster survives with probability
+/// `n^{−1/k}`), followed by a final vertex–cluster joining phase. Its expected
+/// size is `O(k · n^{1+1/k})` and it works with arbitrary non-negative edge
+/// lengths.
+///
+/// In this workspace it serves as an alternative black box for the conversion
+/// theorem (Theorem 2.1), exercising the theorem's claim that *any* spanner
+/// construction can be made fault tolerant.
+///
+/// # Example
+///
+/// ```
+/// use ftspan_spanners::{BaswanaSenSpanner, SpannerAlgorithm};
+/// use ftspan_graph::{generate, verify};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+/// let g = generate::gnp(50, 0.4, generate::WeightKind::Unit, &mut rng);
+/// let alg = BaswanaSenSpanner::new(2); // stretch 2*2 - 1 = 3
+/// let spanner = alg.build(&g, &mut rng);
+/// assert!(verify::is_k_spanner(&g, &spanner, 3.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BaswanaSenSpanner {
+    k: usize,
+}
+
+impl BaswanaSenSpanner {
+    /// Creates the construction with parameter `k >= 1`; the produced spanner
+    /// has stretch `2k − 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "Baswana-Sen parameter k must be at least 1");
+        BaswanaSenSpanner { k }
+    }
+
+    /// The clustering parameter `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Minimum-weight alive edge from `v` to each adjacent cluster.
+    fn neighbor_clusters(
+        graph: &Graph,
+        alive: &[bool],
+        cluster: &[Option<usize>],
+        v: NodeId,
+    ) -> HashMap<usize, (f64, EdgeId)> {
+        let mut best: HashMap<usize, (f64, EdgeId)> = HashMap::new();
+        for (u, eid) in graph.incident(v) {
+            if !alive[eid.index()] {
+                continue;
+            }
+            if let Some(c) = cluster[u.index()] {
+                let w = graph.edge(eid).weight;
+                best.entry(c)
+                    .and_modify(|entry| {
+                        if w < entry.0 {
+                            *entry = (w, eid);
+                        }
+                    })
+                    .or_insert((w, eid));
+            }
+        }
+        best
+    }
+
+    /// Discards every alive edge between `v` and the cluster `c`.
+    fn discard_edges_to_cluster(
+        graph: &Graph,
+        alive: &mut [bool],
+        cluster: &[Option<usize>],
+        v: NodeId,
+        c: usize,
+    ) {
+        for (u, eid) in graph.incident(v) {
+            if alive[eid.index()] && cluster[u.index()] == Some(c) {
+                alive[eid.index()] = false;
+            }
+        }
+    }
+}
+
+impl SpannerAlgorithm for BaswanaSenSpanner {
+    fn name(&self) -> &str {
+        "baswana-sen"
+    }
+
+    fn stretch(&self) -> f64 {
+        (2 * self.k - 1) as f64
+    }
+
+    fn build(&self, graph: &Graph, rng: &mut dyn RngCore) -> EdgeSet {
+        let n = graph.node_count();
+        let mut spanner = graph.empty_edge_set();
+        if n == 0 || graph.edge_count() == 0 {
+            return spanner;
+        }
+        let p = (n as f64).powf(-1.0 / self.k as f64);
+
+        let mut alive = vec![true; graph.edge_count()];
+        // cluster[v] = Some(center) while v is clustered, None once discarded.
+        let mut cluster: Vec<Option<usize>> = (0..n).map(Some).collect();
+
+        // Phase 1: k - 1 rounds of cluster sampling.
+        for _round in 0..self.k.saturating_sub(1) {
+            // Which cluster centers survive this round?
+            let centers: std::collections::HashSet<usize> =
+                cluster.iter().flatten().copied().collect();
+            let sampled: std::collections::HashSet<usize> = centers
+                .iter()
+                .copied()
+                .filter(|_| rng.gen::<f64>() < p)
+                .collect();
+
+            let mut next_cluster: Vec<Option<usize>> = vec![None; n];
+            // Vertices of sampled clusters stay put.
+            for v in 0..n {
+                if let Some(c) = cluster[v] {
+                    if sampled.contains(&c) {
+                        next_cluster[v] = Some(c);
+                    }
+                }
+            }
+
+            for v_idx in 0..n {
+                let v = NodeId::new(v_idx);
+                let Some(own) = cluster[v_idx] else { continue };
+                if sampled.contains(&own) {
+                    continue;
+                }
+                let neighbors = Self::neighbor_clusters(graph, &alive, &cluster, v);
+                // Closest sampled neighbor cluster, if any.
+                let best_sampled = neighbors
+                    .iter()
+                    .filter(|(c, _)| sampled.contains(c))
+                    .min_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(&c, &(w, e))| (c, w, e));
+
+                match best_sampled {
+                    None => {
+                        // No sampled neighbor: buy the cheapest edge to every
+                        // neighboring cluster and drop out of the clustering.
+                        for (&c, &(_w, e)) in &neighbors {
+                            spanner.insert(e);
+                            Self::discard_edges_to_cluster(graph, &mut alive, &cluster, v, c);
+                        }
+                        next_cluster[v_idx] = None;
+                    }
+                    Some((c_star, w_star, e_star)) => {
+                        spanner.insert(e_star);
+                        next_cluster[v_idx] = Some(c_star);
+                        Self::discard_edges_to_cluster(graph, &mut alive, &cluster, v, c_star);
+                        for (&c, &(w, e)) in &neighbors {
+                            if c != c_star && w < w_star {
+                                spanner.insert(e);
+                                Self::discard_edges_to_cluster(graph, &mut alive, &cluster, v, c);
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Remove edges that became internal to a cluster.
+            for (eid, e) in graph.edges() {
+                if alive[eid.index()] {
+                    if let (Some(cu), Some(cv)) =
+                        (next_cluster[e.u.index()], next_cluster[e.v.index()])
+                    {
+                        if cu == cv {
+                            alive[eid.index()] = false;
+                        }
+                    }
+                }
+            }
+
+            cluster = next_cluster;
+        }
+
+        // Phase 2: every vertex buys the cheapest edge to each remaining
+        // adjacent cluster.
+        for v_idx in 0..n {
+            let v = NodeId::new(v_idx);
+            let neighbors = Self::neighbor_clusters(graph, &alive, &cluster, v);
+            for (&c, &(_w, e)) in &neighbors {
+                spanner.insert(e);
+                Self::discard_edges_to_cluster(graph, &mut alive, &cluster, v, c);
+            }
+        }
+
+        spanner
+    }
+
+    fn size_bound(&self, n: usize) -> f64 {
+        crate::size_bounds::baswana_sen_size_bound(n, self.k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftspan_graph::{generate, verify};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_k_zero() {
+        BaswanaSenSpanner::new(0);
+    }
+
+    #[test]
+    fn k_one_keeps_every_edge() {
+        // Stretch 1 requires every edge of a unit-weight complete graph.
+        let g = generate::complete(7);
+        let s = BaswanaSenSpanner::new(1).build(&g, &mut rng(1));
+        assert_eq!(s.len(), g.edge_count());
+    }
+
+    #[test]
+    fn stretch_guarantee_on_random_graphs() {
+        let mut r = rng(2);
+        for k in [2usize, 3] {
+            for trial in 0..5 {
+                let g = generate::gnp(
+                    40,
+                    0.3,
+                    generate::WeightKind::Uniform { min: 1.0, max: 5.0 },
+                    &mut r,
+                );
+                let alg = BaswanaSenSpanner::new(k);
+                let s = alg.build(&g, &mut r);
+                assert!(
+                    verify::is_k_spanner(&g, &s, alg.stretch()),
+                    "trial {trial}: not a {}-spanner",
+                    alg.stretch()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stretch_guarantee_on_dense_unit_graph() {
+        let mut r = rng(3);
+        let g = generate::complete(30);
+        let alg = BaswanaSenSpanner::new(2);
+        let s = alg.build(&g, &mut r);
+        assert!(verify::is_k_spanner(&g, &s, 3.0));
+        // Expected size O(k n^{1.5}) ≈ 2 * 164; leave generous slack but stay
+        // well below the 435 input edges.
+        assert!(s.len() < 420, "spanner too dense: {}", s.len());
+    }
+
+    #[test]
+    fn handles_empty_and_tiny_graphs() {
+        let alg = BaswanaSenSpanner::new(3);
+        let empty = Graph::new(0);
+        assert_eq!(alg.build(&empty, &mut rng(4)).len(), 0);
+        let isolated = Graph::new(5);
+        assert_eq!(alg.build(&isolated, &mut rng(5)).len(), 0);
+        let mut two = Graph::new(2);
+        two.add_edge(NodeId::new(0), NodeId::new(1), 2.0).unwrap();
+        let s = alg.build(&two, &mut rng(6));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn size_bound_grows_with_k_and_n() {
+        let a2 = BaswanaSenSpanner::new(2);
+        let a3 = BaswanaSenSpanner::new(3);
+        assert!(a2.size_bound(1000) > a3.size_bound(1000) / 3.0);
+        assert!(a2.size_bound(2000) > a2.size_bound(1000));
+    }
+
+    #[test]
+    fn reports_name_and_stretch() {
+        let alg = BaswanaSenSpanner::new(4);
+        assert_eq!(alg.name(), "baswana-sen");
+        assert_eq!(alg.stretch(), 7.0);
+        assert_eq!(alg.k(), 4);
+    }
+}

@@ -1,0 +1,187 @@
+//! The greedy spanner of Althöfer, Das, Dobkin, Joseph and Soares.
+
+use crate::SpannerAlgorithm;
+use ftspan_graph::{shortest_path::SsspOptions, EdgeSet, Graph};
+use rand::RngCore;
+
+/// The greedy `k`-spanner construction (Althöfer et al., Discrete Comput.
+/// Geom. 1993).
+///
+/// Edges are examined in non-decreasing order of weight; an edge `(u, v)` is
+/// added to the spanner exactly when the distance between `u` and `v` in the
+/// spanner built so far exceeds `k · w(u, v)`.
+///
+/// For stretch `k = 2t − 1` the resulting spanner has girth greater than
+/// `2t`, hence at most `O(n^{1+1/t})` edges — equivalently, for odd
+/// `k` the size is `O(n^{1 + 2/(k+1)})`, the bound used by Corollary 2.2 of
+/// the paper. The construction is deterministic and works with arbitrary
+/// non-negative edge lengths.
+///
+/// # Example
+///
+/// ```
+/// use ftspan_spanners::{GreedySpanner, SpannerAlgorithm};
+/// use ftspan_graph::{generate, verify};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+/// let g = generate::complete(30);
+/// let spanner = GreedySpanner::new(3.0).build(&g, &mut rng);
+/// assert!(verify::is_k_spanner(&g, &spanner, 3.0));
+/// // K_30 has 435 edges; the 3-spanner is much sparser.
+/// assert!(spanner.len() < 200);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GreedySpanner {
+    stretch: f64,
+}
+
+impl GreedySpanner {
+    /// Creates a greedy spanner construction with the given stretch `k >= 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stretch < 1` or is not finite.
+    pub fn new(stretch: f64) -> Self {
+        assert!(
+            stretch.is_finite() && stretch >= 1.0,
+            "stretch must be a finite number >= 1, got {stretch}"
+        );
+        GreedySpanner { stretch }
+    }
+}
+
+impl SpannerAlgorithm for GreedySpanner {
+    fn name(&self) -> &str {
+        "greedy"
+    }
+
+    fn stretch(&self) -> f64 {
+        self.stretch
+    }
+
+    fn build(&self, graph: &Graph, _rng: &mut dyn RngCore) -> EdgeSet {
+        let mut order: Vec<_> = graph.edges().map(|(id, e)| (e.weight, id)).collect();
+        order.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+
+        let mut spanner = graph.empty_edge_set();
+        // Incrementally maintained spanner graph for distance queries.
+        let mut partial = Graph::new(graph.node_count());
+        for (w, id) in order {
+            let e = graph.edge(id);
+            let budget = self.stretch * w;
+            // Bounded-radius Dijkstra inside the partial spanner: if u already
+            // reaches v within k·w we can skip the edge.
+            let dist = SsspOptions::new()
+                .cutoff(budget)
+                .run(&partial, e.u)
+                .expect("partial spanner shares the vertex set");
+            if dist[e.v.index()] > budget {
+                spanner.insert(id);
+                partial
+                    .add_edge(e.u, e.v, w)
+                    .expect("edges of the input graph are valid");
+            }
+        }
+        spanner
+    }
+
+    fn size_bound(&self, n: usize) -> f64 {
+        crate::size_bounds::greedy_size_bound(n, self.stretch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftspan_graph::{generate, verify, NodeId};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(99)
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_stretch_below_one() {
+        GreedySpanner::new(0.5);
+    }
+
+    #[test]
+    fn stretch_one_keeps_all_edges_of_a_metric_graph() {
+        // In a unit-weight complete graph every edge is the unique shortest
+        // path, so a 1-spanner must keep everything.
+        let g = generate::complete(8);
+        let s = GreedySpanner::new(1.0).build(&g, &mut rng());
+        assert_eq!(s.len(), g.edge_count());
+    }
+
+    #[test]
+    fn produces_valid_spanners_on_random_graphs() {
+        let mut r = rng();
+        for k in [3.0, 5.0, 7.0] {
+            let g = generate::gnp(50, 0.3, generate::WeightKind::Uniform { min: 1.0, max: 4.0 }, &mut r);
+            let s = GreedySpanner::new(k).build(&g, &mut r);
+            assert!(
+                verify::is_k_spanner(&g, &s, k),
+                "greedy output is not a {k}-spanner"
+            );
+        }
+    }
+
+    #[test]
+    fn three_spanner_of_complete_graph_is_sparse() {
+        let g = generate::complete(40);
+        let s = GreedySpanner::new(3.0).build(&g, &mut rng());
+        // Girth > 4 implies O(n^{3/2}) edges; for n = 40 that is ~ 253 + 40,
+        // far below the 780 edges of K_40.
+        assert!(s.len() < 300, "3-spanner too dense: {}", s.len());
+        assert!(verify::is_k_spanner(&g, &s, 3.0));
+    }
+
+    #[test]
+    fn keeps_a_spanning_structure_when_connected() {
+        let mut r = rng();
+        let g = generate::connected_gnp(30, 0.2, generate::WeightKind::Unit, &mut r);
+        let s = GreedySpanner::new(5.0).build(&g, &mut r);
+        let sub = g.subgraph(&s).unwrap();
+        assert!(sub.is_connected());
+    }
+
+    #[test]
+    fn respects_edge_weights() {
+        // Heavy shortcut edge must be dropped: 0-1-2 path of total weight 2,
+        // shortcut (0,2) of weight 10 is within stretch 3 * d(0,2)=2? No:
+        // d(0,2) = 2, spanner must give <= 3*2 = 6 <= path already 2, so the
+        // shortcut (weight 10) is never needed.
+        let g = Graph::from_edges(3, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 10.0)]).unwrap();
+        let s = GreedySpanner::new(3.0).build(&g, &mut rng());
+        assert_eq!(s.len(), 2);
+        let kept = g.subgraph(&s).unwrap();
+        assert!(!kept.has_edge(NodeId::new(0), NodeId::new(2)));
+    }
+
+    #[test]
+    fn greedy_spanner_girth_exceeds_stretch_plus_one() {
+        // The size analysis of Althöfer et al. rests on exactly this: on
+        // unit-weight graphs the greedy k-spanner contains no cycle of length
+        // k + 1 or shorter.
+        let mut r = rng();
+        for k in [3.0f64, 5.0] {
+            let g = generate::gnp(40, 0.3, generate::WeightKind::Unit, &mut r);
+            let s = GreedySpanner::new(k).build(&g, &mut r);
+            let sub = g.subgraph(&s).unwrap();
+            if let Some(girth) = ftspan_graph::stats::girth(&sub) {
+                assert!(girth as f64 > k + 1.0, "girth {girth} too small for stretch {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn size_bound_is_monotone_in_n() {
+        let alg = GreedySpanner::new(3.0);
+        assert!(alg.size_bound(100) < alg.size_bound(200));
+        assert!(alg.size_bound(10) >= 10.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Theoretical size bounds of the spanner constructions.
+//!
+//! The experiments plot measured spanner sizes against these bounds; the
+//! conversion theorem's size analysis (`ftspan-core::conversion`) composes
+//! them with the `O(r³ log n · f(2n/r))` overhead.
+
+/// Size bound `f(n)` of the greedy `k`-spanner of Althöfer et al.
+///
+/// For stretch `k` the greedy spanner has girth greater than `k + 1`, hence at
+/// most `n^{1 + 2/(k+1)} + n` edges (the Moore-type bound used throughout the
+/// paper). The bound is meaningful for `k >= 1`; fractional stretches are
+/// rounded down to the nearest odd integer for the exponent.
+pub fn greedy_size_bound(n: usize, stretch: f64) -> f64 {
+    let n = n as f64;
+    let k = stretch.max(1.0);
+    n.powf(1.0 + 2.0 / (k + 1.0)) + n
+}
+
+/// Expected size bound of the Baswana–Sen construction with parameter `k`
+/// (stretch `2k − 1`): `O(k · n^{1 + 1/k})`.
+pub fn baswana_sen_size_bound(n: usize, k: usize) -> f64 {
+    let n = n as f64;
+    let k = k.max(1) as f64;
+    k * n.powf(1.0 + 1.0 / k) + n
+}
+
+/// Expected size bound of the Thorup–Zwick cluster spanner with hierarchy
+/// depth `k` (stretch `2k − 1`): `O(k · n^{1 + 1/k})`.
+pub fn thorup_zwick_size_bound(n: usize, k: usize) -> f64 {
+    let n = n as f64;
+    let k = k.max(1) as f64;
+    k * n.powf(1.0 + 1.0 / k) + n
+}
+
+/// The size bound of Corollary 2.2 of the paper: applying the conversion
+/// theorem to the greedy spanner yields an `r`-fault-tolerant `k`-spanner
+/// with `O(r^{2 − 2/(k+1)} · n^{1 + 2/(k+1)} · log n)` edges.
+pub fn corollary_2_2_bound(n: usize, r: usize, k: f64) -> f64 {
+    let n_f = n as f64;
+    let r_f = r.max(1) as f64;
+    let exponent = 2.0 / (k + 1.0);
+    r_f.powf(2.0 - exponent) * n_f.powf(1.0 + exponent) * n_f.max(2.0).ln()
+}
+
+/// The size bound of the previous construction by Chechik, Langberg, Peleg
+/// and Roditty (CLPR09) for `(2k−1)`-spanners:
+/// `O(r² · k^{r+1} · n^{1+1/k} · log^{1−1/k} n)`.
+///
+/// The experiments use this to contrast the exponential dependence on `r`
+/// with the polynomial dependence of Corollary 2.2.
+pub fn clpr09_bound(n: usize, r: usize, k: usize) -> f64 {
+    let n_f = n as f64;
+    let r_f = r.max(1) as f64;
+    let k_f = k.max(1) as f64;
+    r_f * r_f
+        * k_f.powf(r_f + 1.0)
+        * n_f.powf(1.0 + 1.0 / k_f)
+        * n_f.max(2.0).ln().powf(1.0 - 1.0 / k_f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greedy_bound_matches_known_exponents() {
+        // k = 3  =>  n^{3/2} + n
+        let b = greedy_size_bound(100, 3.0);
+        assert!((b - (100f64.powf(1.5) + 100.0)).abs() < 1e-9);
+        // Larger stretch gives a smaller bound.
+        assert!(greedy_size_bound(1000, 5.0) < greedy_size_bound(1000, 3.0));
+    }
+
+    #[test]
+    fn baswana_sen_bound_behaviour() {
+        assert!(baswana_sen_size_bound(1000, 2) > baswana_sen_size_bound(1000, 5) / 5.0);
+        assert!(baswana_sen_size_bound(2000, 2) > baswana_sen_size_bound(1000, 2));
+    }
+
+    #[test]
+    fn corollary_bound_is_polynomial_in_r() {
+        let n = 500;
+        let b1 = corollary_2_2_bound(n, 1, 3.0);
+        let b8 = corollary_2_2_bound(n, 8, 3.0);
+        // r^{1.5} growth: going from r=1 to r=8 multiplies by 8^{1.5} ≈ 22.6.
+        let ratio = b8 / b1;
+        assert!(ratio > 20.0 && ratio < 25.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn clpr_bound_is_exponential_in_r() {
+        let n = 500;
+        let k = 2;
+        let b1 = clpr09_bound(n, 1, k);
+        let b8 = clpr09_bound(n, 8, k);
+        // k^{r+1} growth dominates: 2^9 / 2^2 = 128, times (8/1)^2 = 64.
+        assert!(b8 / b1 > 1000.0);
+        // And for moderate r it already exceeds the polynomial bound.
+        assert!(clpr09_bound(n, 10, 2) > corollary_2_2_bound(n, 10, 3.0));
+    }
+
+    #[test]
+    fn thorup_zwick_bound_behaviour() {
+        assert!(thorup_zwick_size_bound(2000, 2) > thorup_zwick_size_bound(1000, 2));
+        // Matches the Baswana-Sen exponent (both are (2k-1)-spanner bounds).
+        assert_eq!(thorup_zwick_size_bound(500, 3), baswana_sen_size_bound(500, 3));
+    }
+
+    #[test]
+    fn bounds_handle_degenerate_inputs() {
+        assert!(greedy_size_bound(0, 3.0) >= 0.0);
+        assert!(baswana_sen_size_bound(1, 1) >= 0.0);
+        assert!(thorup_zwick_size_bound(1, 1) >= 0.0);
+        assert!(corollary_2_2_bound(1, 0, 3.0) >= 0.0);
+        assert!(clpr09_bound(1, 0, 1) >= 0.0);
+    }
+}

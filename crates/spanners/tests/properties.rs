@@ -1,0 +1,98 @@
+//! Property-based tests for the classic spanner constructions: whatever the
+//! input graph, the stretch guarantee and basic sanity invariants must hold.
+
+use ftspan_graph::{verify, Graph, NodeId};
+use ftspan_spanners::{BaswanaSenSpanner, ClusterSpanner, GreedySpanner, SpannerAlgorithm};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn graph_from_bits(n: usize, bits: &[bool], weights: &[f64]) -> Graph {
+    let mut g = Graph::new(n);
+    let mut idx = 0usize;
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if idx < bits.len() && bits[idx] {
+                let w = weights.get(idx).copied().unwrap_or(1.0).abs().max(0.01);
+                g.add_edge(NodeId::new(u), NodeId::new(v), w).unwrap();
+            }
+            idx += 1;
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Greedy spanners respect their stretch bound on weighted graphs and the
+    /// girth-based sparsity is monotone: higher stretch never keeps more
+    /// edges.
+    #[test]
+    fn greedy_stretch_and_monotonicity(
+        n in 2usize..14,
+        bits in proptest::collection::vec(any::<bool>(), 0..91),
+        weights in proptest::collection::vec(0.1f64..5.0, 0..91),
+        seed in any::<u64>(),
+    ) {
+        let g = graph_from_bits(n, &bits, &weights);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let s3 = GreedySpanner::new(3.0).build(&g, &mut rng);
+        let s5 = GreedySpanner::new(5.0).build(&g, &mut rng);
+        prop_assert!(verify::is_k_spanner(&g, &s3, 3.0));
+        prop_assert!(verify::is_k_spanner(&g, &s5, 5.0));
+        prop_assert!(s5.len() <= s3.len());
+        // Greedy keeps connectivity of each component: the spanner reaches
+        // every vertex the graph reaches.
+        let full = ftspan_graph::shortest_path::dijkstra(&g, NodeId::new(0)).unwrap();
+        let sub = ftspan_graph::shortest_path::dijkstra_on_edges(&g, &s3, NodeId::new(0)).unwrap();
+        for v in 0..n {
+            prop_assert_eq!(full[v].is_finite(), sub[v].is_finite());
+        }
+    }
+
+    /// Baswana-Sen and the cluster spanner always meet their stretch bounds
+    /// (unit weights for the cluster spanner, arbitrary for Baswana-Sen).
+    #[test]
+    fn randomized_spanners_meet_their_stretch(
+        n in 2usize..14,
+        bits in proptest::collection::vec(any::<bool>(), 0..91),
+        seed in any::<u64>(),
+        k in 1usize..4,
+    ) {
+        let g = graph_from_bits(n, &bits, &[]);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let bs = BaswanaSenSpanner::new(k);
+        let s = bs.build(&g, &mut rng);
+        prop_assert!(verify::is_k_spanner(&g, &s, bs.stretch()));
+
+        let cs = ClusterSpanner::with_radius(1);
+        let c = cs.build(&g, &mut rng);
+        prop_assert!(verify::is_k_spanner(&g, &c, cs.stretch()));
+    }
+
+    /// Every construction returns a subset of the input's edges sized within
+    /// its own documented bound (plus slack for the bound's constant).
+    #[test]
+    fn sizes_are_subsets_and_bounded(
+        n in 2usize..14,
+        bits in proptest::collection::vec(any::<bool>(), 0..91),
+        seed in any::<u64>(),
+    ) {
+        let g = graph_from_bits(n, &bits, &[]);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let algorithms: Vec<Box<dyn SpannerAlgorithm>> = vec![
+            Box::new(GreedySpanner::new(3.0)),
+            Box::new(BaswanaSenSpanner::new(2)),
+            Box::new(ClusterSpanner::with_radius(1)),
+        ];
+        for alg in &algorithms {
+            let s = alg.build(&g, &mut rng);
+            prop_assert!(s.len() <= g.edge_count());
+            prop_assert!(s.capacity() == g.edge_count());
+            // The documented f(n) bound (with a generous constant of 4 for
+            // the randomized constructions) is respected.
+            prop_assert!((s.len() as f64) <= 4.0 * alg.size_bound(n) + 8.0);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Fault-injection study: how does a fault-tolerant spanner behave as nodes
+//! keep failing — including beyond the number of faults it was built for?
+//!
+//! The paper's guarantee is sharp at `r` faults; this example measures the
+//! degradation curve empirically, comparing a plain 3-spanner, an
+//! `r = 1` and an `r = 3` fault-tolerant spanner under increasing numbers of
+//! random and adversarial (highest-degree) failures.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example fault_injection
+//! ```
+
+use fault_tolerant_spanners::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn stretch_percentile(
+    graph: &Graph,
+    spanner: &EdgeSet,
+    failures: usize,
+    trials: usize,
+    rng: &mut ChaCha8Rng,
+) -> (f64, f64) {
+    // Returns (share of trials that stayed a 3-spanner, worst stretch seen).
+    let mut ok = 0usize;
+    let mut worst: f64 = 1.0;
+    for _ in 0..trials {
+        let faults = faults::sample_fault_set(graph.node_count(), failures, rng);
+        let s = verify::max_stretch_under_faults(graph, spanner, &faults);
+        if s <= 3.0 + 1e-9 {
+            ok += 1;
+        }
+        worst = worst.max(s);
+    }
+    (ok as f64 / trials as f64, worst)
+}
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    let n = 70;
+    let network = generate::connected_gnp(n, 0.12, generate::WeightKind::Unit, &mut rng);
+    println!(
+        "network: {} nodes, {} links\n",
+        network.node_count(),
+        network.edge_count()
+    );
+
+    let plain = GreedySpanner::new(3.0).build(&network, &mut rng);
+    let ft1 = corollary_2_2(&network, 3.0, 1, &mut rng);
+    let ft3 = corollary_2_2(&network, 3.0, 3, &mut rng);
+
+    println!("spanner sizes (edges):");
+    println!("  plain greedy 3-spanner : {}", plain.len());
+    println!("  1-fault tolerant       : {}", ft1.size());
+    println!("  3-fault tolerant       : {}\n", ft3.size());
+
+    let trials = 60;
+    println!("random failures: share of trials still a 3-spanner (worst stretch)");
+    println!("{:>9} | {:>22} | {:>22} | {:>22}", "failures", "plain", "r = 1", "r = 3");
+    for failures in [1usize, 2, 3, 4, 6] {
+        let (p_ok, p_worst) = stretch_percentile(&network, &plain, failures, trials, &mut rng);
+        let (a_ok, a_worst) = stretch_percentile(&network, &ft1.edges, failures, trials, &mut rng);
+        let (b_ok, b_worst) = stretch_percentile(&network, &ft3.edges, failures, trials, &mut rng);
+        println!(
+            "{:>9} | {:>13.2} ({:>5.2}) | {:>13.2} ({:>5.2}) | {:>13.2} ({:>5.2})",
+            failures, p_ok, p_worst, a_ok, a_worst, b_ok, b_worst
+        );
+    }
+
+    println!("\nadversarial (highest-degree) failures: worst surviving stretch");
+    println!("{:>9} | {:>8} | {:>8} | {:>8}", "failures", "plain", "r = 1", "r = 3");
+    for failures in [1usize, 2, 3] {
+        let hubs = faults::high_degree_faults(&network, failures);
+        let p = verify::max_stretch_under_faults(&network, &plain, &hubs);
+        let a = verify::max_stretch_under_faults(&network, &ft1.edges, &hubs);
+        let b = verify::max_stretch_under_faults(&network, &ft3.edges, &hubs);
+        println!("{failures:>9} | {p:>8.2} | {a:>8.2} | {b:>8.2}");
+    }
+
+    // The r = 3 spanner must survive any 3 failures — including the hubs.
+    let hubs = faults::high_degree_faults(&network, 3);
+    assert!(verify::max_stretch_under_faults(&network, &ft3.edges, &hubs) <= 3.0 + 1e-9);
+    println!("\nr = 3 spanner verified against the 3 busiest hubs failing simultaneously.");
+}

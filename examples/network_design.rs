@@ -1,0 +1,91 @@
+//! Network design with costs: buy a cheapest set of directed links so that
+//! every business-critical connection survives router failures with at most
+//! one extra hop.
+//!
+//! This is the Minimum Cost r-Fault Tolerant 2-Spanner problem of Section 3
+//! of the paper: the input is a directed graph whose arcs have purchase
+//! costs, and the output must contain, for every input arc, either the arc
+//! itself or — even after any `r` routers fail — a surviving two-hop detour.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example network_design
+//! ```
+
+use fault_tolerant_spanners::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+
+    // A 14-router network; long-haul links are expensive, local ones cheap.
+    let n = 14;
+    let network = generate::directed_gnp(
+        n,
+        0.45,
+        generate::WeightKind::Uniform { min: 1.0, max: 8.0 },
+        &mut rng,
+    );
+    println!(
+        "network: {} routers, {} candidate links, total catalogue cost {:.1}",
+        network.node_count(),
+        network.arc_count(),
+        network.total_cost()
+    );
+
+    let faults = 1;
+
+    // Theorem 3.3: LP (4) + threshold rounding, O(log n)-approximation.
+    let ours = approximate_two_spanner(&network, &ApproxConfig::new(faults), &mut rng)
+        .expect("relaxation is always feasible on a well-formed instance");
+    println!(
+        "Dinitz-Krauthgamer O(log n) rounding: cost {:.1} (LP lower bound {:.1}, ratio {:.2}, \
+         {} knapsack-cover cuts, {} repaired arcs)",
+        ours.cost,
+        ours.lp_objective,
+        ours.ratio_vs_lp(),
+        ours.cut_stats.cuts_added,
+        ours.repaired_arcs
+    );
+    assert!(verify::is_ft_two_spanner(&network, &ours.arcs, faults));
+
+    // The previous DK10 rounding needs inflation Θ(r log n) on the weaker LP.
+    let dk10 = dk10_two_spanner(&network, faults, &mut rng)
+        .expect("relaxation is always feasible on a well-formed instance");
+    println!(
+        "DK10 O(r log n) baseline:             cost {:.1} (ratio vs its LP {:.2})",
+        dk10.cost,
+        dk10.ratio_vs_lp()
+    );
+
+    // Trivial upper bound: buy every link.
+    println!("buy-everything baseline:              cost {:.1}", network.total_cost());
+
+    // Show what fault tolerance buys: fail each router in turn and count
+    // broken connections under the purchased plan.
+    let mut worst_broken = 0usize;
+    for f in 0..n {
+        let fault = faults::FaultSet::from_indices([f]);
+        let broken = network
+            .arcs()
+            .filter(|(id, arc)| {
+                !fault.contains(arc.tail)
+                    && !fault.contains(arc.head)
+                    && !ours.arcs.contains(*id)
+                    && !network.two_path_midpoints(arc.tail, arc.head).any(|w| {
+                        !fault.contains(w)
+                            && ours.arcs.contains(network.find_arc(arc.tail, w).unwrap())
+                            && ours.arcs.contains(network.find_arc(w, arc.head).unwrap())
+                    })
+            })
+            .count();
+        worst_broken = worst_broken.max(broken);
+    }
+    println!(
+        "worst case over all single router failures: {} broken connections (must be 0)",
+        worst_broken
+    );
+    assert_eq!(worst_broken, 0);
+}

@@ -1,0 +1,61 @@
+//! Quickstart: build a fault-tolerant spanner of a random network and watch
+//! it survive failures.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use fault_tolerant_spanners::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(2011);
+
+    // A random 60-node network with unit-length links.
+    let n = 60;
+    let network = generate::connected_gnp(n, 0.15, generate::WeightKind::Unit, &mut rng);
+    println!(
+        "network: {} nodes, {} links",
+        network.node_count(),
+        network.edge_count()
+    );
+
+    // Corollary 2.2: convert the greedy 3-spanner into a 2-fault-tolerant one.
+    let faults = 2;
+    let stretch = 3.0;
+    let result = corollary_2_2(&network, stretch, faults, &mut rng);
+    println!(
+        "fault-tolerant spanner: {} edges ({} iterations of the conversion, \
+         {:.1}% of the input kept)",
+        result.size(),
+        result.iterations,
+        100.0 * result.size() as f64 / network.edge_count() as f64
+    );
+
+    // Compare with the plain (non-fault-tolerant) greedy spanner.
+    let plain = GreedySpanner::new(stretch).build(&network, &mut rng);
+    println!("plain 3-spanner for reference: {} edges", plain.len());
+
+    // Verify fault tolerance against every single- and double-failure.
+    let report = verify::verify_fault_tolerance_exhaustive(&network, &result.edges, stretch, faults);
+    println!(
+        "verification: {} fault sets checked, worst stretch {:.3}, valid = {}",
+        report.checked,
+        report.worst_stretch,
+        report.is_valid()
+    );
+
+    // Knock out the two busiest hubs and measure the stretch that remains.
+    let hubs = faults::high_degree_faults(&network, faults);
+    let stretch_after = verify::max_stretch_under_faults(&network, &result.edges, &hubs);
+    println!(
+        "after failing the {} busiest hubs {:?}: worst surviving stretch {:.3}",
+        faults,
+        hubs.nodes(),
+        stretch_after
+    );
+    assert!(stretch_after <= stretch + 1e-9);
+}

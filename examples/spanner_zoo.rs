@@ -1,0 +1,111 @@
+//! Spanner zoo: every construction in the library run on the same network,
+//! with size, weight, lightness and stretch-distribution statistics side by
+//! side.
+//!
+//! This is the "which spanner should I use?" tour: the classic black boxes
+//! (greedy, Baswana–Sen, Thorup–Zwick, ball-carving clusters), the
+//! fault-tolerant conversion built on each of them, and the adaptive variant
+//! that stops as soon as verification passes.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example spanner_zoo
+//! ```
+
+use fault_tolerant_spanners::prelude::*;
+use ftspan_spanners::SpannerStats;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn describe(name: &str, graph: &Graph, spanner: &EdgeSet, stretch: f64) {
+    let basic = SpannerStats::collect(graph, spanner, stretch);
+    let distribution = stats::stretch_stats(graph, spanner).expect("spanner matches the graph");
+    let light = tree::lightness(graph, spanner).expect("spanner matches the graph");
+    println!(
+        "{name:<28} edges {:>5}  weight {:>8.1}  lightness {:>5.2}  \
+         max-stretch {:>5.2}  mean-stretch {:>4.2}  exact {:>5.1}%",
+        basic.spanner_edges,
+        basic.spanner_weight,
+        light,
+        distribution.max,
+        distribution.mean,
+        100.0 * distribution.fraction_exact,
+    );
+}
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(77);
+
+    // A weighted random geometric network: the classic "sensors on a field"
+    // workload that motivates spanners in the first place.
+    let n = 120;
+    let network = generate::random_geometric(n, 0.22, generate::WeightKind::Euclidean, &mut rng);
+    let cc = components::connected_components(&network);
+    println!(
+        "network: {} nodes, {} edges, {} component(s), max degree {}, MST weight {:.1}\n",
+        network.node_count(),
+        network.edge_count(),
+        cc.count(),
+        network.max_degree(),
+        tree::mst_weight(&network),
+    );
+
+    println!("-- classic (non-fault-tolerant) spanners, stretch 3 --");
+    let greedy = GreedySpanner::new(3.0).build(&network, &mut rng);
+    describe("greedy (Althofer et al.)", &network, &greedy, 3.0);
+    let bs = BaswanaSenSpanner::new(2).build(&network, &mut rng);
+    describe("Baswana-Sen", &network, &bs, 3.0);
+    let tz = ThorupZwickSpanner::new(2).build(&network, &mut rng);
+    describe("Thorup-Zwick", &network, &tz, 3.0);
+    let cluster = ClusterSpanner::for_stretch(3).build(&network, &mut rng);
+    describe("cluster (ball carving)", &network, &cluster, 3.0);
+    let mst = tree::minimum_spanning_forest(&network);
+    describe("minimum spanning forest", &network, &mst, f64::INFINITY);
+
+    println!("\n-- 1-fault-tolerant 3-spanners (Theorem 2.1 conversion) --");
+    for (label, result) in [
+        (
+            "conversion over greedy",
+            FaultTolerantConverter::new(ConversionParams::new(1).with_scale(0.5)).build(
+                &network,
+                &GreedySpanner::new(3.0),
+                &mut rng,
+            ),
+        ),
+        (
+            "conversion over Thorup-Zwick",
+            FaultTolerantConverter::new(ConversionParams::new(1).with_scale(0.5)).build(
+                &network,
+                &ThorupZwickSpanner::new(2),
+                &mut rng,
+            ),
+        ),
+    ] {
+        describe(label, &network, &result.edges, 3.0);
+        let check = verify::verify_fault_tolerance_sampled(&network, &result.edges, 3.0, 1, 25, &mut rng);
+        println!(
+            "{:>28} sampled verification: {} fault sets, worst stretch {:.2}, valid = {}",
+            "", check.checked, check.worst_stretch, check.is_valid()
+        );
+    }
+
+    println!("\n-- adaptive conversion (stops when verification passes) --");
+    let config = AdaptiveConfig::new(1, network.node_count());
+    let adaptive = adaptive_fault_tolerant_spanner(&network, &GreedySpanner::new(3.0), &config, &mut rng);
+    describe("adaptive conversion", &network, &adaptive.edges, 3.0);
+    println!(
+        "{:>28} used {} of {} iterations ({:.0}% of the theorem budget), verified = {}",
+        "",
+        adaptive.iterations,
+        adaptive.theorem_iterations,
+        100.0 * adaptive.budget_fraction(),
+        adaptive.verified
+    );
+
+    // Persist the network so the run can be reproduced or inspected offline.
+    let path = std::env::temp_dir().join("spanner_zoo_network.graph");
+    if io::save_graph(&network, &path).is_ok() {
+        println!("\nnetwork written to {}", path.display());
+    }
+}

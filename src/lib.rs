@@ -1,0 +1,72 @@
+//! Fault-tolerant graph spanners — a Rust implementation of
+//! *"Fault-Tolerant Spanners: Better and Simpler"* (Dinitz & Krauthgamer,
+//! PODC 2011), together with every substrate it needs.
+//!
+//! This crate is a thin facade re-exporting the workspace's library crates so
+//! downstream users (and the examples in `examples/`) have a single
+//! dependency:
+//!
+//! * [`graph`] — graph substrate: [`graph::Graph`], [`graph::DiGraph`],
+//!   shortest paths, generators, fault sets and verification oracles.
+//! * [`spanners`] — classic (non-fault-tolerant) spanner constructions used
+//!   as black boxes by the conversion theorem.
+//! * [`lp`] — the simplex / cutting-plane toolkit behind the 2-spanner
+//!   approximation.
+//! * [`core`] — the paper's constructions: the Theorem 2.1 conversion, the
+//!   Theorem 3.3 `O(log n)`-approximation, the Theorem 3.4 bounded-degree
+//!   variant, and the CLPR09 / DK10 baselines.
+//! * [`local`] — the LOCAL-model simulator and the distributed algorithms of
+//!   Theorems 2.3 and 3.9.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use fault_tolerant_spanners::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+//! // A random network of 30 nodes.
+//! let network = generate::gnp(30, 0.3, generate::WeightKind::Unit, &mut rng);
+//! // A 3-spanner that survives any single node failure.
+//! let spanner = corollary_2_2(&network, 3.0, 1, &mut rng);
+//! assert!(verify::is_fault_tolerant_k_spanner(&network, &spanner.edges, 3.0, 1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ftspan_core as core;
+pub use ftspan_graph as graph;
+pub use ftspan_local as local;
+pub use ftspan_lp as lp;
+pub use ftspan_spanners as spanners;
+
+/// The most commonly used items, re-exported flat for convenient glob
+/// imports in examples and applications.
+pub mod prelude {
+    pub use ftspan_core::adaptive::{adaptive_fault_tolerant_spanner, AdaptiveConfig};
+    pub use ftspan_core::baselines::{dk10_two_spanner, ClprStyleBaseline};
+    pub use ftspan_core::conversion::{
+        corollary_2_2, ConversionParams, ConversionResult, FaultTolerantConverter,
+    };
+    pub use ftspan_core::edge_faults::{edge_fault_tolerant_spanner, EdgeFaultParams};
+    pub use ftspan_core::lower_bounds::{
+        directed_cost_lower_bound, directed_size_lower_bound, vertex_fault_size_lower_bound,
+    };
+    pub use ftspan_core::two_spanner::{
+        approximate_two_spanner, bounded_degree_two_spanner, greedy_ft_two_spanner, ApproxConfig,
+        LllConfig,
+    };
+    pub use ftspan_graph::{
+        components, faults, generate, io, shortest_path, stats, tree, verify, ArcSet, DiGraph,
+        EdgeSet, Graph, NodeId,
+    };
+    pub use ftspan_local::spanner::{
+        distributed_fault_tolerant_spanner, DistributedConversionConfig,
+    };
+    pub use ftspan_local::two_spanner::{distributed_two_spanner, DistributedTwoSpannerConfig};
+    pub use ftspan_local::verify::{distributed_stretch_check, distributed_two_spanner_check};
+    pub use ftspan_spanners::{
+        BaswanaSenSpanner, ClusterSpanner, GreedySpanner, SpannerAlgorithm, ThorupZwickSpanner,
+    };
+}

@@ -1,0 +1,354 @@
+//! Cross-crate integration tests: every spanner produced by the public API is
+//! re-verified with the independent oracles in `ftspan_graph::verify`, and
+//! the centralized, distributed and baseline constructions are checked for
+//! consistency against each other.
+
+use fault_tolerant_spanners::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+#[test]
+fn conversion_theorem_with_every_black_box() {
+    // Theorem 2.1 is black-box: the output must be fault tolerant no matter
+    // which spanner construction is plugged in.
+    let mut r = rng(1);
+    let g = generate::gnp(22, 0.45, generate::WeightKind::Unit, &mut r);
+    let converter = FaultTolerantConverter::new(ConversionParams::new(1));
+
+    let boxes: Vec<(Box<dyn SpannerAlgorithm>, f64)> = vec![
+        (Box::new(GreedySpanner::new(3.0)), 3.0),
+        (Box::new(BaswanaSenSpanner::new(2)), 3.0),
+        (Box::new(ClusterSpanner::with_radius(1)), 5.0),
+    ];
+    for (alg, stretch) in &boxes {
+        let result = converter.build(&g, alg.as_ref(), &mut r);
+        assert!(
+            verify::is_fault_tolerant_k_spanner(&g, &result.edges, *stretch, 1),
+            "conversion with the {} black box is not 1-fault-tolerant",
+            alg.name()
+        );
+    }
+}
+
+#[test]
+fn fault_tolerant_spanner_beats_plain_spanner_under_faults() {
+    // A plain greedy spanner of a graph with hubs breaks when a hub dies;
+    // the converted spanner does not.
+    let mut r = rng(2);
+    let g = generate::gnp(24, 0.5, generate::WeightKind::Unit, &mut r);
+    let ft = corollary_2_2(&g, 3.0, 1, &mut r);
+    for v in 0..g.node_count() {
+        let fault = faults::FaultSet::from_indices([v]);
+        let s = verify::max_stretch_under_faults(&g, &ft.edges, &fault);
+        assert!(s <= 3.0 + 1e-9, "fault at {v} breaks the spanner (stretch {s})");
+    }
+}
+
+#[test]
+fn weighted_graphs_are_supported_end_to_end() {
+    let mut r = rng(3);
+    let g = generate::connected_gnp(
+        18,
+        0.35,
+        generate::WeightKind::Uniform { min: 0.5, max: 5.0 },
+        &mut r,
+    );
+    let result = corollary_2_2(&g, 5.0, 2, &mut r);
+    assert!(verify::is_fault_tolerant_k_spanner(&g, &result.edges, 5.0, 2));
+    // Weight of the spanner never exceeds the input.
+    let w = g.edge_set_weight(&result.edges).unwrap();
+    assert!(w <= g.total_weight() + 1e-9);
+}
+
+#[test]
+fn centralized_and_distributed_conversions_agree_on_guarantees() {
+    let mut r = rng(4);
+    let g = generate::connected_gnp(20, 0.3, generate::WeightKind::Unit, &mut r);
+    let central = corollary_2_2(&g, 3.0, 1, &mut r);
+    let distributed = distributed_fault_tolerant_spanner(
+        &g,
+        &DistributedConversionConfig::new(1, 3),
+        &mut r,
+    );
+    for edges in [&central.edges, &distributed.edges] {
+        assert!(verify::is_fault_tolerant_k_spanner(&g, edges, 3.0, 1));
+    }
+    // The distributed execution actually communicated.
+    assert!(distributed.stats.rounds > 0);
+    assert!(distributed.stats.messages > 0);
+}
+
+#[test]
+fn two_spanner_pipeline_matches_lemma_3_1_and_definition() {
+    // The rounded LP solution must satisfy both the characterization
+    // (Lemma 3.1) and the definitional fault-by-fault check.
+    let mut r = rng(5);
+    let g = generate::directed_gnp(9, 0.5, generate::WeightKind::Unit, &mut r);
+    for faults in [0usize, 1, 2] {
+        let result = approximate_two_spanner(&g, &ApproxConfig::new(faults), &mut r).unwrap();
+        assert!(verify::is_ft_two_spanner(&g, &result.arcs, faults));
+        assert!(verify::is_ft_two_spanner_by_definition(&g, &result.arcs, faults));
+    }
+}
+
+#[test]
+fn knapsack_cover_lp_dominates_weak_lp() {
+    // LP (4) has more constraints than LP (3), so its optimum can only be
+    // larger (a tighter lower bound on OPT).
+    use fault_tolerant_spanners::core::two_spanner::{solve_relaxation, RelaxationConfig};
+    let mut r = rng(6);
+    for _ in 0..3 {
+        let g = generate::directed_gnp(10, 0.4, generate::WeightKind::Unit, &mut r);
+        for faults in [1usize, 2] {
+            let weak =
+                solve_relaxation(&g, &RelaxationConfig::new(faults).without_knapsack_cover())
+                    .unwrap();
+            let strong = solve_relaxation(&g, &RelaxationConfig::new(faults)).unwrap();
+            assert!(
+                strong.objective >= weak.objective - 1e-6,
+                "knapsack-cover LP ({}) below the weak LP ({})",
+                strong.objective,
+                weak.objective
+            );
+        }
+    }
+}
+
+#[test]
+fn approximation_cost_is_sandwiched_between_lp_and_buying_everything() {
+    let mut r = rng(7);
+    let g = generate::directed_gnp(
+        11,
+        0.5,
+        generate::WeightKind::Uniform { min: 1.0, max: 6.0 },
+        &mut r,
+    );
+    let result = approximate_two_spanner(&g, &ApproxConfig::new(1), &mut r).unwrap();
+    assert!(result.lp_objective <= result.cost + 1e-6);
+    assert!(result.cost <= g.total_cost() + 1e-9);
+}
+
+#[test]
+fn dk10_and_new_algorithm_are_both_valid_but_new_is_cheaper_on_average() {
+    // Averaged over several instances the Theorem 3.3 algorithm should not be
+    // more expensive than the DK10 baseline (its inflation is a factor r+1
+    // smaller); individual instances may tie because of the repair step.
+    let mut r = rng(8);
+    let faults = 2;
+    let mut ours_total = 0.0;
+    let mut dk10_total = 0.0;
+    for _ in 0..5 {
+        let g = generate::directed_gnp(10, 0.5, generate::WeightKind::Unit, &mut r);
+        let ours = approximate_two_spanner(&g, &ApproxConfig::new(faults), &mut r).unwrap();
+        let base = dk10_two_spanner(&g, faults, &mut r).unwrap();
+        assert!(verify::is_ft_two_spanner(&g, &ours.arcs, faults));
+        assert!(verify::is_ft_two_spanner(&g, &base.arcs, faults));
+        ours_total += ours.cost;
+        dk10_total += base.cost;
+    }
+    assert!(
+        ours_total <= dk10_total + 1e-9,
+        "new algorithm ({ours_total}) more expensive than DK10 ({dk10_total}) on average"
+    );
+}
+
+#[test]
+fn distributed_two_spanner_is_valid_and_counts_rounds() {
+    let mut r = rng(9);
+    let g = generate::directed_gnp(10, 0.45, generate::WeightKind::Unit, &mut r);
+    let cfg = DistributedTwoSpannerConfig::new(1).with_repetitions(3);
+    let out = distributed_two_spanner(&g, &cfg, &mut r).unwrap();
+    assert!(verify::is_ft_two_spanner(&g, &out.arcs, 1));
+    assert!(out.stats.rounds > 0);
+}
+
+#[test]
+fn clpr_baseline_and_conversion_are_both_valid_on_the_same_graph() {
+    let mut r = rng(10);
+    let g = generate::gnp(14, 0.5, generate::WeightKind::Unit, &mut r);
+    let ours = corollary_2_2(&g, 3.0, 1, &mut r);
+    let clpr = ClprStyleBaseline::new(1).build(&g, &GreedySpanner::new(3.0), &mut r);
+    assert!(verify::is_fault_tolerant_k_spanner(&g, &ours.edges, 3.0, 1));
+    assert!(verify::is_fault_tolerant_k_spanner(&g, &clpr.edges, 3.0, 1));
+    // The baseline does one run per fault set; ours does Θ(r³ log n) runs.
+    assert_eq!(clpr.iterations, 1 + g.node_count());
+}
+
+#[test]
+fn gap_gadget_end_to_end() {
+    // On the Section 3.2 gadget every algorithm must buy the expensive arc.
+    let mut r = rng(11);
+    let g = generate::gap_gadget(3, 50.0).unwrap();
+    let expensive_arc = ftspan_graph::ArcId::new(0);
+
+    let ours = approximate_two_spanner(&g, &ApproxConfig::new(3), &mut r).unwrap();
+    assert!(ours.arcs.contains(expensive_arc));
+
+    let dk10 = dk10_two_spanner(&g, 3, &mut r).unwrap();
+    assert!(dk10.arcs.contains(expensive_arc));
+
+    let distributed = distributed_two_spanner(
+        &g,
+        &DistributedTwoSpannerConfig::new(3).with_repetitions(3),
+        &mut r,
+    )
+    .unwrap();
+    assert!(distributed.arcs.contains(expensive_arc));
+}
+
+#[test]
+fn thorup_zwick_works_as_a_conversion_black_box() {
+    // The conversion theorem is black-box, so the Thorup-Zwick construction
+    // (the ingredient of the CLPR09 baseline) must slot in unchanged.
+    let mut r = rng(13);
+    let g = generate::gnp(20, 0.45, generate::WeightKind::Unit, &mut r);
+    let converter = FaultTolerantConverter::new(ConversionParams::new(1));
+    let result = converter.build(&g, &ThorupZwickSpanner::new(2), &mut r);
+    assert!(verify::is_fault_tolerant_k_spanner(&g, &result.edges, 3.0, 1));
+    assert!(result.size() >= vertex_fault_size_lower_bound(&g, 1));
+}
+
+#[test]
+fn edge_fault_conversion_end_to_end() {
+    let mut r = rng(14);
+    let g = generate::connected_gnp(16, 0.35, generate::WeightKind::Unit, &mut r);
+    let params = EdgeFaultParams::new(2);
+    let result = edge_fault_tolerant_spanner(&g, &GreedySpanner::new(3.0), &params, &mut r);
+    assert!(verify::verify_edge_fault_tolerance_exhaustive(&g, &result.edges, 3.0, 2).is_valid());
+    assert!(result.size() >= vertex_fault_size_lower_bound(&g, 2));
+    assert!(result.size() <= g.edge_count());
+    // Adversarial heavy-edge failures are covered by the exhaustive check but
+    // exercise the dedicated helper too.
+    let heavy = faults::heavy_edge_faults(&g, 2);
+    assert!(verify::is_k_spanner_under_edge_faults(&g, &result.edges, 3.0, &heavy));
+}
+
+#[test]
+fn adaptive_conversion_end_to_end() {
+    let mut r = rng(15);
+    let g = generate::connected_gnp(20, 0.35, generate::WeightKind::Unit, &mut r);
+    let config = AdaptiveConfig::new(1, g.node_count());
+    let adaptive = adaptive_fault_tolerant_spanner(&g, &GreedySpanner::new(3.0), &config, &mut r);
+    assert!(adaptive.verified);
+    assert!(adaptive.iterations <= adaptive.theorem_iterations);
+    assert!(verify::is_fault_tolerant_k_spanner(&g, &adaptive.edges, 3.0, 1));
+    // The adaptive output is never larger than running the full budget on the
+    // same graph could be larger or smaller, but both must beat the lower
+    // bound.
+    assert!(adaptive.size() >= vertex_fault_size_lower_bound(&g, 1));
+}
+
+#[test]
+fn greedy_cover_and_lp_rounding_are_both_valid_and_above_the_lp_bound() {
+    let mut r = rng(16);
+    let g = generate::directed_gnp(
+        10,
+        0.5,
+        generate::WeightKind::Uniform { min: 1.0, max: 4.0 },
+        &mut r,
+    );
+    for faults in [0usize, 1, 2] {
+        let rounded = approximate_two_spanner(&g, &ApproxConfig::new(faults), &mut r).unwrap();
+        let greedy = greedy_ft_two_spanner(&g, faults);
+        assert!(verify::is_ft_two_spanner(&g, &rounded.arcs, faults));
+        assert!(verify::is_ft_two_spanner(&g, &greedy.arcs, faults));
+        // The LP optimum and the degree bound are lower bounds on any valid
+        // solution, including the greedy one.
+        assert!(greedy.cost >= rounded.lp_objective - 1e-6);
+        assert!(greedy.cost >= directed_cost_lower_bound(&g, faults) - 1e-9);
+        assert!(rounded.cost >= directed_cost_lower_bound(&g, faults) - 1e-9);
+    }
+}
+
+#[test]
+fn distributed_verification_agrees_with_centralized_oracles() {
+    let mut r = rng(17);
+    // Directed 2-spanner check.
+    let dg = generate::complete_digraph(8);
+    let greedy = greedy_ft_two_spanner(&dg, 2);
+    assert!(verify::is_ft_two_spanner(&dg, &greedy.arcs, 2));
+    let check = distributed_two_spanner_check(&dg, &greedy.arcs, 2);
+    assert!(check.is_valid());
+    assert!(!distributed_two_spanner_check(&dg, &dg.empty_arc_set(), 2).is_valid());
+
+    // Undirected stretch check against the centralized verifier.
+    let g = generate::connected_gnp(22, 0.3, generate::WeightKind::Unit, &mut r);
+    let spanner = GreedySpanner::new(3.0).build(&g, &mut r);
+    assert_eq!(
+        verify::is_k_spanner(&g, &spanner, 3.0),
+        distributed_stretch_check(&g, &spanner, 3).is_valid()
+    );
+}
+
+#[test]
+fn graph_io_roundtrip_preserves_spanner_validity() {
+    let mut r = rng(18);
+    let g = generate::connected_gnp(
+        20,
+        0.3,
+        generate::WeightKind::Uniform { min: 0.5, max: 2.5 },
+        &mut r,
+    );
+    let spanner = GreedySpanner::new(3.0).build(&g, &mut r);
+    assert!(verify::is_k_spanner(&g, &spanner, 3.0));
+
+    // Writing and re-reading keeps vertex and edge identifiers stable, so the
+    // same EdgeSet still describes a valid spanner of the loaded graph.
+    let mut buf = Vec::new();
+    io::write_graph(&g, &mut buf).unwrap();
+    let loaded = io::read_graph(buf.as_slice()).unwrap();
+    assert_eq!(loaded.edge_count(), g.edge_count());
+    assert!(verify::is_k_spanner(&loaded, &spanner, 3.0));
+}
+
+#[test]
+fn statistics_agree_with_the_verification_oracles() {
+    let mut r = rng(19);
+    let g = generate::connected_gnp(18, 0.3, generate::WeightKind::Unit, &mut r);
+    let spanner = GreedySpanner::new(3.0).build(&g, &mut r);
+    let s = stats::stretch_stats(&g, &spanner).unwrap();
+    assert!((s.max - verify::max_stretch(&g, &spanner)).abs() < 1e-9);
+    assert!(s.mean <= s.max + 1e-9);
+    // The spanner contains a spanning structure, so its lightness is at least 1.
+    assert!(tree::lightness(&g, &spanner).unwrap() >= 1.0 - 1e-9);
+    // Degree statistics are consistent with the graph.
+    let d = stats::degree_stats(&g);
+    assert_eq!(d.histogram.iter().sum::<usize>(), g.node_count());
+    assert_eq!(d.max, g.max_degree());
+}
+
+#[test]
+fn fault_tolerance_is_limited_by_vertex_connectivity() {
+    // On a graph with an articulation point, removing it disconnects the
+    // graph; the fault-tolerant spanner must still match the (now infinite)
+    // distances of G \ F, which the verifier accounts for. This test pins the
+    // interaction between the connectivity helpers and the verifier.
+    let g = generate::barbell(4);
+    assert_eq!(components::vertex_connectivity(&g), 1);
+    let cut = components::articulation_points(&g);
+    assert_eq!(cut.len(), 2);
+    let mut r = rng(20);
+    let ft = corollary_2_2(&g, 3.0, 1, &mut r);
+    assert!(verify::is_fault_tolerant_k_spanner(&g, &ft.edges, 3.0, 1));
+    // Failing a bridge endpoint disconnects both G and the spanner; the
+    // stretch over surviving edges stays bounded.
+    let fault = faults::FaultSet::from_nodes(vec![cut[0]]);
+    assert!(verify::max_stretch_under_faults(&g, &ft.edges, &fault) <= 3.0 + 1e-9);
+}
+
+#[test]
+fn bounded_degree_variant_is_consistent_with_general_variant() {
+    let mut r = rng(12);
+    let ug = generate::random_near_regular(18, 4, &mut r);
+    let g = DiGraph::from_graph(&ug);
+    let lll = bounded_degree_two_spanner(&g, &LllConfig::new(1), &mut r).unwrap();
+    let general = approximate_two_spanner(&g, &ApproxConfig::new(1), &mut r).unwrap();
+    assert!(verify::is_ft_two_spanner(&g, &lll.arcs, 1));
+    assert!(verify::is_ft_two_spanner(&g, &general.arcs, 1));
+    // Both are measured against the same LP value (same relaxation).
+    assert!((lll.lp_objective - general.lp_objective).abs() < 1e-4);
+}

@@ -1,0 +1,331 @@
+//! Property-based tests (proptest) on the workspace's core invariants:
+//! random graphs, random parameters — the guarantees must always hold.
+
+use fault_tolerant_spanners::prelude::*;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Builds a random undirected unit-weight graph from a proptest-generated
+/// edge selection over `n` vertices.
+fn graph_from_bits(n: usize, bits: &[bool]) -> Graph {
+    let mut g = Graph::new(n);
+    let mut idx = 0usize;
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if idx < bits.len() && bits[idx] {
+                g.add_edge(NodeId::new(u), NodeId::new(v), 1.0).unwrap();
+            }
+            idx += 1;
+        }
+    }
+    g
+}
+
+/// Builds a random directed unit-cost graph from a bit selection.
+fn digraph_from_bits(n: usize, bits: &[bool]) -> DiGraph {
+    let mut g = DiGraph::new(n);
+    let mut idx = 0usize;
+    for u in 0..n {
+        for v in 0..n {
+            if u != v {
+                if idx < bits.len() && bits[idx] {
+                    g.add_arc(NodeId::new(u), NodeId::new(v), 1.0).unwrap();
+                }
+                idx += 1;
+            }
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The greedy spanner is always a valid spanner and never larger than the
+    /// input, on arbitrary graphs.
+    #[test]
+    fn greedy_spanner_is_always_valid(
+        n in 4usize..14,
+        bits in proptest::collection::vec(any::<bool>(), 0..100),
+        seed in any::<u64>(),
+        k in 1usize..4,
+    ) {
+        let g = graph_from_bits(n, &bits);
+        let stretch = (2 * k - 1) as f64;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let s = GreedySpanner::new(stretch).build(&g, &mut rng);
+        prop_assert!(s.len() <= g.edge_count());
+        prop_assert!(verify::is_k_spanner(&g, &s, stretch));
+    }
+
+    /// Baswana-Sen with parameter k is always a (2k-1)-spanner.
+    #[test]
+    fn baswana_sen_is_always_valid(
+        n in 4usize..14,
+        bits in proptest::collection::vec(any::<bool>(), 0..100),
+        seed in any::<u64>(),
+        k in 1usize..4,
+    ) {
+        let g = graph_from_bits(n, &bits);
+        let alg = BaswanaSenSpanner::new(k);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let s = alg.build(&g, &mut rng);
+        prop_assert!(verify::is_k_spanner(&g, &s, alg.stretch()));
+    }
+
+    /// The conversion theorem output is r-fault tolerant on arbitrary small
+    /// graphs (verified exhaustively), for r in {1, 2}.
+    ///
+    /// The theorem's guarantee is "with high probability in n"; for the tiny
+    /// graphs proptest generates the asymptotic iteration count is not enough
+    /// to make the failure probability negligible, so the iteration budget is
+    /// pinned high enough that a failure would indicate a real bug rather
+    /// than bad luck.
+    #[test]
+    fn conversion_is_always_fault_tolerant(
+        n in 4usize..10,
+        bits in proptest::collection::vec(any::<bool>(), 0..45),
+        seed in any::<u64>(),
+        r in 1usize..3,
+    ) {
+        let g = graph_from_bits(n, &bits);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let params = ConversionParams::new(r).with_iterations(800);
+        let converter = FaultTolerantConverter::new(params);
+        let result = converter.build(&g, &GreedySpanner::new(3.0), &mut rng);
+        prop_assert!(verify::is_fault_tolerant_k_spanner(&g, &result.edges, 3.0, r));
+    }
+
+    /// Lemma 3.1: the characterization-based check and the definitional
+    /// (fault-enumeration) check agree on arbitrary digraphs and arc subsets.
+    #[test]
+    fn lemma_3_1_equivalence(
+        n in 2usize..7,
+        bits in proptest::collection::vec(any::<bool>(), 0..42),
+        subset in proptest::collection::vec(any::<bool>(), 0..42),
+        r in 0usize..3,
+    ) {
+        let g = digraph_from_bits(n, &bits);
+        let mut arcs = g.empty_arc_set();
+        for (i, (id, _)) in g.arcs().enumerate() {
+            if subset.get(i).copied().unwrap_or(false) {
+                arcs.insert(id);
+            }
+        }
+        prop_assert_eq!(
+            verify::is_ft_two_spanner(&g, &arcs, r),
+            verify::is_ft_two_spanner_by_definition(&g, &arcs, r)
+        );
+    }
+
+    /// The Theorem 3.3 pipeline always returns a valid fault-tolerant
+    /// 2-spanner whose cost is between the LP bound and the full cost.
+    #[test]
+    fn two_spanner_approximation_is_always_valid(
+        n in 3usize..8,
+        bits in proptest::collection::vec(any::<bool>(), 0..56),
+        seed in any::<u64>(),
+        r in 0usize..3,
+    ) {
+        let g = digraph_from_bits(n, &bits);
+        if g.arc_count() == 0 {
+            return Ok(());
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let result = approximate_two_spanner(&g, &ApproxConfig::new(r), &mut rng).unwrap();
+        prop_assert!(verify::is_ft_two_spanner(&g, &result.arcs, r));
+        prop_assert!(result.lp_objective <= result.cost + 1e-6);
+        prop_assert!(result.cost <= g.total_cost() + 1e-9);
+    }
+
+    /// Fault sets never report out-of-range vertices and masks round-trip.
+    #[test]
+    fn fault_set_mask_roundtrip(
+        n in 1usize..40,
+        indices in proptest::collection::vec(0usize..40, 0..10),
+    ) {
+        let f = faults::FaultSet::from_indices(indices.clone());
+        let mask = f.to_dead_mask(n);
+        for v in 0..n {
+            prop_assert_eq!(mask[v], f.contains(NodeId::new(v)));
+        }
+        prop_assert!(f.len() <= indices.len());
+    }
+
+    /// Removing vertices never increases the edge count and never changes
+    /// vertex identifiers.
+    #[test]
+    fn remove_vertices_is_monotone(
+        n in 2usize..12,
+        bits in proptest::collection::vec(any::<bool>(), 0..66),
+        kill in proptest::collection::vec(0usize..12, 0..4),
+    ) {
+        let g = graph_from_bits(n, &bits);
+        let faults: Vec<NodeId> = kill.iter().filter(|&&v| v < n).map(|&v| NodeId::new(v)).collect();
+        let h = g.remove_vertices(&faults);
+        prop_assert_eq!(h.node_count(), g.node_count());
+        prop_assert!(h.edge_count() <= g.edge_count());
+        for &f in &faults {
+            prop_assert_eq!(h.degree(f), 0);
+        }
+    }
+
+    /// The Thorup-Zwick construction is always a (2k-1)-spanner.
+    #[test]
+    fn thorup_zwick_is_always_valid(
+        n in 4usize..14,
+        bits in proptest::collection::vec(any::<bool>(), 0..100),
+        seed in any::<u64>(),
+        k in 1usize..4,
+    ) {
+        let g = graph_from_bits(n, &bits);
+        let alg = ThorupZwickSpanner::new(k);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let s = alg.build(&g, &mut rng);
+        prop_assert!(s.len() <= g.edge_count());
+        prop_assert!(verify::is_k_spanner(&g, &s, alg.stretch()));
+    }
+
+    /// The greedy cover heuristic always satisfies the Lemma 3.1
+    /// characterization, on arbitrary digraphs and fault budgets.
+    #[test]
+    fn greedy_cover_is_always_valid(
+        n in 2usize..8,
+        bits in proptest::collection::vec(any::<bool>(), 0..56),
+        r in 0usize..4,
+    ) {
+        let g = digraph_from_bits(n, &bits);
+        let result = greedy_ft_two_spanner(&g, r);
+        prop_assert!(verify::is_ft_two_spanner(&g, &result.arcs, r));
+        prop_assert!(verify::is_ft_two_spanner_by_definition(&g, &result.arcs, r));
+        prop_assert!(result.cost <= g.total_cost() + 1e-9);
+        prop_assert!(result.cost >= directed_cost_lower_bound(&g, r) - 1e-9);
+    }
+
+    /// The edge-fault conversion output survives every single edge failure
+    /// (verified exhaustively) on arbitrary small graphs.
+    #[test]
+    fn edge_fault_conversion_is_always_tolerant(
+        n in 4usize..10,
+        bits in proptest::collection::vec(any::<bool>(), 0..45),
+        seed in any::<u64>(),
+    ) {
+        let g = graph_from_bits(n, &bits);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let params = EdgeFaultParams::new(1).with_iterations(400);
+        let result = edge_fault_tolerant_spanner(&g, &GreedySpanner::new(3.0), &params, &mut rng);
+        prop_assert!(
+            verify::verify_edge_fault_tolerance_exhaustive(&g, &result.edges, 3.0, 1).is_valid()
+        );
+    }
+
+    /// The degree lower bound never exceeds the size of any valid
+    /// fault-tolerant spanner (here: the full edge set) and is monotone in r.
+    #[test]
+    fn degree_lower_bound_is_consistent(
+        n in 2usize..12,
+        bits in proptest::collection::vec(any::<bool>(), 0..66),
+        r in 0usize..5,
+    ) {
+        let g = graph_from_bits(n, &bits);
+        let bound = vertex_fault_size_lower_bound(&g, r);
+        prop_assert!(bound <= g.edge_count());
+        prop_assert!(vertex_fault_size_lower_bound(&g, r + 1) >= bound);
+    }
+
+    /// Connectivity helpers are mutually consistent: the component count from
+    /// the union-find matches the BFS labelling, a graph has vertex
+    /// connectivity 0 iff it is disconnected (or trivial), and removing an
+    /// articulation point disconnects its component.
+    #[test]
+    fn connectivity_helpers_are_consistent(
+        n in 2usize..12,
+        bits in proptest::collection::vec(any::<bool>(), 0..66),
+    ) {
+        let g = graph_from_bits(n, &bits);
+        let cc = components::connected_components(&g);
+        let mut uf = components::UnionFind::new(g.node_count());
+        for (_, e) in g.edges() {
+            uf.union(e.u.index(), e.v.index());
+        }
+        prop_assert_eq!(cc.count(), uf.set_count());
+        prop_assert_eq!(components::vertex_connectivity(&g) == 0, !g.is_connected() || n <= 1);
+        for cut in components::articulation_points(&g) {
+            let before = cc.count();
+            let after = components::connected_components(&g.remove_vertices(&[cut])).count();
+            // Removing the cut vertex isolates it (one new singleton) and
+            // splits its component into at least two parts.
+            prop_assert!(after >= before + 2, "removing {cut:?} did not disconnect");
+        }
+    }
+
+    /// The stretch-distribution statistics agree with the verification oracle
+    /// on the maximum, and the MST is never heavier than any spanning
+    /// connected subgraph.
+    #[test]
+    fn stats_and_tree_agree_with_oracles(
+        n in 2usize..10,
+        bits in proptest::collection::vec(any::<bool>(), 0..45),
+        subset in proptest::collection::vec(any::<bool>(), 0..45),
+    ) {
+        let g = graph_from_bits(n, &bits);
+        let mut spanner = g.empty_edge_set();
+        for (i, (id, _)) in g.edges().enumerate() {
+            if subset.get(i).copied().unwrap_or(true) {
+                spanner.insert(id);
+            }
+        }
+        let s = stats::stretch_stats(&g, &spanner).unwrap();
+        let oracle = verify::max_stretch(&g, &spanner);
+        prop_assert!(s.max == oracle || (s.max - oracle).abs() < 1e-9);
+        // MST weight is a lower bound on the weight of the full edge set of a
+        // connected graph with unit weights (n - 1 vs m).
+        let mst = tree::minimum_spanning_forest(&g);
+        prop_assert!(g.edge_set_weight(&mst).unwrap() <= g.total_weight() + 1e-9);
+        let cc = components::connected_components(&g);
+        prop_assert_eq!(mst.len(), g.node_count() - cc.count());
+    }
+
+    /// The distributed Lemma 3.1 check agrees with the centralized oracle on
+    /// arbitrary digraphs and arc subsets.
+    #[test]
+    fn distributed_two_spanner_check_matches_centralized(
+        n in 2usize..7,
+        bits in proptest::collection::vec(any::<bool>(), 0..42),
+        subset in proptest::collection::vec(any::<bool>(), 0..42),
+        r in 0usize..3,
+    ) {
+        let g = digraph_from_bits(n, &bits);
+        let mut arcs = g.empty_arc_set();
+        for (i, (id, _)) in g.arcs().enumerate() {
+            if subset.get(i).copied().unwrap_or(false) {
+                arcs.insert(id);
+            }
+        }
+        prop_assert_eq!(
+            verify::is_ft_two_spanner(&g, &arcs, r),
+            distributed_two_spanner_check(&g, &arcs, r).is_valid()
+        );
+    }
+
+    /// Graph I/O round-trips arbitrary generated graphs exactly (same vertex
+    /// count, same edges with the same identifiers and weights).
+    #[test]
+    fn graph_io_roundtrip(
+        n in 1usize..12,
+        bits in proptest::collection::vec(any::<bool>(), 0..66),
+    ) {
+        let g = graph_from_bits(n, &bits);
+        let mut buf = Vec::new();
+        io::write_graph(&g, &mut buf).unwrap();
+        let back = io::read_graph(buf.as_slice()).unwrap();
+        prop_assert_eq!(back.node_count(), g.node_count());
+        prop_assert_eq!(back.edge_count(), g.edge_count());
+        for (id, e) in g.edges() {
+            let other = back.edge(id);
+            prop_assert_eq!((other.u, other.v), (e.u, e.v));
+            prop_assert!((other.weight - e.weight).abs() < 1e-12);
+        }
+    }
+}
