@@ -1,13 +1,12 @@
 //! Ablation benchmarks for the design choices called out in DESIGN.md §6:
 //! the oversampling probability, the iteration budget of the conversion, and
-//! the knapsack-cover inequalities.
+//! the knapsack-cover inequalities. The construction runs go through the
+//! registry API; the relaxation internals are benched directly.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ftspan_core::baselines::ClprStyleBaseline;
-use ftspan_core::conversion::{ConversionParams, FaultTolerantConverter};
+use fault_tolerant_spanners::prelude::*;
 use ftspan_core::two_spanner::{solve_relaxation, RelaxationConfig};
 use ftspan_graph::generate;
-use ftspan_spanners::GreedySpanner;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -21,15 +20,26 @@ fn bench_sampling_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_sampling_n60_r2");
     group.sample_size(10);
     group.bench_function("oversampled_fault_sets", |b| {
-        let params = ConversionParams::new(2).with_iterations(iterations);
-        let converter = FaultTolerantConverter::new(params);
+        let builder = FtSpannerBuilder::new("conversion")
+            .faults(2)
+            .iterations(iterations);
         let mut rng = ChaCha8Rng::seed_from_u64(42);
-        b.iter(|| converter.build(&g, &GreedySpanner::new(3.0), &mut rng))
+        b.iter(|| {
+            builder
+                .build_with_rng(GraphInput::from(&g), &mut rng)
+                .expect("the conversion accepts undirected inputs")
+        })
     });
     group.bench_function("exact_size_fault_sets", |b| {
-        let baseline = ClprStyleBaseline::sampled(2, iterations);
+        let builder = FtSpannerBuilder::new("clpr09")
+            .faults(2)
+            .samples(iterations);
         let mut rng = ChaCha8Rng::seed_from_u64(43);
-        b.iter(|| baseline.build(&g, &GreedySpanner::new(3.0), &mut rng))
+        b.iter(|| {
+            builder
+                .build_with_rng(GraphInput::from(&g), &mut rng)
+                .expect("the CLPR09 baseline accepts undirected inputs")
+        })
     });
     group.finish();
 }
@@ -44,10 +54,13 @@ fn bench_alpha_ablation(c: &mut Criterion) {
     group.sample_size(10);
     for scale in [0.1f64, 0.25, 1.0] {
         group.bench_function(format!("scale={scale}"), |b| {
-            let params = ConversionParams::new(2).with_scale(scale);
-            let converter = FaultTolerantConverter::new(params);
+            let builder = FtSpannerBuilder::new("conversion").faults(2).scale(scale);
             let mut rng = ChaCha8Rng::seed_from_u64(45);
-            b.iter(|| converter.build(&g, &GreedySpanner::new(3.0), &mut rng))
+            b.iter(|| {
+                builder
+                    .build_with_rng(GraphInput::from(&g), &mut rng)
+                    .expect("the conversion accepts undirected inputs")
+            })
         });
     }
     group.finish();
@@ -60,9 +73,7 @@ fn bench_knapsack_cover_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_knapsack_cover_gadget_r6");
     group.sample_size(10);
     group.bench_function("lp3", |b| {
-        b.iter(|| {
-            solve_relaxation(&g, &RelaxationConfig::new(6).without_knapsack_cover()).unwrap()
-        })
+        b.iter(|| solve_relaxation(&g, &RelaxationConfig::new(6).without_knapsack_cover()).unwrap())
     });
     group.bench_function("lp4", |b| {
         b.iter(|| solve_relaxation(&g, &RelaxationConfig::new(6)).unwrap())

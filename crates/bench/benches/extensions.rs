@@ -1,14 +1,12 @@
 //! Criterion benchmarks for the extension modules: the Thorup–Zwick black
 //! box, the edge-fault conversion, the adaptive conversion, the greedy
-//! 2-spanner cover heuristic, and the new graph substrates (MST, components,
-//! vertex connectivity).
+//! 2-spanner cover heuristic (all through the registry API), and the graph
+//! substrates (MST, components, vertex connectivity).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ftspan_core::adaptive::{adaptive_fault_tolerant_spanner, AdaptiveConfig};
-use ftspan_core::edge_faults::{edge_fault_tolerant_spanner, EdgeFaultParams};
-use ftspan_core::two_spanner::greedy_ft_two_spanner;
+use fault_tolerant_spanners::prelude::*;
 use ftspan_graph::{components, generate, tree};
-use ftspan_spanners::{GreedySpanner, SpannerAlgorithm, ThorupZwickSpanner};
+use ftspan_spanners::{SpannerAlgorithm, ThorupZwickSpanner};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -34,26 +32,48 @@ fn bench_fault_models(c: &mut Criterion) {
     let mut group = c.benchmark_group("fault_models");
     group.sample_size(10);
     group.bench_function("edge_fault_conversion/r=2", |b| {
+        let builder = FtSpannerBuilder::new("conversion")
+            .faults(2)
+            .edge_faults()
+            .scale(0.25);
         let mut r = ChaCha8Rng::seed_from_u64(45);
-        let params = EdgeFaultParams::new(2).with_scale(0.25);
-        b.iter(|| edge_fault_tolerant_spanner(&g, &GreedySpanner::new(3.0), &params, &mut r))
+        b.iter(|| {
+            builder
+                .build_with_rng(GraphInput::from(&g), &mut r)
+                .expect("the conversion accepts edge-fault requests")
+        })
     });
     group.bench_function("adaptive_conversion/r=2", |b| {
+        let builder = FtSpannerBuilder::new("adaptive").faults(2);
         let mut r = ChaCha8Rng::seed_from_u64(46);
-        let config = AdaptiveConfig::new(2, g.node_count());
-        b.iter(|| adaptive_fault_tolerant_spanner(&g, &GreedySpanner::new(3.0), &config, &mut r))
+        b.iter(|| {
+            builder
+                .build_with_rng(GraphInput::from(&g), &mut r)
+                .expect("the adaptive conversion accepts undirected inputs")
+        })
     });
     group.finish();
 }
 
 fn bench_greedy_cover(c: &mut Criterion) {
     let mut rng = ChaCha8Rng::seed_from_u64(47);
-    let g = generate::directed_gnp(40, 0.3, generate::WeightKind::Uniform { min: 1.0, max: 5.0 }, &mut rng);
+    let g = generate::directed_gnp(
+        40,
+        0.3,
+        generate::WeightKind::Uniform { min: 1.0, max: 5.0 },
+        &mut rng,
+    );
     let mut group = c.benchmark_group("greedy_cover");
     group.sample_size(10);
     for r in [0usize, 2] {
         group.bench_function(format!("r={r}/n=40"), |b| {
-            b.iter(|| greedy_ft_two_spanner(&g, r))
+            let builder = FtSpannerBuilder::new("two-spanner-greedy").faults(r);
+            let mut rng = ChaCha8Rng::seed_from_u64(48);
+            b.iter(|| {
+                builder
+                    .build_with_rng(GraphInput::from(&g), &mut rng)
+                    .expect("the greedy cover always succeeds")
+            })
         });
     }
     group.finish();

@@ -1,10 +1,10 @@
 //! Criterion benchmark for Experiments E1/E2: the Theorem 2.1 conversion
-//! (Corollary 2.2 instantiation) at increasing fault budgets.
+//! (Corollary 2.2 instantiation) at increasing fault budgets, driven through
+//! the unified registry API.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ftspan_core::conversion::{ConversionParams, FaultTolerantConverter};
+use fault_tolerant_spanners::prelude::*;
 use ftspan_graph::generate;
-use ftspan_spanners::GreedySpanner;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -15,10 +15,13 @@ fn bench_conversion(c: &mut Criterion) {
     group.sample_size(10);
     for r in [1usize, 2, 4] {
         group.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, &r| {
-            let params = ConversionParams::new(r).with_scale(0.25);
-            let converter = FaultTolerantConverter::new(params);
+            let builder = FtSpannerBuilder::new("conversion").faults(r).scale(0.25);
             let mut rng = ChaCha8Rng::seed_from_u64(r as u64);
-            b.iter(|| converter.build(&g, &GreedySpanner::new(3.0), &mut rng));
+            b.iter(|| {
+                builder
+                    .build_with_rng(GraphInput::from(&g), &mut rng)
+                    .expect("the conversion accepts undirected inputs")
+            });
         });
     }
     group.finish();
@@ -36,10 +39,13 @@ fn bench_conversion_vs_n(c: &mut Criterion) {
             &mut rng,
         );
         group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
-            let params = ConversionParams::new(2).with_scale(0.25);
-            let converter = FaultTolerantConverter::new(params);
+            let builder = FtSpannerBuilder::new("conversion").faults(2).scale(0.25);
             let mut rng = ChaCha8Rng::seed_from_u64(7);
-            b.iter(|| converter.build(g, &GreedySpanner::new(3.0), &mut rng));
+            b.iter(|| {
+                builder
+                    .build_with_rng(GraphInput::from(g), &mut rng)
+                    .expect("the conversion accepts undirected inputs")
+            });
         });
     }
     group.finish();

@@ -1,10 +1,10 @@
 //! Criterion benchmark for Experiments E4/E5: the 2-spanner LP relaxations
-//! (with and without knapsack-cover cuts) and the full Theorem 3.3 pipeline.
+//! (with and without knapsack-cover cuts) and the full Theorem 3.3 pipeline
+//! (driven through the registry API).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ftspan_core::two_spanner::{
-    approximate_two_spanner, solve_relaxation, ApproxConfig, RelaxationConfig,
-};
+use fault_tolerant_spanners::prelude::*;
+use ftspan_core::two_spanner::{solve_relaxation, RelaxationConfig};
 use ftspan_graph::generate;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -15,9 +15,7 @@ fn bench_relaxations(c: &mut Criterion) {
     let mut group = c.benchmark_group("k2_relaxation_n12_r2");
     group.sample_size(10);
     group.bench_function("lp3_no_cuts", |b| {
-        b.iter(|| {
-            solve_relaxation(&g, &RelaxationConfig::new(2).without_knapsack_cover()).unwrap()
-        })
+        b.iter(|| solve_relaxation(&g, &RelaxationConfig::new(2).without_knapsack_cover()).unwrap())
     });
     group.bench_function("lp4_knapsack_cover", |b| {
         b.iter(|| solve_relaxation(&g, &RelaxationConfig::new(2)).unwrap())
@@ -37,8 +35,13 @@ fn bench_full_pipeline(c: &mut Criterion) {
     group.sample_size(10);
     for r in [1usize, 3] {
         group.bench_function(format!("r={r}"), |b| {
+            let builder = FtSpannerBuilder::new("two-spanner-lp").faults(r);
             let mut rng = ChaCha8Rng::seed_from_u64(r as u64);
-            b.iter(|| approximate_two_spanner(&g, &ApproxConfig::new(r), &mut rng).unwrap())
+            b.iter(|| {
+                builder
+                    .build_with_rng(GraphInput::from(&g), &mut rng)
+                    .expect("relaxation solvable")
+            })
         });
     }
     group.finish();
@@ -56,5 +59,10 @@ fn bench_gap_gadget(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_relaxations, bench_full_pipeline, bench_gap_gadget);
+criterion_group!(
+    benches,
+    bench_relaxations,
+    bench_full_pipeline,
+    bench_gap_gadget
+);
 criterion_main!(benches);

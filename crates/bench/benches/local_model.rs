@@ -1,13 +1,13 @@
-//! Criterion benchmark for Experiment E7: the LOCAL-model algorithms.
+//! Criterion benchmark for Experiment E7: the LOCAL-model algorithms. The
+//! full distributed constructions run through the registry API; the
+//! decomposition and single-shot 3-spanner internals are benched directly.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use fault_tolerant_spanners::prelude::*;
 use ftspan_graph::generate;
 use ftspan_local::padded::{sample_padded_decomposition, PaddedDecompositionConfig};
 use ftspan_local::simulator::Simulator;
-use ftspan_local::spanner::{
-    distributed_fault_tolerant_spanner, distributed_three_spanner, DistributedConversionConfig,
-};
-use ftspan_local::two_spanner::{distributed_two_spanner, DistributedTwoSpannerConfig};
+use ftspan_local::spanner::distributed_three_spanner;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -39,9 +39,15 @@ fn bench_distributed_conversion(c: &mut Criterion) {
     let mut group = c.benchmark_group("distributed_conversion_n60");
     group.sample_size(10);
     group.bench_function("r=1_50iters", |b| {
-        let cfg = DistributedConversionConfig::new(1, 3).with_iterations(50);
+        let builder = FtSpannerBuilder::new("distributed-conversion")
+            .faults(1)
+            .iterations(50);
         let mut rng = ChaCha8Rng::seed_from_u64(36);
-        b.iter(|| distributed_fault_tolerant_spanner(&g, &cfg, &mut rng))
+        b.iter(|| {
+            builder
+                .build_with_rng(GraphInput::from(&g), &mut rng)
+                .expect("the distributed conversion accepts stretch-3 requests")
+        })
     });
     group.finish();
 }
@@ -52,9 +58,15 @@ fn bench_distributed_two_spanner(c: &mut Criterion) {
     let mut group = c.benchmark_group("distributed_two_spanner_n10");
     group.sample_size(10);
     group.bench_function("r=1_t=3", |b| {
-        let cfg = DistributedTwoSpannerConfig::new(1).with_repetitions(3);
+        let builder = FtSpannerBuilder::new("distributed-two-spanner")
+            .faults(1)
+            .repetitions(3);
         let mut rng = ChaCha8Rng::seed_from_u64(38);
-        b.iter(|| distributed_two_spanner(&g, &cfg, &mut rng).unwrap())
+        b.iter(|| {
+            builder
+                .build_with_rng(GraphInput::from(&g), &mut rng)
+                .expect("cluster LPs solvable")
+        })
     });
     group.finish();
 }

@@ -64,5 +64,10 @@ fn bench_classic_spanners(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_shortest_paths, bench_edge_sets, bench_classic_spanners);
+criterion_group!(
+    benches,
+    bench_shortest_paths,
+    bench_edge_sets,
+    bench_classic_spanners
+);
 criterion_main!(benches);

@@ -35,16 +35,29 @@ fn run(costs: generate::WeightKind, label: &str, rng: &mut ChaCha8Rng) {
         ],
     );
     for &r in &[0usize, 1, 2, 3] {
-        let rounded = approximate_two_spanner(&graph, &ApproxConfig::new(r), rng)
+        let rounded = FtSpannerBuilder::new("two-spanner-lp")
+            .faults(r)
+            .build_with_rng(GraphInput::from(&graph), rng)
             .expect("relaxation solvable");
-        let greedy = greedy_ft_two_spanner(&graph, r);
-        assert!(verify::is_ft_two_spanner(&graph, &rounded.arcs, r));
-        assert!(verify::is_ft_two_spanner(&graph, &greedy.arcs, r));
-        let lp = rounded.lp_objective.max(1e-9);
+        let greedy = FtSpannerBuilder::new("two-spanner-greedy")
+            .faults(r)
+            .build_with_rng(GraphInput::from(&graph), rng)
+            .expect("the greedy cover always succeeds");
+        assert!(verify::is_ft_two_spanner(
+            &graph,
+            rounded.arc_set().unwrap(),
+            r
+        ));
+        assert!(verify::is_ft_two_spanner(
+            &graph,
+            greedy.arc_set().unwrap(),
+            r
+        ));
+        let lp = rounded.lp_objective.unwrap().max(1e-9);
         table.row(&[
             r.to_string(),
             fmt(directed_cost_lower_bound(&graph, r), 1),
-            fmt(rounded.lp_objective, 2),
+            fmt(rounded.lp_objective.unwrap(), 2),
             fmt(rounded.cost, 1),
             fmt(rounded.cost / lp, 2),
             fmt(greedy.cost, 1),
@@ -63,7 +76,10 @@ fn main() {
     let mut rng = ChaCha8Rng::seed_from_u64(10);
     run(generate::WeightKind::Unit, "unit_costs", &mut rng);
     run(
-        generate::WeightKind::Uniform { min: 1.0, max: 10.0 },
+        generate::WeightKind::Uniform {
+            min: 1.0,
+            max: 10.0,
+        },
         "random_costs",
         &mut rng,
     );

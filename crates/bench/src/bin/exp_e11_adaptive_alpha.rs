@@ -1,8 +1,8 @@
 //! Experiment E11 — how many of Theorem 2.1's `Θ(r³ log n)` iterations are
 //! needed in practice.
 //!
-//! The adaptive construction (`ftspan-core::adaptive`) runs the conversion in
-//! batches and stops once the union passes a verification battery. This
+//! The adaptive construction (registry name `adaptive`) runs the conversion
+//! in batches and stops once the union passes a verification battery. This
 //! binary reports, for growing `r`, the iterations the adaptive construction
 //! used, the theorem's budget, and the sizes of both outputs — quantifying
 //! how conservative the union-bound analysis is (the ablation DESIGN.md
@@ -39,29 +39,32 @@ fn main() {
     );
 
     for &r in &[1usize, 2, 3] {
-        let config = AdaptiveConfig::new(r, graph.node_count());
-        let adaptive =
-            adaptive_fault_tolerant_spanner(&graph, &GreedySpanner::new(k), &config, &mut rng);
-        let full = FaultTolerantConverter::new(ConversionParams::new(r)).build(
-            &graph,
-            &GreedySpanner::new(k),
-            &mut rng,
-        );
+        let adaptive = FtSpannerBuilder::new("adaptive")
+            .faults(r)
+            .stretch(k)
+            .build_with_rng(GraphInput::from(&graph), &mut rng)
+            .expect("the adaptive conversion accepts undirected inputs");
+        let full = FtSpannerBuilder::new("corollary-2.2")
+            .faults(r)
+            .stretch(k)
+            .build_with_rng(GraphInput::from(&graph), &mut rng)
+            .expect("corollary-2.2 accepts undirected inputs");
         // Exhaustive re-verification is affordable only at r = 1 on this
         // instance; report it where available, "-" otherwise.
         let exhaustive = if r == 1 {
-            verify::is_fault_tolerant_k_spanner(&graph, &adaptive.edges, k, r).to_string()
+            verify::is_fault_tolerant_k_spanner(&graph, adaptive.edge_set().unwrap(), k, r)
+                .to_string()
         } else {
             "-".to_string()
         };
         table.row(&[
             r.to_string(),
             adaptive.iterations.to_string(),
-            adaptive.theorem_iterations.to_string(),
+            adaptive.theorem_iterations.unwrap().to_string(),
             fmt(adaptive.budget_fraction(), 3),
             adaptive.size().to_string(),
             full.size().to_string(),
-            adaptive.verified.to_string(),
+            adaptive.verified.unwrap().to_string(),
             exhaustive,
         ]);
     }

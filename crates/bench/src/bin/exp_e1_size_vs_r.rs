@@ -25,18 +25,29 @@ fn main() {
 
     let mut table = Table::new(
         "e1_size_vs_r",
-        &["k", "r", "edges", "plain_edges", "blowup", "cor22_bound", "valid_sampled"],
+        &[
+            "k",
+            "r",
+            "edges",
+            "plain_edges",
+            "blowup",
+            "cor22_bound",
+            "valid_sampled",
+        ],
     );
 
     for &k in &[3.0f64, 5.0] {
         let plain = GreedySpanner::new(k).build(&graph, &mut rng);
         for &r in &[1usize, 2, 3, 4, 6, 8] {
-            let params = ConversionParams::new(r).with_scale(0.25);
-            let converter = FaultTolerantConverter::new(params);
-            let result = converter.build(&graph, &GreedySpanner::new(k), &mut rng);
-            let report = verify::verify_fault_tolerance_sampled(
+            let report = FtSpannerBuilder::new("conversion")
+                .faults(r)
+                .stretch(k)
+                .scale(0.25)
+                .build_with_rng(GraphInput::from(&graph), &mut rng)
+                .expect("the conversion accepts undirected inputs");
+            let check = verify::verify_fault_tolerance_sampled(
                 &graph,
-                &result.edges,
+                report.edge_set().unwrap(),
                 k,
                 r,
                 30,
@@ -45,11 +56,11 @@ fn main() {
             table.row(&[
                 fmt(k, 0),
                 r.to_string(),
-                result.size().to_string(),
+                report.size().to_string(),
                 plain.len().to_string(),
-                fmt(result.size() as f64 / plain.len() as f64, 2),
+                fmt(report.size() as f64 / plain.len() as f64, 2),
                 fmt(size_bounds::corollary_2_2_bound(n, r, k), 0),
-                report.is_valid().to_string(),
+                check.is_valid().to_string(),
             ]);
         }
     }

@@ -17,24 +17,37 @@ fn main() {
     let k = 3.0f64;
     println!("E2: r = {r}, k = {k}, average degree ~10, iteration scale 0.25\n");
 
+    let builder = FtSpannerBuilder::new("corollary-2.2")
+        .faults(r)
+        .stretch(k)
+        .scale(0.25);
     let mut table = Table::new(
         "e2_size_vs_n",
-        &["n", "m", "ft_edges", "plain_edges", "blowup", "cor22_bound", "edges_per_n^1.5"],
+        &[
+            "n",
+            "m",
+            "ft_edges",
+            "plain_edges",
+            "blowup",
+            "cor22_bound",
+            "edges_per_n^1.5",
+        ],
     );
     for &n in &[100usize, 200, 400, 800] {
         let p = (10.0 / n as f64).min(1.0);
         let graph = generate::connected_gnp(n, p, generate::WeightKind::Unit, &mut rng);
         let plain = GreedySpanner::new(k).build(&graph, &mut rng);
-        let params = ConversionParams::new(r).with_scale(0.25);
-        let result = FaultTolerantConverter::new(params).build(&graph, &GreedySpanner::new(k), &mut rng);
+        let report = builder
+            .build_with_rng(GraphInput::from(&graph), &mut rng)
+            .expect("corollary-2.2 accepts undirected inputs");
         table.row(&[
             n.to_string(),
             graph.edge_count().to_string(),
-            result.size().to_string(),
+            report.size().to_string(),
             plain.len().to_string(),
-            fmt(result.size() as f64 / plain.len().max(1) as f64, 2),
+            fmt(report.size() as f64 / plain.len().max(1) as f64, 2),
             fmt(size_bounds::corollary_2_2_bound(n, r, k), 0),
-            fmt(result.size() as f64 / (n as f64).powf(1.5), 3),
+            fmt(report.size() as f64 / (n as f64).powf(1.5), 3),
         ]);
     }
     table.print_and_save();

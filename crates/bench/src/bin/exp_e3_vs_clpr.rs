@@ -3,8 +3,8 @@
 //! The paper's motivation: the previous construction's size bound grows
 //! exponentially in `r` (through its `k^{r+1}` factor / the union over
 //! `O(n^r)` fault sets), while Theorem 2.1 pays only `poly(r) · log n`. This
-//! binary builds both on the same graph and also prints the two theoretical
-//! bounds.
+//! binary builds both — selected by registry name — on the same graph and
+//! also prints the two theoretical bounds.
 
 use fault_tolerant_spanners::prelude::*;
 use ftspan_bench::{fmt, Table};
@@ -42,12 +42,19 @@ fn main() {
             let plain = GreedySpanner::new(k).build(&graph, &mut rng);
             (plain.len(), 1usize)
         } else {
-            let params = ConversionParams::new(r).with_scale(0.25);
-            let result =
-                FaultTolerantConverter::new(params).build(&graph, &GreedySpanner::new(k), &mut rng);
-            (result.size(), result.iterations)
+            let report = FtSpannerBuilder::new("conversion")
+                .faults(r)
+                .stretch(k)
+                .scale(0.25)
+                .build_with_rng(GraphInput::from(&graph), &mut rng)
+                .expect("the conversion accepts undirected inputs");
+            (report.size(), report.iterations)
         };
-        let clpr = ClprStyleBaseline::new(r).build(&graph, &GreedySpanner::new(k), &mut rng);
+        let clpr = FtSpannerBuilder::new("clpr09")
+            .faults(r)
+            .stretch(k)
+            .build_with_rng(GraphInput::from(&graph), &mut rng)
+            .expect("the CLPR09 baseline accepts undirected inputs");
         table.row(&[
             r.to_string(),
             ours.0.to_string(),

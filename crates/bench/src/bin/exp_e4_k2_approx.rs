@@ -37,22 +37,36 @@ fn run(costs: generate::WeightKind, label: &str, rng: &mut ChaCha8Rng) {
         ],
     );
     for &r in &[0usize, 1, 2, 3, 4] {
-        let ours = approximate_two_spanner(&graph, &ApproxConfig::new(r), rng)
+        let ours = FtSpannerBuilder::new("two-spanner-lp")
+            .faults(r)
+            .build_with_rng(GraphInput::from(&graph), rng)
             .expect("relaxation solvable");
-        let dk10 = dk10_two_spanner(&graph, r, rng).expect("relaxation solvable");
-        assert!(verify::is_ft_two_spanner(&graph, &ours.arcs, r));
-        assert!(verify::is_ft_two_spanner(&graph, &dk10.arcs, r));
+        let dk10 = FtSpannerBuilder::new("dk10")
+            .faults(r)
+            .build_with_rng(GraphInput::from(&graph), rng)
+            .expect("relaxation solvable");
+        assert!(verify::is_ft_two_spanner(
+            &graph,
+            ours.arc_set().unwrap(),
+            r
+        ));
+        assert!(verify::is_ft_two_spanner(
+            &graph,
+            dk10.arc_set().unwrap(),
+            r
+        ));
         // Both ratios are measured against the *stronger* LP (4) lower bound
         // so they are directly comparable.
+        let lp4 = ours.lp_objective.unwrap();
         table.row(&[
             r.to_string(),
-            fmt(ours.lp_objective, 2),
+            fmt(lp4, 2),
             fmt(ours.cost, 1),
-            fmt(ours.cost / ours.lp_objective.max(1e-9), 2),
-            fmt(ours.alpha, 2),
+            fmt(ours.cost / lp4.max(1e-9), 2),
+            fmt(ours.alpha.unwrap(), 2),
             fmt(dk10.cost, 1),
-            fmt(dk10.cost / ours.lp_objective.max(1e-9), 2),
-            fmt(dk10.alpha, 2),
+            fmt(dk10.cost / lp4.max(1e-9), 2),
+            fmt(dk10.alpha.unwrap(), 2),
             fmt(graph.total_cost(), 1),
         ]);
     }
@@ -67,7 +81,10 @@ fn main() {
     let mut rng = ChaCha8Rng::seed_from_u64(4);
     run(generate::WeightKind::Unit, "unit_costs", &mut rng);
     run(
-        generate::WeightKind::Uniform { min: 1.0, max: 10.0 },
+        generate::WeightKind::Uniform {
+            min: 1.0,
+            max: 10.0,
+        },
         "random_costs",
         &mut rng,
     );

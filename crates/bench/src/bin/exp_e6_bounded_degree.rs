@@ -36,23 +36,33 @@ fn main() {
     for &d in &[3usize, 4, 6, 8] {
         let undirected = generate::random_near_regular(n, d, &mut rng);
         let graph = DiGraph::from_graph(&undirected);
-        let theorem33 = approximate_two_spanner(&graph, &ApproxConfig::new(r), &mut rng)
+        let theorem33 = FtSpannerBuilder::new("two-spanner-lp")
+            .faults(r)
+            .build_with_rng(GraphInput::from(&graph), &mut rng)
             .expect("relaxation solvable");
-        let lll = bounded_degree_two_spanner(&graph, &LllConfig::new(r), &mut rng)
+        let lll = FtSpannerBuilder::new("two-spanner-lll")
+            .faults(r)
+            .degree_bound(graph.max_degree())
+            .build_with_rng(GraphInput::from(&graph), &mut rng)
             .expect("relaxation solvable");
-        assert!(verify::is_ft_two_spanner(&graph, &theorem33.arcs, r));
-        assert!(verify::is_ft_two_spanner(&graph, &lll.arcs, r));
+        assert!(verify::is_ft_two_spanner(
+            &graph,
+            theorem33.arc_set().unwrap(),
+            r
+        ));
+        assert!(verify::is_ft_two_spanner(&graph, lll.arc_set().unwrap(), r));
+        let lp = lll.lp_objective.unwrap();
         table.row(&[
             graph.max_degree().to_string(),
             graph.arc_count().to_string(),
-            fmt(lll.lp_objective, 2),
+            fmt(lp, 2),
             fmt(theorem33.cost, 1),
-            fmt(theorem33.cost / lll.lp_objective.max(1e-9), 2),
-            fmt(theorem33.alpha, 2),
+            fmt(theorem33.cost / lp.max(1e-9), 2),
+            fmt(theorem33.alpha.unwrap(), 2),
             fmt(lll.cost, 1),
-            fmt(lll.ratio_vs_lp(), 2),
-            fmt(lll.alpha, 2),
-            lll.resamples.to_string(),
+            fmt(lll.ratio_vs_lp().unwrap(), 2),
+            fmt(lll.alpha.unwrap(), 2),
+            lll.resamples.unwrap().to_string(),
         ]);
     }
     table.print_and_save();

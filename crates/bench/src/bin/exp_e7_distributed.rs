@@ -20,22 +20,46 @@ fn main() {
     // --- (a) Theorem 2.3: distributed conversion, stretch 3 ---------------
     let mut a = Table::new(
         "e7a_distributed_conversion",
-        &["n", "m", "r", "iterations", "rounds", "messages", "edges", "valid_sampled"],
+        &[
+            "n",
+            "m",
+            "r",
+            "iterations",
+            "rounds",
+            "messages",
+            "edges",
+            "valid_sampled",
+        ],
     );
     for &(n, r) in &[(50usize, 1usize), (50, 2), (100, 1), (100, 2)] {
-        let graph = generate::connected_gnp(n, (8.0 / n as f64).min(1.0), generate::WeightKind::Unit, &mut rng);
-        let cfg = DistributedConversionConfig::new(r, 3).with_scale(0.25);
-        let out = distributed_fault_tolerant_spanner(&graph, &cfg, &mut rng);
-        let report =
-            verify::verify_fault_tolerance_sampled(&graph, &out.edges, 3.0, r, 30, &mut rng);
+        let graph = generate::connected_gnp(
+            n,
+            (8.0 / n as f64).min(1.0),
+            generate::WeightKind::Unit,
+            &mut rng,
+        );
+        let out = FtSpannerBuilder::new("distributed-conversion")
+            .faults(r)
+            .stretch(3.0)
+            .scale(0.25)
+            .build_with_rng(GraphInput::from(&graph), &mut rng)
+            .expect("the distributed conversion accepts stretch-3 requests");
+        let report = verify::verify_fault_tolerance_sampled(
+            &graph,
+            out.edge_set().unwrap(),
+            3.0,
+            r,
+            30,
+            &mut rng,
+        );
         a.row(&[
             n.to_string(),
             graph.edge_count().to_string(),
             r.to_string(),
             out.iterations.to_string(),
-            out.stats.rounds.to_string(),
-            out.stats.messages.to_string(),
-            out.edges.len().to_string(),
+            out.rounds.unwrap().to_string(),
+            out.messages.unwrap().to_string(),
+            out.size().to_string(),
             report.is_valid().to_string(),
         ]);
     }
@@ -48,20 +72,33 @@ fn main() {
     // --- (b) Theorem 3.9: distributed 2-spanner ---------------------------
     let mut b = Table::new(
         "e7b_distributed_two_spanner",
-        &["n", "arcs", "r", "repetitions", "rounds", "cost", "central_lp", "ratio", "repaired"],
+        &[
+            "n",
+            "arcs",
+            "r",
+            "repetitions",
+            "rounds",
+            "cost",
+            "central_lp",
+            "ratio",
+            "repaired",
+        ],
     );
     for &(n, r) in &[(10usize, 0usize), (10, 1), (14, 1)] {
         let graph = generate::directed_gnp(n, 0.4, generate::WeightKind::Unit, &mut rng);
         let central = solve_relaxation(&graph, &RelaxationConfig::new(r)).expect("LP solvable");
-        let cfg = DistributedTwoSpannerConfig::new(r).with_repetitions(4);
-        let out = distributed_two_spanner(&graph, &cfg, &mut rng).expect("cluster LPs solvable");
-        assert!(verify::is_ft_two_spanner(&graph, &out.arcs, r));
+        let out = FtSpannerBuilder::new("distributed-two-spanner")
+            .faults(r)
+            .repetitions(4)
+            .build_with_rng(GraphInput::from(&graph), &mut rng)
+            .expect("cluster LPs solvable");
+        assert!(verify::is_ft_two_spanner(&graph, out.arc_set().unwrap(), r));
         b.row(&[
             n.to_string(),
             graph.arc_count().to_string(),
             r.to_string(),
-            out.repetitions.to_string(),
-            out.stats.rounds.to_string(),
+            out.iterations.to_string(),
+            out.rounds.unwrap().to_string(),
             fmt(out.cost, 1),
             fmt(central.objective, 2),
             fmt(out.cost / central.objective.max(1e-9), 2),

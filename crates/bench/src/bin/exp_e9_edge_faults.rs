@@ -3,8 +3,10 @@
 //! The conversion theorem adapts to *edge* faults by sampling edges instead
 //! of vertices into the oversized fault set; the analysis needs only
 //! `Θ(r² log n)` iterations (one factor of `r` less). This binary compares
-//! the two models on the same graph: output size, iterations, and validity
-//! (exhaustive for `r ≤ 2` on the small instance, sampled otherwise).
+//! the two models on the same graph — the same `conversion` algorithm,
+//! switched by the request's fault model — reporting output size,
+//! iterations, and validity (exhaustive for `r ≤ 2` on the small instance,
+//! sampled otherwise).
 
 use fault_tolerant_spanners::prelude::*;
 use ftspan_bench::Table;
@@ -37,21 +39,25 @@ fn main() {
     );
 
     let plain = GreedySpanner::new(k).build(&graph, &mut rng);
+    let builder = FtSpannerBuilder::new("conversion").stretch(k).scale(0.25);
     for &r in &[1usize, 2, 3, 4] {
-        let edge_params = EdgeFaultParams::new(r).with_scale(0.25);
-        let edge_result =
-            edge_fault_tolerant_spanner(&graph, &GreedySpanner::new(k), &edge_params, &mut rng);
-        let vertex_params = ConversionParams::new(r).with_scale(0.25);
-        let vertex_result = FaultTolerantConverter::new(vertex_params).build(
-            &graph,
-            &GreedySpanner::new(k),
-            &mut rng,
-        );
+        let edge_result = builder
+            .clone()
+            .faults(r)
+            .edge_faults()
+            .build_with_rng(GraphInput::from(&graph), &mut rng)
+            .expect("the conversion accepts edge-fault requests");
+        let vertex_result = builder
+            .clone()
+            .faults(r)
+            .vertex_faults()
+            .build_with_rng(GraphInput::from(&graph), &mut rng)
+            .expect("the conversion accepts vertex-fault requests");
+        let edges = edge_result.edge_set().unwrap();
         let valid = if r <= 2 {
-            verify::verify_edge_fault_tolerance_exhaustive(&graph, &edge_result.edges, k, r)
-                .is_valid()
+            verify::verify_edge_fault_tolerance_exhaustive(&graph, edges, k, r).is_valid()
         } else {
-            verify::verify_edge_fault_tolerance_sampled(&graph, &edge_result.edges, k, r, 40, &mut rng)
+            verify::verify_edge_fault_tolerance_sampled(&graph, edges, k, r, 40, &mut rng)
                 .is_valid()
         };
         table.row(&[

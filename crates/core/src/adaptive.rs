@@ -204,7 +204,12 @@ where
         verified = passes(graph, &union, stretch, config.faults, config.stopping, rng);
     }
 
-    AdaptiveResult { edges: union, iterations, theorem_iterations, verified }
+    AdaptiveResult {
+        edges: union,
+        iterations,
+        theorem_iterations,
+        verified,
+    }
 }
 
 #[cfg(test)]
@@ -244,7 +249,12 @@ mod tests {
         assert!(result.verified);
         assert!(result.iterations < result.theorem_iterations);
         assert!(result.budget_fraction() < 1.0);
-        assert!(ftspan_graph::verify::is_fault_tolerant_k_spanner(&g, &result.edges, 3.0, 1));
+        assert!(ftspan_graph::verify::is_fault_tolerant_k_spanner(
+            &g,
+            &result.edges,
+            3.0,
+            1
+        ));
     }
 
     #[test]
@@ -256,7 +266,12 @@ mod tests {
         let result = adaptive_fault_tolerant_spanner(&g, &GreedySpanner::new(3.0), &config, &mut r);
         // With exhaustive stopping, `verified` is a proof of validity.
         assert!(result.verified);
-        assert!(ftspan_graph::verify::is_fault_tolerant_k_spanner(&g, &result.edges, 3.0, 2));
+        assert!(ftspan_graph::verify::is_fault_tolerant_k_spanner(
+            &g,
+            &result.edges,
+            3.0,
+            2
+        ));
         assert!(result.iterations <= result.theorem_iterations);
     }
 
@@ -274,7 +289,12 @@ mod tests {
         assert!(result.verified);
         assert!(ftspan_graph::verify::is_k_spanner(&g, &result.edges, 3.0));
         for adversarial in [high_degree_faults(&g, 2), articulation_faults(&g, 2)] {
-            assert!(verify::is_k_spanner_under_faults(&g, &result.edges, 3.0, &adversarial));
+            assert!(verify::is_k_spanner_under_faults(
+                &g,
+                &result.edges,
+                3.0,
+                &adversarial
+            ));
         }
     }
 
@@ -286,6 +306,9 @@ mod tests {
         let result = adaptive_fault_tolerant_spanner(&g, &GreedySpanner::new(3.0), &config, &mut r);
         assert!(result.verified);
         assert_eq!(result.size(), 0);
-        assert_eq!(result.iterations, config.batch.min(result.theorem_iterations));
+        assert_eq!(
+            result.iterations,
+            config.batch.min(result.theorem_iterations)
+        );
     }
 }

@@ -45,12 +45,18 @@ pub struct ClprStyleBaseline {
 impl ClprStyleBaseline {
     /// Exhaustive baseline for `faults` failures.
     pub fn new(faults: usize) -> Self {
-        ClprStyleBaseline { faults, mode: FaultSetMode::Exhaustive }
+        ClprStyleBaseline {
+            faults,
+            mode: FaultSetMode::Exhaustive,
+        }
     }
 
     /// Uses `count` sampled fault sets instead of exhaustive enumeration.
     pub fn sampled(faults: usize, count: usize) -> Self {
-        ClprStyleBaseline { faults, mode: FaultSetMode::Sampled(count) }
+        ClprStyleBaseline {
+            faults,
+            mode: FaultSetMode::Sampled(count),
+        }
     }
 
     /// Builds the baseline spanner: for each fault set `F`, run `algorithm`
@@ -59,12 +65,7 @@ impl ClprStyleBaseline {
     /// The output is returned in the same [`ConversionResult`] shape as the
     /// conversion theorem so the experiments can compare them directly (the
     /// `per_iteration` entries record one entry per fault set).
-    pub fn build<A>(
-        &self,
-        graph: &Graph,
-        algorithm: &A,
-        rng: &mut dyn RngCore,
-    ) -> ConversionResult
+    pub fn build<A>(&self, graph: &Graph, algorithm: &A, rng: &mut dyn RngCore) -> ConversionResult
     where
         A: SpannerAlgorithm + ?Sized,
     {
@@ -163,9 +164,17 @@ mod tests {
         let g = generate::gnp(15, 0.5, generate::WeightKind::Unit, &mut r);
         let baseline = ClprStyleBaseline::new(1);
         let result = baseline.build(&g, &GreedySpanner::new(3.0), &mut r);
-        assert!(verify::is_fault_tolerant_k_spanner(&g, &result.edges, 3.0, 1));
+        assert!(verify::is_fault_tolerant_k_spanner(
+            &g,
+            &result.edges,
+            3.0,
+            1
+        ));
         // One iteration per fault set of size <= 1.
-        assert_eq!(result.iterations as u128, ftspan_graph::faults::count_fault_sets(15, 1));
+        assert_eq!(
+            result.iterations as u128,
+            ftspan_graph::faults::count_fault_sets(15, 1)
+        );
     }
 
     #[test]

@@ -316,7 +316,12 @@ mod tests {
         let mut r = rng(1);
         let g = generate::gnp(25, 0.5, generate::WeightKind::Unit, &mut r);
         let result = corollary_2_2(&g, 3.0, 1, &mut r);
-        assert!(verify::is_fault_tolerant_k_spanner(&g, &result.edges, 3.0, 1));
+        assert!(verify::is_fault_tolerant_k_spanner(
+            &g,
+            &result.edges,
+            3.0,
+            1
+        ));
         assert!(result.size() <= g.edge_count());
         assert_eq!(result.per_iteration.len(), result.iterations);
     }
@@ -331,7 +336,12 @@ mod tests {
             &mut r,
         );
         let result = corollary_2_2(&g, 3.0, 2, &mut r);
-        assert!(verify::is_fault_tolerant_k_spanner(&g, &result.edges, 3.0, 2));
+        assert!(verify::is_fault_tolerant_k_spanner(
+            &g,
+            &result.edges,
+            3.0,
+            2
+        ));
     }
 
     #[test]
@@ -341,7 +351,12 @@ mod tests {
         let alg = BaswanaSenSpanner::new(2);
         let converter = FaultTolerantConverter::new(ConversionParams::new(1));
         let result = converter.build(&g, &alg, &mut r);
-        assert!(verify::is_fault_tolerant_k_spanner(&g, &result.edges, 3.0, 1));
+        assert!(verify::is_fault_tolerant_k_spanner(
+            &g,
+            &result.edges,
+            3.0,
+            1
+        ));
     }
 
     #[test]
@@ -362,7 +377,10 @@ mod tests {
         let g = generate::gnp(30, 0.5, generate::WeightKind::Unit, &mut r);
         let small = corollary_2_2(&g, 3.0, 1, &mut r).size();
         let large = corollary_2_2(&g, 3.0, 3, &mut r).size();
-        assert!(large >= small, "r=3 spanner ({large}) smaller than r=1 ({small})");
+        assert!(
+            large >= small,
+            "r=3 spanner ({large}) smaller than r=1 ({small})"
+        );
     }
 
     #[test]
@@ -377,7 +395,11 @@ mod tests {
         let mut r = rng(6);
         let params = ConversionParams::new(4); // p = 3/4
         let sampled = sample_oversized_fault_set(1000, &params, &mut r);
-        assert!(sampled.len() > 650 && sampled.len() < 850, "got {}", sampled.len());
+        assert!(
+            sampled.len() > 650 && sampled.len() < 850,
+            "got {}",
+            sampled.len()
+        );
     }
 
     #[test]

@@ -45,7 +45,11 @@ impl EdgeFaultParams {
     /// Parameters tolerating `faults` edge failures with the default
     /// iteration count.
     pub fn new(faults: usize) -> Self {
-        EdgeFaultParams { faults, iterations: None, scale: 1.0 }
+        EdgeFaultParams {
+            faults,
+            iterations: None,
+            scale: 1.0,
+        }
     }
 
     /// Overrides the number of iterations `α`.
@@ -180,7 +184,11 @@ where
         }
     }
 
-    EdgeFaultResult { edges: union, iterations: alpha, surviving_edges }
+    EdgeFaultResult {
+        edges: union,
+        iterations: alpha,
+        surviving_edges,
+    }
 }
 
 /// Builds the subgraph of `graph` keeping only the edges with
@@ -237,9 +245,18 @@ mod tests {
     fn output_is_edge_fault_tolerant_r1() {
         let mut r = rng(11);
         let g = generate::gnp(18, 0.5, generate::WeightKind::Unit, &mut r);
-        let result =
-            edge_fault_tolerant_spanner(&g, &GreedySpanner::new(3.0), &EdgeFaultParams::new(1), &mut r);
-        assert!(verify::is_edge_fault_tolerant_k_spanner(&g, &result.edges, 3.0, 1));
+        let result = edge_fault_tolerant_spanner(
+            &g,
+            &GreedySpanner::new(3.0),
+            &EdgeFaultParams::new(1),
+            &mut r,
+        );
+        assert!(verify::is_edge_fault_tolerant_k_spanner(
+            &g,
+            &result.edges,
+            3.0,
+            1
+        ));
         assert!(result.size() <= g.edge_count());
         assert_eq!(result.surviving_edges.len(), result.iterations);
     }
@@ -259,7 +276,12 @@ mod tests {
             &EdgeFaultParams::new(2),
             &mut r,
         );
-        assert!(verify::is_edge_fault_tolerant_k_spanner(&g, &result.edges, 3.0, 2));
+        assert!(verify::is_edge_fault_tolerant_k_spanner(
+            &g,
+            &result.edges,
+            3.0,
+            2
+        ));
     }
 
     #[test]
@@ -288,8 +310,12 @@ mod tests {
     fn empty_graph_yields_empty_spanner() {
         let mut r = rng(14);
         let g = Graph::new(0);
-        let result =
-            edge_fault_tolerant_spanner(&g, &GreedySpanner::new(3.0), &EdgeFaultParams::new(2), &mut r);
+        let result = edge_fault_tolerant_spanner(
+            &g,
+            &GreedySpanner::new(3.0),
+            &EdgeFaultParams::new(2),
+            &mut r,
+        );
         assert_eq!(result.size(), 0);
         assert_eq!(result.mean_surviving_edges(), 0.0);
     }

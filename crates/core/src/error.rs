@@ -62,7 +62,9 @@ mod tests {
         assert!(g.to_string().contains("graph error"));
         let l: CoreError = LpError::Infeasible.into();
         assert!(l.to_string().contains("infeasible"));
-        let p = CoreError::InvalidParameter { message: "r must be positive".into() };
+        let p = CoreError::InvalidParameter {
+            message: "r must be positive".into(),
+        };
         assert!(p.to_string().contains("r must be positive"));
     }
 
@@ -70,7 +72,9 @@ mod tests {
     fn source_chains() {
         let e: CoreError = LpError::Unbounded.into();
         assert!(e.source().is_some());
-        let p = CoreError::InvalidParameter { message: "x".into() };
+        let p = CoreError::InvalidParameter {
+            message: "x".into(),
+        };
         assert!(p.source().is_none());
     }
 

@@ -50,6 +50,8 @@
 #![warn(missing_debug_implementations)]
 
 pub mod adaptive;
+pub mod algorithms;
+pub mod api;
 pub mod baselines;
 pub mod conversion;
 pub mod edge_faults;
@@ -57,6 +59,10 @@ mod error;
 pub mod lower_bounds;
 pub mod two_spanner;
 
+pub use api::{
+    FaultModel, FtSpannerAlgorithm, GraphFamily, GraphInput, Registry, SpannerEdges, SpannerReport,
+    SpannerRequest,
+};
 pub use error::CoreError;
 
 /// Result alias for fault-tolerant spanner constructions.

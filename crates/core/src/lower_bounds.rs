@@ -41,10 +41,7 @@ use ftspan_graph::{DiGraph, Graph};
 /// assert_eq!(vertex_fault_size_lower_bound(&g, 8), 45);
 /// ```
 pub fn vertex_fault_size_lower_bound(graph: &Graph, r: usize) -> usize {
-    let total: usize = graph
-        .nodes()
-        .map(|v| graph.degree(v).min(r + 1))
-        .sum();
+    let total: usize = graph.nodes().map(|v| graph.degree(v).min(r + 1)).sum();
     total.div_ceil(2)
 }
 
@@ -71,13 +68,17 @@ pub fn directed_cost_lower_bound(graph: &DiGraph, r: usize) -> f64 {
     let mut out_total = 0.0;
     let mut in_total = 0.0;
     for v in graph.nodes() {
-        let mut out_costs: Vec<f64> =
-            graph.out_incident(v).map(|(_, a)| graph.arc(a).cost).collect();
+        let mut out_costs: Vec<f64> = graph
+            .out_incident(v)
+            .map(|(_, a)| graph.arc(a).cost)
+            .collect();
         out_costs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         out_total += out_costs.iter().take(keep).sum::<f64>();
 
-        let mut in_costs: Vec<f64> =
-            graph.in_incident(v).map(|(_, a)| graph.arc(a).cost).collect();
+        let mut in_costs: Vec<f64> = graph
+            .in_incident(v)
+            .map(|(_, a)| graph.arc(a).cost)
+            .collect();
         in_costs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         in_total += in_costs.iter().take(keep).sum::<f64>();
     }
@@ -141,7 +142,12 @@ mod tests {
         let g = generate::gnp(16, 0.6, generate::WeightKind::Unit, &mut rng);
         for r in 0..3usize {
             let result = crate::conversion::corollary_2_2(&g, 3.0, r, &mut rng);
-            assert!(verify::is_fault_tolerant_k_spanner(&g, &result.edges, 3.0, r));
+            assert!(verify::is_fault_tolerant_k_spanner(
+                &g,
+                &result.edges,
+                3.0,
+                r
+            ));
             assert!(
                 result.size() >= vertex_fault_size_lower_bound(&g, r),
                 "spanner smaller than the degree lower bound at r = {r}"

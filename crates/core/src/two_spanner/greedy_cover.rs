@@ -125,7 +125,12 @@ pub fn greedy_ft_two_spanner(graph: &DiGraph, r: usize) -> GreedyCoverResult {
     let cost = graph
         .arc_set_cost(&selected)
         .expect("selected arcs come from the graph");
-    GreedyCoverResult { arcs: selected, cost, bought_directly, covered_by_paths }
+    GreedyCoverResult {
+        arcs: selected,
+        cost,
+        bought_directly,
+        covered_by_paths,
+    }
 }
 
 #[cfg(test)]
@@ -194,8 +199,12 @@ mod tests {
         // A digraph where no arc has any 2-path must be bought wholesale.
         let mut g = DiGraph::new(5);
         for v in 1..5 {
-            g.add_arc(ftspan_graph::NodeId::new(0), ftspan_graph::NodeId::new(v), 1.0)
-                .unwrap();
+            g.add_arc(
+                ftspan_graph::NodeId::new(0),
+                ftspan_graph::NodeId::new(v),
+                1.0,
+            )
+            .unwrap();
         }
         let result = greedy_ft_two_spanner(&g, 1);
         assert_eq!(result.size(), 4);

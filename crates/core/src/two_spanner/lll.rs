@@ -158,7 +158,10 @@ pub fn bounded_degree_two_spanner(
             let arc = graph.arc(arc_id);
             thresholds[arc.tail.index()] = rng.gen();
             thresholds[arc.head.index()] = rng.gen();
-            for w in graph.two_path_midpoints(arc.tail, arc.head).collect::<Vec<_>>() {
+            for w in graph
+                .two_path_midpoints(arc.tail, arc.head)
+                .collect::<Vec<_>>()
+            {
                 thresholds[w.index()] = rng.gen();
             }
         } else if let Some(&u) = bad_vertices.first() {
@@ -184,7 +187,7 @@ pub fn bounded_degree_two_spanner(
     // Sanity: every satisfied arc is indeed covered (debug builds only).
     debug_assert!(graph.arcs().all(|(id, arc)| {
         arcs.contains(id)
-            || count_spanner_two_paths(graph, &arcs, arc.tail, arc.head) >= config.faults + 1
+            || count_spanner_two_paths(graph, &arcs, arc.tail, arc.head) > config.faults
     }));
 
     let cost = graph.arc_set_cost(&arcs)?;

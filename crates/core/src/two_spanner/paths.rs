@@ -45,7 +45,11 @@ impl TwoPathIndex {
                     continue;
                 }
                 if let Some(second) = graph.find_arc(w, arc.head) {
-                    paths.push(TwoPath { midpoint: w, first, second });
+                    paths.push(TwoPath {
+                        midpoint: w,
+                        first,
+                        second,
+                    });
                 }
             }
             per_arc.push(paths);

@@ -19,8 +19,8 @@ use super::paths::TwoPathIndex;
 use crate::Result;
 use ftspan_graph::{ArcId, DiGraph};
 use ftspan_lp::{
-    cutting_plane_solve, Constraint, ConstraintOp, CutStats, LpProblem, SeparationOracle,
-    SimplexSolver,
+    cutting_plane_solve_with_resolve_budget, Constraint, ConstraintOp, CutStats, LpProblem,
+    SeparationOracle, SimplexSolver,
 };
 
 /// Configuration of the LP relaxation solve.
@@ -169,7 +169,11 @@ impl SeparationOracle for KnapsackCoverOracle {
 
 /// Builds LP (3) for `graph` and `faults`, returning the problem and the
 /// variable layout.
-fn build_base_lp(graph: &DiGraph, index: &TwoPathIndex, faults: usize) -> (LpProblem, VariableLayout) {
+fn build_base_lp(
+    graph: &DiGraph,
+    index: &TwoPathIndex,
+    faults: usize,
+) -> (LpProblem, VariableLayout) {
     let layout = VariableLayout::new(index);
     let mut lp = LpProblem::minimize(layout.total_vars);
 
@@ -225,6 +229,17 @@ pub fn solve_relaxation(graph: &DiGraph, config: &RelaxationConfig) -> Result<Fr
     let solver = SimplexSolver::default();
 
     let (solution, cuts) = if config.knapsack_cover {
+        // Knapsack-cover cut systems are heavily degenerate and a re-solve
+        // can crawl for hundreds of thousands of pivots with negligible
+        // objective movement. Cap the pivot budget of the *re-solves* only
+        // (the base LP keeps the full default budget): when a round exceeds
+        // it, the previous round's optimum is returned, which is the exact
+        // optimum of a valid (slightly weaker) relaxation — still a correct
+        // lower bound and rounding input.
+        let resolve_solver = SimplexSolver {
+            max_iterations: 40_000,
+            ..solver
+        };
         let mut oracle = KnapsackCoverOracle {
             paths_per_arc: (0..index.arc_count())
                 .map(|a| index.paths(ArcId::new(a)).len())
@@ -233,12 +248,22 @@ pub fn solve_relaxation(graph: &DiGraph, config: &RelaxationConfig) -> Result<Fr
             faults: config.faults,
             tolerance: config.separation_tolerance,
         };
-        cutting_plane_solve(&mut lp, &solver, &mut oracle, config.max_cut_rounds)?
+        cutting_plane_solve_with_resolve_budget(
+            &mut lp,
+            &solver,
+            &resolve_solver,
+            &mut oracle,
+            config.max_cut_rounds,
+        )?
     } else {
         let s = solver.solve(&lp)?;
         (
             s,
-            CutStats { rounds: 1, cuts_added: 0, separated_to_optimality: true },
+            CutStats {
+                rounds: 1,
+                cuts_added: 0,
+                separated_to_optimality: true,
+            },
         )
     };
 
@@ -274,8 +299,8 @@ mod tests {
         let expensive = 60.0;
         let g = generate::gap_gadget(r, expensive).unwrap();
 
-        let weak = solve_relaxation(&g, &RelaxationConfig::new(r).without_knapsack_cover())
-            .unwrap();
+        let weak =
+            solve_relaxation(&g, &RelaxationConfig::new(r).without_knapsack_cover()).unwrap();
         let strong = solve_relaxation(&g, &RelaxationConfig::new(r)).unwrap();
 
         // LP (3): x_(u,v) = 1/(r+1) suffices, so the objective is about
@@ -311,8 +336,8 @@ mod tests {
         let n = 7usize;
         let r = 3usize;
         let g = generate::complete_digraph(n);
-        let weak = solve_relaxation(&g, &RelaxationConfig::new(r).without_knapsack_cover())
-            .unwrap();
+        let weak =
+            solve_relaxation(&g, &RelaxationConfig::new(r).without_knapsack_cover()).unwrap();
         let symmetric = (n * (n - 1)) as f64 * (r + 1) as f64 / (n + r - 1) as f64;
         // The dense simplex accumulates a little floating-point drift on this
         // ~1000-row instance; allow a small absolute slack.

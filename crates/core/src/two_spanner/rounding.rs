@@ -234,8 +234,8 @@ fn finalize(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ftspan_graph::verify;
     use ftspan_graph::generate;
+    use ftspan_graph::verify;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
@@ -284,7 +284,10 @@ mod tests {
         let g = generate::directed_gnp(
             10,
             0.6,
-            generate::WeightKind::Uniform { min: 1.0, max: 10.0 },
+            generate::WeightKind::Uniform {
+                min: 1.0,
+                max: 10.0,
+            },
             &mut r,
         );
         let result = approximate_two_spanner(&g, &ApproxConfig::new(1), &mut r).unwrap();
@@ -311,7 +314,9 @@ mod tests {
         // repair the result is allowed to be invalid, with repair it never is.
         let mut r = rng(6);
         let g = generate::complete_digraph(6);
-        let cfg = ApproxConfig::new(2).with_alpha_constant(0.01).without_repair();
+        let cfg = ApproxConfig::new(2)
+            .with_alpha_constant(0.01)
+            .without_repair();
         let result = approximate_two_spanner(&g, &cfg, &mut r).unwrap();
         let violations = verify::two_spanner_violations(&g, &result.arcs, 2);
         // Tiny alpha: the spanner is essentially empty, so there must be
@@ -319,12 +324,9 @@ mod tests {
         assert!(!violations.is_empty());
 
         let mut r2 = rng(6);
-        let repaired = approximate_two_spanner(
-            &g,
-            &ApproxConfig::new(2).with_alpha_constant(0.01),
-            &mut r2,
-        )
-        .unwrap();
+        let repaired =
+            approximate_two_spanner(&g, &ApproxConfig::new(2).with_alpha_constant(0.01), &mut r2)
+                .unwrap();
         assert!(verify::is_ft_two_spanner(&g, &repaired.arcs, 2));
         assert!(repaired.repaired_arcs > 0);
     }

@@ -319,7 +319,10 @@ pub fn local_vertex_connectivity(graph: &Graph, s: NodeId, t: NodeId) -> Result<
     let n = graph.node_count();
     for x in [s, t] {
         if x.index() >= n {
-            return Err(GraphError::NodeOutOfBounds { node: x.index(), len: n });
+            return Err(GraphError::NodeOutOfBounds {
+                node: x.index(),
+                len: n,
+            });
         }
     }
     if s == t {
@@ -339,10 +342,10 @@ pub fn local_vertex_connectivity(graph: &Graph, s: NodeId, t: NodeId) -> Result<
     let mut cap: HashMap<(usize, usize), u32> = HashMap::new();
     let mut adj: Vec<Vec<usize>> = vec![Vec::new(); 2 * n];
     let add_arc = |cap_map: &mut HashMap<(usize, usize), u32>,
-                       adj: &mut Vec<Vec<usize>>,
-                       a: usize,
-                       b: usize,
-                       c: u32| {
+                   adj: &mut Vec<Vec<usize>>,
+                   a: usize,
+                   b: usize,
+                   c: u32| {
         let entry = cap_map.entry((a, b)).or_insert(0);
         *entry = entry.saturating_add(c);
         cap_map.entry((b, a)).or_insert(0);
@@ -356,12 +359,28 @@ pub fn local_vertex_connectivity(graph: &Graph, s: NodeId, t: NodeId) -> Result<
 
     let big = graph.node_count() as u32 + 1;
     for v in 0..n {
-        let c = if v == s.index() || v == t.index() { big } else { 1 };
+        let c = if v == s.index() || v == t.index() {
+            big
+        } else {
+            1
+        };
         add_arc(&mut cap, &mut adj, node_in(v), node_out(v), c);
     }
     for (_, e) in graph.edges() {
-        add_arc(&mut cap, &mut adj, node_out(e.u.index()), node_in(e.v.index()), 1);
-        add_arc(&mut cap, &mut adj, node_out(e.v.index()), node_in(e.u.index()), 1);
+        add_arc(
+            &mut cap,
+            &mut adj,
+            node_out(e.u.index()),
+            node_in(e.v.index()),
+            1,
+        );
+        add_arc(
+            &mut cap,
+            &mut adj,
+            node_out(e.v.index()),
+            node_in(e.u.index()),
+            1,
+        );
     }
 
     let source = node_out(s.index());
@@ -391,8 +410,10 @@ pub fn local_vertex_connectivity(graph: &Graph, s: NodeId, t: NodeId) -> Result<
         let mut v = sink;
         while v != source {
             let p = pred[v];
-            *cap.get_mut(&(p, v)).expect("arc exists on the augmenting path") -= 1;
-            *cap.get_mut(&(v, p)).expect("reverse arc was created with the arc") += 1;
+            *cap.get_mut(&(p, v))
+                .expect("arc exists on the augmenting path") -= 1;
+            *cap.get_mut(&(v, p))
+                .expect("reverse arc was created with the arc") += 1;
             v = p;
         }
         flow += 1;
@@ -433,8 +454,7 @@ pub fn vertex_connectivity(graph: &Graph) -> usize {
         if t == s || graph.has_edge(s, t) {
             continue;
         }
-        let c = local_vertex_connectivity(graph, s, t)
-            .expect("both endpoints come from the graph");
+        let c = local_vertex_connectivity(graph, s, t).expect("both endpoints come from the graph");
         best = best.min(c);
     }
     // Pairs of neighbors of s that are not adjacent to each other.
@@ -526,16 +546,16 @@ mod tests {
     fn barbell_center_is_an_articulation_point() {
         // Two triangles joined through vertex 2 (= vertex 3 merged): build
         // explicitly — triangle {0,1,2} and triangle {2,3,4}.
-        let g = Graph::from_unit_edges(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)])
-            .unwrap();
+        let g =
+            Graph::from_unit_edges(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]).unwrap();
         let cuts = articulation_points(&g);
         assert_eq!(cuts, vec![NodeId::new(2)]);
     }
 
     #[test]
     fn articulation_points_of_disconnected_graph() {
-        let g = Graph::from_unit_edges(7, [(0, 1), (1, 2), (3, 4), (4, 5), (5, 3), (5, 6)])
-            .unwrap();
+        let g =
+            Graph::from_unit_edges(7, [(0, 1), (1, 2), (3, 4), (4, 5), (5, 3), (5, 6)]).unwrap();
         let cuts = articulation_points(&g);
         assert!(cuts.contains(&NodeId::new(1)));
         assert!(cuts.contains(&NodeId::new(5)));
@@ -560,8 +580,8 @@ mod tests {
 
     #[test]
     fn local_connectivity_through_a_single_cut_vertex_is_one() {
-        let g = Graph::from_unit_edges(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)])
-            .unwrap();
+        let g =
+            Graph::from_unit_edges(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]).unwrap();
         let c = local_vertex_connectivity(&g, NodeId::new(0), NodeId::new(4)).unwrap();
         assert_eq!(c, 1);
     }
@@ -596,7 +616,10 @@ mod tests {
             let kappa = vertex_connectivity(&g);
             let has_cut_vertex = !articulation_points(&g).is_empty();
             if has_cut_vertex {
-                assert_eq!(kappa, 1, "graph with an articulation point has connectivity 1");
+                assert_eq!(
+                    kappa, 1,
+                    "graph with an articulation point has connectivity 1"
+                );
             } else {
                 assert!(kappa >= 2, "biconnected graph must have connectivity >= 2");
             }

@@ -93,8 +93,10 @@ impl DiGraph {
     pub fn from_graph(g: &crate::Graph) -> DiGraph {
         let mut d = DiGraph::new(g.node_count());
         for (_, e) in g.edges() {
-            d.add_arc(e.u, e.v, 1.0).expect("edges of a valid graph are valid arcs");
-            d.add_arc(e.v, e.u, 1.0).expect("edges of a valid graph are valid arcs");
+            d.add_arc(e.u, e.v, 1.0)
+                .expect("edges of a valid graph are valid arcs");
+            d.add_arc(e.v, e.u, 1.0)
+                .expect("edges of a valid graph are valid arcs");
         }
         d
     }
@@ -124,7 +126,10 @@ impl DiGraph {
 
     /// Iterator over `(ArcId, &Arc)` pairs.
     pub fn arcs(&self) -> impl Iterator<Item = (ArcId, &Arc)> + '_ {
-        self.arcs.iter().enumerate().map(|(i, a)| (ArcId::new(i), a))
+        self.arcs
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (ArcId::new(i), a))
     }
 
     /// Returns the arc with the given identifier.
@@ -154,7 +159,10 @@ impl DiGraph {
         let n = self.node_count();
         for x in [tail, head] {
             if x.index() >= n {
-                return Err(GraphError::NodeOutOfBounds { node: x.index(), len: n });
+                return Err(GraphError::NodeOutOfBounds {
+                    node: x.index(),
+                    len: n,
+                });
             }
         }
         if tail == head {
@@ -266,7 +274,8 @@ impl DiGraph {
         u: NodeId,
         v: NodeId,
     ) -> impl Iterator<Item = NodeId> + 'a {
-        self.out_neighbors(u).filter(move |&w| w != v && self.has_arc(w, v))
+        self.out_neighbors(u)
+            .filter(move |&w| w != v && self.has_arc(w, v))
     }
 
     /// Returns an [`ArcSet`] containing every arc of this graph.
@@ -354,7 +363,9 @@ pub struct ArcSet {
 impl ArcSet {
     /// Creates an empty arc set able to hold arcs `0..capacity`.
     pub fn new(capacity: usize) -> Self {
-        ArcSet { inner: EdgeSet::new(capacity) }
+        ArcSet {
+            inner: EdgeSet::new(capacity),
+        }
     }
 
     /// The number of arc slots (`m` of the parent digraph).
@@ -477,11 +488,15 @@ mod tests {
     #[test]
     fn two_path_midpoints() {
         let g = triangle();
-        let mids: Vec<_> = g.two_path_midpoints(NodeId::new(0), NodeId::new(2)).collect();
+        let mids: Vec<_> = g
+            .two_path_midpoints(NodeId::new(0), NodeId::new(2))
+            .collect();
         assert_eq!(mids, vec![NodeId::new(1)]);
         // 0 -> 1 has no length-2 path: the only candidate midpoint 2 has no
         // arc into 1.
-        let none: Vec<_> = g.two_path_midpoints(NodeId::new(0), NodeId::new(1)).collect();
+        let none: Vec<_> = g
+            .two_path_midpoints(NodeId::new(0), NodeId::new(1))
+            .collect();
         assert!(none.is_empty());
     }
 

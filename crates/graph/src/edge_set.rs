@@ -78,7 +78,11 @@ impl EdgeSet {
     /// Panics if `e` is outside the capacity of the set.
     pub fn insert(&mut self, e: EdgeId) -> bool {
         let i = e.index();
-        assert!(i < self.capacity, "edge {i} out of range for capacity {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "edge {i} out of range for capacity {}",
+            self.capacity
+        );
         let mask = 1u64 << (i % 64);
         let block = &mut self.blocks[i / 64];
         if *block & mask == 0 {

@@ -65,16 +65,28 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfBounds { node, len } => {
-                write!(f, "node index {node} out of bounds for graph with {len} vertices")
+                write!(
+                    f,
+                    "node index {node} out of bounds for graph with {len} vertices"
+                )
             }
             GraphError::EdgeOutOfBounds { edge, len } => {
-                write!(f, "edge index {edge} out of bounds for graph with {len} edges")
+                write!(
+                    f,
+                    "edge index {edge} out of bounds for graph with {len} edges"
+                )
             }
             GraphError::SelfLoop { node } => {
-                write!(f, "self-loop at vertex {node} is not allowed in a simple graph")
+                write!(
+                    f,
+                    "self-loop at vertex {node} is not allowed in a simple graph"
+                )
             }
             GraphError::InvalidWeight { weight } => {
-                write!(f, "edge weight {weight} is not a non-negative finite number")
+                write!(
+                    f,
+                    "edge weight {weight} is not a non-negative finite number"
+                )
             }
             GraphError::MismatchedEdgeSet { set_len, graph_len } => {
                 write!(
@@ -97,7 +109,9 @@ impl fmt::Display for GraphError {
 
 impl From<std::io::Error> for GraphError {
     fn from(err: std::io::Error) -> Self {
-        GraphError::Io { message: err.to_string() }
+        GraphError::Io {
+            message: err.to_string(),
+        }
     }
 }
 
@@ -129,10 +143,20 @@ mod tests {
             GraphError::EdgeOutOfBounds { edge: 1, len: 0 },
             GraphError::SelfLoop { node: 2 },
             GraphError::InvalidWeight { weight: -1.0 },
-            GraphError::MismatchedEdgeSet { set_len: 3, graph_len: 4 },
-            GraphError::InvalidParameter { message: "p must be in [0,1]".into() },
-            GraphError::Io { message: "file not found".into() },
-            GraphError::Parse { line: 3, message: "expected three fields".into() },
+            GraphError::MismatchedEdgeSet {
+                set_len: 3,
+                graph_len: 4,
+            },
+            GraphError::InvalidParameter {
+                message: "p must be in [0,1]".into(),
+            },
+            GraphError::Io {
+                message: "file not found".into(),
+            },
+            GraphError::Parse {
+                line: 3,
+                message: "expected three fields".into(),
+            },
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

@@ -118,7 +118,7 @@ impl Iterator for Combinations {
                 break;
             }
             i -= 1;
-            if next[i] + 1 <= self.n - (self.k - i) {
+            if next[i] < self.n - (self.k - i) {
                 next[i] += 1;
                 for j in (i + 1)..self.k {
                     next[j] = next[j - 1] + 1;
@@ -339,10 +339,7 @@ mod tests {
     fn fault_set_dedups_and_sorts() {
         let f = FaultSet::from_indices([5, 1, 5, 3]);
         assert_eq!(f.len(), 3);
-        assert_eq!(
-            f.nodes(),
-            &[NodeId::new(1), NodeId::new(3), NodeId::new(5)]
-        );
+        assert_eq!(f.nodes(), &[NodeId::new(1), NodeId::new(3), NodeId::new(5)]);
         assert!(f.contains(NodeId::new(3)));
         assert!(!f.contains(NodeId::new(2)));
         assert!(FaultSet::empty().is_empty());

@@ -43,7 +43,10 @@ impl WeightKind {
 ///
 /// Panics if `p` is not in `[0, 1]`.
 pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, weights: WeightKind, rng: &mut R) -> Graph {
-    assert!((0.0..=1.0).contains(&p), "edge probability must be in [0, 1], got {p}");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "edge probability must be in [0, 1], got {p}"
+    );
     let mut g = Graph::new(n);
     for u in 0..n {
         for v in (u + 1)..n {
@@ -66,14 +69,12 @@ pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, weights: WeightKind, rng: &mut R) 
 /// # Panics
 ///
 /// Panics if `p` is not in `[0, 1]` or `n == 0`.
-pub fn connected_gnp<R: Rng + ?Sized>(
-    n: usize,
-    p: f64,
-    weights: WeightKind,
-    rng: &mut R,
-) -> Graph {
+pub fn connected_gnp<R: Rng + ?Sized>(n: usize, p: f64, weights: WeightKind, rng: &mut R) -> Graph {
     assert!(n > 0, "connected graph needs at least one vertex");
-    assert!((0.0..=1.0).contains(&p), "edge probability must be in [0, 1], got {p}");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "edge probability must be in [0, 1], got {p}"
+    );
     let mut order: Vec<usize> = (0..n).collect();
     order.shuffle(rng);
     let mut g = Graph::new(n);
@@ -105,7 +106,9 @@ pub fn random_geometric<R: Rng + ?Sized>(
     weights: WeightKind,
     rng: &mut R,
 ) -> Graph {
-    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
     let mut g = Graph::new(n);
     for u in 0..n {
         for v in (u + 1)..n {
@@ -132,10 +135,12 @@ pub fn grid(rows: usize, cols: usize) -> Graph {
     for r in 0..rows {
         for c in 0..cols {
             if c + 1 < cols {
-                g.add_edge(id(r, c), id(r, c + 1), 1.0).expect("grid edges are valid");
+                g.add_edge(id(r, c), id(r, c + 1), 1.0)
+                    .expect("grid edges are valid");
             }
             if r + 1 < rows {
-                g.add_edge(id(r, c), id(r + 1, c), 1.0).expect("grid edges are valid");
+                g.add_edge(id(r, c), id(r + 1, c), 1.0)
+                    .expect("grid edges are valid");
             }
         }
     }
@@ -261,7 +266,7 @@ pub fn preferential_attachment<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R)
 /// Panics if `d >= n`.
 pub fn random_near_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Graph {
     assert!(d < n, "degree must be smaller than the number of vertices");
-    let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+    let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
     stubs.shuffle(rng);
     let mut g = Graph::new(n);
     for pair in stubs.chunks(2) {
@@ -283,13 +288,11 @@ pub fn random_near_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> 
 /// # Panics
 ///
 /// Panics if `p` is not in `[0, 1]`.
-pub fn directed_gnp<R: Rng + ?Sized>(
-    n: usize,
-    p: f64,
-    costs: WeightKind,
-    rng: &mut R,
-) -> DiGraph {
-    assert!((0.0..=1.0).contains(&p), "arc probability must be in [0, 1], got {p}");
+pub fn directed_gnp<R: Rng + ?Sized>(n: usize, p: f64, costs: WeightKind, rng: &mut R) -> DiGraph {
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "arc probability must be in [0, 1], got {p}"
+    );
     let mut g = DiGraph::new(n);
     for u in 0..n {
         for v in 0..n {
@@ -342,7 +345,10 @@ pub fn star(n: usize) -> Graph {
 ///
 /// Panics if `n < 4` (the rim needs at least three vertices).
 pub fn wheel(n: usize) -> Graph {
-    assert!(n >= 4, "a wheel needs a hub and at least three rim vertices");
+    assert!(
+        n >= 4,
+        "a wheel needs a hub and at least three rim vertices"
+    );
     let mut g = Graph::new(n);
     for v in 1..n {
         g.add_edge(NodeId::new(0), NodeId::new(v), 1.0)
@@ -391,9 +397,15 @@ pub fn barbell(k: usize) -> Graph {
 ///
 /// Panics if `k` is odd, `k >= n`, or `beta` is not in `[0, 1]`.
 pub fn watts_strogatz<R: Rng + ?Sized>(n: usize, k: usize, beta: f64, rng: &mut R) -> Graph {
-    assert!(k % 2 == 0, "lattice degree k must be even");
-    assert!(k < n, "lattice degree must be smaller than the number of vertices");
-    assert!((0.0..=1.0).contains(&beta), "rewiring probability must be in [0, 1], got {beta}");
+    assert!(k.is_multiple_of(2), "lattice degree k must be even");
+    assert!(
+        k < n,
+        "lattice degree must be smaller than the number of vertices"
+    );
+    assert!(
+        (0.0..=1.0).contains(&beta),
+        "rewiring probability must be in [0, 1], got {beta}"
+    );
     let mut g = Graph::new(n);
     for u in 0..n {
         for j in 1..=(k / 2) {
@@ -425,7 +437,10 @@ pub fn watts_strogatz<R: Rng + ?Sized>(n: usize, k: usize, beta: f64, rng: &mut 
 ///
 /// Panics if `p` is not in `[0, 1]`.
 pub fn random_bipartite<R: Rng + ?Sized>(a: usize, b: usize, p: f64, rng: &mut R) -> Graph {
-    assert!((0.0..=1.0).contains(&p), "edge probability must be in [0, 1], got {p}");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "edge probability must be in [0, 1], got {p}"
+    );
     let mut g = Graph::new(a + b);
     for u in 0..a {
         for v in 0..b {
@@ -521,7 +536,12 @@ mod tests {
 
     #[test]
     fn gnp_uniform_weights_in_range() {
-        let g = gnp(20, 0.5, WeightKind::Uniform { min: 2.0, max: 3.0 }, &mut rng());
+        let g = gnp(
+            20,
+            0.5,
+            WeightKind::Uniform { min: 2.0, max: 3.0 },
+            &mut rng(),
+        );
         for (_, e) in g.edges() {
             assert!(e.weight >= 2.0 && e.weight < 3.0);
         }
@@ -613,7 +633,10 @@ mod tests {
     #[test]
     fn near_regular_degree_bound() {
         let g = random_near_regular(60, 6, &mut rng());
-        assert!(g.max_degree() <= 7, "configuration model should stay near d");
+        assert!(
+            g.max_degree() <= 7,
+            "configuration model should stay near d"
+        );
         for v in g.nodes() {
             assert!(g.degree(v) <= 6 + 1);
         }
@@ -711,7 +734,9 @@ mod tests {
         assert_eq!(g.node_count(), 6);
         assert_eq!(g.arc_count(), 1 + 2 * 4);
         assert_eq!(g.arc(crate::ArcId::new(0)).cost, 100.0);
-        let mids: Vec<_> = g.two_path_midpoints(NodeId::new(0), NodeId::new(1)).collect();
+        let mids: Vec<_> = g
+            .two_path_midpoints(NodeId::new(0), NodeId::new(1))
+            .collect();
         assert_eq!(mids.len(), 4);
         assert!(gap_gadget(0, 1.0).is_err());
     }

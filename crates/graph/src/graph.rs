@@ -133,7 +133,10 @@ impl Graph {
 
     /// Iterator over `(EdgeId, &Edge)` pairs.
     pub fn edges(&self) -> impl Iterator<Item = (EdgeId, &Edge)> + '_ {
-        self.edges.iter().enumerate().map(|(i, e)| (EdgeId::new(i), e))
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (EdgeId::new(i), e))
     }
 
     /// Returns the edge with the given identifier.
@@ -170,7 +173,10 @@ impl Graph {
         let n = self.node_count();
         for x in [u, v] {
             if x.index() >= n {
-                return Err(GraphError::NodeOutOfBounds { node: x.index(), len: n });
+                return Err(GraphError::NodeOutOfBounds {
+                    node: x.index(),
+                    len: n,
+                });
             }
         }
         if u == v {

@@ -36,7 +36,12 @@ use std::path::Path;
 ///
 /// Returns [`GraphError::Io`] if the underlying writer fails.
 pub fn write_graph<W: Write>(graph: &Graph, mut writer: W) -> Result<()> {
-    writeln!(writer, "graph {} {}", graph.node_count(), graph.edge_count())?;
+    writeln!(
+        writer,
+        "graph {} {}",
+        graph.node_count(),
+        graph.edge_count()
+    )?;
     for (_, e) in graph.edges() {
         writeln!(writer, "e {} {} {}", e.u, e.v, e.weight)?;
     }
@@ -59,7 +64,12 @@ pub fn save_graph<P: AsRef<Path>>(graph: &Graph, path: P) -> Result<()> {
 ///
 /// Returns [`GraphError::Io`] if the underlying writer fails.
 pub fn write_digraph<W: Write>(graph: &DiGraph, mut writer: W) -> Result<()> {
-    writeln!(writer, "digraph {} {}", graph.node_count(), graph.arc_count())?;
+    writeln!(
+        writer,
+        "digraph {} {}",
+        graph.node_count(),
+        graph.arc_count()
+    )?;
     for (_, a) in graph.arcs() {
         writeln!(writer, "a {} {} {}", a.tail, a.head, a.cost)?;
     }
@@ -106,7 +116,8 @@ pub fn read_graph<R: Read>(reader: R) -> Result<Graph> {
     let parsed = parse_lines(reader, false)?;
     let mut g = Graph::new(parsed.n);
     for (line_no, u, v, w) in parsed.entries {
-        g.add_edge(NodeId::new(u), NodeId::new(v), w).map_err(|e| annotate(e, line_no))?;
+        g.add_edge(NodeId::new(u), NodeId::new(v), w)
+            .map_err(|e| annotate(e, line_no))?;
     }
     Ok(g)
 }
@@ -130,7 +141,8 @@ pub fn read_digraph<R: Read>(reader: R) -> Result<DiGraph> {
     let parsed = parse_lines(reader, true)?;
     let mut g = DiGraph::new(parsed.n);
     for (line_no, u, v, w) in parsed.entries {
-        g.add_arc(NodeId::new(u), NodeId::new(v), w).map_err(|e| annotate(e, line_no))?;
+        g.add_arc(NodeId::new(u), NodeId::new(v), w)
+            .map_err(|e| annotate(e, line_no))?;
     }
     Ok(g)
 }
@@ -151,11 +163,17 @@ struct ParsedFile {
 }
 
 fn annotate(err: GraphError, line: usize) -> GraphError {
-    GraphError::Parse { line, message: err.to_string() }
+    GraphError::Parse {
+        line,
+        message: err.to_string(),
+    }
 }
 
 fn parse_error(line: usize, message: impl Into<String>) -> GraphError {
-    GraphError::Parse { line, message: message.into() }
+    GraphError::Parse {
+        line,
+        message: message.into(),
+    }
 }
 
 fn parse_lines<R: Read>(reader: R, directed: bool) -> Result<ParsedFile> {
@@ -218,11 +236,17 @@ fn parse_lines<R: Read>(reader: R, directed: bool) -> Result<ParsedFile> {
             "graph" | "digraph" => {
                 return Err(parse_error(
                     line_no,
-                    format!("expected a '{expected_header}' header, found '{}'", fields[0]),
+                    format!(
+                        "expected a '{expected_header}' header, found '{}'",
+                        fields[0]
+                    ),
                 ));
             }
             other => {
-                return Err(parse_error(line_no, format!("unknown line prefix '{other}'")));
+                return Err(parse_error(
+                    line_no,
+                    format!("unknown line prefix '{other}'"),
+                ));
             }
         }
     }
@@ -240,14 +264,21 @@ mod tests {
     #[test]
     fn graph_roundtrip_through_memory() {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let g = generate::gnp(25, 0.3, generate::WeightKind::Uniform { min: 0.5, max: 2.0 }, &mut rng);
+        let g = generate::gnp(
+            25,
+            0.3,
+            generate::WeightKind::Uniform { min: 0.5, max: 2.0 },
+            &mut rng,
+        );
         let mut buf = Vec::new();
         write_graph(&g, &mut buf).unwrap();
         let back = read_graph(buf.as_slice()).unwrap();
         assert_eq!(back.node_count(), g.node_count());
         assert_eq!(back.edge_count(), g.edge_count());
         for (_, e) in g.edges() {
-            let id = back.find_edge(e.u, e.v).expect("edge survives the roundtrip");
+            let id = back
+                .find_edge(e.u, e.v)
+                .expect("edge survives the roundtrip");
             assert!((back.edge(id).weight - e.weight).abs() < 1e-9);
         }
     }
@@ -319,7 +350,10 @@ mod tests {
             Err(GraphError::Parse { .. })
         ));
         // Missing header entirely.
-        assert!(matches!(read_graph("# nothing\n".as_bytes()), Err(GraphError::Parse { .. })));
+        assert!(matches!(
+            read_graph("# nothing\n".as_bytes()),
+            Err(GraphError::Parse { .. })
+        ));
         // Structurally invalid edges are reported with their line number.
         let err = read_graph("graph 2 1\ne 0 0 1.0\n".as_bytes()).unwrap_err();
         match err {

@@ -103,11 +103,17 @@ impl<'a> SsspOptions<'a> {
     pub fn run(self, graph: &Graph, source: NodeId) -> Result<Vec<f64>> {
         let n = graph.node_count();
         if source.index() >= n {
-            return Err(GraphError::NodeOutOfBounds { node: source.index(), len: n });
+            return Err(GraphError::NodeOutOfBounds {
+                node: source.index(),
+                len: n,
+            });
         }
         if let Some(dead) = self.dead {
             if dead.len() != n {
-                return Err(GraphError::NodeOutOfBounds { node: dead.len(), len: n });
+                return Err(GraphError::NodeOutOfBounds {
+                    node: dead.len(),
+                    len: n,
+                });
             }
         }
         if let Some(edges) = self.edges {
@@ -120,13 +126,16 @@ impl<'a> SsspOptions<'a> {
         }
 
         let mut dist = vec![INFINITY; n];
-        let is_dead = |v: NodeId| self.dead.map_or(false, |d| d[v.index()]);
+        let is_dead = |v: NodeId| self.dead.is_some_and(|d| d[v.index()]);
         if is_dead(source) {
             return Ok(dist);
         }
         let mut heap = BinaryHeap::new();
         dist[source.index()] = 0.0;
-        heap.push(HeapEntry { dist: 0.0, node: source });
+        heap.push(HeapEntry {
+            dist: 0.0,
+            node: source,
+        });
 
         while let Some(HeapEntry { dist: d, node: v }) = heap.pop() {
             if d > dist[v.index()] {
@@ -213,7 +222,10 @@ pub fn dijkstra_avoiding(graph: &Graph, source: NodeId, dead: &[bool]) -> Result
 /// bounds.
 pub fn distance(graph: &Graph, u: NodeId, v: NodeId) -> Result<f64> {
     if v.index() >= graph.node_count() {
-        return Err(GraphError::NodeOutOfBounds { node: v.index(), len: graph.node_count() });
+        return Err(GraphError::NodeOutOfBounds {
+            node: v.index(),
+            len: graph.node_count(),
+        });
     }
     let d = dijkstra(graph, u)?;
     Ok(d[v.index()])
@@ -229,7 +241,10 @@ pub fn distance(graph: &Graph, u: NodeId, v: NodeId) -> Result<f64> {
 pub fn bfs_hops(graph: &Graph, source: NodeId) -> Result<Vec<usize>> {
     let n = graph.node_count();
     if source.index() >= n {
-        return Err(GraphError::NodeOutOfBounds { node: source.index(), len: n });
+        return Err(GraphError::NodeOutOfBounds {
+            node: source.index(),
+            len: n,
+        });
     }
     let mut dist = vec![usize::MAX; n];
     let mut queue = std::collections::VecDeque::new();
@@ -330,7 +345,7 @@ mod tests {
         let d = dijkstra_avoiding(&g, NodeId::new(0), &dead).unwrap();
         assert!(d[1].is_infinite());
         assert_eq!(d[2], 5.0); // forced around through vertex 3
-        // Dead source: everything infinite.
+                               // Dead source: everything infinite.
         let dead_src = vec![true, false, false, false];
         let d2 = dijkstra_avoiding(&g, NodeId::new(0), &dead_src).unwrap();
         assert!(d2.iter().all(|x| x.is_infinite()));
@@ -339,7 +354,10 @@ mod tests {
     #[test]
     fn dijkstra_cutoff_prunes() {
         let g = weighted_square();
-        let d = SsspOptions::new().cutoff(1.5).run(&g, NodeId::new(0)).unwrap();
+        let d = SsspOptions::new()
+            .cutoff(1.5)
+            .run(&g, NodeId::new(0))
+            .unwrap();
         assert_eq!(d[1], 1.0);
         assert!(d[2].is_infinite());
         assert!(d[3].is_infinite());
@@ -368,11 +386,11 @@ mod tests {
     fn all_pairs_is_symmetric() {
         let g = weighted_square();
         let apsp = all_pairs(&g).unwrap();
-        for i in 0..4 {
-            for j in 0..4 {
-                assert_eq!(apsp[i][j], apsp[j][i]);
+        for (i, row) in apsp.iter().enumerate() {
+            for (j, &d) in row.iter().enumerate() {
+                assert_eq!(d, apsp[j][i]);
             }
-            assert_eq!(apsp[i][i], 0.0);
+            assert_eq!(row[i], 0.0);
         }
     }
 

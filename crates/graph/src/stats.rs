@@ -46,7 +46,12 @@ impl DegreeStats {
 pub fn degree_stats(graph: &Graph) -> DegreeStats {
     let n = graph.node_count();
     if n == 0 {
-        return DegreeStats { min: 0, max: 0, mean: 0.0, histogram: Vec::new() };
+        return DegreeStats {
+            min: 0,
+            max: 0,
+            mean: 0.0,
+            histogram: Vec::new(),
+        };
     }
     let degrees: Vec<usize> = graph.nodes().map(|v| graph.degree(v)).collect();
     let max = degrees.iter().copied().max().unwrap_or(0);
@@ -56,7 +61,12 @@ pub fn degree_stats(graph: &Graph) -> DegreeStats {
     for d in degrees {
         histogram[d] += 1;
     }
-    DegreeStats { min, max, mean, histogram }
+    DegreeStats {
+        min,
+        max,
+        mean,
+        histogram,
+    }
 }
 
 /// Summary of the distribution of per-edge stretches of a spanner.
@@ -134,7 +144,13 @@ pub fn stretch_stats(graph: &Graph, spanner: &EdgeSet) -> Result<StretchStats> {
     };
     let fraction_exact =
         stretches.iter().filter(|&&s| s <= 1.0 + 1e-9).count() as f64 / edges as f64;
-    Ok(StretchStats { edges, max, mean, median, fraction_exact })
+    Ok(StretchStats {
+        edges,
+        max,
+        mean,
+        median,
+        fraction_exact,
+    })
 }
 
 /// Size/weight summary of a candidate spanner relative to its input graph.
@@ -223,7 +239,7 @@ pub fn girth(graph: &Graph) -> Option<usize> {
                 } else if dist[u.index()] >= dist[v.index()] {
                     // Non-tree edge: closes a cycle through `start`'s BFS tree.
                     let cycle = dist[u.index()] + dist[v.index()] + 1;
-                    if best.map_or(true, |b| cycle < b) {
+                    if best.is_none_or(|b| cycle < b) {
                         best = Some(cycle);
                     }
                 }

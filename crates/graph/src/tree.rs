@@ -12,8 +12,8 @@
 //!   from its root exactly) and by the distributed-algorithm simulator.
 //! * [`lightness`] — the weight of an edge set normalized by the MST weight.
 
-use crate::shortest_path::SsspOptions;
 use crate::components::UnionFind;
+use crate::shortest_path::SsspOptions;
 use crate::{EdgeSet, Graph, GraphError, NodeId, Result};
 
 /// A minimum spanning forest of `graph` (a minimum spanning tree per
@@ -150,7 +150,10 @@ impl RootedTree {
 pub fn shortest_path_tree(graph: &Graph, root: NodeId) -> Result<RootedTree> {
     let n = graph.node_count();
     if root.index() >= n {
-        return Err(GraphError::NodeOutOfBounds { node: root.index(), len: n });
+        return Err(GraphError::NodeOutOfBounds {
+            node: root.index(),
+            len: n,
+        });
     }
     let dist = SsspOptions::new().run(graph, root)?;
     let mut parent = vec![None; n];
@@ -175,7 +178,11 @@ pub fn shortest_path_tree(graph: &Graph, root: NodeId) -> Result<RootedTree> {
             edges.insert(eid);
         }
     }
-    Ok(RootedTree { root, parent, edges })
+    Ok(RootedTree {
+        root,
+        parent,
+        edges,
+    })
 }
 
 /// The breadth-first-search tree rooted at `root` (hop-count shortest paths,
@@ -187,7 +194,10 @@ pub fn shortest_path_tree(graph: &Graph, root: NodeId) -> Result<RootedTree> {
 pub fn bfs_tree(graph: &Graph, root: NodeId) -> Result<RootedTree> {
     let n = graph.node_count();
     if root.index() >= n {
-        return Err(GraphError::NodeOutOfBounds { node: root.index(), len: n });
+        return Err(GraphError::NodeOutOfBounds {
+            node: root.index(),
+            len: n,
+        });
     }
     let mut parent = vec![None; n];
     let mut edges = graph.empty_edge_set();
@@ -205,7 +215,11 @@ pub fn bfs_tree(graph: &Graph, root: NodeId) -> Result<RootedTree> {
             }
         }
     }
-    Ok(RootedTree { root, parent, edges })
+    Ok(RootedTree {
+        root,
+        parent,
+        edges,
+    })
 }
 
 #[cfg(test)]
@@ -216,8 +230,7 @@ mod tests {
 
     #[test]
     fn mst_of_a_cycle_drops_the_heaviest_edge() {
-        let g = Graph::from_edges(4, [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0), (3, 0, 9.0)])
-            .unwrap();
+        let g = Graph::from_edges(4, [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0), (3, 0, 9.0)]).unwrap();
         let mst = minimum_spanning_forest(&g);
         assert_eq!(mst.len(), 3);
         assert_eq!(g.edge_set_weight(&mst).unwrap(), 6.0);
@@ -279,8 +292,7 @@ mod tests {
         assert_eq!(tree.root(), NodeId::new(0));
         assert_eq!(tree.edges().len(), 4);
         let exact = shortest_path::dijkstra(&g, NodeId::new(0)).unwrap();
-        let on_tree =
-            shortest_path::dijkstra_on_edges(&g, tree.edges(), NodeId::new(0)).unwrap();
+        let on_tree = shortest_path::dijkstra_on_edges(&g, tree.edges(), NodeId::new(0)).unwrap();
         for v in 0..5 {
             assert!((exact[v] - on_tree[v]).abs() < 1e-9);
         }
@@ -319,6 +331,9 @@ mod tests {
     fn path_to_root_of_the_root_is_trivial() {
         let g = generate::path(3);
         let tree = bfs_tree(&g, NodeId::new(1)).unwrap();
-        assert_eq!(tree.path_to_root(NodeId::new(1)).unwrap(), vec![NodeId::new(1)]);
+        assert_eq!(
+            tree.path_to_root(NodeId::new(1)).unwrap(),
+            vec![NodeId::new(1)]
+        );
     }
 }

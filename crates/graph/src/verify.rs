@@ -14,10 +14,10 @@
 //!   characterization for directed 2-spanners: every arc is bought or covered
 //!   by at least `r + 1` length-2 paths.
 
+use crate::digraph::ArcSet;
 use crate::faults::{enumerate_fault_sets, sample_fault_set, FaultSet};
 use crate::shortest_path::SsspOptions;
 use crate::{ArcId, DiGraph, EdgeSet, Graph, NodeId};
-use crate::digraph::ArcSet;
 use rand::Rng;
 
 /// Numerical slack used when comparing stretches to the bound `k`.
@@ -257,12 +257,7 @@ pub fn two_spanner_violations(graph: &DiGraph, spanner: &ArcSet, r: usize) -> Ve
 
 /// Number of length-2 paths `u -> w -> v` both of whose arcs are in
 /// `spanner`.
-pub fn count_spanner_two_paths(
-    graph: &DiGraph,
-    spanner: &ArcSet,
-    u: NodeId,
-    v: NodeId,
-) -> usize {
+pub fn count_spanner_two_paths(graph: &DiGraph, spanner: &ArcSet, u: NodeId, v: NodeId) -> usize {
     graph
         .out_incident(u)
         .filter(|&(w, first)| {
@@ -270,7 +265,7 @@ pub fn count_spanner_two_paths(
                 && spanner.contains(first)
                 && graph
                     .find_arc(w, v)
-                    .map_or(false, |second| spanner.contains(second))
+                    .is_some_and(|second| spanner.contains(second))
         })
         .count()
 }
@@ -308,7 +303,7 @@ pub fn is_ft_two_spanner_by_definition(graph: &DiGraph, spanner: &ArcSet, r: usi
                     && spanner.contains(first)
                     && graph
                         .find_arc(w, arc.head)
-                        .map_or(false, |second| spanner.contains(second))
+                        .is_some_and(|second| spanner.contains(second))
             });
             if !ok {
                 return false;
@@ -415,7 +410,11 @@ pub fn verify_edge_fault_tolerance_exhaustive(
             witness = Some(FaultSet::empty());
         }
     }
-    FaultToleranceReport { checked, worst_stretch: worst, violating_faults: witness }
+    FaultToleranceReport {
+        checked,
+        worst_stretch: worst,
+        violating_faults: witness,
+    }
 }
 
 /// Returns `true` if `spanner` is an `r`-edge-fault-tolerant `k`-spanner of
@@ -445,7 +444,11 @@ pub fn verify_edge_fault_tolerance_sampled<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> FaultToleranceReport {
     let mut worst = max_stretch(graph, spanner);
-    let mut witness = if worst > k + EPS { Some(FaultSet::empty()) } else { None };
+    let mut witness = if worst > k + EPS {
+        Some(FaultSet::empty())
+    } else {
+        None
+    };
     let mut checked = 1;
     for _ in 0..samples {
         let faults = crate::faults::sample_edge_fault_set(graph.edge_count(), r, rng);
@@ -458,7 +461,11 @@ pub fn verify_edge_fault_tolerance_sampled<R: Rng + ?Sized>(
             witness = Some(FaultSet::empty());
         }
     }
-    FaultToleranceReport { checked, worst_stretch: worst, violating_faults: witness }
+    FaultToleranceReport {
+        checked,
+        worst_stretch: worst,
+        violating_faults: witness,
+    }
 }
 
 #[cfg(test)]
@@ -537,7 +544,10 @@ mod tests {
         let full = g.full_edge_set();
         let report = verify_edge_fault_tolerance_exhaustive(&g, &full, 1.0, 2);
         assert!(report.is_valid());
-        assert_eq!(report.checked as u128, crate::faults::count_fault_sets(6, 2));
+        assert_eq!(
+            report.checked as u128,
+            crate::faults::count_fault_sets(6, 2)
+        );
 
         let mut star = g.empty_edge_set();
         for (id, e) in g.edges() {
@@ -596,7 +606,10 @@ mod tests {
         let g = generate::cycle(5);
         let full = g.full_edge_set();
         let report = verify_fault_tolerance_exhaustive(&g, &full, 3.0, 2);
-        assert_eq!(report.checked as u128, crate::faults::count_fault_sets(5, 2));
+        assert_eq!(
+            report.checked as u128,
+            crate::faults::count_fault_sets(5, 2)
+        );
         assert!(report.is_valid());
     }
 
@@ -621,8 +634,7 @@ mod tests {
     fn stretch_under_faults_uses_surviving_distances() {
         // Square 0-1-2-3-0 with the heavy edge (3,0); failing vertex 1 makes
         // the heavy edge the only route from 0 to 3's side.
-        let g = Graph::from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 4.0)])
-            .unwrap();
+        let g = Graph::from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 4.0)]).unwrap();
         let mut spanner = g.empty_edge_set();
         spanner.insert(EdgeId::new(0));
         spanner.insert(EdgeId::new(1));

@@ -1,8 +1,6 @@
 //! Property-based tests for the graph substrate.
 
-use ftspan_graph::{
-    faults, generate, shortest_path, verify, EdgeId, EdgeSet, Graph, NodeId,
-};
+use ftspan_graph::{faults, generate, shortest_path, verify, EdgeId, EdgeSet, Graph, NodeId};
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -35,14 +33,12 @@ proptest! {
     ) {
         let g = graph_from_bits(n, &bits, &weights);
         let apsp = shortest_path::all_pairs(&g).unwrap();
-        for u in 0..n {
-            prop_assert_eq!(apsp[u][u], 0.0);
-            for v in 0..n {
+        for (u, row) in apsp.iter().enumerate() {
+            prop_assert_eq!(row[u], 0.0);
+            for (v, &d) in row.iter().enumerate() {
                 // Equality also covers pairs that are mutually unreachable
                 // (both distances infinite).
-                prop_assert!(
-                    apsp[u][v] == apsp[v][u] || (apsp[u][v] - apsp[v][u]).abs() < 1e-9
-                );
+                prop_assert!(d == apsp[v][u] || (d - apsp[v][u]).abs() < 1e-9);
             }
         }
         // Every edge is an upper bound on the distance of its endpoints.

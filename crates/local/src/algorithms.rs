@@ -1,0 +1,249 @@
+//! [`FtSpannerAlgorithm`] implementations for the distributed constructions
+//! (Theorem 2.3 and Theorem 3.9), mirroring `ftspan_core::algorithms` for the
+//! LOCAL-model algorithms so the facade registry can serve centralized and
+//! distributed constructions through one interface.
+
+use crate::spanner::{distributed_fault_tolerant_spanner, DistributedConversionConfig};
+use crate::two_spanner::{distributed_two_spanner, DistributedTwoSpannerConfig};
+use ftspan_core::api::{
+    FaultModel, FtSpannerAlgorithm, GraphFamily, GraphInput, SpannerEdges, SpannerReport,
+    SpannerRequest,
+};
+use ftspan_core::{CoreError, Result};
+use rand::RngCore;
+use std::time::Instant;
+
+/// Theorem 2.3: the distributed conversion, built on the constant-round
+/// one-level clustering 3-spanner. The stretch is fixed at 3; iteration
+/// knobs are honored.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DistributedConversionAlgorithm;
+
+impl FtSpannerAlgorithm for DistributedConversionAlgorithm {
+    fn name(&self) -> &'static str {
+        "distributed-conversion"
+    }
+
+    fn reference(&self) -> &'static str {
+        "Theorem 2.3 / Corollary 2.4"
+    }
+
+    fn summary(&self) -> &'static str {
+        "LOCAL-model conversion: local oversampling coins over a constant-round 3-spanner"
+    }
+
+    fn graph_family(&self) -> GraphFamily {
+        GraphFamily::Undirected
+    }
+
+    fn supports(&self, request: &SpannerRequest) -> Result<()> {
+        if request.fault_model == FaultModel::Edge {
+            return Err(CoreError::InvalidParameter {
+                message: "the distributed conversion tolerates vertex faults only".to_string(),
+            });
+        }
+        if (request.stretch - 3.0).abs() > 1e-9 {
+            return Err(CoreError::InvalidParameter {
+                message: format!(
+                    "the distributed black box is a 3-spanner; requested stretch {} — \
+                     use the centralized `conversion` for other stretches",
+                    request.stretch
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    fn guaranteed_stretch(&self, _request: &SpannerRequest) -> f64 {
+        3.0
+    }
+
+    fn build(
+        &self,
+        input: GraphInput<'_>,
+        request: &SpannerRequest,
+        rng: &mut dyn RngCore,
+    ) -> Result<SpannerReport> {
+        self.supports(request)?;
+        let graph = input.expect_undirected(self.name())?;
+        let mut config =
+            DistributedConversionConfig::new(request.faults, 3).with_scale(request.scale);
+        if let Some(iterations) = request.iterations {
+            config = config.with_iterations(iterations);
+        }
+        let start = Instant::now();
+        let result = distributed_fault_tolerant_spanner(graph, &config, rng);
+        let elapsed = start.elapsed();
+        let cost = graph
+            .edge_set_weight(&result.edges)
+            .expect("constructed edges belong to the input graph");
+        let provenance = format!(
+            "Theorem 2.3 distributed conversion ({} iterations, {} LOCAL rounds, r = {})",
+            result.iterations, result.stats.rounds, request.faults
+        );
+        let mut report = SpannerReport::new(
+            self.name(),
+            provenance,
+            FaultModel::Vertex,
+            request.faults,
+            3.0,
+            SpannerEdges::Undirected(result.edges),
+            cost,
+        );
+        report.iterations = result.iterations;
+        report.rounds = Some(result.stats.rounds);
+        report.messages = Some(result.stats.messages);
+        report.elapsed = elapsed;
+        Ok(report)
+    }
+}
+
+/// Theorem 3.9 / Algorithm 2: the distributed `O(log n)`-approximation for
+/// minimum-cost `r`-fault-tolerant 2-spanner. Honors the repetition,
+/// inflation, cut-round and repair knobs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DistributedTwoSpannerAlgorithm;
+
+impl FtSpannerAlgorithm for DistributedTwoSpannerAlgorithm {
+    fn name(&self) -> &'static str {
+        "distributed-two-spanner"
+    }
+
+    fn reference(&self) -> &'static str {
+        "Theorem 3.9 / Algorithm 2"
+    }
+
+    fn summary(&self) -> &'static str {
+        "padded decomposition + per-cluster LPs + local rounding in O(log² n) rounds"
+    }
+
+    fn graph_family(&self) -> GraphFamily {
+        GraphFamily::Directed
+    }
+
+    fn supports(&self, request: &SpannerRequest) -> Result<()> {
+        if request.fault_model == FaultModel::Edge {
+            return Err(CoreError::InvalidParameter {
+                message: "the distributed 2-spanner tolerates vertex faults only".to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    fn guaranteed_stretch(&self, _request: &SpannerRequest) -> f64 {
+        2.0
+    }
+
+    fn build(
+        &self,
+        input: GraphInput<'_>,
+        request: &SpannerRequest,
+        rng: &mut dyn RngCore,
+    ) -> Result<SpannerReport> {
+        self.supports(request)?;
+        let graph = input.expect_directed(self.name())?;
+        let mut config = DistributedTwoSpannerConfig::new(request.faults);
+        if let Some(t) = request.repetitions {
+            config = config.with_repetitions(t);
+        }
+        if let Some(c) = request.alpha_constant {
+            config.alpha_constant = c;
+        }
+        config.max_cut_rounds = request.max_cut_rounds;
+        config.repair = request.repair;
+        let start = Instant::now();
+        let result = distributed_two_spanner(graph, &config, rng)?;
+        let elapsed = start.elapsed();
+        let provenance = format!(
+            "Theorem 3.9 distributed rounding ({} repetitions, {} LOCAL rounds, r = {})",
+            result.repetitions, result.stats.rounds, request.faults
+        );
+        let mut report = SpannerReport::new(
+            self.name(),
+            provenance,
+            FaultModel::Vertex,
+            request.faults,
+            2.0,
+            SpannerEdges::Directed(result.arcs),
+            result.cost,
+        );
+        report.iterations = result.repetitions;
+        report.rounds = Some(result.stats.rounds);
+        report.messages = Some(result.stats.messages);
+        report.repaired_arcs = result.repaired_arcs;
+        report.elapsed = elapsed;
+        Ok(report)
+    }
+}
+
+/// The distributed algorithms this crate contributes to the registry.
+pub fn local_algorithms() -> Vec<Box<dyn FtSpannerAlgorithm>> {
+    vec![
+        Box::new(DistributedConversionAlgorithm),
+        Box::new(DistributedTwoSpannerAlgorithm),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftspan_graph::{generate, verify};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn distributed_conversion_report_is_valid_and_accounts_rounds() {
+        let mut r = rng(1);
+        let g = generate::gnp(20, 0.4, generate::WeightKind::Unit, &mut r);
+        let request = SpannerRequest::new(1);
+        let report = DistributedConversionAlgorithm
+            .build(GraphInput::from(&g), &request, &mut r)
+            .unwrap();
+        assert!(verify::is_fault_tolerant_k_spanner(
+            &g,
+            report.edge_set().unwrap(),
+            3.0,
+            1
+        ));
+        assert_eq!(report.rounds, Some(report.iterations * 2));
+        assert!(report.messages.unwrap() > 0);
+    }
+
+    #[test]
+    fn distributed_conversion_rejects_other_stretches() {
+        let request = SpannerRequest::new(1).with_stretch(5.0);
+        assert!(DistributedConversionAlgorithm.supports(&request).is_err());
+        let edge_request = SpannerRequest::new(1).with_fault_model(ftspan_core::FaultModel::Edge);
+        assert!(DistributedConversionAlgorithm
+            .supports(&edge_request)
+            .is_err());
+    }
+
+    #[test]
+    fn distributed_two_spanner_report_is_valid() {
+        let mut r = rng(2);
+        let g = generate::directed_gnp(9, 0.45, generate::WeightKind::Unit, &mut r);
+        let request = SpannerRequest::new(1).with_repetitions(3);
+        let report = DistributedTwoSpannerAlgorithm
+            .build(GraphInput::from(&g), &request, &mut r)
+            .unwrap();
+        assert!(verify::is_ft_two_spanner(&g, report.arc_set().unwrap(), 1));
+        assert_eq!(report.iterations, 3);
+        assert!(report.rounds.unwrap() > 0);
+        assert_eq!(report.stretch, 2.0);
+    }
+
+    #[test]
+    fn local_algorithms_compose_with_the_core_registry() {
+        let mut algorithms = ftspan_core::algorithms::core_algorithms();
+        algorithms.extend(local_algorithms());
+        let registry = ftspan_core::Registry::from_algorithms(algorithms);
+        assert_eq!(registry.len(), 11);
+        assert!(registry.get("distributed-conversion").is_some());
+        assert!(registry.get("distributed-two-spanner").is_some());
+    }
+}

@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod algorithms;
 pub mod padded;
 pub mod simulator;
 pub mod spanner;

@@ -129,11 +129,11 @@ pub fn sample_padded_decomposition(
     let mut center_of = Vec::with_capacity(n);
     let mut dist_to_center = Vec::with_capacity(n);
     let mut parent = Vec::with_capacity(n);
-    for v in 0..n {
+    for heard in tokens.iter().take(n) {
         // Pick the smallest identifier heard (lexicographic rule of the
         // paper's variant of Bartal's construction); every vertex hears at
         // least itself.
-        let winner = tokens[v]
+        let winner = heard
             .iter()
             .min_by_key(|t| t.source)
             .copied()

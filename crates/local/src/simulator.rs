@@ -44,7 +44,10 @@ pub struct Simulator<'g> {
 impl<'g> Simulator<'g> {
     /// Creates a simulator over the given communication graph.
     pub fn new(graph: &'g Graph) -> Self {
-        Simulator { graph, stats: RoundStats::default() }
+        Simulator {
+            graph,
+            stats: RoundStats::default(),
+        }
     }
 
     /// The communication graph.
@@ -127,7 +130,13 @@ pub fn bounded_flood(
     }
     // Tokens that still need to be forwarded by each vertex.
     let mut frontier: Vec<Vec<(usize, usize)>> = (0..n)
-        .map(|v| if active[v] && radii[v] > 0 { vec![(v, 0)] } else { Vec::new() })
+        .map(|v| {
+            if active[v] && radii[v] > 0 {
+                vec![(v, 0)]
+            } else {
+                Vec::new()
+            }
+        })
         .collect();
 
     for _ in 0..radius {
@@ -158,7 +167,7 @@ pub fn bounded_flood(
                         continue;
                     }
                     let entry = known[v].get(&source).copied();
-                    if entry.map_or(true, |(d, _)| nd < d) {
+                    if entry.is_none_or(|(d, _)| nd < d) {
                         known[v].insert(source, (nd, *from));
                         if nd < radii[source] {
                             next_frontier[v].push((source, nd));
@@ -241,11 +250,15 @@ mod tests {
         let active = vec![true; 6];
         let tokens = bounded_flood(&mut sim, &radii, &active, 3);
         // Vertex 0 floods up to distance 2: vertices 0, 1, 2 hear it.
-        assert!(tokens[2].iter().any(|t| t.source == NodeId::new(0) && t.distance == 2));
+        assert!(tokens[2]
+            .iter()
+            .any(|t| t.source == NodeId::new(0) && t.distance == 2));
         assert!(!tokens[3].iter().any(|t| t.source == NodeId::new(0)));
         // Everyone knows itself.
         for (v, toks) in tokens.iter().enumerate() {
-            assert!(toks.iter().any(|t| t.source == NodeId::new(v) && t.distance == 0));
+            assert!(toks
+                .iter()
+                .any(|t| t.source == NodeId::new(v) && t.distance == 0));
         }
         // Three rounds were charged even though flooding stopped earlier.
         assert_eq!(sim.stats().rounds, 3);
@@ -274,17 +287,31 @@ mod tests {
         let tokens = bounded_flood(&mut sim, &radii, &active, 4);
         // Corner 0 reaches the opposite corner 8 at distance 4; walking the
         // parent pointers decreases the distance by one per step.
-        let t = tokens[8].iter().find(|t| t.source == NodeId::new(0)).unwrap();
+        let t = tokens[8]
+            .iter()
+            .find(|t| t.source == NodeId::new(0))
+            .unwrap();
         assert_eq!(t.distance, 4);
         let p = t.parent;
-        let tp = tokens[p.index()].iter().find(|t| t.source == NodeId::new(0)).unwrap();
+        let tp = tokens[p.index()]
+            .iter()
+            .find(|t| t.source == NodeId::new(0))
+            .unwrap();
         assert_eq!(tp.distance, 3);
     }
 
     #[test]
     fn stats_absorb() {
-        let mut a = RoundStats { rounds: 2, messages: 10, max_message_entries: 3 };
-        let b = RoundStats { rounds: 1, messages: 5, max_message_entries: 7 };
+        let mut a = RoundStats {
+            rounds: 2,
+            messages: 10,
+            max_message_entries: 3,
+        };
+        let b = RoundStats {
+            rounds: 1,
+            messages: 5,
+            max_message_entries: 7,
+        };
         a.absorb(b);
         assert_eq!(a.rounds, 3);
         assert_eq!(a.messages, 15);

@@ -50,7 +50,11 @@ impl DistributedConversionConfig {
             "the distributed black box implemented here is a 3-spanner; \
              use the centralized conversion for other stretches"
         );
-        DistributedConversionConfig { faults, iterations: None, scale: 1.0 }
+        DistributedConversionConfig {
+            faults,
+            iterations: None,
+            scale: 1.0,
+        }
     }
 
     /// Overrides the iteration count.
@@ -120,7 +124,9 @@ pub fn distributed_three_spanner(
     let sample_p = (alive_count as f64).powf(-0.5);
 
     // Every surviving vertex flips its sampling coin locally.
-    let sampled: Vec<bool> = (0..n).map(|v| alive[v] && rng.gen::<f64>() < sample_p).collect();
+    let sampled: Vec<bool> = (0..n)
+        .map(|v| alive[v] && rng.gen::<f64>() < sample_p)
+        .collect();
 
     // Round 1: sampled vertices announce themselves.
     let inboxes = sim.exchange(|sender, _| {
@@ -227,7 +233,11 @@ pub fn distributed_fault_tolerant_spanner(
         union.union_with(&edges);
         stats.absorb(sim.stats());
     }
-    DistributedSpanner { edges: union, iterations: alpha, stats }
+    DistributedSpanner {
+        edges: union,
+        iterations: alpha,
+        stats,
+    }
 }
 
 #[cfg(test)]

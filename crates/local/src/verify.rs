@@ -99,7 +99,7 @@ pub fn distributed_two_spanner_check(
                     continue;
                 }
                 let w_heads = knowledge.iter().find(|(from, _)| *from == w);
-                if w_heads.map_or(false, |(_, heads)| heads.contains(&v)) {
+                if w_heads.is_some_and(|(_, heads)| heads.contains(&v)) {
                     covered += 1;
                 }
             }
@@ -112,7 +112,10 @@ pub fn distributed_two_spanner_check(
             complaining.push(u);
         }
     }
-    DistributedCheck { complaining, stats: sim.stats() }
+    DistributedCheck {
+        complaining,
+        stats: sim.stats(),
+    }
 }
 
 /// Distributed stretch check for unit-weight undirected graphs: every vertex
@@ -162,7 +165,10 @@ pub fn distributed_stretch_check(graph: &Graph, spanner: &EdgeSet, k: usize) -> 
         .nodes()
         .filter(|&u| graph.neighbors(u).any(|v| !known[u.index()].contains(&v)))
         .collect();
-    DistributedCheck { complaining, stats: sim.stats() }
+    DistributedCheck {
+        complaining,
+        stats: sim.stats(),
+    }
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@
 //! separation oracle for violated constraints, add them and re-solve, until
 //! the oracle is satisfied.
 
-use crate::{Constraint, LpProblem, Result, SimplexSolver, Solution};
+use crate::{Constraint, LpError, LpProblem, Result, SimplexSolver, Solution};
 
 /// A separation oracle: given a candidate solution, returns violated
 /// constraints to add to the relaxation (an empty vector means the point is
@@ -60,6 +60,24 @@ pub fn cutting_plane_solve(
     oracle: &mut dyn SeparationOracle,
     max_rounds: usize,
 ) -> Result<(Solution, CutStats)> {
+    cutting_plane_solve_with_resolve_budget(problem, solver, solver, oracle, max_rounds)
+}
+
+/// Like [`cutting_plane_solve`], but with a separate solver configuration for
+/// the re-solves after cuts are added. Cut systems can be far more degenerate
+/// than the base problem, so callers may give re-solves a smaller pivot
+/// budget: when a re-solve exceeds it, the previous round's optimum — the
+/// exact optimum of a valid, slightly weaker relaxation — is returned instead
+/// of an error. The *initial* solve always uses `solver` (typically the full
+/// budget); if it fails there is no earlier solution to fall back to and the
+/// error propagates.
+pub fn cutting_plane_solve_with_resolve_budget(
+    problem: &mut LpProblem,
+    solver: &SimplexSolver,
+    resolve_solver: &SimplexSolver,
+    oracle: &mut dyn SeparationOracle,
+    max_rounds: usize,
+) -> Result<(Solution, CutStats)> {
     let mut stats = CutStats {
         rounds: 0,
         cuts_added: 0,
@@ -73,16 +91,30 @@ pub fn cutting_plane_solve(
             stats.separated_to_optimality = true;
             return Ok((solution, stats));
         }
+        let mut added_this_round = 0usize;
         for cut in cuts {
             problem.add_constraint_checked(cut)?;
-            stats.cuts_added += 1;
+            added_this_round += 1;
+        }
+        match resolve_solver.solve(problem) {
+            // Only count this round's cuts once a solution that actually
+            // satisfies them exists; on the fallback below the returned
+            // solution never saw them.
+            Ok(next) => {
+                stats.cuts_added += added_this_round;
+                solution = next;
+            }
+            // Heavily degenerate cut systems can stall the simplex. The
+            // previous round's optimum is the exact optimum of a valid
+            // (slightly weaker) relaxation — every cut is a valid
+            // inequality — so it is still a correct lower bound and a
+            // feasible fractional point; return it instead of failing.
+            Err(LpError::IterationLimit { .. }) => return Ok((solution, stats)),
+            Err(e) => return Err(e),
         }
         if stats.rounds >= max_rounds {
-            // Return the best relaxation solved so far.
-            solution = solver.solve(problem)?;
             return Ok((solution, stats));
         }
-        solution = solver.solve(problem)?;
     }
 }
 
@@ -163,11 +195,7 @@ mod tests {
         lp.set_upper_bound(0, 1.0);
         lp.set_upper_bound(1, 1.0);
         lp.set_upper_bound(2, 1.0);
-        lp.add_constraint(
-            vec![(0, 3.0), (1, 1.0), (2, 1.0)],
-            ConstraintOp::Ge,
-            3.0,
-        );
+        lp.add_constraint(vec![(0, 3.0), (1, 1.0), (2, 1.0)], ConstraintOp::Ge, 3.0);
         // Without cuts: f1 = f2 = 1 and x = 1/3, objective = 12.
         let base = SimplexSolver::default().solve(&lp).unwrap();
         assert!((base.objective - 12.0).abs() < 1e-6);

@@ -28,7 +28,10 @@ impl fmt::Display for LpError {
             LpError::Infeasible => write!(f, "linear program is infeasible"),
             LpError::Unbounded => write!(f, "linear program is unbounded"),
             LpError::IterationLimit { iterations } => {
-                write!(f, "simplex iteration limit reached after {iterations} pivots")
+                write!(
+                    f,
+                    "simplex iteration limit reached after {iterations} pivots"
+                )
             }
             LpError::InvalidProblem { message } => write!(f, "invalid linear program: {message}"),
         }
@@ -45,10 +48,14 @@ mod tests {
     fn display_messages() {
         assert!(LpError::Infeasible.to_string().contains("infeasible"));
         assert!(LpError::Unbounded.to_string().contains("unbounded"));
-        assert!(LpError::IterationLimit { iterations: 7 }.to_string().contains('7'));
-        assert!(LpError::InvalidProblem { message: "bad".into() }
+        assert!(LpError::IterationLimit { iterations: 7 }
             .to_string()
-            .contains("bad"));
+            .contains('7'));
+        assert!(LpError::InvalidProblem {
+            message: "bad".into()
+        }
+        .to_string()
+        .contains("bad"));
     }
 
     #[test]

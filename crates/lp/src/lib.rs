@@ -42,7 +42,9 @@ mod error;
 mod problem;
 mod simplex;
 
-pub use cutting::{cutting_plane_solve, CutStats, SeparationOracle};
+pub use cutting::{
+    cutting_plane_solve, cutting_plane_solve_with_resolve_budget, CutStats, SeparationOracle,
+};
 pub use error::LpError;
 pub use problem::{Constraint, ConstraintOp, LpProblem};
 pub use simplex::{SimplexSolver, Solution, SolveStatus};

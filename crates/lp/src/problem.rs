@@ -123,7 +123,10 @@ impl LpProblem {
     /// Panics if `var` is out of range or `bound` is negative/NaN.
     pub fn set_upper_bound(&mut self, var: usize, bound: f64) {
         assert!(var < self.num_vars, "variable {var} out of range");
-        assert!(bound >= 0.0, "upper bound must be non-negative, got {bound}");
+        assert!(
+            bound >= 0.0,
+            "upper bound must be non-negative, got {bound}"
+        );
         self.upper_bounds[var] = Some(bound);
     }
 
@@ -259,7 +262,11 @@ mod tests {
             .add_constraint_checked(Constraint::new(vec![(0, f64::NAN)], ConstraintOp::Le, 1.0))
             .is_err());
         assert!(lp
-            .add_constraint_checked(Constraint::new(vec![(0, 1.0)], ConstraintOp::Le, f64::INFINITY))
+            .add_constraint_checked(Constraint::new(
+                vec![(0, 1.0)],
+                ConstraintOp::Le,
+                f64::INFINITY
+            ))
             .is_err());
         assert!(lp
             .add_constraint_checked(Constraint::new(vec![(0, 1.0)], ConstraintOp::Le, 1.0))

@@ -115,7 +115,10 @@ impl Tableau {
 impl SimplexSolver {
     /// Creates a solver with the given tolerance and iteration limit.
     pub fn new(tolerance: f64, max_iterations: usize) -> Self {
-        SimplexSolver { tolerance, max_iterations }
+        SimplexSolver {
+            tolerance,
+            max_iterations,
+        }
     }
 
     /// Solves the linear program to optimality.
@@ -137,7 +140,8 @@ impl SimplexSolver {
         }
 
         // Collect all rows: explicit constraints plus upper bounds.
-        let mut rows: Vec<(Vec<(usize, f64)>, ConstraintOp, f64)> = Vec::new();
+        type Row = (Vec<(usize, f64)>, ConstraintOp, f64);
+        let mut rows: Vec<Row> = Vec::new();
         for c in problem.constraints() {
             rows.push((c.coeffs.clone(), c.op, c.rhs));
         }
@@ -336,15 +340,24 @@ impl SimplexSolver {
         };
         let mut pivots = 0usize;
         let mut degenerate_streak = 0usize;
+        let mut degenerate_total = 0usize;
+        let mut bland_forever = false;
         loop {
             if pivots > self.max_iterations {
                 return Err(LpError::IterationLimit { iterations: pivots });
             }
             // Fall back to Bland's rule during long degenerate streaks to
-            // break stalling; return to Dantzig's rule as soon as real
-            // progress resumes (pure Bland converges far too slowly on the
-            // dense degenerate LPs produced by complete digraphs).
-            let use_bland = degenerate_streak > 64;
+            // break stalling, returning to Dantzig's rule when real progress
+            // resumes (pure Bland converges far too slowly on the dense
+            // degenerate LPs produced by complete digraphs). Bland's
+            // termination guarantee only holds while the rule stays in
+            // effect, and alternating back to Dantzig can re-enter the same
+            // cycle — so once degeneracy dominates the run, Bland becomes
+            // permanent.
+            if degenerate_total > 4096 {
+                bland_forever = true;
+            }
+            let use_bland = bland_forever || degenerate_streak > 64;
             // Choose the entering column.
             let mut entering: Option<usize> = None;
             if use_bland {
@@ -389,6 +402,7 @@ impl SimplexSolver {
             };
             if ratio.abs() <= self.tolerance {
                 degenerate_streak += 1;
+                degenerate_total += 1;
             } else {
                 degenerate_streak = 0;
             }
@@ -469,7 +483,10 @@ mod tests {
         let mut lp = LpProblem::minimize(1);
         lp.add_constraint(vec![(0, 1.0)], Ge, 2.0);
         lp.add_constraint(vec![(0, 1.0)], Le, 1.0);
-        assert_eq!(SimplexSolver::default().solve(&lp), Err(LpError::Infeasible));
+        assert_eq!(
+            SimplexSolver::default().solve(&lp),
+            Err(LpError::Infeasible)
+        );
     }
 
     #[test]
@@ -562,13 +579,21 @@ mod tests {
         let cost = [[1.0, 2.0, 3.0], [4.0, 1.0, 1.0]];
         let var = |i: usize, j: usize| i * 3 + j;
         let mut lp = LpProblem::minimize(6);
-        for i in 0..2 {
-            for j in 0..3 {
-                lp.set_objective(var(i, j), cost[i][j]);
+        for (i, row) in cost.iter().enumerate() {
+            for (j, &c) in row.iter().enumerate() {
+                lp.set_objective(var(i, j), c);
             }
         }
-        lp.add_constraint(vec![(var(0, 0), 1.0), (var(0, 1), 1.0), (var(0, 2), 1.0)], Le, 3.0);
-        lp.add_constraint(vec![(var(1, 0), 1.0), (var(1, 1), 1.0), (var(1, 2), 1.0)], Le, 4.0);
+        lp.add_constraint(
+            vec![(var(0, 0), 1.0), (var(0, 1), 1.0), (var(0, 2), 1.0)],
+            Le,
+            3.0,
+        );
+        lp.add_constraint(
+            vec![(var(1, 0), 1.0), (var(1, 1), 1.0), (var(1, 2), 1.0)],
+            Le,
+            4.0,
+        );
         for j in 0..3 {
             let demand = [2.0, 2.0, 3.0][j];
             lp.add_constraint(vec![(var(0, j), 1.0), (var(1, j), 1.0)], Ge, demand);
@@ -577,7 +602,11 @@ mod tests {
         // Optimal plan: supplier 0 sends 2 to demand 0 (cost 2) and 1 to
         // demand 1 (cost 2); supplier 1 sends 1 to demand 1 (cost 1) and 3 to
         // demand 2 (cost 3). Total 8.
-        assert!((s.objective - 8.0).abs() < 1e-6, "objective {}", s.objective);
+        assert!(
+            (s.objective - 8.0).abs() < 1e-6,
+            "objective {}",
+            s.objective
+        );
         assert!(lp.max_violation(&s.values) < 1e-6);
     }
 }

@@ -148,7 +148,11 @@ impl SpannerAlgorithm for BaswanaSenSpanner {
                 let best_sampled = neighbors
                     .iter()
                     .filter(|(c, _)| sampled.contains(c))
-                    .min_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).unwrap_or(std::cmp::Ordering::Equal))
+                    .min_by(|a, b| {
+                        a.1 .0
+                            .partial_cmp(&b.1 .0)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
                     .map(|(&c, &(w, e))| (c, w, e));
 
                 match best_sampled {

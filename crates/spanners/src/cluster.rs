@@ -57,7 +57,9 @@ impl ClusterSpanner {
     /// Panics if `k < 1`.
     pub fn for_stretch(k: usize) -> Self {
         assert!(k >= 1, "stretch must be at least 1");
-        ClusterSpanner { radius: (k - 1) / 4 }
+        ClusterSpanner {
+            radius: (k - 1) / 4,
+        }
     }
 
     /// The ball radius used when carving clusters.

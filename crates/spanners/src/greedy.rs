@@ -121,7 +121,12 @@ mod tests {
     fn produces_valid_spanners_on_random_graphs() {
         let mut r = rng();
         for k in [3.0, 5.0, 7.0] {
-            let g = generate::gnp(50, 0.3, generate::WeightKind::Uniform { min: 1.0, max: 4.0 }, &mut r);
+            let g = generate::gnp(
+                50,
+                0.3,
+                generate::WeightKind::Uniform { min: 1.0, max: 4.0 },
+                &mut r,
+            );
             let s = GreedySpanner::new(k).build(&g, &mut r);
             assert!(
                 verify::is_k_spanner(&g, &s, k),
@@ -173,7 +178,10 @@ mod tests {
             let s = GreedySpanner::new(k).build(&g, &mut r);
             let sub = g.subgraph(&s).unwrap();
             if let Some(girth) = ftspan_graph::stats::girth(&sub) {
-                assert!(girth as f64 > k + 1.0, "girth {girth} too small for stretch {k}");
+                assert!(
+                    girth as f64 > k + 1.0,
+                    "girth {girth} too small for stretch {k}"
+                );
             }
         }
     }

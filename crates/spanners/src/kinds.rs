@@ -1,0 +1,126 @@
+//! Runtime selection of the conversion theorem's black box.
+//!
+//! The conversion of Theorem 2.1 is parameterized by *any*
+//! [`SpannerAlgorithm`]; the unified construction API in `ftspan-core` lets
+//! callers pick that black box by name at runtime (from a `SpannerRequest` or
+//! a benchmark's command line) rather than by type. [`BlackBoxKind`] is the
+//! closed enumeration of the black boxes this crate ships, with a factory
+//! that instantiates each for a target stretch.
+
+use crate::{
+    BaswanaSenSpanner, ClusterSpanner, GreedySpanner, SpannerAlgorithm, ThorupZwickSpanner,
+};
+
+/// A named black-box spanner construction that the conversion theorem can be
+/// instantiated with at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BlackBoxKind {
+    /// The greedy construction of Althöfer et al. (Corollary 2.2's choice).
+    #[default]
+    Greedy,
+    /// The randomized clustering construction of Baswana & Sen.
+    BaswanaSen,
+    /// The Thorup–Zwick cluster spanner (the CLPR09 ingredient).
+    ThorupZwick,
+    /// A ball-carving cluster spanner (the distributed-friendly stand-in for
+    /// Derbel–Gavoille–Peleg–Viennot).
+    Cluster,
+}
+
+impl BlackBoxKind {
+    /// All selectable kinds, in display order.
+    pub const ALL: [BlackBoxKind; 4] = [
+        BlackBoxKind::Greedy,
+        BlackBoxKind::BaswanaSen,
+        BlackBoxKind::ThorupZwick,
+        BlackBoxKind::Cluster,
+    ];
+
+    /// The stable string key for this kind (also accepted by [`Self::parse`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            BlackBoxKind::Greedy => "greedy",
+            BlackBoxKind::BaswanaSen => "baswana-sen",
+            BlackBoxKind::ThorupZwick => "thorup-zwick",
+            BlackBoxKind::Cluster => "cluster",
+        }
+    }
+
+    /// Looks a kind up by its string key.
+    pub fn parse(name: &str) -> Option<Self> {
+        Self::ALL.iter().copied().find(|k| k.name() == name)
+    }
+
+    /// Instantiates this black box so that it guarantees stretch at most
+    /// `stretch`.
+    ///
+    /// The clustering constructions only realize odd stretches `2t − 1`; for
+    /// other values of `stretch` the largest parameter whose guarantee does
+    /// not exceed `stretch` is chosen, so the returned algorithm's
+    /// [`SpannerAlgorithm::stretch`] is always `≤ stretch` (and `build`
+    /// output remains a valid `stretch`-spanner a fortiori).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stretch < 1`.
+    pub fn instantiate(self, stretch: f64) -> Box<dyn SpannerAlgorithm> {
+        assert!(stretch >= 1.0, "spanner stretch must be at least 1");
+        // Largest t with 2t - 1 <= stretch.
+        let t = (((stretch + 1.0) / 2.0).floor() as usize).max(1);
+        match self {
+            BlackBoxKind::Greedy => Box::new(GreedySpanner::new(stretch)),
+            BlackBoxKind::BaswanaSen => Box::new(BaswanaSenSpanner::new(t)),
+            BlackBoxKind::ThorupZwick => Box::new(ThorupZwickSpanner::new(t)),
+            BlackBoxKind::Cluster => Box::new(ClusterSpanner::for_stretch(
+                ((2 * t).saturating_sub(1)).max(1),
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for BlackBoxKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for kind in BlackBoxKind::ALL {
+            assert_eq!(BlackBoxKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(BlackBoxKind::parse("no-such-box"), None);
+    }
+
+    #[test]
+    fn instantiation_never_exceeds_requested_stretch() {
+        for kind in BlackBoxKind::ALL {
+            for stretch in [1.0f64, 3.0, 5.0, 7.0] {
+                let alg = kind.instantiate(stretch);
+                assert!(
+                    alg.stretch() <= stretch + 1e-9,
+                    "{} instantiated for {stretch} guarantees {}",
+                    kind,
+                    alg.stretch()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stretch_three_picks_the_classic_parameters() {
+        assert_eq!(BlackBoxKind::Greedy.instantiate(3.0).stretch(), 3.0);
+        assert_eq!(BlackBoxKind::BaswanaSen.instantiate(3.0).stretch(), 3.0);
+        assert_eq!(BlackBoxKind::ThorupZwick.instantiate(3.0).stretch(), 3.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn sub_unit_stretch_rejected() {
+        BlackBoxKind::Greedy.instantiate(0.5);
+    }
+}

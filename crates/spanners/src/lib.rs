@@ -41,6 +41,7 @@ mod algorithm;
 mod baswana_sen;
 mod cluster;
 mod greedy;
+mod kinds;
 pub mod size_bounds;
 mod thorup_zwick;
 
@@ -48,4 +49,5 @@ pub use algorithm::{SpannerAlgorithm, SpannerStats};
 pub use baswana_sen::BaswanaSenSpanner;
 pub use cluster::ClusterSpanner;
 pub use greedy::GreedySpanner;
+pub use kinds::BlackBoxKind;
 pub use thorup_zwick::ThorupZwickSpanner;

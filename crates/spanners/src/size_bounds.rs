@@ -103,7 +103,10 @@ mod tests {
     fn thorup_zwick_bound_behaviour() {
         assert!(thorup_zwick_size_bound(2000, 2) > thorup_zwick_size_bound(1000, 2));
         // Matches the Baswana-Sen exponent (both are (2k-1)-spanner bounds).
-        assert_eq!(thorup_zwick_size_bound(500, 3), baswana_sen_size_bound(500, 3));
+        assert_eq!(
+            thorup_zwick_size_bound(500, 3),
+            baswana_sen_size_bound(500, 3)
+        );
     }
 
     #[test]

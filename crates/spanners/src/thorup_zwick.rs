@@ -53,7 +53,10 @@ impl ThorupZwickSpanner {
     ///
     /// Panics if `k == 0`.
     pub fn new(k: usize) -> Self {
-        assert!(k >= 1, "the Thorup-Zwick hierarchy needs at least one level");
+        assert!(
+            k >= 1,
+            "the Thorup-Zwick hierarchy needs at least one level"
+        );
         ThorupZwickSpanner { k }
     }
 
@@ -98,7 +101,10 @@ fn multi_source_distances(graph: &Graph, sources: &[bool]) -> Vec<f64> {
     for v in 0..n {
         if sources[v] {
             dist[v] = 0.0;
-            heap.push(HeapEntry { dist: 0.0, node: NodeId::new(v) });
+            heap.push(HeapEntry {
+                dist: 0.0,
+                node: NodeId::new(v),
+            });
         }
     }
     while let Some(HeapEntry { dist: d, node: v }) = heap.pop() {
@@ -125,7 +131,10 @@ fn grow_cluster(graph: &Graph, center: NodeId, bound: &[f64], spanner: &mut Edge
     let mut via: Vec<Option<EdgeId>> = vec![None; n];
     let mut heap = BinaryHeap::new();
     dist[center.index()] = 0.0;
-    heap.push(HeapEntry { dist: 0.0, node: center });
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: center,
+    });
     while let Some(HeapEntry { dist: d, node: v }) = heap.pop() {
         if d > dist[v.index()] {
             continue;
@@ -169,7 +178,10 @@ impl SpannerAlgorithm for ThorupZwickSpanner {
         levels.push(vec![true; n]);
         for i in 1..self.k {
             let prev = &levels[i - 1];
-            let next: Vec<bool> = prev.iter().map(|&in_prev| in_prev && rng.gen::<f64>() < p).collect();
+            let next: Vec<bool> = prev
+                .iter()
+                .map(|&in_prev| in_prev && rng.gen::<f64>() < p)
+                .collect();
             levels.push(next);
         }
         levels.push(vec![false; n]);
@@ -179,8 +191,9 @@ impl SpannerAlgorithm for ThorupZwickSpanner {
             // (INFINITY at the top level, so the last clusters are whole
             // shortest-path trees — exactly the Thorup-Zwick definition).
             let bound = multi_source_distances(graph, &levels[i + 1]);
-            for w in 0..n {
-                if levels[i][w] && !levels[i + 1][w] {
+            for (w, (&in_level, &in_next)) in levels[i].iter().zip(levels[i + 1].iter()).enumerate()
+            {
+                if in_level && !in_next {
                     grow_cluster(graph, NodeId::new(w), &bound, &mut spanner);
                 }
             }

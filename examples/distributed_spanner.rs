@@ -4,7 +4,9 @@
 //! Demonstrates both distributed results of the paper:
 //! Theorem 2.3 (fault-tolerant 3-spanner via local oversampling) and
 //! Theorem 3.9 (the O(log n)-approximate fault-tolerant 2-spanner via padded
-//! decompositions and per-cluster LPs).
+//! decompositions and per-cluster LPs) — both reached through the same
+//! `FtSpannerBuilder` as their centralized counterparts, with the LOCAL-model
+//! round/message accounting surfaced on the unified report.
 //!
 //! Run with:
 //!
@@ -31,17 +33,21 @@ fn main() {
         network.edge_count()
     );
 
-    let cfg = DistributedConversionConfig::new(1, 3);
-    let spanner = distributed_fault_tolerant_spanner(&network, &cfg, &mut rng);
+    let spanner = FtSpannerBuilder::new("distributed-conversion")
+        .faults(1)
+        .stretch(3.0)
+        .build_with_rng(GraphInput::from(&network), &mut rng)
+        .expect("the distributed conversion accepts stretch-3 requests");
     println!(
         "Theorem 2.3: distributed 1-fault-tolerant 3-spanner with {} edges in {} LOCAL rounds \
          ({} messages, {} conversion iterations)",
-        spanner.edges.len(),
-        spanner.stats.rounds,
-        spanner.stats.messages,
+        spanner.size(),
+        spanner.rounds.unwrap(),
+        spanner.messages.unwrap(),
         spanner.iterations
     );
-    let report = verify::verify_fault_tolerance_exhaustive(&network, &spanner.edges, 3.0, 1);
+    let report =
+        verify::verify_fault_tolerance_exhaustive(&network, spanner.edge_set().unwrap(), 3.0, 1);
     println!(
         "verification: {} fault sets checked, worst stretch {:.3}, valid = {}",
         report.checked,
@@ -68,14 +74,23 @@ fn main() {
         directed.node_count(),
         directed.arc_count()
     );
-    let cfg2 = DistributedTwoSpannerConfig::new(1).with_repetitions(4);
-    let two = distributed_two_spanner(&directed, &cfg2, &mut rng)
+    let two = FtSpannerBuilder::new("distributed-two-spanner")
+        .faults(1)
+        .repetitions(4)
+        .build_with_rng(GraphInput::from(&directed), &mut rng)
         .expect("cluster LPs are always feasible");
     println!(
         "Theorem 3.9: distributed 1-fault-tolerant 2-spanner with cost {:.0} in {} LOCAL rounds \
          ({} repetitions, {} repaired arcs)",
-        two.cost, two.stats.rounds, two.repetitions, two.repaired_arcs
+        two.cost,
+        two.rounds.unwrap(),
+        two.iterations,
+        two.repaired_arcs
     );
-    assert!(verify::is_ft_two_spanner(&directed, &two.arcs, 1));
+    assert!(verify::is_ft_two_spanner(
+        &directed,
+        two.arc_set().unwrap(),
+        1
+    ));
     println!("verification: valid 1-fault-tolerant 2-spanner");
 }

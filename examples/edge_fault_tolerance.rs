@@ -4,6 +4,8 @@
 //! the library's edge-fault extension to protect a network against link
 //! failures, compares it against the vertex-fault construction, and verifies
 //! both with the centralized and the distributed (LOCAL-model) checkers.
+//! Both fault models go through the same `FtSpannerBuilder`, switched by
+//! `.edge_faults()` / `.vertex_faults()`.
 //!
 //! Run with:
 //!
@@ -32,28 +34,39 @@ fn main() {
     let r = 2;
 
     // Protect against r link failures.
-    let edge_params = EdgeFaultParams::new(r).with_scale(0.5);
-    let edge_ft =
-        edge_fault_tolerant_spanner(&network, &GreedySpanner::new(stretch), &edge_params, &mut rng);
+    let edge_ft = FtSpannerBuilder::new("conversion")
+        .edge_faults()
+        .faults(r)
+        .stretch(stretch)
+        .scale(0.5)
+        .build_with_rng(GraphInput::from(&network), &mut rng)
+        .expect("the conversion accepts edge-fault requests");
     println!(
-        "\nedge-fault-tolerant 3-spanner: {} edges after {} iterations (mean surviving edges per \
-         iteration {:.1})",
+        "\n{}: {} edges after {} iterations (mean surviving edges per iteration {:.1})",
+        edge_ft.provenance,
         edge_ft.size(),
         edge_ft.iterations,
         edge_ft.mean_surviving_edges()
     );
+    let edge_spanner = edge_ft.edge_set().expect("undirected construction");
     let lower = vertex_fault_size_lower_bound(&network, r);
     println!("degree lower bound for any {r}-fault-tolerant spanner: {lower} edges");
 
     // Exhaustive verification over all single link failures, sampled beyond.
-    let report = verify::verify_edge_fault_tolerance_exhaustive(&network, &edge_ft.edges, stretch, 1);
+    let report = verify::verify_edge_fault_tolerance_exhaustive(&network, edge_spanner, stretch, 1);
     println!(
         "all {} single-link failures verified, worst stretch {:.2}",
         report.checked - 1,
         report.worst_stretch
     );
-    let sampled =
-        verify::verify_edge_fault_tolerance_sampled(&network, &edge_ft.edges, stretch, r, 40, &mut rng);
+    let sampled = verify::verify_edge_fault_tolerance_sampled(
+        &network,
+        edge_spanner,
+        stretch,
+        r,
+        40,
+        &mut rng,
+    );
     println!(
         "{} sampled double-link failures verified, worst stretch {:.2}, valid = {}",
         sampled.checked - 1,
@@ -62,11 +75,13 @@ fn main() {
     );
 
     // Compare against protecting routers (vertex faults) on the same network.
-    let vertex_ft = FaultTolerantConverter::new(ConversionParams::new(r).with_scale(0.5)).build(
-        &network,
-        &GreedySpanner::new(stretch),
-        &mut rng,
-    );
+    let vertex_ft = FtSpannerBuilder::new("conversion")
+        .vertex_faults()
+        .faults(r)
+        .stretch(stretch)
+        .scale(0.5)
+        .build_with_rng(GraphInput::from(&network), &mut rng)
+        .expect("the conversion accepts vertex-fault requests");
     println!(
         "\nvertex-fault-tolerant 3-spanner for comparison: {} edges after {} iterations",
         vertex_ft.size(),
@@ -75,10 +90,11 @@ fn main() {
 
     // Adversarial stress test: fail the heaviest links and the busiest hub.
     let heavy = faults::heavy_edge_faults(&network, r);
-    let after_links = verify::max_stretch_under_edge_faults(&network, &edge_ft.edges, &heavy);
+    let after_links = verify::max_stretch_under_edge_faults(&network, edge_spanner, &heavy);
     println!("after failing the {r} heaviest links: worst stretch {after_links:.2}");
     let hubs = faults::high_degree_faults(&network, r);
-    let after_hubs = verify::max_stretch_under_faults(&network, &vertex_ft.edges, &hubs);
+    let after_hubs =
+        verify::max_stretch_under_faults(&network, vertex_ft.edge_set().unwrap(), &hubs);
     println!("after failing the {r} busiest routers: worst stretch {after_hubs:.2}");
 
     // The plain 3-spanner can be verified distributedly in 4 LOCAL rounds.

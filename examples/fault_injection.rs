@@ -48,8 +48,17 @@ fn main() {
     );
 
     let plain = GreedySpanner::new(3.0).build(&network, &mut rng);
-    let ft1 = corollary_2_2(&network, 3.0, 1, &mut rng);
-    let ft3 = corollary_2_2(&network, 3.0, 3, &mut rng);
+    // The same builder, re-targeted at two fault budgets.
+    let builder = FtSpannerBuilder::new("corollary-2.2").stretch(3.0);
+    let ft1 = builder
+        .clone()
+        .faults(1)
+        .build_with_rng(GraphInput::from(&network), &mut rng)
+        .expect("corollary-2.2 accepts undirected inputs");
+    let ft3 = builder
+        .faults(3)
+        .build_with_rng(GraphInput::from(&network), &mut rng)
+        .expect("corollary-2.2 accepts undirected inputs");
 
     println!("spanner sizes (edges):");
     println!("  plain greedy 3-spanner : {}", plain.len());
@@ -58,11 +67,26 @@ fn main() {
 
     let trials = 60;
     println!("random failures: share of trials still a 3-spanner (worst stretch)");
-    println!("{:>9} | {:>22} | {:>22} | {:>22}", "failures", "plain", "r = 1", "r = 3");
+    println!(
+        "{:>9} | {:>22} | {:>22} | {:>22}",
+        "failures", "plain", "r = 1", "r = 3"
+    );
     for failures in [1usize, 2, 3, 4, 6] {
         let (p_ok, p_worst) = stretch_percentile(&network, &plain, failures, trials, &mut rng);
-        let (a_ok, a_worst) = stretch_percentile(&network, &ft1.edges, failures, trials, &mut rng);
-        let (b_ok, b_worst) = stretch_percentile(&network, &ft3.edges, failures, trials, &mut rng);
+        let (a_ok, a_worst) = stretch_percentile(
+            &network,
+            ft1.edge_set().unwrap(),
+            failures,
+            trials,
+            &mut rng,
+        );
+        let (b_ok, b_worst) = stretch_percentile(
+            &network,
+            ft3.edge_set().unwrap(),
+            failures,
+            trials,
+            &mut rng,
+        );
         println!(
             "{:>9} | {:>13.2} ({:>5.2}) | {:>13.2} ({:>5.2}) | {:>13.2} ({:>5.2})",
             failures, p_ok, p_worst, a_ok, a_worst, b_ok, b_worst
@@ -70,17 +94,22 @@ fn main() {
     }
 
     println!("\nadversarial (highest-degree) failures: worst surviving stretch");
-    println!("{:>9} | {:>8} | {:>8} | {:>8}", "failures", "plain", "r = 1", "r = 3");
+    println!(
+        "{:>9} | {:>8} | {:>8} | {:>8}",
+        "failures", "plain", "r = 1", "r = 3"
+    );
     for failures in [1usize, 2, 3] {
         let hubs = faults::high_degree_faults(&network, failures);
         let p = verify::max_stretch_under_faults(&network, &plain, &hubs);
-        let a = verify::max_stretch_under_faults(&network, &ft1.edges, &hubs);
-        let b = verify::max_stretch_under_faults(&network, &ft3.edges, &hubs);
+        let a = verify::max_stretch_under_faults(&network, ft1.edge_set().unwrap(), &hubs);
+        let b = verify::max_stretch_under_faults(&network, ft3.edge_set().unwrap(), &hubs);
         println!("{failures:>9} | {p:>8.2} | {a:>8.2} | {b:>8.2}");
     }
 
     // The r = 3 spanner must survive any 3 failures — including the hubs.
     let hubs = faults::high_degree_faults(&network, 3);
-    assert!(verify::max_stretch_under_faults(&network, &ft3.edges, &hubs) <= 3.0 + 1e-9);
+    assert!(
+        verify::max_stretch_under_faults(&network, ft3.edge_set().unwrap(), &hubs) <= 3.0 + 1e-9
+    );
     println!("\nr = 3 spanner verified against the 3 busiest hubs failing simultaneously.");
 }

@@ -38,30 +38,38 @@ fn main() {
     let faults = 1;
 
     // Theorem 3.3: LP (4) + threshold rounding, O(log n)-approximation.
-    let ours = approximate_two_spanner(&network, &ApproxConfig::new(faults), &mut rng)
+    let ours = FtSpannerBuilder::new("two-spanner-lp")
+        .faults(faults)
+        .build_with_rng(GraphInput::from(&network), &mut rng)
         .expect("relaxation is always feasible on a well-formed instance");
     println!(
         "Dinitz-Krauthgamer O(log n) rounding: cost {:.1} (LP lower bound {:.1}, ratio {:.2}, \
          {} knapsack-cover cuts, {} repaired arcs)",
         ours.cost,
-        ours.lp_objective,
-        ours.ratio_vs_lp(),
-        ours.cut_stats.cuts_added,
+        ours.lp_objective.unwrap(),
+        ours.ratio_vs_lp().unwrap(),
+        ours.cuts_added.unwrap(),
         ours.repaired_arcs
     );
-    assert!(verify::is_ft_two_spanner(&network, &ours.arcs, faults));
+    let plan = ours.arc_set().expect("directed construction");
+    assert!(verify::is_ft_two_spanner(&network, plan, faults));
 
     // The previous DK10 rounding needs inflation Θ(r log n) on the weaker LP.
-    let dk10 = dk10_two_spanner(&network, faults, &mut rng)
+    let dk10 = FtSpannerBuilder::new("dk10")
+        .faults(faults)
+        .build_with_rng(GraphInput::from(&network), &mut rng)
         .expect("relaxation is always feasible on a well-formed instance");
     println!(
         "DK10 O(r log n) baseline:             cost {:.1} (ratio vs its LP {:.2})",
         dk10.cost,
-        dk10.ratio_vs_lp()
+        dk10.ratio_vs_lp().unwrap()
     );
 
     // Trivial upper bound: buy every link.
-    println!("buy-everything baseline:              cost {:.1}", network.total_cost());
+    println!(
+        "buy-everything baseline:              cost {:.1}",
+        network.total_cost()
+    );
 
     // Show what fault tolerance buys: fail each router in turn and count
     // broken connections under the purchased plan.
@@ -73,11 +81,11 @@ fn main() {
             .filter(|(id, arc)| {
                 !fault.contains(arc.tail)
                     && !fault.contains(arc.head)
-                    && !ours.arcs.contains(*id)
+                    && !plan.contains(*id)
                     && !network.two_path_midpoints(arc.tail, arc.head).any(|w| {
                         !fault.contains(w)
-                            && ours.arcs.contains(network.find_arc(arc.tail, w).unwrap())
-                            && ours.arcs.contains(network.find_arc(w, arc.head).unwrap())
+                            && plan.contains(network.find_arc(arc.tail, w).unwrap())
+                            && plan.contains(network.find_arc(w, arc.head).unwrap())
                     })
             })
             .count();

@@ -26,21 +26,27 @@ fn main() {
     // Corollary 2.2: convert the greedy 3-spanner into a 2-fault-tolerant one.
     let faults = 2;
     let stretch = 3.0;
-    let result = corollary_2_2(&network, stretch, faults, &mut rng);
+    let result = FtSpannerBuilder::new("corollary-2.2")
+        .faults(faults)
+        .stretch(stretch)
+        .build_with_rng(GraphInput::from(&network), &mut rng)
+        .expect("corollary-2.2 is registered and the input is undirected");
     println!(
-        "fault-tolerant spanner: {} edges ({} iterations of the conversion, \
-         {:.1}% of the input kept)",
+        "{}: {} edges ({} iterations of the conversion, {:.1}% of the input kept, {:?})",
+        result.provenance,
         result.size(),
         result.iterations,
-        100.0 * result.size() as f64 / network.edge_count() as f64
+        100.0 * result.size() as f64 / network.edge_count() as f64,
+        result.elapsed,
     );
+    let spanner = result.edge_set().expect("undirected construction");
 
     // Compare with the plain (non-fault-tolerant) greedy spanner.
     let plain = GreedySpanner::new(stretch).build(&network, &mut rng);
     println!("plain 3-spanner for reference: {} edges", plain.len());
 
     // Verify fault tolerance against every single- and double-failure.
-    let report = verify::verify_fault_tolerance_exhaustive(&network, &result.edges, stretch, faults);
+    let report = verify::verify_fault_tolerance_exhaustive(&network, spanner, stretch, faults);
     println!(
         "verification: {} fault sets checked, worst stretch {:.3}, valid = {}",
         report.checked,
@@ -50,7 +56,7 @@ fn main() {
 
     // Knock out the two busiest hubs and measure the stretch that remains.
     let hubs = faults::high_degree_faults(&network, faults);
-    let stretch_after = verify::max_stretch_under_faults(&network, &result.edges, &hubs);
+    let stretch_after = verify::max_stretch_under_faults(&network, spanner, &hubs);
     println!(
         "after failing the {} busiest hubs {:?}: worst surviving stretch {:.3}",
         faults,

@@ -3,9 +3,10 @@
 //! side.
 //!
 //! This is the "which spanner should I use?" tour: the classic black boxes
-//! (greedy, Baswana–Sen, Thorup–Zwick, ball-carving clusters), the
-//! fault-tolerant conversion built on each of them, and the adaptive variant
-//! that stops as soon as verification passes.
+//! (greedy, Baswana–Sen, Thorup–Zwick, ball-carving clusters), then every
+//! undirected fault-tolerant construction in the `registry()`, selected
+//! purely by name — the same loop a benchmark harness or a service
+//! configuration would run.
 //!
 //! Run with:
 //!
@@ -14,7 +15,6 @@
 //! ```
 
 use fault_tolerant_spanners::prelude::*;
-use ftspan_spanners::SpannerStats;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -64,44 +64,69 @@ fn main() {
     describe("minimum spanning forest", &network, &mst, f64::INFINITY);
 
     println!("\n-- 1-fault-tolerant 3-spanners (Theorem 2.1 conversion) --");
-    for (label, result) in [
-        (
-            "conversion over greedy",
-            FaultTolerantConverter::new(ConversionParams::new(1).with_scale(0.5)).build(
-                &network,
-                &GreedySpanner::new(3.0),
-                &mut rng,
-            ),
-        ),
-        (
-            "conversion over Thorup-Zwick",
-            FaultTolerantConverter::new(ConversionParams::new(1).with_scale(0.5)).build(
-                &network,
-                &ThorupZwickSpanner::new(2),
-                &mut rng,
-            ),
-        ),
-    ] {
-        describe(label, &network, &result.edges, 3.0);
-        let check = verify::verify_fault_tolerance_sampled(&network, &result.edges, 3.0, 1, 25, &mut rng);
+    for black_box in [BlackBoxKind::Greedy, BlackBoxKind::ThorupZwick] {
+        let result = FtSpannerBuilder::new("conversion")
+            .faults(1)
+            .stretch(3.0)
+            .black_box(black_box)
+            .scale(0.5)
+            .build_with_rng(GraphInput::from(&network), &mut rng)
+            .expect("conversion accepts undirected inputs");
+        describe(
+            &format!("conversion over {black_box}"),
+            &network,
+            result.edge_set().unwrap(),
+            result.stretch,
+        );
+        let check = verify::verify_fault_tolerance_sampled(
+            &network,
+            result.edge_set().unwrap(),
+            result.stretch,
+            1,
+            25,
+            &mut rng,
+        );
         println!(
             "{:>28} sampled verification: {} fault sets, worst stretch {:.2}, valid = {}",
-            "", check.checked, check.worst_stretch, check.is_valid()
+            "",
+            check.checked,
+            check.worst_stretch,
+            check.is_valid()
         );
     }
 
     println!("\n-- adaptive conversion (stops when verification passes) --");
-    let config = AdaptiveConfig::new(1, network.node_count());
-    let adaptive = adaptive_fault_tolerant_spanner(&network, &GreedySpanner::new(3.0), &config, &mut rng);
-    describe("adaptive conversion", &network, &adaptive.edges, 3.0);
+    let adaptive = FtSpannerBuilder::new("adaptive")
+        .faults(1)
+        .stretch(3.0)
+        .build_with_rng(GraphInput::from(&network), &mut rng)
+        .expect("adaptive accepts undirected inputs");
+    describe(
+        "adaptive conversion",
+        &network,
+        adaptive.edge_set().unwrap(),
+        adaptive.stretch,
+    );
     println!(
-        "{:>28} used {} of {} iterations ({:.0}% of the theorem budget), verified = {}",
+        "{:>28} used {} of {} iterations ({:.0}% of the theorem budget), verified = {:?}",
         "",
         adaptive.iterations,
-        adaptive.theorem_iterations,
+        adaptive.theorem_iterations.unwrap_or(0),
         100.0 * adaptive.budget_fraction(),
-        adaptive.verified
+        adaptive.verified.unwrap_or(false)
     );
+
+    // The registry knows the whole zoo — print what else there is to try.
+    println!("\n-- the full registry --");
+    for algorithm in registry().iter() {
+        println!(
+            "{:<24} {:<28} [{}] {}",
+            algorithm.name(),
+            algorithm.reference(),
+            algorithm.graph_family(),
+            algorithm.summary()
+        );
+    }
 
     // Persist the network so the run can be reproduced or inspected offline.
     let path = std::env::temp_dir().join("spanner_zoo_network.graph");

@@ -1,7 +1,7 @@
-//! Cross-crate integration tests: every spanner produced by the public API is
-//! re-verified with the independent oracles in `ftspan_graph::verify`, and
-//! the centralized, distributed and baseline constructions are checked for
-//! consistency against each other.
+//! Cross-crate integration tests: every spanner produced through the unified
+//! `FtSpannerBuilder` API is re-verified with the independent oracles in
+//! `ftspan_graph::verify`, and the centralized, distributed and baseline
+//! constructions are checked for consistency against each other.
 
 use fault_tolerant_spanners::prelude::*;
 use rand::SeedableRng;
@@ -14,23 +14,22 @@ fn rng(seed: u64) -> ChaCha8Rng {
 #[test]
 fn conversion_theorem_with_every_black_box() {
     // Theorem 2.1 is black-box: the output must be fault tolerant no matter
-    // which spanner construction is plugged in.
+    // which spanner construction is plugged in — selected by name here.
     let mut r = rng(1);
     let g = generate::gnp(22, 0.45, generate::WeightKind::Unit, &mut r);
-    let converter = FaultTolerantConverter::new(ConversionParams::new(1));
-
-    let boxes: Vec<(Box<dyn SpannerAlgorithm>, f64)> = vec![
-        (Box::new(GreedySpanner::new(3.0)), 3.0),
-        (Box::new(BaswanaSenSpanner::new(2)), 3.0),
-        (Box::new(ClusterSpanner::with_radius(1)), 5.0),
-    ];
-    for (alg, stretch) in &boxes {
-        let result = converter.build(&g, alg.as_ref(), &mut r);
+    for kind in BlackBoxKind::ALL {
+        let report = FtSpannerBuilder::new("conversion")
+            .faults(1)
+            .stretch(5.0)
+            .black_box(kind)
+            .build_with_rng(GraphInput::from(&g), &mut r)
+            .unwrap();
         assert!(
-            verify::is_fault_tolerant_k_spanner(&g, &result.edges, *stretch, 1),
-            "conversion with the {} black box is not 1-fault-tolerant",
-            alg.name()
+            verify::is_fault_tolerant_k_spanner(&g, report.edge_set().unwrap(), 5.0, 1),
+            "conversion with the {kind} black box is not 1-fault-tolerant"
         );
+        // The report's guarantee never exceeds what was asked for.
+        assert!(report.stretch <= 5.0 + 1e-9);
     }
 }
 
@@ -40,11 +39,18 @@ fn fault_tolerant_spanner_beats_plain_spanner_under_faults() {
     // the converted spanner does not.
     let mut r = rng(2);
     let g = generate::gnp(24, 0.5, generate::WeightKind::Unit, &mut r);
-    let ft = corollary_2_2(&g, 3.0, 1, &mut r);
+    let ft = FtSpannerBuilder::new("corollary-2.2")
+        .faults(1)
+        .stretch(3.0)
+        .build_with_rng(GraphInput::from(&g), &mut r)
+        .unwrap();
     for v in 0..g.node_count() {
         let fault = faults::FaultSet::from_indices([v]);
-        let s = verify::max_stretch_under_faults(&g, &ft.edges, &fault);
-        assert!(s <= 3.0 + 1e-9, "fault at {v} breaks the spanner (stretch {s})");
+        let s = verify::max_stretch_under_faults(&g, ft.edge_set().unwrap(), &fault);
+        assert!(
+            s <= 3.0 + 1e-9,
+            "fault at {v} breaks the spanner (stretch {s})"
+        );
     }
 }
 
@@ -57,10 +63,20 @@ fn weighted_graphs_are_supported_end_to_end() {
         generate::WeightKind::Uniform { min: 0.5, max: 5.0 },
         &mut r,
     );
-    let result = corollary_2_2(&g, 5.0, 2, &mut r);
-    assert!(verify::is_fault_tolerant_k_spanner(&g, &result.edges, 5.0, 2));
-    // Weight of the spanner never exceeds the input.
-    let w = g.edge_set_weight(&result.edges).unwrap();
+    let report = FtSpannerBuilder::new("corollary-2.2")
+        .faults(2)
+        .stretch(5.0)
+        .build_with_rng(GraphInput::from(&g), &mut r)
+        .unwrap();
+    assert!(verify::is_fault_tolerant_k_spanner(
+        &g,
+        report.edge_set().unwrap(),
+        5.0,
+        2
+    ));
+    // The report's cost is the spanner weight and never exceeds the input's.
+    let w = g.edge_set_weight(report.edge_set().unwrap()).unwrap();
+    assert!((w - report.cost).abs() < 1e-9);
     assert!(w <= g.total_weight() + 1e-9);
 }
 
@@ -68,18 +84,27 @@ fn weighted_graphs_are_supported_end_to_end() {
 fn centralized_and_distributed_conversions_agree_on_guarantees() {
     let mut r = rng(4);
     let g = generate::connected_gnp(20, 0.3, generate::WeightKind::Unit, &mut r);
-    let central = corollary_2_2(&g, 3.0, 1, &mut r);
-    let distributed = distributed_fault_tolerant_spanner(
-        &g,
-        &DistributedConversionConfig::new(1, 3),
-        &mut r,
-    );
-    for edges in [&central.edges, &distributed.edges] {
-        assert!(verify::is_fault_tolerant_k_spanner(&g, edges, 3.0, 1));
+    let central = FtSpannerBuilder::new("corollary-2.2")
+        .faults(1)
+        .build_with_rng(GraphInput::from(&g), &mut r)
+        .unwrap();
+    let distributed = FtSpannerBuilder::new("distributed-conversion")
+        .faults(1)
+        .build_with_rng(GraphInput::from(&g), &mut r)
+        .unwrap();
+    for report in [&central, &distributed] {
+        assert!(verify::is_fault_tolerant_k_spanner(
+            &g,
+            report.edge_set().unwrap(),
+            3.0,
+            1
+        ));
     }
-    // The distributed execution actually communicated.
-    assert!(distributed.stats.rounds > 0);
-    assert!(distributed.stats.messages > 0);
+    // The distributed execution actually communicated; the centralized one
+    // reports no LOCAL-model accounting at all.
+    assert!(distributed.rounds.unwrap() > 0);
+    assert!(distributed.messages.unwrap() > 0);
+    assert_eq!(central.rounds, None);
 }
 
 #[test]
@@ -89,9 +114,13 @@ fn two_spanner_pipeline_matches_lemma_3_1_and_definition() {
     let mut r = rng(5);
     let g = generate::directed_gnp(9, 0.5, generate::WeightKind::Unit, &mut r);
     for faults in [0usize, 1, 2] {
-        let result = approximate_two_spanner(&g, &ApproxConfig::new(faults), &mut r).unwrap();
-        assert!(verify::is_ft_two_spanner(&g, &result.arcs, faults));
-        assert!(verify::is_ft_two_spanner_by_definition(&g, &result.arcs, faults));
+        let report = FtSpannerBuilder::new("two-spanner-lp")
+            .faults(faults)
+            .build_with_rng(GraphInput::from(&g), &mut r)
+            .unwrap();
+        let arcs = report.arc_set().unwrap();
+        assert!(verify::is_ft_two_spanner(&g, arcs, faults));
+        assert!(verify::is_ft_two_spanner_by_definition(&g, arcs, faults));
     }
 }
 
@@ -127,9 +156,13 @@ fn approximation_cost_is_sandwiched_between_lp_and_buying_everything() {
         generate::WeightKind::Uniform { min: 1.0, max: 6.0 },
         &mut r,
     );
-    let result = approximate_two_spanner(&g, &ApproxConfig::new(1), &mut r).unwrap();
-    assert!(result.lp_objective <= result.cost + 1e-6);
-    assert!(result.cost <= g.total_cost() + 1e-9);
+    let report = FtSpannerBuilder::new("two-spanner-lp")
+        .faults(1)
+        .build_with_rng(GraphInput::from(&g), &mut r)
+        .unwrap();
+    assert!(report.lp_objective.unwrap() <= report.cost + 1e-6);
+    assert!(report.cost <= g.total_cost() + 1e-9);
+    assert!(report.ratio_vs_lp().unwrap() >= 1.0 - 1e-9);
 }
 
 #[test]
@@ -143,10 +176,26 @@ fn dk10_and_new_algorithm_are_both_valid_but_new_is_cheaper_on_average() {
     let mut dk10_total = 0.0;
     for _ in 0..5 {
         let g = generate::directed_gnp(10, 0.5, generate::WeightKind::Unit, &mut r);
-        let ours = approximate_two_spanner(&g, &ApproxConfig::new(faults), &mut r).unwrap();
-        let base = dk10_two_spanner(&g, faults, &mut r).unwrap();
-        assert!(verify::is_ft_two_spanner(&g, &ours.arcs, faults));
-        assert!(verify::is_ft_two_spanner(&g, &base.arcs, faults));
+        let ours = FtSpannerBuilder::new("two-spanner-lp")
+            .faults(faults)
+            .build_with_rng(GraphInput::from(&g), &mut r)
+            .unwrap();
+        let base = FtSpannerBuilder::new("dk10")
+            .faults(faults)
+            .build_with_rng(GraphInput::from(&g), &mut r)
+            .unwrap();
+        assert!(verify::is_ft_two_spanner(
+            &g,
+            ours.arc_set().unwrap(),
+            faults
+        ));
+        assert!(verify::is_ft_two_spanner(
+            &g,
+            base.arc_set().unwrap(),
+            faults
+        ));
+        // Both roundings are inflated, but DK10 pays the extra factor r + 1.
+        assert!(base.alpha.unwrap() > ours.alpha.unwrap());
         ours_total += ours.cost;
         dk10_total += base.cost;
     }
@@ -160,20 +209,36 @@ fn dk10_and_new_algorithm_are_both_valid_but_new_is_cheaper_on_average() {
 fn distributed_two_spanner_is_valid_and_counts_rounds() {
     let mut r = rng(9);
     let g = generate::directed_gnp(10, 0.45, generate::WeightKind::Unit, &mut r);
-    let cfg = DistributedTwoSpannerConfig::new(1).with_repetitions(3);
-    let out = distributed_two_spanner(&g, &cfg, &mut r).unwrap();
-    assert!(verify::is_ft_two_spanner(&g, &out.arcs, 1));
-    assert!(out.stats.rounds > 0);
+    let report = FtSpannerBuilder::new("distributed-two-spanner")
+        .faults(1)
+        .repetitions(3)
+        .build_with_rng(GraphInput::from(&g), &mut r)
+        .unwrap();
+    assert!(verify::is_ft_two_spanner(&g, report.arc_set().unwrap(), 1));
+    assert_eq!(report.iterations, 3);
+    assert!(report.rounds.unwrap() > 0);
 }
 
 #[test]
 fn clpr_baseline_and_conversion_are_both_valid_on_the_same_graph() {
     let mut r = rng(10);
     let g = generate::gnp(14, 0.5, generate::WeightKind::Unit, &mut r);
-    let ours = corollary_2_2(&g, 3.0, 1, &mut r);
-    let clpr = ClprStyleBaseline::new(1).build(&g, &GreedySpanner::new(3.0), &mut r);
-    assert!(verify::is_fault_tolerant_k_spanner(&g, &ours.edges, 3.0, 1));
-    assert!(verify::is_fault_tolerant_k_spanner(&g, &clpr.edges, 3.0, 1));
+    let ours = FtSpannerBuilder::new("corollary-2.2")
+        .faults(1)
+        .build_with_rng(GraphInput::from(&g), &mut r)
+        .unwrap();
+    let clpr = FtSpannerBuilder::new("clpr09")
+        .faults(1)
+        .build_with_rng(GraphInput::from(&g), &mut r)
+        .unwrap();
+    for report in [&ours, &clpr] {
+        assert!(verify::is_fault_tolerant_k_spanner(
+            &g,
+            report.edge_set().unwrap(),
+            3.0,
+            1
+        ));
+    }
     // The baseline does one run per fault set; ours does Θ(r³ log n) runs.
     assert_eq!(clpr.iterations, 1 + g.node_count());
 }
@@ -183,21 +248,25 @@ fn gap_gadget_end_to_end() {
     // On the Section 3.2 gadget every algorithm must buy the expensive arc.
     let mut r = rng(11);
     let g = generate::gap_gadget(3, 50.0).unwrap();
-    let expensive_arc = ftspan_graph::ArcId::new(0);
+    let expensive_arc = fault_tolerant_spanners::graph::ArcId::new(0);
 
-    let ours = approximate_two_spanner(&g, &ApproxConfig::new(3), &mut r).unwrap();
-    assert!(ours.arcs.contains(expensive_arc));
-
-    let dk10 = dk10_two_spanner(&g, 3, &mut r).unwrap();
-    assert!(dk10.arcs.contains(expensive_arc));
-
-    let distributed = distributed_two_spanner(
-        &g,
-        &DistributedTwoSpannerConfig::new(3).with_repetitions(3),
-        &mut r,
-    )
-    .unwrap();
-    assert!(distributed.arcs.contains(expensive_arc));
+    for (name, extra_reps) in [
+        ("two-spanner-lp", None),
+        ("dk10", None),
+        ("distributed-two-spanner", Some(3)),
+    ] {
+        let mut builder = FtSpannerBuilder::new(name).faults(3);
+        if let Some(t) = extra_reps {
+            builder = builder.repetitions(t);
+        }
+        let report = builder
+            .build_with_rng(GraphInput::from(&g), &mut r)
+            .unwrap();
+        assert!(
+            report.arc_set().unwrap().contains(expensive_arc),
+            "`{name}` did not buy the forced expensive arc"
+        );
+    }
 }
 
 #[test]
@@ -206,40 +275,59 @@ fn thorup_zwick_works_as_a_conversion_black_box() {
     // (the ingredient of the CLPR09 baseline) must slot in unchanged.
     let mut r = rng(13);
     let g = generate::gnp(20, 0.45, generate::WeightKind::Unit, &mut r);
-    let converter = FaultTolerantConverter::new(ConversionParams::new(1));
-    let result = converter.build(&g, &ThorupZwickSpanner::new(2), &mut r);
-    assert!(verify::is_fault_tolerant_k_spanner(&g, &result.edges, 3.0, 1));
-    assert!(result.size() >= vertex_fault_size_lower_bound(&g, 1));
+    let report = FtSpannerBuilder::new("conversion")
+        .faults(1)
+        .black_box(BlackBoxKind::ThorupZwick)
+        .build_with_rng(GraphInput::from(&g), &mut r)
+        .unwrap();
+    assert!(verify::is_fault_tolerant_k_spanner(
+        &g,
+        report.edge_set().unwrap(),
+        3.0,
+        1
+    ));
+    assert!(report.size() >= vertex_fault_size_lower_bound(&g, 1));
 }
 
 #[test]
 fn edge_fault_conversion_end_to_end() {
     let mut r = rng(14);
     let g = generate::connected_gnp(16, 0.35, generate::WeightKind::Unit, &mut r);
-    let params = EdgeFaultParams::new(2);
-    let result = edge_fault_tolerant_spanner(&g, &GreedySpanner::new(3.0), &params, &mut r);
-    assert!(verify::verify_edge_fault_tolerance_exhaustive(&g, &result.edges, 3.0, 2).is_valid());
-    assert!(result.size() >= vertex_fault_size_lower_bound(&g, 2));
-    assert!(result.size() <= g.edge_count());
+    let report = FtSpannerBuilder::new("edge-fault")
+        .faults(2)
+        .build_with_rng(GraphInput::from(&g), &mut r)
+        .unwrap();
+    assert_eq!(report.fault_model, FaultModel::Edge);
+    let edges = report.edge_set().unwrap();
+    assert!(verify::verify_edge_fault_tolerance_exhaustive(&g, edges, 3.0, 2).is_valid());
+    assert!(report.size() >= vertex_fault_size_lower_bound(&g, 2));
+    assert!(report.size() <= g.edge_count());
     // Adversarial heavy-edge failures are covered by the exhaustive check but
     // exercise the dedicated helper too.
     let heavy = faults::heavy_edge_faults(&g, 2);
-    assert!(verify::is_k_spanner_under_edge_faults(&g, &result.edges, 3.0, &heavy));
+    assert!(verify::is_k_spanner_under_edge_faults(
+        &g, edges, 3.0, &heavy
+    ));
 }
 
 #[test]
 fn adaptive_conversion_end_to_end() {
     let mut r = rng(15);
     let g = generate::connected_gnp(20, 0.35, generate::WeightKind::Unit, &mut r);
-    let config = AdaptiveConfig::new(1, g.node_count());
-    let adaptive = adaptive_fault_tolerant_spanner(&g, &GreedySpanner::new(3.0), &config, &mut r);
-    assert!(adaptive.verified);
-    assert!(adaptive.iterations <= adaptive.theorem_iterations);
-    assert!(verify::is_fault_tolerant_k_spanner(&g, &adaptive.edges, 3.0, 1));
-    // The adaptive output is never larger than running the full budget on the
-    // same graph could be larger or smaller, but both must beat the lower
-    // bound.
-    assert!(adaptive.size() >= vertex_fault_size_lower_bound(&g, 1));
+    let report = FtSpannerBuilder::new("adaptive")
+        .faults(1)
+        .build_with_rng(GraphInput::from(&g), &mut r)
+        .unwrap();
+    assert_eq!(report.verified, Some(true));
+    assert!(report.iterations <= report.theorem_iterations.unwrap());
+    assert!(report.budget_fraction() <= 1.0);
+    assert!(verify::is_fault_tolerant_k_spanner(
+        &g,
+        report.edge_set().unwrap(),
+        3.0,
+        1
+    ));
+    assert!(report.size() >= vertex_fault_size_lower_bound(&g, 1));
 }
 
 #[test]
@@ -252,13 +340,27 @@ fn greedy_cover_and_lp_rounding_are_both_valid_and_above_the_lp_bound() {
         &mut r,
     );
     for faults in [0usize, 1, 2] {
-        let rounded = approximate_two_spanner(&g, &ApproxConfig::new(faults), &mut r).unwrap();
-        let greedy = greedy_ft_two_spanner(&g, faults);
-        assert!(verify::is_ft_two_spanner(&g, &rounded.arcs, faults));
-        assert!(verify::is_ft_two_spanner(&g, &greedy.arcs, faults));
+        let rounded = FtSpannerBuilder::new("two-spanner-lp")
+            .faults(faults)
+            .build_with_rng(GraphInput::from(&g), &mut r)
+            .unwrap();
+        let greedy = FtSpannerBuilder::new("two-spanner-greedy")
+            .faults(faults)
+            .build_with_rng(GraphInput::from(&g), &mut r)
+            .unwrap();
+        assert!(verify::is_ft_two_spanner(
+            &g,
+            rounded.arc_set().unwrap(),
+            faults
+        ));
+        assert!(verify::is_ft_two_spanner(
+            &g,
+            greedy.arc_set().unwrap(),
+            faults
+        ));
         // The LP optimum and the degree bound are lower bounds on any valid
         // solution, including the greedy one.
-        assert!(greedy.cost >= rounded.lp_objective - 1e-6);
+        assert!(greedy.cost >= rounded.lp_objective.unwrap() - 1e-6);
         assert!(greedy.cost >= directed_cost_lower_bound(&g, faults) - 1e-9);
         assert!(rounded.cost >= directed_cost_lower_bound(&g, faults) - 1e-9);
     }
@@ -267,12 +369,15 @@ fn greedy_cover_and_lp_rounding_are_both_valid_and_above_the_lp_bound() {
 #[test]
 fn distributed_verification_agrees_with_centralized_oracles() {
     let mut r = rng(17);
-    // Directed 2-spanner check.
+    // Directed 2-spanner check against the greedy construction's output.
     let dg = generate::complete_digraph(8);
-    let greedy = greedy_ft_two_spanner(&dg, 2);
-    assert!(verify::is_ft_two_spanner(&dg, &greedy.arcs, 2));
-    let check = distributed_two_spanner_check(&dg, &greedy.arcs, 2);
-    assert!(check.is_valid());
+    let greedy = FtSpannerBuilder::new("two-spanner-greedy")
+        .faults(2)
+        .build_with_rng(GraphInput::from(&dg), &mut r)
+        .unwrap();
+    let arcs = greedy.arc_set().unwrap();
+    assert!(verify::is_ft_two_spanner(&dg, arcs, 2));
+    assert!(distributed_two_spanner_check(&dg, arcs, 2).is_valid());
     assert!(!distributed_two_spanner_check(&dg, &dg.empty_arc_set(), 2).is_valid());
 
     // Undirected stretch check against the centralized verifier.
@@ -332,12 +437,20 @@ fn fault_tolerance_is_limited_by_vertex_connectivity() {
     let cut = components::articulation_points(&g);
     assert_eq!(cut.len(), 2);
     let mut r = rng(20);
-    let ft = corollary_2_2(&g, 3.0, 1, &mut r);
-    assert!(verify::is_fault_tolerant_k_spanner(&g, &ft.edges, 3.0, 1));
+    let ft = FtSpannerBuilder::new("corollary-2.2")
+        .faults(1)
+        .build_with_rng(GraphInput::from(&g), &mut r)
+        .unwrap();
+    assert!(verify::is_fault_tolerant_k_spanner(
+        &g,
+        ft.edge_set().unwrap(),
+        3.0,
+        1
+    ));
     // Failing a bridge endpoint disconnects both G and the spanner; the
     // stretch over surviving edges stays bounded.
     let fault = faults::FaultSet::from_nodes(vec![cut[0]]);
-    assert!(verify::max_stretch_under_faults(&g, &ft.edges, &fault) <= 3.0 + 1e-9);
+    assert!(verify::max_stretch_under_faults(&g, ft.edge_set().unwrap(), &fault) <= 3.0 + 1e-9);
 }
 
 #[test]
@@ -345,10 +458,42 @@ fn bounded_degree_variant_is_consistent_with_general_variant() {
     let mut r = rng(12);
     let ug = generate::random_near_regular(18, 4, &mut r);
     let g = DiGraph::from_graph(&ug);
-    let lll = bounded_degree_two_spanner(&g, &LllConfig::new(1), &mut r).unwrap();
-    let general = approximate_two_spanner(&g, &ApproxConfig::new(1), &mut r).unwrap();
-    assert!(verify::is_ft_two_spanner(&g, &lll.arcs, 1));
-    assert!(verify::is_ft_two_spanner(&g, &general.arcs, 1));
+    let lll = FtSpannerBuilder::new("two-spanner-lll")
+        .faults(1)
+        .degree_bound(g.max_degree())
+        .build_with_rng(GraphInput::from(&g), &mut r)
+        .unwrap();
+    let general = FtSpannerBuilder::new("two-spanner-lp")
+        .faults(1)
+        .build_with_rng(GraphInput::from(&g), &mut r)
+        .unwrap();
+    assert!(verify::is_ft_two_spanner(&g, lll.arc_set().unwrap(), 1));
+    assert!(verify::is_ft_two_spanner(&g, general.arc_set().unwrap(), 1));
     // Both are measured against the same LP value (same relaxation).
-    assert!((lll.lp_objective - general.lp_objective).abs() < 1e-4);
+    assert!((lll.lp_objective.unwrap() - general.lp_objective.unwrap()).abs() < 1e-4);
+    assert!(lll.resamples.is_some());
+}
+
+#[test]
+fn builder_requests_round_trip_through_the_trait_api() {
+    // The builder is sugar over registry() + FtSpannerAlgorithm::build: the
+    // two paths must produce identical spanners for identical seeds.
+    let mut seed_a = rng(21);
+    let mut seed_b = rng(21);
+    let g = generate::gnp(16, 0.5, generate::WeightKind::Unit, &mut seed_a);
+    let g2 = generate::gnp(16, 0.5, generate::WeightKind::Unit, &mut seed_b);
+
+    let via_builder = FtSpannerBuilder::new("conversion")
+        .faults(1)
+        .scale(0.5)
+        .build_with_rng(GraphInput::from(&g), &mut seed_a)
+        .unwrap();
+    let request = SpannerRequest::new(1).with_scale(0.5);
+    let via_registry = registry()
+        .get("conversion")
+        .unwrap()
+        .build(GraphInput::from(&g2), &request, &mut seed_b)
+        .unwrap();
+    assert_eq!(via_builder.edges, via_registry.edges);
+    assert_eq!(via_builder.provenance, via_registry.provenance);
 }

@@ -90,11 +90,13 @@ proptest! {
         r in 1usize..3,
     ) {
         let g = graph_from_bits(n, &bits);
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let params = ConversionParams::new(r).with_iterations(800);
-        let converter = FaultTolerantConverter::new(params);
-        let result = converter.build(&g, &GreedySpanner::new(3.0), &mut rng);
-        prop_assert!(verify::is_fault_tolerant_k_spanner(&g, &result.edges, 3.0, r));
+        let result = FtSpannerBuilder::new("conversion")
+            .faults(r)
+            .iterations(800)
+            .seed(seed)
+            .build(&g)
+            .unwrap();
+        prop_assert!(verify::is_fault_tolerant_k_spanner(&g, result.edge_set().unwrap(), 3.0, r));
     }
 
     /// Lemma 3.1: the characterization-based check and the definitional
@@ -132,10 +134,13 @@ proptest! {
         if g.arc_count() == 0 {
             return Ok(());
         }
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let result = approximate_two_spanner(&g, &ApproxConfig::new(r), &mut rng).unwrap();
-        prop_assert!(verify::is_ft_two_spanner(&g, &result.arcs, r));
-        prop_assert!(result.lp_objective <= result.cost + 1e-6);
+        let result = FtSpannerBuilder::new("two-spanner-lp")
+            .faults(r)
+            .seed(seed)
+            .build_directed(&g)
+            .unwrap();
+        prop_assert!(verify::is_ft_two_spanner(&g, result.arc_set().unwrap(), r));
+        prop_assert!(result.lp_objective.unwrap() <= result.cost + 1e-6);
         prop_assert!(result.cost <= g.total_cost() + 1e-9);
     }
 
@@ -147,8 +152,8 @@ proptest! {
     ) {
         let f = faults::FaultSet::from_indices(indices.clone());
         let mask = f.to_dead_mask(n);
-        for v in 0..n {
-            prop_assert_eq!(mask[v], f.contains(NodeId::new(v)));
+        for (v, &dead) in mask.iter().enumerate() {
+            prop_assert_eq!(dead, f.contains(NodeId::new(v)));
         }
         prop_assert!(f.len() <= indices.len());
     }
@@ -196,9 +201,13 @@ proptest! {
         r in 0usize..4,
     ) {
         let g = digraph_from_bits(n, &bits);
-        let result = greedy_ft_two_spanner(&g, r);
-        prop_assert!(verify::is_ft_two_spanner(&g, &result.arcs, r));
-        prop_assert!(verify::is_ft_two_spanner_by_definition(&g, &result.arcs, r));
+        let result = FtSpannerBuilder::new("two-spanner-greedy")
+            .faults(r)
+            .build_directed(&g)
+            .unwrap();
+        let arcs = result.arc_set().unwrap();
+        prop_assert!(verify::is_ft_two_spanner(&g, arcs, r));
+        prop_assert!(verify::is_ft_two_spanner_by_definition(&g, arcs, r));
         prop_assert!(result.cost <= g.total_cost() + 1e-9);
         prop_assert!(result.cost >= directed_cost_lower_bound(&g, r) - 1e-9);
     }
@@ -212,11 +221,15 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let g = graph_from_bits(n, &bits);
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let params = EdgeFaultParams::new(1).with_iterations(400);
-        let result = edge_fault_tolerant_spanner(&g, &GreedySpanner::new(3.0), &params, &mut rng);
+        let result = FtSpannerBuilder::new("edge-fault")
+            .faults(1)
+            .iterations(400)
+            .seed(seed)
+            .build(&g)
+            .unwrap();
         prop_assert!(
-            verify::verify_edge_fault_tolerance_exhaustive(&g, &result.edges, 3.0, 1).is_valid()
+            verify::verify_edge_fault_tolerance_exhaustive(&g, result.edge_set().unwrap(), 3.0, 1)
+                .is_valid()
         );
     }
 

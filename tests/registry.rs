@@ -1,0 +1,146 @@
+//! The registry contract: every registered algorithm builds on a small
+//! seeded G(n, p) instance of its declared graph family, and the resulting
+//! report verifies under the oracle matching its declared fault model —
+//! `is_fault_tolerant_k_spanner` for vertex faults on undirected inputs, the
+//! edge-fault oracle for edge faults, and the Lemma 3.1 2-spanner oracle for
+//! directed outputs.
+
+use fault_tolerant_spanners::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn verify_report(report: &SpannerReport, g: &Graph, dg: &DiGraph) {
+    match &report.edges {
+        SpannerEdges::Undirected(edges) => match report.fault_model {
+            FaultModel::Vertex => {
+                assert!(
+                    verify::is_fault_tolerant_k_spanner(g, edges, report.stretch, report.faults),
+                    "`{}` output is not a {}-fault-tolerant {}-spanner",
+                    report.algorithm,
+                    report.faults,
+                    report.stretch
+                );
+            }
+            FaultModel::Edge => {
+                assert!(
+                    verify::is_edge_fault_tolerant_k_spanner(
+                        g,
+                        edges,
+                        report.stretch,
+                        report.faults
+                    ),
+                    "`{}` output is not a {}-edge-fault-tolerant {}-spanner",
+                    report.algorithm,
+                    report.faults,
+                    report.stretch
+                );
+            }
+        },
+        SpannerEdges::Directed(arcs) => {
+            assert_eq!(report.stretch, 2.0, "directed outputs are 2-spanners");
+            assert!(
+                verify::is_ft_two_spanner(dg, arcs, report.faults),
+                "`{}` output is not a {}-fault-tolerant 2-spanner",
+                report.algorithm,
+                report.faults
+            );
+        }
+    }
+}
+
+#[test]
+fn every_registered_algorithm_builds_and_verifies() {
+    let mut rng = ChaCha8Rng::seed_from_u64(2011);
+    let g = generate::connected_gnp(16, 0.4, generate::WeightKind::Unit, &mut rng);
+    let dg = generate::directed_gnp(8, 0.5, generate::WeightKind::Unit, &mut rng);
+
+    let registry = registry();
+    assert_eq!(registry.len(), 11);
+
+    for algorithm in registry.iter() {
+        // Keep the distributed 2-spanner's repetition count small; every
+        // other knob stays at its default.
+        let request = SpannerRequest::new(1).with_repetitions(3);
+        algorithm
+            .supports(&request)
+            .unwrap_or_else(|e| panic!("`{}` rejects the default request: {e}", algorithm.name()));
+
+        let input = match algorithm.graph_family() {
+            GraphFamily::Undirected => GraphInput::from(&g),
+            GraphFamily::Directed => GraphInput::from(&dg),
+        };
+        let report = algorithm
+            .build(input, &request, &mut rng)
+            .unwrap_or_else(|e| panic!("`{}` failed to build: {e}", algorithm.name()));
+
+        // Report invariants shared by every construction.
+        assert_eq!(report.algorithm, algorithm.name());
+        assert_eq!(report.faults, 1);
+        assert_eq!(report.fault_model, algorithm.fault_model(&request));
+        assert!(
+            (report.stretch - algorithm.guaranteed_stretch(&request)).abs() < 1e-9,
+            "`{}` reported stretch {} but declares {}",
+            algorithm.name(),
+            report.stretch,
+            algorithm.guaranteed_stretch(&request)
+        );
+        assert!(!report.provenance.is_empty());
+        assert_eq!(report.size(), report.edges.len());
+        assert!(report.cost >= 0.0);
+
+        // And the oracle matching the declared fault model must accept it.
+        verify_report(&report, &g, &dg);
+    }
+}
+
+#[test]
+fn registry_rejects_inputs_of_the_wrong_family() {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let g = generate::gnp(10, 0.4, generate::WeightKind::Unit, &mut rng);
+    let dg = generate::directed_gnp(6, 0.5, generate::WeightKind::Unit, &mut rng);
+    let request = SpannerRequest::new(1);
+
+    for algorithm in registry().iter() {
+        let wrong = match algorithm.graph_family() {
+            GraphFamily::Undirected => GraphInput::from(&dg),
+            GraphFamily::Directed => GraphInput::from(&g),
+        };
+        assert!(
+            algorithm.build(wrong, &request, &mut rng).is_err(),
+            "`{}` accepted an input of the wrong graph family",
+            algorithm.name()
+        );
+    }
+}
+
+#[test]
+fn edge_fault_requests_are_either_honored_or_cleanly_rejected() {
+    let mut rng = ChaCha8Rng::seed_from_u64(8);
+    let g = generate::connected_gnp(14, 0.4, generate::WeightKind::Unit, &mut rng);
+    let dg = generate::directed_gnp(6, 0.5, generate::WeightKind::Unit, &mut rng);
+    let request = SpannerRequest::new(1).with_fault_model(FaultModel::Edge);
+
+    for algorithm in registry().iter() {
+        let input = match algorithm.graph_family() {
+            GraphFamily::Undirected => GraphInput::from(&g),
+            GraphFamily::Directed => GraphInput::from(&dg),
+        };
+        match algorithm.supports(&request) {
+            Ok(()) => {
+                let report = algorithm.build(input, &request, &mut rng).unwrap();
+                assert_eq!(
+                    report.fault_model,
+                    FaultModel::Edge,
+                    "`{}` accepted an edge-fault request but built for vertex faults",
+                    algorithm.name()
+                );
+                verify_report(&report, &g, &dg);
+            }
+            Err(e) => {
+                // supports() and build() must agree.
+                let build_err = algorithm.build(input, &request, &mut rng).unwrap_err();
+                assert_eq!(e.to_string(), build_err.to_string());
+            }
+        }
+    }
+}
