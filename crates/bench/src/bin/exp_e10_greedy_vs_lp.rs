@@ -73,7 +73,8 @@ fn run(costs: generate::WeightKind, label: &str, rng: &mut ChaCha8Rng) {
 }
 
 fn main() {
-    let mut rng = ChaCha8Rng::seed_from_u64(10);
+    let seed = ftspan_bench::seed_from_args(10);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
     run(generate::WeightKind::Unit, "unit_costs", &mut rng);
     run(
         generate::WeightKind::Uniform {

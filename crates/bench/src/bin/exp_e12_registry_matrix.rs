@@ -13,7 +13,8 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 fn main() {
-    let mut rng = ChaCha8Rng::seed_from_u64(12);
+    let seed = ftspan_bench::seed_from_args(12);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let g = generate::connected_gnp(40, 0.2, generate::WeightKind::Unit, &mut rng);
     let dg = generate::directed_gnp(12, 0.4, generate::WeightKind::Unit, &mut rng);
     println!(

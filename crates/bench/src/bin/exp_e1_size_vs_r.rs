@@ -14,7 +14,8 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 fn main() {
-    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let seed = ftspan_bench::seed_from_args(1);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let n = 200;
     let graph = generate::connected_gnp(n, 0.15, generate::WeightKind::Unit, &mut rng);
     println!(

@@ -12,7 +12,8 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 fn main() {
-    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let seed = ftspan_bench::seed_from_args(2);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let r = 2usize;
     let k = 3.0f64;
     println!("E2: r = {r}, k = {k}, average degree ~10, iteration scale 0.25\n");

@@ -13,7 +13,8 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 fn main() {
-    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let seed = ftspan_bench::seed_from_args(3);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let n = 60;
     let k = 3.0;
     let graph = generate::connected_gnp(n, 0.12, generate::WeightKind::Unit, &mut rng);

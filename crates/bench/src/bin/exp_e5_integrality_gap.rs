@@ -13,6 +13,10 @@ use fault_tolerant_spanners::prelude::*;
 use ftspan_bench::{fmt, Table};
 
 fn main() {
+    // E5 is deterministic (fixed gadget instances, no randomness); --seed is
+    // accepted for interface uniformity with the other experiments.
+    let _ = ftspan_bench::seed_from_args(5);
+
     // --- The Section 3.2 gadget ------------------------------------------
     let expensive = 100.0;
     let mut gadget_table = Table::new(

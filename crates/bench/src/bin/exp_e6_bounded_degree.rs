@@ -13,7 +13,8 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 fn main() {
-    let mut rng = ChaCha8Rng::seed_from_u64(6);
+    let seed = ftspan_bench::seed_from_args(6);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let n = 20;
     let r = 1usize;
     println!("E6: n = {n}, r = {r}, unit costs, near-regular graphs\n");

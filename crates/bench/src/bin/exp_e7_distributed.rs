@@ -15,7 +15,8 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 fn main() {
-    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let seed = ftspan_bench::seed_from_args(7);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
 
     // --- (a) Theorem 2.3: distributed conversion, stretch 3 ---------------
     let mut a = Table::new(

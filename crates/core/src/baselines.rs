@@ -122,8 +122,7 @@ fn induced_subgraph(graph: &Graph, dead: &[bool]) -> (Graph, Vec<EdgeId>) {
 ///
 /// # Errors
 ///
-/// Same conditions as
-/// [`approximate_two_spanner`](crate::two_spanner::approximate_two_spanner).
+/// Same conditions as [`crate::two_spanner::approximate_two_spanner`].
 pub fn dk10_two_spanner(
     graph: &DiGraph,
     faults: usize,

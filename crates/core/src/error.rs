@@ -1,5 +1,6 @@
 //! Error type for the fault-tolerant spanner constructions.
 
+use crate::api::FaultModel;
 use ftspan_graph::GraphError;
 use ftspan_lp::LpError;
 use std::error::Error as StdError;
@@ -18,6 +19,40 @@ pub enum CoreError {
         /// Human-readable description of the violated requirement.
         message: String,
     },
+    /// A query-session fault set exceeded the artifact's declared budget `r`.
+    TooManyFaults {
+        /// Number of (distinct) faults the caller supplied.
+        given: usize,
+        /// The fault budget the artifact was built for.
+        budget: usize,
+    },
+    /// A query referenced a vertex outside the artifact's vertex set.
+    UnknownNode {
+        /// The offending vertex index.
+        node: usize,
+        /// Number of vertices in the artifact.
+        nodes: usize,
+    },
+    /// An edge-fault referenced an edge the source graph does not contain.
+    UnknownEdge {
+        /// Tail endpoint of the missing edge.
+        u: usize,
+        /// Head endpoint of the missing edge.
+        v: usize,
+    },
+    /// A fault session of the wrong kind was requested (vertex faults on an
+    /// edge-fault artifact or vice versa).
+    FaultModelMismatch {
+        /// The fault model the artifact guarantees.
+        declared: FaultModel,
+        /// The fault model the session asked for.
+        requested: FaultModel,
+    },
+    /// A batch query named a serving artifact that was never registered.
+    UnknownArtifact {
+        /// The name the query asked for.
+        name: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -26,6 +61,28 @@ impl fmt::Display for CoreError {
             CoreError::Graph(e) => write!(f, "graph error: {e}"),
             CoreError::Lp(e) => write!(f, "linear programming error: {e}"),
             CoreError::InvalidParameter { message } => write!(f, "invalid parameter: {message}"),
+            CoreError::TooManyFaults { given, budget } => write!(
+                f,
+                "fault set has {given} faults but the artifact tolerates at most {budget}"
+            ),
+            CoreError::UnknownNode { node, nodes } => write!(
+                f,
+                "vertex {node} does not exist (the artifact has {nodes} vertices)"
+            ),
+            CoreError::UnknownEdge { u, v } => {
+                write!(f, "edge ({u}, {v}) does not exist in the source graph")
+            }
+            CoreError::FaultModelMismatch {
+                declared,
+                requested,
+            } => write!(
+                f,
+                "the artifact guarantees {declared}-fault tolerance but the session \
+                 supplied {requested} faults"
+            ),
+            CoreError::UnknownArtifact { name } => {
+                write!(f, "no artifact named `{name}` is registered")
+            }
         }
     }
 }
@@ -35,7 +92,7 @@ impl StdError for CoreError {
         match self {
             CoreError::Graph(e) => Some(e),
             CoreError::Lp(e) => Some(e),
-            CoreError::InvalidParameter { .. } => None,
+            _ => None,
         }
     }
 }
@@ -76,6 +133,53 @@ mod tests {
             message: "x".into(),
         };
         assert!(p.source().is_none());
+    }
+
+    #[test]
+    fn query_path_error_displays() {
+        let e = CoreError::TooManyFaults {
+            given: 5,
+            budget: 2,
+        };
+        assert_eq!(
+            e.to_string(),
+            "fault set has 5 faults but the artifact tolerates at most 2"
+        );
+        let e = CoreError::UnknownNode { node: 9, nodes: 4 };
+        assert_eq!(
+            e.to_string(),
+            "vertex 9 does not exist (the artifact has 4 vertices)"
+        );
+        let e = CoreError::UnknownEdge { u: 1, v: 2 };
+        assert_eq!(
+            e.to_string(),
+            "edge (1, 2) does not exist in the source graph"
+        );
+        let e = CoreError::FaultModelMismatch {
+            declared: FaultModel::Vertex,
+            requested: FaultModel::Edge,
+        };
+        assert_eq!(
+            e.to_string(),
+            "the artifact guarantees vertex-fault tolerance but the session supplied edge faults"
+        );
+        let e = CoreError::UnknownArtifact {
+            name: "prod".into(),
+        };
+        assert_eq!(e.to_string(), "no artifact named `prod` is registered");
+        for e in [
+            CoreError::TooManyFaults {
+                given: 1,
+                budget: 0,
+            },
+            CoreError::UnknownNode { node: 0, nodes: 0 },
+            CoreError::UnknownEdge { u: 0, v: 1 },
+            CoreError::UnknownArtifact {
+                name: String::new(),
+            },
+        ] {
+            assert!(e.source().is_none());
+        }
     }
 
     #[test]

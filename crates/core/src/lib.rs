@@ -27,6 +27,10 @@
 //!   the full `Θ(r³ log n)` iterations.
 //! * [`lower_bounds`] — folklore degree-based lower bounds on the size and
 //!   cost of any fault-tolerant spanner, reported by the experiments.
+//! * [`serve`] — the query side: the [`FtSpanner`] artifact (CSR-packed,
+//!   with provenance and a declared `(k, r, FaultModel)` guarantee) and
+//!   fault-scoped [`FaultSession`]s answering `distance` / `path` /
+//!   `stretch_certificate` queries, plus text round-trip serialization.
 //!
 //! # Quickstart
 //!
@@ -57,6 +61,7 @@ pub mod conversion;
 pub mod edge_faults;
 mod error;
 pub mod lower_bounds;
+pub mod serve;
 pub mod two_spanner;
 
 pub use api::{
@@ -64,6 +69,7 @@ pub use api::{
     SpannerRequest,
 };
 pub use error::CoreError;
+pub use serve::{FaultSession, FtSpanner, StretchCertificate};
 
 /// Result alias for fault-tolerant spanner constructions.
 pub type Result<T> = std::result::Result<T, CoreError>;

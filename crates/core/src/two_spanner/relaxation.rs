@@ -11,7 +11,7 @@
 //! `(r+1)·x_a + Σ_P f_{a,P} ≥ r+1`. LP (4) adds the knapsack-cover
 //! inequalities `(r+1−|W|)·x_a + Σ_{P∉W} f_{a,P} ≥ r+1−|W|` for every
 //! `W ⊆ P_{u,v}` with `|W| ≤ r`; these are generated lazily by the
-//! [`KnapsackCoverOracle`], which implements the separation routine of
+//! internal knapsack-cover oracle, which implements the separation routine of
 //! Lemma 3.2 (it suffices to check, for each arc and each `w ≤ r`, the `w`
 //! paths carrying the most flow).
 

@@ -1,0 +1,484 @@
+//! Cache-friendly CSR (compressed sparse row) views of edge subsets.
+//!
+//! The verification oracles and the query-serving machinery all answer the
+//! same kind of question many times over: "shortest paths in this fixed edge
+//! subset, with some vertices (or edges) masked out". The general-purpose
+//! [`SsspOptions`](crate::shortest_path::SsspOptions) traversal walks the
+//! *parent* graph's adjacency and filters per edge, which pays for every
+//! non-spanner edge on every relaxation. [`CsrSubgraph`] instead packs the
+//! selected edges once into a flat offsets/targets/weights layout, so
+//! repeated traversals touch only the edges that can actually be used and
+//! stream through contiguous memory.
+//!
+//! Fault masking is non-copying: a dead-vertex mask (and optionally a
+//! dead-edge mask over *parent* edge identifiers, which each CSR entry
+//! remembers) is consulted during traversal instead of rebuilding the
+//! subgraph per fault set.
+
+use crate::{EdgeId, EdgeSet, Graph, GraphError, NodeId, Result, INFINITY};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A heap entry ordered by ascending distance (mirrors the one in
+/// [`crate::shortest_path`]; distances entering the heap are finite).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A CSR-packed view of a subset of a parent [`Graph`]'s edges.
+///
+/// The vertex set (and the vertex identifiers) are those of the parent
+/// graph; only the selected edges are materialized. Each stored half-edge
+/// remembers the parent's [`EdgeId`], so edge-fault masks expressed over the
+/// parent graph apply directly.
+///
+/// # Example
+///
+/// ```
+/// use ftspan_graph::{csr::CsrSubgraph, Graph, NodeId};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = Graph::from_unit_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)])?;
+/// let csr = CsrSubgraph::from_graph(&g);
+/// let dead = vec![false, true, false, false];
+/// let dist = csr.sssp(NodeId::new(0), Some(&dead), None)?;
+/// // With vertex 1 dead, vertex 2 is reached the long way around.
+/// assert_eq!(dist[2], 2.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrSubgraph {
+    /// `offsets[v]..offsets[v + 1]` indexes the half-edges out of `v`.
+    offsets: Vec<u32>,
+    /// Neighbor of each half-edge.
+    targets: Vec<NodeId>,
+    /// Weight of each half-edge.
+    weights: Vec<f64>,
+    /// Parent-graph edge identifier of each half-edge.
+    edge_ids: Vec<EdgeId>,
+    /// Number of selected (undirected) edges.
+    edge_count: usize,
+    /// Edge count of the parent graph (for mask validation).
+    parent_edge_count: usize,
+}
+
+impl CsrSubgraph {
+    /// Packs the edges of `graph` selected by `edges` into CSR form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::MismatchedEdgeSet`] if `edges` was built for a
+    /// different edge count.
+    pub fn from_edge_set(graph: &Graph, edges: &EdgeSet) -> Result<Self> {
+        if edges.capacity() != graph.edge_count() {
+            return Err(GraphError::MismatchedEdgeSet {
+                set_len: edges.capacity(),
+                graph_len: graph.edge_count(),
+            });
+        }
+        let n = graph.node_count();
+        let mut degree = vec![0u32; n];
+        for id in edges.iter() {
+            let e = graph.edge(id);
+            degree[e.u.index()] += 1;
+            degree[e.v.index()] += 1;
+        }
+        let mut offsets = vec![0u32; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + degree[v];
+        }
+        let half = offsets[n] as usize;
+        let mut targets = vec![NodeId::new(0); half];
+        let mut weights = vec![0.0f64; half];
+        let mut edge_ids = vec![EdgeId::new(0); half];
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        for id in edges.iter() {
+            let e = graph.edge(id);
+            for (from, to) in [(e.u, e.v), (e.v, e.u)] {
+                let slot = cursor[from.index()] as usize;
+                targets[slot] = to;
+                weights[slot] = e.weight;
+                edge_ids[slot] = id;
+                cursor[from.index()] += 1;
+            }
+        }
+        Ok(CsrSubgraph {
+            offsets,
+            targets,
+            weights,
+            edge_ids,
+            edge_count: edges.len(),
+            parent_edge_count: graph.edge_count(),
+        })
+    }
+
+    /// Packs *every* edge of `graph` into CSR form.
+    pub fn from_graph(graph: &Graph) -> Self {
+        Self::from_edge_set(graph, &graph.full_edge_set())
+            .expect("the full edge set always matches the graph")
+    }
+
+    /// Number of vertices (the parent graph's).
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of selected (undirected) edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Edge count of the parent graph this view was packed from.
+    #[inline]
+    pub fn parent_edge_count(&self) -> usize {
+        self.parent_edge_count
+    }
+
+    /// Degree of `v` within the selected edge subset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        (self.offsets[v.index() + 1] - self.offsets[v.index()]) as usize
+    }
+
+    /// Iterator over `(neighbor, weight, parent EdgeId)` triples out of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = (NodeId, f64, EdgeId)> + '_ {
+        let lo = self.offsets[v.index()] as usize;
+        let hi = self.offsets[v.index() + 1] as usize;
+        (lo..hi).map(move |i| (self.targets[i], self.weights[i], self.edge_ids[i]))
+    }
+
+    fn validate_masks(
+        &self,
+        source: NodeId,
+        dead: Option<&[bool]>,
+        dead_edges: Option<&[bool]>,
+    ) -> Result<()> {
+        let n = self.node_count();
+        if source.index() >= n {
+            return Err(GraphError::NodeOutOfBounds {
+                node: source.index(),
+                len: n,
+            });
+        }
+        if let Some(dead) = dead {
+            if dead.len() != n {
+                return Err(GraphError::NodeOutOfBounds {
+                    node: dead.len(),
+                    len: n,
+                });
+            }
+        }
+        if let Some(dead_edges) = dead_edges {
+            if dead_edges.len() != self.parent_edge_count {
+                return Err(GraphError::MismatchedEdgeSet {
+                    set_len: dead_edges.len(),
+                    graph_len: self.parent_edge_count,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Dijkstra from `source` over the packed edges, skipping vertices with
+    /// `dead[v] == true` and half-edges whose parent edge is marked in
+    /// `dead_edges` (a mask over *parent* edge identifiers).
+    ///
+    /// Returns the distance to every vertex (`INFINITY` when unreachable; a
+    /// dead source reaches nothing).
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::NodeOutOfBounds`] if `source` is out of bounds or
+    ///   `dead` has the wrong length.
+    /// * [`GraphError::MismatchedEdgeSet`] if `dead_edges` does not match the
+    ///   parent graph's edge count.
+    pub fn sssp(
+        &self,
+        source: NodeId,
+        dead: Option<&[bool]>,
+        dead_edges: Option<&[bool]>,
+    ) -> Result<Vec<f64>> {
+        Ok(self.run_dijkstra(source, dead, dead_edges, None)?.0)
+    }
+
+    /// Like [`CsrSubgraph::sssp`], but also returns the predecessor of every
+    /// reached vertex (`None` for the source and unreachable vertices), so
+    /// callers can extract actual shortest paths.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CsrSubgraph::sssp`].
+    pub fn sssp_with_parents(
+        &self,
+        source: NodeId,
+        dead: Option<&[bool]>,
+        dead_edges: Option<&[bool]>,
+    ) -> Result<(Vec<f64>, Vec<Option<NodeId>>)> {
+        let (dist, parents) = self.run_dijkstra(source, dead, dead_edges, None)?;
+        Ok((dist, parents))
+    }
+
+    /// Like [`CsrSubgraph::sssp`], but stops expanding once the tentative
+    /// distance exceeds `cutoff` (vertices beyond it report `INFINITY`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CsrSubgraph::sssp`].
+    pub fn sssp_bounded(
+        &self,
+        source: NodeId,
+        dead: Option<&[bool]>,
+        dead_edges: Option<&[bool]>,
+        cutoff: f64,
+    ) -> Result<Vec<f64>> {
+        Ok(self.run_dijkstra(source, dead, dead_edges, Some(cutoff))?.0)
+    }
+
+    fn run_dijkstra(
+        &self,
+        source: NodeId,
+        dead: Option<&[bool]>,
+        dead_edges: Option<&[bool]>,
+        cutoff: Option<f64>,
+    ) -> Result<(Vec<f64>, Vec<Option<NodeId>>)> {
+        self.validate_masks(source, dead, dead_edges)?;
+        let n = self.node_count();
+        let mut dist = vec![INFINITY; n];
+        let mut parent: Vec<Option<NodeId>> = vec![None; n];
+        let is_dead = |v: NodeId| dead.is_some_and(|d| d[v.index()]);
+        if is_dead(source) {
+            return Ok((dist, parent));
+        }
+        let mut heap = BinaryHeap::new();
+        dist[source.index()] = 0.0;
+        heap.push(HeapEntry {
+            dist: 0.0,
+            node: source,
+        });
+        while let Some(HeapEntry { dist: d, node: v }) = heap.pop() {
+            if d > dist[v.index()] {
+                continue;
+            }
+            if let Some(c) = cutoff {
+                if d > c {
+                    continue;
+                }
+            }
+            let lo = self.offsets[v.index()] as usize;
+            let hi = self.offsets[v.index() + 1] as usize;
+            for i in lo..hi {
+                let u = self.targets[i];
+                if is_dead(u) {
+                    continue;
+                }
+                if dead_edges.is_some_and(|m| m[self.edge_ids[i].index()]) {
+                    continue;
+                }
+                let nd = d + self.weights[i];
+                if let Some(c) = cutoff {
+                    if nd > c {
+                        continue;
+                    }
+                }
+                if nd < dist[u.index()] {
+                    dist[u.index()] = nd;
+                    parent[u.index()] = Some(v);
+                    heap.push(HeapEntry { dist: nd, node: u });
+                }
+            }
+        }
+        Ok((dist, parent))
+    }
+}
+
+/// Reconstructs the path `source -> target` from a predecessor array
+/// produced by [`CsrSubgraph::sssp_with_parents`] run from `source`.
+///
+/// Returns `None` when `target` was not reached. The path lists vertices in
+/// order, starting at `source` and ending at `target` (a single-vertex path
+/// when they coincide and the source was reached).
+pub fn reconstruct_path(
+    parents: &[Option<NodeId>],
+    dist: &[f64],
+    source: NodeId,
+    target: NodeId,
+) -> Option<Vec<NodeId>> {
+    if target.index() >= dist.len() || dist[target.index()].is_infinite() {
+        return None;
+    }
+    let mut path = vec![target];
+    let mut cursor = target;
+    while cursor != source {
+        cursor = parents[cursor.index()]?;
+        path.push(cursor);
+    }
+    path.reverse();
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+    use crate::shortest_path::SsspOptions;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn csr_matches_graph_adjacency() {
+        let g = Graph::from_edges(4, [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 1.5), (0, 3, 4.0)]).unwrap();
+        let csr = CsrSubgraph::from_graph(&g);
+        assert_eq!(csr.node_count(), 4);
+        assert_eq!(csr.edge_count(), 4);
+        assert_eq!(csr.degree(NodeId::new(0)), 2);
+        let nbrs: Vec<NodeId> = csr.neighbors(NodeId::new(1)).map(|(v, _, _)| v).collect();
+        assert!(nbrs.contains(&NodeId::new(0)));
+        assert!(nbrs.contains(&NodeId::new(2)));
+    }
+
+    #[test]
+    fn csr_sssp_agrees_with_sssp_options_on_random_graphs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..8 {
+            let g = generate::gnp(
+                20,
+                0.3,
+                generate::WeightKind::Uniform { min: 0.5, max: 3.0 },
+                &mut rng,
+            );
+            // A random edge subset as "spanner".
+            let mut subset = g.empty_edge_set();
+            for (id, _) in g.edges() {
+                if rand::Rng::gen::<f64>(&mut rng) < 0.7 {
+                    subset.insert(id);
+                }
+            }
+            let csr = CsrSubgraph::from_edge_set(&g, &subset).unwrap();
+            let dead = {
+                let mut d = vec![false; g.node_count()];
+                d[3] = true;
+                d[7] = true;
+                d
+            };
+            for src in [0usize, 5, 11] {
+                let reference = SsspOptions::new()
+                    .restrict_edges(&subset)
+                    .forbid_vertices(&dead)
+                    .run(&g, NodeId::new(src))
+                    .unwrap();
+                let fast = csr.sssp(NodeId::new(src), Some(&dead), None).unwrap();
+                assert_eq!(reference, fast);
+            }
+        }
+    }
+
+    #[test]
+    fn csr_edge_mask_drops_edges() {
+        let g = Graph::from_unit_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)]).unwrap();
+        let csr = CsrSubgraph::from_graph(&g);
+        let mut dead_edges = vec![false; g.edge_count()];
+        dead_edges[0] = true; // kill (0, 1)
+        let d = csr.sssp(NodeId::new(0), None, Some(&dead_edges)).unwrap();
+        assert_eq!(d[1], 3.0); // forced the long way: 0-3-2-1
+    }
+
+    #[test]
+    fn csr_paths_are_consistent_with_distances() {
+        let g =
+            Graph::from_edges(5, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 4, 10.0)]).unwrap();
+        let csr = CsrSubgraph::from_graph(&g);
+        let (dist, parents) = csr.sssp_with_parents(NodeId::new(0), None, None).unwrap();
+        let p = reconstruct_path(&parents, &dist, NodeId::new(0), NodeId::new(3)).unwrap();
+        assert_eq!(
+            p,
+            vec![
+                NodeId::new(0),
+                NodeId::new(1),
+                NodeId::new(2),
+                NodeId::new(3)
+            ]
+        );
+        // Path weight equals the reported distance.
+        let mut total = 0.0;
+        for w in p.windows(2) {
+            let e = g.find_edge(w[0], w[1]).unwrap();
+            total += g.edge(e).weight;
+        }
+        assert_eq!(total, dist[3]);
+        // Self-path and unreachable targets.
+        assert_eq!(
+            reconstruct_path(&parents, &dist, NodeId::new(0), NodeId::new(0)),
+            Some(vec![NodeId::new(0)])
+        );
+        let g2 = Graph::new(2);
+        let csr2 = CsrSubgraph::from_graph(&g2);
+        let (d2, p2) = csr2.sssp_with_parents(NodeId::new(0), None, None).unwrap();
+        assert_eq!(
+            reconstruct_path(&p2, &d2, NodeId::new(0), NodeId::new(1)),
+            None
+        );
+    }
+
+    #[test]
+    fn csr_dead_source_reaches_nothing() {
+        let g = generate::cycle(5);
+        let csr = CsrSubgraph::from_graph(&g);
+        let mut dead = vec![false; 5];
+        dead[0] = true;
+        let d = csr.sssp(NodeId::new(0), Some(&dead), None).unwrap();
+        assert!(d.iter().all(|x| x.is_infinite()));
+    }
+
+    #[test]
+    fn csr_cutoff_prunes() {
+        let g = generate::path(6);
+        let csr = CsrSubgraph::from_graph(&g);
+        let d = csr.sssp_bounded(NodeId::new(0), None, None, 2.5).unwrap();
+        assert_eq!(d[2], 2.0);
+        assert!(d[4].is_infinite());
+    }
+
+    #[test]
+    fn csr_validates_inputs() {
+        let g = generate::path(4);
+        let csr = CsrSubgraph::from_graph(&g);
+        assert!(csr.sssp(NodeId::new(9), None, None).is_err());
+        let short_mask = vec![false; 2];
+        assert!(csr.sssp(NodeId::new(0), Some(&short_mask), None).is_err());
+        let bad_edges = vec![false; 99];
+        assert!(csr.sssp(NodeId::new(0), None, Some(&bad_edges)).is_err());
+        let wrong = EdgeSet::new(42);
+        assert!(CsrSubgraph::from_edge_set(&g, &wrong).is_err());
+    }
+}

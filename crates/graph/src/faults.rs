@@ -285,6 +285,19 @@ impl EdgeFaultSet {
         &self.edges
     }
 
+    /// Converts the fault set into a boolean "dead edge" mask of length `m`,
+    /// suitable for the masked traversals of
+    /// [`CsrSubgraph`](crate::csr::CsrSubgraph).
+    pub fn to_dead_mask(&self, m: usize) -> Vec<bool> {
+        let mut mask = vec![false; m];
+        for &e in &self.edges {
+            if e.index() < m {
+                mask[e.index()] = true;
+            }
+        }
+        mask
+    }
+
     /// Removes the failed edges from `set`, returning the surviving subset.
     ///
     /// Typically `set` is either a graph's full edge set (to get the edges of

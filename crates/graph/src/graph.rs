@@ -64,7 +64,9 @@ impl Edge {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Graph {
     edges: Vec<Edge>,
-    /// adjacency: for each vertex, (neighbor, edge id)
+    /// adjacency: for each vertex, (neighbor, edge id), kept sorted by
+    /// neighbor so [`Graph::find_edge`] can binary-search instead of
+    /// scanning linearly (the oracle-heavy paths call it in tight loops).
     adj: Vec<Vec<(NodeId, EdgeId)>>,
 }
 
@@ -185,34 +187,47 @@ impl Graph {
         if !(weight.is_finite() && weight >= 0.0) {
             return Err(GraphError::InvalidWeight { weight });
         }
-        if self.find_edge(u, v).is_some() {
-            return Err(GraphError::InvalidParameter {
-                message: format!("edge ({}, {}) already exists", u, v),
-            });
-        }
+        let u_slot = match self.adj[u.index()].binary_search_by_key(&v, |&(nbr, _)| nbr) {
+            Ok(_) => {
+                return Err(GraphError::InvalidParameter {
+                    message: format!("edge ({}, {}) already exists", u, v),
+                })
+            }
+            Err(slot) => slot,
+        };
         let (a, b) = if u <= v { (u, v) } else { (v, u) };
         let id = EdgeId::new(self.edges.len());
         self.edges.push(Edge { u: a, v: b, weight });
-        self.adj[u.index()].push((v, id));
-        self.adj[v.index()].push((u, id));
+        // Sorted insertion keeps every adjacency list binary-searchable; the
+        // shift is bounded by the endpoint's degree, so building a graph stays
+        // cheap (O(deg) worst case per edge, near-append for bulk loads whose
+        // neighbors arrive roughly in order).
+        self.adj[u.index()].insert(u_slot, (v, id));
+        let v_slot = self.adj[v.index()]
+            .binary_search_by_key(&u, |&(nbr, _)| nbr)
+            .unwrap_err();
+        self.adj[v.index()].insert(v_slot, (u, id));
         Ok(id)
     }
 
     /// Returns the identifier of the edge between `u` and `v`, if present.
+    ///
+    /// Binary search over the smaller endpoint's sorted adjacency list:
+    /// `O(log min(deg u, deg v))`.
     pub fn find_edge(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
         if u.index() >= self.node_count() || v.index() >= self.node_count() {
             return None;
         }
-        // Scan the smaller adjacency list.
+        // Search the smaller adjacency list.
         let (a, b) = if self.adj[u.index()].len() <= self.adj[v.index()].len() {
             (u, v)
         } else {
             (v, u)
         };
         self.adj[a.index()]
-            .iter()
-            .find(|(nbr, _)| *nbr == b)
-            .map(|&(_, id)| id)
+            .binary_search_by_key(&b, |&(nbr, _)| nbr)
+            .ok()
+            .map(|slot| self.adj[a.index()][slot].1)
     }
 
     /// Returns `true` if an edge between `u` and `v` exists.
@@ -513,6 +528,31 @@ mod tests {
         let mut g2 = Graph::new(2);
         g2.add_edge(NodeId::new(0), NodeId::new(1), 2.0).unwrap();
         assert!(!g2.is_unit_weight());
+    }
+
+    #[test]
+    fn adjacency_is_sorted_and_lookup_matches_linear_scan() {
+        // Insert edges in scrambled order; the per-vertex lists must stay
+        // sorted (the invariant behind the binary-searched find_edge).
+        let mut g = Graph::new(8);
+        for (u, v) in [(0, 7), (0, 3), (0, 5), (0, 1), (3, 7), (2, 3), (3, 4)] {
+            g.add_edge(NodeId::new(u), NodeId::new(v), 1.0).unwrap();
+        }
+        for v in g.nodes() {
+            let nbrs: Vec<NodeId> = g.neighbors(v).collect();
+            let mut sorted = nbrs.clone();
+            sorted.sort_unstable();
+            assert_eq!(nbrs, sorted, "adjacency of {v} not sorted");
+        }
+        for u in 0..8 {
+            for v in 0..8 {
+                let expected = g
+                    .edges()
+                    .find(|(_, e)| (e.u.index(), e.v.index()) == (u.min(v), u.max(v)) && u != v)
+                    .map(|(id, _)| id);
+                assert_eq!(g.find_edge(NodeId::new(u), NodeId::new(v)), expected);
+            }
+        }
     }
 
     #[test]

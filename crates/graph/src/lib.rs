@@ -13,6 +13,9 @@
 //!   are represented this way throughout the workspace.
 //! * [`shortest_path`] — Dijkstra / BFS, including variants restricted to a
 //!   surviving vertex set (used for fault-tolerance verification).
+//! * [`csr`] — cache-friendly CSR packing of edge subsets with masked
+//!   traversal, the substrate behind query serving and the verification
+//!   oracles' repeated shortest-path sweeps.
 //! * [`generate`] — workload generators (Erdős–Rényi, geometric, grids,
 //!   complete and bipartite graphs, hypercubes, preferential attachment,
 //!   small-world graphs, and the integrality-gap gadgets from Section 3 of
@@ -54,6 +57,7 @@ mod graph;
 mod ids;
 
 pub mod components;
+pub mod csr;
 pub mod faults;
 pub mod generate;
 pub mod io;

@@ -6,7 +6,7 @@
 //! provides:
 //!
 //! * [`minimum_spanning_forest`] — Kruskal's algorithm over the
-//!   [`UnionFind`](crate::components::UnionFind) forest.
+//!   [`crate::components::UnionFind`] forest.
 //! * [`shortest_path_tree`] / [`bfs_tree`] — single-source trees, used both
 //!   as cheap spanner baselines (a shortest-path tree preserves distances
 //!   from its root exactly) and by the distributed-algorithm simulator.

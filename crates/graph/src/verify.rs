@@ -14,14 +14,112 @@
 //!   characterization for directed 2-spanners: every arc is bought or covered
 //!   by at least `r + 1` length-2 paths.
 
+use crate::csr::CsrSubgraph;
 use crate::digraph::ArcSet;
 use crate::faults::{enumerate_fault_sets, sample_fault_set, FaultSet};
-use crate::shortest_path::SsspOptions;
 use crate::{ArcId, DiGraph, EdgeSet, Graph, NodeId};
 use rand::Rng;
 
 /// Numerical slack used when comparing stretches to the bound `k`.
 const EPS: f64 = 1e-9;
+
+/// A reusable stretch oracle: the input graph and the candidate spanner,
+/// both CSR-packed once, ready to answer "worst stretch under this fault
+/// mask" any number of times without re-deriving subgraphs.
+///
+/// The free functions in this module ([`max_stretch`],
+/// [`max_stretch_under_faults`], …) are thin wrappers that build a
+/// `StretchOracle` for a single query; the exhaustive and sampled verifiers
+/// build one and sweep every fault set over it, which is where the packing
+/// pays off.
+#[derive(Debug, Clone)]
+pub struct StretchOracle<'a> {
+    graph: &'a Graph,
+    full: CsrSubgraph,
+    spanner: CsrSubgraph,
+}
+
+impl<'a> StretchOracle<'a> {
+    /// Packs `graph` and `spanner` for repeated stretch queries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spanner` was built for a different graph.
+    pub fn new(graph: &'a Graph, spanner: &EdgeSet) -> Self {
+        assert_eq!(
+            spanner.capacity(),
+            graph.edge_count(),
+            "spanner edge set does not match the graph"
+        );
+        StretchOracle {
+            graph,
+            full: CsrSubgraph::from_graph(graph),
+            spanner: CsrSubgraph::from_edge_set(graph, spanner).expect("capacity checked above"),
+        }
+    }
+
+    /// Worst stretch over the surviving edges of the input graph, under an
+    /// optional dead-vertex mask and an optional dead-edge mask (over the
+    /// parent graph's edge identifiers). Both masks apply to the input graph
+    /// and the spanner alike.
+    ///
+    /// Returns `1.0` when no edge survives.
+    pub fn max_stretch_masked(&self, dead: Option<&[bool]>, dead_edges: Option<&[bool]>) -> f64 {
+        max_stretch_masked_csr(self.graph, &self.full, &self.spanner, dead, dead_edges)
+    }
+}
+
+/// The masked stretch sweep shared by [`StretchOracle`] and callers that
+/// already own CSR packings of the graph and the spanner (the query-serving
+/// sessions in `ftspan-core`): worst stretch over the surviving edges of
+/// `graph`, measuring `spanner` distances against `full` distances under the
+/// same masks. `1.0` when no edge survives.
+///
+/// # Panics
+///
+/// Panics if the CSR views or the masks were built for a different graph.
+pub fn max_stretch_masked_csr(
+    graph: &Graph,
+    full: &CsrSubgraph,
+    spanner: &CsrSubgraph,
+    dead: Option<&[bool]>,
+    dead_edges: Option<&[bool]>,
+) -> f64 {
+    let is_dead = |v: NodeId| dead.is_some_and(|d| d[v.index()]);
+    let mut worst: f64 = 1.0;
+    for u in graph.nodes() {
+        if is_dead(u) || graph.degree(u) == 0 {
+            continue;
+        }
+        let mut has_live_edge = false;
+        for (v, e) in graph.incident(u) {
+            if v > u && !is_dead(v) && !dead_edges.is_some_and(|m| m[e.index()]) {
+                has_live_edge = true;
+                break;
+            }
+        }
+        if !has_live_edge {
+            continue;
+        }
+        let dg = full
+            .sssp(u, dead, dead_edges)
+            .expect("vertex ids from the graph are valid");
+        let dh = spanner
+            .sssp(u, dead, dead_edges)
+            .expect("vertex ids from the graph are valid");
+        for (v, e) in graph.incident(u) {
+            if v < u || is_dead(v) || dead_edges.is_some_and(|m| m[e.index()]) {
+                continue;
+            }
+            let base = dg[v.index()];
+            if base == 0.0 {
+                continue;
+            }
+            worst = worst.max(dh[v.index()] / base);
+        }
+    }
+    worst
+}
 
 /// Maximum stretch of the spanner `spanner` over all edges of `graph`:
 /// `max_{(u,v) in E} d_H(u,v) / d_G(u,v)`.
@@ -33,36 +131,7 @@ const EPS: f64 = 1e-9;
 ///
 /// Panics if `spanner` was built for a different graph.
 pub fn max_stretch(graph: &Graph, spanner: &EdgeSet) -> f64 {
-    assert_eq!(
-        spanner.capacity(),
-        graph.edge_count(),
-        "spanner edge set does not match the graph"
-    );
-    let mut worst: f64 = 1.0;
-    for u in graph.nodes() {
-        if graph.degree(u) == 0 {
-            continue;
-        }
-        let dg = SsspOptions::new()
-            .run(graph, u)
-            .expect("vertex ids from the graph are valid");
-        let dh = SsspOptions::new()
-            .restrict_edges(spanner)
-            .run(graph, u)
-            .expect("vertex ids from the graph are valid");
-        for (v, _e) in graph.incident(u) {
-            if v < u {
-                continue; // each edge once
-            }
-            let base = dg[v.index()];
-            let in_spanner = dh[v.index()];
-            if base == 0.0 {
-                continue;
-            }
-            worst = worst.max(in_spanner / base);
-        }
-    }
-    worst
+    StretchOracle::new(graph, spanner).max_stretch_masked(None, None)
 }
 
 /// Returns `true` if `spanner` is a `k`-spanner of `graph`.
@@ -79,48 +148,9 @@ pub fn is_k_spanner(graph: &Graph, spanner: &EdgeSet, k: f64) -> bool {
 ///
 /// Panics if `spanner` was built for a different graph.
 pub fn max_stretch_under_faults(graph: &Graph, spanner: &EdgeSet, faults: &FaultSet) -> f64 {
-    assert_eq!(
-        spanner.capacity(),
-        graph.edge_count(),
-        "spanner edge set does not match the graph"
-    );
+    let oracle = StretchOracle::new(graph, spanner);
     let dead = faults.to_dead_mask(graph.node_count());
-    let mut worst: f64 = 1.0;
-    for u in graph.nodes() {
-        if dead[u.index()] || graph.degree(u) == 0 {
-            continue;
-        }
-        let mut has_live_edge = false;
-        for (v, _) in graph.incident(u) {
-            if v > u && !dead[v.index()] {
-                has_live_edge = true;
-                break;
-            }
-        }
-        if !has_live_edge {
-            continue;
-        }
-        let dg = SsspOptions::new()
-            .forbid_vertices(&dead)
-            .run(graph, u)
-            .expect("vertex ids from the graph are valid");
-        let dh = SsspOptions::new()
-            .restrict_edges(spanner)
-            .forbid_vertices(&dead)
-            .run(graph, u)
-            .expect("vertex ids from the graph are valid");
-        for (v, _e) in graph.incident(u) {
-            if v < u || dead[v.index()] {
-                continue;
-            }
-            let base = dg[v.index()];
-            if base == 0.0 {
-                continue;
-            }
-            worst = worst.max(dh[v.index()] / base);
-        }
-    }
-    worst
+    oracle.max_stretch_masked(Some(&dead), None)
 }
 
 /// Returns `true` if `spanner` is a `k`-spanner of `graph \ faults`.
@@ -163,11 +193,13 @@ pub fn verify_fault_tolerance_exhaustive(
     k: f64,
     r: usize,
 ) -> FaultToleranceReport {
+    let oracle = StretchOracle::new(graph, spanner);
     let mut worst = 1.0f64;
     let mut witness = None;
     let mut checked = 0;
     for faults in enumerate_fault_sets(graph.node_count(), r) {
-        let s = max_stretch_under_faults(graph, spanner, &faults);
+        let dead = faults.to_dead_mask(graph.node_count());
+        let s = oracle.max_stretch_masked(Some(&dead), None);
         checked += 1;
         if s > worst {
             worst = s;
@@ -203,7 +235,8 @@ pub fn verify_fault_tolerance_sampled<R: Rng + ?Sized>(
     samples: usize,
     rng: &mut R,
 ) -> FaultToleranceReport {
-    let mut worst = max_stretch(graph, spanner);
+    let oracle = StretchOracle::new(graph, spanner);
+    let mut worst = oracle.max_stretch_masked(None, None);
     let mut witness = if worst > k + EPS {
         Some(FaultSet::empty())
     } else {
@@ -212,7 +245,8 @@ pub fn verify_fault_tolerance_sampled<R: Rng + ?Sized>(
     let mut checked = 1;
     for _ in 0..samples {
         let faults = sample_fault_set(graph.node_count(), r, rng);
-        let s = max_stretch_under_faults(graph, spanner, &faults);
+        let dead = faults.to_dead_mask(graph.node_count());
+        let s = oracle.max_stretch_masked(Some(&dead), None);
         checked += 1;
         if s > worst {
             worst = s;
@@ -327,48 +361,9 @@ pub fn max_stretch_under_edge_faults(
     spanner: &EdgeSet,
     faults: &crate::faults::EdgeFaultSet,
 ) -> f64 {
-    assert_eq!(
-        spanner.capacity(),
-        graph.edge_count(),
-        "spanner edge set does not match the graph"
-    );
-    let surviving_graph = faults.remove_from(&graph.full_edge_set());
-    let surviving_spanner = faults.remove_from(spanner);
-    let mut worst: f64 = 1.0;
-    for u in graph.nodes() {
-        if graph.degree(u) == 0 {
-            continue;
-        }
-        let mut has_live_edge = false;
-        for (v, e) in graph.incident(u) {
-            if v > u && surviving_graph.contains(e) {
-                has_live_edge = true;
-                break;
-            }
-        }
-        if !has_live_edge {
-            continue;
-        }
-        let dg = SsspOptions::new()
-            .restrict_edges(&surviving_graph)
-            .run(graph, u)
-            .expect("vertex ids from the graph are valid");
-        let dh = SsspOptions::new()
-            .restrict_edges(&surviving_spanner)
-            .run(graph, u)
-            .expect("vertex ids from the graph are valid");
-        for (v, e) in graph.incident(u) {
-            if v < u || !surviving_graph.contains(e) {
-                continue;
-            }
-            let base = dg[v.index()];
-            if base == 0.0 {
-                continue;
-            }
-            worst = worst.max(dh[v.index()] / base);
-        }
-    }
-    worst
+    let oracle = StretchOracle::new(graph, spanner);
+    let dead_edges = faults.to_dead_mask(graph.edge_count());
+    oracle.max_stretch_masked(None, Some(&dead_edges))
 }
 
 /// Returns `true` if `spanner` is a `k`-spanner of `graph` with the edges in
@@ -394,11 +389,13 @@ pub fn verify_edge_fault_tolerance_exhaustive(
     k: f64,
     r: usize,
 ) -> FaultToleranceReport {
+    let oracle = StretchOracle::new(graph, spanner);
     let mut worst = 1.0f64;
     let mut witness = None;
     let mut checked = 0;
     for faults in crate::faults::enumerate_edge_fault_sets(graph.edge_count(), r) {
-        let s = max_stretch_under_edge_faults(graph, spanner, &faults);
+        let dead_edges = faults.to_dead_mask(graph.edge_count());
+        let s = oracle.max_stretch_masked(None, Some(&dead_edges));
         checked += 1;
         if s > worst {
             worst = s;
@@ -443,7 +440,8 @@ pub fn verify_edge_fault_tolerance_sampled<R: Rng + ?Sized>(
     samples: usize,
     rng: &mut R,
 ) -> FaultToleranceReport {
-    let mut worst = max_stretch(graph, spanner);
+    let oracle = StretchOracle::new(graph, spanner);
+    let mut worst = oracle.max_stretch_masked(None, None);
     let mut witness = if worst > k + EPS {
         Some(FaultSet::empty())
     } else {
@@ -452,7 +450,8 @@ pub fn verify_edge_fault_tolerance_sampled<R: Rng + ?Sized>(
     let mut checked = 1;
     for _ in 0..samples {
         let faults = crate::faults::sample_edge_fault_set(graph.edge_count(), r, rng);
-        let s = max_stretch_under_edge_faults(graph, spanner, &faults);
+        let dead_edges = faults.to_dead_mask(graph.edge_count());
+        let s = oracle.max_stretch_masked(None, Some(&dead_edges));
         checked += 1;
         if s > worst {
             worst = s;

@@ -4,7 +4,10 @@
 //! The paper's guarantee is sharp at `r` faults; this example measures the
 //! degradation curve empirically, comparing a plain 3-spanner, an
 //! `r = 1` and an `r = 3` fault-tolerant spanner under increasing numbers of
-//! random and adversarial (highest-degree) failures.
+//! random and adversarial (highest-degree) failures. All three are served as
+//! [`FtSpanner`] artifacts: within-budget fault sets go through the checked
+//! [`FtSpanner::under_faults`] session, beyond-budget ones through the
+//! explicitly unchecked escape hatch — the API makes the difference visible.
 //!
 //! Run with:
 //!
@@ -17,8 +20,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 fn stretch_percentile(
-    graph: &Graph,
-    spanner: &EdgeSet,
+    artifact: &FtSpanner,
     failures: usize,
     trials: usize,
     rng: &mut ChaCha8Rng,
@@ -27,8 +29,16 @@ fn stretch_percentile(
     let mut ok = 0usize;
     let mut worst: f64 = 1.0;
     for _ in 0..trials {
-        let faults = faults::sample_fault_set(graph.node_count(), failures, rng);
-        let s = verify::max_stretch_under_faults(graph, spanner, &faults);
+        let faults = faults::sample_fault_set(artifact.node_count(), failures, rng);
+        // Within the declared budget the checked session applies; beyond it
+        // we are deliberately off the guarantee, so say so in the code.
+        let session = if failures <= artifact.fault_budget() {
+            artifact.under_faults(faults.nodes())
+        } else {
+            artifact.under_faults_unchecked(faults.nodes())
+        }
+        .expect("sampled faults are valid vertices");
+        let s = session.max_stretch();
         if s <= 3.0 + 1e-9 {
             ok += 1;
         }
@@ -47,23 +57,35 @@ fn main() {
         network.edge_count()
     );
 
-    let plain = GreedySpanner::new(3.0).build(&network, &mut rng);
+    // The plain greedy 3-spanner, adopted as an artifact with a declared
+    // zero-fault budget (it promises nothing under failures).
+    let plain_edges = GreedySpanner::new(3.0).build(&network, &mut rng);
+    let plain = FtSpanner::from_edge_set(
+        &network,
+        plain_edges,
+        "greedy",
+        "plain greedy 3-spanner (no fault tolerance)",
+        FaultModel::Vertex,
+        0,
+        3.0,
+    )
+    .expect("the greedy spanner was built for this network");
     // The same builder, re-targeted at two fault budgets.
     let builder = FtSpannerBuilder::new("corollary-2.2").stretch(3.0);
     let ft1 = builder
         .clone()
         .faults(1)
-        .build_with_rng(GraphInput::from(&network), &mut rng)
+        .build_artifact_with_rng(&network, &mut rng)
         .expect("corollary-2.2 accepts undirected inputs");
     let ft3 = builder
         .faults(3)
-        .build_with_rng(GraphInput::from(&network), &mut rng)
+        .build_artifact_with_rng(&network, &mut rng)
         .expect("corollary-2.2 accepts undirected inputs");
 
     println!("spanner sizes (edges):");
-    println!("  plain greedy 3-spanner : {}", plain.len());
-    println!("  1-fault tolerant       : {}", ft1.size());
-    println!("  3-fault tolerant       : {}\n", ft3.size());
+    println!("  plain greedy 3-spanner : {}", plain.spanner_edge_count());
+    println!("  1-fault tolerant       : {}", ft1.spanner_edge_count());
+    println!("  3-fault tolerant       : {}\n", ft3.spanner_edge_count());
 
     let trials = 60;
     println!("random failures: share of trials still a 3-spanner (worst stretch)");
@@ -72,21 +94,9 @@ fn main() {
         "failures", "plain", "r = 1", "r = 3"
     );
     for failures in [1usize, 2, 3, 4, 6] {
-        let (p_ok, p_worst) = stretch_percentile(&network, &plain, failures, trials, &mut rng);
-        let (a_ok, a_worst) = stretch_percentile(
-            &network,
-            ft1.edge_set().unwrap(),
-            failures,
-            trials,
-            &mut rng,
-        );
-        let (b_ok, b_worst) = stretch_percentile(
-            &network,
-            ft3.edge_set().unwrap(),
-            failures,
-            trials,
-            &mut rng,
-        );
+        let (p_ok, p_worst) = stretch_percentile(&plain, failures, trials, &mut rng);
+        let (a_ok, a_worst) = stretch_percentile(&ft1, failures, trials, &mut rng);
+        let (b_ok, b_worst) = stretch_percentile(&ft3, failures, trials, &mut rng);
         println!(
             "{:>9} | {:>13.2} ({:>5.2}) | {:>13.2} ({:>5.2}) | {:>13.2} ({:>5.2})",
             failures, p_ok, p_worst, a_ok, a_worst, b_ok, b_worst
@@ -100,16 +110,27 @@ fn main() {
     );
     for failures in [1usize, 2, 3] {
         let hubs = faults::high_degree_faults(&network, failures);
-        let p = verify::max_stretch_under_faults(&network, &plain, &hubs);
-        let a = verify::max_stretch_under_faults(&network, ft1.edge_set().unwrap(), &hubs);
-        let b = verify::max_stretch_under_faults(&network, ft3.edge_set().unwrap(), &hubs);
-        println!("{failures:>9} | {p:>8.2} | {a:>8.2} | {b:>8.2}");
+        let row: Vec<f64> = [&plain, &ft1, &ft3]
+            .iter()
+            .map(|artifact| {
+                artifact
+                    .under_faults_unchecked(hubs.nodes())
+                    .expect("hub faults are valid vertices")
+                    .max_stretch()
+            })
+            .collect();
+        println!(
+            "{failures:>9} | {:>8.2} | {:>8.2} | {:>8.2}",
+            row[0], row[1], row[2]
+        );
     }
 
     // The r = 3 spanner must survive any 3 failures — including the hubs.
+    // This goes through the *checked* session: 3 faults are within budget.
     let hubs = faults::high_degree_faults(&network, 3);
-    assert!(
-        verify::max_stretch_under_faults(&network, ft3.edge_set().unwrap(), &hubs) <= 3.0 + 1e-9
-    );
+    let session = ft3
+        .under_faults(hubs.nodes())
+        .expect("3 faults are within the r = 3 budget");
+    assert!(session.is_within_guarantee());
     println!("\nr = 3 spanner verified against the 3 busiest hubs failing simultaneously.");
 }

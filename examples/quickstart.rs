@@ -1,5 +1,5 @@
-//! Quickstart: build a fault-tolerant spanner of a random network and watch
-//! it survive failures.
+//! Quickstart: build a fault-tolerant spanner of a random network once, then
+//! *query* it under failures through fault-scoped sessions.
 //!
 //! Run with:
 //!
@@ -23,45 +23,77 @@ fn main() {
         network.edge_count()
     );
 
-    // Corollary 2.2: convert the greedy 3-spanner into a 2-fault-tolerant one.
+    // Corollary 2.2: convert the greedy 3-spanner into a 2-fault-tolerant
+    // one, promoted straight to a queryable artifact.
     let faults = 2;
     let stretch = 3.0;
-    let result = FtSpannerBuilder::new("corollary-2.2")
+    let artifact = FtSpannerBuilder::new("corollary-2.2")
         .faults(faults)
         .stretch(stretch)
-        .build_with_rng(GraphInput::from(&network), &mut rng)
+        .build_artifact(&network)
         .expect("corollary-2.2 is registered and the input is undirected");
     println!(
-        "{}: {} edges ({} iterations of the conversion, {:.1}% of the input kept, {:?})",
-        result.provenance,
-        result.size(),
-        result.iterations,
-        100.0 * result.size() as f64 / network.edge_count() as f64,
-        result.elapsed,
+        "{}: {} edges ({:.1}% of the input kept), guarantee: stretch {} under {} {} faults",
+        artifact.provenance(),
+        artifact.spanner_edge_count(),
+        100.0 * artifact.spanner_edge_count() as f64 / network.edge_count() as f64,
+        artifact.stretch(),
+        artifact.fault_budget(),
+        artifact.fault_model(),
     );
-    let spanner = result.edge_set().expect("undirected construction");
 
     // Compare with the plain (non-fault-tolerant) greedy spanner.
     let plain = GreedySpanner::new(stretch).build(&network, &mut rng);
     println!("plain 3-spanner for reference: {} edges", plain.len());
 
-    // Verify fault tolerance against every single- and double-failure.
-    let report = verify::verify_fault_tolerance_exhaustive(&network, spanner, stretch, faults);
+    // Verify fault tolerance against every single- and double-failure: one
+    // session per fault set, no subgraphs re-derived by hand.
+    let mut checked = 0usize;
+    let mut worst: f64 = 1.0;
+    let mut valid = true;
+    for fault_set in faults::enumerate_fault_sets(n, faults) {
+        let session = artifact
+            .under_faults(fault_set.nodes())
+            .expect("enumerated fault sets respect the budget");
+        let s = session.max_stretch();
+        worst = worst.max(s);
+        valid &= s <= stretch + 1e-9;
+        checked += 1;
+    }
     println!(
-        "verification: {} fault sets checked, worst stretch {:.3}, valid = {}",
-        report.checked,
-        report.worst_stretch,
-        report.is_valid()
+        "verification: {checked} fault sets checked, worst stretch {worst:.3}, valid = {valid}"
     );
 
-    // Knock out the two busiest hubs and measure the stretch that remains.
+    // Knock out the two busiest hubs and query what remains.
     let hubs = faults::high_degree_faults(&network, faults);
-    let stretch_after = verify::max_stretch_under_faults(&network, spanner, &hubs);
+    let session = artifact
+        .under_faults(hubs.nodes())
+        .expect("two hub faults are within the budget");
     println!(
         "after failing the {} busiest hubs {:?}: worst surviving stretch {:.3}",
         faults,
         hubs.nodes(),
-        stretch_after
+        session.max_stretch()
     );
-    assert!(stretch_after <= stretch + 1e-9);
+    assert!(session.is_within_guarantee());
+
+    // Sessions answer point queries too: pick the farthest surviving pair
+    // and show the certificate with its witnessing path.
+    let u = NodeId::new(0);
+    let mut far = u;
+    let mut far_dist = 0.0;
+    for (v, d) in session.distances_from(u).unwrap().iter().enumerate() {
+        if d.is_finite() && *d > far_dist {
+            far = NodeId::new(v);
+            far_dist = *d;
+        }
+    }
+    let cert = session.stretch_certificate(u, far).unwrap();
+    let hops = cert.path.as_ref().map(|p| p.len() - 1).unwrap_or(0);
+    println!(
+        "sample query {u} -> {far}: spanner distance {:.0} vs baseline {:.0} \
+         (stretch {:.2} <= {}), surviving path of {hops} hops",
+        cert.spanner_distance, cert.baseline_distance, cert.stretch, cert.bound,
+    );
+    assert!(cert.holds());
 }

@@ -1,6 +1,7 @@
 //! The fluent entry point: [`FtSpannerBuilder`].
 
 use crate::registry::registry;
+use ftspan_core::serve::FtSpanner;
 use ftspan_core::{CoreError, GraphInput, Result, SpannerReport, SpannerRequest};
 use ftspan_graph::{DiGraph, Graph};
 use ftspan_spanners::BlackBoxKind;
@@ -191,6 +192,48 @@ impl FtSpannerBuilder {
     pub fn build_directed(&self, graph: &DiGraph) -> Result<SpannerReport> {
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         self.build_with_rng(GraphInput::from(graph), &mut rng)
+    }
+
+    /// Builds on an undirected graph and promotes the report to a queryable
+    /// [`FtSpanner`] artifact (CSR-packed, with the declared guarantee),
+    /// ready for [`FtSpanner::under_faults`] sessions or registration in an
+    /// [`Engine`](crate::Engine).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FtSpannerBuilder::build`], plus an error if the
+    /// selected algorithm produces directed plans.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use fault_tolerant_spanners::prelude::*;
+    /// use rand::SeedableRng;
+    ///
+    /// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+    /// let network = generate::connected_gnp(24, 0.3, generate::WeightKind::Unit, &mut rng);
+    /// let artifact = FtSpannerBuilder::new("conversion")
+    ///     .faults(1)
+    ///     .build_artifact(&network)
+    ///     .unwrap();
+    /// let session = artifact.under_faults(&[NodeId::new(5)]).unwrap();
+    /// let cert = session.stretch_certificate(NodeId::new(0), NodeId::new(9)).unwrap();
+    /// assert!(cert.holds());
+    /// ```
+    pub fn build_artifact(&self, graph: &Graph) -> Result<FtSpanner> {
+        let report = self.build(graph)?;
+        FtSpanner::from_report(graph, &report)
+    }
+
+    /// Like [`FtSpannerBuilder::build_artifact`] with a caller-supplied
+    /// generator.
+    pub fn build_artifact_with_rng(
+        &self,
+        graph: &Graph,
+        rng: &mut dyn RngCore,
+    ) -> Result<FtSpanner> {
+        let report = self.build_with_rng(GraphInput::from(graph), rng)?;
+        FtSpanner::from_report(graph, &report)
     }
 
     /// Builds on either graph family with a caller-supplied generator.

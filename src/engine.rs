@@ -1,0 +1,408 @@
+//! The serving [`Engine`]: named [`FtSpanner`] artifacts, batched queries,
+//! worker threads.
+//!
+//! The build-once/query-many workflow: construct artifacts through
+//! [`FtSpannerBuilder::build_artifact`](crate::FtSpannerBuilder::build_artifact)
+//! (or load them with [`FtSpanner::from_reader`]), register them under names,
+//! then execute whole batches of [`Query`] values. Queries are distributed
+//! across worker threads; results come back **in input order**, so a batch is
+//! deterministic regardless of worker count or scheduling.
+//!
+//! # Example
+//!
+//! ```
+//! use fault_tolerant_spanners::prelude::*;
+//! use fault_tolerant_spanners::{Engine, Query};
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+//! # use rand::SeedableRng;
+//! let network = generate::connected_gnp(30, 0.2, generate::WeightKind::Unit, &mut rng);
+//! let artifact = FtSpannerBuilder::new("conversion")
+//!     .faults(1)
+//!     .build_artifact(&network)
+//!     .unwrap();
+//!
+//! let mut engine = Engine::new();
+//! engine.register("backbone", artifact);
+//! let queries = vec![
+//!     Query::distance("backbone", vec![NodeId::new(3)], NodeId::new(0), NodeId::new(7)),
+//!     Query::certificate("backbone", vec![], NodeId::new(1), NodeId::new(4)),
+//! ];
+//! let results = engine.run_batch(&queries);
+//! assert_eq!(results.len(), 2);
+//! assert!(results.iter().all(|r| r.is_ok()));
+//! ```
+
+use ftspan_core::serve::{FtSpanner, StretchCertificate};
+use ftspan_core::{CoreError, FaultModel, Result};
+use ftspan_graph::NodeId;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// What a [`Query`] asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// Shortest surviving spanner distance between two vertices.
+    Distance,
+    /// A shortest surviving spanner path between two vertices.
+    Path,
+    /// A full [`StretchCertificate`] for the pair.
+    Certificate,
+}
+
+/// One unit of serving work: an artifact name, a fault scope, a vertex pair
+/// and the kind of answer wanted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Name of the registered artifact to query.
+    pub artifact: String,
+    /// The failed vertices this query is scoped to (vertex-fault artifacts).
+    pub faults: Vec<NodeId>,
+    /// The failed edges this query is scoped to (edge-fault artifacts).
+    pub edge_faults: Vec<(NodeId, NodeId)>,
+    /// First query vertex.
+    pub u: NodeId,
+    /// Second query vertex.
+    pub v: NodeId,
+    /// The kind of answer wanted.
+    pub kind: QueryKind,
+}
+
+impl Query {
+    /// A distance query under the given vertex faults.
+    pub fn distance(artifact: &str, faults: Vec<NodeId>, u: NodeId, v: NodeId) -> Self {
+        Query {
+            artifact: artifact.to_string(),
+            faults,
+            edge_faults: Vec::new(),
+            u,
+            v,
+            kind: QueryKind::Distance,
+        }
+    }
+
+    /// A path query under the given vertex faults.
+    pub fn path(artifact: &str, faults: Vec<NodeId>, u: NodeId, v: NodeId) -> Self {
+        Query {
+            artifact: artifact.to_string(),
+            faults,
+            edge_faults: Vec::new(),
+            u,
+            v,
+            kind: QueryKind::Path,
+        }
+    }
+
+    /// A stretch-certificate query under the given vertex faults.
+    pub fn certificate(artifact: &str, faults: Vec<NodeId>, u: NodeId, v: NodeId) -> Self {
+        Query {
+            artifact: artifact.to_string(),
+            faults,
+            edge_faults: Vec::new(),
+            u,
+            v,
+            kind: QueryKind::Certificate,
+        }
+    }
+
+    /// Scopes this query to failed edges instead of failed vertices (for
+    /// artifacts declaring [`FaultModel::Edge`]).
+    pub fn with_edge_faults(mut self, edge_faults: Vec<(NodeId, NodeId)>) -> Self {
+        self.edge_faults = edge_faults;
+        self.faults = Vec::new();
+        self
+    }
+}
+
+/// The answer to one [`Query`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryOutcome {
+    /// Answer to a [`QueryKind::Distance`] query.
+    Distance(f64),
+    /// Answer to a [`QueryKind::Path`] query (`None` when disconnected).
+    Path(Option<Vec<NodeId>>),
+    /// Answer to a [`QueryKind::Certificate`] query.
+    Certificate(StretchCertificate),
+}
+
+impl QueryOutcome {
+    /// The distance, if this is a distance outcome.
+    pub fn as_distance(&self) -> Option<f64> {
+        match self {
+            QueryOutcome::Distance(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// The certificate, if this is a certificate outcome.
+    pub fn as_certificate(&self) -> Option<&StretchCertificate> {
+        match self {
+            QueryOutcome::Certificate(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+/// A serving engine holding named, immutable [`FtSpanner`] artifacts and
+/// executing query batches across worker threads.
+///
+/// Results are returned in input order and depend only on the artifacts and
+/// the queries — never on the worker count — so repeated runs of the same
+/// batch are byte-identical.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    artifacts: BTreeMap<String, Arc<FtSpanner>>,
+    workers: usize,
+}
+
+impl Engine {
+    /// An empty engine using one worker per available CPU (at least one).
+    pub fn new() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        Engine {
+            artifacts: BTreeMap::new(),
+            workers,
+        }
+    }
+
+    /// Sets the number of worker threads (clamped to at least 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Registers (or replaces) an artifact under `name`.
+    pub fn register(&mut self, name: &str, artifact: FtSpanner) -> &mut Self {
+        self.artifacts.insert(name.to_string(), Arc::new(artifact));
+        self
+    }
+
+    /// Looks up a registered artifact.
+    pub fn artifact(&self, name: &str) -> Option<&FtSpanner> {
+        self.artifacts.get(name).map(|a| a.as_ref())
+    }
+
+    /// The registered artifact names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.artifacts.keys().map(String::as_str).collect()
+    }
+
+    /// Number of registered artifacts.
+    pub fn len(&self) -> usize {
+        self.artifacts.len()
+    }
+
+    /// Returns `true` if no artifact is registered.
+    pub fn is_empty(&self) -> bool {
+        self.artifacts.is_empty()
+    }
+
+    fn answer(&self, query: &Query) -> Result<QueryOutcome> {
+        let artifact =
+            self.artifacts
+                .get(&query.artifact)
+                .ok_or_else(|| CoreError::UnknownArtifact {
+                    name: query.artifact.clone(),
+                })?;
+        // A query carrying the wrong kind of faults for the artifact is a
+        // typed error — silently ignoring the supplied fault set would return
+        // confidently wrong (unmasked) answers.
+        let session = if artifact.fault_model() == FaultModel::Edge {
+            if !query.faults.is_empty() {
+                return Err(CoreError::FaultModelMismatch {
+                    declared: FaultModel::Edge,
+                    requested: FaultModel::Vertex,
+                });
+            }
+            artifact.under_edge_faults(&query.edge_faults)?
+        } else {
+            if !query.edge_faults.is_empty() {
+                return Err(CoreError::FaultModelMismatch {
+                    declared: FaultModel::Vertex,
+                    requested: FaultModel::Edge,
+                });
+            }
+            artifact.under_faults(&query.faults)?
+        };
+        Ok(match query.kind {
+            QueryKind::Distance => QueryOutcome::Distance(session.distance(query.u, query.v)?),
+            QueryKind::Path => QueryOutcome::Path(session.path(query.u, query.v)?),
+            QueryKind::Certificate => {
+                QueryOutcome::Certificate(session.stretch_certificate(query.u, query.v)?)
+            }
+        })
+    }
+
+    /// Executes a batch of queries, distributing them across the engine's
+    /// worker threads, and returns one result per query **in input order**.
+    ///
+    /// Per-query failures (unknown artifact, oversized fault set, unknown
+    /// vertex) are reported in the corresponding slot; they never abort the
+    /// rest of the batch.
+    pub fn run_batch(&self, queries: &[Query]) -> Vec<Result<QueryOutcome>> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let workers = self.workers.min(queries.len());
+        if workers == 1 {
+            return queries.iter().map(|q| self.answer(q)).collect();
+        }
+        let chunk = queries.len().div_ceil(workers);
+        let mut results: Vec<Option<Result<QueryOutcome>>> = vec![None; queries.len()];
+        std::thread::scope(|scope| {
+            let mut pending: Vec<_> = Vec::new();
+            for (chunk_queries, chunk_results) in
+                queries.chunks(chunk).zip(results.chunks_mut(chunk))
+            {
+                pending.push(scope.spawn(move || {
+                    for (query, slot) in chunk_queries.iter().zip(chunk_results.iter_mut()) {
+                        *slot = Some(self.answer(query));
+                    }
+                }));
+            }
+            for handle in pending {
+                handle.join().expect("engine worker panicked");
+            }
+        });
+        results
+            .into_iter()
+            .map(|slot| slot.expect("every query slot is filled by its worker"))
+            .collect()
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FtSpannerBuilder;
+    use ftspan_graph::generate;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn engine_with_artifact(seed: u64) -> (Engine, usize) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = generate::connected_gnp(24, 0.25, generate::WeightKind::Unit, &mut rng);
+        let artifact = FtSpannerBuilder::new("conversion")
+            .faults(1)
+            .build_artifact(&g)
+            .unwrap();
+        let n = g.node_count();
+        let mut engine = Engine::new();
+        engine.register("net", artifact);
+        (engine, n)
+    }
+
+    #[test]
+    fn batches_are_deterministic_across_worker_counts() {
+        let (engine, n) = engine_with_artifact(1);
+        let queries: Vec<Query> = (0..n)
+            .flat_map(|u| {
+                (0..n).map(move |v| {
+                    Query::distance(
+                        "net",
+                        vec![NodeId::new((u + v) % n)],
+                        NodeId::new(u),
+                        NodeId::new(v),
+                    )
+                })
+            })
+            .collect();
+        let reference = engine.clone().with_workers(1).run_batch(&queries);
+        for workers in [2usize, 3, 8] {
+            let got = engine.clone().with_workers(workers).run_batch(&queries);
+            assert_eq!(reference, got, "worker count {workers} changed the batch");
+        }
+    }
+
+    #[test]
+    fn per_query_errors_do_not_abort_the_batch() {
+        let (engine, _) = engine_with_artifact(2);
+        let queries = vec![
+            Query::distance("net", vec![], NodeId::new(0), NodeId::new(1)),
+            Query::distance("missing", vec![], NodeId::new(0), NodeId::new(1)),
+            Query::distance(
+                "net",
+                vec![NodeId::new(0), NodeId::new(1)], // budget is 1
+                NodeId::new(2),
+                NodeId::new(3),
+            ),
+            Query::path("net", vec![], NodeId::new(0), NodeId::new(5)),
+        ];
+        let results = engine.run_batch(&queries);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(CoreError::UnknownArtifact { .. })));
+        assert!(matches!(results[2], Err(CoreError::TooManyFaults { .. })));
+        assert!(results[3].is_ok());
+    }
+
+    #[test]
+    fn registry_of_artifacts_is_inspectable() {
+        let (mut engine, _) = engine_with_artifact(3);
+        assert_eq!(engine.names(), vec!["net"]);
+        assert_eq!(engine.len(), 1);
+        assert!(!engine.is_empty());
+        assert!(engine.artifact("net").is_some());
+        assert!(engine.artifact("nope").is_none());
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let g = generate::connected_gnp(10, 0.4, generate::WeightKind::Unit, &mut rng);
+        let other = FtSpannerBuilder::new("corollary-2.2")
+            .faults(1)
+            .build_artifact(&g)
+            .unwrap();
+        engine.register("alt", other);
+        assert_eq!(engine.names(), vec!["alt", "net"]);
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let (engine, _) = engine_with_artifact(5);
+        assert!(engine.run_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn mismatched_fault_kind_is_rejected_not_ignored() {
+        // Supplying vertex faults to an edge-fault artifact (or vice versa)
+        // must be a typed error — never a silently unmasked answer.
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let g = generate::connected_gnp(16, 0.35, generate::WeightKind::Unit, &mut rng);
+        let edge_model = FtSpannerBuilder::new("edge-fault")
+            .faults(1)
+            .build_artifact(&g)
+            .unwrap();
+        let (mut engine, _) = engine_with_artifact(7);
+        engine.register("edges", edge_model);
+
+        let vertex_faults_on_edge_artifact = Query::distance(
+            "edges",
+            vec![NodeId::new(3)],
+            NodeId::new(0),
+            NodeId::new(1),
+        );
+        let edge_faults_on_vertex_artifact =
+            Query::distance("net", vec![], NodeId::new(0), NodeId::new(1))
+                .with_edge_faults(vec![(NodeId::new(0), NodeId::new(1))]);
+        let ok_edge_query = Query::distance("edges", vec![], NodeId::new(0), NodeId::new(1));
+        let results = engine.run_batch(&[
+            vertex_faults_on_edge_artifact,
+            edge_faults_on_vertex_artifact,
+            ok_edge_query,
+        ]);
+        assert!(matches!(
+            results[0],
+            Err(CoreError::FaultModelMismatch { .. })
+        ));
+        assert!(matches!(
+            results[1],
+            Err(CoreError::FaultModelMismatch { .. })
+        ));
+        assert!(results[2].is_ok());
+    }
+}

@@ -12,6 +12,12 @@
 //! Algorithms are selected at runtime by name from the [`registry`], most
 //! conveniently through the fluent [`FtSpannerBuilder`].
 //!
+//! Construction is half the story: reports can be promoted to queryable
+//! [`FtSpanner`](ftspan_core::FtSpanner) artifacts whose fault-scoped
+//! sessions answer `distance` / `path` / `stretch_certificate` queries, and
+//! the batched [`Engine`] serves named artifacts across worker threads —
+//! build once, query many.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -35,6 +41,33 @@
 //!     report.faults,
 //! ));
 //! println!("{}: {} edges in {:?}", report.provenance, report.size(), report.elapsed);
+//! ```
+//!
+//! Or skip the bag-of-edges report entirely and query the spanner under a
+//! concrete fault set through a session:
+//!
+//! ```
+//! use fault_tolerant_spanners::prelude::*;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+//! # use rand::SeedableRng;
+//! let network = generate::connected_gnp(30, 0.25, generate::WeightKind::Unit, &mut rng);
+//! let artifact = FtSpannerBuilder::new("conversion")
+//!     .faults(1)
+//!     .build_artifact(&network)
+//!     .unwrap();
+//!
+//! // Node 7 is down; the surviving spanner still answers with stretch <= 3.
+//! let session = artifact.under_faults(&[NodeId::new(7)]).unwrap();
+//! let cert = session.stretch_certificate(NodeId::new(0), NodeId::new(12)).unwrap();
+//! assert!(cert.holds());
+//! assert!(cert.spanner_distance <= 3.0 * cert.baseline_distance + 1e-9);
+//!
+//! // Two faults exceed the r = 1 budget: a typed, queryable rejection.
+//! assert!(matches!(
+//!     artifact.under_faults(&[NodeId::new(1), NodeId::new(2)]),
+//!     Err(fault_tolerant_spanners::core::CoreError::TooManyFaults { given: 2, budget: 1 })
+//! ));
 //! ```
 //!
 //! Directed minimum-cost instances go through the same builder:
@@ -93,8 +126,10 @@
 //!   as black boxes by the conversion theorem.
 //! * [`lp`] — the simplex / cutting-plane toolkit behind the 2-spanner
 //!   approximation.
-//! * [`core`] — the paper's constructions and the unified
-//!   [`FtSpannerAlgorithm`](ftspan_core::FtSpannerAlgorithm) API.
+//! * [`core`] — the paper's constructions, the unified
+//!   [`FtSpannerAlgorithm`](ftspan_core::FtSpannerAlgorithm) API, and the
+//!   query-side [`FtSpanner`](ftspan_core::FtSpanner) /
+//!   [`FaultSession`](ftspan_core::FaultSession) artifacts.
 //! * [`local`] — the LOCAL-model simulator and the distributed algorithms of
 //!   Theorems 2.3 and 3.9.
 
@@ -108,9 +143,11 @@ pub use ftspan_lp as lp;
 pub use ftspan_spanners as spanners;
 
 mod builder;
+mod engine;
 mod registry;
 
 pub use builder::FtSpannerBuilder;
+pub use engine::{Engine, Query, QueryKind, QueryOutcome};
 pub use registry::registry;
 
 /// The most commonly used items, re-exported flat for convenient glob
@@ -127,6 +164,10 @@ pub mod prelude {
         FaultModel, FtSpannerAlgorithm, GraphFamily, GraphInput, Registry, SpannerEdges,
         SpannerReport, SpannerRequest,
     };
+
+    // The query side: artifacts, fault-scoped sessions, the serving engine.
+    pub use crate::engine::{Engine, Query, QueryKind, QueryOutcome};
+    pub use ftspan_core::{FaultSession, FtSpanner, StretchCertificate};
 
     // Combinatorial lower bounds, reported alongside construction sizes.
     pub use ftspan_core::lower_bounds::{

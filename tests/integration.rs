@@ -474,6 +474,180 @@ fn bounded_degree_variant_is_consistent_with_general_variant() {
     assert!(lll.resamples.is_some());
 }
 
+/// The registry algorithms whose reports can serve as distance-query
+/// artifacts (undirected constructions; the directed 2-spanner planners are
+/// rejected by `FtSpanner::from_report`, covered separately below).
+const ARTIFACT_ALGORITHMS: [&str; 6] = [
+    "conversion",
+    "corollary-2.2",
+    "adaptive",
+    "edge-fault",
+    "clpr09",
+    "distributed-conversion",
+];
+
+#[test]
+fn session_distance_matches_independent_oracle_on_randomized_instances() {
+    // Acceptance bar: >= 100 randomized (graph, algorithm, fault-set)
+    // instances where FaultSession::distance equals an independent Dijkstra
+    // on the materialized fault-restricted spanner subgraph — the session
+    // machinery (CSR packing + masked traversal) against the oldest, dumbest
+    // oracle in the workspace.
+    let mut r = rng(100);
+    let mut instances = 0usize;
+    for graph_seed in 0..3u64 {
+        let mut graph_rng = rng(1000 + graph_seed);
+        let g = generate::connected_gnp(14, 0.3, generate::WeightKind::Unit, &mut graph_rng);
+        for name in ARTIFACT_ALGORITHMS {
+            let faults = 1usize;
+            let artifact = FtSpannerBuilder::new(name)
+                .faults(faults)
+                .build_artifact_with_rng(&g, &mut r)
+                .unwrap_or_else(|e| panic!("`{name}` failed to build an artifact: {e}"));
+            assert_eq!(artifact.algorithm(), name);
+            for _ in 0..6 {
+                instances += 1;
+                if artifact.fault_model() == FaultModel::Edge {
+                    let fault_set = faults::sample_edge_fault_set(g.edge_count(), faults, &mut r);
+                    let pairs: Vec<(NodeId, NodeId)> = fault_set
+                        .edges()
+                        .iter()
+                        .map(|&id| {
+                            let e = g.edge(id);
+                            (e.u, e.v)
+                        })
+                        .collect();
+                    let session = artifact.under_edge_faults(&pairs).unwrap();
+                    // Independent oracle: drop the failed edges from the
+                    // spanner edge set and run plain Dijkstra.
+                    let surviving = fault_set.remove_from(artifact.spanner_edges());
+                    let h = g.subgraph(&surviving).unwrap();
+                    for u in g.nodes() {
+                        let expected = shortest_path::dijkstra(&h, u).unwrap();
+                        let got = session.distances_from(u).unwrap();
+                        assert_eq!(got, expected, "`{name}` edge-fault session diverged");
+                    }
+                } else {
+                    let fault_set = faults::sample_fault_set(g.node_count(), faults, &mut r);
+                    let session = artifact.under_faults(fault_set.nodes()).unwrap();
+                    // Independent oracle: materialize H \ F and run plain
+                    // Dijkstra on it.
+                    let h = g
+                        .subgraph(artifact.spanner_edges())
+                        .unwrap()
+                        .remove_vertices(fault_set.nodes());
+                    for u in g.nodes() {
+                        let expected = shortest_path::dijkstra(&h, u).unwrap();
+                        let got = session.distances_from(u).unwrap();
+                        for v in g.nodes() {
+                            let want = if fault_set.contains(u) || fault_set.contains(v) {
+                                f64::INFINITY
+                            } else {
+                                expected[v.index()]
+                            };
+                            assert_eq!(
+                                got[v.index()],
+                                want,
+                                "`{name}` session diverged at ({u}, {v})"
+                            );
+                        }
+                    }
+                    // And every certificate verifies against the declared k.
+                    for (u, v) in [(0usize, 7), (2, 13)] {
+                        let cert = session
+                            .stretch_certificate(NodeId::new(u), NodeId::new(v))
+                            .unwrap();
+                        assert!(cert.holds(), "`{name}` certificate violated");
+                        assert_eq!(cert.bound, artifact.stretch());
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        instances >= 100,
+        "only {instances} randomized instances were checked"
+    );
+}
+
+#[test]
+fn directed_planners_cannot_become_artifacts() {
+    let mut r = rng(101);
+    let dg = generate::directed_gnp(8, 0.5, generate::WeightKind::Unit, &mut r);
+    let report = FtSpannerBuilder::new("two-spanner-greedy")
+        .faults(1)
+        .build_directed(&dg)
+        .unwrap();
+    let err = FtSpanner::from_report(&Graph::new(8), &report).unwrap_err();
+    assert!(err.to_string().contains("two-spanner-greedy"));
+}
+
+#[test]
+fn engine_batches_are_byte_identical_across_runs() {
+    // Acceptance bar: Engine batch results are byte-identical across
+    // repeated runs with the same seed — including across worker counts and
+    // across a serialization round trip of the artifacts.
+    let mut r = rng(102);
+    let g = generate::connected_gnp(20, 0.25, generate::WeightKind::Unit, &mut r);
+    let primary = FtSpannerBuilder::new("conversion")
+        .faults(2)
+        .seed(7)
+        .build_artifact(&g)
+        .unwrap();
+    let secondary = FtSpannerBuilder::new("corollary-2.2")
+        .faults(1)
+        .seed(7)
+        .build_artifact(&g)
+        .unwrap();
+
+    // Round-trip the primary artifact through its text serialization.
+    let mut buf = Vec::new();
+    primary.to_writer(&mut buf).unwrap();
+    let reloaded = FtSpanner::from_reader(buf.as_slice()).unwrap();
+    assert_eq!(primary, reloaded);
+
+    let make_engine = |a: FtSpanner, b: FtSpanner| {
+        let mut e = Engine::new();
+        e.register("primary", a).register("secondary", b);
+        e
+    };
+    let engine = make_engine(primary, secondary.clone());
+    let engine_reloaded = make_engine(reloaded, secondary);
+
+    // A seeded batch mixing artifacts, fault scopes and query kinds.
+    let mut batch_rng = rng(103);
+    let n = g.node_count();
+    let batch: Vec<Query> = (0..300)
+        .map(|i| {
+            let name = if i % 3 == 0 { "secondary" } else { "primary" };
+            let budget = if name == "primary" { 2 } else { 1 };
+            let f = faults::sample_fault_set(n, i % (budget + 1), &mut batch_rng);
+            let u = NodeId::new(i % n);
+            let v = NodeId::new((i * 7 + 3) % n);
+            match i % 4 {
+                0 => Query::distance(name, f.nodes().to_vec(), u, v),
+                1 => Query::path(name, f.nodes().to_vec(), u, v),
+                _ => Query::certificate(name, f.nodes().to_vec(), u, v),
+            }
+        })
+        .collect();
+
+    let reference = format!("{:?}", engine.clone().with_workers(1).run_batch(&batch));
+    for workers in [2usize, 4] {
+        let run = format!(
+            "{:?}",
+            engine.clone().with_workers(workers).run_batch(&batch)
+        );
+        assert_eq!(reference, run, "worker count {workers} changed the bytes");
+    }
+    // Same batch, same seed, reloaded artifacts: still byte-identical.
+    let reloaded_run = format!("{:?}", engine_reloaded.run_batch(&batch));
+    assert_eq!(reference, reloaded_run);
+    // And re-running on the same engine is idempotent.
+    let rerun = format!("{:?}", engine.run_batch(&batch));
+    assert_eq!(reference, rerun);
+}
+
 #[test]
 fn builder_requests_round_trip_through_the_trait_api() {
     // The builder is sugar over registry() + FtSpannerAlgorithm::build: the

@@ -322,6 +322,105 @@ proptest! {
         );
     }
 
+    /// For random graphs, random fault sets `|F| <= r` and every registry
+    /// algorithm, `FaultSession::distance` equals Dijkstra on the
+    /// fault-restricted spanner subgraph, and every `stretch_certificate`
+    /// verifies against the declared `k`. Directed planners must be rejected
+    /// by the artifact constructor instead.
+    #[test]
+    fn sessions_agree_with_dijkstra_for_every_registry_algorithm(
+        n in 8usize..13,
+        bits in proptest::collection::vec(any::<bool>(), 0..66),
+        seed in any::<u64>(),
+        r in 1usize..3,
+        fault_picks in proptest::collection::vec(0usize..13, 0..2),
+    ) {
+        let g = graph_from_bits(n, &bits);
+        let fault_set: Vec<NodeId> = {
+            let mut picks: Vec<usize> =
+                fault_picks.iter().map(|&v| v % n).take(r).collect();
+            picks.sort_unstable();
+            picks.dedup();
+            picks.into_iter().map(NodeId::new).collect()
+        };
+        for algorithm in registry().iter() {
+            if algorithm.graph_family() != GraphFamily::Undirected {
+                continue;
+            }
+            let mut builder = FtSpannerBuilder::new(algorithm.name()).faults(r).seed(seed);
+            // The oversampling theorems are "with high probability in n"; on
+            // proptest's tiny adversarial graphs the asymptotic budget is not
+            // enough, so pin it high (same practice as the conversion
+            // property above). The other algorithms verify or enumerate.
+            if matches!(
+                algorithm.name(),
+                "conversion" | "corollary-2.2" | "edge-fault" | "distributed-conversion"
+            ) {
+                builder = builder.iterations(800);
+            }
+            let artifact = builder.build_artifact(&g).unwrap();
+            let session = if artifact.fault_model() == FaultModel::Edge {
+                // Edge-fault artifacts take edge faults; the vertex picks
+                // translate to each picked vertex's first incident edge.
+                let edge_faults: Vec<(NodeId, NodeId)> = fault_set
+                    .iter()
+                    .filter_map(|&v| g.incident(v).next().map(|(w, _)| (v, w)))
+                    .take(r)
+                    .collect();
+                let surviving: ftspan_graph::faults::EdgeFaultSet = edge_faults
+                    .iter()
+                    .filter_map(|&(u, v)| g.find_edge(u, v))
+                    .collect();
+                let session = artifact.under_edge_faults(&edge_faults).unwrap();
+                let h = g.subgraph(&surviving.remove_from(artifact.spanner_edges())).unwrap();
+                for u in g.nodes() {
+                    let expected = shortest_path::dijkstra(&h, u).unwrap();
+                    prop_assert_eq!(
+                        session.distances_from(u).unwrap(),
+                        expected,
+                        "`{}` edge-fault session diverged", algorithm.name()
+                    );
+                }
+                session
+            } else {
+                let session = artifact.under_faults(&fault_set).unwrap();
+                let h = g
+                    .subgraph(artifact.spanner_edges())
+                    .unwrap()
+                    .remove_vertices(&fault_set);
+                for u in g.nodes() {
+                    let expected = shortest_path::dijkstra(&h, u).unwrap();
+                    let got = session.distances_from(u).unwrap();
+                    for v in g.nodes() {
+                        let dead = fault_set.contains(&u) || fault_set.contains(&v);
+                        let want = if dead { f64::INFINITY } else { expected[v.index()] };
+                        prop_assert_eq!(
+                            got[v.index()], want,
+                            "`{}` session diverged at ({}, {})", algorithm.name(), u, v
+                        );
+                    }
+                }
+                session
+            };
+            for u in 0..n {
+                let cert = session
+                    .stretch_certificate(NodeId::new(u), NodeId::new((u + 3) % n))
+                    .unwrap();
+                prop_assert!(
+                    cert.holds(),
+                    "`{}` certificate violated the declared k", algorithm.name()
+                );
+            }
+        }
+        // The directed planners cannot serve distance queries.
+        let dg = digraph_from_bits(4, &[true; 12]);
+        let plan = FtSpannerBuilder::new("two-spanner-greedy")
+            .faults(1)
+            .build_directed(&dg)
+            .unwrap();
+        prop_assert!(ftspan_core::FtSpanner::from_report(&Graph::new(4), &plan).is_err());
+    }
+
     /// Graph I/O round-trips arbitrary generated graphs exactly (same vertex
     /// count, same edges with the same identifiers and weights).
     #[test]
