@@ -3,6 +3,12 @@
 //! Every experiment binary (one per experiment of DESIGN.md's index, E1–E11)
 //! prints an aligned table to stdout and writes the same rows as CSV under
 //! `target/experiments/`, so EXPERIMENTS.md can quote them directly.
+//!
+//! The [`scenarios`] module is the structured counterpart: a seeded, named
+//! perf-scenario suite whose `bench_runner` binary emits machine-readable
+//! `BENCH.json` results and gates CI against a checked-in baseline.
+
+pub mod scenarios;
 
 use std::fmt::Display;
 use std::fs;

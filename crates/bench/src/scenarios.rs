@@ -1,0 +1,843 @@
+//! The seeded perf-scenario suite behind `bench_runner` and the CI
+//! `perf-smoke` gate.
+//!
+//! A **scenario** is a named, fully seeded workload: a graph family at a
+//! profile-dependent size, a registry algorithm (or the serving [`Engine`]),
+//! and fixed request knobs. Running one produces a [`ScenarioResult`] with
+//! wall-clock time, throughput (input edges/sec for constructions,
+//! queries/sec for serving) and a **digest** — an FNV-1a hash of the
+//! scenario's semantic output (selected edges, costs, query answers). The
+//! digest is what the determinism suite pins: for a fixed seed it must be
+//! identical across runs *and across worker counts*.
+//!
+//! Two [`Profile`]s exist: [`Profile::Ci`] (small sizes, seconds total — what
+//! the CI gate runs) and [`Profile::Full`] (larger sizes for tracking real
+//! trends). [`run_all`] executes every scenario; [`BenchReport`] serializes
+//! the results as `BENCH.json` (dependency-free writer and reader) and
+//! [`compare`] implements the regression gate: any scenario slower than
+//! baseline by more than the tolerance fails.
+//!
+//! Re-baseline with:
+//!
+//! ```text
+//! cargo run --release -p ftspan-bench --bin bench_runner -- --profile ci --out bench/baseline.json
+//! ```
+
+use fault_tolerant_spanners::prelude::*;
+use fault_tolerant_spanners::{Engine, Query, QueryOutcome};
+use ftspan_graph::{DiGraph, Graph};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+
+/// Which sizes the suite runs at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// Small sizes with fixed seeds: the CI perf-smoke gate.
+    Ci,
+    /// Larger sizes for tracking real performance trends.
+    Full,
+}
+
+impl Profile {
+    /// Stable name (accepted by [`Profile::parse`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            Profile::Ci => "ci",
+            Profile::Full => "full",
+        }
+    }
+
+    /// Looks a profile up by name.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "ci" => Some(Profile::Ci),
+            "full" => Some(Profile::Full),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Profile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How a suite run is configured.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioConfig {
+    /// Size profile.
+    pub profile: Profile,
+    /// Base seed; each scenario derives its own stream from
+    /// `seed ^ fnv1a(name)`, so scenarios are independent of suite order.
+    pub seed: u64,
+    /// Worker threads for constructions and the engine (`None` = one per
+    /// available CPU). Digests are identical at any worker count.
+    pub threads: Option<usize>,
+    /// Measurement repeats per scenario; the reported wall-clock is the
+    /// **minimum** over repeats (best-of-N), which is what makes millisecond
+    /// scenarios stable enough for a 25% gate. Digests must agree across
+    /// repeats (enforced at run time). Clamped to at least 1.
+    pub repeats: usize,
+}
+
+impl ScenarioConfig {
+    /// The default configuration for a profile (seed 2011, auto threads,
+    /// best-of-3 timing).
+    pub fn new(profile: Profile) -> Self {
+        ScenarioConfig {
+            profile,
+            seed: 2011,
+            threads: None,
+            repeats: 3,
+        }
+    }
+}
+
+/// The measured outcome of one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioResult {
+    /// Scenario name.
+    pub name: String,
+    /// Wall-clock time of the measured section, in milliseconds.
+    pub wall_ms: f64,
+    /// Vertices of the input graph.
+    pub input_nodes: usize,
+    /// Edges (or arcs) of the input graph.
+    pub input_edges: usize,
+    /// Edges (or arcs) selected by the construction (0 for serving
+    /// scenarios).
+    pub spanner_edges: usize,
+    /// Input edges processed per second (construction scenarios).
+    pub edges_per_sec: Option<f64>,
+    /// Queries answered per second (serving scenarios).
+    pub queries_per_sec: Option<f64>,
+    /// FNV-1a digest of the semantic output; seed-stable and worker-count
+    /// invariant.
+    pub digest: String,
+}
+
+/// FNV-1a, the workspace's dependency-free digest.
+#[derive(Debug, Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Fnv(Self::OFFSET)
+    }
+
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+fn fnv1a_str(s: &str) -> u64 {
+    let mut h = Fnv::new();
+    h.write_bytes(s.as_bytes());
+    h.finish()
+}
+
+/// The graph family a scenario constructs on.
+#[derive(Debug, Clone, Copy)]
+enum Family {
+    /// `connected_gnp(n, p)`.
+    Gnp,
+    /// `grid(side, side)`.
+    Grid,
+    /// `random_near_regular(n, degree)` — the bounded-degree family.
+    NearRegular,
+    /// `directed_gnp(n, p)` for the 2-spanner problem.
+    DirectedGnp,
+}
+
+/// What a scenario measures.
+#[derive(Debug, Clone, Copy)]
+enum Workload {
+    /// One registry construction on one family.
+    Construction {
+        algorithm: &'static str,
+        family: Family,
+        faults: usize,
+        /// `Some(s)` switches sampled enumeration/verification on.
+        samples: Option<usize>,
+    },
+    /// Build one artifact, then answer a batch of queries through the
+    /// [`Engine`].
+    EngineThroughput,
+}
+
+/// A named, seeded benchmark workload.
+#[derive(Debug, Clone, Copy)]
+pub struct Scenario {
+    /// Stable name (key of `BENCH.json` and the baseline).
+    pub name: &'static str,
+    /// One-line description shown by `bench_runner --list`.
+    pub description: &'static str,
+    workload: Workload,
+}
+
+/// Every scenario of the suite, in run order.
+pub fn all() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "conversion-gnp",
+            description: "Theorem 2.1 conversion (greedy black box, r = 1) on connected G(n, p)",
+            workload: Workload::Construction {
+                algorithm: "conversion",
+                family: Family::Gnp,
+                faults: 1,
+                samples: None,
+            },
+        },
+        Scenario {
+            name: "conversion-grid",
+            description: "Theorem 2.1 conversion (r = 1) on a square grid",
+            workload: Workload::Construction {
+                algorithm: "conversion",
+                family: Family::Grid,
+                faults: 1,
+                samples: None,
+            },
+        },
+        Scenario {
+            name: "conversion-regular",
+            description: "Theorem 2.1 conversion (r = 1) on a bounded-degree near-regular graph",
+            workload: Workload::Construction {
+                algorithm: "conversion",
+                family: Family::NearRegular,
+                faults: 1,
+                samples: None,
+            },
+        },
+        Scenario {
+            name: "corollary22-gnp-r2",
+            description: "Corollary 2.2 (greedy, r = 2) on connected G(n, p)",
+            workload: Workload::Construction {
+                algorithm: "corollary-2.2",
+                family: Family::Gnp,
+                faults: 2,
+                samples: None,
+            },
+        },
+        Scenario {
+            name: "edge-fault-gnp",
+            description: "edge-fault conversion (r = 1) on connected G(n, p)",
+            workload: Workload::Construction {
+                algorithm: "edge-fault",
+                family: Family::Gnp,
+                faults: 1,
+                samples: None,
+            },
+        },
+        Scenario {
+            name: "adaptive-gnp",
+            description: "adaptive conversion (verification-battery stopping) on connected G(n, p)",
+            workload: Workload::Construction {
+                algorithm: "adaptive",
+                family: Family::Gnp,
+                faults: 1,
+                samples: None,
+            },
+        },
+        Scenario {
+            name: "clpr09-sampled-gnp",
+            description: "CLPR09-style baseline over 20 sampled fault sets on connected G(n, p)",
+            workload: Workload::Construction {
+                algorithm: "clpr09",
+                family: Family::Gnp,
+                faults: 2,
+                samples: Some(20),
+            },
+        },
+        Scenario {
+            name: "two-spanner-lp-gnp",
+            description: "Theorem 3.3 knapsack-cover LP rounding on directed G(n, p)",
+            workload: Workload::Construction {
+                algorithm: "two-spanner-lp",
+                family: Family::DirectedGnp,
+                faults: 1,
+                samples: None,
+            },
+        },
+        Scenario {
+            name: "two-spanner-greedy-gnp",
+            description: "LP-free greedy Lemma 3.1 cover on directed G(n, p)",
+            workload: Workload::Construction {
+                algorithm: "two-spanner-greedy",
+                family: Family::DirectedGnp,
+                faults: 1,
+                samples: None,
+            },
+        },
+        Scenario {
+            name: "engine-queries",
+            description: "Engine query throughput: batched distance/certificate queries under rotating faults",
+            workload: Workload::EngineThroughput,
+        },
+    ]
+}
+
+/// Looks a scenario up by name.
+pub fn find(name: &str) -> Option<Scenario> {
+    all().into_iter().find(|s| s.name == name)
+}
+
+impl Scenario {
+    /// The scenario's private seed for a base seed (independent of suite
+    /// order).
+    pub fn seed_for(&self, base: u64) -> u64 {
+        base ^ fnv1a_str(self.name)
+    }
+
+    /// Runs the scenario and measures it: [`ScenarioConfig::repeats`]
+    /// identical runs, reporting the fastest (the workload is seeded, so
+    /// every repeat computes the same thing — and must digest identically).
+    ///
+    /// # Panics
+    ///
+    /// Panics if two repeats disagree on the digest (a determinism bug).
+    pub fn run(&self, config: &ScenarioConfig) -> ScenarioResult {
+        let mut best: Option<ScenarioResult> = None;
+        for _ in 0..config.repeats.max(1) {
+            let result = self.run_once(config);
+            match &mut best {
+                None => best = Some(result),
+                Some(b) => {
+                    assert_eq!(
+                        b.digest, result.digest,
+                        "scenario `{}`: repeats disagree on the digest",
+                        self.name
+                    );
+                    if result.wall_ms < b.wall_ms {
+                        *b = result;
+                    }
+                }
+            }
+        }
+        best.expect("repeats >= 1")
+    }
+
+    fn run_once(&self, config: &ScenarioConfig) -> ScenarioResult {
+        match self.workload {
+            Workload::Construction {
+                algorithm,
+                family,
+                faults,
+                samples,
+            } => self.run_construction(config, algorithm, family, faults, samples),
+            Workload::EngineThroughput => self.run_engine(config),
+        }
+    }
+
+    fn run_construction(
+        &self,
+        config: &ScenarioConfig,
+        algorithm: &str,
+        family: Family,
+        faults: usize,
+        samples: Option<usize>,
+    ) -> ScenarioResult {
+        let seed = self.seed_for(config.seed);
+        let mut builder = FtSpannerBuilder::new(algorithm).faults(faults).seed(seed);
+        if let Some(s) = samples {
+            builder = builder.samples(s);
+        }
+        if let Some(t) = config.threads {
+            builder = builder.threads(t);
+        }
+
+        let mut gen_rng = ChaCha8Rng::seed_from_u64(seed);
+        let (report, nodes, edges) = match family {
+            Family::DirectedGnp => {
+                let g = directed_input(config.profile, &mut gen_rng);
+                let report = builder
+                    .build_directed(&g)
+                    .expect("scenario inputs satisfy the algorithm's requirements");
+                (report, g.node_count(), g.arc_count())
+            }
+            _ => {
+                let g = undirected_input(family, config.profile, &mut gen_rng);
+                let report = builder
+                    .build(&g)
+                    .expect("scenario inputs satisfy the algorithm's requirements");
+                (report, g.node_count(), g.edge_count())
+            }
+        };
+
+        // Wall-clock of the construction proper, as measured inside the
+        // algorithm (excludes input generation).
+        let wall_ms = report.elapsed.as_secs_f64() * 1e3;
+        let mut digest = Fnv::new();
+        digest.write_bytes(report.algorithm.as_bytes());
+        digest.write_u64(report.faults as u64);
+        digest.write_f64(report.stretch);
+        digest.write_f64(report.cost);
+        match &report.edges {
+            SpannerEdges::Undirected(edges) => {
+                for id in edges.iter() {
+                    digest.write_u64(id.index() as u64);
+                }
+            }
+            SpannerEdges::Directed(arcs) => {
+                for id in arcs.iter() {
+                    digest.write_u64(id.index() as u64);
+                }
+            }
+        }
+
+        ScenarioResult {
+            name: self.name.to_string(),
+            wall_ms,
+            input_nodes: nodes,
+            input_edges: edges,
+            spanner_edges: report.size(),
+            edges_per_sec: throughput(edges, wall_ms),
+            queries_per_sec: None,
+            digest: format!("{:016x}", digest.finish()),
+        }
+    }
+
+    fn run_engine(&self, config: &ScenarioConfig) -> ScenarioResult {
+        let seed = self.seed_for(config.seed);
+        let mut gen_rng = ChaCha8Rng::seed_from_u64(seed);
+        let n = match config.profile {
+            Profile::Ci => 40,
+            Profile::Full => 100,
+        };
+        let p = match config.profile {
+            Profile::Ci => 0.12,
+            Profile::Full => 0.06,
+        };
+        let g = generate::connected_gnp(n, p, generate::WeightKind::Unit, &mut gen_rng);
+        let mut builder = FtSpannerBuilder::new("conversion").faults(1).seed(seed);
+        if let Some(t) = config.threads {
+            builder = builder.threads(t);
+        }
+        let artifact = builder
+            .build_artifact(&g)
+            .expect("conversion builds on any undirected input");
+
+        let mut engine = Engine::new();
+        if let Some(t) = config.threads {
+            engine = engine.with_workers(t);
+        }
+        engine.register("backbone", artifact);
+
+        let mut queries = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                let fault = NodeId::new((u + v) % n);
+                let (a, b) = (NodeId::new(u), NodeId::new(v));
+                if (u + v) % 2 == 0 {
+                    queries.push(Query::distance("backbone", vec![fault], a, b));
+                } else {
+                    queries.push(Query::certificate("backbone", vec![fault], a, b));
+                }
+            }
+        }
+
+        let start = Instant::now();
+        let results = engine.run_batch(&queries);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        let mut digest = Fnv::new();
+        for outcome in &results {
+            match outcome {
+                Ok(QueryOutcome::Distance(d)) => {
+                    digest.write_bytes(b"d");
+                    digest.write_f64(*d);
+                }
+                Ok(QueryOutcome::Path(p)) => {
+                    digest.write_bytes(b"p");
+                    if let Some(path) = p {
+                        for v in path {
+                            digest.write_u64(v.index() as u64);
+                        }
+                    }
+                }
+                Ok(QueryOutcome::Certificate(c)) => {
+                    digest.write_bytes(b"c");
+                    digest.write_f64(c.spanner_distance);
+                    digest.write_f64(c.baseline_distance);
+                }
+                Err(e) => {
+                    digest.write_bytes(b"e");
+                    digest.write_bytes(e.to_string().as_bytes());
+                }
+            }
+        }
+
+        ScenarioResult {
+            name: self.name.to_string(),
+            wall_ms,
+            input_nodes: n,
+            input_edges: g.edge_count(),
+            spanner_edges: 0,
+            edges_per_sec: None,
+            queries_per_sec: throughput(queries.len(), wall_ms),
+            digest: format!("{:016x}", digest.finish()),
+        }
+    }
+}
+
+fn throughput(items: usize, wall_ms: f64) -> Option<f64> {
+    if wall_ms <= 0.0 {
+        None
+    } else {
+        Some(items as f64 / (wall_ms / 1e3))
+    }
+}
+
+fn undirected_input(family: Family, profile: Profile, rng: &mut ChaCha8Rng) -> Graph {
+    match (family, profile) {
+        (Family::Gnp, Profile::Ci) => {
+            generate::connected_gnp(48, 0.15, generate::WeightKind::Unit, rng)
+        }
+        (Family::Gnp, Profile::Full) => {
+            generate::connected_gnp(120, 0.08, generate::WeightKind::Unit, rng)
+        }
+        (Family::Grid, Profile::Ci) => generate::grid(8, 8),
+        (Family::Grid, Profile::Full) => generate::grid(16, 16),
+        (Family::NearRegular, Profile::Ci) => generate::random_near_regular(48, 6, rng),
+        (Family::NearRegular, Profile::Full) => generate::random_near_regular(120, 6, rng),
+        (Family::DirectedGnp, _) => unreachable!("directed families use directed_input"),
+    }
+}
+
+fn directed_input(profile: Profile, rng: &mut ChaCha8Rng) -> DiGraph {
+    match profile {
+        Profile::Ci => generate::directed_gnp(12, 0.35, generate::WeightKind::Unit, rng),
+        Profile::Full => generate::directed_gnp(18, 0.3, generate::WeightKind::Unit, rng),
+    }
+}
+
+/// Runs every scenario of the suite under `config`, in suite order.
+pub fn run_all(config: &ScenarioConfig) -> Vec<ScenarioResult> {
+    all().iter().map(|s| s.run(config)).collect()
+}
+
+/// A full `BENCH.json` document: the configuration plus one result per
+/// scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Profile the suite ran at.
+    pub profile: String,
+    /// Base seed of the run.
+    pub seed: u64,
+    /// The per-scenario results, in run order.
+    pub scenarios: Vec<ScenarioResult>,
+}
+
+impl BenchReport {
+    /// Assembles a report from a run.
+    pub fn new(config: &ScenarioConfig, scenarios: Vec<ScenarioResult>) -> Self {
+        BenchReport {
+            profile: config.profile.name().to_string(),
+            seed: config.seed,
+            scenarios,
+        }
+    }
+
+    /// Serializes the report as pretty-printed JSON (one key per line — the
+    /// same shape [`BenchReport::parse_json`] reads back).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"ftspan-bench/1\",\n");
+        out.push_str(&format!("  \"profile\": \"{}\",\n", self.profile));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str("  \"scenarios\": [\n");
+        for (i, s) in self.scenarios.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"name\": \"{}\",\n", s.name));
+            out.push_str(&format!("      \"wall_ms\": {:.3},\n", s.wall_ms));
+            out.push_str(&format!("      \"input_nodes\": {},\n", s.input_nodes));
+            out.push_str(&format!("      \"input_edges\": {},\n", s.input_edges));
+            out.push_str(&format!("      \"spanner_edges\": {},\n", s.spanner_edges));
+            out.push_str(&format!(
+                "      \"edges_per_sec\": {},\n",
+                json_number(s.edges_per_sec)
+            ));
+            out.push_str(&format!(
+                "      \"queries_per_sec\": {},\n",
+                json_number(s.queries_per_sec)
+            ));
+            out.push_str(&format!("      \"digest\": \"{}\"\n", s.digest));
+            out.push_str(if i + 1 == self.scenarios.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        out.push_str("  ]\n");
+        out.push_str("}\n");
+        out
+    }
+
+    /// Reads a report back from the JSON shape [`BenchReport::to_json`]
+    /// writes (a deliberately minimal reader: one `"key": value` pair per
+    /// line, scenarios delimited by `{` / `}` lines).
+    ///
+    /// Returns `None` when the document does not carry the expected schema
+    /// marker.
+    pub fn parse_json(text: &str) -> Option<Self> {
+        if !text.contains("\"schema\": \"ftspan-bench/1\"") {
+            return None;
+        }
+        let mut profile = String::new();
+        let mut seed = 0u64;
+        let mut scenarios = Vec::new();
+        let mut current: Option<ScenarioResult> = None;
+        let mut in_scenarios = false;
+        for line in text.lines() {
+            let line = line.trim().trim_end_matches(',');
+            if !in_scenarios {
+                if line.starts_with("\"scenarios\"") {
+                    in_scenarios = true;
+                } else if let Some((key, value)) = split_json_pair(line) {
+                    match key {
+                        "profile" => profile = value.trim_matches('"').to_string(),
+                        "seed" => seed = value.parse().unwrap_or(0),
+                        _ => {}
+                    }
+                }
+                continue;
+            }
+            if line == "{" {
+                current = Some(ScenarioResult {
+                    name: String::new(),
+                    wall_ms: 0.0,
+                    input_nodes: 0,
+                    input_edges: 0,
+                    spanner_edges: 0,
+                    edges_per_sec: None,
+                    queries_per_sec: None,
+                    digest: String::new(),
+                });
+                continue;
+            }
+            if line == "}" {
+                if let Some(s) = current.take() {
+                    if !s.name.is_empty() {
+                        scenarios.push(s);
+                    }
+                }
+                continue;
+            }
+            let Some((key, value)) = split_json_pair(line) else {
+                continue;
+            };
+            match (&mut current, key) {
+                (Some(s), "name") => s.name = value.trim_matches('"').to_string(),
+                (Some(s), "wall_ms") => s.wall_ms = value.parse().unwrap_or(0.0),
+                (Some(s), "input_nodes") => s.input_nodes = value.parse().unwrap_or(0),
+                (Some(s), "input_edges") => s.input_edges = value.parse().unwrap_or(0),
+                (Some(s), "spanner_edges") => s.spanner_edges = value.parse().unwrap_or(0),
+                (Some(s), "edges_per_sec") => s.edges_per_sec = value.parse().ok(),
+                (Some(s), "queries_per_sec") => s.queries_per_sec = value.parse().ok(),
+                (Some(s), "digest") => s.digest = value.trim_matches('"').to_string(),
+                _ => {}
+            }
+        }
+        Some(BenchReport {
+            profile,
+            seed,
+            scenarios,
+        })
+    }
+
+    /// The result for a named scenario, if present.
+    pub fn scenario(&self, name: &str) -> Option<&ScenarioResult> {
+        self.scenarios.iter().find(|s| s.name == name)
+    }
+}
+
+fn json_number(value: Option<f64>) -> String {
+    match value {
+        Some(v) => format!("{v:.3}"),
+        None => "null".to_string(),
+    }
+}
+
+fn split_json_pair(line: &str) -> Option<(&str, &str)> {
+    let rest = line.strip_prefix('"')?;
+    let (key, rest) = rest.split_once('"')?;
+    let value = rest.strip_prefix(':')?.trim();
+    Some((key, value))
+}
+
+/// One regression found by [`compare`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// The scenario that regressed (or disappeared).
+    pub scenario: String,
+    /// Human-readable explanation with the numbers.
+    pub message: String,
+}
+
+/// Absolute grace added to every scenario's budget, in milliseconds: below
+/// this scale, scheduler jitter dominates and a pure percentage gate would
+/// flake on sub-millisecond scenarios.
+pub const ABSOLUTE_GRACE_MS: f64 = 1.0;
+
+/// The perf gate: compares a current run against a baseline report.
+///
+/// A scenario **fails** when its wall-clock exceeds
+/// `baseline * (1 + tolerance) + ABSOLUTE_GRACE_MS` (tolerance 0.25 = 25%),
+/// or when it exists in the baseline but not in the current run. Scenarios
+/// new in the current run pass (they have no baseline yet — re-baseline to
+/// start tracking them).
+pub fn compare(
+    baseline: &BenchReport,
+    current: &[ScenarioResult],
+    tolerance: f64,
+) -> Vec<Regression> {
+    let mut regressions = Vec::new();
+    for base in &baseline.scenarios {
+        let Some(now) = current.iter().find(|s| s.name == base.name) else {
+            regressions.push(Regression {
+                scenario: base.name.clone(),
+                message: format!(
+                    "scenario `{}` is in the baseline but was not run",
+                    base.name
+                ),
+            });
+            continue;
+        };
+        let budget = base.wall_ms * (1.0 + tolerance) + ABSOLUTE_GRACE_MS;
+        if now.wall_ms > budget {
+            regressions.push(Regression {
+                scenario: base.name.clone(),
+                message: format!(
+                    "scenario `{}` regressed: {:.2} ms vs baseline {:.2} ms (budget {:.2} ms at +{:.0}%)",
+                    base.name,
+                    now.wall_ms,
+                    base.wall_ms,
+                    budget,
+                    tolerance * 100.0
+                ),
+            });
+        }
+    }
+    regressions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(name: &str, wall_ms: f64) -> ScenarioResult {
+        ScenarioResult {
+            name: name.to_string(),
+            wall_ms,
+            input_nodes: 10,
+            input_edges: 20,
+            spanner_edges: 5,
+            edges_per_sec: Some(123.456),
+            queries_per_sec: None,
+            digest: "00ff00ff00ff00ff".to_string(),
+        }
+    }
+
+    #[test]
+    fn suite_has_at_least_eight_named_scenarios() {
+        let scenarios = all();
+        assert!(scenarios.len() >= 8, "only {} scenarios", scenarios.len());
+        let mut names: Vec<&str> = scenarios.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), scenarios.len(), "duplicate scenario names");
+        assert!(scenarios
+            .iter()
+            .any(|s| matches!(s.workload, Workload::EngineThroughput)));
+    }
+
+    #[test]
+    fn find_resolves_names() {
+        assert!(find("conversion-gnp").is_some());
+        assert!(find("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn scenario_seeds_differ_by_name() {
+        let a = find("conversion-gnp").unwrap().seed_for(1);
+        let b = find("conversion-grid").unwrap().seed_for(1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let config = ScenarioConfig::new(Profile::Ci);
+        let report = BenchReport::new(&config, vec![result("a", 12.5), result("b", 3.25)]);
+        let parsed = BenchReport::parse_json(&report.to_json()).unwrap();
+        assert_eq!(parsed.profile, "ci");
+        assert_eq!(parsed.seed, 2011);
+        assert_eq!(parsed.scenarios.len(), 2);
+        assert_eq!(parsed.scenario("a").unwrap().wall_ms, 12.5);
+        assert_eq!(parsed.scenario("b").unwrap().digest, "00ff00ff00ff00ff");
+        assert_eq!(parsed.scenario("a").unwrap().edges_per_sec, Some(123.456));
+        assert_eq!(parsed.scenario("a").unwrap().queries_per_sec, None);
+    }
+
+    #[test]
+    fn parse_rejects_foreign_documents() {
+        assert!(BenchReport::parse_json("{\"something\": 1}").is_none());
+    }
+
+    #[test]
+    fn compare_flags_only_real_regressions() {
+        let config = ScenarioConfig::new(Profile::Ci);
+        let baseline = BenchReport::new(
+            &config,
+            vec![
+                result("stable", 10.0),
+                result("slow", 10.0),
+                result("gone", 1.0),
+            ],
+        );
+        let current = vec![
+            result("stable", 13.4),    // within 25% + 1 ms grace of 10 ms
+            result("slow", 14.0),      // beyond the 13.5 ms budget — regression
+            result("brand-new", 99.0), // no baseline — passes
+        ];
+        let regressions = compare(&baseline, &current, 0.25);
+        let names: Vec<&str> = regressions.iter().map(|r| r.scenario.as_str()).collect();
+        assert_eq!(names, vec!["slow", "gone"]);
+        assert!(regressions[0].message.contains("regressed"));
+    }
+
+    #[test]
+    fn a_cheap_scenario_runs_and_digests_deterministically() {
+        let config = ScenarioConfig {
+            profile: Profile::Ci,
+            seed: 7,
+            threads: Some(2),
+            repeats: 2,
+        };
+        let scenario = find("two-spanner-greedy-gnp").unwrap();
+        let a = scenario.run(&config);
+        let b = scenario.run(&config);
+        assert_eq!(a.digest, b.digest);
+        assert!(a.spanner_edges > 0);
+        assert!(a.edges_per_sec.is_some());
+    }
+}

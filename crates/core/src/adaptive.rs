@@ -123,14 +123,15 @@ fn passes(
     faults: usize,
     rule: StoppingRule,
     rng: &mut dyn RngCore,
+    threads: usize,
 ) -> bool {
+    // One CSR packing per battery, shared by every check; the fault-set
+    // sweeps fan out across the construction's workers.
+    let oracle = verify::StretchOracle::new(graph, edges).with_threads(threads);
     match rule {
-        StoppingRule::Exhaustive => {
-            verify::verify_fault_tolerance_exhaustive(graph, edges, stretch, faults).is_valid()
-        }
+        StoppingRule::Exhaustive => oracle.verify_exhaustive(stretch, faults).is_valid(),
         StoppingRule::Sampled { samples } => {
-            let sampled =
-                verify::verify_fault_tolerance_sampled(graph, edges, stretch, faults, samples, rng);
+            let sampled = oracle.verify_sampled(stretch, faults, samples, rng);
             if !sampled.is_valid() {
                 return false;
             }
@@ -138,7 +139,8 @@ fn passes(
                 high_degree_faults(graph, faults),
                 articulation_faults(graph, faults),
             ] {
-                if !verify::is_k_spanner_under_faults(graph, edges, stretch, &adversarial) {
+                let dead = adversarial.to_dead_mask(graph.node_count());
+                if oracle.max_stretch_masked(Some(&dead), None) > stretch + 1e-9 {
                     return false;
                 }
             }
@@ -180,6 +182,26 @@ pub fn adaptive_fault_tolerant_spanner<A>(
 where
     A: SpannerAlgorithm + ?Sized,
 {
+    adaptive_fault_tolerant_spanner_with_threads(graph, algorithm, config, rng, 1)
+}
+
+/// [`adaptive_fault_tolerant_spanner`] with both phases parallel: the
+/// conversion batches fan their iterations across up to `threads` workers and
+/// the verification batteries sweep fault sets across the same pool.
+///
+/// Every parallel stage follows the [`crate::par`] discipline, and the
+/// stop-early decision only consumes stage outputs, so the result is
+/// byte-identical at any worker count.
+pub fn adaptive_fault_tolerant_spanner_with_threads<A>(
+    graph: &Graph,
+    algorithm: &A,
+    config: &AdaptiveConfig,
+    rng: &mut dyn RngCore,
+    threads: usize,
+) -> AdaptiveResult
+where
+    A: SpannerAlgorithm + ?Sized,
+{
     let stretch = algorithm.stretch();
     let n = graph.node_count();
     let theorem_iterations = ConversionParams::new(config.faults).iterations_for(n);
@@ -191,17 +213,34 @@ where
     while iterations < theorem_iterations {
         let batch = config.batch.min(theorem_iterations - iterations);
         let params = ConversionParams::new(config.faults).with_iterations(batch);
-        let partial = FaultTolerantConverter::new(params).build(graph, algorithm, rng);
+        let partial =
+            FaultTolerantConverter::new(params).build_with_threads(graph, algorithm, rng, threads);
         union.union_with(&partial.edges);
         iterations += batch;
-        if passes(graph, &union, stretch, config.faults, config.stopping, rng) {
+        if passes(
+            graph,
+            &union,
+            stretch,
+            config.faults,
+            config.stopping,
+            rng,
+            threads,
+        ) {
             verified = true;
             break;
         }
     }
     if !verified {
         // One final check so `verified` reflects the returned edge set.
-        verified = passes(graph, &union, stretch, config.faults, config.stopping, rng);
+        verified = passes(
+            graph,
+            &union,
+            stretch,
+            config.faults,
+            config.stopping,
+            rng,
+            threads,
+        );
     }
 
     AdaptiveResult {

@@ -7,14 +7,14 @@
 //! constructions get the same treatment in `ftspan-local`; the facade crate
 //! merges both sets into one registry.
 
-use crate::adaptive::{adaptive_fault_tolerant_spanner, AdaptiveConfig, StoppingRule};
+use crate::adaptive::{adaptive_fault_tolerant_spanner_with_threads, AdaptiveConfig, StoppingRule};
 use crate::api::{
     FaultModel, FtSpannerAlgorithm, GraphFamily, GraphInput, SpannerEdges, SpannerReport,
     SpannerRequest,
 };
-use crate::baselines::{dk10_two_spanner, ClprStyleBaseline};
+use crate::baselines::{dk10_two_spanner_with_threads, ClprStyleBaseline};
 use crate::conversion::{ConversionParams, ConversionResult, FaultTolerantConverter};
-use crate::edge_faults::{edge_fault_tolerant_spanner, EdgeFaultParams};
+use crate::edge_faults::{edge_fault_tolerant_spanner_with_threads, EdgeFaultParams};
 use crate::two_spanner::{
     approximate_two_spanner, bounded_degree_two_spanner, greedy_ft_two_spanner, ApproxConfig,
     ApproxResult, LllConfig,
@@ -39,6 +39,7 @@ fn approx_config(request: &SpannerRequest) -> ApproxConfig {
     }
     config.max_cut_rounds = request.max_cut_rounds;
     config.repair = request.repair;
+    config.threads = request.effective_threads();
     config
 }
 
@@ -157,7 +158,8 @@ fn build_vertex_conversion(
     let black_box = request.black_box.instantiate(request.stretch);
     let converter = FaultTolerantConverter::new(conversion_params(request));
     let start = Instant::now();
-    let result = converter.build(graph, black_box.as_ref(), rng);
+    let result =
+        converter.build_with_threads(graph, black_box.as_ref(), rng, request.effective_threads());
     let elapsed = start.elapsed();
     let provenance = format!(
         "Theorem 2.1 conversion over {} (k = {}, r = {})",
@@ -190,7 +192,13 @@ fn build_edge_conversion(
         params = params.with_iterations(iterations);
     }
     let start = Instant::now();
-    let result = edge_fault_tolerant_spanner(graph, black_box.as_ref(), &params, rng);
+    let result = edge_fault_tolerant_spanner_with_threads(
+        graph,
+        black_box.as_ref(),
+        &params,
+        rng,
+        request.effective_threads(),
+    );
     let elapsed = start.elapsed();
     let cost = graph
         .edge_set_weight(&result.edges)
@@ -266,7 +274,8 @@ impl FtSpannerAlgorithm for Corollary22Algorithm {
         let converter = FaultTolerantConverter::new(conversion_params(request));
         let black_box = ftspan_spanners::GreedySpanner::new(request.stretch);
         let start = Instant::now();
-        let result = converter.build(graph, &black_box, rng);
+        let result =
+            converter.build_with_threads(graph, &black_box, rng, request.effective_threads());
         let elapsed = start.elapsed();
         let provenance = format!(
             "Corollary 2.2 (greedy, k = {}, r = {})",
@@ -327,7 +336,13 @@ impl FtSpannerAlgorithm for AdaptiveAlgorithm {
             config = config.with_stopping(StoppingRule::Sampled { samples });
         }
         let start = Instant::now();
-        let result = adaptive_fault_tolerant_spanner(graph, black_box.as_ref(), &config, rng);
+        let result = adaptive_fault_tolerant_spanner_with_threads(
+            graph,
+            black_box.as_ref(),
+            &config,
+            rng,
+            request.effective_threads(),
+        );
         let elapsed = start.elapsed();
         let cost = graph
             .edge_set_weight(&result.edges)
@@ -442,7 +457,12 @@ impl FtSpannerAlgorithm for ClprBaselineAlgorithm {
             None => ClprStyleBaseline::new(request.faults),
         };
         let start = Instant::now();
-        let result = baseline.build(graph, black_box.as_ref(), rng);
+        let result = baseline.build_with_threads(
+            graph,
+            black_box.as_ref(),
+            rng,
+            request.effective_threads(),
+        );
         let elapsed = start.elapsed();
         let provenance = format!(
             "CLPR09-style union over {} fault sets ({}, k = {}, r = {})",
@@ -555,7 +575,8 @@ impl FtSpannerAlgorithm for Dk10BaselineAlgorithm {
         self.supports(request)?;
         let graph = input.expect_directed(self.name())?;
         let start = Instant::now();
-        let result = dk10_two_spanner(graph, request.faults, rng)?;
+        let result =
+            dk10_two_spanner_with_threads(graph, request.faults, rng, request.effective_threads())?;
         let elapsed = start.elapsed();
         let provenance = format!(
             "DK10 rounding on the weak relaxation (alpha = {:.2}, r = {})",
@@ -680,6 +701,7 @@ impl FtSpannerAlgorithm for LllTwoSpannerAlgorithm {
             config = config.with_alpha_constant(c);
         }
         config.max_cut_rounds = request.max_cut_rounds;
+        config.threads = request.effective_threads();
         let start = Instant::now();
         let result = bounded_degree_two_spanner(graph, &config, rng)?;
         let elapsed = start.elapsed();

@@ -180,6 +180,13 @@ pub struct SpannerRequest {
     /// Whether LP-rounding algorithms repair any arc left uncovered, keeping
     /// the output always valid. Default `true`.
     pub repair: bool,
+    /// Worker threads for the construction's parallel hot paths (per-fault-set
+    /// iterations, verification sweeps, separation-oracle rounds). `None`
+    /// uses one worker per available CPU; `Some(1)` runs sequentially.
+    /// Results are **byte-identical at any worker count** — parallel tasks
+    /// draw from derived per-task random streams and land in input order —
+    /// so this knob only affects wall-clock time. Default `None`.
+    pub threads: Option<usize>,
 }
 
 impl Default for SpannerRequest {
@@ -198,6 +205,7 @@ impl Default for SpannerRequest {
             batch: None,
             samples: None,
             repair: true,
+            threads: None,
         }
     }
 }
@@ -302,6 +310,19 @@ impl SpannerRequest {
     pub fn without_repair(mut self) -> Self {
         self.repair = false;
         self
+    }
+
+    /// Sets the worker-thread count for parallel construction hot paths
+    /// (clamped to at least 1; results are identical at any count).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// The effective worker count: the configured value, or one worker per
+    /// available CPU when unset.
+    pub fn effective_threads(&self) -> usize {
+        ftspan_graph::par::resolve_threads(self.threads)
     }
 }
 

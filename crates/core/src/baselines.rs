@@ -16,6 +16,7 @@
 //! * [`buy_everything`] — the trivial upper bound.
 
 use crate::conversion::ConversionResult;
+use crate::par;
 use crate::two_spanner::{approximate_two_spanner, ApproxConfig, ApproxResult};
 use crate::Result;
 use ftspan_graph::faults::{enumerate_fault_sets, sample_fault_sets, FaultSet};
@@ -69,30 +70,57 @@ impl ClprStyleBaseline {
     where
         A: SpannerAlgorithm + ?Sized,
     {
+        self.build_with_threads(graph, algorithm, rng, 1)
+    }
+
+    /// [`ClprStyleBaseline::build`] with the per-fault-set black-box runs
+    /// fanned out across up to `threads` workers (the [`crate::par`]
+    /// discipline: sequentially derived per-task streams, in-order merge —
+    /// output byte-identical at any worker count).
+    pub fn build_with_threads<A>(
+        &self,
+        graph: &Graph,
+        algorithm: &A,
+        rng: &mut dyn RngCore,
+        threads: usize,
+    ) -> ConversionResult
+    where
+        A: SpannerAlgorithm + ?Sized,
+    {
         let n = graph.node_count();
         let fault_sets: Vec<FaultSet> = match self.mode {
             FaultSetMode::Exhaustive => enumerate_fault_sets(n, self.faults).collect(),
             FaultSetMode::Sampled(count) => sample_fault_sets(n, self.faults, count, rng),
         };
+        let seeds = par::derive_seeds(rng, fault_sets.len());
+
+        let outcomes = par::map(threads, fault_sets.len(), |i| {
+            let mut task_rng = par::stream(seeds[i]);
+            let dead = fault_sets[i].to_dead_mask(n);
+            let (sub, edge_map) = induced_subgraph(graph, &dead);
+            let spanner = algorithm.build(&sub, &mut task_rng);
+            let edges: Vec<EdgeId> = spanner
+                .iter()
+                .map(|sub_edge| edge_map[sub_edge.index()])
+                .collect();
+            let stats = crate::conversion::IterationStats {
+                surviving_vertices: n - fault_sets[i].len(),
+                surviving_edges: sub.edge_count(),
+                spanner_edges: spanner.len(),
+                new_edges: 0, // filled during the in-order merge below
+            };
+            (edges, stats)
+        });
 
         let mut union = graph.empty_edge_set();
         let mut per_iteration = Vec::with_capacity(fault_sets.len());
-        for faults in &fault_sets {
-            let dead = faults.to_dead_mask(n);
-            let (sub, edge_map) = induced_subgraph(graph, &dead);
-            let spanner = algorithm.build(&sub, rng);
-            let mut new_edges = 0usize;
-            for sub_edge in spanner.iter() {
-                if union.insert(edge_map[sub_edge.index()]) {
-                    new_edges += 1;
+        for (edges, mut stats) in outcomes {
+            for parent in edges {
+                if union.insert(parent) {
+                    stats.new_edges += 1;
                 }
             }
-            per_iteration.push(crate::conversion::IterationStats {
-                surviving_vertices: n - faults.len(),
-                surviving_edges: sub.edge_count(),
-                spanner_edges: spanner.len(),
-                new_edges,
-            });
+            per_iteration.push(stats);
         }
         ConversionResult {
             edges: union,
@@ -128,12 +156,24 @@ pub fn dk10_two_spanner(
     faults: usize,
     rng: &mut dyn RngCore,
 ) -> Result<ApproxResult> {
+    dk10_two_spanner_with_threads(graph, faults, rng, 1)
+}
+
+/// [`dk10_two_spanner`] with the relaxation's separation oracle granted up to
+/// `threads` workers (identical output at any count).
+pub fn dk10_two_spanner_with_threads(
+    graph: &DiGraph,
+    faults: usize,
+    rng: &mut dyn RngCore,
+    threads: usize,
+) -> Result<ApproxResult> {
     let config = ApproxConfig {
         faults,
         alpha_constant: 3.0 * (faults + 1) as f64,
         knapsack_cover: false,
         max_cut_rounds: 1,
         repair: true,
+        threads: threads.max(1),
     };
     approximate_two_spanner(graph, &config, rng)
 }

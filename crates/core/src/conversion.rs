@@ -16,6 +16,7 @@
 //! per iteration is `n/r`, which is where the `f(2n/r)` in the size bound
 //! comes from.
 
+use crate::par;
 use ftspan_graph::{EdgeId, EdgeSet, Graph, NodeId};
 use ftspan_spanners::SpannerAlgorithm;
 use rand::Rng;
@@ -182,7 +183,7 @@ impl FaultTolerantConverter {
     }
 
     /// Runs the conversion of Theorem 2.1 on `graph` with the given black-box
-    /// spanner algorithm.
+    /// spanner algorithm, sequentially (one worker).
     ///
     /// The output is an `r`-fault-tolerant `algorithm.stretch()`-spanner with
     /// high probability; use `ftspan_graph::verify` to check it when
@@ -191,32 +192,60 @@ impl FaultTolerantConverter {
     where
         A: SpannerAlgorithm + ?Sized,
     {
+        self.build_with_threads(graph, algorithm, rng, 1)
+    }
+
+    /// [`FaultTolerantConverter::build`] with the `α` independent iterations
+    /// fanned out across up to `threads` workers.
+    ///
+    /// Each iteration derives a private random stream from a seed drawn
+    /// sequentially from `rng` (see [`crate::par`]) and the per-iteration
+    /// results are merged in iteration order, so the output — the edge union
+    /// *and* every statistic — is byte-identical at any worker count.
+    pub fn build_with_threads<A>(
+        &self,
+        graph: &Graph,
+        algorithm: &A,
+        rng: &mut dyn RngCore,
+        threads: usize,
+    ) -> ConversionResult
+    where
+        A: SpannerAlgorithm + ?Sized,
+    {
         let n = graph.node_count();
         let p = self.params.sampling_probability();
         let alpha = self.params.iterations_for(n);
+        let seeds = par::derive_seeds(rng, alpha);
 
-        let mut union = graph.empty_edge_set();
-        let mut per_iteration = Vec::with_capacity(alpha);
-
-        for _ in 0..alpha {
+        let outcomes = par::map(threads, alpha, |i| {
+            let mut task_rng = par::stream(seeds[i]);
             // Sample the oversized fault set J.
-            let alive: Vec<bool> = (0..n).map(|_| rng.gen::<f64>() >= p).collect();
+            let alive: Vec<bool> = (0..n).map(|_| task_rng.gen::<f64>() >= p).collect();
             // Build G \ J, remembering how its edge ids map back to G.
             let (sub, edge_map) = induced_subgraph(graph, &alive);
-            let spanner = algorithm.build(&sub, rng);
-            let mut new_edges = 0usize;
-            for sub_edge in spanner.iter() {
-                let parent = edge_map[sub_edge.index()];
-                if union.insert(parent) {
-                    new_edges += 1;
-                }
-            }
-            per_iteration.push(IterationStats {
+            let spanner = algorithm.build(&sub, &mut task_rng);
+            let edges: Vec<EdgeId> = spanner
+                .iter()
+                .map(|sub_edge| edge_map[sub_edge.index()])
+                .collect();
+            let stats = IterationStats {
                 surviving_vertices: alive.iter().filter(|&&a| a).count(),
                 surviving_edges: sub.edge_count(),
                 spanner_edges: spanner.len(),
-                new_edges,
-            });
+                new_edges: 0, // filled during the in-order merge below
+            };
+            (edges, stats)
+        });
+
+        let mut union = graph.empty_edge_set();
+        let mut per_iteration = Vec::with_capacity(alpha);
+        for (edges, mut stats) in outcomes {
+            for parent in edges {
+                if union.insert(parent) {
+                    stats.new_edges += 1;
+                }
+            }
+            per_iteration.push(stats);
         }
 
         ConversionResult {
@@ -408,5 +437,22 @@ mod tests {
         let g = Graph::new(0);
         let result = corollary_2_2(&g, 3.0, 2, &mut r);
         assert_eq!(result.size(), 0);
+    }
+
+    #[test]
+    fn parallel_build_is_byte_identical_across_worker_counts() {
+        let g = generate::gnp(24, 0.4, generate::WeightKind::Unit, &mut rng(8));
+        let converter = FaultTolerantConverter::new(ConversionParams::new(2).with_iterations(40));
+        let reference = converter.build_with_threads(&g, &GreedySpanner::new(3.0), &mut rng(9), 1);
+        for threads in [2usize, 3, 8] {
+            let got =
+                converter.build_with_threads(&g, &GreedySpanner::new(3.0), &mut rng(9), threads);
+            assert_eq!(reference, got, "threads = {threads} changed the result");
+        }
+        // The randomized black box follows the same discipline.
+        let bs = BaswanaSenSpanner::new(2);
+        let reference = converter.build_with_threads(&g, &bs, &mut rng(10), 1);
+        let got = converter.build_with_threads(&g, &bs, &mut rng(10), 4);
+        assert_eq!(reference, got);
     }
 }

@@ -23,6 +23,7 @@
 //! possible and is verified by the edge-fault oracles in
 //! [`ftspan_graph::verify`].
 
+use crate::par;
 use ftspan_graph::{EdgeId, EdgeSet, Graph};
 use ftspan_spanners::SpannerAlgorithm;
 use rand::Rng;
@@ -165,22 +166,51 @@ pub fn edge_fault_tolerant_spanner<A>(
 where
     A: SpannerAlgorithm + ?Sized,
 {
+    edge_fault_tolerant_spanner_with_threads(graph, algorithm, params, rng, 1)
+}
+
+/// [`edge_fault_tolerant_spanner`] with the `α` independent iterations fanned
+/// out across up to `threads` workers.
+///
+/// Each iteration derives a private random stream from a seed drawn
+/// sequentially from `rng` and results merge in iteration order (the
+/// [`crate::par`] discipline), so the output is byte-identical at any worker
+/// count.
+pub fn edge_fault_tolerant_spanner_with_threads<A>(
+    graph: &Graph,
+    algorithm: &A,
+    params: &EdgeFaultParams,
+    rng: &mut dyn RngCore,
+    threads: usize,
+) -> EdgeFaultResult
+where
+    A: SpannerAlgorithm + ?Sized,
+{
     let n = graph.node_count();
     let m = graph.edge_count();
     let p = params.sampling_probability();
     let alpha = params.iterations_for(n);
+    let seeds = par::derive_seeds(rng, alpha);
+
+    let outcomes = par::map(threads, alpha, |i| {
+        let mut task_rng = par::stream(seeds[i]);
+        // Sample the oversized edge fault set J and build (V, E \ J).
+        let alive: Vec<bool> = (0..m).map(|_| task_rng.gen::<f64>() >= p).collect();
+        let (sub, edge_map) = edge_subgraph(graph, &alive);
+        let spanner = algorithm.build(&sub, &mut task_rng);
+        let edges: Vec<EdgeId> = spanner
+            .iter()
+            .map(|sub_edge| edge_map[sub_edge.index()])
+            .collect();
+        (edges, sub.edge_count())
+    });
 
     let mut union = graph.empty_edge_set();
     let mut surviving_edges = Vec::with_capacity(alpha);
-
-    for _ in 0..alpha {
-        // Sample the oversized edge fault set J and build (V, E \ J).
-        let alive: Vec<bool> = (0..m).map(|_| rng.gen::<f64>() >= p).collect();
-        let (sub, edge_map) = edge_subgraph(graph, &alive);
-        surviving_edges.push(sub.edge_count());
-        let spanner = algorithm.build(&sub, rng);
-        for sub_edge in spanner.iter() {
-            union.insert(edge_map[sub_edge.index()]);
+    for (edges, surviving) in outcomes {
+        surviving_edges.push(surviving);
+        for parent in edges {
+            union.insert(parent);
         }
     }
 

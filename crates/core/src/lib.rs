@@ -61,6 +61,7 @@ pub mod conversion;
 pub mod edge_faults;
 mod error;
 pub mod lower_bounds;
+pub mod par;
 pub mod serve;
 pub mod two_spanner;
 

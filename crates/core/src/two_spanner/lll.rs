@@ -36,6 +36,9 @@ pub struct LllConfig {
     pub max_resamples: usize,
     /// Maximum number of cutting-plane rounds for the relaxation.
     pub max_cut_rounds: usize,
+    /// Worker threads for the relaxation's separation-oracle rounds (see
+    /// [`RelaxationConfig::threads`]); the solve is identical at any count.
+    pub threads: usize,
 }
 
 impl LllConfig {
@@ -46,7 +49,15 @@ impl LllConfig {
             alpha_constant: 4.0,
             max_resamples: 10_000,
             max_cut_rounds: 50,
+            threads: 1,
         }
+    }
+
+    /// Grants the separation oracle up to `threads` workers (clamped to at
+    /// least 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// Sets the constant `C` of `α = C ln Δ`.
@@ -121,6 +132,7 @@ pub fn bounded_degree_two_spanner(
         knapsack_cover: true,
         max_cut_rounds: config.max_cut_rounds,
         separation_tolerance: 1e-7,
+        threads: config.threads.max(1),
     };
     let fractional = solve_relaxation(graph, &relax_cfg)?;
     let x = &fractional.x;
@@ -309,6 +321,7 @@ mod tests {
             alpha_constant: 0.01,
             max_resamples: 10,
             max_cut_rounds: 20,
+            threads: 1,
         };
         let result = bounded_degree_two_spanner(&g, &cfg, &mut r).unwrap();
         assert!(verify::is_ft_two_spanner(&g, &result.arcs, 1));

@@ -16,6 +16,7 @@
 //! paths carrying the most flow).
 
 use super::paths::TwoPathIndex;
+use crate::par;
 use crate::Result;
 use ftspan_graph::{ArcId, DiGraph};
 use ftspan_lp::{
@@ -36,6 +37,10 @@ pub struct RelaxationConfig {
     pub max_cut_rounds: usize,
     /// Violation tolerance of the separation oracle.
     pub separation_tolerance: f64,
+    /// Worker threads for the separation oracle's per-arc scan (the Lemma 3.2
+    /// round is independent per arc). Cuts are emitted in arc order, so the
+    /// solve is identical at any worker count.
+    pub threads: usize,
 }
 
 impl RelaxationConfig {
@@ -46,12 +51,20 @@ impl RelaxationConfig {
             knapsack_cover: true,
             max_cut_rounds: 50,
             separation_tolerance: 1e-7,
+            threads: 1,
         }
     }
 
     /// The weaker LP (3) (no knapsack-cover inequalities).
     pub fn without_knapsack_cover(mut self) -> Self {
         self.knapsack_cover = false;
+        self
+    }
+
+    /// Grants the separation oracle up to `threads` workers (clamped to at
+    /// least 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
         self
     }
 }
@@ -114,56 +127,67 @@ struct KnapsackCoverOracle {
     paths_per_arc: Vec<usize>,
     faults: usize,
     tolerance: f64,
+    threads: usize,
+}
+
+impl KnapsackCoverOracle {
+    /// The most violated knapsack-cover cut for one arc, if any.
+    fn separate_arc(&self, values: &[f64], arc: usize) -> Option<Constraint> {
+        let r = self.faults;
+        let path_count = self.paths_per_arc[arc];
+        if path_count == 0 {
+            return None;
+        }
+        let x = values[self.layout.x_var(arc)];
+        // Flow values sorted in non-increasing order, remembering which
+        // path they belong to.
+        let mut flows: Vec<(usize, f64)> = (0..path_count)
+            .map(|p| (p, values[self.layout.f_var(arc, p)]))
+            .collect();
+        flows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+
+        // For each prefix size w (= |W|), check the inequality with W the
+        // w largest flows; keep only the most violated one for this arc.
+        let mut best: Option<(f64, usize)> = None; // (violation, w)
+        let mut prefix_sum = 0.0;
+        let total: f64 = flows.iter().map(|&(_, f)| f).sum();
+        for w in 1..=r.min(path_count) {
+            prefix_sum += flows[w - 1].1;
+            let need = (r + 1 - w) as f64;
+            let lhs = need * x + (total - prefix_sum);
+            let violation = need - lhs;
+            if violation > self.tolerance {
+                match best {
+                    Some((v, _)) if v >= violation => {}
+                    _ => best = Some((violation, w)),
+                }
+            }
+        }
+        let (_, w) = best?;
+        let need = (r + 1 - w) as f64;
+        let excluded: std::collections::HashSet<usize> =
+            flows.iter().take(w).map(|&(p, _)| p).collect();
+        let mut coeffs = vec![(self.layout.x_var(arc), need)];
+        for p in 0..path_count {
+            if !excluded.contains(&p) {
+                coeffs.push((self.layout.f_var(arc, p), 1.0));
+            }
+        }
+        Some(Constraint::new(coeffs, ConstraintOp::Ge, need))
+    }
 }
 
 impl SeparationOracle for KnapsackCoverOracle {
     fn separate(&mut self, values: &[f64]) -> Vec<Constraint> {
-        let r = self.faults;
-        let mut cuts = Vec::new();
-        for arc in 0..self.layout.arc_count {
-            let path_count = self.paths_per_arc[arc];
-            if path_count == 0 {
-                continue;
-            }
-            let x = values[self.layout.x_var(arc)];
-            // Flow values sorted in non-increasing order, remembering which
-            // path they belong to.
-            let mut flows: Vec<(usize, f64)> = (0..path_count)
-                .map(|p| (p, values[self.layout.f_var(arc, p)]))
-                .collect();
-            flows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-
-            // For each prefix size w (= |W|), check the inequality with W the
-            // w largest flows; keep only the most violated one for this arc.
-            let mut best: Option<(f64, usize)> = None; // (violation, w)
-            let mut prefix_sum = 0.0;
-            let total: f64 = flows.iter().map(|&(_, f)| f).sum();
-            for w in 1..=r.min(path_count) {
-                prefix_sum += flows[w - 1].1;
-                let need = (r + 1 - w) as f64;
-                let lhs = need * x + (total - prefix_sum);
-                let violation = need - lhs;
-                if violation > self.tolerance {
-                    match best {
-                        Some((v, _)) if v >= violation => {}
-                        _ => best = Some((violation, w)),
-                    }
-                }
-            }
-            if let Some((_, w)) = best {
-                let need = (r + 1 - w) as f64;
-                let excluded: std::collections::HashSet<usize> =
-                    flows.iter().take(w).map(|&(p, _)| p).collect();
-                let mut coeffs = vec![(self.layout.x_var(arc), need)];
-                for p in 0..path_count {
-                    if !excluded.contains(&p) {
-                        coeffs.push((self.layout.f_var(arc, p), 1.0));
-                    }
-                }
-                cuts.push(Constraint::new(coeffs, ConstraintOp::Ge, need));
-            }
-        }
-        cuts
+        // The Lemma 3.2 round is independent per arc; fan the scan across the
+        // pool and keep the cuts in arc order so the cutting-plane solve is
+        // identical at any worker count.
+        par::map(self.threads, self.layout.arc_count, |arc| {
+            self.separate_arc(values, arc)
+        })
+        .into_iter()
+        .flatten()
+        .collect()
     }
 }
 
@@ -247,6 +271,7 @@ pub fn solve_relaxation(graph: &DiGraph, config: &RelaxationConfig) -> Result<Fr
             layout: layout.clone(),
             faults: config.faults,
             tolerance: config.separation_tolerance,
+            threads: config.threads.max(1),
         };
         cutting_plane_solve_with_resolve_budget(
             &mut lp,

@@ -71,6 +71,9 @@ pub struct ApproxConfig {
     /// keeps the implementation's output *always* valid and its extent is
     /// reported in [`ApproxResult::repaired_arcs`].
     pub repair: bool,
+    /// Worker threads for the relaxation's separation-oracle rounds (see
+    /// [`RelaxationConfig::threads`]); the solve is identical at any count.
+    pub threads: usize,
 }
 
 impl ApproxConfig {
@@ -83,7 +86,15 @@ impl ApproxConfig {
             knapsack_cover: true,
             max_cut_rounds: 50,
             repair: true,
+            threads: 1,
         }
+    }
+
+    /// Grants the separation oracle up to `threads` workers (clamped to at
+    /// least 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// Sets the constant `C` of `α = C ln n`.
@@ -182,6 +193,7 @@ pub fn approximate_two_spanner(
         knapsack_cover: config.knapsack_cover,
         max_cut_rounds: config.max_cut_rounds,
         separation_tolerance: 1e-7,
+        threads: config.threads.max(1),
     };
     let fractional = solve_relaxation(graph, &relax_cfg)?;
     let alpha = config.alpha_constant * (graph.node_count().max(2) as f64).ln();

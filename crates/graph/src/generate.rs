@@ -397,7 +397,7 @@ pub fn barbell(k: usize) -> Graph {
 ///
 /// Panics if `k` is odd, `k >= n`, or `beta` is not in `[0, 1]`.
 pub fn watts_strogatz<R: Rng + ?Sized>(n: usize, k: usize, beta: f64, rng: &mut R) -> Graph {
-    assert!(k.is_multiple_of(2), "lattice degree k must be even");
+    assert!(k % 2 == 0, "lattice degree k must be even");
     assert!(
         k < n,
         "lattice degree must be smaller than the number of vertices"

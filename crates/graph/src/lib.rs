@@ -22,6 +22,9 @@
 //!   the paper).
 //! * [`faults`] — vertex- and edge-fault-set enumeration, sampling, and
 //!   adversarial heuristics.
+//! * [`par`] — a dependency-free scoped-thread work pool with deterministic,
+//!   index-ordered results; the shared substrate behind every parallel hot
+//!   path in the workspace.
 //! * [`verify`] — spanner and fault-tolerant spanner verification oracles,
 //!   including the Lemma 3.1 characterization for 2-spanners and the
 //!   edge-fault analogues.
@@ -61,6 +64,7 @@ pub mod csr;
 pub mod faults;
 pub mod generate;
 pub mod io;
+pub mod par;
 pub mod shortest_path;
 pub mod stats;
 pub mod tree;

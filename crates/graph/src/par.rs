@@ -1,0 +1,190 @@
+//! A small dependency-free scoped-thread work pool.
+//!
+//! Every parallel hot path in the workspace — the per-fault-set iterations of
+//! the conversion constructions, the per-source Dijkstra sweeps of the
+//! verification oracles, the separation-oracle rounds of the LP relaxation,
+//! and the serving `Engine`'s query batches — follows the same discipline:
+//!
+//! 1. the work is an **indexed** set of independent tasks `0..items`;
+//! 2. each task writes only to its own output slot;
+//! 3. results are returned **in index order**, so the output is a pure
+//!    function of the inputs and never of the worker count or scheduling.
+//!
+//! [`map`] packages that discipline once. Workers pull task indices from a
+//! shared dispenser (so heterogeneous tasks load-balance), but every result
+//! lands in the slot of its index; `threads = 1` degenerates to a plain
+//! sequential loop in index order with zero thread overhead.
+//!
+//! Randomized tasks stay deterministic by the same rule used throughout the
+//! workspace: the caller draws one seed per task *sequentially* from its own
+//! generator and each task derives a private stream from its seed, so no
+//! generator is ever shared across threads.
+//!
+//! # Example
+//!
+//! ```
+//! use ftspan_graph::par;
+//!
+//! let squares = par::map(4, 10, |i| i * i);
+//! assert_eq!(squares, (0..10).map(|i| i * i).collect::<Vec<_>>());
+//! // Identical output at any worker count.
+//! assert_eq!(squares, par::map(1, 10, |i| i * i));
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolves a requested worker count: `None` means one worker per available
+/// CPU (at least one), `Some(t)` is clamped to at least 1.
+pub fn resolve_threads(requested: Option<usize>) -> usize {
+    match requested {
+        Some(t) => t.max(1),
+        None => available_threads(),
+    }
+}
+
+/// One worker per available CPU, at least one.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Runs `f(0), f(1), …, f(items - 1)` across at most `threads` scoped worker
+/// threads and returns the results **in index order**.
+///
+/// The output is identical for every `threads` value (scheduling only affects
+/// which worker computes which index, never where the result lands), and
+/// `threads <= 1` runs a plain sequential loop. Workers pull indices from a
+/// shared dispenser, so tasks of uneven cost balance automatically.
+///
+/// # Panics
+///
+/// Propagates a panic from any task (the scope joins every worker first).
+pub fn map<T, F>(threads: usize, items: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.max(1).min(items);
+    if threads <= 1 {
+        return (0..items).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    let next = &next;
+    let buckets: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("par worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<T>> = (0..items).map(|_| None).collect();
+    for bucket in buckets {
+        for (i, value) in bucket {
+            slots[i] = Some(value);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index is dispensed exactly once"))
+        .collect()
+}
+
+/// [`map`] followed by an in-order fold: the sequential reduction makes the
+/// combined value independent of the worker count even for non-associative
+/// combines.
+pub fn map_reduce<T, A, F, G>(threads: usize, items: usize, init: A, f: F, mut combine: G) -> A
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    G: FnMut(A, T) -> A,
+{
+    let mut acc = init;
+    for value in map(threads, items, f) {
+        acc = combine(acc, value);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_is_identical_across_thread_counts() {
+        let reference: Vec<usize> = (0..257).map(|i| i * 3 + 1).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            assert_eq!(map(threads, 257, |i| i * 3 + 1), reference);
+        }
+    }
+
+    #[test]
+    fn map_handles_edge_cases() {
+        assert_eq!(map(4, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(map(0, 3, |i| i), vec![0, 1, 2]);
+        assert_eq!(map(16, 1, |i| i), vec![0]);
+    }
+
+    #[test]
+    fn map_load_balances_uneven_tasks() {
+        // Tasks of wildly different cost still land in their slots.
+        let out = map(4, 40, |i| {
+            if i % 7 == 0 {
+                (0..5_000).fold(i, |a, b| a.wrapping_add(b))
+            } else {
+                i
+            }
+        });
+        assert_eq!(out.len(), 40);
+        assert_eq!(out[1], 1);
+    }
+
+    #[test]
+    fn map_reduce_is_an_in_order_fold() {
+        let concat = map_reduce(
+            4,
+            6,
+            String::new(),
+            |i| i.to_string(),
+            |mut acc, s| {
+                acc.push_str(&s);
+                acc
+            },
+        );
+        assert_eq!(concat, "012345");
+    }
+
+    #[test]
+    fn resolve_threads_defaults_and_clamps() {
+        assert!(resolve_threads(None) >= 1);
+        assert_eq!(resolve_threads(Some(0)), 1);
+        assert_eq!(resolve_threads(Some(5)), 5);
+        assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panic_propagates() {
+        map(2, 8, |i| {
+            if i == 5 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+}

@@ -6,7 +6,7 @@
 //! gathers those summaries in one place so the experiment binaries and the
 //! examples do not each reimplement them.
 
-use crate::shortest_path::SsspOptions;
+use crate::csr::CsrSubgraph;
 use crate::{DiGraph, EdgeSet, Graph, GraphError, Result};
 
 /// Summary of the degrees of a graph.
@@ -103,13 +103,17 @@ pub fn stretch_stats(graph: &Graph, spanner: &EdgeSet) -> Result<StretchStats> {
             graph_len: graph.edge_count(),
         });
     }
+    // Both views packed once; the per-source sweeps then run on flat arrays
+    // (the same discipline as the verification oracles).
+    let full = CsrSubgraph::from_graph(graph);
+    let sub = CsrSubgraph::from_edge_set(graph, spanner)?;
     let mut stretches = Vec::with_capacity(graph.edge_count());
     for u in graph.nodes() {
         if graph.degree(u) == 0 {
             continue;
         }
-        let dg = SsspOptions::new().run(graph, u)?;
-        let dh = SsspOptions::new().restrict_edges(spanner).run(graph, u)?;
+        let dg = full.sssp(u, None, None)?;
+        let dh = sub.sssp(u, None, None)?;
         for (v, _) in graph.incident(u) {
             if v < u {
                 continue;

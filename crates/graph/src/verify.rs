@@ -17,6 +17,7 @@
 use crate::csr::CsrSubgraph;
 use crate::digraph::ArcSet;
 use crate::faults::{enumerate_fault_sets, sample_fault_set, FaultSet};
+use crate::par;
 use crate::{ArcId, DiGraph, EdgeSet, Graph, NodeId};
 use rand::Rng;
 
@@ -32,15 +33,25 @@ const EPS: f64 = 1e-9;
 /// `StretchOracle` for a single query; the exhaustive and sampled verifiers
 /// build one and sweep every fault set over it, which is where the packing
 /// pays off.
+///
+/// The oracle's sweeps are parallel when [`StretchOracle::with_threads`]
+/// grants more than one worker: a single-mask query fans its per-source
+/// Dijkstra sweeps across the pool, and the fault-set verifiers
+/// ([`StretchOracle::verify_exhaustive`] and friends) fan out over fault sets
+/// instead. Either way the answer is deterministic — identical at any worker
+/// count — because every parallel task writes its own slot and reductions run
+/// in input order (see [`crate::par`]).
 #[derive(Debug, Clone)]
 pub struct StretchOracle<'a> {
     graph: &'a Graph,
     full: CsrSubgraph,
     spanner: CsrSubgraph,
+    threads: usize,
 }
 
 impl<'a> StretchOracle<'a> {
-    /// Packs `graph` and `spanner` for repeated stretch queries.
+    /// Packs `graph` and `spanner` for repeated stretch queries (sequential
+    /// sweeps; grant workers with [`StretchOracle::with_threads`]).
     ///
     /// # Panics
     ///
@@ -55,7 +66,15 @@ impl<'a> StretchOracle<'a> {
             graph,
             full: CsrSubgraph::from_graph(graph),
             spanner: CsrSubgraph::from_edge_set(graph, spanner).expect("capacity checked above"),
+            threads: 1,
         }
+    }
+
+    /// Grants the oracle's sweeps up to `threads` workers (clamped to at
+    /// least 1). Results are identical at any worker count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// Worst stretch over the surviving edges of the input graph, under an
@@ -65,7 +84,163 @@ impl<'a> StretchOracle<'a> {
     ///
     /// Returns `1.0` when no edge survives.
     pub fn max_stretch_masked(&self, dead: Option<&[bool]>, dead_edges: Option<&[bool]>) -> f64 {
-        max_stretch_masked_csr(self.graph, &self.full, &self.spanner, dead, dead_edges)
+        max_stretch_masked_csr_threaded(
+            self.graph,
+            &self.full,
+            &self.spanner,
+            dead,
+            dead_edges,
+            self.threads,
+        )
+    }
+
+    /// The single-mask sweep with the per-source loop kept sequential — used
+    /// by the fault-set verifiers, which parallelize over fault sets instead
+    /// (nesting both levels would oversubscribe the pool).
+    fn max_stretch_masked_sequential(
+        &self,
+        dead: Option<&[bool]>,
+        dead_edges: Option<&[bool]>,
+    ) -> f64 {
+        max_stretch_masked_csr_threaded(self.graph, &self.full, &self.spanner, dead, dead_edges, 1)
+    }
+
+    /// How many fault sets an exhaustive sweep materializes at a time: large
+    /// enough to keep every worker busy, small enough that enumerations with
+    /// astronomically many sets stream in bounded memory (the enumerator
+    /// itself is lazy).
+    const SWEEP_CHUNK: usize = 4096;
+
+    /// Exhaustively sweeps every vertex-fault set of size at most `r`,
+    /// parallel over fault sets. Equivalent to
+    /// [`verify_fault_tolerance_exhaustive`] (which is this with one worker).
+    pub fn verify_exhaustive(&self, k: f64, r: usize) -> FaultToleranceReport {
+        let mut sets = enumerate_fault_sets(self.graph.node_count(), r);
+        let mut report = FaultToleranceReport {
+            checked: 0,
+            worst_stretch: 1.0,
+            violating_faults: None,
+        };
+        loop {
+            let chunk: Vec<FaultSet> = sets.by_ref().take(Self::SWEEP_CHUNK).collect();
+            if chunk.is_empty() {
+                return report;
+            }
+            report.merge(self.sweep_vertex_fault_sets(k, chunk));
+        }
+    }
+
+    /// Sweeps the empty fault set plus `samples` random vertex-fault sets of
+    /// size exactly `r` (drawn sequentially from `rng`, so the battery is a
+    /// pure function of the generator state), parallel over fault sets.
+    pub fn verify_sampled<R: Rng + ?Sized>(
+        &self,
+        k: f64,
+        r: usize,
+        samples: usize,
+        rng: &mut R,
+    ) -> FaultToleranceReport {
+        let mut fault_sets = Vec::with_capacity(samples + 1);
+        fault_sets.push(FaultSet::empty());
+        for _ in 0..samples {
+            fault_sets.push(sample_fault_set(self.graph.node_count(), r, rng));
+        }
+        self.sweep_vertex_fault_sets(k, fault_sets)
+    }
+
+    fn sweep_vertex_fault_sets(&self, k: f64, fault_sets: Vec<FaultSet>) -> FaultToleranceReport {
+        let n = self.graph.node_count();
+        let stretches = par::map(self.threads, fault_sets.len(), |i| {
+            let dead = fault_sets[i].to_dead_mask(n);
+            self.max_stretch_masked_sequential(Some(&dead), None)
+        });
+        let mut worst = 1.0f64;
+        let mut witness = None;
+        for (faults, s) in fault_sets.into_iter().zip(&stretches) {
+            if *s > worst {
+                worst = *s;
+            }
+            if *s > k + EPS && witness.is_none() {
+                witness = Some(faults);
+            }
+        }
+        FaultToleranceReport {
+            checked: stretches.len(),
+            worst_stretch: worst,
+            violating_faults: witness,
+        }
+    }
+
+    /// Exhaustively sweeps every edge-fault set of size at most `r`, parallel
+    /// over fault sets. Equivalent to
+    /// [`verify_edge_fault_tolerance_exhaustive`] with the oracle's workers.
+    pub fn verify_edge_exhaustive(&self, k: f64, r: usize) -> FaultToleranceReport {
+        let mut sets = crate::faults::enumerate_edge_fault_sets(self.graph.edge_count(), r);
+        let mut report = FaultToleranceReport {
+            checked: 0,
+            worst_stretch: 1.0,
+            violating_faults: None,
+        };
+        loop {
+            let chunk: Vec<crate::faults::EdgeFaultSet> =
+                sets.by_ref().take(Self::SWEEP_CHUNK).collect();
+            if chunk.is_empty() {
+                return report;
+            }
+            report.merge(self.sweep_edge_fault_sets(k, chunk));
+        }
+    }
+
+    /// Sweeps the empty edge-fault set plus `samples` random edge-fault sets
+    /// of size exactly `r` (drawn sequentially from `rng`), parallel over
+    /// fault sets.
+    pub fn verify_edge_sampled<R: Rng + ?Sized>(
+        &self,
+        k: f64,
+        r: usize,
+        samples: usize,
+        rng: &mut R,
+    ) -> FaultToleranceReport {
+        let mut fault_sets = Vec::with_capacity(samples + 1);
+        fault_sets.push(crate::faults::EdgeFaultSet::empty());
+        for _ in 0..samples {
+            fault_sets.push(crate::faults::sample_edge_fault_set(
+                self.graph.edge_count(),
+                r,
+                rng,
+            ));
+        }
+        self.sweep_edge_fault_sets(k, fault_sets)
+    }
+
+    fn sweep_edge_fault_sets(
+        &self,
+        k: f64,
+        fault_sets: Vec<crate::faults::EdgeFaultSet>,
+    ) -> FaultToleranceReport {
+        let m = self.graph.edge_count();
+        let stretches = par::map(self.threads, fault_sets.len(), |i| {
+            let dead_edges = fault_sets[i].to_dead_mask(m);
+            self.max_stretch_masked_sequential(None, Some(&dead_edges))
+        });
+        let mut worst = 1.0f64;
+        let mut witness = None;
+        for s in &stretches {
+            if *s > worst {
+                worst = *s;
+            }
+            if *s > k + EPS && witness.is_none() {
+                // Report the violation with an empty vertex witness: the
+                // report type is shared with the vertex-fault verifiers, and
+                // callers only need validity plus the worst stretch here.
+                witness = Some(FaultSet::empty());
+            }
+        }
+        FaultToleranceReport {
+            checked: stretches.len(),
+            worst_stretch: worst,
+            violating_faults: witness,
+        }
     }
 }
 
@@ -85,40 +260,66 @@ pub fn max_stretch_masked_csr(
     dead: Option<&[bool]>,
     dead_edges: Option<&[bool]>,
 ) -> f64 {
+    max_stretch_masked_csr_threaded(graph, full, spanner, dead, dead_edges, 1)
+}
+
+/// [`max_stretch_masked_csr`] with the per-source Dijkstra sweeps fanned out
+/// across up to `threads` workers. Sources are swept independently (two
+/// Dijkstras each, writing only their own result slot) and the maxima are
+/// reduced in source order, so the answer is identical at any worker count.
+///
+/// # Panics
+///
+/// Panics if the CSR views or the masks were built for a different graph.
+pub fn max_stretch_masked_csr_threaded(
+    graph: &Graph,
+    full: &CsrSubgraph,
+    spanner: &CsrSubgraph,
+    dead: Option<&[bool]>,
+    dead_edges: Option<&[bool]>,
+    threads: usize,
+) -> f64 {
     let is_dead = |v: NodeId| dead.is_some_and(|d| d[v.index()]);
-    let mut worst: f64 = 1.0;
-    for u in graph.nodes() {
-        if is_dead(u) || graph.degree(u) == 0 {
-            continue;
-        }
-        let mut has_live_edge = false;
-        for (v, e) in graph.incident(u) {
-            if v > u && !is_dead(v) && !dead_edges.is_some_and(|m| m[e.index()]) {
-                has_live_edge = true;
-                break;
+    // Only sources with at least one live incident edge to a higher-id
+    // endpoint contribute; collecting them first keeps the parallel tasks
+    // uniform (each one pays exactly two Dijkstras).
+    let sources: Vec<NodeId> = graph
+        .nodes()
+        .filter(|&u| {
+            !is_dead(u)
+                && graph.degree(u) > 0
+                && graph
+                    .incident(u)
+                    .any(|(v, e)| v > u && !is_dead(v) && !dead_edges.is_some_and(|m| m[e.index()]))
+        })
+        .collect();
+    par::map_reduce(
+        threads,
+        sources.len(),
+        1.0f64,
+        |i| {
+            let u = sources[i];
+            let dg = full
+                .sssp(u, dead, dead_edges)
+                .expect("vertex ids from the graph are valid");
+            let dh = spanner
+                .sssp(u, dead, dead_edges)
+                .expect("vertex ids from the graph are valid");
+            let mut worst: f64 = 1.0;
+            for (v, e) in graph.incident(u) {
+                if v < u || is_dead(v) || dead_edges.is_some_and(|m| m[e.index()]) {
+                    continue;
+                }
+                let base = dg[v.index()];
+                if base == 0.0 {
+                    continue;
+                }
+                worst = worst.max(dh[v.index()] / base);
             }
-        }
-        if !has_live_edge {
-            continue;
-        }
-        let dg = full
-            .sssp(u, dead, dead_edges)
-            .expect("vertex ids from the graph are valid");
-        let dh = spanner
-            .sssp(u, dead, dead_edges)
-            .expect("vertex ids from the graph are valid");
-        for (v, e) in graph.incident(u) {
-            if v < u || is_dead(v) || dead_edges.is_some_and(|m| m[e.index()]) {
-                continue;
-            }
-            let base = dg[v.index()];
-            if base == 0.0 {
-                continue;
-            }
-            worst = worst.max(dh[v.index()] / base);
-        }
-    }
-    worst
+            worst
+        },
+        f64::max,
+    )
 }
 
 /// Maximum stretch of the spanner `spanner` over all edges of `graph`:
@@ -180,6 +381,18 @@ impl FaultToleranceReport {
     pub fn is_valid(&self) -> bool {
         self.violating_faults.is_none()
     }
+
+    /// Folds a later chunk of the same sweep into this report (counts add,
+    /// worst stretch maxes, the earliest witness wins).
+    fn merge(&mut self, chunk: FaultToleranceReport) {
+        self.checked += chunk.checked;
+        if chunk.worst_stretch > self.worst_stretch {
+            self.worst_stretch = chunk.worst_stretch;
+        }
+        if self.violating_faults.is_none() {
+            self.violating_faults = chunk.violating_faults;
+        }
+    }
 }
 
 /// Exhaustively verifies that `spanner` is an `r`-fault-tolerant `k`-spanner
@@ -193,26 +406,7 @@ pub fn verify_fault_tolerance_exhaustive(
     k: f64,
     r: usize,
 ) -> FaultToleranceReport {
-    let oracle = StretchOracle::new(graph, spanner);
-    let mut worst = 1.0f64;
-    let mut witness = None;
-    let mut checked = 0;
-    for faults in enumerate_fault_sets(graph.node_count(), r) {
-        let dead = faults.to_dead_mask(graph.node_count());
-        let s = oracle.max_stretch_masked(Some(&dead), None);
-        checked += 1;
-        if s > worst {
-            worst = s;
-        }
-        if s > k + EPS && witness.is_none() {
-            witness = Some(faults);
-        }
-    }
-    FaultToleranceReport {
-        checked,
-        worst_stretch: worst,
-        violating_faults: witness,
-    }
+    StretchOracle::new(graph, spanner).verify_exhaustive(k, r)
 }
 
 /// Returns `true` if `spanner` is an `r`-fault-tolerant `k`-spanner of
@@ -235,31 +429,7 @@ pub fn verify_fault_tolerance_sampled<R: Rng + ?Sized>(
     samples: usize,
     rng: &mut R,
 ) -> FaultToleranceReport {
-    let oracle = StretchOracle::new(graph, spanner);
-    let mut worst = oracle.max_stretch_masked(None, None);
-    let mut witness = if worst > k + EPS {
-        Some(FaultSet::empty())
-    } else {
-        None
-    };
-    let mut checked = 1;
-    for _ in 0..samples {
-        let faults = sample_fault_set(graph.node_count(), r, rng);
-        let dead = faults.to_dead_mask(graph.node_count());
-        let s = oracle.max_stretch_masked(Some(&dead), None);
-        checked += 1;
-        if s > worst {
-            worst = s;
-        }
-        if s > k + EPS && witness.is_none() {
-            witness = Some(faults);
-        }
-    }
-    FaultToleranceReport {
-        checked,
-        worst_stretch: worst,
-        violating_faults: witness,
-    }
+    StretchOracle::new(graph, spanner).verify_sampled(k, r, samples, rng)
 }
 
 /// Arcs of `graph` violating the Lemma 3.1 characterization for an
@@ -389,29 +559,7 @@ pub fn verify_edge_fault_tolerance_exhaustive(
     k: f64,
     r: usize,
 ) -> FaultToleranceReport {
-    let oracle = StretchOracle::new(graph, spanner);
-    let mut worst = 1.0f64;
-    let mut witness = None;
-    let mut checked = 0;
-    for faults in crate::faults::enumerate_edge_fault_sets(graph.edge_count(), r) {
-        let dead_edges = faults.to_dead_mask(graph.edge_count());
-        let s = oracle.max_stretch_masked(None, Some(&dead_edges));
-        checked += 1;
-        if s > worst {
-            worst = s;
-        }
-        if s > k + EPS && witness.is_none() {
-            // Report the violation with an empty vertex witness: the report
-            // type is shared with the vertex-fault verifiers, and the caller
-            // only needs validity plus the worst stretch here.
-            witness = Some(FaultSet::empty());
-        }
-    }
-    FaultToleranceReport {
-        checked,
-        worst_stretch: worst,
-        violating_faults: witness,
-    }
+    StretchOracle::new(graph, spanner).verify_edge_exhaustive(k, r)
 }
 
 /// Returns `true` if `spanner` is an `r`-edge-fault-tolerant `k`-spanner of
@@ -440,31 +588,7 @@ pub fn verify_edge_fault_tolerance_sampled<R: Rng + ?Sized>(
     samples: usize,
     rng: &mut R,
 ) -> FaultToleranceReport {
-    let oracle = StretchOracle::new(graph, spanner);
-    let mut worst = oracle.max_stretch_masked(None, None);
-    let mut witness = if worst > k + EPS {
-        Some(FaultSet::empty())
-    } else {
-        None
-    };
-    let mut checked = 1;
-    for _ in 0..samples {
-        let faults = crate::faults::sample_edge_fault_set(graph.edge_count(), r, rng);
-        let dead_edges = faults.to_dead_mask(graph.edge_count());
-        let s = oracle.max_stretch_masked(None, Some(&dead_edges));
-        checked += 1;
-        if s > worst {
-            worst = s;
-        }
-        if s > k + EPS && witness.is_none() {
-            witness = Some(FaultSet::empty());
-        }
-    }
-    FaultToleranceReport {
-        checked,
-        worst_stretch: worst,
-        violating_faults: witness,
-    }
+    StretchOracle::new(graph, spanner).verify_edge_sampled(k, r, samples, rng)
 }
 
 #[cfg(test)]

@@ -172,6 +172,9 @@ pub fn distributed_two_spanner(
                 knapsack_cover: true,
                 max_cut_rounds: config.max_cut_rounds,
                 separation_tolerance: 1e-7,
+                // The LOCAL-model simulation is per-cluster sequential: its
+                // round/message accounting assumes one in-flight solve.
+                threads: 1,
             };
             let solution = solve_relaxation(&local, &relax_cfg)?;
             clustered_lp_value += solution.objective;

@@ -16,7 +16,12 @@ use rand::RngCore;
 /// results into an `r`-fault-tolerant `k`-spanner.
 ///
 /// Deterministic algorithms simply ignore the random source.
-pub trait SpannerAlgorithm {
+///
+/// Implementations must be [`Sync`]: the conversion constructions in
+/// `ftspan-core` share one black-box instance across their worker threads
+/// (each iteration carries its own derived random stream, so the shared state
+/// is read-only).
+pub trait SpannerAlgorithm: Sync {
     /// Short human-readable name for reporting ("greedy", "baswana-sen", …).
     fn name(&self) -> &str;
 

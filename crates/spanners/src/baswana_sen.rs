@@ -4,7 +4,7 @@ use crate::SpannerAlgorithm;
 use ftspan_graph::{EdgeId, EdgeSet, Graph, NodeId};
 use rand::Rng;
 use rand::RngCore;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashSet};
 
 /// The Baswana–Sen randomized `(2k−1)`-spanner construction.
 ///
@@ -54,13 +54,18 @@ impl BaswanaSenSpanner {
     }
 
     /// Minimum-weight alive edge from `v` to each adjacent cluster.
+    ///
+    /// Keyed by a `BTreeMap` so iteration (and therefore tie-breaking among
+    /// equal-weight edges) is ordered by cluster id: the construction must be
+    /// a pure function of `(graph, rng state)` for the workspace's
+    /// determinism guarantees, which rules out hash-ordered traversal.
     fn neighbor_clusters(
         graph: &Graph,
         alive: &[bool],
         cluster: &[Option<usize>],
         v: NodeId,
-    ) -> HashMap<usize, (f64, EdgeId)> {
-        let mut best: HashMap<usize, (f64, EdgeId)> = HashMap::new();
+    ) -> BTreeMap<usize, (f64, EdgeId)> {
+        let mut best: BTreeMap<usize, (f64, EdgeId)> = BTreeMap::new();
         for (u, eid) in graph.incident(v) {
             if !alive[eid.index()] {
                 continue;
@@ -118,12 +123,14 @@ impl SpannerAlgorithm for BaswanaSenSpanner {
 
         // Phase 1: k - 1 rounds of cluster sampling.
         for _round in 0..self.k.saturating_sub(1) {
-            // Which cluster centers survive this round?
-            let centers: std::collections::HashSet<usize> =
-                cluster.iter().flatten().copied().collect();
-            let sampled: std::collections::HashSet<usize> = centers
-                .iter()
-                .copied()
+            // Which cluster centers survive this round? The coin flips are
+            // assigned to centers in ascending id order so the sampled set is
+            // a pure function of the rng state (hash order is not).
+            let mut centers: Vec<usize> = cluster.iter().flatten().copied().collect();
+            centers.sort_unstable();
+            centers.dedup();
+            let sampled: HashSet<usize> = centers
+                .into_iter()
                 .filter(|_| rng.gen::<f64>() < p)
                 .collect();
 

@@ -1,7 +1,7 @@
 //! The greedy spanner of Althöfer, Das, Dobkin, Joseph and Soares.
 
 use crate::SpannerAlgorithm;
-use ftspan_graph::{shortest_path::SsspOptions, EdgeSet, Graph};
+use ftspan_graph::{csr::CsrSubgraph, EdgeSet, Graph};
 use rand::RngCore;
 
 /// The greedy `k`-spanner construction (Althöfer et al., Discrete Comput.
@@ -64,23 +64,23 @@ impl SpannerAlgorithm for GreedySpanner {
         let mut order: Vec<_> = graph.edges().map(|(id, e)| (e.weight, id)).collect();
         order.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
 
+        // The partial spanner is the input's CSR with a dead-edge mask that
+        // starts all-dead and comes alive edge by edge: bounded Dijkstra then
+        // streams packed arrays instead of walking a growing adjacency graph.
+        let csr = CsrSubgraph::from_graph(graph);
+        let mut not_selected = vec![true; graph.edge_count()];
         let mut spanner = graph.empty_edge_set();
-        // Incrementally maintained spanner graph for distance queries.
-        let mut partial = Graph::new(graph.node_count());
         for (w, id) in order {
             let e = graph.edge(id);
             let budget = self.stretch * w;
             // Bounded-radius Dijkstra inside the partial spanner: if u already
             // reaches v within k·w we can skip the edge.
-            let dist = SsspOptions::new()
-                .cutoff(budget)
-                .run(&partial, e.u)
-                .expect("partial spanner shares the vertex set");
+            let dist = csr
+                .sssp_bounded(e.u, None, Some(&not_selected), budget)
+                .expect("the CSR view shares the graph's vertex and edge ids");
             if dist[e.v.index()] > budget {
                 spanner.insert(id);
-                partial
-                    .add_edge(e.u, e.v, w)
-                    .expect("edges of the input graph are valid");
+                not_selected[id.index()] = false;
             }
         }
         spanner

@@ -171,6 +171,16 @@ impl FtSpannerBuilder {
         self
     }
 
+    /// Worker threads for the construction's parallel hot paths (per-fault-set
+    /// iterations, verification sweeps, separation-oracle rounds). The default
+    /// is one worker per available CPU; `threads(1)` runs sequentially.
+    /// Results are byte-identical at any worker count, so this knob only
+    /// affects wall-clock time.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.request = self.request.with_threads(threads);
+        self
+    }
+
     /// Seed of the builder-owned deterministic generator.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;

@@ -177,7 +177,7 @@ pub mod prelude {
 
     // The graph substrate.
     pub use ftspan_graph::{
-        components, faults, generate, io, shortest_path, stats, tree, verify, ArcSet, DiGraph,
+        components, faults, generate, io, par, shortest_path, stats, tree, verify, ArcSet, DiGraph,
         EdgeSet, Graph, NodeId,
     };
 

@@ -1,0 +1,136 @@
+//! The determinism suite: every parallelized construction must be
+//! byte-identical across worker counts.
+//!
+//! The workspace's parallel discipline (see `ftspan_core::par`) promises that
+//! `threads` is a pure wall-clock knob: for a fixed seed, a construction's
+//! `SpannerReport` — the selected edges, cost, per-iteration statistics and
+//! every diagnostic — is the same at `threads = 1`, `2` and `8`. This suite
+//! pins that promise for **every** registry algorithm (centralized and
+//! distributed, undirected and directed, vertex- and edge-fault), plus the
+//! repeated-run reproducibility of a single configuration.
+
+use fault_tolerant_spanners::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Duration;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Reports are compared with the wall-clock zeroed: `elapsed` is the one
+/// field that legitimately varies between runs.
+fn canonical(mut report: SpannerReport) -> SpannerReport {
+    report.elapsed = Duration::ZERO;
+    report
+}
+
+fn build_with_threads(algorithm: &str, threads: usize) -> SpannerReport {
+    let registry = registry();
+    let entry = registry.get(algorithm).expect("registry name");
+    let mut rng = ChaCha8Rng::seed_from_u64(97);
+    let g = generate::connected_gnp(20, 0.35, generate::WeightKind::Unit, &mut rng);
+    let dg = generate::directed_gnp(9, 0.5, generate::WeightKind::Unit, &mut rng);
+
+    let mut builder = FtSpannerBuilder::new(algorithm)
+        .faults(1)
+        .seed(2011)
+        .threads(threads);
+    // Keep the exponential constructions and the distributed 2-spanner small.
+    if algorithm == "clpr09" {
+        builder = builder.samples(8);
+    }
+    if algorithm == "distributed-two-spanner" {
+        builder = builder.repetitions(3);
+    }
+    let report = match entry.graph_family() {
+        GraphFamily::Undirected => builder.build(&g),
+        GraphFamily::Directed => builder.build_directed(&dg),
+    };
+    canonical(report.expect("every registry algorithm builds on its smoke input"))
+}
+
+#[test]
+fn every_registry_algorithm_is_byte_identical_across_worker_counts() {
+    for name in registry().names() {
+        let reference = build_with_threads(name, 1);
+        for threads in &THREAD_COUNTS[1..] {
+            let got = build_with_threads(name, *threads);
+            assert_eq!(
+                reference, got,
+                "algorithm `{name}`: threads = {threads} changed the report"
+            );
+        }
+        assert!(
+            reference.size() > 0 || reference.cost == 0.0,
+            "algorithm `{name}` produced an implausible smoke report"
+        );
+    }
+}
+
+#[test]
+fn edge_fault_model_is_byte_identical_across_worker_counts() {
+    let mut rng = ChaCha8Rng::seed_from_u64(41);
+    let g = generate::connected_gnp(18, 0.4, generate::WeightKind::Unit, &mut rng);
+    let build = |threads: usize| {
+        canonical(
+            FtSpannerBuilder::new("conversion")
+                .faults(1)
+                .edge_faults()
+                .seed(5)
+                .threads(threads)
+                .build(&g)
+                .unwrap(),
+        )
+    };
+    let reference = build(1);
+    assert_eq!(reference.fault_model, FaultModel::Edge);
+    for threads in [2usize, 8] {
+        assert_eq!(reference, build(threads), "threads = {threads}");
+    }
+}
+
+#[test]
+fn non_default_black_boxes_follow_the_same_discipline() {
+    let mut rng = ChaCha8Rng::seed_from_u64(23);
+    let g = generate::connected_gnp(20, 0.3, generate::WeightKind::Unit, &mut rng);
+    for black_box in [
+        BlackBoxKind::BaswanaSen,
+        BlackBoxKind::ThorupZwick,
+        BlackBoxKind::Cluster,
+    ] {
+        let build = |threads: usize| {
+            canonical(
+                FtSpannerBuilder::new("conversion")
+                    .faults(1)
+                    .black_box(black_box)
+                    .seed(13)
+                    .threads(threads)
+                    .build(&g)
+                    .unwrap(),
+            )
+        };
+        let reference = build(1);
+        for threads in [2usize, 8] {
+            assert_eq!(
+                reference,
+                build(threads),
+                "black box {black_box}: threads = {threads} changed the report"
+            );
+        }
+    }
+}
+
+#[test]
+fn repeated_runs_with_one_seed_reproduce() {
+    // Same configuration, same seed, different processes-worth of calls: the
+    // construction is a pure function of its inputs (hash-order-free).
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let g = generate::connected_gnp(22, 0.3, generate::WeightKind::Unit, &mut rng);
+    let builder = FtSpannerBuilder::new("conversion")
+        .faults(2)
+        .black_box(BlackBoxKind::BaswanaSen)
+        .seed(77)
+        .threads(4);
+    let a = canonical(builder.build(&g).unwrap());
+    let b = canonical(builder.build(&g).unwrap());
+    assert_eq!(a, b);
+}
