@@ -24,9 +24,9 @@
 //! ```
 
 use fault_tolerant_spanners::prelude::*;
-use fault_tolerant_spanners::{Engine, Query, QueryOutcome};
+use fault_tolerant_spanners::{ArtifactStore, Engine, Query, QueryOutcome};
 use ftspan_graph::{DiGraph, Graph};
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::time::Instant;
 
@@ -183,6 +183,17 @@ enum Workload {
     /// Build one artifact, then answer a batch of queries through the
     /// [`Engine`].
     EngineThroughput,
+    /// The planner's home turf: a large batch in which thousands of queries
+    /// share a handful of fault scopes and sources, served through grouped
+    /// sessions and the per-source cache.
+    ServeRepeatedFaults,
+    /// A batch whose sources follow a Zipf-like popularity distribution
+    /// (few hot sources, a long cold tail) under a few fault scopes.
+    ServeZipfSources,
+    /// Cold serving startup: load a directory of binary `.ftspan` artifacts
+    /// through an [`ArtifactStore`] into a fresh engine and answer a first
+    /// mixed batch.
+    ServeStoreColdLoad,
 }
 
 /// A named, seeded benchmark workload.
@@ -293,7 +304,29 @@ pub fn all() -> Vec<Scenario> {
             description: "Engine query throughput: batched distance/certificate queries under rotating faults",
             workload: Workload::EngineThroughput,
         },
+        Scenario {
+            name: "serve-repeated-faults",
+            description: "planner throughput on a batch sharing a few fault scopes and sources",
+            workload: Workload::ServeRepeatedFaults,
+        },
+        Scenario {
+            name: "serve-zipf-sources",
+            description: "planner throughput under a Zipf source distribution (hot sources, cold tail)",
+            workload: Workload::ServeZipfSources,
+        },
+        Scenario {
+            name: "serve-store-cold-load",
+            description: "cold start: ArtifactStore loads binary .ftspan artifacts and serves a first batch",
+            workload: Workload::ServeStoreColdLoad,
+        },
     ]
+}
+
+/// The exact scenario name set, in run order — what `bench_runner --list`
+/// prints and the perf gate tracks (pinned by a unit test so the suite
+/// cannot silently lose a scenario).
+pub fn names() -> Vec<&'static str> {
+    all().iter().map(|s| s.name).collect()
 }
 
 /// Looks a scenario up by name.
@@ -345,6 +378,9 @@ impl Scenario {
                 samples,
             } => self.run_construction(config, algorithm, family, faults, samples),
             Workload::EngineThroughput => self.run_engine(config),
+            Workload::ServeRepeatedFaults => self.run_serve_repeated(config),
+            Workload::ServeZipfSources => self.run_serve_zipf(config),
+            Workload::ServeStoreColdLoad => self.run_serve_store(config),
         }
     }
 
@@ -428,19 +464,7 @@ impl Scenario {
             Profile::Full => 0.06,
         };
         let g = generate::connected_gnp(n, p, generate::WeightKind::Unit, &mut gen_rng);
-        let mut builder = FtSpannerBuilder::new("conversion").faults(1).seed(seed);
-        if let Some(t) = config.threads {
-            builder = builder.threads(t);
-        }
-        let artifact = builder
-            .build_artifact(&g)
-            .expect("conversion builds on any undirected input");
-
-        let mut engine = Engine::new();
-        if let Some(t) = config.threads {
-            engine = engine.with_workers(t);
-        }
-        engine.register("backbone", artifact);
+        let engine = backbone_engine(config, &g, "conversion", 1, seed);
 
         let mut queries = Vec::new();
         for u in 0..n {
@@ -460,31 +484,7 @@ impl Scenario {
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;
 
         let mut digest = Fnv::new();
-        for outcome in &results {
-            match outcome {
-                Ok(QueryOutcome::Distance(d)) => {
-                    digest.write_bytes(b"d");
-                    digest.write_f64(*d);
-                }
-                Ok(QueryOutcome::Path(p)) => {
-                    digest.write_bytes(b"p");
-                    if let Some(path) = p {
-                        for v in path {
-                            digest.write_u64(v.index() as u64);
-                        }
-                    }
-                }
-                Ok(QueryOutcome::Certificate(c)) => {
-                    digest.write_bytes(b"c");
-                    digest.write_f64(c.spanner_distance);
-                    digest.write_f64(c.baseline_distance);
-                }
-                Err(e) => {
-                    digest.write_bytes(b"e");
-                    digest.write_bytes(e.to_string().as_bytes());
-                }
-            }
-        }
+        digest_outcomes(&mut digest, &results);
 
         ScenarioResult {
             name: self.name.to_string(),
@@ -495,6 +495,263 @@ impl Scenario {
             edges_per_sec: None,
             queries_per_sec: throughput(queries.len(), wall_ms),
             digest: format!("{:016x}", digest.finish()),
+        }
+    }
+
+    /// The repeated-fault-set serving batch: queries share
+    /// [`REPEATED_FAULT_SCOPES`] fault scopes and [`REPEATED_SOURCES`]
+    /// sources, so grouped sessions plus the source cache answer almost
+    /// everything from precomputed trees.
+    fn run_serve_repeated(&self, config: &ScenarioConfig) -> ScenarioResult {
+        let seed = self.seed_for(config.seed);
+        let (engine, g, queries) = repeated_fault_workload(config, seed);
+        let start = Instant::now();
+        let results = engine.run_batch(&queries);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let mut digest = Fnv::new();
+        digest_outcomes(&mut digest, &results);
+        ScenarioResult {
+            name: self.name.to_string(),
+            wall_ms,
+            input_nodes: g.node_count(),
+            input_edges: g.edge_count(),
+            spanner_edges: 0,
+            edges_per_sec: None,
+            queries_per_sec: throughput(queries.len(), wall_ms),
+            digest: format!("{:016x}", digest.finish()),
+        }
+    }
+
+    fn run_serve_zipf(&self, config: &ScenarioConfig) -> ScenarioResult {
+        let seed = self.seed_for(config.seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let (n, batch) = match config.profile {
+            Profile::Ci => (48, 4000),
+            Profile::Full => (120, 24000),
+        };
+        let g = generate::connected_gnp(n, 24.0 / n as f64, generate::WeightKind::Unit, &mut rng);
+        let engine = backbone_engine(config, &g, "conversion", 1, seed);
+
+        // Zipf-like source popularity: source rank i has weight 1/(i + 1).
+        let cumulative: Vec<f64> = (0..n)
+            .scan(0.0f64, |acc, i| {
+                *acc += 1.0 / (i as f64 + 1.0);
+                Some(*acc)
+            })
+            .collect();
+        let total = *cumulative.last().expect("n >= 1");
+        let mut zipf_source = || {
+            let x: f64 = rng.gen::<f64>() * total;
+            NodeId::new(cumulative.partition_point(|&c| c < x).min(n - 1))
+        };
+        let scopes = [vec![NodeId::new(0)], vec![NodeId::new(n / 2)], vec![]];
+        let mut queries = Vec::with_capacity(batch);
+        for q in 0..batch {
+            let u = zipf_source();
+            let v = NodeId::new((q * 7 + 3) % n);
+            let scope = scopes[q % scopes.len()].clone();
+            queries.push(match q % 9 {
+                0 => Query::certificate("backbone", scope, u, v),
+                1 => Query::path("backbone", scope, u, v),
+                _ => Query::distance("backbone", scope, u, v),
+            });
+        }
+
+        let start = Instant::now();
+        let results = engine.run_batch(&queries);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let mut digest = Fnv::new();
+        digest_outcomes(&mut digest, &results);
+        ScenarioResult {
+            name: self.name.to_string(),
+            wall_ms,
+            input_nodes: n,
+            input_edges: g.edge_count(),
+            spanner_edges: 0,
+            edges_per_sec: None,
+            queries_per_sec: throughput(queries.len(), wall_ms),
+            digest: format!("{:016x}", digest.finish()),
+        }
+    }
+
+    fn run_serve_store(&self, config: &ScenarioConfig) -> ScenarioResult {
+        let seed = self.seed_for(config.seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let (n, batch) = match config.profile {
+            Profile::Ci => (32, 600),
+            Profile::Full => (72, 2400),
+        };
+        // Setup (untimed): build three artifacts and persist them as binary
+        // `.ftspan` files.
+        let dir = std::env::temp_dir().join(format!(
+            "ftspan-bench-store-{seed:x}-{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = ArtifactStore::open(&dir).expect("temp store is creatable");
+        let g = generate::connected_gnp(n, 0.15, generate::WeightKind::Unit, &mut rng);
+        for (name, algorithm, edge_model) in [
+            ("conv", "conversion", false),
+            ("cor22", "corollary-2.2", false),
+            ("edge", "edge-fault", true),
+        ] {
+            let mut builder = configured_builder(config, algorithm, 1, seed);
+            if edge_model {
+                builder = builder.edge_faults();
+            }
+            let artifact = builder.build_artifact(&g).expect("scenario inputs build");
+            store.save(name, &artifact).expect("temp store is writable");
+        }
+        let edge_pair = {
+            let (_, e) = g.edges().next().expect("connected graph has edges");
+            (e.u, e.v)
+        };
+        let mut queries = Vec::with_capacity(batch);
+        for q in 0..batch {
+            let u = NodeId::new(q % n);
+            let v = NodeId::new((q * 3 + 1) % n);
+            queries.push(match q % 3 {
+                0 => Query::distance("conv", vec![NodeId::new((q / 3) % n)], u, v),
+                1 => Query::certificate("cor22", vec![NodeId::new((q / 3) % n)], u, v),
+                _ => Query::distance("edge", vec![], u, v).with_edge_faults(vec![edge_pair]),
+            });
+        }
+
+        // Timed: cold start — open the store, load every artifact, serve the
+        // first batch.
+        let start = Instant::now();
+        let store = ArtifactStore::open(&dir).expect("temp store exists");
+        let mut engine = engine_with_workers(config);
+        let loaded = store.load_into(&mut engine).expect("artifacts load back");
+        let results = engine.run_batch(&queries);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        std::fs::remove_dir_all(&dir).ok();
+        let mut digest = Fnv::new();
+        for name in &loaded {
+            digest.write_bytes(name.as_bytes());
+        }
+        digest_outcomes(&mut digest, &results);
+        ScenarioResult {
+            name: self.name.to_string(),
+            wall_ms,
+            input_nodes: n,
+            input_edges: g.edge_count(),
+            spanner_edges: 0,
+            edges_per_sec: None,
+            queries_per_sec: throughput(queries.len(), wall_ms),
+            digest: format!("{:016x}", digest.finish()),
+        }
+    }
+}
+
+/// The shared serving-scenario setup: a builder for `algorithm` with
+/// `config.threads` threaded through.
+fn configured_builder(
+    config: &ScenarioConfig,
+    algorithm: &str,
+    faults: usize,
+    seed: u64,
+) -> FtSpannerBuilder {
+    let mut builder = FtSpannerBuilder::new(algorithm).faults(faults).seed(seed);
+    if let Some(t) = config.threads {
+        builder = builder.threads(t);
+    }
+    builder
+}
+
+/// An empty engine with `config.threads` workers (engine defaults otherwise).
+fn engine_with_workers(config: &ScenarioConfig) -> Engine {
+    let mut engine = Engine::new();
+    if let Some(t) = config.threads {
+        engine = engine.with_workers(t);
+    }
+    engine
+}
+
+/// Builds `algorithm` on `g` and registers it as `"backbone"` — the whole
+/// setup of the single-artifact serving scenarios.
+fn backbone_engine(
+    config: &ScenarioConfig,
+    g: &Graph,
+    algorithm: &str,
+    faults: usize,
+    seed: u64,
+) -> Engine {
+    let artifact = configured_builder(config, algorithm, faults, seed)
+        .build_artifact(g)
+        .expect("scenario inputs build");
+    let mut engine = engine_with_workers(config);
+    engine.register("backbone", artifact);
+    engine
+}
+
+/// Number of distinct fault scopes in the repeated-fault serving scenario.
+const REPEATED_FAULT_SCOPES: usize = 4;
+/// Number of distinct query sources in the repeated-fault serving scenario.
+const REPEATED_SOURCES: usize = 12;
+
+/// Builds the repeated-fault-set serving workload: the engine (planner
+/// configured from `config`), the input graph and the query batch. Shared
+/// with the speedup acceptance test in `tests/`.
+pub fn repeated_fault_workload(config: &ScenarioConfig, seed: u64) -> (Engine, Graph, Vec<Query>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let (n, batch) = match config.profile {
+        Profile::Ci => (48, 4000),
+        Profile::Full => (120, 24000),
+    };
+    let g = generate::connected_gnp(n, 24.0 / n as f64, generate::WeightKind::Unit, &mut rng);
+    let engine = backbone_engine(config, &g, "conversion", 2, seed);
+
+    let scopes: Vec<Vec<NodeId>> = (0..REPEATED_FAULT_SCOPES)
+        .map(|s| vec![NodeId::new(s * 2 % n), NodeId::new((s * 5 + 1) % n)])
+        .collect();
+    let sources: Vec<NodeId> = (0..REPEATED_SOURCES)
+        .map(|s| NodeId::new((s * 4 + 2) % n))
+        .collect();
+    let mut queries = Vec::with_capacity(batch);
+    for q in 0..batch {
+        let u = sources[q % sources.len()];
+        let v = NodeId::new((q * 11 + 5) % n);
+        let scope = scopes[q % scopes.len()].clone();
+        queries.push(match q % 7 {
+            0 => Query::certificate("backbone", scope, u, v),
+            1 => Query::path("backbone", scope, u, v),
+            _ => Query::distance("backbone", scope, u, v),
+        });
+    }
+    (engine, g, queries)
+}
+
+/// Folds a batch's outcomes into a digest (semantic output only: distances,
+/// paths, certificate numbers, error strings).
+fn digest_outcomes(
+    digest: &mut Fnv,
+    results: &[fault_tolerant_spanners::core::Result<QueryOutcome>],
+) {
+    for outcome in results {
+        match outcome {
+            Ok(QueryOutcome::Distance(d)) => {
+                digest.write_bytes(b"d");
+                digest.write_f64(*d);
+            }
+            Ok(QueryOutcome::Path(p)) => {
+                digest.write_bytes(b"p");
+                if let Some(path) = p {
+                    for v in path {
+                        digest.write_u64(v.index() as u64);
+                    }
+                }
+            }
+            Ok(QueryOutcome::Certificate(c)) => {
+                digest.write_bytes(b"c");
+                digest.write_f64(c.spanner_distance);
+                digest.write_f64(c.baseline_distance);
+            }
+            Err(e) => {
+                digest.write_bytes(b"e");
+                digest.write_bytes(e.to_string().as_bytes());
+            }
         }
     }
 }
@@ -775,6 +1032,47 @@ mod tests {
     fn find_resolves_names() {
         assert!(find("conversion-gnp").is_some());
         assert!(find("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn scenario_set_is_pinned() {
+        // The exact set `bench_runner --list` prints and the CI perf gate
+        // tracks. A scenario can only be added or removed by updating this
+        // test (and re-baselining) — the gate cannot silently lose one.
+        assert_eq!(
+            names(),
+            vec![
+                "conversion-gnp",
+                "conversion-grid",
+                "conversion-regular",
+                "corollary22-gnp-r2",
+                "edge-fault-gnp",
+                "adaptive-gnp",
+                "clpr09-sampled-gnp",
+                "two-spanner-lp-gnp",
+                "two-spanner-greedy-gnp",
+                "engine-queries",
+                "serve-repeated-faults",
+                "serve-zipf-sources",
+                "serve-store-cold-load",
+            ]
+        );
+    }
+
+    #[test]
+    fn a_serving_scenario_runs_and_digests_deterministically() {
+        let config = ScenarioConfig {
+            profile: Profile::Ci,
+            seed: 5,
+            threads: Some(2),
+            repeats: 1,
+        };
+        let scenario = find("serve-repeated-faults").unwrap();
+        let a = scenario.run(&config);
+        let b = scenario.run(&config);
+        assert_eq!(a.digest, b.digest);
+        assert!(a.queries_per_sec.is_some());
+        assert_eq!(a.spanner_edges, 0);
     }
 
     #[test]

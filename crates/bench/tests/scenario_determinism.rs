@@ -4,14 +4,18 @@
 
 use ftspan_bench::scenarios::{self, Profile, ScenarioConfig};
 
-/// The cheap construction scenarios plus the serving scenario — enough to
-/// cover every digest path (undirected, directed, engine) while keeping the
-/// suite fast. The full-suite sweep lives in `bench_runner` itself.
-const PINNED: [&str; 4] = [
+/// The cheap construction scenarios plus the serving scenarios — enough to
+/// cover every digest path (undirected, directed, engine, planner, store)
+/// while keeping the suite fast. The full-suite sweep lives in
+/// `bench_runner` itself.
+const PINNED: [&str; 7] = [
     "conversion-gnp",
     "conversion-grid",
     "two-spanner-greedy-gnp",
     "engine-queries",
+    "serve-repeated-faults",
+    "serve-zipf-sources",
+    "serve-store-cold-load",
 ];
 
 #[test]

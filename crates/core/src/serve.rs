@@ -17,9 +17,16 @@
 //!   [`stretch_certificate`](FaultSession::stretch_certificate) queries.
 //!   Fault sets larger than the declared budget `r` are rejected with the
 //!   typed [`CoreError::TooManyFaults`].
-//! * Text round-trip serialization ([`FtSpanner::to_writer`] /
-//!   [`FtSpanner::from_reader`]) so artifacts can be built once and served
-//!   many times, on other machines, with no extra dependencies.
+//! * [`CachedSession`] — a session with a bounded LRU of per-source
+//!   shortest-path trees ([`FaultSession::cached`]): serving batches
+//!   dominated by repeated `(source, fault scope)` pairs reuse one Dijkstra
+//!   tree per source instead of recomputing per query, with answers
+//!   byte-identical to the plain session at any capacity.
+//! * Round-trip serialization so artifacts can be built once and served many
+//!   times, on other machines, with no extra dependencies: line-oriented
+//!   text ([`FtSpanner::to_writer`] / [`FtSpanner::from_reader`]) and the
+//!   versioned binary `.ftspan` format ([`FtSpanner::to_binary_writer`] /
+//!   [`FtSpanner::from_binary_reader`]).
 //!
 //! # Example
 //!
@@ -48,12 +55,35 @@
 
 use crate::api::{FaultModel, SpannerEdges, SpannerReport};
 use crate::{CoreError, Result};
-use ftspan_graph::csr::{reconstruct_path, CsrSubgraph};
+use ftspan_graph::csr::{reconstruct_path, CsrSubgraph, SsspWorkspace};
 use ftspan_graph::{EdgeSet, Graph, NodeId};
-use std::io::{BufRead, Write};
+use std::io::{BufRead, Read, Write};
 
 /// Numerical slack used when comparing a certificate's stretch to its bound.
 const EPS: f64 = 1e-9;
+
+/// Magic prefix of the binary artifact format (see
+/// [`FtSpanner::to_binary_writer`]).
+pub const BINARY_MAGIC: [u8; 4] = *b"FTSP";
+
+/// Current version of the binary artifact format.
+pub const BINARY_VERSION: u32 = 1;
+
+/// Largest node count a binary artifact with `m` edges may declare.
+///
+/// The `GRPH` section's edge arrays are backed by real bytes (16 per edge),
+/// but the node count is a bare integer that [`FtSpanner::from_binary_reader`]
+/// turns into an `O(n)` allocation — so a corrupted or crafted header could
+/// otherwise demand ~100 GB from an 80-byte file. Bounding `n` by the edge
+/// count caps the amplification at a harmless ~24 MB (the 2^20 floor) plus
+/// ~100 bytes allocated per byte actually present, while admitting every
+/// plausible artifact: a connected source graph already has `n <= m + 1`,
+/// and even a pathologically disconnected one passes unless it is mostly
+/// isolated vertices at million scale. [`FtSpanner::to_binary_writer`]
+/// enforces the same bound so everything it writes is readable.
+fn binary_node_bound(m: usize) -> usize {
+    (1 << 20) + 64 * m
+}
 
 /// An owned, immutable, queryable fault-tolerant spanner.
 ///
@@ -482,7 +512,9 @@ impl FtSpanner {
                     let w = parse("weight", w)?;
                     graph
                         .add_edge(NodeId::new(u), NodeId::new(v), w)
-                        .map_err(CoreError::Graph)?;
+                        .map_err(|e| CoreError::InvalidParameter {
+                            message: format!("invalid edge line `{line}` in ftspanner data: {e}"),
+                        })?;
                 }
                 _ => {
                     return Err(CoreError::InvalidParameter {
@@ -532,6 +564,377 @@ impl FtSpanner {
             faults,
             stretch,
         )
+    }
+
+    /// Serializes the artifact in the versioned binary `.ftspan` format
+    /// (round trips through [`FtSpanner::from_binary_reader`]).
+    ///
+    /// The format is a 4-byte magic (`FTSP`) and a little-endian `u32`
+    /// version, followed by length-prefixed sections (4-byte tag + `u64`
+    /// payload length) mirroring the CSR layout: `META` (guarantee and
+    /// provenance), `GRPH` (vertex count, then the parallel
+    /// endpoint/endpoint/weight edge arrays), `SPAN` (spanner edge
+    /// identifiers into the `GRPH` arrays) and an empty `END` terminator.
+    /// Unlike the line-oriented text format, free-text fields survive
+    /// byte-exactly (newlines included) and weights round-trip bit-exactly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `writer`; returns
+    /// [`std::io::ErrorKind::InvalidInput`] for a source graph whose node
+    /// count exceeds the format's per-edge bound (isolated vertices beyond
+    /// ~64 per edge — see the allocation guard in
+    /// [`FtSpanner::from_binary_reader`]).
+    pub fn to_binary_writer<W: Write>(&self, mut writer: W) -> std::io::Result<()> {
+        if self.node_count() > binary_node_bound(self.source.edge_count()) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!(
+                    "cannot serialize {} nodes with only {} edges: the binary format caps \
+                     the node count at {} so readers can bound their allocations",
+                    self.node_count(),
+                    self.source.edge_count(),
+                    binary_node_bound(self.source.edge_count()),
+                ),
+            ));
+        }
+        // Counts and string lengths are stored as u32; anything wider would
+        // silently wrap into a corrupt (or worse, differently-shaped) file.
+        let widest = self
+            .node_count()
+            .max(self.source.edge_count())
+            .max(self.algorithm.len())
+            .max(self.provenance.len());
+        if widest > u32::MAX as usize {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("{widest} exceeds the binary format's u32 counters"),
+            ));
+        }
+        writer.write_all(&BINARY_MAGIC)?;
+        writer.write_all(&BINARY_VERSION.to_le_bytes())?;
+
+        let mut meta = Vec::new();
+        write_bin_str(&mut meta, &self.algorithm);
+        write_bin_str(&mut meta, &self.provenance);
+        meta.push(match self.fault_model {
+            FaultModel::Vertex => 0u8,
+            FaultModel::Edge => 1u8,
+        });
+        meta.extend_from_slice(&(self.faults as u64).to_le_bytes());
+        meta.extend_from_slice(&self.stretch.to_le_bytes());
+        write_section(&mut writer, b"META", &meta)?;
+
+        let (n, m) = (self.source.node_count(), self.source.edge_count());
+        let mut grph = Vec::with_capacity(8 + 16 * m);
+        grph.extend_from_slice(&(n as u32).to_le_bytes());
+        grph.extend_from_slice(&(m as u32).to_le_bytes());
+        for (_, e) in self.source.edges() {
+            grph.extend_from_slice(&(e.u.index() as u32).to_le_bytes());
+        }
+        for (_, e) in self.source.edges() {
+            grph.extend_from_slice(&(e.v.index() as u32).to_le_bytes());
+        }
+        for (_, e) in self.source.edges() {
+            grph.extend_from_slice(&e.weight.to_le_bytes());
+        }
+        write_section(&mut writer, b"GRPH", &grph)?;
+
+        let mut span = Vec::with_capacity(4 + 4 * self.spanner_edges.len());
+        span.extend_from_slice(&(self.spanner_edges.len() as u32).to_le_bytes());
+        for id in self.spanner_edges.iter() {
+            span.extend_from_slice(&(id.index() as u32).to_le_bytes());
+        }
+        write_section(&mut writer, b"SPAN", &span)?;
+
+        write_section(&mut writer, b"END\0", &[])
+    }
+
+    /// Reads an artifact previously written by
+    /// [`FtSpanner::to_binary_writer`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] on a bad magic, an unsupported
+    /// version, a truncated or malformed section, or out-of-range edge data;
+    /// I/O failures are wrapped the same way (the format is self-contained).
+    pub fn from_binary_reader<R: Read>(mut reader: R) -> Result<Self> {
+        let mut header = [0u8; 8];
+        read_exact(&mut reader, &mut header, "header")?;
+        if header[..4] != BINARY_MAGIC {
+            return Err(CoreError::InvalidParameter {
+                message: format!(
+                    "bad magic in ftspanner binary data: expected `FTSP`, got {:?}",
+                    &header[..4]
+                ),
+            });
+        }
+        let version = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        if version != BINARY_VERSION {
+            return Err(CoreError::InvalidParameter {
+                message: format!(
+                    "unsupported ftspanner binary version {version} (this build reads \
+                     version {BINARY_VERSION})"
+                ),
+            });
+        }
+
+        let meta = read_section(&mut reader, b"META")?;
+        let mut cur = BinCursor::new(&meta, "META");
+        let algorithm = cur.read_str()?;
+        let provenance = cur.read_str()?;
+        let fault_model = match cur.read_u8()? {
+            0 => FaultModel::Vertex,
+            1 => FaultModel::Edge,
+            other => {
+                return Err(CoreError::InvalidParameter {
+                    message: format!("unknown fault model tag {other} in ftspanner binary data"),
+                })
+            }
+        };
+        let faults = cur.read_u64()? as usize;
+        let stretch = f64::from_bits(cur.read_u64()?);
+        cur.finish()?;
+
+        let grph = read_section(&mut reader, b"GRPH")?;
+        let mut cur = BinCursor::new(&grph, "GRPH");
+        let n = cur.read_u32()? as usize;
+        let m = cur.read_u32()? as usize;
+        // `m` is about to be checked against bytes actually present; `n` has
+        // no backing bytes, so bound it before `Graph::new(n)` turns a
+        // 4-byte lie into a multi-gigabyte allocation.
+        cur.expect_remaining(16 * m)?;
+        if n > binary_node_bound(m) {
+            return Err(CoreError::InvalidParameter {
+                message: format!(
+                    "implausible node count {n} for {m} edges in ftspanner binary data \
+                     (limit {}): refusing the allocation",
+                    binary_node_bound(m)
+                ),
+            });
+        }
+        let us: Vec<u32> = (0..m).map(|_| cur.read_u32()).collect::<Result<_>>()?;
+        let vs: Vec<u32> = (0..m).map(|_| cur.read_u32()).collect::<Result<_>>()?;
+        let ws: Vec<f64> = (0..m)
+            .map(|_| cur.read_u64().map(f64::from_bits))
+            .collect::<Result<_>>()?;
+        cur.finish()?;
+        let mut graph = Graph::new(n);
+        for i in 0..m {
+            graph
+                .add_edge(
+                    NodeId::new(us[i] as usize),
+                    NodeId::new(vs[i] as usize),
+                    ws[i],
+                )
+                // Out-of-range endpoints, self-loops and duplicates are all
+                // malformed *data*, so they surface as the documented
+                // InvalidParameter — not as a bare graph error.
+                .map_err(|e| CoreError::InvalidParameter {
+                    message: format!("invalid edge {i} in ftspanner binary data: {e}"),
+                })?;
+        }
+
+        let span = read_section(&mut reader, b"SPAN")?;
+        let mut cur = BinCursor::new(&span, "SPAN");
+        let s = cur.read_u32()? as usize;
+        cur.expect_remaining(4 * s)?;
+        let mut edges = graph.empty_edge_set();
+        for _ in 0..s {
+            let idx = cur.read_u32()? as usize;
+            if idx >= graph.edge_count() {
+                return Err(CoreError::InvalidParameter {
+                    message: format!(
+                        "spanner edge index {idx} out of range for {} edges in ftspanner \
+                         binary data",
+                        graph.edge_count()
+                    ),
+                });
+            }
+            edges.insert(ftspan_graph::EdgeId::new(idx));
+        }
+        cur.finish()?;
+
+        let end = read_section(&mut reader, b"END\0")?;
+        if !end.is_empty() {
+            return Err(CoreError::InvalidParameter {
+                message: "non-empty END section in ftspanner binary data".to_string(),
+            });
+        }
+        // END must actually end the data: trailing garbage (a partially
+        // overwritten or concatenated file) is corruption, not padding.
+        let mut probe = [0u8; 1];
+        match reader.read(&mut probe) {
+            Ok(0) => {}
+            Ok(_) => {
+                return Err(CoreError::InvalidParameter {
+                    message: "trailing bytes after END section in ftspanner binary data"
+                        .to_string(),
+                })
+            }
+            Err(e) => {
+                return Err(CoreError::InvalidParameter {
+                    message: format!("read error in ftspanner binary data: {e}"),
+                })
+            }
+        }
+
+        Self::from_parts(
+            &graph,
+            edges,
+            &algorithm,
+            &provenance,
+            fault_model,
+            faults,
+            stretch,
+        )
+    }
+}
+
+/// Writes one length-prefixed binary section: 4-byte tag, `u64` payload
+/// length, payload.
+fn write_section<W: Write>(writer: &mut W, tag: &[u8; 4], payload: &[u8]) -> std::io::Result<()> {
+    writer.write_all(tag)?;
+    writer.write_all(&(payload.len() as u64).to_le_bytes())?;
+    writer.write_all(payload)
+}
+
+/// Reads one section and checks its tag. The payload is streamed through
+/// `Read::take`, so a lying length on truncated input is a typed error
+/// instead of an absurd upfront allocation.
+fn read_section<R: Read>(reader: &mut R, expected: &[u8; 4]) -> Result<Vec<u8>> {
+    let mut head = [0u8; 12];
+    let what = String::from_utf8_lossy(expected)
+        .trim_end_matches('\0')
+        .to_string();
+    read_exact(reader, &mut head, &what)?;
+    if head[..4] != expected[..] {
+        return Err(CoreError::InvalidParameter {
+            message: format!(
+                "expected `{}` section in ftspanner binary data, got {:?}",
+                what,
+                &head[..4]
+            ),
+        });
+    }
+    let len = u64::from_le_bytes(head[4..12].try_into().expect("8 bytes")) as usize;
+    let mut payload = Vec::new();
+    reader
+        .take(len as u64)
+        .read_to_end(&mut payload)
+        .map_err(|e| CoreError::InvalidParameter {
+            message: format!("read error in ftspanner binary data: {e}"),
+        })?;
+    if payload.len() != len {
+        return Err(CoreError::InvalidParameter {
+            message: format!(
+                "truncated `{}` section in ftspanner binary data: expected {} bytes, got {}",
+                what,
+                len,
+                payload.len()
+            ),
+        });
+    }
+    Ok(payload)
+}
+
+fn read_exact<R: Read>(reader: &mut R, buf: &mut [u8], what: &str) -> Result<()> {
+    reader
+        .read_exact(buf)
+        .map_err(|e| CoreError::InvalidParameter {
+            message: format!("truncated ftspanner binary data ({what}): {e}"),
+        })
+}
+
+fn write_bin_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// A bounds-checked little-endian reader over one section's payload.
+struct BinCursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+    section: &'static str,
+}
+
+impl<'a> BinCursor<'a> {
+    fn new(data: &'a [u8], section: &'static str) -> Self {
+        BinCursor {
+            data,
+            pos: 0,
+            section,
+        }
+    }
+
+    fn take(&mut self, len: usize) -> Result<&'a [u8]> {
+        if self.pos + len > self.data.len() {
+            return Err(CoreError::InvalidParameter {
+                message: format!(
+                    "truncated `{}` section in ftspanner binary data (wanted {} more bytes, \
+                     {} left)",
+                    self.section,
+                    len,
+                    self.data.len() - self.pos
+                ),
+            });
+        }
+        let slice = &self.data[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(slice)
+    }
+
+    fn read_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn read_u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn read_u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn read_str(&mut self) -> Result<String> {
+        let len = self.read_u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CoreError::InvalidParameter {
+            message: format!(
+                "non-UTF-8 string in `{}` section of ftspanner binary data",
+                self.section
+            ),
+        })
+    }
+
+    /// Checks that exactly `len` bytes remain (counted records must match
+    /// the section length before any allocation happens).
+    fn expect_remaining(&self, len: usize) -> Result<()> {
+        let left = self.data.len() - self.pos;
+        if left != len {
+            return Err(CoreError::InvalidParameter {
+                message: format!(
+                    "malformed `{}` section in ftspanner binary data: {len} bytes of records \
+                     declared, {left} present",
+                    self.section
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Rejects trailing garbage at the end of a section.
+    fn finish(&self) -> Result<()> {
+        if self.pos != self.data.len() {
+            return Err(CoreError::InvalidParameter {
+                message: format!(
+                    "{} trailing bytes in `{}` section of ftspanner binary data",
+                    self.data.len() - self.pos,
+                    self.section
+                ),
+            });
+        }
+        Ok(())
     }
 }
 
@@ -732,6 +1135,220 @@ impl<'a> FaultSession<'a> {
     /// condition).
     pub fn is_within_guarantee(&self) -> bool {
         self.max_stretch() <= self.artifact.stretch + EPS
+    }
+
+    /// Wraps this session in a [`CachedSession`] whose bounded LRU source
+    /// cache reuses one Dijkstra tree per query source.
+    ///
+    /// `capacity` is the number of distinct sources kept (`0` disables
+    /// caching entirely — every query recomputes, exactly like the plain
+    /// session). Caching is **observationally transparent**: every answer is
+    /// identical to the plain session's, at any capacity.
+    pub fn cached(self, capacity: usize) -> CachedSession<'a> {
+        CachedSession {
+            session: self,
+            capacity,
+            trees: Vec::new(),
+            workspace: SsspWorkspace::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+}
+
+/// One cached shortest-path tree of a [`CachedSession`]: the spanner-side
+/// distances and parents from a source, plus the lazily computed baseline
+/// distances (only certificate queries need them).
+#[derive(Debug, Clone)]
+struct CachedTree {
+    source: NodeId,
+    dist: Vec<f64>,
+    parents: Vec<Option<NodeId>>,
+    baseline: Option<Vec<f64>>,
+}
+
+/// A [`FaultSession`] with a bounded LRU cache of per-source shortest-path
+/// trees, created by [`FaultSession::cached`].
+///
+/// Serving batches are dominated by repeated `(source, fault scope)` pairs;
+/// a `distance`, `path` or `stretch_certificate` query from a source whose
+/// tree is cached costs an array lookup (plus a path walk) instead of a full
+/// Dijkstra. Cache misses compute through a reusable [`SsspWorkspace`], so
+/// even a cold cache allocates less than the plain session.
+///
+/// The cache is **observationally transparent**: for every query and every
+/// capacity (including `0` = off), the answer is byte-identical to the
+/// underlying [`FaultSession`]'s. Methods take `&mut self` only to maintain
+/// the cache.
+///
+/// The recency list is a plain `Vec` scanned linearly, a deliberate
+/// small-capacity design: at the tens-to-hundreds of sources a serving
+/// group sees, the scan is noise next to the Dijkstra run a hit saves.
+/// Capacities in the many thousands would want an index next to the list.
+#[derive(Debug)]
+pub struct CachedSession<'a> {
+    session: FaultSession<'a>,
+    capacity: usize,
+    /// LRU order: least recently used first, most recent last.
+    trees: Vec<CachedTree>,
+    workspace: SsspWorkspace,
+    hits: u64,
+    misses: u64,
+}
+
+impl<'a> CachedSession<'a> {
+    /// The underlying fault-scoped session.
+    pub fn session(&self) -> &FaultSession<'a> {
+        &self.session
+    }
+
+    /// The artifact this session queries.
+    pub fn artifact(&self) -> &'a FtSpanner {
+        self.session.artifact
+    }
+
+    /// The configured cache capacity (distinct sources kept).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of queries answered from a cached tree.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of queries that had to run Dijkstra.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Ensures the tree rooted at `u` is resident and returns its index
+    /// (always the most-recent slot, `self.trees.len() - 1`).
+    fn ensure_tree(&mut self, u: NodeId) -> Result<usize> {
+        self.session.check_node(u)?;
+        if self.capacity > 0 {
+            if let Some(i) = self.trees.iter().position(|t| t.source == u) {
+                self.hits += 1;
+                let tree = self.trees.remove(i);
+                self.trees.push(tree);
+                return Ok(self.trees.len() - 1);
+            }
+        }
+        self.misses += 1;
+        let (dead, dead_edges) = (
+            self.session.dead_nodes.as_deref(),
+            self.session.dead_edges.as_deref(),
+        );
+        self.session
+            .artifact
+            .spanner_csr
+            .sssp_into(u, dead, dead_edges, None, &mut self.workspace)
+            .map_err(CoreError::Graph)?;
+        let tree = CachedTree {
+            source: u,
+            dist: self.workspace.distances().to_vec(),
+            parents: self.workspace.parents().to_vec(),
+            baseline: None,
+        };
+        if self.capacity == 0 {
+            self.trees.clear();
+        } else {
+            while self.trees.len() >= self.capacity {
+                self.trees.remove(0);
+            }
+        }
+        self.trees.push(tree);
+        Ok(self.trees.len() - 1)
+    }
+
+    /// Ensures the baseline (source-graph) distances of the tree at `slot`
+    /// are computed.
+    fn ensure_baseline(&mut self, slot: usize) -> Result<()> {
+        if self.trees[slot].baseline.is_some() {
+            return Ok(());
+        }
+        let u = self.trees[slot].source;
+        let (dead, dead_edges) = (
+            self.session.dead_nodes.as_deref(),
+            self.session.dead_edges.as_deref(),
+        );
+        self.session
+            .artifact
+            .source_csr
+            .sssp_into(u, dead, dead_edges, None, &mut self.workspace)
+            .map_err(CoreError::Graph)?;
+        self.trees[slot].baseline = Some(self.workspace.distances().to_vec());
+        Ok(())
+    }
+
+    /// Shortest-path distance from `u` to `v` in the surviving spanner
+    /// (identical to [`FaultSession::distance`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownNode`] if an endpoint is out of bounds.
+    pub fn distance(&mut self, u: NodeId, v: NodeId) -> Result<f64> {
+        // Endpoints are checked in the same order as the plain session, so
+        // error values are identical too.
+        self.session.check_node(u)?;
+        self.session.check_node(v)?;
+        let slot = self.ensure_tree(u)?;
+        Ok(self.trees[slot].dist[v.index()])
+    }
+
+    /// All shortest-path distances from `u` in the surviving spanner
+    /// (identical to [`FaultSession::distances_from`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownNode`] if `u` is out of bounds.
+    pub fn distances_from(&mut self, u: NodeId) -> Result<Vec<f64>> {
+        let slot = self.ensure_tree(u)?;
+        Ok(self.trees[slot].dist.clone())
+    }
+
+    /// A shortest surviving spanner path from `u` to `v` (identical to
+    /// [`FaultSession::path`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownNode`] if an endpoint is out of bounds.
+    pub fn path(&mut self, u: NodeId, v: NodeId) -> Result<Option<Vec<NodeId>>> {
+        self.session.check_node(u)?;
+        self.session.check_node(v)?;
+        let slot = self.ensure_tree(u)?;
+        let tree = &self.trees[slot];
+        Ok(reconstruct_path(&tree.parents, &tree.dist, u, v))
+    }
+
+    /// A [`StretchCertificate`] for the pair `(u, v)` (identical to
+    /// [`FaultSession::stretch_certificate`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownNode`] if an endpoint is out of bounds.
+    pub fn stretch_certificate(&mut self, u: NodeId, v: NodeId) -> Result<StretchCertificate> {
+        self.session.check_node(u)?;
+        self.session.check_node(v)?;
+        let slot = self.ensure_tree(u)?;
+        self.ensure_baseline(slot)?;
+        let tree = &self.trees[slot];
+        let spanner_distance = tree.dist[v.index()];
+        let baseline_distance = tree.baseline.as_ref().expect("just ensured")[v.index()];
+        let stretch = if baseline_distance == 0.0 || baseline_distance.is_infinite() {
+            1.0
+        } else {
+            spanner_distance / baseline_distance
+        };
+        Ok(StretchCertificate {
+            u,
+            v,
+            spanner_distance,
+            baseline_distance,
+            stretch,
+            bound: self.session.artifact.stretch,
+            path: reconstruct_path(&tree.parents, &tree.dist, u, v),
+        })
     }
 }
 
@@ -980,6 +1597,235 @@ mod tests {
             let y = b.distances_from(NodeId::new(u)).unwrap();
             assert_eq!(x, y);
         }
+    }
+
+    #[test]
+    fn binary_serialization_round_trips() {
+        let (_, artifact) = conversion_artifact(11, 2);
+        let mut buf = Vec::new();
+        artifact.to_binary_writer(&mut buf).unwrap();
+        assert_eq!(&buf[..4], &BINARY_MAGIC);
+        let restored = FtSpanner::from_binary_reader(buf.as_slice()).unwrap();
+        assert_eq!(artifact, restored);
+        // Byte-stable: re-serializing the restored artifact is identical.
+        let mut again = Vec::new();
+        restored.to_binary_writer(&mut again).unwrap();
+        assert_eq!(buf, again);
+    }
+
+    #[test]
+    fn binary_format_preserves_what_text_flattens() {
+        // Newlines in free-text fields and bit-exact weights survive the
+        // binary round trip (the text format flattens / re-parses them).
+        let g = Graph::from_edges(3, [(0, 1, 0.1 + 0.2), (1, 2, 1e-300)]).unwrap();
+        let artifact = FtSpanner::from_edge_set(
+            &g,
+            g.full_edge_set(),
+            "adopted",
+            "line one\nline two",
+            FaultModel::Vertex,
+            1,
+            3.0,
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        artifact.to_binary_writer(&mut buf).unwrap();
+        let restored = FtSpanner::from_binary_reader(buf.as_slice()).unwrap();
+        assert_eq!(restored.provenance(), "line one\nline two");
+        assert_eq!(restored, artifact);
+    }
+
+    #[test]
+    fn corrupted_binary_data_is_a_typed_error() {
+        let (_, artifact) = conversion_artifact(12, 1);
+        let mut good = Vec::new();
+        artifact.to_binary_writer(&mut good).unwrap();
+
+        // Empty input, bad magic, unsupported version.
+        for bytes in [
+            Vec::new(),
+            b"NOPE".to_vec(),
+            {
+                let mut b = good.clone();
+                b[0] = b'X';
+                b
+            },
+            {
+                let mut b = good.clone();
+                b[4] = 99; // version 99
+                b
+            },
+        ] {
+            assert!(matches!(
+                FtSpanner::from_binary_reader(bytes.as_slice()),
+                Err(CoreError::InvalidParameter { .. })
+            ));
+        }
+        // Truncation at every section boundary and mid-section.
+        for cut in [6, 12, 20, good.len() / 2, good.len() - 1] {
+            assert!(
+                matches!(
+                    FtSpanner::from_binary_reader(&good[..cut]),
+                    Err(CoreError::InvalidParameter { .. })
+                ),
+                "accepted truncation at {cut}"
+            );
+        }
+        // A section length that lies about the payload size.
+        let mut lying = good.clone();
+        let meta_len_at = 8 + 4; // magic + version + "META" tag
+        lying[meta_len_at] = lying[meta_len_at].wrapping_add(3);
+        assert!(FtSpanner::from_binary_reader(lying.as_slice()).is_err());
+        // Trailing garbage after END (overwritten / concatenated files).
+        let mut trailing = good.clone();
+        trailing.extend_from_slice(b"junk");
+        assert!(matches!(
+            FtSpanner::from_binary_reader(trailing.as_slice()),
+            Err(CoreError::InvalidParameter { .. })
+        ));
+        // Out-of-range endpoints in GRPH are InvalidParameter, as the
+        // rustdoc promises (not a bare graph error).
+        let g = Graph::from_unit_edges(2, [(0, 1)]).unwrap();
+        let small = FtSpanner::from_edge_set(
+            &g,
+            g.full_edge_set(),
+            "adopted",
+            "p",
+            FaultModel::Vertex,
+            0,
+            1.0,
+        )
+        .unwrap();
+        let mut bytes = Vec::new();
+        small.to_binary_writer(&mut bytes).unwrap();
+        // GRPH payload starts after magic(4)+version(4)+META section; patch
+        // the first endpoint (u of edge 0) to 7 >= n = 2.
+        let grph_tag = bytes
+            .windows(4)
+            .position(|w| w == b"GRPH")
+            .expect("GRPH section exists");
+        let u0_at = grph_tag + 4 + 8 + 8; // tag + length + (n, m)
+        bytes[u0_at] = 7;
+        assert!(matches!(
+            FtSpanner::from_binary_reader(bytes.as_slice()),
+            Err(CoreError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn implausible_node_counts_are_rejected_not_allocated() {
+        // A lying node count has no backing bytes, so the reader must refuse
+        // it as a typed error instead of attempting an `O(n)` allocation a
+        // few corrupted bytes could inflate to gigabytes.
+        let (_, artifact) = conversion_artifact(12, 1);
+        let mut bytes = Vec::new();
+        artifact.to_binary_writer(&mut bytes).unwrap();
+        let grph_tag = bytes
+            .windows(4)
+            .position(|w| w == b"GRPH")
+            .expect("GRPH section exists");
+        let n_at = grph_tag + 4 + 8; // tag + length
+        bytes[n_at..n_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        match FtSpanner::from_binary_reader(bytes.as_slice()) {
+            Err(CoreError::InvalidParameter { message }) => {
+                assert!(
+                    message.contains("implausible node count"),
+                    "unexpected error: {message}"
+                );
+            }
+            other => panic!("accepted a 4-billion-node header: {other:?}"),
+        }
+
+        // The writer enforces the same bound, so nothing it accepts is
+        // unreadable: an artifact that is almost all isolated vertices at
+        // million scale is refused at save time.
+        let mut sparse = Graph::new((1 << 20) + 100);
+        sparse
+            .add_edge(NodeId::new(0), NodeId::new(1), 1.0)
+            .unwrap();
+        let wide = FtSpanner::from_edge_set(
+            &sparse,
+            sparse.full_edge_set(),
+            "adopted",
+            "p",
+            FaultModel::Vertex,
+            0,
+            1.0,
+        )
+        .unwrap();
+        let err = wide
+            .to_binary_writer(&mut Vec::new())
+            .expect_err("2^20 + 100 nodes on 1 edge must not serialize");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn cached_session_is_observationally_transparent() {
+        let (_, artifact) = conversion_artifact(13, 2);
+        let n = artifact.node_count();
+        let faults = [NodeId::new(2), NodeId::new(5)];
+        for capacity in [0usize, 1, 3, 64] {
+            let plain = artifact.under_faults(&faults).unwrap();
+            let mut cached = artifact.under_faults(&faults).unwrap().cached(capacity);
+            // Repeat the sweep so every capacity exercises hits, evictions
+            // and (for 0) the no-cache path.
+            for _ in 0..2 {
+                for u in 0..n {
+                    for v in [0usize, 3, n - 1] {
+                        let (u, v) = (NodeId::new(u), NodeId::new(v));
+                        assert_eq!(
+                            plain.distance(u, v).unwrap(),
+                            cached.distance(u, v).unwrap()
+                        );
+                        assert_eq!(plain.path(u, v).unwrap(), cached.path(u, v).unwrap());
+                        assert_eq!(
+                            plain.stretch_certificate(u, v).unwrap(),
+                            cached.stretch_certificate(u, v).unwrap()
+                        );
+                    }
+                }
+            }
+            assert_eq!(
+                plain.distances_from(NodeId::new(1)).unwrap(),
+                cached.distances_from(NodeId::new(1)).unwrap()
+            );
+            if capacity == 0 {
+                assert_eq!(cached.hits(), 0, "capacity 0 must never hit");
+            } else {
+                assert!(cached.hits() > 0);
+            }
+            assert!(cached.misses() > 0);
+            assert_eq!(cached.capacity(), capacity);
+            assert_eq!(cached.session().fault_count(), 2);
+            assert_eq!(cached.artifact().node_count(), n);
+        }
+    }
+
+    #[test]
+    fn cached_session_rejects_unknown_nodes_like_the_plain_session() {
+        let (_, artifact) = conversion_artifact(14, 1);
+        let plain = artifact.session();
+        let mut cached = artifact.session().cached(4);
+        let bad = NodeId::new(999);
+        let good = NodeId::new(0);
+        for (u, v) in [(bad, good), (good, bad), (bad, bad)] {
+            assert_eq!(
+                plain.distance(u, v).unwrap_err(),
+                cached.distance(u, v).unwrap_err()
+            );
+            assert_eq!(
+                plain.path(u, v).unwrap_err(),
+                cached.path(u, v).unwrap_err()
+            );
+            assert_eq!(
+                plain.stretch_certificate(u, v).unwrap_err(),
+                cached.stretch_certificate(u, v).unwrap_err()
+            );
+        }
+        assert_eq!(
+            plain.distances_from(bad).unwrap_err(),
+            cached.distances_from(bad).unwrap_err()
+        );
     }
 
     #[test]

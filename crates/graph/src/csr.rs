@@ -272,15 +272,42 @@ impl CsrSubgraph {
         dead_edges: Option<&[bool]>,
         cutoff: Option<f64>,
     ) -> Result<(Vec<f64>, Vec<Option<NodeId>>)> {
+        let mut workspace = SsspWorkspace::new();
+        self.sssp_into(source, dead, dead_edges, cutoff, &mut workspace)?;
+        let SsspWorkspace { dist, parent, .. } = workspace;
+        Ok((dist, parent))
+    }
+
+    /// Like [`CsrSubgraph::sssp_with_parents`], but writes into a reusable
+    /// [`SsspWorkspace`] instead of allocating fresh distance/parent arrays.
+    ///
+    /// Serving hot paths answer thousands of queries against the same CSR;
+    /// reusing one workspace across them removes three allocations (and the
+    /// page-faulting they imply) per traversal. The results are **identical**
+    /// to the allocating variants — the workspace only changes where they
+    /// land.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CsrSubgraph::sssp`].
+    pub fn sssp_into(
+        &self,
+        source: NodeId,
+        dead: Option<&[bool]>,
+        dead_edges: Option<&[bool]>,
+        cutoff: Option<f64>,
+        workspace: &mut SsspWorkspace,
+    ) -> Result<()> {
         self.validate_masks(source, dead, dead_edges)?;
         let n = self.node_count();
-        let mut dist = vec![INFINITY; n];
-        let mut parent: Vec<Option<NodeId>> = vec![None; n];
+        workspace.reset(n);
+        let dist = &mut workspace.dist;
+        let parent = &mut workspace.parent;
+        let heap = &mut workspace.heap;
         let is_dead = |v: NodeId| dead.is_some_and(|d| d[v.index()]);
         if is_dead(source) {
-            return Ok((dist, parent));
+            return Ok(());
         }
-        let mut heap = BinaryHeap::new();
         dist[source.index()] = 0.0;
         heap.push(HeapEntry {
             dist: 0.0,
@@ -318,7 +345,49 @@ impl CsrSubgraph {
                 }
             }
         }
-        Ok((dist, parent))
+        Ok(())
+    }
+}
+
+/// Reusable buffers for [`CsrSubgraph::sssp_into`]: the distance array, the
+/// parent array and the binary heap of one Dijkstra run.
+///
+/// One workspace serves any number of traversals (over CSRs of any size —
+/// buffers grow as needed and are reset, not reallocated, between runs).
+/// After a run, [`SsspWorkspace::distances`] and [`SsspWorkspace::parents`]
+/// expose the results exactly as [`CsrSubgraph::sssp_with_parents`] would
+/// have returned them.
+#[derive(Debug, Clone, Default)]
+pub struct SsspWorkspace {
+    dist: Vec<f64>,
+    parent: Vec<Option<NodeId>>,
+    heap: BinaryHeap<HeapEntry>,
+}
+
+impl SsspWorkspace {
+    /// An empty workspace (buffers are sized lazily by the first run).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Distances of the last run (`INFINITY` for unreached vertices).
+    pub fn distances(&self) -> &[f64] {
+        &self.dist
+    }
+
+    /// Predecessors of the last run (`None` for the source and unreached
+    /// vertices).
+    pub fn parents(&self) -> &[Option<NodeId>] {
+        &self.parent
+    }
+
+    /// Clears the buffers and sizes them for an `n`-vertex traversal.
+    fn reset(&mut self, n: usize) {
+        self.dist.clear();
+        self.dist.resize(n, INFINITY);
+        self.parent.clear();
+        self.parent.resize(n, None);
+        self.heap.clear();
     }
 }
 
@@ -467,6 +536,35 @@ mod tests {
         let d = csr.sssp_bounded(NodeId::new(0), None, None, 2.5).unwrap();
         assert_eq!(d[2], 2.0);
         assert!(d[4].is_infinite());
+    }
+
+    #[test]
+    fn workspace_runs_match_allocating_runs_across_csrs() {
+        // One workspace, reused across CSRs of different sizes and masks:
+        // results must match the allocating API exactly.
+        let mut ws = SsspWorkspace::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        for n in [6usize, 17, 9] {
+            let g = generate::gnp(n, 0.4, generate::WeightKind::Unit, &mut rng);
+            let csr = CsrSubgraph::from_graph(&g);
+            let mut dead = vec![false; n];
+            dead[n / 2] = true;
+            for src in 0..n.min(4) {
+                let (dist, parents) = csr
+                    .sssp_with_parents(NodeId::new(src), Some(&dead), None)
+                    .unwrap();
+                csr.sssp_into(NodeId::new(src), Some(&dead), None, None, &mut ws)
+                    .unwrap();
+                assert_eq!(ws.distances(), dist.as_slice());
+                assert_eq!(ws.parents(), parents.as_slice());
+            }
+        }
+        // Invalid inputs are still typed errors through the workspace path.
+        let g = generate::path(4);
+        let csr = CsrSubgraph::from_graph(&g);
+        assert!(csr
+            .sssp_into(NodeId::new(9), None, None, None, &mut ws)
+            .is_err());
     }
 
     #[test]

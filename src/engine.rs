@@ -1,12 +1,33 @@
 //! The serving [`Engine`]: named [`FtSpanner`] artifacts, batched queries,
-//! worker threads.
+//! a session-reusing query planner, worker threads.
 //!
 //! The build-once/query-many workflow: construct artifacts through
 //! [`FtSpannerBuilder::build_artifact`](crate::FtSpannerBuilder::build_artifact)
-//! (or load them with [`FtSpanner::from_reader`]), register them under names,
-//! then execute whole batches of [`Query`] values. Queries are distributed
-//! across worker threads; results come back **in input order**, so a batch is
-//! deterministic regardless of worker count or scheduling.
+//! (or load them with [`FtSpanner::from_reader`] / an
+//! [`ArtifactStore`](crate::ArtifactStore)), register them under names, then
+//! execute whole batches of [`Query`] values. Results come back **in input
+//! order**, so a batch is deterministic regardless of worker count or
+//! scheduling.
+//!
+//! # The query planner
+//!
+//! Serving batches are dominated by repeated fault scopes: thousands of
+//! queries against the same artifact under the same fault set, often from a
+//! handful of sources. [`Engine::run_batch`] therefore does not open a fresh
+//! session per query. It **canonicalizes** each query's fault scope (sorted,
+//! deduplicated vertex or edge faults), **groups** the batch by
+//! `(artifact, fault scope)`, builds each group's [`FaultSession`] once, and
+//! fans the groups out across the `ftspan_core::par` worker pool. Within a
+//! group, queries run through a [`CachedSession`] whose bounded LRU reuses
+//! one Dijkstra tree per query source ([`EngineConfig::source_cache_capacity`]).
+//!
+//! The plan is **observationally transparent**: the results — including
+//! per-query errors — are identical to running every query in its own
+//! session ([`Engine::run_batch_naive`]), at any worker count and any cache
+//! capacity.
+//!
+//! [`FaultSession`]: ftspan_core::FaultSession
+//! [`CachedSession`]: ftspan_core::CachedSession
 //!
 //! # Example
 //!
@@ -33,8 +54,8 @@
 //! assert!(results.iter().all(|r| r.is_ok()));
 //! ```
 
-use ftspan_core::serve::{FtSpanner, StretchCertificate};
-use ftspan_core::{CoreError, FaultModel, Result};
+use ftspan_core::serve::{CachedSession, FaultSession, FtSpanner, StretchCertificate};
+use ftspan_core::{par, CoreError, FaultModel, Result};
 use ftspan_graph::NodeId;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -143,34 +164,78 @@ impl QueryOutcome {
     }
 }
 
+/// Tuning knobs of an [`Engine`], set via [`Engine::with_config`].
+///
+/// None of these affect results — batches are byte-identical at any worker
+/// count and any cache capacity — only wall-clock time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads query batches fan out across (clamped to at least 1).
+    /// The default is one per available CPU.
+    pub workers: usize,
+    /// Capacity of the per-session LRU source cache the planner threads
+    /// through grouped queries: the number of distinct query sources whose
+    /// Dijkstra trees are kept per `(artifact, fault scope)` group. `0`
+    /// disables caching. The default is 64. Lookups scan the recency list
+    /// linearly, so keep this in the tens-to-hundreds range — at that size
+    /// the scan is noise next to the Dijkstra run a hit saves, but a huge
+    /// capacity would make every query pay an `O(capacity)` walk.
+    pub source_cache_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: par::available_threads(),
+            source_cache_capacity: 64,
+        }
+    }
+}
+
 /// A serving engine holding named, immutable [`FtSpanner`] artifacts and
-/// executing query batches across worker threads.
+/// executing query batches through a session-reusing planner across worker
+/// threads.
 ///
 /// Results are returned in input order and depend only on the artifacts and
-/// the queries — never on the worker count — so repeated runs of the same
-/// batch are byte-identical.
+/// the queries — never on the worker count or the cache capacity — so
+/// repeated runs of the same batch are byte-identical.
 #[derive(Debug, Clone)]
 pub struct Engine {
     artifacts: BTreeMap<String, Arc<FtSpanner>>,
-    workers: usize,
+    config: EngineConfig,
 }
 
 impl Engine {
-    /// An empty engine using one worker per available CPU (at least one).
+    /// An empty engine with the default [`EngineConfig`].
     pub fn new() -> Self {
-        let workers = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1);
         Engine {
             artifacts: BTreeMap::new(),
-            workers,
+            config: EngineConfig::default(),
         }
+    }
+
+    /// Replaces the whole configuration.
+    pub fn with_config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self.config.workers = self.config.workers.max(1);
+        self
     }
 
     /// Sets the number of worker threads (clamped to at least 1).
     pub fn with_workers(mut self, workers: usize) -> Self {
-        self.workers = workers.max(1);
+        self.config.workers = workers.max(1);
         self
+    }
+
+    /// Sets the per-group LRU source-cache capacity (`0` disables caching).
+    pub fn with_source_cache_capacity(mut self, capacity: usize) -> Self {
+        self.config.source_cache_capacity = capacity;
+        self
+    }
+
+    /// The engine's current configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
     }
 
     /// Registers (or replaces) an artifact under `name`.
@@ -199,7 +264,9 @@ impl Engine {
         self.artifacts.is_empty()
     }
 
-    fn answer(&self, query: &Query) -> Result<QueryOutcome> {
+    /// Opens the session a query asks for, mirroring the fault-kind checks
+    /// of the naive per-query path exactly.
+    fn open_session(&self, query: &Query) -> Result<FaultSession<'_>> {
         let artifact =
             self.artifacts
                 .get(&query.artifact)
@@ -209,14 +276,14 @@ impl Engine {
         // A query carrying the wrong kind of faults for the artifact is a
         // typed error — silently ignoring the supplied fault set would return
         // confidently wrong (unmasked) answers.
-        let session = if artifact.fault_model() == FaultModel::Edge {
+        if artifact.fault_model() == FaultModel::Edge {
             if !query.faults.is_empty() {
                 return Err(CoreError::FaultModelMismatch {
                     declared: FaultModel::Edge,
                     requested: FaultModel::Vertex,
                 });
             }
-            artifact.under_edge_faults(&query.edge_faults)?
+            artifact.under_edge_faults(&query.edge_faults)
         } else {
             if !query.edge_faults.is_empty() {
                 return Err(CoreError::FaultModelMismatch {
@@ -224,8 +291,12 @@ impl Engine {
                     requested: FaultModel::Edge,
                 });
             }
-            artifact.under_faults(&query.faults)?
-        };
+            artifact.under_faults(&query.faults)
+        }
+    }
+
+    fn answer(&self, query: &Query) -> Result<QueryOutcome> {
+        let session = self.open_session(query)?;
         Ok(match query.kind {
             QueryKind::Distance => QueryOutcome::Distance(session.distance(query.u, query.v)?),
             QueryKind::Path => QueryOutcome::Path(session.path(query.u, query.v)?),
@@ -235,41 +306,139 @@ impl Engine {
         })
     }
 
-    /// Executes a batch of queries, distributing them across the engine's
-    /// worker threads, and returns one result per query **in input order**.
+    fn answer_cached(
+        &self,
+        session: &mut CachedSession<'_>,
+        query: &Query,
+    ) -> Result<QueryOutcome> {
+        Ok(match query.kind {
+            QueryKind::Distance => QueryOutcome::Distance(session.distance(query.u, query.v)?),
+            QueryKind::Path => QueryOutcome::Path(session.path(query.u, query.v)?),
+            QueryKind::Certificate => {
+                QueryOutcome::Certificate(session.stretch_certificate(query.u, query.v)?)
+            }
+        })
+    }
+
+    /// Runs one planned work unit: all of `indices` share a canonical fault
+    /// scope, so one session (with one source cache) serves them all. If the
+    /// shared session cannot be opened, every query is answered naively so
+    /// each reports exactly the error it would have produced on its own —
+    /// error queries never poison their group.
+    fn run_unit(&self, queries: &[Query], indices: &[usize]) -> Vec<Result<QueryOutcome>> {
+        // A unit of one query has nothing to reuse; skip the cache
+        // machinery (the cache is transparent, so the answer is identical).
+        if let [i] = indices {
+            return vec![self.answer(&queries[*i])];
+        }
+        match self.open_session(&queries[indices[0]]) {
+            Ok(session) => {
+                let mut cached = session.cached(self.config.source_cache_capacity);
+                indices
+                    .iter()
+                    .map(|&i| self.answer_cached(&mut cached, &queries[i]))
+                    .collect()
+            }
+            Err(_) => indices.iter().map(|&i| self.answer(&queries[i])).collect(),
+        }
+    }
+
+    /// Executes a batch of queries through the query planner and returns one
+    /// result per query **in input order**.
+    ///
+    /// The planner canonicalizes each query's fault scope, groups the batch
+    /// by `(artifact, fault scope)`, builds each group's session **once**,
+    /// reuses per-source Dijkstra trees within a group
+    /// ([`EngineConfig::source_cache_capacity`]) and fans the groups out
+    /// across the worker pool (large groups are split so a single hot scope
+    /// still uses every worker).
     ///
     /// Per-query failures (unknown artifact, oversized fault set, unknown
-    /// vertex) are reported in the corresponding slot; they never abort the
-    /// rest of the batch.
+    /// vertex, mismatched fault kind) are reported in the corresponding
+    /// slot; they never abort the rest of the batch, and they are identical
+    /// to what [`Engine::run_batch_naive`] reports for the same query.
     pub fn run_batch(&self, queries: &[Query]) -> Vec<Result<QueryOutcome>> {
         if queries.is_empty() {
             return Vec::new();
         }
-        let workers = self.workers.min(queries.len());
-        if workers == 1 {
-            return queries.iter().map(|q| self.answer(q)).collect();
+        let workers = self.config.workers.max(1).min(queries.len());
+
+        // Group by canonical (artifact, fault scope).
+        let mut groups: BTreeMap<ScopeKey<'_>, Vec<usize>> = BTreeMap::new();
+        for (i, query) in queries.iter().enumerate() {
+            groups.entry(ScopeKey::of(query)).or_default().push(i);
         }
-        let chunk = queries.len().div_ceil(workers);
+
+        // Split every group into work units of at most `ceil(batch/workers)`
+        // queries: few big groups still spread across the pool, many small
+        // groups each stay one unit.
+        let unit_size = queries.len().div_ceil(workers);
+        let units: Vec<Vec<usize>> = groups
+            .into_values()
+            .flat_map(|indices| {
+                indices
+                    .chunks(unit_size)
+                    .map(<[usize]>::to_vec)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+
+        let per_unit = par::map(workers, units.len(), |i| self.run_unit(queries, &units[i]));
+
         let mut results: Vec<Option<Result<QueryOutcome>>> = vec![None; queries.len()];
-        std::thread::scope(|scope| {
-            let mut pending: Vec<_> = Vec::new();
-            for (chunk_queries, chunk_results) in
-                queries.chunks(chunk).zip(results.chunks_mut(chunk))
-            {
-                pending.push(scope.spawn(move || {
-                    for (query, slot) in chunk_queries.iter().zip(chunk_results.iter_mut()) {
-                        *slot = Some(self.answer(query));
-                    }
-                }));
+        for (unit, unit_results) in units.iter().zip(per_unit) {
+            for (&i, result) in unit.iter().zip(unit_results) {
+                results[i] = Some(result);
             }
-            for handle in pending {
-                handle.join().expect("engine worker panicked");
-            }
-        });
+        }
         results
             .into_iter()
-            .map(|slot| slot.expect("every query slot is filled by its worker"))
+            .map(|slot| slot.expect("every query index is planned into exactly one unit"))
             .collect()
+    }
+
+    /// The reference executor: answers every query sequentially in its own
+    /// fresh session, with no planning, grouping or caching.
+    ///
+    /// This is the semantics [`Engine::run_batch`] is pinned against (the
+    /// planner must be observationally transparent); it exists for tests,
+    /// benchmarks and debugging — serving traffic should use
+    /// [`Engine::run_batch`].
+    pub fn run_batch_naive(&self, queries: &[Query]) -> Vec<Result<QueryOutcome>> {
+        queries.iter().map(|q| self.answer(q)).collect()
+    }
+}
+
+/// The canonical fault scope of a query: artifact name plus sorted,
+/// deduplicated vertex faults and endpoint-normalized, sorted, deduplicated
+/// edge faults. Two queries with the same key are served by one session.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct ScopeKey<'q> {
+    artifact: &'q str,
+    vertex_faults: Vec<usize>,
+    edge_faults: Vec<(usize, usize)>,
+}
+
+impl<'q> ScopeKey<'q> {
+    fn of(query: &'q Query) -> Self {
+        let mut vertex_faults: Vec<usize> = query.faults.iter().map(|f| f.index()).collect();
+        vertex_faults.sort_unstable();
+        vertex_faults.dedup();
+        let mut edge_faults: Vec<(usize, usize)> = query
+            .edge_faults
+            .iter()
+            .map(|&(u, v)| {
+                let (u, v) = (u.index(), v.index());
+                (u.min(v), u.max(v))
+            })
+            .collect();
+        edge_faults.sort_unstable();
+        edge_faults.dedup();
+        ScopeKey {
+            artifact: &query.artifact,
+            vertex_faults,
+            edge_faults,
+        }
     }
 }
 
@@ -365,6 +534,147 @@ mod tests {
     fn empty_batch_is_empty() {
         let (engine, _) = engine_with_artifact(5);
         assert!(engine.run_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn planner_matches_naive_execution_exactly() {
+        // A messy batch: repeated fault scopes in different orders and with
+        // duplicates, multiple artifacts, every query kind, interleaved
+        // error queries. The planner must reproduce the naive results slot
+        // for slot.
+        let (mut engine, n) = engine_with_artifact(8);
+        let mut rng = ChaCha8Rng::seed_from_u64(80);
+        let g = generate::connected_gnp(18, 0.3, generate::WeightKind::Unit, &mut rng);
+        let second = FtSpannerBuilder::new("corollary-2.2")
+            .faults(2)
+            .build_artifact(&g)
+            .unwrap();
+        engine.register("alt", second);
+
+        let mut queries = Vec::new();
+        for i in 0..n {
+            let (u, v) = (NodeId::new(i), NodeId::new((i * 5 + 2) % n));
+            // Same canonical scope, permuted and duplicated raw fault lists.
+            let scope = match i % 3 {
+                0 => vec![NodeId::new(1), NodeId::new(4)],
+                1 => vec![NodeId::new(4), NodeId::new(1)],
+                _ => vec![NodeId::new(4), NodeId::new(1), NodeId::new(4)],
+            };
+            queries.push(Query::distance("net", scope.clone(), u, v));
+            queries.push(Query::path("net", scope.clone(), u, v));
+            queries.push(Query::certificate(
+                "alt",
+                scope[..1.min(scope.len())].to_vec(),
+                NodeId::new(i % 18),
+                NodeId::new((i + 7) % 18),
+            ));
+            if i % 4 == 0 {
+                queries.push(Query::distance("missing", vec![], u, v)); // unknown artifact
+                queries.push(Query::distance("net", vec![NodeId::new(999)], u, v)); // bad fault
+                queries.push(Query::distance("net", scope, NodeId::new(999), v));
+                // bad endpoint
+            }
+        }
+        let naive = engine.run_batch_naive(&queries);
+        for workers in [1usize, 2, 8] {
+            for capacity in [0usize, 1, 2, 64] {
+                let planned = engine
+                    .clone()
+                    .with_workers(workers)
+                    .with_source_cache_capacity(capacity)
+                    .run_batch(&queries);
+                assert_eq!(
+                    naive, planned,
+                    "planner diverged at workers={workers}, capacity={capacity}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn error_queries_do_not_poison_their_group() {
+        // Every query here lands in the same (artifact, scope) group; the
+        // oversized scope makes the shared session unbuildable. Each query
+        // must still report its own typed error, and a healthy group in the
+        // same batch must be unaffected.
+        let (engine, _) = engine_with_artifact(9);
+        let too_many = vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]; // budget is 1
+        let queries = vec![
+            Query::distance("net", too_many.clone(), NodeId::new(3), NodeId::new(4)),
+            Query::certificate("net", too_many.clone(), NodeId::new(5), NodeId::new(6)),
+            Query::distance("net", vec![NodeId::new(0)], NodeId::new(3), NodeId::new(4)),
+            Query::path("net", too_many, NodeId::new(7), NodeId::new(8)),
+        ];
+        let results = engine.run_batch(&queries);
+        assert!(matches!(
+            results[0],
+            Err(CoreError::TooManyFaults {
+                given: 3,
+                budget: 1
+            })
+        ));
+        assert!(matches!(results[1], Err(CoreError::TooManyFaults { .. })));
+        assert!(results[2].is_ok(), "healthy group poisoned by error group");
+        assert!(matches!(results[3], Err(CoreError::TooManyFaults { .. })));
+        assert_eq!(results, engine.run_batch_naive(&queries));
+    }
+
+    #[test]
+    fn edge_fault_scopes_group_and_serve_through_the_planner() {
+        // Edge-fault artifacts are queryable through the engine: scopes
+        // canonicalize (endpoint order and duplicates collapse) and answers
+        // match the naive path.
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let g = generate::connected_gnp(16, 0.35, generate::WeightKind::Unit, &mut rng);
+        let artifact = FtSpannerBuilder::new("edge-fault")
+            .faults(1)
+            .build_artifact(&g)
+            .unwrap();
+        let (e_u, e_v) = {
+            let id = artifact.spanner_edges().iter().next().unwrap();
+            let e = *g.edge(id);
+            (e.u, e.v)
+        };
+        let mut engine = Engine::new();
+        engine.register("edges", artifact);
+        let queries = vec![
+            Query::distance("edges", vec![], NodeId::new(0), NodeId::new(5))
+                .with_edge_faults(vec![(e_u, e_v)]),
+            // Same scope, endpoints flipped and duplicated.
+            Query::distance("edges", vec![], NodeId::new(5), NodeId::new(0))
+                .with_edge_faults(vec![(e_v, e_u), (e_u, e_v)]),
+            Query::certificate("edges", vec![], NodeId::new(1), NodeId::new(4))
+                .with_edge_faults(vec![(e_v, e_u)]),
+            // A non-existent edge is a typed error that stays per-query.
+            Query::distance("edges", vec![], NodeId::new(0), NodeId::new(1))
+                .with_edge_faults(vec![(NodeId::new(0), NodeId::new(999))]),
+        ];
+        let results = engine.run_batch(&queries);
+        assert!(results[0].is_ok());
+        assert!(results[1].is_ok());
+        assert!(results[2].is_ok());
+        assert!(results[3].is_err());
+        assert_eq!(results, engine.run_batch_naive(&queries));
+        // The symmetric pair answered symmetrically.
+        assert_eq!(
+            results[0].as_ref().unwrap().as_distance(),
+            results[1].as_ref().unwrap().as_distance()
+        );
+    }
+
+    #[test]
+    fn config_is_plumbed_and_clamped() {
+        let engine = Engine::new().with_config(EngineConfig {
+            workers: 0,
+            source_cache_capacity: 7,
+        });
+        assert_eq!(engine.config().workers, 1, "workers are clamped to 1");
+        assert_eq!(engine.config().source_cache_capacity, 7);
+        let engine = engine.with_workers(3).with_source_cache_capacity(0);
+        assert_eq!(engine.config().workers, 3);
+        assert_eq!(engine.config().source_cache_capacity, 0);
+        assert!(EngineConfig::default().workers >= 1);
+        assert_eq!(EngineConfig::default().source_cache_capacity, 64);
     }
 
     #[test]

@@ -14,8 +14,11 @@
 //!
 //! Construction is half the story: reports can be promoted to queryable
 //! [`FtSpanner`](ftspan_core::FtSpanner) artifacts whose fault-scoped
-//! sessions answer `distance` / `path` / `stretch_certificate` queries, and
-//! the batched [`Engine`] serves named artifacts across worker threads —
+//! sessions answer `distance` / `path` / `stretch_certificate` queries; the
+//! batched [`Engine`] serves named artifacts through a session-reusing query
+//! planner (grouped fault scopes, per-source Dijkstra caching, worker
+//! threads — see [`EngineConfig`]); and artifacts persist as versioned
+//! binary `.ftspan` files through the directory-backed [`ArtifactStore`] —
 //! build once, query many.
 //!
 //! # Quickstart
@@ -145,10 +148,12 @@ pub use ftspan_spanners as spanners;
 mod builder;
 mod engine;
 mod registry;
+mod store;
 
 pub use builder::FtSpannerBuilder;
-pub use engine::{Engine, Query, QueryKind, QueryOutcome};
+pub use engine::{Engine, EngineConfig, Query, QueryKind, QueryOutcome};
 pub use registry::registry;
+pub use store::{ArtifactStore, ARTIFACT_EXTENSION};
 
 /// The most commonly used items, re-exported flat for convenient glob
 /// imports in examples and applications.
@@ -165,9 +170,11 @@ pub mod prelude {
         SpannerReport, SpannerRequest,
     };
 
-    // The query side: artifacts, fault-scoped sessions, the serving engine.
-    pub use crate::engine::{Engine, Query, QueryKind, QueryOutcome};
-    pub use ftspan_core::{FaultSession, FtSpanner, StretchCertificate};
+    // The query side: artifacts, fault-scoped sessions, the serving engine
+    // and the directory-backed artifact store.
+    pub use crate::engine::{Engine, EngineConfig, Query, QueryKind, QueryOutcome};
+    pub use crate::store::ArtifactStore;
+    pub use ftspan_core::{CachedSession, FaultSession, FtSpanner, StretchCertificate};
 
     // Combinatorial lower bounds, reported alongside construction sizes.
     pub use ftspan_core::lower_bounds::{

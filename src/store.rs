@@ -1,0 +1,325 @@
+//! Directory-backed artifact persistence: the [`ArtifactStore`].
+//!
+//! A store is a plain directory of `.ftspan` files, one binary-serialized
+//! [`FtSpanner`] per file (see [`FtSpanner::to_binary_writer`]); the file
+//! stem is the artifact's serving name. Build artifacts on a construction
+//! machine, [`save`](ArtifactStore::save) them, ship the directory, and
+//! [`load_into`](ArtifactStore::load_into) an [`Engine`] at serving startup.
+
+use crate::Engine;
+use ftspan_core::serve::FtSpanner;
+use ftspan_core::{CoreError, Result};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// File extension of stored artifacts (without the dot).
+pub const ARTIFACT_EXTENSION: &str = "ftspan";
+
+/// A directory of binary `.ftspan` artifacts, addressed by name.
+///
+/// Names are file stems and restricted to `[A-Za-z0-9._-]` (no path
+/// separators), so a store can never read or write outside its directory.
+/// All I/O failures surface as typed [`CoreError::InvalidParameter`] values
+/// carrying the offending path.
+///
+/// # Example
+///
+/// ```
+/// use fault_tolerant_spanners::prelude::*;
+/// use fault_tolerant_spanners::ArtifactStore;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+/// let network = generate::connected_gnp(20, 0.3, generate::WeightKind::Unit, &mut rng);
+/// let artifact = FtSpannerBuilder::new("conversion")
+///     .faults(1)
+///     .build_artifact(&network)
+///     .unwrap();
+///
+/// let dir = std::env::temp_dir().join(format!("ftspan-doc-{}", std::process::id()));
+/// let store = ArtifactStore::open(&dir).unwrap();
+/// store.save("backbone", &artifact).unwrap();
+/// assert_eq!(store.names().unwrap(), vec!["backbone"]);
+///
+/// // Serving startup: load the whole directory into an engine.
+/// let mut engine = Engine::new();
+/// let loaded = store.load_into(&mut engine).unwrap();
+/// assert_eq!(loaded, vec!["backbone"]);
+/// let results = engine.run_batch(&[Query::distance(
+///     "backbone",
+///     vec![NodeId::new(3)],
+///     NodeId::new(0),
+///     NodeId::new(7),
+/// )]);
+/// assert!(results[0].is_ok());
+/// # std::fs::remove_dir_all(&dir).ok();
+/// ```
+#[derive(Debug, Clone)]
+pub struct ArtifactStore {
+    dir: PathBuf,
+}
+
+impl ArtifactStore {
+    /// Opens (creating if necessary) the store directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] when the directory cannot be
+    /// created.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).map_err(|e| CoreError::InvalidParameter {
+            message: format!("cannot create artifact store at {}: {e}", dir.display()),
+        })?;
+        Ok(ArtifactStore { dir })
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn is_valid_name(name: &str) -> bool {
+        !name.is_empty()
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+            && !name.starts_with('.')
+    }
+
+    fn path_of(&self, name: &str) -> Result<PathBuf> {
+        if !Self::is_valid_name(name) {
+            return Err(CoreError::InvalidParameter {
+                message: format!(
+                    "invalid artifact name `{name}`: expected [A-Za-z0-9._-]+ not starting \
+                     with a dot"
+                ),
+            });
+        }
+        Ok(self.dir.join(format!("{name}.{ARTIFACT_EXTENSION}")))
+    }
+
+    /// Writes `artifact` as `<name>.ftspan` (replacing any previous version)
+    /// and returns the path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] on an invalid name or a write
+    /// failure.
+    pub fn save(&self, name: &str, artifact: &FtSpanner) -> Result<PathBuf> {
+        let path = self.path_of(name)?;
+        // Write to a sibling temp file and rename into place: a crash or a
+        // failed write can then never truncate the previous good artifact or
+        // leave a partial `.ftspan` for the next cold load to trip over.
+        // (The `.tmp-*` extension keeps stragglers out of `names()`; the
+        // pid + counter makes the path unique per call, so concurrent saves
+        // of one name cannot interleave on a shared temp file.) The explicit
+        // flush matters too — artifacts are smaller than BufWriter's buffer,
+        // so Drop would do the real write and swallow a full disk.
+        static SAVE_COUNTER: AtomicU64 = AtomicU64::new(0);
+        let tmp = self.dir.join(format!(
+            "{name}.{ARTIFACT_EXTENSION}.tmp-{}-{}",
+            std::process::id(),
+            SAVE_COUNTER.fetch_add(1, Ordering::Relaxed),
+        ));
+        let write = (|| {
+            let mut writer = BufWriter::new(File::create(&tmp)?);
+            artifact.to_binary_writer(&mut writer)?;
+            writer.flush()?;
+            // Force the bytes to disk before renaming: journaling filesystems
+            // may order the rename ahead of the data, and a power loss would
+            // otherwise install a truncated file where the good one was.
+            writer.get_ref().sync_all()
+        })();
+        if let Err(e) = write.and_then(|()| std::fs::rename(&tmp, &path)) {
+            std::fs::remove_file(&tmp).ok();
+            return Err(CoreError::InvalidParameter {
+                message: format!("cannot write {}: {e}", path.display()),
+            });
+        }
+        Ok(path)
+    }
+
+    /// Loads the named artifact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] on an invalid name, a missing
+    /// file, or malformed artifact data.
+    pub fn load(&self, name: &str) -> Result<FtSpanner> {
+        let path = self.path_of(name)?;
+        let file = File::open(&path).map_err(|e| CoreError::InvalidParameter {
+            message: format!("cannot open {}: {e}", path.display()),
+        })?;
+        FtSpanner::from_binary_reader(BufReader::new(file))
+    }
+
+    /// The names of every stored artifact (`.ftspan` file stems), sorted.
+    ///
+    /// Only **addressable** stems are listed — ones [`ArtifactStore::load`]
+    /// accepts. Files whose stems fall outside the name alphabet (editor
+    /// temporaries like `.#backbone.ftspan`, stray copies with spaces) are
+    /// ignored, so a cold [`ArtifactStore::load_into`] never trips over
+    /// them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] when the directory cannot be
+    /// read.
+    pub fn names(&self) -> Result<Vec<String>> {
+        let entries = std::fs::read_dir(&self.dir).map_err(|e| CoreError::InvalidParameter {
+            message: format!("cannot read artifact store {}: {e}", self.dir.display()),
+        })?;
+        let mut names = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| CoreError::InvalidParameter {
+                message: format!("cannot read artifact store {}: {e}", self.dir.display()),
+            })?;
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some(ARTIFACT_EXTENSION) {
+                continue;
+            }
+            // A subdirectory named `*.ftspan` is not loadable; listing it
+            // would make every cold `load_into` fail on EISDIR.
+            if !entry.file_type().map(|t| t.is_file()).unwrap_or(false) {
+                continue;
+            }
+            if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                if Self::is_valid_name(stem) {
+                    names.push(stem.to_string());
+                }
+            }
+        }
+        names.sort_unstable();
+        Ok(names)
+    }
+
+    /// Loads **every** stored artifact and registers each in `engine` under
+    /// its file stem, returning the sorted names that were loaded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] on the first unreadable or
+    /// malformed file; artifacts loaded before the failure stay registered.
+    pub fn load_into(&self, engine: &mut Engine) -> Result<Vec<String>> {
+        let names = self.names()?;
+        for name in &names {
+            let artifact = self.load(name)?;
+            engine.register(name, artifact);
+        }
+        Ok(names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FtSpannerBuilder, Query};
+    use ftspan_graph::{generate, NodeId};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn temp_store(tag: &str) -> ArtifactStore {
+        let dir =
+            std::env::temp_dir().join(format!("ftspan-store-test-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        ArtifactStore::open(&dir).unwrap()
+    }
+
+    fn artifact(seed: u64) -> FtSpanner {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = generate::connected_gnp(16, 0.3, generate::WeightKind::Unit, &mut rng);
+        FtSpannerBuilder::new("conversion")
+            .faults(1)
+            .build_artifact(&g)
+            .unwrap()
+    }
+
+    #[test]
+    fn save_load_round_trips_and_fills_an_engine() {
+        let store = temp_store("roundtrip");
+        let a = artifact(1);
+        let b = artifact(2);
+        store.save("alpha", &a).unwrap();
+        store.save("beta", &b).unwrap();
+        assert_eq!(store.names().unwrap(), vec!["alpha", "beta"]);
+        assert_eq!(store.load("alpha").unwrap(), a);
+
+        let mut engine = Engine::new();
+        let loaded = store.load_into(&mut engine).unwrap();
+        assert_eq!(loaded, vec!["alpha", "beta"]);
+        assert_eq!(engine.names(), vec!["alpha", "beta"]);
+        let results = engine.run_batch(&[
+            Query::distance(
+                "alpha",
+                vec![NodeId::new(1)],
+                NodeId::new(0),
+                NodeId::new(5),
+            ),
+            Query::distance("beta", vec![], NodeId::new(2), NodeId::new(3)),
+        ]);
+        assert!(results.iter().all(|r| r.is_ok()));
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn save_replaces_atomically_and_leaves_no_temp_files() {
+        let store = temp_store("replace");
+        let first = artifact(10);
+        let second = artifact(11);
+        assert_ne!(first, second);
+        store.save("backbone", &first).unwrap();
+        store.save("backbone", &second).unwrap();
+        assert_eq!(store.load("backbone").unwrap(), second);
+        // The temp file renamed over the target must not linger, and the
+        // listing must only ever see the finished artifact.
+        let stray: Vec<_> = std::fs::read_dir(store.dir())
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter(|f| !f.ends_with(".ftspan"))
+            .collect();
+        assert!(stray.is_empty(), "leftover files: {stray:?}");
+        assert_eq!(store.names().unwrap(), vec!["backbone"]);
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn invalid_names_and_missing_files_are_typed_errors() {
+        let store = temp_store("errors");
+        let a = artifact(3);
+        for bad in ["", "../escape", "a/b", ".hidden", "nul\0byte"] {
+            assert!(store.save(bad, &a).is_err(), "accepted name {bad:?}");
+            assert!(store.load(bad).is_err());
+        }
+        assert!(matches!(
+            store.load("never-saved"),
+            Err(CoreError::InvalidParameter { .. })
+        ));
+        // A corrupt file is a typed error too, and non-.ftspan files are
+        // ignored by listing.
+        std::fs::write(store.dir().join("junk.ftspan"), b"not an artifact").unwrap();
+        std::fs::write(store.dir().join("README.txt"), b"ignore me").unwrap();
+        assert!(store.load("junk").is_err());
+        assert_eq!(store.names().unwrap(), vec!["junk"]);
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn unaddressable_stems_are_ignored_not_fatal() {
+        // Editor temporaries and stray copies with out-of-alphabet stems
+        // must not break a cold load: names() lists only what load() can
+        // address, so load_into() skips them.
+        let store = temp_store("stems");
+        store.save("good", &artifact(4)).unwrap();
+        std::fs::write(store.dir().join(".#backbone.ftspan"), b"editor temp").unwrap();
+        std::fs::write(store.dir().join("my backup.ftspan"), b"stray copy").unwrap();
+        std::fs::create_dir(store.dir().join("backups.ftspan")).unwrap();
+        assert_eq!(store.names().unwrap(), vec!["good"]);
+        let mut engine = Engine::new();
+        assert_eq!(store.load_into(&mut engine).unwrap(), vec!["good"]);
+        assert_eq!(engine.names(), vec!["good"]);
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+}

@@ -671,3 +671,210 @@ fn builder_requests_round_trip_through_the_trait_api() {
     assert_eq!(via_builder.edges, via_registry.edges);
     assert_eq!(via_builder.provenance, via_registry.provenance);
 }
+
+#[test]
+fn binary_and_text_serializations_agree_for_every_registry_algorithm() {
+    // Differential round-trip battery: for every artifact-capable registry
+    // algorithm, `text -> binary -> text` and `binary -> text -> binary`
+    // reproduce the serialized bytes exactly, the restored artifacts compare
+    // equal (same edges, provenance, guarantee) and answer queries
+    // identically.
+    let mut r = rng(300);
+    let g = generate::connected_gnp(
+        14,
+        0.35,
+        generate::WeightKind::Uniform { min: 0.5, max: 3.0 },
+        &mut r,
+    );
+    let mut covered = 0usize;
+    for algorithm in registry().iter() {
+        if algorithm.graph_family() != GraphFamily::Undirected {
+            continue;
+        }
+        covered += 1;
+        let artifact = FtSpannerBuilder::new(algorithm.name())
+            .faults(1)
+            .seed(11)
+            .build_artifact(&g)
+            .unwrap();
+
+        // text -> binary -> text reproduces the text bytes.
+        let mut text1 = Vec::new();
+        artifact.to_writer(&mut text1).unwrap();
+        let from_text = FtSpanner::from_reader(text1.as_slice()).unwrap();
+        let mut bin1 = Vec::new();
+        from_text.to_binary_writer(&mut bin1).unwrap();
+        let via_binary = FtSpanner::from_binary_reader(bin1.as_slice()).unwrap();
+        let mut text2 = Vec::new();
+        via_binary.to_writer(&mut text2).unwrap();
+        assert_eq!(
+            text1,
+            text2,
+            "`{}`: text -> binary -> text changed the bytes",
+            algorithm.name()
+        );
+
+        // binary -> text -> binary reproduces the binary bytes.
+        let mut bin_direct = Vec::new();
+        artifact.to_binary_writer(&mut bin_direct).unwrap();
+        let restored = FtSpanner::from_binary_reader(bin_direct.as_slice()).unwrap();
+        let mut text3 = Vec::new();
+        restored.to_writer(&mut text3).unwrap();
+        let via_text = FtSpanner::from_reader(text3.as_slice()).unwrap();
+        let mut bin2 = Vec::new();
+        via_text.to_binary_writer(&mut bin2).unwrap();
+        assert_eq!(
+            bin_direct,
+            bin2,
+            "`{}`: binary -> text -> binary changed the bytes",
+            algorithm.name()
+        );
+
+        // Every representation is the same artifact with the same answers.
+        assert_eq!(artifact, restored, "`{}` binary", algorithm.name());
+        assert_eq!(artifact, via_binary, "`{}` text+binary", algorithm.name());
+        assert_eq!(artifact.algorithm(), algorithm.name());
+        let a = artifact.session();
+        let b = restored.session();
+        for u in [0usize, 5, 13] {
+            assert_eq!(
+                a.distances_from(NodeId::new(u)).unwrap(),
+                b.distances_from(NodeId::new(u)).unwrap(),
+                "`{}`: restored artifact answers diverged",
+                algorithm.name()
+            );
+        }
+    }
+    // Every undirected construction in the registry was exercised.
+    assert!(covered >= 6, "only {covered} artifact-capable algorithms");
+}
+
+#[test]
+fn unchecked_sessions_serve_beyond_the_declared_budget() {
+    // `under_faults_unchecked` exists to study degradation past the declared
+    // budget: it must keep answering (consistently with a materialized
+    // oracle) where the checked session refuses.
+    let mut r = rng(301);
+    let g = generate::connected_gnp(18, 0.35, generate::WeightKind::Unit, &mut r);
+    let artifact = FtSpannerBuilder::new("conversion")
+        .faults(1)
+        .seed(13)
+        .build_artifact(&g)
+        .unwrap();
+    let faults = [NodeId::new(1), NodeId::new(4), NodeId::new(9)]; // budget is 1
+    assert!(matches!(
+        artifact.under_faults(&faults),
+        Err(fault_tolerant_spanners::core::CoreError::TooManyFaults {
+            given: 3,
+            budget: 1
+        })
+    ));
+    let session = artifact.under_faults_unchecked(&faults).unwrap();
+    assert_eq!(session.fault_count(), 3);
+
+    // Distances match plain Dijkstra on the materialized surviving spanner.
+    let h = g
+        .subgraph(artifact.spanner_edges())
+        .unwrap()
+        .remove_vertices(&faults);
+    for u in [0usize, 3, 12] {
+        let expected = shortest_path::dijkstra(&h, NodeId::new(u)).unwrap();
+        let got = session.distances_from(NodeId::new(u)).unwrap();
+        for v in 0..g.node_count() {
+            let dead = faults.contains(&NodeId::new(v));
+            let want = if dead { f64::INFINITY } else { expected[v] };
+            assert_eq!(got[v], want, "unchecked session diverged at ({u}, {v})");
+        }
+    }
+    // Certificates still compute (holds() may legitimately be false out
+    // here), and the cached wrapper stays transparent beyond the budget.
+    let cert = session
+        .stretch_certificate(NodeId::new(0), NodeId::new(12))
+        .unwrap();
+    assert!(cert.stretch >= 1.0 - 1e-9 || cert.spanner_distance.is_infinite());
+    let mut cached = artifact.under_faults_unchecked(&faults).unwrap().cached(8);
+    for u in 0..g.node_count() {
+        for v in [2usize, 7, 15] {
+            assert_eq!(
+                session.distance(NodeId::new(u), NodeId::new(v)).unwrap(),
+                cached.distance(NodeId::new(u), NodeId::new(v)).unwrap()
+            );
+        }
+    }
+    assert!(cached.hits() > 0);
+    // The out-of-range error path is unchanged.
+    assert!(artifact.under_faults_unchecked(&[NodeId::new(99)]).is_err());
+}
+
+#[test]
+fn planner_groups_surface_typed_errors_without_poisoning_sessions() {
+    // FaultModelMismatch and UnknownArtifact must surface through planned
+    // (grouped) batches exactly as they do per query, while healthy queries
+    // sharing the batch — including ones sharing the error queries' fault
+    // scope on the *right* artifact — are answered normally.
+    let mut r = rng(302);
+    let g = generate::connected_gnp(16, 0.35, generate::WeightKind::Unit, &mut r);
+    let vertex = FtSpannerBuilder::new("conversion")
+        .faults(1)
+        .seed(5)
+        .build_artifact(&g)
+        .unwrap();
+    let edge = FtSpannerBuilder::new("edge-fault")
+        .faults(1)
+        .seed(5)
+        .build_artifact(&g)
+        .unwrap();
+    let some_edge = {
+        let (_, e) = g.edges().next().unwrap();
+        (e.u, e.v)
+    };
+    let mut engine = Engine::new();
+    engine.register("vertex", vertex).register("edge", edge);
+
+    let scope = vec![NodeId::new(2)];
+    let batch = vec![
+        // Healthy vertex-scope query.
+        Query::distance("vertex", scope.clone(), NodeId::new(0), NodeId::new(7)),
+        // Same scope on the edge artifact: FaultModelMismatch.
+        Query::distance("edge", scope.clone(), NodeId::new(0), NodeId::new(7)),
+        // Edge faults on the vertex artifact: FaultModelMismatch.
+        Query::distance("vertex", vec![], NodeId::new(0), NodeId::new(7))
+            .with_edge_faults(vec![some_edge]),
+        // Unknown artifact, same scope.
+        Query::certificate("nowhere", scope.clone(), NodeId::new(0), NodeId::new(7)),
+        // Healthy edge-scope query.
+        Query::distance("edge", vec![], NodeId::new(0), NodeId::new(7))
+            .with_edge_faults(vec![some_edge]),
+        // Another healthy query in the first group.
+        Query::certificate("vertex", scope, NodeId::new(3), NodeId::new(11)),
+    ];
+    for workers in [1usize, 4] {
+        let results = engine.clone().with_workers(workers).run_batch(&batch);
+        assert!(results[0].is_ok());
+        assert!(matches!(
+            results[1],
+            Err(
+                fault_tolerant_spanners::core::CoreError::FaultModelMismatch {
+                    declared: FaultModel::Edge,
+                    requested: FaultModel::Vertex,
+                }
+            )
+        ));
+        assert!(matches!(
+            results[2],
+            Err(
+                fault_tolerant_spanners::core::CoreError::FaultModelMismatch {
+                    declared: FaultModel::Vertex,
+                    requested: FaultModel::Edge,
+                }
+            )
+        ));
+        assert!(matches!(
+            results[3],
+            Err(fault_tolerant_spanners::core::CoreError::UnknownArtifact { ref name }) if name == "nowhere"
+        ));
+        assert!(results[4].is_ok());
+        assert!(results[5].is_ok());
+        assert_eq!(results, engine.run_batch_naive(&batch));
+    }
+}

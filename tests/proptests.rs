@@ -3,8 +3,32 @@
 
 use fault_tolerant_spanners::prelude::*;
 use proptest::prelude::*;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use std::sync::OnceLock;
+
+/// A fixed serving fixture for the planner-transparency property: one
+/// vertex-fault and one edge-fault artifact over the same graph (built once
+/// — the property's randomness lives in the query batches).
+fn serving_fixture() -> &'static (Engine, Graph) {
+    static FIXTURE: OnceLock<(Engine, Graph)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let mut rng = ChaCha8Rng::seed_from_u64(2026);
+        let g = generate::connected_gnp(14, 0.3, generate::WeightKind::Unit, &mut rng);
+        let vertex = FtSpannerBuilder::new("conversion")
+            .faults(2)
+            .build_artifact(&g)
+            .unwrap();
+        let edge = FtSpannerBuilder::new("edge-fault")
+            .faults(1)
+            .build_artifact(&g)
+            .unwrap();
+        let mut engine = Engine::new();
+        engine.register("vertex", vertex);
+        engine.register("edge", edge);
+        (engine, g)
+    })
+}
 
 /// Builds a random undirected unit-weight graph from a proptest-generated
 /// edge selection over `n` vertices.
@@ -419,6 +443,82 @@ proptest! {
             .build_directed(&dg)
             .unwrap();
         prop_assert!(ftspan_core::FtSpanner::from_report(&Graph::new(4), &plan).is_err());
+    }
+
+    /// The engine's query planner is observationally transparent: for
+    /// arbitrary batches — mixed artifacts (including unknown ones), mixed
+    /// query kinds, arbitrary fault lists (duplicated, unsorted, out of
+    /// range, oversized, or of the wrong kind) — grouped execution returns
+    /// exactly what naive per-query sessions return, at any worker count and
+    /// any LRU capacity (including 0 = cache off), and commutes with batch
+    /// shuffling.
+    #[test]
+    fn planner_grouped_batches_match_naive_sessions(
+        picks in proptest::collection::vec(
+            (0usize..4, 0usize..3, 0usize..16, 0usize..16,
+             proptest::collection::vec(0usize..16, 0..4), any::<bool>()),
+            1..40,
+        ),
+        workers in 1usize..9,
+        capacity in 0usize..5,
+        perm_seed in any::<u64>(),
+    ) {
+        let (engine, g) = serving_fixture();
+        let m = g.edge_count();
+        let edge_of = |i: usize| {
+            let (_, e) = g.edges().nth(i % m).unwrap();
+            (e.u, e.v)
+        };
+        let queries: Vec<Query> = picks
+            .iter()
+            .map(|&(artifact, kind, u, v, ref fault_picks, mismatch)| {
+                let artifact = ["vertex", "edge", "vertex", "ghost"][artifact];
+                let (u, v) = (NodeId::new(u), NodeId::new(v));
+                let faults: Vec<NodeId> =
+                    fault_picks.iter().map(|&f| NodeId::new(f)).collect();
+                let mut query = match kind {
+                    0 => Query::distance(artifact, faults, u, v),
+                    1 => Query::path(artifact, faults, u, v),
+                    _ => Query::certificate(artifact, faults, u, v),
+                };
+                // Route fault lists to the kind the artifact expects —
+                // unless `mismatch` deliberately sends the wrong kind.
+                if artifact == "edge" && !mismatch {
+                    let edge_faults: Vec<(NodeId, NodeId)> =
+                        fault_picks.iter().map(|&f| edge_of(f)).collect();
+                    query = query.with_edge_faults(edge_faults);
+                } else if artifact == "vertex" && mismatch {
+                    query = query.with_edge_faults(vec![edge_of(0)]);
+                }
+                query
+            })
+            .collect();
+
+        let naive = engine.run_batch_naive(&queries);
+        let planned = engine
+            .clone()
+            .with_workers(workers)
+            .with_source_cache_capacity(capacity)
+            .run_batch(&queries);
+        prop_assert_eq!(&naive, &planned,
+            "planner diverged (workers {}, capacity {})", workers, capacity);
+
+        // Shuffling the batch permutes the results and nothing else.
+        let mut order: Vec<usize> = (0..queries.len()).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(perm_seed);
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.gen_range(0..i + 1));
+        }
+        let shuffled: Vec<Query> = order.iter().map(|&i| queries[i].clone()).collect();
+        let planned_shuffled = engine
+            .clone()
+            .with_workers(workers)
+            .with_source_cache_capacity(capacity)
+            .run_batch(&shuffled);
+        for (slot, &original) in order.iter().enumerate() {
+            prop_assert_eq!(&planned_shuffled[slot], &naive[original],
+                "shuffled slot {} diverged from original slot {}", slot, original);
+        }
     }
 
     /// Graph I/O round-trips arbitrary generated graphs exactly (same vertex
