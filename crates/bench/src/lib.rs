@@ -8,6 +8,7 @@
 //! perf-scenario suite whose `bench_runner` binary emits machine-readable
 //! `BENCH.json` results and gates CI against a checked-in baseline.
 
+pub mod hist;
 pub mod scenarios;
 
 use std::fmt::Display;

@@ -194,6 +194,10 @@ enum Workload {
     /// through an [`ArtifactStore`] into a fresh engine and answer a first
     /// mixed batch.
     ServeStoreColdLoad,
+    /// End-to-end network serving: an in-process `ftspan-net` server on a
+    /// loopback TCP socket, a client streaming the batch through the framed
+    /// wire protocol, measured round trip — frames, queue, workers, planner.
+    ServeNetThroughput,
 }
 
 /// A named, seeded benchmark workload.
@@ -319,6 +323,11 @@ pub fn all() -> Vec<Scenario> {
             description: "cold start: ArtifactStore loads binary .ftspan artifacts and serves a first batch",
             workload: Workload::ServeStoreColdLoad,
         },
+        Scenario {
+            name: "serve-net-throughput",
+            description: "network serving: batched queries through the framed TCP protocol over loopback",
+            workload: Workload::ServeNetThroughput,
+        },
     ]
 }
 
@@ -381,6 +390,7 @@ impl Scenario {
             Workload::ServeRepeatedFaults => self.run_serve_repeated(config),
             Workload::ServeZipfSources => self.run_serve_zipf(config),
             Workload::ServeStoreColdLoad => self.run_serve_store(config),
+            Workload::ServeNetThroughput => self.run_serve_net(config),
         }
     }
 
@@ -560,6 +570,79 @@ impl Scenario {
         let start = Instant::now();
         let results = engine.run_batch(&queries);
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let mut digest = Fnv::new();
+        digest_outcomes(&mut digest, &results);
+        ScenarioResult {
+            name: self.name.to_string(),
+            wall_ms,
+            input_nodes: n,
+            input_edges: g.edge_count(),
+            spanner_edges: 0,
+            edges_per_sec: None,
+            queries_per_sec: throughput(queries.len(), wall_ms),
+            digest: format!("{:016x}", digest.finish()),
+        }
+    }
+
+    /// The end-to-end network path: the same serving workload shape as the
+    /// in-process scenarios, but streamed through an `ftspan-net` server on
+    /// loopback. The timed section covers frame encode/decode, the TCP
+    /// round trips, admission control and the worker pool — everything a
+    /// real client pays. One connection issues sequential batch requests,
+    /// so results arrive in input order and the digest is comparable across
+    /// runs, worker counts and queue capacities.
+    fn run_serve_net(&self, config: &ScenarioConfig) -> ScenarioResult {
+        let seed = self.seed_for(config.seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let (n, batch, per_request) = match config.profile {
+            Profile::Ci => (40, 3000, 50),
+            Profile::Full => (96, 20000, 100),
+        };
+        let g = generate::connected_gnp(n, 24.0 / n as f64, generate::WeightKind::Unit, &mut rng);
+        let engine = backbone_engine(config, &g, "conversion", 1, seed);
+
+        let scopes = [vec![NodeId::new(1)], vec![NodeId::new(n / 3)], vec![]];
+        let sources: Vec<NodeId> = (0..8).map(|s| NodeId::new((s * 5 + 2) % n)).collect();
+        let mut queries = Vec::with_capacity(batch);
+        for q in 0..batch {
+            let u = sources[q % sources.len()];
+            let v = NodeId::new((q * 13 + 4) % n);
+            let scope = scopes[q % scopes.len()].clone();
+            queries.push(match q % 8 {
+                0 => Query::certificate("backbone", scope, u, v),
+                1 => Query::path("backbone", scope, u, v),
+                _ => Query::distance("backbone", scope, u, v),
+            });
+        }
+
+        // Setup (untimed): bind the server and connect the client.
+        let server_config = ftspan_net::ServerConfig {
+            workers: config.threads.unwrap_or_else(par::available_threads),
+            ..ftspan_net::ServerConfig::default()
+        };
+        let server = ftspan_net::Server::bind(engine, "127.0.0.1:0", server_config)
+            .expect("loopback bind succeeds")
+            .spawn()
+            .expect("server threads start");
+        let mut client =
+            ftspan_net::Client::connect(server.addr()).expect("loopback connect succeeds");
+
+        // Timed: stream the whole workload through the wire.
+        let start = Instant::now();
+        let mut results = Vec::with_capacity(batch);
+        for chunk in queries.chunks(per_request) {
+            let reply = client
+                .run_batch(chunk)
+                .expect("loopback request succeeds")
+                .expect_results()
+                .expect("a sequential client is never rejected");
+            results.extend(reply);
+        }
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        drop(client);
+        server.shutdown().expect("server drains cleanly");
+
         let mut digest = Fnv::new();
         digest_outcomes(&mut digest, &results);
         ScenarioResult {
@@ -1055,8 +1138,31 @@ mod tests {
                 "serve-repeated-faults",
                 "serve-zipf-sources",
                 "serve-store-cold-load",
+                "serve-net-throughput",
             ]
         );
+    }
+
+    #[test]
+    fn network_serving_scenario_runs_and_digests_deterministically() {
+        let config = ScenarioConfig {
+            profile: Profile::Ci,
+            seed: 6,
+            threads: Some(2),
+            repeats: 1,
+        };
+        let scenario = find("serve-net-throughput").unwrap();
+        let a = scenario.run(&config);
+        let b = scenario.run(&config);
+        assert_eq!(a.digest, b.digest);
+        assert!(a.queries_per_sec.is_some());
+        // The digest must also be worker-count invariant: the wire path may
+        // not reorder or alter results.
+        let four = ScenarioConfig {
+            threads: Some(4),
+            ..config
+        };
+        assert_eq!(scenario.run(&four).digest, a.digest);
     }
 
     #[test]

@@ -1156,6 +1156,27 @@ impl<'a> FaultSession<'a> {
     }
 }
 
+/// A snapshot of a [`CachedSession`]'s source-cache counters
+/// ([`CachedSession::cache_stats`]).
+///
+/// Hits are queries answered from a resident per-source Dijkstra tree;
+/// misses ran a full traversal. The counters are observability only — they
+/// never influence answers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Queries answered from a cached tree.
+    pub hits: u64,
+    /// Queries that had to run Dijkstra.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hits plus misses.
+    pub fn total(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
 /// One cached shortest-path tree of a [`CachedSession`]: the spanner-side
 /// distances and parents from a source, plus the lazily computed baseline
 /// distances (only certificate queries need them).
@@ -1220,6 +1241,15 @@ impl<'a> CachedSession<'a> {
     /// Number of queries that had to run Dijkstra.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// A snapshot of the hit/miss counters (the serving engine aggregates
+    /// these across planned groups into its `EngineStats` surface).
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+        }
     }
 
     /// Ensures the tree rooted at `u` is resident and returns its index
@@ -1795,6 +1825,10 @@ mod tests {
                 assert!(cached.hits() > 0);
             }
             assert!(cached.misses() > 0);
+            let stats = cached.cache_stats();
+            assert_eq!(stats.hits, cached.hits());
+            assert_eq!(stats.misses, cached.misses());
+            assert_eq!(stats.total(), cached.hits() + cached.misses());
             assert_eq!(cached.capacity(), capacity);
             assert_eq!(cached.session().fault_count(), 2);
             assert_eq!(cached.artifact().node_count(), n);

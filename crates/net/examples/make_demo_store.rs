@@ -1,0 +1,50 @@
+//! Builds a small seeded artifact store on disk — the input `ftspan_serve`
+//! loads. Used by the CI server-smoke job and handy for trying the server
+//! locally:
+//!
+//! ```text
+//! cargo run --release -p ftspan-net --example make_demo_store -- /tmp/ftspan-store
+//! cargo run --release -p ftspan-net --bin ftspan_serve -- --store /tmp/ftspan-store --print-port
+//! ```
+
+use fault_tolerant_spanners::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .expect("usage: make_demo_store DIR [SEED]");
+    let seed: u64 = std::env::args()
+        .nth(2)
+        .map(|s| s.parse().expect("SEED must be a u64"))
+        .unwrap_or(2011);
+
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let store = ArtifactStore::open(&dir).expect("store directory is creatable");
+
+    let g = generate::connected_gnp(40, 0.25, generate::WeightKind::Unit, &mut rng);
+    let backbone = FtSpannerBuilder::new("conversion")
+        .faults(2)
+        .build_artifact(&g)
+        .expect("backbone builds");
+    store.save("backbone", &backbone).expect("backbone saves");
+
+    let h = generate::connected_gnp(
+        24,
+        0.35,
+        generate::WeightKind::Uniform { min: 1.0, max: 4.0 },
+        &mut rng,
+    );
+    let mesh = FtSpannerBuilder::new("conversion")
+        .faults(1)
+        .build_artifact(&h)
+        .expect("mesh builds");
+    store.save("mesh", &mesh).expect("mesh saves");
+
+    println!(
+        "wrote {} artifacts to {}",
+        store.names().expect("store lists").len(),
+        dir
+    );
+}

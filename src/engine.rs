@@ -58,6 +58,7 @@ use ftspan_core::serve::{CachedSession, FaultSession, FtSpanner, StretchCertific
 use ftspan_core::{par, CoreError, FaultModel, Result};
 use ftspan_graph::NodeId;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// What a [`Query`] asks for.
@@ -192,6 +193,73 @@ impl Default for EngineConfig {
     }
 }
 
+/// A point-in-time snapshot of an [`Engine`]'s serving counters
+/// ([`Engine::stats`]).
+///
+/// Counters accumulate across every [`Engine::run_batch`] call over the
+/// engine's lifetime (the naive reference executor
+/// [`Engine::run_batch_naive`] is deliberately uninstrumented). They are
+/// observability only — they never influence answers. Clones of an engine
+/// share one stats sink, so a server handing clones to worker threads reads
+/// fleet-wide totals from any of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Batches executed through [`Engine::run_batch`].
+    pub batches: u64,
+    /// Total queries across those batches.
+    pub queries: u64,
+    /// `(artifact, fault scope)` groups the planner formed.
+    pub planner_groups: u64,
+    /// Work units the planner fanned out (groups after splitting).
+    pub planner_units: u64,
+    /// Source-cache hits inside grouped units (queries answered from a
+    /// resident Dijkstra tree).
+    pub cache_hits: u64,
+    /// Source-cache misses inside grouped units (queries that ran a full
+    /// traversal). Singleton units skip the cache machinery entirely and are
+    /// counted in neither hits nor misses.
+    pub cache_misses: u64,
+}
+
+impl EngineStats {
+    /// Cache hits as a fraction of cache-visible queries (`0.0` when no
+    /// grouped query has been served yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Shared atomic counters behind [`Engine::stats`]. Relaxed ordering is
+/// enough: the counters are monotone tallies with no cross-field invariant a
+/// reader could observe torn.
+#[derive(Debug, Default)]
+struct StatsCell {
+    batches: AtomicU64,
+    queries: AtomicU64,
+    planner_groups: AtomicU64,
+    planner_units: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+impl StatsCell {
+    fn snapshot(&self) -> EngineStats {
+        EngineStats {
+            batches: self.batches.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            planner_groups: self.planner_groups.load(Ordering::Relaxed),
+            planner_units: self.planner_units.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// A serving engine holding named, immutable [`FtSpanner`] artifacts and
 /// executing query batches through a session-reusing planner across worker
 /// threads.
@@ -199,10 +267,15 @@ impl Default for EngineConfig {
 /// Results are returned in input order and depend only on the artifacts and
 /// the queries — never on the worker count or the cache capacity — so
 /// repeated runs of the same batch are byte-identical.
+///
+/// The engine keeps running [`EngineStats`] tallies (batches, queries,
+/// planner groups/units, source-cache hits and misses); clones share the
+/// same stats sink.
 #[derive(Debug, Clone)]
 pub struct Engine {
     artifacts: BTreeMap<String, Arc<FtSpanner>>,
     config: EngineConfig,
+    stats: Arc<StatsCell>,
 }
 
 impl Engine {
@@ -211,7 +284,16 @@ impl Engine {
         Engine {
             artifacts: BTreeMap::new(),
             config: EngineConfig::default(),
+            stats: Arc::new(StatsCell::default()),
         }
+    }
+
+    /// A snapshot of the engine's lifetime serving counters.
+    ///
+    /// Counters are shared across clones of this engine, so a server handing
+    /// clones to worker threads can read fleet-wide totals from any clone.
+    pub fn stats(&self) -> EngineStats {
+        self.stats.snapshot()
     }
 
     /// Replaces the whole configuration.
@@ -334,10 +416,18 @@ impl Engine {
         match self.open_session(&queries[indices[0]]) {
             Ok(session) => {
                 let mut cached = session.cached(self.config.source_cache_capacity);
-                indices
+                let results = indices
                     .iter()
                     .map(|&i| self.answer_cached(&mut cached, &queries[i]))
-                    .collect()
+                    .collect();
+                let cache = cached.cache_stats();
+                self.stats
+                    .cache_hits
+                    .fetch_add(cache.hits, Ordering::Relaxed);
+                self.stats
+                    .cache_misses
+                    .fetch_add(cache.misses, Ordering::Relaxed);
+                results
             }
             Err(_) => indices.iter().map(|&i| self.answer(&queries[i])).collect(),
         }
@@ -368,6 +458,9 @@ impl Engine {
         for (i, query) in queries.iter().enumerate() {
             groups.entry(ScopeKey::of(query)).or_default().push(i);
         }
+        self.stats
+            .planner_groups
+            .fetch_add(groups.len() as u64, Ordering::Relaxed);
 
         // Split every group into work units of at most `ceil(batch/workers)`
         // queries: few big groups still spread across the pool, many small
@@ -382,6 +475,14 @@ impl Engine {
                     .collect::<Vec<_>>()
             })
             .collect();
+
+        self.stats.batches.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .queries
+            .fetch_add(queries.len() as u64, Ordering::Relaxed);
+        self.stats
+            .planner_units
+            .fetch_add(units.len() as u64, Ordering::Relaxed);
 
         let per_unit = par::map(workers, units.len(), |i| self.run_unit(queries, &units[i]));
 
@@ -675,6 +776,62 @@ mod tests {
         assert_eq!(engine.config().source_cache_capacity, 0);
         assert!(EngineConfig::default().workers >= 1);
         assert_eq!(EngineConfig::default().source_cache_capacity, 64);
+    }
+
+    #[test]
+    fn stats_accumulate_across_batches_and_are_shared_by_clones() {
+        let (engine, n) = engine_with_artifact(11);
+        assert_eq!(engine.stats(), EngineStats::default());
+        assert_eq!(engine.stats().hit_rate(), 0.0);
+
+        // One hot scope, repeated sources: grouped serving with cache reuse.
+        let queries: Vec<Query> = (0..20)
+            .map(|i| {
+                Query::distance(
+                    "net",
+                    vec![NodeId::new(2)],
+                    NodeId::new(i % 4),
+                    NodeId::new((i + 5) % n),
+                )
+            })
+            .collect();
+        let clone = engine.clone().with_workers(1);
+        let results = clone.run_batch(&queries);
+        assert!(results.iter().all(|r| r.is_ok()));
+
+        // The clone ran the batch, but the original sees the same counters.
+        let stats = engine.stats();
+        assert_eq!(stats, clone.stats());
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.queries, 20);
+        assert_eq!(stats.planner_groups, 1);
+        assert_eq!(stats.planner_units, 1);
+        assert_eq!(stats.cache_hits + stats.cache_misses, 20);
+        // 4 distinct sources fit the default cache; everything else hits.
+        assert_eq!(stats.cache_misses, 4);
+        assert_eq!(stats.cache_hits, 16);
+        assert!((stats.hit_rate() - 16.0 / 20.0).abs() < 1e-12);
+
+        // A second batch with two scopes accumulates on top.
+        let more = vec![
+            Query::distance("net", vec![], NodeId::new(0), NodeId::new(1)),
+            Query::distance("net", vec![NodeId::new(3)], NodeId::new(0), NodeId::new(1)),
+        ];
+        clone.run_batch(&more);
+        let stats = engine.stats();
+        assert_eq!(stats.batches, 2);
+        assert_eq!(stats.queries, 22);
+        assert_eq!(stats.planner_groups, 3);
+        // Singleton units skip the cache machinery: no new hits or misses.
+        assert_eq!(stats.cache_hits + stats.cache_misses, 20);
+
+        // The naive reference path is uninstrumented.
+        clone.run_batch_naive(&more);
+        assert_eq!(engine.stats().batches, 2);
+
+        // A fresh engine starts from zero — stats are per-lineage, not global.
+        let (fresh, _) = engine_with_artifact(11);
+        assert_eq!(fresh.stats(), EngineStats::default());
     }
 
     #[test]

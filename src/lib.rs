@@ -151,7 +151,7 @@ mod registry;
 mod store;
 
 pub use builder::FtSpannerBuilder;
-pub use engine::{Engine, EngineConfig, Query, QueryKind, QueryOutcome};
+pub use engine::{Engine, EngineConfig, EngineStats, Query, QueryKind, QueryOutcome};
 pub use registry::registry;
 pub use store::{ArtifactStore, ARTIFACT_EXTENSION};
 
@@ -172,9 +172,9 @@ pub mod prelude {
 
     // The query side: artifacts, fault-scoped sessions, the serving engine
     // and the directory-backed artifact store.
-    pub use crate::engine::{Engine, EngineConfig, Query, QueryKind, QueryOutcome};
+    pub use crate::engine::{Engine, EngineConfig, EngineStats, Query, QueryKind, QueryOutcome};
     pub use crate::store::ArtifactStore;
-    pub use ftspan_core::{CachedSession, FaultSession, FtSpanner, StretchCertificate};
+    pub use ftspan_core::{CacheStats, CachedSession, FaultSession, FtSpanner, StretchCertificate};
 
     // Combinatorial lower bounds, reported alongside construction sizes.
     pub use ftspan_core::lower_bounds::{

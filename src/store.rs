@@ -153,7 +153,15 @@ impl ArtifactStore {
         let file = File::open(&path).map_err(|e| CoreError::InvalidParameter {
             message: format!("cannot open {}: {e}", path.display()),
         })?;
-        FtSpanner::from_binary_reader(BufReader::new(file))
+        // Name the offending file in parse failures: a directory cold load
+        // ([`ArtifactStore::load_into`]) surfaces the first corrupt artifact,
+        // and without the path the operator can't tell which of dozens of
+        // files to re-ship.
+        FtSpanner::from_binary_reader(BufReader::new(file)).map_err(|e| {
+            CoreError::InvalidParameter {
+                message: format!("cannot parse artifact {}: {e}", path.display()),
+            }
+        })
     }
 
     /// The names of every stored artifact (`.ftspan` file stems), sorted.
@@ -303,6 +311,31 @@ mod tests {
         std::fs::write(store.dir().join("README.txt"), b"ignore me").unwrap();
         assert!(store.load("junk").is_err());
         assert_eq!(store.names().unwrap(), vec!["junk"]);
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn corrupt_artifact_errors_name_the_offending_file() {
+        // A corrupt artifact in a directory cold load must say *which* file
+        // failed — both through load() and through load_into(), whose error
+        // is what a serving startup actually sees.
+        let store = temp_store("corrupt-path");
+        store.save("good", &artifact(5)).unwrap();
+        std::fs::write(store.dir().join("rotten.ftspan"), b"FTSPgarbage").unwrap();
+        for err in [
+            store.load("rotten").unwrap_err(),
+            store.load_into(&mut Engine::new()).unwrap_err(),
+        ] {
+            let message = err.to_string();
+            assert!(
+                message.contains("rotten.ftspan"),
+                "error does not name the corrupt file: {message}"
+            );
+        }
+        // Artifacts loaded before the failure stay registered.
+        let mut engine = Engine::new();
+        assert!(store.load_into(&mut engine).is_err());
+        assert_eq!(engine.names(), vec!["good"]);
         std::fs::remove_dir_all(store.dir()).ok();
     }
 
