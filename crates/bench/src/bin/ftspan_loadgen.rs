@@ -3,7 +3,8 @@
 //! ```text
 //! ftspan_loadgen --addr HOST:PORT [--duration-secs N] [--connections C]
 //!                [--batch B] [--seed N] [--zipf-exponent F] [--scopes S]
-//!                [--burst K] [--min-qps Q] [--out PATH] [--shutdown]
+//!                [--burst K] [--min-qps Q] [--out PATH] [--server-stats]
+//!                [--shutdown]
 //! ```
 //!
 //! * `--addr` — server to drive (required).
@@ -19,6 +20,9 @@
 //!   back-to-back, then yields (default 1 = smooth).
 //! * `--min-qps` — exit 1 if measured throughput falls below this (CI gate).
 //! * `--out` — write a `BENCH.json`-compatible report here.
+//! * `--server-stats` — after the run, fetch and print the server's wire
+//!   [`ServerStats`](ftspan_net::ServerStats): queue/batch counters plus the
+//!   engine's planner groups, planner units and source-cache hit rate.
 //! * `--shutdown` — send a graceful-shutdown frame when done (CI smoke).
 //!
 //! The traffic mix is Zipf-distributed sources, rotating fault scopes and
@@ -52,6 +56,7 @@ struct Args {
     burst: usize,
     min_qps: Option<f64>,
     out: Option<std::path::PathBuf>,
+    server_stats: bool,
     shutdown: bool,
 }
 
@@ -67,6 +72,7 @@ fn parse_args() -> Args {
         burst: 1,
         min_qps: None,
         out: None,
+        server_stats: false,
         shutdown: false,
     };
     let mut it = std::env::args().skip(1);
@@ -118,6 +124,7 @@ fn parse_args() -> Args {
                 );
             }
             "--out" => args.out = Some(value_of("--out").into()),
+            "--server-stats" => args.server_stats = true,
             "--shutdown" => args.shutdown = true,
             other => panic!("unknown argument `{other}` (see the ftspan_loadgen docs)"),
         }
@@ -334,6 +341,50 @@ fn main() -> ExitCode {
     } else {
         0.0
     };
+
+    // Fetch server-side counters before any shutdown frame: the planner and
+    // cache numbers live on the server, not in this process.
+    if args.server_stats {
+        match Client::connect(addr.as_str()).and_then(|mut c| c.stats()) {
+            Ok(stats) => {
+                let engine = stats.engine;
+                let mut table = Table::new("server-stats", &["metric", "value"]);
+                table.row(&[
+                    "connections_accepted".to_string(),
+                    stats.connections_accepted.to_string(),
+                ]);
+                table.row(&[
+                    "batches_completed".to_string(),
+                    stats.batches_completed.to_string(),
+                ]);
+                table.row(&[
+                    "batches_rejected".to_string(),
+                    stats.batches_rejected.to_string(),
+                ]);
+                table.row(&["queue_depth".to_string(), stats.queue_depth.to_string()]);
+                table.row(&["engine_queries".to_string(), engine.queries.to_string()]);
+                table.row(&[
+                    "planner_groups".to_string(),
+                    engine.planner_groups.to_string(),
+                ]);
+                table.row(&[
+                    "planner_units".to_string(),
+                    engine.planner_units.to_string(),
+                ]);
+                table.row(&["cache_hits".to_string(), engine.cache_hits.to_string()]);
+                table.row(&["cache_misses".to_string(), engine.cache_misses.to_string()]);
+                table.row(&[
+                    "cache_hit_rate".to_string(),
+                    format!("{:.3}", engine.hit_rate()),
+                ]);
+                println!("{}", table.render());
+            }
+            Err(e) => {
+                eprintln!("ftspan_loadgen: stats request failed: {e}");
+                protocol_errors += 1;
+            }
+        }
+    }
 
     if args.shutdown {
         match Client::connect(addr.as_str()).and_then(|mut c| c.shutdown_server()) {

@@ -198,6 +198,12 @@ enum Workload {
     /// loopback TCP socket, a client streaming the batch through the framed
     /// wire protocol, measured round trip — frames, queue, workers, planner.
     ServeNetThroughput,
+    /// The whole sharded construction pipeline: seeded partition, per-shard
+    /// spanner builds and boundary-overlay assembly.
+    ShardBuild,
+    /// Scatter-gather serving: a repeated-scope batch answered through a
+    /// sharded artifact (per-shard sessions plus the boundary overlay).
+    ServeShardedBatch,
 }
 
 /// A named, seeded benchmark workload.
@@ -328,6 +334,16 @@ pub fn all() -> Vec<Scenario> {
             description: "network serving: batched queries through the framed TCP protocol over loopback",
             workload: Workload::ServeNetThroughput,
         },
+        Scenario {
+            name: "shard-build",
+            description: "sharded construction: partition, per-shard conversion builds, boundary overlay",
+            workload: Workload::ShardBuild,
+        },
+        Scenario {
+            name: "serve-sharded-batch",
+            description: "scatter-gather serving: a repeated-scope batch through a sharded artifact",
+            workload: Workload::ServeShardedBatch,
+        },
     ]
 }
 
@@ -391,6 +407,8 @@ impl Scenario {
             Workload::ServeZipfSources => self.run_serve_zipf(config),
             Workload::ServeStoreColdLoad => self.run_serve_store(config),
             Workload::ServeNetThroughput => self.run_serve_net(config),
+            Workload::ShardBuild => self.run_shard_build(config),
+            Workload::ServeShardedBatch => self.run_serve_sharded(config),
         }
     }
 
@@ -714,6 +732,104 @@ impl Scenario {
         for name in &loaded {
             digest.write_bytes(name.as_bytes());
         }
+        digest_outcomes(&mut digest, &results);
+        ScenarioResult {
+            name: self.name.to_string(),
+            wall_ms,
+            input_nodes: n,
+            input_edges: g.edge_count(),
+            spanner_edges: 0,
+            edges_per_sec: None,
+            queries_per_sec: throughput(queries.len(), wall_ms),
+            digest: format!("{:016x}", digest.finish()),
+        }
+    }
+
+    /// Times the whole sharded construction pipeline on connected G(n, p):
+    /// seeded partition, per-shard conversion builds, overlay assembly.
+    fn run_shard_build(&self, config: &ScenarioConfig) -> ScenarioResult {
+        let seed = self.seed_for(config.seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let (n, p, parts) = match config.profile {
+            Profile::Ci => (64, 0.12, 4),
+            Profile::Full => (160, 0.06, 6),
+        };
+        let g = generate::connected_gnp(n, p, generate::WeightKind::Unit, &mut rng);
+        let builder = configured_builder(config, "conversion", 1, seed);
+        let partition_config = partition::PartitionConfig::new(parts).with_seed(seed);
+
+        let start = Instant::now();
+        let sharded =
+            ShardedArtifact::build(&g, &builder, &partition_config).expect("scenario inputs shard");
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        let mut digest = Fnv::new();
+        for &part in sharded.assignment() {
+            digest.write_u64(part as u64);
+        }
+        for cut in sharded.cut_edges() {
+            digest.write_u64(cut.u.index() as u64);
+            digest.write_u64(cut.v.index() as u64);
+            digest.write_f64(cut.weight);
+        }
+        for shard in sharded.shards() {
+            for id in shard.spanner_edges().iter() {
+                digest.write_u64(id.index() as u64);
+            }
+        }
+
+        ScenarioResult {
+            name: self.name.to_string(),
+            wall_ms,
+            input_nodes: n,
+            input_edges: g.edge_count(),
+            spanner_edges: sharded.spanner_edge_count(),
+            edges_per_sec: throughput(g.edge_count(), wall_ms),
+            queries_per_sec: None,
+            digest: format!("{:016x}", digest.finish()),
+        }
+    }
+
+    /// Serves a repeated-scope batch through a sharded registration — the
+    /// scatter-gather counterpart of `serve-repeated-faults`, grouped by the
+    /// same planner.
+    fn run_serve_sharded(&self, config: &ScenarioConfig) -> ScenarioResult {
+        let seed = self.seed_for(config.seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let (n, parts, batch) = match config.profile {
+            Profile::Ci => (48, 3, 2000),
+            Profile::Full => (120, 5, 12000),
+        };
+        let g = generate::connected_gnp(n, 24.0 / n as f64, generate::WeightKind::Unit, &mut rng);
+        let builder = configured_builder(config, "conversion", 2, seed);
+        let partition_config = partition::PartitionConfig::new(parts).with_seed(seed);
+        let sharded =
+            ShardedArtifact::build(&g, &builder, &partition_config).expect("scenario inputs shard");
+        let mut engine = engine_with_workers(config);
+        engine.register_sharded("backbone", sharded);
+
+        let scopes: Vec<Vec<NodeId>> = (0..REPEATED_FAULT_SCOPES)
+            .map(|s| vec![NodeId::new(s * 2 % n), NodeId::new((s * 5 + 1) % n)])
+            .collect();
+        let sources: Vec<NodeId> = (0..REPEATED_SOURCES)
+            .map(|s| NodeId::new((s * 4 + 2) % n))
+            .collect();
+        let mut queries = Vec::with_capacity(batch);
+        for q in 0..batch {
+            let u = sources[q % sources.len()];
+            let v = NodeId::new((q * 11 + 5) % n);
+            let scope = scopes[q % scopes.len()].clone();
+            queries.push(match q % 7 {
+                0 => Query::certificate("backbone", scope, u, v),
+                1 => Query::path("backbone", scope, u, v),
+                _ => Query::distance("backbone", scope, u, v),
+            });
+        }
+
+        let start = Instant::now();
+        let results = engine.run_batch(&queries);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let mut digest = Fnv::new();
         digest_outcomes(&mut digest, &results);
         ScenarioResult {
             name: self.name.to_string(),
@@ -1139,6 +1255,8 @@ mod tests {
                 "serve-zipf-sources",
                 "serve-store-cold-load",
                 "serve-net-throughput",
+                "shard-build",
+                "serve-sharded-batch",
             ]
         );
     }

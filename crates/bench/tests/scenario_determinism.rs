@@ -8,7 +8,7 @@ use ftspan_bench::scenarios::{self, Profile, ScenarioConfig};
 /// cover every digest path (undirected, directed, engine, planner, store)
 /// while keeping the suite fast. The full-suite sweep lives in
 /// `bench_runner` itself.
-const PINNED: [&str; 7] = [
+const PINNED: [&str; 9] = [
     "conversion-gnp",
     "conversion-grid",
     "two-spanner-greedy-gnp",
@@ -16,6 +16,8 @@ const PINNED: [&str; 7] = [
     "serve-repeated-faults",
     "serve-zipf-sources",
     "serve-store-cold-load",
+    "shard-build",
+    "serve-sharded-batch",
 ];
 
 #[test]

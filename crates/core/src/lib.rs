@@ -70,7 +70,9 @@ pub use api::{
     SpannerRequest,
 };
 pub use error::CoreError;
-pub use serve::{CacheStats, CachedSession, FaultSession, FtSpanner, StretchCertificate};
+pub use serve::{
+    CacheStats, CachedSession, FaultSession, FtSpanner, FtSpannerView, StretchCertificate,
+};
 
 /// Result alias for fault-tolerant spanner constructions.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -66,8 +66,15 @@ const EPS: f64 = 1e-9;
 /// [`FtSpanner::to_binary_writer`]).
 pub const BINARY_MAGIC: [u8; 4] = *b"FTSP";
 
-/// Current version of the binary artifact format.
+/// Version tag of the original length-prefixed binary layout
+/// ([`FtSpanner::to_binary_writer`]).
 pub const BINARY_VERSION: u32 = 1;
+
+/// Version tag of the fixed-width, 8-byte-aligned binary layout
+/// ([`FtSpanner::to_binary_v2_writer`] / [`FtSpannerView`]). Readers accept
+/// both versions; v2 is what [`FtSpannerView::parse`] can validate and
+/// borrow with zero copies.
+pub const BINARY_VERSION_V2: u32 = 2;
 
 /// Largest node count a binary artifact with `m` edges may declare.
 ///
@@ -670,15 +677,31 @@ impl FtSpanner {
             });
         }
         let version = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
-        if version != BINARY_VERSION {
-            return Err(CoreError::InvalidParameter {
+        match version {
+            BINARY_VERSION => Self::from_binary_v1_sections(reader),
+            BINARY_VERSION_V2 => {
+                // v2 addresses sections by absolute offset, so the view
+                // needs the whole image (header included) in one buffer.
+                let mut data = header.to_vec();
+                reader
+                    .read_to_end(&mut data)
+                    .map_err(|e| CoreError::InvalidParameter {
+                        message: format!("read error in ftspanner binary data: {e}"),
+                    })?;
+                FtSpannerView::parse(&data)?.materialize()
+            }
+            other => Err(CoreError::InvalidParameter {
                 message: format!(
-                    "unsupported ftspanner binary version {version} (this build reads \
-                     version {BINARY_VERSION})"
+                    "unsupported ftspanner binary version {other} (this build reads \
+                     versions {BINARY_VERSION} and {BINARY_VERSION_V2})"
                 ),
-            });
+            }),
         }
+    }
 
+    /// Reads the section stream of a version-1 binary artifact (everything
+    /// after the 8-byte magic/version header).
+    fn from_binary_v1_sections<R: Read>(mut reader: R) -> Result<Self> {
         let meta = read_section(&mut reader, b"META")?;
         let mut cur = BinCursor::new(&meta, "META");
         let algorithm = cur.read_str()?;
@@ -788,6 +811,184 @@ impl FtSpanner {
             faults,
             stretch,
         )
+    }
+
+    /// Serializes the artifact in the fixed-width, 8-byte-aligned version-2
+    /// binary `.ftspan` layout — the format [`FtSpannerView::parse`] can
+    /// validate and then borrow without copying. Round trips through
+    /// [`FtSpanner::from_binary_reader`], which reads both versions.
+    ///
+    /// # Layout
+    ///
+    /// All integers are little-endian. The file opens with a 16-byte header
+    /// followed immediately by the section table:
+    ///
+    /// | offset | bytes | contents                      |
+    /// |-------:|------:|-------------------------------|
+    /// | 0      | 4     | magic `FTSP`                  |
+    /// | 4      | 4     | `u32` version = 2             |
+    /// | 8      | 4     | `u32` section count = 6       |
+    /// | 12     | 4     | `u32` reserved, zero          |
+    /// | 16     | 6×24  | section table                 |
+    ///
+    /// Each table entry is 24 bytes: a 4-byte tag, a reserved `u32` of
+    /// zeros, a `u64` absolute byte offset and a `u64` payload length.
+    /// Every offset is a multiple of 8; each section begins at the previous
+    /// section's end rounded up to a multiple of 8, the first at the end of
+    /// the table; the file ends at the last section's end rounded up to a
+    /// multiple of 8; all padding bytes are zero. The sections, in their
+    /// required order:
+    ///
+    /// | tag    | payload |
+    /// |--------|---------|
+    /// | `META` | `u64` fault budget, `f64` stretch bits, `u32` fault model (0 = vertex, 1 = edge), `u32` algorithm length `a`, `u32` provenance length `p`, `u32` reserved zero, then `a` + `p` UTF-8 bytes |
+    /// | `DIMS` | `u64` node count `n`, `u64` edge count `m`, `u64` spanner edge count `s` |
+    /// | `EDGU` | `m × u32` edge tails |
+    /// | `EDGV` | `m × u32` edge heads |
+    /// | `EDGW` | `m × f64` edge weight bits |
+    /// | `SPAN` | `s × u32` strictly increasing spanner edge identifiers into the edge arrays |
+    ///
+    /// The fixed-width arrays are what make the layout mmap-ready: a reader
+    /// bounds-checks the table once and then addresses any record by offset
+    /// arithmetic, with no per-edge parsing state or allocation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `writer`; returns
+    /// [`std::io::ErrorKind::InvalidInput`] under the same node-count and
+    /// `u32`-width guards as [`FtSpanner::to_binary_writer`].
+    pub fn to_binary_v2_writer<W: Write>(&self, mut writer: W) -> std::io::Result<()> {
+        if self.node_count() > binary_node_bound(self.source.edge_count()) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!(
+                    "cannot serialize {} nodes with only {} edges: the binary format caps \
+                     the node count at {} so readers can bound their allocations",
+                    self.node_count(),
+                    self.source.edge_count(),
+                    binary_node_bound(self.source.edge_count()),
+                ),
+            ));
+        }
+        let widest = self
+            .node_count()
+            .max(self.source.edge_count())
+            .max(self.algorithm.len())
+            .max(self.provenance.len());
+        if widest > u32::MAX as usize {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("{widest} exceeds the binary format's u32 counters"),
+            ));
+        }
+
+        let (n, m) = (self.source.node_count(), self.source.edge_count());
+        let s = self.spanner_edges.len();
+
+        let mut meta = Vec::with_capacity(32 + self.algorithm.len() + self.provenance.len());
+        meta.extend_from_slice(&(self.faults as u64).to_le_bytes());
+        meta.extend_from_slice(&self.stretch.to_le_bytes());
+        meta.extend_from_slice(
+            &match self.fault_model {
+                FaultModel::Vertex => 0u32,
+                FaultModel::Edge => 1u32,
+            }
+            .to_le_bytes(),
+        );
+        meta.extend_from_slice(&(self.algorithm.len() as u32).to_le_bytes());
+        meta.extend_from_slice(&(self.provenance.len() as u32).to_le_bytes());
+        meta.extend_from_slice(&0u32.to_le_bytes());
+        meta.extend_from_slice(self.algorithm.as_bytes());
+        meta.extend_from_slice(self.provenance.as_bytes());
+
+        let mut dims = Vec::with_capacity(24);
+        dims.extend_from_slice(&(n as u64).to_le_bytes());
+        dims.extend_from_slice(&(m as u64).to_le_bytes());
+        dims.extend_from_slice(&(s as u64).to_le_bytes());
+
+        let mut edgu = Vec::with_capacity(4 * m);
+        let mut edgv = Vec::with_capacity(4 * m);
+        let mut edgw = Vec::with_capacity(8 * m);
+        for (_, e) in self.source.edges() {
+            edgu.extend_from_slice(&(e.u.index() as u32).to_le_bytes());
+            edgv.extend_from_slice(&(e.v.index() as u32).to_le_bytes());
+            edgw.extend_from_slice(&e.weight.to_le_bytes());
+        }
+        let mut span = Vec::with_capacity(4 * s);
+        for id in self.spanner_edges.iter() {
+            span.extend_from_slice(&(id.index() as u32).to_le_bytes());
+        }
+
+        let sections: [(&[u8; 4], &[u8]); 6] = [
+            (b"META", &meta),
+            (b"DIMS", &dims),
+            (b"EDGU", &edgu),
+            (b"EDGV", &edgv),
+            (b"EDGW", &edgw),
+            (b"SPAN", &span),
+        ];
+        writer.write_all(&BINARY_MAGIC)?;
+        writer.write_all(&BINARY_VERSION_V2.to_le_bytes())?;
+        writer.write_all(&(sections.len() as u32).to_le_bytes())?;
+        writer.write_all(&0u32.to_le_bytes())?;
+        let mut offset = (V2_HEADER_LEN + V2_ENTRY_LEN * sections.len()) as u64;
+        for (tag, payload) in &sections {
+            writer.write_all(*tag)?;
+            writer.write_all(&0u32.to_le_bytes())?;
+            writer.write_all(&offset.to_le_bytes())?;
+            writer.write_all(&(payload.len() as u64).to_le_bytes())?;
+            offset += align8(payload.len()) as u64;
+        }
+        for (_, payload) in &sections {
+            writer.write_all(payload)?;
+            let pad = align8(payload.len()) - payload.len();
+            writer.write_all(&[0u8; 7][..pad])?;
+        }
+        Ok(())
+    }
+
+    /// Parses an in-memory binary artifact, accepting either version.
+    ///
+    /// Version-2 images are validated and decoded in place through
+    /// [`FtSpannerView`]; version-1 images (and anything malformed) fall
+    /// through to the streaming reader and its typed errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] exactly as
+    /// [`FtSpanner::from_binary_reader`] does.
+    pub fn from_binary_slice(data: &[u8]) -> Result<Self> {
+        if data.len() >= 8
+            && data[..4] == BINARY_MAGIC
+            && u32::from_le_bytes(data[4..8].try_into().expect("4 bytes")) == BINARY_VERSION_V2
+        {
+            return FtSpannerView::parse(data)?.materialize();
+        }
+        Self::from_binary_reader(data)
+    }
+
+    /// Loads a binary artifact from a file in one read, accepting either
+    /// version.
+    ///
+    /// The whole image lands in a single buffer; for version-2 files the
+    /// sections are then validated and borrowed in place
+    /// ([`FtSpannerView`]), so a cold load is I/O-bound rather than
+    /// parse-bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] naming the path when the
+    /// file cannot be read, and the usual typed errors for malformed
+    /// contents.
+    pub fn from_binary_file(path: impl AsRef<std::path::Path>) -> Result<Self> {
+        let path = path.as_ref();
+        let data = std::fs::read(path).map_err(|e| CoreError::InvalidParameter {
+            message: format!(
+                "cannot read ftspanner binary file `{}`: {e}",
+                path.display()
+            ),
+        })?;
+        Self::from_binary_slice(&data)
     }
 }
 
@@ -938,6 +1139,382 @@ impl<'a> BinCursor<'a> {
     }
 }
 
+/// Byte size of the version-2 header (magic, version, section count,
+/// reserved word).
+const V2_HEADER_LEN: usize = 16;
+
+/// Byte size of one version-2 section-table entry (tag, reserved word,
+/// offset, length).
+const V2_ENTRY_LEN: usize = 24;
+
+/// The version-2 section tags in their required file order.
+const V2_TAGS: [&[u8; 4]; 6] = [b"META", b"DIMS", b"EDGU", b"EDGV", b"EDGW", b"SPAN"];
+
+/// Rounds a length up to the next multiple of 8 (the version-2 section
+/// alignment).
+fn align8(len: usize) -> usize {
+    len.div_ceil(8) * 8
+}
+
+/// Little-endian `u32` at a byte offset the caller has bounds-checked.
+fn read_u32_at(data: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(data[at..at + 4].try_into().expect("4 bytes"))
+}
+
+/// Little-endian `u64` at a byte offset the caller has bounds-checked.
+fn read_u64_at(data: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(data[at..at + 8].try_into().expect("8 bytes"))
+}
+
+/// A validated, zero-copy view of a version-2 binary artifact.
+///
+/// [`FtSpanner::to_binary_v2_writer`] documents the byte layout.
+/// [`FtSpannerView::parse`] bounds-checks the section table, validates every
+/// header field, edge record and spanner edge identifier, and then *borrows*
+/// the fixed-width sections from the caller's buffer — parsing performs no
+/// allocation at all, and nothing is copied until
+/// [`FtSpannerView::materialize`] builds an owned [`FtSpanner`]. Accessors
+/// decode individual records with `from_le_bytes`, so the buffer needs no
+/// particular alignment and can come straight from a memory-mapped file.
+///
+/// The one malformation `parse` cannot reject without allocating is a
+/// duplicate edge (detecting it needs a set over the endpoints);
+/// `materialize` reports it as the usual typed error.
+#[derive(Debug, Clone, Copy)]
+pub struct FtSpannerView<'a> {
+    algorithm: &'a str,
+    provenance: &'a str,
+    fault_model: FaultModel,
+    faults: usize,
+    stretch: f64,
+    nodes: usize,
+    edge_u: &'a [u8],
+    edge_v: &'a [u8],
+    edge_w: &'a [u8],
+    span: &'a [u8],
+}
+
+impl<'a> FtSpannerView<'a> {
+    /// Validates a version-2 binary image and borrows its sections without
+    /// copying or allocating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] on a bad magic or version, a
+    /// wrong section count, tag or order, a misaligned, overlapping or
+    /// out-of-bounds section, non-zero padding or reserved bytes, a
+    /// malformed `META` section, an implausible node count (the same
+    /// allocation guard as version 1), mismatched section lengths, an
+    /// out-of-range endpoint, self-loop or non-finite weight in the edge
+    /// arrays, or spanner edge identifiers that are out of range or not
+    /// strictly increasing.
+    pub fn parse(data: &'a [u8]) -> Result<Self> {
+        let fail = |message: String| {
+            Err(CoreError::InvalidParameter {
+                message: format!("{message} in ftspanner v2 binary data"),
+            })
+        };
+        if data.len() < V2_HEADER_LEN {
+            return fail(format!(
+                "image of {} bytes is shorter than the {V2_HEADER_LEN}-byte header",
+                data.len()
+            ));
+        }
+        if data[..4] != BINARY_MAGIC {
+            return fail(format!("bad magic {:?}", &data[..4]));
+        }
+        let version = read_u32_at(data, 4);
+        if version != BINARY_VERSION_V2 {
+            return fail(format!("version {version} is not {BINARY_VERSION_V2}"));
+        }
+        let count = read_u32_at(data, 8) as usize;
+        if count != V2_TAGS.len() {
+            return fail(format!("section count {count} is not {}", V2_TAGS.len()));
+        }
+        if read_u32_at(data, 12) != 0 {
+            return fail("non-zero reserved header word".to_string());
+        }
+        let table_end = V2_HEADER_LEN + V2_ENTRY_LEN * count;
+        if data.len() < table_end {
+            return fail(format!(
+                "image of {} bytes is shorter than its {table_end}-byte section table",
+                data.len()
+            ));
+        }
+
+        let mut sections = [&data[..0]; 6];
+        let mut prev_end = table_end;
+        for (i, tag) in V2_TAGS.iter().enumerate() {
+            let base = V2_HEADER_LEN + V2_ENTRY_LEN * i;
+            // Only error paths may allocate (the zero-allocation claim on
+            // successful parses is pinned by a counting-allocator test), so
+            // the printable tag is built lazily.
+            let name = || String::from_utf8_lossy(&tag[..]).into_owned();
+            if data[base..base + 4] != tag[..] {
+                return fail(format!(
+                    "expected `{}` section tag, got {:?}",
+                    name(),
+                    &data[base..base + 4]
+                ));
+            }
+            if read_u32_at(data, base + 4) != 0 {
+                return fail(format!(
+                    "non-zero reserved word in `{}` table entry",
+                    name()
+                ));
+            }
+            let offset = read_u64_at(data, base + 8);
+            let len = read_u64_at(data, base + 16);
+            // Sections are dense: each starts at the previous end rounded
+            // up to the 8-byte alignment, so offsets are fully determined
+            // and a lying table cannot alias or reorder payloads.
+            if offset != align8(prev_end) as u64 {
+                return fail(format!(
+                    "`{}` section at offset {offset}, expected {}",
+                    name(),
+                    align8(prev_end)
+                ));
+            }
+            let Some(end) = offset.checked_add(len).filter(|&e| e <= data.len() as u64) else {
+                return fail(format!(
+                    "`{}` section of {len} bytes at offset {offset} overruns the \
+                     {}-byte image",
+                    name(),
+                    data.len()
+                ));
+            };
+            if data[prev_end..offset as usize].iter().any(|&b| b != 0) {
+                return fail(format!("non-zero padding before `{}` section", name()));
+            }
+            sections[i] = &data[offset as usize..end as usize];
+            prev_end = end as usize;
+        }
+        if data.len() != align8(prev_end) {
+            return fail(format!(
+                "image of {} bytes does not end at the last section's padded end {}",
+                data.len(),
+                align8(prev_end)
+            ));
+        }
+        if data[prev_end..].iter().any(|&b| b != 0) {
+            return fail("non-zero trailing padding".to_string());
+        }
+
+        let meta = sections[0];
+        if meta.len() < 32 {
+            return fail(format!(
+                "`META` section of {} bytes is shorter than its 32-byte fixed part",
+                meta.len()
+            ));
+        }
+        let faults = read_u64_at(meta, 0);
+        let Ok(faults) = usize::try_from(faults) else {
+            return fail(format!("fault budget {faults} overflows usize"));
+        };
+        let stretch = f64::from_bits(read_u64_at(meta, 8));
+        let fault_model = match read_u32_at(meta, 16) {
+            0 => FaultModel::Vertex,
+            1 => FaultModel::Edge,
+            other => return fail(format!("unknown fault model tag {other}")),
+        };
+        let alg_len = read_u32_at(meta, 20) as usize;
+        let prov_len = read_u32_at(meta, 24) as usize;
+        if read_u32_at(meta, 28) != 0 {
+            return fail("non-zero reserved word in `META` section".to_string());
+        }
+        if meta.len() != 32 + alg_len + prov_len {
+            return fail(format!(
+                "`META` section of {} bytes does not match its declared string \
+                 lengths {alg_len} + {prov_len}",
+                meta.len()
+            ));
+        }
+        let Ok(algorithm) = std::str::from_utf8(&meta[32..32 + alg_len]) else {
+            return fail("non-UTF-8 algorithm string in `META` section".to_string());
+        };
+        let Ok(provenance) = std::str::from_utf8(&meta[32 + alg_len..]) else {
+            return fail("non-UTF-8 provenance string in `META` section".to_string());
+        };
+
+        let dims = sections[1];
+        if dims.len() != 24 {
+            return fail(format!(
+                "`DIMS` section of {} bytes is not 24 bytes",
+                dims.len()
+            ));
+        }
+        let n = read_u64_at(dims, 0);
+        let m = read_u64_at(dims, 8);
+        let s = read_u64_at(dims, 16);
+        // The edge arrays bound everything: m and s are backed by real
+        // bytes below, and n gets the same allocation guard as version 1.
+        if m > u32::MAX as u64 || s > m {
+            return fail(format!("implausible dimensions m = {m}, s = {s}"));
+        }
+        let m = m as usize;
+        let s = s as usize;
+        if n > binary_node_bound(m) as u64 {
+            return fail(format!(
+                "implausible node count {n} for {m} edges (limit {}): refusing the allocation",
+                binary_node_bound(m)
+            ));
+        }
+        let n = n as usize;
+
+        let (edge_u, edge_v, edge_w, span) = (sections[2], sections[3], sections[4], sections[5]);
+        for (name, section, want) in [
+            ("EDGU", edge_u, 4 * m),
+            ("EDGV", edge_v, 4 * m),
+            ("EDGW", edge_w, 8 * m),
+            ("SPAN", span, 4 * s),
+        ] {
+            if section.len() != want {
+                return fail(format!(
+                    "`{name}` section of {} bytes does not match the declared \
+                     {want}-byte record array",
+                    section.len()
+                ));
+            }
+        }
+        for i in 0..m {
+            let u = read_u32_at(edge_u, 4 * i) as usize;
+            let v = read_u32_at(edge_v, 4 * i) as usize;
+            let w = f64::from_bits(read_u64_at(edge_w, 8 * i));
+            if u >= n || v >= n || u == v || !w.is_finite() || w < 0.0 {
+                return fail(format!(
+                    "invalid edge {i}: ({u}, {v}) weight {w} in a \
+                     {n}-vertex graph"
+                ));
+            }
+        }
+        let mut prev: Option<u32> = None;
+        for i in 0..s {
+            let id = read_u32_at(span, 4 * i);
+            if id as usize >= m || prev.is_some_and(|p| p >= id) {
+                return fail(format!(
+                    "spanner edge identifier {id} at position {i} is out of range for \
+                     {m} edges or not strictly increasing"
+                ));
+            }
+            prev = Some(id);
+        }
+
+        Ok(FtSpannerView {
+            algorithm,
+            provenance,
+            fault_model,
+            faults,
+            stretch,
+            nodes: n,
+            edge_u,
+            edge_v,
+            edge_w,
+            span,
+        })
+    }
+
+    /// Name of the construction algorithm that produced the spanner.
+    pub fn algorithm(&self) -> &'a str {
+        self.algorithm
+    }
+
+    /// Free-text provenance recorded at construction time.
+    pub fn provenance(&self) -> &'a str {
+        self.provenance
+    }
+
+    /// Which objects the guarantee lets fail.
+    pub fn fault_model(&self) -> FaultModel {
+        self.fault_model
+    }
+
+    /// The declared fault budget `r`.
+    pub fn fault_budget(&self) -> usize {
+        self.faults
+    }
+
+    /// The declared stretch bound `k`.
+    pub fn stretch(&self) -> f64 {
+        self.stretch
+    }
+
+    /// Number of vertices in the source graph.
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    /// Number of edges in the source graph.
+    pub fn edge_count(&self) -> usize {
+        self.edge_u.len() / 4
+    }
+
+    /// Number of edges the spanner keeps.
+    pub fn spanner_edge_count(&self) -> usize {
+        self.span.len() / 4
+    }
+
+    /// Decodes source edge `i` as `(u, v, weight)` straight from the
+    /// borrowed arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.edge_count()`.
+    pub fn edge(&self, i: usize) -> (NodeId, NodeId, f64) {
+        assert!(i < self.edge_count(), "edge index {i} out of range");
+        (
+            NodeId::new(read_u32_at(self.edge_u, 4 * i) as usize),
+            NodeId::new(read_u32_at(self.edge_v, 4 * i) as usize),
+            f64::from_bits(read_u64_at(self.edge_w, 8 * i)),
+        )
+    }
+
+    /// Decodes the `i`-th spanner edge identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.spanner_edge_count()`.
+    pub fn spanner_edge(&self, i: usize) -> ftspan_graph::EdgeId {
+        assert!(
+            i < self.spanner_edge_count(),
+            "spanner edge index {i} out of range"
+        );
+        ftspan_graph::EdgeId::new(read_u32_at(self.span, 4 * i) as usize)
+    }
+
+    /// Builds an owned [`FtSpanner`] from the view — the first point at
+    /// which anything is copied out of the underlying buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for a duplicate edge (the
+    /// one malformation [`FtSpannerView::parse`] cannot detect without
+    /// allocating).
+    pub fn materialize(&self) -> Result<FtSpanner> {
+        let mut graph = Graph::new(self.nodes);
+        for i in 0..self.edge_count() {
+            let (u, v, w) = self.edge(i);
+            graph
+                .add_edge(u, v, w)
+                .map_err(|e| CoreError::InvalidParameter {
+                    message: format!("invalid edge {i} in ftspanner binary data: {e}"),
+                })?;
+        }
+        let mut edges = graph.empty_edge_set();
+        for i in 0..self.spanner_edge_count() {
+            edges.insert(self.spanner_edge(i));
+        }
+        FtSpanner::from_parts(
+            &graph,
+            edges,
+            self.algorithm,
+            self.provenance,
+            self.fault_model,
+            self.faults,
+            self.stretch,
+        )
+    }
+}
+
 /// A fault-scoped view of an [`FtSpanner`]: the declared fault set is masked
 /// during traversal (no subgraph is materialized) and every query is
 /// answered against the surviving spanner.
@@ -1075,6 +1652,22 @@ impl<'a> FaultSession<'a> {
             .sssp(u, dead, dead_edges)
             .map_err(CoreError::Graph)?;
         Ok(dist[v.index()])
+    }
+
+    /// All shortest-path distances from `u` in the surviving *source* graph
+    /// `G \ F` (one traversal; the baseline analogue of
+    /// [`FaultSession::distances_from`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownNode`] if `u` is out of bounds.
+    pub fn baseline_distances_from(&self, u: NodeId) -> Result<Vec<f64>> {
+        self.check_node(u)?;
+        let (dead, dead_edges) = self.masks();
+        self.artifact
+            .source_csr
+            .sssp(u, dead, dead_edges)
+            .map_err(CoreError::Graph)
     }
 
     /// Produces a [`StretchCertificate`] for the pair `(u, v)`: the spanner
@@ -1335,6 +1928,19 @@ impl<'a> CachedSession<'a> {
     pub fn distances_from(&mut self, u: NodeId) -> Result<Vec<f64>> {
         let slot = self.ensure_tree(u)?;
         Ok(self.trees[slot].dist.clone())
+    }
+
+    /// All baseline (source-graph) distances from `u` (identical to
+    /// [`FaultSession::baseline_distances_from`]), cached per source like
+    /// every other query.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownNode`] if `u` is out of bounds.
+    pub fn baseline_distances_from(&mut self, u: NodeId) -> Result<Vec<f64>> {
+        let slot = self.ensure_tree(u)?;
+        self.ensure_baseline(slot)?;
+        Ok(self.trees[slot].baseline.clone().expect("just ensured"))
     }
 
     /// A shortest surviving spanner path from `u` to `v` (identical to
@@ -1641,6 +2247,181 @@ mod tests {
         let mut again = Vec::new();
         restored.to_binary_writer(&mut again).unwrap();
         assert_eq!(buf, again);
+    }
+
+    #[test]
+    fn binary_v2_round_trips_through_every_reader() {
+        let (g, artifact) = conversion_artifact(11, 2);
+        let mut buf = Vec::new();
+        artifact.to_binary_v2_writer(&mut buf).unwrap();
+        assert_eq!(&buf[..4], &BINARY_MAGIC);
+        assert_eq!(buf[4], 2);
+        assert_eq!(buf.len() % 8, 0, "v2 images end 8-byte aligned");
+
+        // The view sees the artifact's exact shape without materializing.
+        let view = FtSpannerView::parse(&buf).unwrap();
+        assert_eq!(view.algorithm(), artifact.algorithm());
+        assert_eq!(view.provenance(), artifact.provenance());
+        assert_eq!(view.fault_model(), artifact.fault_model());
+        assert_eq!(view.fault_budget(), artifact.fault_budget());
+        assert_eq!(view.stretch(), artifact.stretch());
+        assert_eq!(view.node_count(), artifact.node_count());
+        assert_eq!(view.edge_count(), g.edge_count());
+        assert_eq!(view.spanner_edge_count(), artifact.spanner_edge_count());
+        for (i, (id, e)) in g.edges().enumerate() {
+            assert_eq!(view.edge(i), (e.u, e.v, e.weight));
+            let _ = id;
+        }
+
+        // All three decode paths agree with the original.
+        assert_eq!(view.materialize().unwrap(), artifact);
+        assert_eq!(
+            FtSpanner::from_binary_reader(buf.as_slice()).unwrap(),
+            artifact
+        );
+        assert_eq!(FtSpanner::from_binary_slice(&buf).unwrap(), artifact);
+
+        // Byte-stable: re-serializing the restored artifact is identical.
+        let mut again = Vec::new();
+        view.materialize()
+            .unwrap()
+            .to_binary_v2_writer(&mut again)
+            .unwrap();
+        assert_eq!(buf, again);
+    }
+
+    #[test]
+    fn binary_v2_file_load_reads_both_versions() {
+        let (_, artifact) = conversion_artifact(13, 1);
+        let dir =
+            std::env::temp_dir().join(format!("ftspan-core-v2-{}-{}", std::process::id(), line!()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let v1 = dir.join("artifact-v1.ftspan");
+        let v2 = dir.join("artifact-v2.ftspan");
+        let mut buf = Vec::new();
+        artifact.to_binary_writer(&mut buf).unwrap();
+        std::fs::write(&v1, &buf).unwrap();
+        buf.clear();
+        artifact.to_binary_v2_writer(&mut buf).unwrap();
+        std::fs::write(&v2, &buf).unwrap();
+
+        assert_eq!(FtSpanner::from_binary_file(&v1).unwrap(), artifact);
+        assert_eq!(FtSpanner::from_binary_file(&v2).unwrap(), artifact);
+        let missing = FtSpanner::from_binary_file(dir.join("absent.ftspan"));
+        match missing {
+            Err(CoreError::InvalidParameter { message }) => {
+                assert!(message.contains("absent.ftspan"), "error names the path");
+            }
+            other => panic!("expected a typed error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn binary_v2_corruption_is_a_typed_error() {
+        let (_, artifact) = conversion_artifact(12, 1);
+        let mut good = Vec::new();
+        artifact.to_binary_v2_writer(&mut good).unwrap();
+        assert!(FtSpannerView::parse(&good).is_ok());
+
+        let expect_reject = |bytes: &[u8], what: &str| {
+            assert!(
+                matches!(
+                    FtSpannerView::parse(bytes),
+                    Err(CoreError::InvalidParameter { .. })
+                ),
+                "view accepted {what}"
+            );
+            assert!(
+                matches!(
+                    FtSpanner::from_binary_reader(bytes),
+                    Err(CoreError::InvalidParameter { .. })
+                ),
+                "reader accepted {what}"
+            );
+        };
+
+        // Truncation everywhere: inside the header, the table, each section.
+        for cut in [0, 4, 9, 20, 100, good.len() / 2, good.len() - 8] {
+            expect_reject(&good[..cut], &format!("truncation at {cut}"));
+        }
+        // Trailing garbage past the padded end.
+        let mut trailing = good.clone();
+        trailing.extend_from_slice(&[0u8; 8]);
+        expect_reject(&trailing, "trailing bytes");
+        let mut dirty_pad = good.clone();
+        dirty_pad.extend_from_slice(&[1u8; 8]);
+        expect_reject(&dirty_pad, "non-zero trailing bytes");
+
+        // Header lies: magic, section count, reserved word.
+        let mut patched = good.clone();
+        patched[0] = b'X';
+        expect_reject(&patched, "bad magic");
+        let mut patched = good.clone();
+        patched[8] = 7;
+        expect_reject(&patched, "wrong section count");
+        let mut patched = good.clone();
+        patched[12] = 1;
+        expect_reject(&patched, "non-zero reserved header word");
+
+        // Table lies: tag, offset, length.
+        let mut patched = good.clone();
+        patched[V2_HEADER_LEN] = b'X';
+        expect_reject(&patched, "wrong first tag");
+        let mut patched = good.clone();
+        patched[V2_HEADER_LEN + 8] = patched[V2_HEADER_LEN + 8].wrapping_add(8);
+        expect_reject(&patched, "shifted META offset");
+        let mut patched = good.clone();
+        patched[V2_HEADER_LEN + 16] = patched[V2_HEADER_LEN + 16].wrapping_add(1);
+        expect_reject(&patched, "lying META length");
+
+        // META lies: fault model tag, string lengths, non-UTF-8 bytes.
+        let meta_at = V2_HEADER_LEN + V2_ENTRY_LEN * V2_TAGS.len();
+        let mut patched = good.clone();
+        patched[meta_at + 16] = 9;
+        expect_reject(&patched, "unknown fault model");
+        let mut patched = good.clone();
+        patched[meta_at + 20] = patched[meta_at + 20].wrapping_add(1);
+        expect_reject(&patched, "lying algorithm length");
+        let mut patched = good.clone();
+        patched[meta_at + 32] = 0xFF; // algorithm strings are non-empty ASCII
+        expect_reject(&patched, "non-UTF-8 algorithm");
+
+        // DIMS lies: giant node count (the allocation guard), s > m.
+        let dims_at = {
+            let meta_len = read_u64_at(&good, V2_HEADER_LEN + 16) as usize;
+            align8(meta_at + meta_len)
+        };
+        let mut patched = good.clone();
+        patched[dims_at..dims_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        expect_reject(&patched, "a u64::MAX node count");
+        let mut patched = good.clone();
+        let m = read_u64_at(&good, dims_at + 8);
+        patched[dims_at + 16..dims_at + 24].copy_from_slice(&(m + 1).to_le_bytes());
+        expect_reject(&patched, "more spanner edges than edges");
+
+        // Edge and spanner records: out-of-range endpoint, self-loop,
+        // non-finite weight, out-of-order spanner identifiers.
+        let section_offset =
+            |i: usize| read_u64_at(&good, V2_HEADER_LEN + V2_ENTRY_LEN * i + 8) as usize;
+        let (edgu_at, edgw_at, span_at) = (section_offset(2), section_offset(4), section_offset(5));
+        let mut patched = good.clone();
+        patched[edgu_at..edgu_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        expect_reject(&patched, "an out-of-range endpoint");
+        let mut patched = good.clone();
+        let v0 = read_u32_at(&good, section_offset(3));
+        patched[edgu_at..edgu_at + 4].copy_from_slice(&v0.to_le_bytes());
+        expect_reject(&patched, "a self-loop");
+        let mut patched = good.clone();
+        patched[edgw_at..edgw_at + 8].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        expect_reject(&patched, "a NaN weight");
+        let span_count = read_u64_at(&good, dims_at + 16) as usize;
+        assert!(span_count >= 2, "test artifact keeps at least two edges");
+        let mut patched = good.clone();
+        let (a, b) = (read_u32_at(&good, span_at), read_u32_at(&good, span_at + 4));
+        patched[span_at..span_at + 4].copy_from_slice(&b.to_le_bytes());
+        patched[span_at + 4..span_at + 8].copy_from_slice(&a.to_le_bytes());
+        expect_reject(&patched, "out-of-order spanner identifiers");
     }
 
     #[test]

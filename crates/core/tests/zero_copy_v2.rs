@@ -1,0 +1,124 @@
+//! Pins the zero-copy claim of the `.ftspan` version-2 layout: a successful
+//! [`FtSpannerView::parse`] performs **no heap allocation at all** — the
+//! sections are validated in place and borrowed from the caller's buffer —
+//! and random record access through the view stays allocation-free too.
+//!
+//! The whole test binary runs under a counting global allocator (which is
+//! why this battery lives in its own integration-test crate), so any
+//! allocation sneaking into the parse or access paths fails the assertion
+//! rather than silently eroding the mmap-ready property the format exists
+//! for.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ftspan_core::algorithms::core_algorithms;
+use ftspan_core::api::Registry;
+use ftspan_core::{FtSpanner, FtSpannerView, SpannerRequest};
+use ftspan_graph::generate;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Forwards to the system allocator while counting every allocation call.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: pure pass-through to `System`; the counter is a relaxed atomic
+// with no further invariants.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAllocator = CountingAllocator;
+
+/// Runs `f` and returns how many heap allocations it performed.
+fn allocations_during<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let value = f();
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    (value, after - before)
+}
+
+fn v2_image(seed: u64) -> Vec<u8> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let g = generate::connected_gnp(120, 0.08, generate::WeightKind::Unit, &mut rng);
+    let registry = Registry::from_algorithms(core_algorithms());
+    let report = registry
+        .get("conversion")
+        .expect("conversion algorithm is registered")
+        .build((&g).into(), &SpannerRequest::new(2), &mut rng)
+        .expect("construction succeeds");
+    let artifact = FtSpanner::from_report(&g, &report).expect("artifact builds");
+    let mut buf = Vec::new();
+    artifact
+        .to_binary_v2_writer(&mut buf)
+        .expect("serialization succeeds");
+    buf
+}
+
+#[test]
+fn parse_allocates_nothing() {
+    let image = v2_image(2011);
+    // Warm up once so lazy runtime initialization (test harness buffers and
+    // the like) cannot be misattributed to the parse under measurement.
+    FtSpannerView::parse(&image).expect("image is well-formed");
+
+    let (view, allocations) = allocations_during(|| FtSpannerView::parse(&image));
+    let view = view.expect("image is well-formed");
+    assert_eq!(
+        allocations, 0,
+        "FtSpannerView::parse must validate and borrow without allocating"
+    );
+    assert!(view.edge_count() > 0);
+    assert!(view.spanner_edge_count() > 0);
+}
+
+#[test]
+fn record_access_allocates_nothing() {
+    let image = v2_image(7);
+    let view = FtSpannerView::parse(&image).expect("image is well-formed");
+
+    let ((), allocations) = allocations_during(|| {
+        let mut checksum = 0.0f64;
+        for i in 0..view.edge_count() {
+            let (u, v, w) = view.edge(i);
+            checksum += w + (u.index() + v.index()) as f64;
+        }
+        for i in 0..view.spanner_edge_count() {
+            checksum += view.spanner_edge(i).index() as f64;
+        }
+        assert!(checksum > 0.0);
+    });
+    assert_eq!(
+        allocations, 0,
+        "decoding records through the view must not allocate"
+    );
+}
+
+#[test]
+fn materialize_agrees_with_the_streaming_reader() {
+    let image = v2_image(42);
+    let view = FtSpannerView::parse(&image).expect("image is well-formed");
+    let materialized = view.materialize().expect("materialization succeeds");
+    let streamed = FtSpanner::from_binary_reader(image.as_slice()).expect("reader succeeds");
+    assert_eq!(materialized, streamed);
+}

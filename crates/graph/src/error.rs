@@ -46,6 +46,13 @@ pub enum GraphError {
         /// Human-readable description of the violated requirement.
         message: String,
     },
+    /// A balanced partition could not cover every vertex: growth stalled
+    /// with vertices unreachable from any part with spare capacity (a
+    /// disconnected input, or an imbalance bound too tight for its shape).
+    PartitionStalled {
+        /// Number of vertices no part could claim.
+        unassigned: usize,
+    },
     /// A graph file could not be read or written.
     Io {
         /// The underlying I/O error, rendered as a string so the error stays
@@ -96,6 +103,13 @@ impl fmt::Display for GraphError {
             }
             GraphError::InvalidParameter { message } => {
                 write!(f, "invalid parameter: {message}")
+            }
+            GraphError::PartitionStalled { unassigned } => {
+                write!(
+                    f,
+                    "partition growth stalled with {unassigned} vertices unreachable from any \
+                     part with spare capacity (disconnected input or too-tight imbalance bound)"
+                )
             }
             GraphError::Io { message } => {
                 write!(f, "graph i/o failed: {message}")
@@ -150,6 +164,7 @@ mod tests {
             GraphError::InvalidParameter {
                 message: "p must be in [0,1]".into(),
             },
+            GraphError::PartitionStalled { unassigned: 5 },
             GraphError::Io {
                 message: "file not found".into(),
             },

@@ -25,6 +25,8 @@
 //! * [`par`] — a dependency-free scoped-thread work pool with deterministic,
 //!   index-ordered results; the shared substrate behind every parallel hot
 //!   path in the workspace.
+//! * [`partition`] — seeded, deterministic balanced partitioning into
+//!   connected parts (the front half of the sharded spanner pipeline).
 //! * [`verify`] — spanner and fault-tolerant spanner verification oracles,
 //!   including the Lemma 3.1 characterization for 2-spanners and the
 //!   edge-fault analogues.
@@ -65,6 +67,7 @@ pub mod faults;
 pub mod generate;
 pub mod io;
 pub mod par;
+pub mod partition;
 pub mod shortest_path;
 pub mod stats;
 pub mod tree;

@@ -42,9 +42,19 @@ fn main() {
         .expect("mesh builds");
     store.save("mesh", &mesh).expect("mesh saves");
 
+    // A sharded artifact: partitioned build, per-shard .ftspan files plus a
+    // manifest, served through the scatter-gather path.
+    let wide = generate::connected_gnp(60, 0.15, generate::WeightKind::Unit, &mut rng);
+    let builder = FtSpannerBuilder::new("conversion").faults(1);
+    let config = partition::PartitionConfig::new(3).with_seed(seed);
+    let grid_net =
+        ShardedArtifact::build(&wide, &builder, &config).expect("sharded artifact builds");
+    store.save_sharded("wide", &grid_net).expect("wide saves");
+
     println!(
-        "wrote {} artifacts to {}",
+        "wrote {} .ftspan files and {} shard manifest(s) to {}",
         store.names().expect("store lists").len(),
+        store.sharded_names().expect("store lists").len(),
         dir
     );
 }

@@ -487,6 +487,10 @@ fn put_graph_error(buf: &mut Vec<u8>, e: &GraphError) {
             put_u64(buf, *line as u64);
             put_str(buf, message);
         }
+        GraphError::PartitionStalled { unassigned } => {
+            put_u8(buf, 8);
+            put_u64(buf, *unassigned as u64);
+        }
     }
 }
 
@@ -765,6 +769,9 @@ impl<'a> Cursor<'a> {
             7 => GraphError::Parse {
                 line: self.usize("error field")?,
                 message: self.string("error message")?,
+            },
+            8 => GraphError::PartitionStalled {
+                unassigned: self.usize("error field")?,
             },
             other => {
                 return Err(NetError::Malformed {

@@ -191,17 +191,17 @@ impl Shared {
             .names()
             .into_iter()
             .map(|name| {
-                let artifact = self
+                let summary = self
                     .engine
-                    .artifact(name)
+                    .artifact_summary(name)
                     .expect("names() only lists registered artifacts");
                 ArtifactInfo {
                     name: name.to_string(),
-                    fault_model: artifact.fault_model(),
-                    fault_budget: artifact.fault_budget() as u64,
-                    stretch: artifact.stretch(),
-                    nodes: artifact.node_count() as u64,
-                    spanner_edges: artifact.spanner_edge_count() as u64,
+                    fault_model: summary.fault_model,
+                    fault_budget: summary.fault_budget as u64,
+                    stretch: summary.stretch,
+                    nodes: summary.nodes as u64,
+                    spanner_edges: summary.spanner_edges as u64,
                 }
             })
             .collect()

@@ -54,6 +54,7 @@
 //! assert!(results.iter().all(|r| r.is_ok()));
 //! ```
 
+use crate::shard::{ShardedArtifact, ShardedSession};
 use ftspan_core::serve::{CachedSession, FaultSession, FtSpanner, StretchCertificate};
 use ftspan_core::{par, CoreError, FaultModel, Result};
 use ftspan_graph::NodeId;
@@ -260,6 +261,33 @@ impl StatsCell {
     }
 }
 
+/// A registered serving target: one flat artifact, or a sharded one whose
+/// queries scatter-gather over a boundary overlay.
+#[derive(Debug, Clone)]
+enum Registered {
+    Single(Arc<FtSpanner>),
+    Sharded(Arc<ShardedArtifact>),
+}
+
+/// The serving-relevant shape of a registered artifact, uniform across flat
+/// and sharded registrations ([`Engine::artifact_summary`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArtifactSummary {
+    /// Declared fault model.
+    pub fault_model: FaultModel,
+    /// Declared fault budget `r`.
+    pub fault_budget: usize,
+    /// Declared stretch bound `k`.
+    pub stretch: f64,
+    /// Vertices of the (whole) source graph.
+    pub nodes: usize,
+    /// Edges of the spanner (for sharded artifacts: the union spanner,
+    /// shard spanners plus cut edges).
+    pub spanner_edges: usize,
+    /// Number of shards, or `None` for a flat artifact.
+    pub shards: Option<usize>,
+}
+
 /// A serving engine holding named, immutable [`FtSpanner`] artifacts and
 /// executing query batches through a session-reusing planner across worker
 /// threads.
@@ -273,7 +301,7 @@ impl StatsCell {
 /// same stats sink.
 #[derive(Debug, Clone)]
 pub struct Engine {
-    artifacts: BTreeMap<String, Arc<FtSpanner>>,
+    artifacts: BTreeMap<String, Registered>,
     config: EngineConfig,
     stats: Arc<StatsCell>,
 }
@@ -322,13 +350,60 @@ impl Engine {
 
     /// Registers (or replaces) an artifact under `name`.
     pub fn register(&mut self, name: &str, artifact: FtSpanner) -> &mut Self {
-        self.artifacts.insert(name.to_string(), Arc::new(artifact));
+        self.artifacts
+            .insert(name.to_string(), Registered::Single(Arc::new(artifact)));
         self
     }
 
-    /// Looks up a registered artifact.
+    /// Registers (or replaces) a sharded artifact under `name`. Sharded
+    /// artifacts serve the same [`Query`] values as flat ones — the routing
+    /// (scatter-gather over the boundary overlay) is an engine concern, not
+    /// a client concern.
+    pub fn register_sharded(&mut self, name: &str, artifact: ShardedArtifact) -> &mut Self {
+        self.artifacts
+            .insert(name.to_string(), Registered::Sharded(Arc::new(artifact)));
+        self
+    }
+
+    /// Looks up a registered *flat* artifact (`None` for names registered
+    /// through [`Engine::register_sharded`]; use
+    /// [`Engine::sharded_artifact`] or [`Engine::artifact_summary`] there).
     pub fn artifact(&self, name: &str) -> Option<&FtSpanner> {
-        self.artifacts.get(name).map(|a| a.as_ref())
+        match self.artifacts.get(name) {
+            Some(Registered::Single(a)) => Some(a.as_ref()),
+            _ => None,
+        }
+    }
+
+    /// Looks up a registered *sharded* artifact.
+    pub fn sharded_artifact(&self, name: &str) -> Option<&ShardedArtifact> {
+        match self.artifacts.get(name) {
+            Some(Registered::Sharded(a)) => Some(a.as_ref()),
+            _ => None,
+        }
+    }
+
+    /// The serving-relevant shape of a registered artifact, uniform across
+    /// flat and sharded registrations.
+    pub fn artifact_summary(&self, name: &str) -> Option<ArtifactSummary> {
+        Some(match self.artifacts.get(name)? {
+            Registered::Single(a) => ArtifactSummary {
+                fault_model: a.fault_model(),
+                fault_budget: a.fault_budget(),
+                stretch: a.stretch(),
+                nodes: a.node_count(),
+                spanner_edges: a.spanner_edge_count(),
+                shards: None,
+            },
+            Registered::Sharded(a) => ArtifactSummary {
+                fault_model: a.fault_model(),
+                fault_budget: a.fault_budget(),
+                stretch: a.stretch(),
+                nodes: a.node_count(),
+                spanner_edges: a.spanner_edge_count(),
+                shards: Some(a.shard_count()),
+            },
+        })
     }
 
     /// The registered artifact names, sorted.
@@ -346,18 +421,21 @@ impl Engine {
         self.artifacts.is_empty()
     }
 
-    /// Opens the session a query asks for, mirroring the fault-kind checks
-    /// of the naive per-query path exactly.
-    fn open_session(&self, query: &Query) -> Result<FaultSession<'_>> {
-        let artifact =
-            self.artifacts
-                .get(&query.artifact)
-                .ok_or_else(|| CoreError::UnknownArtifact {
-                    name: query.artifact.clone(),
-                })?;
-        // A query carrying the wrong kind of faults for the artifact is a
-        // typed error — silently ignoring the supplied fault set would return
-        // confidently wrong (unmasked) answers.
+    fn lookup(&self, query: &Query) -> Result<&Registered> {
+        self.artifacts
+            .get(&query.artifact)
+            .ok_or_else(|| CoreError::UnknownArtifact {
+                name: query.artifact.clone(),
+            })
+    }
+
+    /// Opens the session a query asks for on a flat artifact, mirroring the
+    /// fault-kind checks of the naive per-query path exactly.
+    ///
+    /// A query carrying the wrong kind of faults for the artifact is a
+    /// typed error — silently ignoring the supplied fault set would return
+    /// confidently wrong (unmasked) answers.
+    fn open_single<'e>(&self, artifact: &'e FtSpanner, query: &Query) -> Result<FaultSession<'e>> {
         if artifact.fault_model() == FaultModel::Edge {
             if !query.faults.is_empty() {
                 return Err(CoreError::FaultModelMismatch {
@@ -377,8 +455,55 @@ impl Engine {
         }
     }
 
+    /// The sharded analogue of [`Engine::open_single`]: identical fault-kind
+    /// checks, scatter-gather session underneath.
+    fn open_sharded<'e>(
+        &self,
+        artifact: &'e ShardedArtifact,
+        query: &Query,
+    ) -> Result<ShardedSession<'e>> {
+        let capacity = self.config.source_cache_capacity;
+        if artifact.fault_model() == FaultModel::Edge {
+            if !query.faults.is_empty() {
+                return Err(CoreError::FaultModelMismatch {
+                    declared: FaultModel::Edge,
+                    requested: FaultModel::Vertex,
+                });
+            }
+            artifact.under_edge_faults_with_capacity(&query.edge_faults, capacity)
+        } else {
+            if !query.edge_faults.is_empty() {
+                return Err(CoreError::FaultModelMismatch {
+                    declared: FaultModel::Vertex,
+                    requested: FaultModel::Edge,
+                });
+            }
+            artifact.under_faults_with_capacity(&query.faults, capacity)
+        }
+    }
+
     fn answer(&self, query: &Query) -> Result<QueryOutcome> {
-        let session = self.open_session(query)?;
+        match self.lookup(query)? {
+            Registered::Single(artifact) => {
+                let session = self.open_single(artifact, query)?;
+                Ok(match query.kind {
+                    QueryKind::Distance => {
+                        QueryOutcome::Distance(session.distance(query.u, query.v)?)
+                    }
+                    QueryKind::Path => QueryOutcome::Path(session.path(query.u, query.v)?),
+                    QueryKind::Certificate => {
+                        QueryOutcome::Certificate(session.stretch_certificate(query.u, query.v)?)
+                    }
+                })
+            }
+            Registered::Sharded(artifact) => {
+                let mut session = self.open_sharded(artifact, query)?;
+                Self::answer_sharded(&mut session, query)
+            }
+        }
+    }
+
+    fn answer_sharded(session: &mut ShardedSession<'_>, query: &Query) -> Result<QueryOutcome> {
         Ok(match query.kind {
             QueryKind::Distance => QueryOutcome::Distance(session.distance(query.u, query.v)?),
             QueryKind::Path => QueryOutcome::Path(session.path(query.u, query.v)?),
@@ -413,24 +538,48 @@ impl Engine {
         if let [i] = indices {
             return vec![self.answer(&queries[*i])];
         }
-        match self.open_session(&queries[indices[0]]) {
-            Ok(session) => {
-                let mut cached = session.cached(self.config.source_cache_capacity);
-                let results = indices
-                    .iter()
-                    .map(|&i| self.answer_cached(&mut cached, &queries[i]))
-                    .collect();
-                let cache = cached.cache_stats();
-                self.stats
-                    .cache_hits
-                    .fetch_add(cache.hits, Ordering::Relaxed);
-                self.stats
-                    .cache_misses
-                    .fetch_add(cache.misses, Ordering::Relaxed);
-                results
+        let naive = |indices: &[usize]| -> Vec<Result<QueryOutcome>> {
+            indices.iter().map(|&i| self.answer(&queries[i])).collect()
+        };
+        match self.lookup(&queries[indices[0]]) {
+            Err(_) => naive(indices),
+            Ok(Registered::Single(artifact)) => {
+                match self.open_single(artifact, &queries[indices[0]]) {
+                    Ok(session) => {
+                        let mut cached = session.cached(self.config.source_cache_capacity);
+                        let results = indices
+                            .iter()
+                            .map(|&i| self.answer_cached(&mut cached, &queries[i]))
+                            .collect();
+                        self.record_cache(cached.cache_stats());
+                        results
+                    }
+                    Err(_) => naive(indices),
+                }
             }
-            Err(_) => indices.iter().map(|&i| self.answer(&queries[i])).collect(),
+            Ok(Registered::Sharded(artifact)) => {
+                match self.open_sharded(artifact, &queries[indices[0]]) {
+                    Ok(mut session) => {
+                        let results = indices
+                            .iter()
+                            .map(|&i| Self::answer_sharded(&mut session, &queries[i]))
+                            .collect();
+                        self.record_cache(session.cache_stats());
+                        results
+                    }
+                    Err(_) => naive(indices),
+                }
+            }
         }
+    }
+
+    fn record_cache(&self, cache: ftspan_core::serve::CacheStats) {
+        self.stats
+            .cache_hits
+            .fetch_add(cache.hits, Ordering::Relaxed);
+        self.stats
+            .cache_misses
+            .fetch_add(cache.misses, Ordering::Relaxed);
     }
 
     /// Executes a batch of queries through the query planner and returns one

@@ -148,12 +148,16 @@ pub use ftspan_spanners as spanners;
 mod builder;
 mod engine;
 mod registry;
+mod shard;
 mod store;
 
 pub use builder::FtSpannerBuilder;
-pub use engine::{Engine, EngineConfig, EngineStats, Query, QueryKind, QueryOutcome};
+pub use engine::{
+    ArtifactSummary, Engine, EngineConfig, EngineStats, Query, QueryKind, QueryOutcome,
+};
 pub use registry::registry;
-pub use store::{ArtifactStore, ARTIFACT_EXTENSION};
+pub use shard::{CutEdge, ShardedArtifact, ShardedSession};
+pub use store::{ArtifactStore, ARTIFACT_EXTENSION, SHARD_MANIFEST_EXTENSION};
 
 /// The most commonly used items, re-exported flat for convenient glob
 /// imports in examples and applications.
@@ -172,9 +176,14 @@ pub mod prelude {
 
     // The query side: artifacts, fault-scoped sessions, the serving engine
     // and the directory-backed artifact store.
-    pub use crate::engine::{Engine, EngineConfig, EngineStats, Query, QueryKind, QueryOutcome};
+    pub use crate::engine::{
+        ArtifactSummary, Engine, EngineConfig, EngineStats, Query, QueryKind, QueryOutcome,
+    };
+    pub use crate::shard::{CutEdge, ShardedArtifact, ShardedSession};
     pub use crate::store::ArtifactStore;
-    pub use ftspan_core::{CacheStats, CachedSession, FaultSession, FtSpanner, StretchCertificate};
+    pub use ftspan_core::{
+        CacheStats, CachedSession, FaultSession, FtSpanner, FtSpannerView, StretchCertificate,
+    };
 
     // Combinatorial lower bounds, reported alongside construction sizes.
     pub use ftspan_core::lower_bounds::{
@@ -184,8 +193,8 @@ pub mod prelude {
 
     // The graph substrate.
     pub use ftspan_graph::{
-        components, faults, generate, io, par, shortest_path, stats, tree, verify, ArcSet, DiGraph,
-        EdgeSet, Graph, NodeId,
+        components, faults, generate, io, par, partition, shortest_path, stats, tree, verify,
+        ArcSet, DiGraph, EdgeSet, Graph, NodeId,
     };
 
     // Distributed verification (LOCAL-model checkers).

@@ -1,14 +1,23 @@
 //! Directory-backed artifact persistence: the [`ArtifactStore`].
 //!
 //! A store is a plain directory of `.ftspan` files, one binary-serialized
-//! [`FtSpanner`] per file (see [`FtSpanner::to_binary_writer`]); the file
-//! stem is the artifact's serving name. Build artifacts on a construction
-//! machine, [`save`](ArtifactStore::save) them, ship the directory, and
-//! [`load_into`](ArtifactStore::load_into) an [`Engine`] at serving startup.
+//! [`FtSpanner`] per file (version-2 layout, see
+//! [`FtSpanner::to_binary_v2_writer`]; version-1 files remain loadable); the
+//! file stem is the artifact's serving name. Sharded artifacts persist as a
+//! versioned text manifest `<name>.ftshard` plus one `.ftspan` file per
+//! shard (`<name>.shard<i>.ftspan`). Build artifacts on a construction
+//! machine, [`save`](ArtifactStore::save) /
+//! [`save_sharded`](ArtifactStore::save_sharded) them, ship the directory,
+//! and [`load_into`](ArtifactStore::load_into) an [`Engine`] at serving
+//! startup — manifests register as sharded artifacts, and their shard pieces
+//! are not double-registered as flat ones.
 
+use crate::shard::{CutEdge, ShardedArtifact};
 use crate::Engine;
 use ftspan_core::serve::FtSpanner;
 use ftspan_core::{CoreError, Result};
+use ftspan_graph::NodeId;
+use std::collections::BTreeSet;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
@@ -16,6 +25,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 /// File extension of stored artifacts (without the dot).
 pub const ARTIFACT_EXTENSION: &str = "ftspan";
+
+/// File extension of sharded-artifact manifests (without the dot).
+pub const SHARD_MANIFEST_EXTENSION: &str = "ftshard";
 
 /// A directory of binary `.ftspan` artifacts, addressed by name.
 ///
@@ -110,36 +122,49 @@ impl ArtifactStore {
     /// failure.
     pub fn save(&self, name: &str, artifact: &FtSpanner) -> Result<PathBuf> {
         let path = self.path_of(name)?;
-        // Write to a sibling temp file and rename into place: a crash or a
-        // failed write can then never truncate the previous good artifact or
-        // leave a partial `.ftspan` for the next cold load to trip over.
-        // (The `.tmp-*` extension keeps stragglers out of `names()`; the
-        // pid + counter makes the path unique per call, so concurrent saves
-        // of one name cannot interleave on a shared temp file.) The explicit
-        // flush matters too — artifacts are smaller than BufWriter's buffer,
-        // so Drop would do the real write and swallow a full disk.
+        self.write_atomic(&path, |writer| artifact.to_binary_v2_writer(writer))?;
+        Ok(path)
+    }
+
+    /// Writes `path` through a sibling temp file renamed into place: a crash
+    /// or a failed write can then never truncate the previous good file or
+    /// leave a partial one for the next cold load to trip over. (The
+    /// `.tmp-*` extension keeps stragglers out of `names()`; the pid +
+    /// counter makes the path unique per call, so concurrent saves of one
+    /// name cannot interleave on a shared temp file.) The explicit flush
+    /// matters too — artifacts are smaller than BufWriter's buffer, so Drop
+    /// would do the real write and swallow a full disk.
+    fn write_atomic(
+        &self,
+        path: &Path,
+        write_body: impl FnOnce(&mut BufWriter<File>) -> std::io::Result<()>,
+    ) -> Result<()> {
         static SAVE_COUNTER: AtomicU64 = AtomicU64::new(0);
+        let file_name = path
+            .file_name()
+            .and_then(|f| f.to_str())
+            .unwrap_or("artifact");
         let tmp = self.dir.join(format!(
-            "{name}.{ARTIFACT_EXTENSION}.tmp-{}-{}",
+            "{file_name}.tmp-{}-{}",
             std::process::id(),
             SAVE_COUNTER.fetch_add(1, Ordering::Relaxed),
         ));
         let write = (|| {
             let mut writer = BufWriter::new(File::create(&tmp)?);
-            artifact.to_binary_writer(&mut writer)?;
+            write_body(&mut writer)?;
             writer.flush()?;
             // Force the bytes to disk before renaming: journaling filesystems
             // may order the rename ahead of the data, and a power loss would
             // otherwise install a truncated file where the good one was.
             writer.get_ref().sync_all()
         })();
-        if let Err(e) = write.and_then(|()| std::fs::rename(&tmp, &path)) {
+        if let Err(e) = write.and_then(|()| std::fs::rename(&tmp, path)) {
             std::fs::remove_file(&tmp).ok();
             return Err(CoreError::InvalidParameter {
                 message: format!("cannot write {}: {e}", path.display()),
             });
         }
-        Ok(path)
+        Ok(())
     }
 
     /// Loads the named artifact.
@@ -177,6 +202,10 @@ impl ArtifactStore {
     /// Returns [`CoreError::InvalidParameter`] when the directory cannot be
     /// read.
     pub fn names(&self) -> Result<Vec<String>> {
+        self.stems_with_extension(ARTIFACT_EXTENSION)
+    }
+
+    fn stems_with_extension(&self, extension: &str) -> Result<Vec<String>> {
         let entries = std::fs::read_dir(&self.dir).map_err(|e| CoreError::InvalidParameter {
             message: format!("cannot read artifact store {}: {e}", self.dir.display()),
         })?;
@@ -186,7 +215,7 @@ impl ArtifactStore {
                 message: format!("cannot read artifact store {}: {e}", self.dir.display()),
             })?;
             let path = entry.path();
-            if path.extension().and_then(|e| e.to_str()) != Some(ARTIFACT_EXTENSION) {
+            if path.extension().and_then(|e| e.to_str()) != Some(extension) {
                 continue;
             }
             // A subdirectory named `*.ftspan` is not loadable; listing it
@@ -204,20 +233,187 @@ impl ArtifactStore {
         Ok(names)
     }
 
+    fn manifest_path_of(&self, name: &str) -> Result<PathBuf> {
+        if !Self::is_valid_name(name) {
+            return Err(CoreError::InvalidParameter {
+                message: format!(
+                    "invalid artifact name `{name}`: expected [A-Za-z0-9._-]+ not starting \
+                     with a dot"
+                ),
+            });
+        }
+        Ok(self.dir.join(format!("{name}.{SHARD_MANIFEST_EXTENSION}")))
+    }
+
+    /// The store name of shard `i` of sharded artifact `name`.
+    fn shard_stem(name: &str, i: usize) -> String {
+        format!("{name}.shard{i}")
+    }
+
+    /// Writes a sharded artifact: one `.ftspan` file per shard
+    /// (`<name>.shard<i>.ftspan`) plus the versioned text manifest
+    /// `<name>.ftshard` carrying the vertex → part assignment and the cut
+    /// edges. The manifest is written last, and atomically, so a readable
+    /// manifest always references fully written shards. Returns the manifest
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] on an invalid name or a write
+    /// failure.
+    pub fn save_sharded(&self, name: &str, artifact: &ShardedArtifact) -> Result<PathBuf> {
+        let path = self.manifest_path_of(name)?;
+        for (i, shard) in artifact.shards().iter().enumerate() {
+            self.save(&Self::shard_stem(name, i), shard)?;
+        }
+        self.write_atomic(&path, |writer| {
+            writeln!(writer, "ftshard 1")?;
+            writeln!(writer, "shards {}", artifact.shard_count())?;
+            writeln!(writer, "nodes {}", artifact.node_count())?;
+            writeln!(writer, "cuts {}", artifact.cut_edge_count())?;
+            write!(writer, "assignment")?;
+            for &p in artifact.assignment() {
+                write!(writer, " {p}")?;
+            }
+            writeln!(writer)?;
+            for c in artifact.cut_edges() {
+                // `{:?}` prints the shortest exactly-round-tripping decimal,
+                // so weights survive the text manifest bit for bit.
+                writeln!(writer, "cut {} {} {:?}", c.u.index(), c.v.index(), c.weight)?;
+            }
+            writeln!(writer, "end")
+        })?;
+        Ok(path)
+    }
+
+    /// Loads the named sharded artifact from its manifest and shard files,
+    /// revalidating the parts against each other
+    /// ([`ShardedArtifact::from_parts`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] on an invalid name, a missing
+    /// or malformed manifest (the error names the file), a missing or
+    /// corrupt shard file, or mutually inconsistent parts.
+    pub fn load_sharded(&self, name: &str) -> Result<ShardedArtifact> {
+        let path = self.manifest_path_of(name)?;
+        let text = std::fs::read_to_string(&path).map_err(|e| CoreError::InvalidParameter {
+            message: format!("cannot open {}: {e}", path.display()),
+        })?;
+        let malformed = |what: &str| CoreError::InvalidParameter {
+            message: format!("malformed {what} in shard manifest {}", path.display()),
+        };
+
+        let mut lines = text.lines();
+        if lines.next().map(str::trim) != Some("ftshard 1") {
+            return Err(malformed("header"));
+        }
+        let mut field = |key: &str| -> Result<String> {
+            let line = lines.next().ok_or_else(|| malformed(key))?;
+            line.strip_prefix(key)
+                .and_then(|rest| rest.strip_prefix(' '))
+                .map(str::to_string)
+                .ok_or_else(|| malformed(key))
+        };
+        // Counts parse through the u32 id width so oversized values are
+        // typed errors, not absurd allocations.
+        let count = |what: &str, token: &str| -> Result<usize> {
+            token
+                .parse::<u32>()
+                .map(|v| v as usize)
+                .map_err(|_| malformed(what))
+        };
+        let shards = count("shard count", &field("shards")?)?;
+        let nodes = count("node count", &field("nodes")?)?;
+        let cut_count = count("cut count", &field("cuts")?)?;
+
+        let assignment_line = field("assignment")?;
+        let assignment = assignment_line
+            .split_ascii_whitespace()
+            .map(|t| t.parse::<u32>().map_err(|_| malformed("assignment entry")))
+            .collect::<Result<Vec<u32>>>()?;
+        if assignment.len() != nodes {
+            return Err(malformed("assignment length"));
+        }
+
+        let mut cut_edges = Vec::with_capacity(cut_count);
+        for _ in 0..cut_count {
+            let line = field("cut")?;
+            let mut tokens = line.split_ascii_whitespace();
+            let mut endpoint = || -> Result<NodeId> {
+                tokens
+                    .next()
+                    .ok_or_else(|| malformed("cut edge"))
+                    .and_then(|t| count("cut endpoint", t).map(NodeId::new))
+            };
+            let (u, v) = (endpoint()?, endpoint()?);
+            let weight = tokens
+                .next()
+                .and_then(|t| t.parse::<f64>().ok())
+                .ok_or_else(|| malformed("cut weight"))?;
+            if tokens.next().is_some() {
+                return Err(malformed("cut edge"));
+            }
+            cut_edges.push(CutEdge { u, v, weight });
+        }
+        if lines.next().map(str::trim) != Some("end") {
+            return Err(malformed("trailer"));
+        }
+
+        let parts = (0..shards)
+            .map(|i| self.load(&Self::shard_stem(name, i)))
+            .collect::<Result<Vec<_>>>()?;
+        let artifact = ShardedArtifact::from_parts(parts, assignment, cut_edges)?;
+        if artifact.node_count() != nodes {
+            return Err(malformed("node count"));
+        }
+        Ok(artifact)
+    }
+
+    /// The names of every stored sharded artifact (`.ftshard` manifest
+    /// stems), sorted. Same addressability rules as
+    /// [`ArtifactStore::names`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] when the directory cannot be
+    /// read.
+    pub fn sharded_names(&self) -> Result<Vec<String>> {
+        self.stems_with_extension(SHARD_MANIFEST_EXTENSION)
+    }
+
     /// Loads **every** stored artifact and registers each in `engine` under
-    /// its file stem, returning the sorted names that were loaded.
+    /// its file stem, returning the sorted names that were registered.
+    ///
+    /// Shard manifests register as sharded artifacts; the `.ftspan` pieces a
+    /// manifest references are *not* additionally registered as flat
+    /// artifacts, so the engine's catalogue matches what was saved.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidParameter`] on the first unreadable or
     /// malformed file; artifacts loaded before the failure stay registered.
     pub fn load_into(&self, engine: &mut Engine) -> Result<Vec<String>> {
-        let names = self.names()?;
-        for name in &names {
-            let artifact = self.load(name)?;
-            engine.register(name, artifact);
+        let sharded = self.sharded_names()?;
+        let mut claimed: BTreeSet<String> = BTreeSet::new();
+        for name in &sharded {
+            let artifact = self.load_sharded(name)?;
+            for i in 0..artifact.shard_count() {
+                claimed.insert(Self::shard_stem(name, i));
+            }
+            engine.register_sharded(name, artifact);
         }
-        Ok(names)
+        let mut registered = sharded;
+        for name in self.names()? {
+            if claimed.contains(&name) {
+                continue;
+            }
+            let artifact = self.load(&name)?;
+            engine.register(&name, artifact);
+            registered.push(name);
+        }
+        registered.sort_unstable();
+        Ok(registered)
     }
 }
 
@@ -336,6 +532,92 @@ mod tests {
         let mut engine = Engine::new();
         assert!(store.load_into(&mut engine).is_err());
         assert_eq!(engine.names(), vec!["good"]);
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    fn sharded_artifact(seed: u64) -> ShardedArtifact {
+        use ftspan_graph::partition::PartitionConfig;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = generate::connected_gnp(28, 0.2, generate::WeightKind::Unit, &mut rng);
+        ShardedArtifact::build(
+            &g,
+            &FtSpannerBuilder::new("conversion").faults(1).stretch(3.0),
+            &PartitionConfig::new(2).with_seed(seed),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sharded_save_load_round_trips_through_manifest_and_engine() {
+        let store = temp_store("sharded");
+        let sharded = sharded_artifact(21);
+        store.save_sharded("mesh", &sharded).unwrap();
+        store.save("flat", &artifact(22)).unwrap();
+        assert_eq!(store.sharded_names().unwrap(), vec!["mesh"]);
+        // The shard pieces are ordinary artifacts on disk...
+        assert_eq!(
+            store.names().unwrap(),
+            vec!["flat", "mesh.shard0", "mesh.shard1"]
+        );
+
+        let loaded = store.load_sharded("mesh").unwrap();
+        assert_eq!(loaded.shard_count(), sharded.shard_count());
+        assert_eq!(loaded.assignment(), sharded.assignment());
+        assert_eq!(
+            loaded.cut_edges().collect::<Vec<_>>(),
+            sharded.cut_edges().collect::<Vec<_>>()
+        );
+        assert_eq!(loaded.shards(), sharded.shards());
+
+        // ...but a cold engine load registers the manifest name only, not
+        // the pieces, and the sharded artifact serves queries.
+        let mut engine = Engine::new();
+        let registered = store.load_into(&mut engine).unwrap();
+        assert_eq!(registered, vec!["flat", "mesh"]);
+        assert_eq!(engine.names(), vec!["flat", "mesh"]);
+        assert_eq!(
+            engine.artifact_summary("mesh").unwrap().shards,
+            Some(sharded.shard_count())
+        );
+        let results = engine.run_batch(&[Query::distance(
+            "mesh",
+            vec![NodeId::new(3)],
+            NodeId::new(0),
+            NodeId::new(11),
+        )]);
+        assert!(results[0].is_ok());
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn corrupt_shard_manifests_are_typed_errors_naming_the_file() {
+        let store = temp_store("sharded-corrupt");
+        let sharded = sharded_artifact(23);
+        store.save_sharded("mesh", &sharded).unwrap();
+
+        // Truncate the manifest: load_sharded and load_into both fail with
+        // an error naming the file.
+        let manifest = store.dir().join("mesh.ftshard");
+        let good = std::fs::read_to_string(&manifest).unwrap();
+        std::fs::write(&manifest, &good[..good.len() / 2]).unwrap();
+        for err in [
+            store.load_sharded("mesh").unwrap_err(),
+            store.load_into(&mut Engine::new()).unwrap_err(),
+        ] {
+            assert!(
+                err.to_string().contains("mesh.ftshard"),
+                "error does not name the manifest: {err}"
+            );
+        }
+
+        // A manifest referencing a missing shard file is typed too.
+        std::fs::write(&manifest, &good).unwrap();
+        std::fs::remove_file(store.dir().join("mesh.shard1.ftspan")).unwrap();
+        assert!(store
+            .load_sharded("mesh")
+            .unwrap_err()
+            .to_string()
+            .contains("mesh.shard1.ftspan"));
         std::fs::remove_dir_all(store.dir()).ok();
     }
 

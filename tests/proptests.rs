@@ -1,6 +1,7 @@
 //! Property-based tests (proptest) on the workspace's core invariants:
 //! random graphs, random parameters — the guarantees must always hold.
 
+use fault_tolerant_spanners::graph::GraphError;
 use fault_tolerant_spanners::prelude::*;
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
@@ -518,6 +519,128 @@ proptest! {
         for (slot, &original) in order.iter().enumerate() {
             prop_assert_eq!(&planned_shuffled[slot], &naive[original],
                 "shuffled slot {} diverged from original slot {}", slot, original);
+        }
+    }
+
+    /// The partitioner emits a disjoint full cover with connected parts
+    /// within the imbalance bound at any seed and part count — or the
+    /// documented typed error when the graph cannot be covered — and the
+    /// same configuration always reproduces the same assignment.
+    #[test]
+    fn partitioner_always_covers_within_bound(
+        n in 2usize..32,
+        bits in proptest::collection::vec(any::<bool>(), 0..300),
+        parts in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let g = graph_from_bits(n, &bits);
+        let parts = parts.min(n);
+        let config = partition::PartitionConfig::new(parts).with_seed(seed);
+        match partition::partition(&g, &config) {
+            Ok(p) => {
+                prop_assert_eq!(p.part_count(), parts);
+                prop_assert_eq!(p.sizes().iter().sum::<usize>(), n);
+                let mut seen = vec![false; n];
+                for part in 0..parts {
+                    prop_assert_eq!(p.members(part).len(), p.sizes()[part]);
+                    prop_assert!(p.sizes()[part] <= p.capacity());
+                    prop_assert!(p.sizes()[part] >= 1);
+                    for v in p.members(part) {
+                        prop_assert!(!seen[v.index()], "vertex {} claimed twice", v);
+                        seen[v.index()] = true;
+                        prop_assert_eq!(p.part_of(v), part);
+                    }
+                    // Each part induces a connected subgraph.
+                    let members = p.members(part);
+                    let mut reach = vec![false; n];
+                    let mut stack = vec![members[0]];
+                    reach[members[0].index()] = true;
+                    while let Some(u) = stack.pop() {
+                        for (w, _) in g.incident(u) {
+                            if p.part_of(w) == part && !reach[w.index()] {
+                                reach[w.index()] = true;
+                                stack.push(w);
+                            }
+                        }
+                    }
+                    for &v in &members {
+                        prop_assert!(reach[v.index()], "part {} is disconnected at {}", part, v);
+                    }
+                }
+                prop_assert!(seen.iter().all(|&b| b), "partition is not a full cover");
+                // Cut edges are exactly the edges crossing parts, and the
+                // boundary is exactly their endpoint set.
+                let cut = p.cut_edges(&g).unwrap();
+                for (id, e) in g.edges() {
+                    prop_assert_eq!(
+                        cut.binary_search(&id).is_ok(),
+                        p.part_of(e.u) != p.part_of(e.v)
+                    );
+                }
+                let boundary = p.boundary_vertices(&g).unwrap();
+                for v in g.nodes() {
+                    let crosses = g.incident(v).any(|(w, _)| p.part_of(w) != p.part_of(v));
+                    prop_assert_eq!(boundary.binary_search(&v).is_ok(), crosses);
+                }
+                // Deterministic: the same configuration reproduces itself.
+                let again = partition::partition(&g, &config).unwrap();
+                prop_assert_eq!(again.assignment(), p.assignment());
+            }
+            Err(e) => prop_assert!(
+                matches!(e, GraphError::PartitionStalled { .. }),
+                "unexpected error kind: {}", e
+            ),
+        }
+    }
+
+    /// Decoding `.ftspan` v2 images never panics: the pristine image round
+    /// trips exactly, every truncation is a typed error, and arbitrary byte
+    /// mutations either decode cleanly or fail with a typed error — through
+    /// both the zero-copy view and the streaming reader.
+    #[test]
+    fn binary_v2_decoding_survives_mutation(
+        n in 4usize..12,
+        bits in proptest::collection::vec(any::<bool>(), 1..66),
+        cut_pick in any::<usize>(),
+        flips in proptest::collection::vec((any::<usize>(), any::<u64>()), 1..6),
+    ) {
+        let g = graph_from_bits(n, &bits);
+        let artifact = FtSpanner::from_edge_set(
+            &g,
+            g.full_edge_set(),
+            "adopted",
+            "proptest",
+            FaultModel::Vertex,
+            1,
+            3.0,
+        )
+        .unwrap();
+        let mut image = Vec::new();
+        artifact.to_binary_v2_writer(&mut image).unwrap();
+        prop_assert_eq!(&FtSpanner::from_binary_slice(&image).unwrap(), &artifact);
+        prop_assert_eq!(&FtSpannerView::parse(&image).unwrap().materialize().unwrap(), &artifact);
+
+        // Every proper prefix is rejected, never a panic.
+        let cut = cut_pick % image.len();
+        prop_assert!(FtSpanner::from_binary_slice(&image[..cut]).is_err());
+
+        // Arbitrary byte mutations must decode or fail with a typed error;
+        // the view and the streaming reader must agree on which.
+        let mut mutated = image.clone();
+        for &(at, byte) in &flips {
+            let i = at % mutated.len();
+            mutated[i] ^= (byte & 0xFF) as u8;
+        }
+        let streamed = FtSpanner::from_binary_reader(mutated.as_slice());
+        match FtSpanner::from_binary_slice(&mutated) {
+            Ok(decoded) => {
+                // Still well-formed (e.g. only weights or text changed).
+                prop_assert_eq!(&streamed.unwrap(), &decoded);
+            }
+            Err(e) => {
+                prop_assert!(!e.to_string().is_empty());
+                prop_assert!(streamed.is_err() || mutated[4..8] != image[4..8]);
+            }
         }
     }
 

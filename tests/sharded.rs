@@ -1,0 +1,297 @@
+//! Differential battery for the sharded serving path.
+//!
+//! An [`Engine`] holding a sharded artifact must be observationally
+//! indistinguishable from an engine holding the equivalent single artifact —
+//! the union of the per-shard spanners plus every cut edge, assembled by
+//! [`ShardedArtifact::to_union_artifact`]. Distances and certificate scalars
+//! must match bit-for-bit, paths must be equally short and walk only
+//! surviving spanner edges (tie-breaks may legitimately differ), and typed
+//! errors must be identical — on G(n, p) and grid topologies, under vertex
+//! and edge faults, at any worker count and cache capacity. Certificate
+//! baselines are additionally oracle-checked against a fresh Dijkstra run on
+//! the source graph, independent of both serving paths.
+
+use fault_tolerant_spanners::core::CoreError;
+use fault_tolerant_spanners::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// One engine's answers to a batch, in input order.
+type BatchResults = Vec<Result<QueryOutcome, CoreError>>;
+
+/// Builds the differential pair over `g`: a sharded artifact cut into
+/// `parts` and the single-artifact reference carrying exactly the same
+/// spanner edge set over the same source graph.
+fn differential_pair(g: &Graph, parts: usize, seed: u64) -> (ShardedArtifact, FtSpanner) {
+    let builder = FtSpannerBuilder::new("conversion").faults(1).stretch(3.0);
+    let config = partition::PartitionConfig::new(parts).with_seed(seed);
+    let sharded = ShardedArtifact::build(g, &builder, &config).expect("sharded build succeeds");
+    let union = sharded
+        .to_union_artifact()
+        .expect("union artifact assembles");
+    (sharded, union)
+}
+
+/// A mixed battery of vertex-fault queries against `names` (which may
+/// include unregistered artifacts): all three query kinds, fault lists that
+/// are empty, valid, duplicated, oversized, or out of range.
+fn vertex_battery(names: &[&str], n: usize, count: usize, seed: u64) -> Vec<Query> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let name = names[rng.gen_range(0..names.len())];
+            let u = NodeId::new(rng.gen_range(0..n));
+            let v = NodeId::new(rng.gen_range(0..n));
+            let mut faults: Vec<NodeId> = (0..rng.gen_range(0..3usize))
+                .map(|_| NodeId::new(rng.gen_range(0..n + 2)))
+                .collect();
+            if rng.gen_bool(0.2) && !faults.is_empty() {
+                faults.push(faults[0]); // duplicates must dedup, not count twice
+            }
+            match rng.gen_range(0..3usize) {
+                0 => Query::distance(name, faults, u, v),
+                1 => Query::path(name, faults, u, v),
+                _ => Query::certificate(name, faults, u, v),
+            }
+        })
+        .collect()
+}
+
+/// Checks one (sharded, reference) path pair: same reachability, equal
+/// length, and the sharded path walks only surviving spanner edges of the
+/// union artifact — no dead vertex, no dead edge.
+fn assert_path_equivalent(
+    i: usize,
+    query: &Query,
+    union: &FtSpanner,
+    sharded_path: &Option<Vec<NodeId>>,
+    reference_path: &Option<Vec<NodeId>>,
+) {
+    let spanner_graph = union.source_graph();
+    match (sharded_path, reference_path) {
+        (None, None) => {}
+        (Some(p), Some(q)) => {
+            assert_eq!(p.first(), Some(&query.u), "query {i}: path start");
+            assert_eq!(p.last(), Some(&query.v), "query {i}: path end");
+            let length = |path: &[NodeId]| {
+                path.windows(2)
+                    .map(|w| {
+                        let id = spanner_graph
+                            .find_edge(w[0], w[1])
+                            .unwrap_or_else(|| panic!("query {i}: hop not an edge"));
+                        assert!(
+                            union.spanner_edges().contains(id),
+                            "query {i}: hop outside the spanner"
+                        );
+                        spanner_graph.edge(id).weight
+                    })
+                    .sum::<f64>()
+            };
+            let (la, lb) = (length(p), length(q));
+            assert!(
+                (la - lb).abs() < 1e-9,
+                "query {i}: sharded path length {la} != reference {lb}"
+            );
+            assert!(
+                !p.iter().any(|x| query.faults.contains(x)),
+                "query {i}: sharded path visits a dead vertex"
+            );
+            for w in p.windows(2) {
+                let dead = query
+                    .edge_faults
+                    .iter()
+                    .any(|&(a, b)| (a, b) == (w[0], w[1]) || (a, b) == (w[1], w[0]));
+                assert!(!dead, "query {i}: sharded path crosses a dead edge");
+            }
+        }
+        _ => panic!("query {i}: reachability diverged: {sharded_path:?} vs {reference_path:?}"),
+    }
+}
+
+/// Asserts the sharded results match the union-reference results: bit-equal
+/// distances, certificate scalars and errors; structurally equivalent paths.
+fn assert_differential(
+    g: &Graph,
+    union: &FtSpanner,
+    queries: &[Query],
+    sharded: &[Result<QueryOutcome, CoreError>],
+    reference: &[Result<QueryOutcome, CoreError>],
+) {
+    assert_eq!(sharded.len(), queries.len());
+    assert_eq!(reference.len(), queries.len());
+    for (i, ((s, r), query)) in sharded.iter().zip(reference).zip(queries).enumerate() {
+        match (s, r) {
+            (Ok(QueryOutcome::Path(a)), Ok(QueryOutcome::Path(b))) => {
+                assert_path_equivalent(i, query, union, a, b)
+            }
+            (Ok(QueryOutcome::Certificate(a)), Ok(QueryOutcome::Certificate(b))) => {
+                assert_eq!(a.u, b.u, "query {i}: certificate u");
+                assert_eq!(a.v, b.v, "query {i}: certificate v");
+                assert_eq!(
+                    a.spanner_distance.to_bits(),
+                    b.spanner_distance.to_bits(),
+                    "query {i}: certificate spanner distance"
+                );
+                assert_eq!(
+                    a.baseline_distance.to_bits(),
+                    b.baseline_distance.to_bits(),
+                    "query {i}: certificate baseline distance"
+                );
+                assert_eq!(
+                    a.stretch.to_bits(),
+                    b.stretch.to_bits(),
+                    "query {i}: certificate stretch"
+                );
+                assert_eq!(
+                    a.bound.to_bits(),
+                    b.bound.to_bits(),
+                    "query {i}: certificate bound"
+                );
+                assert_path_equivalent(i, query, union, &a.path, &b.path);
+            }
+            _ => assert_eq!(s, r, "query {i} ({:?}) diverged", query.kind),
+        }
+        // Oracle check, independent of both serving paths: every certificate
+        // holds and its baseline equals a fresh Dijkstra on the source graph
+        // with the faulted vertices removed.
+        if let Ok(QueryOutcome::Certificate(cert)) = s {
+            assert!(cert.holds(), "query {i}: certificate does not hold");
+            if query.edge_faults.is_empty() {
+                let mut dead = vec![false; g.node_count()];
+                for f in &query.faults {
+                    dead[f.index()] = true;
+                }
+                if !dead[query.u.index()] && !dead[query.v.index()] {
+                    let oracle = shortest_path::dijkstra_avoiding(g, query.u, &dead)
+                        .expect("oracle dijkstra runs");
+                    assert_eq!(
+                        cert.baseline_distance.to_bits(),
+                        oracle[query.v.index()].to_bits(),
+                        "query {i}: baseline diverges from the source-graph oracle"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Registers the pair under the same name in two engines and returns
+/// `(sharded grouped results, union naive-reference results)`.
+fn run_differential(
+    sharded: &ShardedArtifact,
+    union: &FtSpanner,
+    queries: &[Query],
+) -> (BatchResults, BatchResults) {
+    let mut sharded_engine = Engine::new();
+    sharded_engine.register_sharded("net", sharded.clone());
+    let mut union_engine = Engine::new();
+    union_engine.register("net", union.clone());
+    let got = sharded_engine.run_batch(queries);
+    let want = union_engine.run_batch_naive(queries);
+    (got, want)
+}
+
+#[test]
+fn gnp_sharded_engine_matches_union_reference() {
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let g = generate::connected_gnp(36, 0.18, generate::WeightKind::Unit, &mut rng);
+    let (sharded, union) = differential_pair(&g, 3, 5);
+    assert_eq!(sharded.shard_count(), 3);
+    assert!(
+        sharded.cut_edge_count() > 0,
+        "partition should cut something"
+    );
+    let queries = vertex_battery(&["net", "net", "net", "ghost"], g.node_count(), 160, 21);
+    let (got, want) = run_differential(&sharded, &union, &queries);
+    assert_differential(&g, &union, &queries, &got, &want);
+    // The battery must actually exercise unknown-artifact routing.
+    let ghosts = queries.iter().filter(|q| q.artifact == "ghost").count();
+    assert!(ghosts > 0, "battery should include unknown artifacts");
+}
+
+#[test]
+fn grid_sharded_engine_matches_union_reference() {
+    let g = generate::grid(6, 7);
+    let (sharded, union) = differential_pair(&g, 4, 9);
+    assert_eq!(sharded.shard_count(), 4);
+    let queries = vertex_battery(&["net"], g.node_count(), 160, 33);
+    let (got, want) = run_differential(&sharded, &union, &queries);
+    assert_differential(&g, &union, &queries, &got, &want);
+}
+
+#[test]
+fn worker_count_and_cache_capacity_do_not_change_sharded_answers() {
+    let mut rng = ChaCha8Rng::seed_from_u64(17);
+    let g = generate::connected_gnp(30, 0.2, generate::WeightKind::Unit, &mut rng);
+    let (sharded, _) = differential_pair(&g, 3, 2);
+    let queries = vertex_battery(&["net"], g.node_count(), 120, 41);
+
+    let mut engine = Engine::new();
+    engine.register_sharded("net", sharded);
+    let baseline = engine
+        .clone()
+        .with_workers(1)
+        .with_source_cache_capacity(64)
+        .run_batch(&queries);
+    for workers in [2, 8] {
+        for capacity in [0, 64] {
+            let got = engine
+                .clone()
+                .with_workers(workers)
+                .with_source_cache_capacity(capacity)
+                .run_batch(&queries);
+            assert_eq!(
+                baseline, got,
+                "answers changed at workers {workers}, capacity {capacity}"
+            );
+        }
+    }
+}
+
+#[test]
+fn edge_fault_sharded_engine_matches_union_reference() {
+    let mut rng = ChaCha8Rng::seed_from_u64(23);
+    let g = generate::connected_gnp(30, 0.2, generate::WeightKind::Unit, &mut rng);
+    let builder = FtSpannerBuilder::new("edge-fault").faults(1).stretch(3.0);
+    let config = partition::PartitionConfig::new(2).with_seed(4);
+    let sharded = ShardedArtifact::build(&g, &builder, &config).expect("sharded build succeeds");
+    let union = sharded
+        .to_union_artifact()
+        .expect("union artifact assembles");
+
+    // Edge faults drawn from the real edge list (cut and intra-shard edges
+    // alike), plus fabricated non-edges and out-of-range endpoints.
+    let edges: Vec<(NodeId, NodeId)> = g.edges().map(|(_, e)| (e.u, e.v)).collect();
+    let n = g.node_count();
+    let mut battery_rng = ChaCha8Rng::seed_from_u64(51);
+    let queries: Vec<Query> = (0..160)
+        .map(|_| {
+            let u = NodeId::new(battery_rng.gen_range(0..n));
+            let v = NodeId::new(battery_rng.gen_range(0..n));
+            let edge_faults: Vec<(NodeId, NodeId)> = (0..battery_rng.gen_range(0..3usize))
+                .map(|_| match battery_rng.gen_range(0..8usize) {
+                    0 => (u, u),                               // self-loop: never an edge
+                    1 => (NodeId::new(n + 1), NodeId::new(0)), // out of range
+                    _ => edges[battery_rng.gen_range(0..edges.len())],
+                })
+                .collect();
+            let base = match battery_rng.gen_range(0..3usize) {
+                0 => Query::distance("net", Vec::new(), u, v),
+                1 => Query::path("net", Vec::new(), u, v),
+                _ => Query::certificate("net", Vec::new(), u, v),
+            };
+            if battery_rng.gen_bool(0.1) {
+                // Wrong fault kind: must be a FaultModelMismatch either way.
+                Query {
+                    faults: vec![NodeId::new(0)],
+                    ..base
+                }
+            } else {
+                base.with_edge_faults(edge_faults)
+            }
+        })
+        .collect();
+
+    let (got, want) = run_differential(&sharded, &union, &queries);
+    assert_differential(&g, &union, &queries, &got, &want);
+}
