@@ -110,6 +110,7 @@ fn main() -> ExitCode {
             "edges/s",
             "queries/s",
             "size",
+            "rss_mb",
             "digest",
         ],
     );
@@ -124,6 +125,9 @@ fn main() -> ExitCode {
                 .map(|v| format!("{v:.0}"))
                 .unwrap_or_else(|| "-".to_string()),
             r.spanner_edges.to_string(),
+            r.peak_rss_kb
+                .map(|v| format!("{:.0}", v as f64 / 1024.0))
+                .unwrap_or_else(|| "-".to_string()),
             r.digest.clone(),
         ]);
     }

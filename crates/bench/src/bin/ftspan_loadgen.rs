@@ -441,6 +441,7 @@ fn main() -> ExitCode {
                 spanner_edges: 0,
                 edges_per_sec: None,
                 queries_per_sec: Some(qps),
+                peak_rss_kb: None,
                 digest: format!(
                     "{:016x}",
                     latency_us.quantile(0.50)

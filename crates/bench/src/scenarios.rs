@@ -113,9 +113,24 @@ pub struct ScenarioResult {
     pub edges_per_sec: Option<f64>,
     /// Queries answered per second (serving scenarios).
     pub queries_per_sec: Option<f64>,
+    /// Peak resident set size of the bench process when the scenario
+    /// finished, in kilobytes (`VmHWM` from `/proc/self/status`). `None`
+    /// off Linux. Process-wide and monotone over a suite run, so within one
+    /// `BENCH.json` it is the large-n scenarios' number that is meaningful;
+    /// it is recorded, not gated.
+    pub peak_rss_kb: Option<u64>,
     /// FNV-1a digest of the semantic output; seed-stable and worker-count
     /// invariant.
     pub digest: String,
+}
+
+/// Peak resident set size of this process in kilobytes, read from the
+/// `VmHWM` line of `/proc/self/status`. Dependency-free; `None` on
+/// platforms without procfs.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
 }
 
 /// FNV-1a, the workspace's dependency-free digest.
@@ -204,6 +219,17 @@ enum Workload {
     /// Scatter-gather serving: a repeated-scope batch answered through a
     /// sharded artifact (per-shard sessions plus the boundary overlay).
     ServeShardedBatch,
+    /// Large-n construction through the streaming input path: a seeded
+    /// G(n, m) [`GeneratorSpec`] fed straight to
+    /// [`FtSpannerBuilder::on_graph`], CSR packed once at the boundary,
+    /// iteration-capped conversion on top of the Baswana–Sen black box.
+    LargeConstruction,
+    /// Large-n shortest paths: repeated [`sssp_into`] sweeps over a
+    /// generated CSR — the bucket-queue strategy's home turf (the automatic
+    /// strategy choice picks buckets at these sizes).
+    ///
+    /// [`sssp_into`]: ftspan_graph::csr::CsrSubgraph::sssp_into
+    LargeSssp,
 }
 
 /// A named, seeded benchmark workload.
@@ -344,6 +370,16 @@ pub fn all() -> Vec<Scenario> {
             description: "scatter-gather serving: a repeated-scope batch through a sharded artifact",
             workload: Workload::ServeShardedBatch,
         },
+        Scenario {
+            name: "construct-large-gnm",
+            description: "large-n construction: streaming G(n, m) spec through on_graph into an iteration-capped conversion",
+            workload: Workload::LargeConstruction,
+        },
+        Scenario {
+            name: "sssp-large",
+            description: "large-n shortest paths: bucket-queue SSSP sweeps over a generated CSR",
+            workload: Workload::LargeSssp,
+        },
     ]
 }
 
@@ -395,7 +431,7 @@ impl Scenario {
     }
 
     fn run_once(&self, config: &ScenarioConfig) -> ScenarioResult {
-        match self.workload {
+        let mut result = match self.workload {
             Workload::Construction {
                 algorithm,
                 family,
@@ -409,7 +445,11 @@ impl Scenario {
             Workload::ServeNetThroughput => self.run_serve_net(config),
             Workload::ShardBuild => self.run_shard_build(config),
             Workload::ServeShardedBatch => self.run_serve_sharded(config),
-        }
+            Workload::LargeConstruction => self.run_construct_large(config),
+            Workload::LargeSssp => self.run_sssp_large(config),
+        };
+        result.peak_rss_kb = peak_rss_kb();
+        result
     }
 
     fn run_construction(
@@ -476,6 +516,7 @@ impl Scenario {
             spanner_edges: report.size(),
             edges_per_sec: throughput(edges, wall_ms),
             queries_per_sec: None,
+            peak_rss_kb: None,
             digest: format!("{:016x}", digest.finish()),
         }
     }
@@ -522,6 +563,7 @@ impl Scenario {
             spanner_edges: 0,
             edges_per_sec: None,
             queries_per_sec: throughput(queries.len(), wall_ms),
+            peak_rss_kb: None,
             digest: format!("{:016x}", digest.finish()),
         }
     }
@@ -546,6 +588,7 @@ impl Scenario {
             spanner_edges: 0,
             edges_per_sec: None,
             queries_per_sec: throughput(queries.len(), wall_ms),
+            peak_rss_kb: None,
             digest: format!("{:016x}", digest.finish()),
         }
     }
@@ -598,6 +641,7 @@ impl Scenario {
             spanner_edges: 0,
             edges_per_sec: None,
             queries_per_sec: throughput(queries.len(), wall_ms),
+            peak_rss_kb: None,
             digest: format!("{:016x}", digest.finish()),
         }
     }
@@ -671,6 +715,7 @@ impl Scenario {
             spanner_edges: 0,
             edges_per_sec: None,
             queries_per_sec: throughput(queries.len(), wall_ms),
+            peak_rss_kb: None,
             digest: format!("{:016x}", digest.finish()),
         }
     }
@@ -741,6 +786,7 @@ impl Scenario {
             spanner_edges: 0,
             edges_per_sec: None,
             queries_per_sec: throughput(queries.len(), wall_ms),
+            peak_rss_kb: None,
             digest: format!("{:016x}", digest.finish()),
         }
     }
@@ -786,6 +832,7 @@ impl Scenario {
             spanner_edges: sharded.spanner_edge_count(),
             edges_per_sec: throughput(g.edge_count(), wall_ms),
             queries_per_sec: None,
+            peak_rss_kb: None,
             digest: format!("{:016x}", digest.finish()),
         }
     }
@@ -839,6 +886,108 @@ impl Scenario {
             spanner_edges: 0,
             edges_per_sec: None,
             queries_per_sec: throughput(queries.len(), wall_ms),
+            peak_rss_kb: None,
+            digest: format!("{:016x}", digest.finish()),
+        }
+    }
+
+    /// Large-n construction end to end through the redesigned input path:
+    /// a seeded G(n, m) spec streams through [`FtSpannerBuilder::on_graph`]
+    /// (CSR packed once at the boundary, adopted by the artifact), with the
+    /// conversion capped at two Baswana–Sen iterations so the scenario
+    /// measures pipeline scale rather than the full Θ(r³ log n) union.
+    fn run_construct_large(&self, config: &ScenarioConfig) -> ScenarioResult {
+        let seed = self.seed_for(config.seed);
+        let (nodes, edges) = match config.profile {
+            Profile::Ci => (100_000, 300_000),
+            Profile::Full => (1_000_000, 4_000_000),
+        };
+        let spec = GeneratorSpec::Gnm {
+            nodes,
+            edges,
+            weights: generate::WeightKind::Unit,
+            seed,
+        };
+        let mut builder = FtSpannerBuilder::new("conversion")
+            .faults(1)
+            .black_box(BlackBoxKind::BaswanaSen)
+            .iterations(2)
+            .seed(seed);
+        if let Some(t) = config.threads {
+            builder = builder.threads(t);
+        }
+
+        // The measured section covers generation, boundary CSR packing and
+        // the construction — the whole pipeline the streaming path exists
+        // to keep memory-bounded.
+        let start = Instant::now();
+        let artifact = builder
+            .artifact_on_graph(spec)
+            .expect("G(n, m) specs satisfy the conversion's requirements");
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        let mut digest = Fnv::new();
+        digest.write_u64(artifact.node_count() as u64);
+        digest.write_u64(artifact.source_edge_count() as u64);
+        for id in artifact.spanner_edges().iter() {
+            digest.write_u64(id.index() as u64);
+        }
+        ScenarioResult {
+            name: self.name.to_string(),
+            wall_ms,
+            input_nodes: nodes,
+            input_edges: edges,
+            spanner_edges: artifact.spanner_edge_count(),
+            edges_per_sec: throughput(edges, wall_ms),
+            queries_per_sec: None,
+            peak_rss_kb: None,
+            digest: format!("{:016x}", digest.finish()),
+        }
+    }
+
+    /// Large-n shortest paths: a generated CSR served directly (no Graph
+    /// detour), swept from a rotating set of sources through one reused
+    /// [`SsspWorkspace`]. At these sizes the automatic strategy picks the
+    /// bucket queue; the digest folds every distance of every sweep, so the
+    /// result also pins the bucket/heap distance equivalence at scale.
+    ///
+    /// [`SsspWorkspace`]: ftspan_graph::csr::SsspWorkspace
+    fn run_sssp_large(&self, config: &ScenarioConfig) -> ScenarioResult {
+        let seed = self.seed_for(config.seed);
+        let (nodes, edges, sources) = match config.profile {
+            Profile::Ci => (100_000, 400_000, 8),
+            Profile::Full => (1_000_000, 4_000_000, 8),
+        };
+        let spec = GeneratorSpec::Gnm {
+            nodes,
+            edges,
+            weights: generate::WeightKind::Uniform { min: 1.0, max: 4.0 },
+            seed,
+        };
+        let csr = spec.generate_csr().expect("G(n, m) specs generate");
+        let mut workspace = ftspan_graph::csr::SsspWorkspace::new();
+
+        let start = Instant::now();
+        let mut digest = Fnv::new();
+        for s in 0..sources {
+            let source = NodeId::new(s * (nodes / sources) % nodes);
+            csr.sssp_into(source, None, None, None, &mut workspace)
+                .expect("in-bounds sources sweep");
+            for &d in workspace.distances() {
+                digest.write_f64(d);
+            }
+        }
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        ScenarioResult {
+            name: self.name.to_string(),
+            wall_ms,
+            input_nodes: nodes,
+            input_edges: edges,
+            spanner_edges: 0,
+            edges_per_sec: None,
+            queries_per_sec: throughput(sources, wall_ms),
+            peak_rss_kb: None,
             digest: format!("{:016x}", digest.finish()),
         }
     }
@@ -1037,6 +1186,13 @@ impl BenchReport {
                 "      \"queries_per_sec\": {},\n",
                 json_number(s.queries_per_sec)
             ));
+            out.push_str(&format!(
+                "      \"peak_rss_kb\": {},\n",
+                match s.peak_rss_kb {
+                    Some(v) => v.to_string(),
+                    None => "null".to_string(),
+                }
+            ));
             out.push_str(&format!("      \"digest\": \"{}\"\n", s.digest));
             out.push_str(if i + 1 == self.scenarios.len() {
                 "    }\n"
@@ -1087,6 +1243,7 @@ impl BenchReport {
                     spanner_edges: 0,
                     edges_per_sec: None,
                     queries_per_sec: None,
+                    peak_rss_kb: None,
                     digest: String::new(),
                 });
                 continue;
@@ -1110,6 +1267,7 @@ impl BenchReport {
                 (Some(s), "spanner_edges") => s.spanner_edges = value.parse().unwrap_or(0),
                 (Some(s), "edges_per_sec") => s.edges_per_sec = value.parse().ok(),
                 (Some(s), "queries_per_sec") => s.queries_per_sec = value.parse().ok(),
+                (Some(s), "peak_rss_kb") => s.peak_rss_kb = value.parse().ok(),
                 (Some(s), "digest") => s.digest = value.trim_matches('"').to_string(),
                 _ => {}
             }
@@ -1210,6 +1368,7 @@ mod tests {
             spanner_edges: 5,
             edges_per_sec: Some(123.456),
             queries_per_sec: None,
+            peak_rss_kb: Some(4096),
             digest: "00ff00ff00ff00ff".to_string(),
         }
     }
@@ -1257,6 +1416,8 @@ mod tests {
                 "serve-net-throughput",
                 "shard-build",
                 "serve-sharded-batch",
+                "construct-large-gnm",
+                "sssp-large",
             ]
         );
     }

@@ -8,7 +8,7 @@ use ftspan_bench::scenarios::{self, Profile, ScenarioConfig};
 /// cover every digest path (undirected, directed, engine, planner, store)
 /// while keeping the suite fast. The full-suite sweep lives in
 /// `bench_runner` itself.
-const PINNED: [&str; 9] = [
+const PINNED: [&str; 11] = [
     "conversion-gnp",
     "conversion-grid",
     "two-spanner-greedy-gnp",
@@ -18,6 +18,8 @@ const PINNED: [&str; 9] = [
     "serve-store-cold-load",
     "shard-build",
     "serve-sharded-batch",
+    "construct-large-gnm",
+    "sssp-large",
 ];
 
 #[test]

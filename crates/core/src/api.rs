@@ -23,6 +23,8 @@
 
 use crate::conversion::IterationStats;
 use crate::{CoreError, Result};
+use ftspan_graph::csr::CsrSubgraph;
+use ftspan_graph::stream::GeneratorSpec;
 use ftspan_graph::{ArcSet, DiGraph, EdgeSet, Graph};
 use ftspan_spanners::BlackBoxKind;
 use rand::RngCore;
@@ -66,6 +68,12 @@ impl std::fmt::Display for GraphFamily {
 }
 
 /// A borrowed input graph, undirected or directed.
+///
+/// This is what algorithms consume during a build. Callers holding an owned
+/// payload — a graph, a pre-packed CSR, or a seeded
+/// [`GeneratorSpec`] — should go
+/// through [`GraphSource`], which packs the CSR once at the API boundary
+/// and lends the algorithm a `GraphInput` view of it.
 #[derive(Debug, Clone, Copy)]
 pub enum GraphInput<'a> {
     /// An undirected instance.
@@ -127,6 +135,132 @@ impl<'a> From<&'a Graph> for GraphInput<'a> {
 impl<'a> From<&'a DiGraph> for GraphInput<'a> {
     fn from(graph: &'a DiGraph) -> Self {
         GraphInput::Directed(graph)
+    }
+}
+
+/// An *owned* graph input: what a caller hands to the construction boundary
+/// (`FtSpannerBuilder::on_graph` in the facade), as opposed to the borrowed
+/// [`GraphInput`] the algorithms themselves consume.
+///
+/// Besides owned [`Graph`]/[`DiGraph`] instances, a source can be a
+/// pre-packed CSR (skipping the adjacency-list graph entirely until the
+/// boundary) or a seeded [`GeneratorSpec`] (nothing is materialized until
+/// the build runs — the spec streams its edges straight into a CSR). The
+/// boundary resolves every variant into a graph *plus a CSR packed exactly
+/// once*, which serving artifacts adopt instead of re-packing.
+///
+/// `From` impls exist for all four payloads, so `impl Into<GraphSource>`
+/// APIs accept any of them directly.
+#[derive(Debug, Clone)]
+pub enum GraphSource {
+    /// An owned undirected instance.
+    Undirected(Graph),
+    /// An owned directed instance (2-spanner setting; no CSR involved).
+    Directed(DiGraph),
+    /// A pre-packed *full* CSR view (`edge_count == parent_edge_count`).
+    /// Partial views are rejected at resolution: spanner edge sets refer to
+    /// parent-graph edge identifiers the view could not speak for.
+    Csr(CsrSubgraph),
+    /// A seeded generator description; evaluated lazily at resolution.
+    Generated(GeneratorSpec),
+}
+
+impl GraphSource {
+    /// The family this source resolves to.
+    pub fn family(&self) -> GraphFamily {
+        match self {
+            GraphSource::Directed(_) => GraphFamily::Directed,
+            _ => GraphFamily::Undirected,
+        }
+    }
+
+    /// Number of vertices the source will resolve to (available without
+    /// evaluating generators).
+    pub fn node_count(&self) -> usize {
+        match self {
+            GraphSource::Undirected(g) => g.node_count(),
+            GraphSource::Directed(g) => g.node_count(),
+            GraphSource::Csr(c) => c.node_count(),
+            GraphSource::Generated(spec) => spec.node_count(),
+        }
+    }
+
+    /// Resolves the source into concrete graph data, packing the
+    /// undirected CSR exactly once.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidParameter`] for a partial CSR view or
+    ///   inconsistent generator parameters.
+    /// * [`CoreError::Graph`] if a CSR view cannot be reconstructed into a
+    ///   simple graph (duplicate or missing edge identifiers).
+    pub fn resolve(self) -> Result<ResolvedSource> {
+        match self {
+            GraphSource::Undirected(graph) => {
+                let csr = CsrSubgraph::from_graph(&graph);
+                Ok(ResolvedSource::Undirected { graph, csr })
+            }
+            GraphSource::Directed(graph) => Ok(ResolvedSource::Directed(graph)),
+            GraphSource::Csr(csr) => {
+                let graph = csr.to_graph().map_err(CoreError::Graph)?;
+                Ok(ResolvedSource::Undirected { graph, csr })
+            }
+            GraphSource::Generated(spec) => {
+                let (graph, csr) = spec.generate_with_csr().map_err(CoreError::Graph)?;
+                Ok(ResolvedSource::Undirected { graph, csr })
+            }
+        }
+    }
+}
+
+impl From<Graph> for GraphSource {
+    fn from(graph: Graph) -> Self {
+        GraphSource::Undirected(graph)
+    }
+}
+
+impl From<DiGraph> for GraphSource {
+    fn from(graph: DiGraph) -> Self {
+        GraphSource::Directed(graph)
+    }
+}
+
+impl From<CsrSubgraph> for GraphSource {
+    fn from(csr: CsrSubgraph) -> Self {
+        GraphSource::Csr(csr)
+    }
+}
+
+impl From<GeneratorSpec> for GraphSource {
+    fn from(spec: GeneratorSpec) -> Self {
+        GraphSource::Generated(spec)
+    }
+}
+
+/// A [`GraphSource`] after resolution: concrete graph data with the
+/// undirected CSR packed once at the boundary.
+#[derive(Debug, Clone)]
+pub enum ResolvedSource {
+    /// An undirected instance and its full CSR packing.
+    Undirected {
+        /// The adjacency-list graph the algorithms consume.
+        graph: Graph,
+        /// The same graph packed as a full CSR, ready for serving
+        /// artifacts to adopt without re-packing.
+        csr: CsrSubgraph,
+    },
+    /// A directed instance.
+    Directed(DiGraph),
+}
+
+impl ResolvedSource {
+    /// A borrowed [`GraphInput`] over the resolved data, as the
+    /// [`FtSpannerAlgorithm`] trait expects.
+    pub fn as_input(&self) -> GraphInput<'_> {
+        match self {
+            ResolvedSource::Undirected { graph, .. } => GraphInput::Undirected(graph),
+            ResolvedSource::Directed(graph) => GraphInput::Directed(graph),
+        }
     }
 }
 

@@ -66,8 +66,8 @@ pub mod serve;
 pub mod two_spanner;
 
 pub use api::{
-    FaultModel, FtSpannerAlgorithm, GraphFamily, GraphInput, Registry, SpannerEdges, SpannerReport,
-    SpannerRequest,
+    FaultModel, FtSpannerAlgorithm, GraphFamily, GraphInput, GraphSource, Registry, ResolvedSource,
+    SpannerEdges, SpannerReport, SpannerRequest,
 };
 pub use error::CoreError;
 pub use serve::{

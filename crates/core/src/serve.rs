@@ -137,6 +137,61 @@ impl FtSpanner {
         };
         Self::from_parts(
             graph,
+            None,
+            edges.clone(),
+            &report.algorithm,
+            &report.provenance,
+            report.fault_model,
+            report.faults,
+            report.stretch,
+        )
+    }
+
+    /// Like [`FtSpanner::from_report`], but adopts a source CSR that was
+    /// already packed at the construction boundary (the
+    /// `FtSpannerBuilder::on_graph` path) instead of re-packing `graph`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FtSpanner::from_report`], plus
+    /// [`CoreError::InvalidParameter`] if `source_csr` is not a full
+    /// packing of `graph` (wrong vertex count, or a partial edge view).
+    pub fn from_report_with_csr(
+        graph: &Graph,
+        source_csr: CsrSubgraph,
+        report: &SpannerReport,
+    ) -> Result<Self> {
+        let edges = match &report.edges {
+            SpannerEdges::Undirected(edges) => edges,
+            SpannerEdges::Directed(_) => {
+                return Err(CoreError::InvalidParameter {
+                    message: format!(
+                        "algorithm `{}` produced a directed 2-spanner plan; only undirected \
+                         spanners can serve distance queries",
+                        report.algorithm
+                    ),
+                })
+            }
+        };
+        if source_csr.node_count() != graph.node_count()
+            || source_csr.edge_count() != graph.edge_count()
+            || source_csr.edge_count() != source_csr.parent_edge_count()
+        {
+            return Err(CoreError::InvalidParameter {
+                message: format!(
+                    "source CSR ({} nodes, {} of {} edges) is not a full packing of the \
+                     {}-node, {}-edge graph",
+                    source_csr.node_count(),
+                    source_csr.edge_count(),
+                    source_csr.parent_edge_count(),
+                    graph.node_count(),
+                    graph.edge_count(),
+                ),
+            });
+        }
+        Self::from_parts(
+            graph,
+            Some(source_csr),
             edges.clone(),
             &report.algorithm,
             &report.provenance,
@@ -171,6 +226,7 @@ impl FtSpanner {
     ) -> Result<Self> {
         Self::from_parts(
             graph,
+            None,
             edges,
             algorithm,
             provenance,
@@ -181,10 +237,13 @@ impl FtSpanner {
     }
 
     /// Builds the artifact from raw parts (the deserializer and tests use
-    /// this; constructions go through [`FtSpanner::from_report`]).
+    /// this; constructions go through [`FtSpanner::from_report`]). A source
+    /// CSR packed earlier at the API boundary can be adopted via
+    /// `source_csr`; `None` packs one here.
     #[allow(clippy::too_many_arguments)]
     fn from_parts(
         graph: &Graph,
+        source_csr: Option<CsrSubgraph>,
         spanner_edges: EdgeSet,
         algorithm: &str,
         provenance: &str,
@@ -200,7 +259,7 @@ impl FtSpanner {
             fault_model,
             faults,
             stretch,
-            source_csr: CsrSubgraph::from_graph(graph),
+            source_csr: source_csr.unwrap_or_else(|| CsrSubgraph::from_graph(graph)),
             spanner_csr,
             spanner_edges,
             source: graph.clone(),
@@ -564,6 +623,7 @@ impl FtSpanner {
         }
         Self::from_parts(
             &graph,
+            None,
             edges,
             &algorithm,
             &provenance,
@@ -804,6 +864,7 @@ impl FtSpanner {
 
         Self::from_parts(
             &graph,
+            None,
             edges,
             &algorithm,
             &provenance,
@@ -1505,6 +1566,7 @@ impl<'a> FtSpannerView<'a> {
         }
         FtSpanner::from_parts(
             &graph,
+            None,
             edges,
             self.algorithm,
             self.provenance,

@@ -15,9 +15,40 @@
 //! remembers) is consulted during traversal instead of rebuilding the
 //! subgraph per fault set.
 
+use crate::graph::Edge;
+use crate::shortest_path::BucketQueue;
 use crate::{EdgeId, EdgeSet, Graph, GraphError, NodeId, Result, INFINITY};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// Half-edge count at which [`SsspStrategy::Auto`] switches from the binary
+/// heap to the bucket queue. Small traversals are dominated by setup cost,
+/// where the heap's zero-reset wins; past a few thousand half-edges the
+/// bucket queue's `O(1)` operations take over.
+const BUCKET_STRATEGY_HALF_EDGES: usize = 2048;
+
+/// Priority-queue strategy for [`CsrSubgraph::sssp_into_with_strategy`].
+///
+/// Every strategy computes **bit-identical distances**: floating-point
+/// addition of non-negative weights is monotone, so the strict-improvement
+/// relaxation fixpoint the traversals converge to is unique regardless of
+/// expansion order. Parent trees are always valid shortest-path trees
+/// (`dist[v] == dist[parent[v]] + w` exactly, for an edge of weight `w`),
+/// though ties may be broken differently between strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SsspStrategy {
+    /// Pick per-CSR: bucket queue for large subgraphs, binary heap for
+    /// small ones. The choice is a deterministic function of the packed
+    /// CSR, so repeated runs (at any thread count) expand identically.
+    #[default]
+    Auto,
+    /// Classic lazy-deletion binary-heap Dijkstra.
+    BinaryHeap,
+    /// Circular bucket queue (Dial) — see
+    /// [`BucketQueue`] for the
+    /// delta-choice heuristic.
+    BucketQueue,
+}
 
 /// A heap entry ordered by ascending distance (mirrors the one in
 /// [`crate::shortest_path`]; distances entering the heap are finite).
@@ -81,6 +112,12 @@ pub struct CsrSubgraph {
     edge_count: usize,
     /// Edge count of the parent graph (for mask validation).
     parent_edge_count: usize,
+    /// Largest half-edge weight (0 when no edges are selected); drives the
+    /// bucket-queue ring size.
+    max_weight: f64,
+    /// Sum of all half-edge weights; `weight_sum / targets.len()` is the
+    /// mean weight the bucket-queue delta heuristic starts from.
+    weight_sum: f64,
 }
 
 impl CsrSubgraph {
@@ -123,6 +160,7 @@ impl CsrSubgraph {
                 cursor[from.index()] += 1;
             }
         }
+        let (max_weight, weight_sum) = weight_stats(&weights);
         Ok(CsrSubgraph {
             offsets,
             targets,
@@ -130,6 +168,8 @@ impl CsrSubgraph {
             edge_ids,
             edge_count: edges.len(),
             parent_edge_count: graph.edge_count(),
+            max_weight,
+            weight_sum,
         })
     }
 
@@ -137,6 +177,90 @@ impl CsrSubgraph {
     pub fn from_graph(graph: &Graph) -> Self {
         Self::from_edge_set(graph, &graph.full_edge_set())
             .expect("the full edge set always matches the graph")
+    }
+
+    /// Packs an `n`-vertex graph directly from an edge list, without ever
+    /// materializing a [`Graph`].
+    ///
+    /// This is the streaming generators' back end: edges flow straight into
+    /// the two-pass counting build, so peak memory is the CSR itself plus
+    /// the caller's edge list. Edge identifiers are assigned in input order
+    /// and the resulting view is *full* (`edge_count == parent_edge_count`),
+    /// so edge-fault masks of length `edges.len()` apply directly.
+    ///
+    /// Duplicate edges are not detected here (the list is not required to
+    /// be sorted); [`CsrSubgraph::to_graph`] rejects them when a simple
+    /// graph is reconstructed.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::NodeOutOfBounds`] if any endpoint is `>= n`.
+    /// * [`GraphError::SelfLoop`] if any edge is a self-loop.
+    /// * [`GraphError::InvalidWeight`] if any weight is negative or not
+    ///   finite.
+    pub fn from_edge_list(n: usize, edges: &[(usize, usize, f64)]) -> Result<Self> {
+        let mut builder = CsrBuilder::new(n);
+        for &(u, v, _) in edges {
+            builder.count_edge(u, v)?;
+        }
+        builder.begin_fill();
+        for &(u, v, w) in edges {
+            builder.push_edge(u, v, w)?;
+        }
+        builder.finish()
+    }
+
+    /// Reconstructs a [`Graph`] from a *full* CSR view (one where every
+    /// parent edge is selected), preserving edge identifiers exactly: edge
+    /// `i` of the returned graph is the CSR half-edge pair labelled `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidParameter`] if this view selects only a
+    /// subset of its parent's edges (partial views cannot speak for parent
+    /// edge identifiers they do not contain), if an edge identifier is
+    /// missing or duplicated, or if the reconstruction would contain
+    /// parallel edges.
+    pub fn to_graph(&self) -> Result<Graph> {
+        if self.edge_count != self.parent_edge_count {
+            return Err(GraphError::InvalidParameter {
+                message: format!(
+                    "to_graph requires a full CSR view ({} of {} parent edges selected)",
+                    self.edge_count, self.parent_edge_count
+                ),
+            });
+        }
+        let mut records: Vec<Option<Edge>> = vec![None; self.edge_count];
+        for v in 0..self.node_count() {
+            let lo = self.offsets[v] as usize;
+            let hi = self.offsets[v + 1] as usize;
+            for i in lo..hi {
+                let u = self.targets[i];
+                if v < u.index() {
+                    let slot = self.edge_ids[i].index();
+                    if records[slot].is_some() {
+                        return Err(GraphError::InvalidParameter {
+                            message: format!("edge id {slot} appears twice in CSR view"),
+                        });
+                    }
+                    records[slot] = Some(Edge {
+                        u: NodeId::new(v),
+                        v: u,
+                        weight: self.weights[i],
+                    });
+                }
+            }
+        }
+        let edges: Vec<Edge> = records
+            .into_iter()
+            .enumerate()
+            .map(|(i, e)| {
+                e.ok_or_else(|| GraphError::InvalidParameter {
+                    message: format!("edge id {i} missing from CSR view"),
+                })
+            })
+            .collect::<Result<_>>()?;
+        Graph::from_indexed_edges(self.node_count(), edges)
     }
 
     /// Number of vertices (the parent graph's).
@@ -298,55 +422,344 @@ impl CsrSubgraph {
         cutoff: Option<f64>,
         workspace: &mut SsspWorkspace,
     ) -> Result<()> {
+        self.sssp_into_with_strategy(
+            source,
+            dead,
+            dead_edges,
+            cutoff,
+            SsspStrategy::Auto,
+            workspace,
+        )
+    }
+
+    /// Like [`CsrSubgraph::sssp_into`], but with an explicit priority-queue
+    /// [`SsspStrategy`] instead of the automatic per-CSR choice.
+    ///
+    /// All strategies produce bit-identical distance arrays (see
+    /// [`SsspStrategy`]); exposing the choice lets tests pin the
+    /// equivalence and lets callers with unusual weight profiles override
+    /// the heuristic.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CsrSubgraph::sssp`].
+    pub fn sssp_into_with_strategy(
+        &self,
+        source: NodeId,
+        dead: Option<&[bool]>,
+        dead_edges: Option<&[bool]>,
+        cutoff: Option<f64>,
+        strategy: SsspStrategy,
+        workspace: &mut SsspWorkspace,
+    ) -> Result<()> {
         self.validate_masks(source, dead, dead_edges)?;
         let n = self.node_count();
         workspace.reset(n);
-        let dist = &mut workspace.dist;
-        let parent = &mut workspace.parent;
-        let heap = &mut workspace.heap;
         let is_dead = |v: NodeId| dead.is_some_and(|d| d[v.index()]);
         if is_dead(source) {
             return Ok(());
         }
+        let use_buckets = match strategy {
+            SsspStrategy::BinaryHeap => false,
+            SsspStrategy::BucketQueue => true,
+            SsspStrategy::Auto => self.targets.len() >= BUCKET_STRATEGY_HALF_EDGES,
+        };
+        let dist = &mut workspace.dist;
+        let parent = &mut workspace.parent;
         dist[source.index()] = 0.0;
-        heap.push(HeapEntry {
-            dist: 0.0,
-            node: source,
-        });
-        while let Some(HeapEntry { dist: d, node: v }) = heap.pop() {
-            if d > dist[v.index()] {
-                continue;
-            }
-            if let Some(c) = cutoff {
-                if d > c {
+        if use_buckets {
+            let buckets = &mut workspace.buckets;
+            let delta =
+                BucketQueue::suggest_delta(self.weight_sum, self.max_weight, self.targets.len());
+            buckets.reset(delta, self.max_weight);
+            buckets.push(0.0, source);
+            while let Some((d, v)) = buckets.pop() {
+                if d > dist[v.index()] {
                     continue;
                 }
-            }
-            let lo = self.offsets[v.index()] as usize;
-            let hi = self.offsets[v.index() + 1] as usize;
-            for i in lo..hi {
-                let u = self.targets[i];
-                if is_dead(u) {
-                    continue;
-                }
-                if dead_edges.is_some_and(|m| m[self.edge_ids[i].index()]) {
-                    continue;
-                }
-                let nd = d + self.weights[i];
                 if let Some(c) = cutoff {
-                    if nd > c {
+                    if d > c {
                         continue;
                     }
                 }
-                if nd < dist[u.index()] {
-                    dist[u.index()] = nd;
-                    parent[u.index()] = Some(v);
-                    heap.push(HeapEntry { dist: nd, node: u });
+                let lo = self.offsets[v.index()] as usize;
+                let hi = self.offsets[v.index() + 1] as usize;
+                for i in lo..hi {
+                    let u = self.targets[i];
+                    if is_dead(u) {
+                        continue;
+                    }
+                    if dead_edges.is_some_and(|m| m[self.edge_ids[i].index()]) {
+                        continue;
+                    }
+                    let nd = d + self.weights[i];
+                    if let Some(c) = cutoff {
+                        if nd > c {
+                            continue;
+                        }
+                    }
+                    if nd < dist[u.index()] {
+                        dist[u.index()] = nd;
+                        parent[u.index()] = Some(v);
+                        buckets.push(nd, u);
+                    }
+                }
+            }
+        } else {
+            let heap = &mut workspace.heap;
+            heap.push(HeapEntry {
+                dist: 0.0,
+                node: source,
+            });
+            while let Some(HeapEntry { dist: d, node: v }) = heap.pop() {
+                if d > dist[v.index()] {
+                    continue;
+                }
+                if let Some(c) = cutoff {
+                    if d > c {
+                        continue;
+                    }
+                }
+                let lo = self.offsets[v.index()] as usize;
+                let hi = self.offsets[v.index() + 1] as usize;
+                for i in lo..hi {
+                    let u = self.targets[i];
+                    if is_dead(u) {
+                        continue;
+                    }
+                    if dead_edges.is_some_and(|m| m[self.edge_ids[i].index()]) {
+                        continue;
+                    }
+                    let nd = d + self.weights[i];
+                    if let Some(c) = cutoff {
+                        if nd > c {
+                            continue;
+                        }
+                    }
+                    if nd < dist[u.index()] {
+                        dist[u.index()] = nd;
+                        parent[u.index()] = Some(v);
+                        heap.push(HeapEntry { dist: nd, node: u });
+                    }
                 }
             }
         }
         Ok(())
     }
+}
+
+/// Two-phase streaming builder for a *full* [`CsrSubgraph`], the back end
+/// of the memory-bounded generators in
+/// [`stream`](crate::stream): callers first announce every edge's endpoints
+/// ([`CsrBuilder::count_edge`]), then replay the same edges with weights
+/// ([`CsrBuilder::push_edge`]), and no intermediate [`Graph`] or edge list
+/// is ever materialized — peak memory is the finished CSR plus one cursor
+/// array.
+///
+/// Edge identifiers are assigned in push order, so the two passes must
+/// enumerate edges identically (same edges, same order).
+///
+/// # Example
+///
+/// ```
+/// use ftspan_graph::csr::CsrBuilder;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let edges = [(0, 1, 1.0), (1, 2, 2.0)];
+/// let mut b = CsrBuilder::new(3);
+/// for &(u, v, _) in &edges {
+///     b.count_edge(u, v)?;
+/// }
+/// b.begin_fill();
+/// for &(u, v, w) in &edges {
+///     b.push_edge(u, v, w)?;
+/// }
+/// let csr = b.finish()?;
+/// assert_eq!(csr.edge_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CsrBuilder {
+    /// During counting, `offsets[v + 1]` accumulates `degree(v)`; after
+    /// `begin_fill` it is the finished prefix-sum array.
+    offsets: Vec<u32>,
+    targets: Vec<NodeId>,
+    weights: Vec<f64>,
+    edge_ids: Vec<EdgeId>,
+    cursor: Vec<u32>,
+    counted: usize,
+    filled: usize,
+    filling: bool,
+}
+
+impl CsrBuilder {
+    /// A builder for an `n`-vertex CSR, in the counting phase.
+    pub fn new(n: usize) -> Self {
+        CsrBuilder {
+            offsets: vec![0u32; n + 1],
+            targets: Vec::new(),
+            weights: Vec::new(),
+            edge_ids: Vec::new(),
+            cursor: Vec::new(),
+            counted: 0,
+            filled: 0,
+            filling: false,
+        }
+    }
+
+    /// Number of vertices of the CSR under construction.
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Phase one: record that an edge `(u, v)` will be pushed later.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::NodeOutOfBounds`] if an endpoint is `>= n`.
+    /// * [`GraphError::SelfLoop`] if `u == v`.
+    /// * [`GraphError::InvalidParameter`] if counting after
+    ///   [`CsrBuilder::begin_fill`], or past `u32::MAX / 2` edges.
+    pub fn count_edge(&mut self, u: usize, v: usize) -> Result<()> {
+        if self.filling {
+            return Err(GraphError::InvalidParameter {
+                message: "count_edge called after begin_fill".into(),
+            });
+        }
+        let n = self.node_count();
+        for x in [u, v] {
+            if x >= n {
+                return Err(GraphError::NodeOutOfBounds { node: x, len: n });
+            }
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        if self.counted >= (u32::MAX / 2) as usize {
+            return Err(GraphError::InvalidParameter {
+                message: "CSR builder is limited to u32::MAX / 2 edges".into(),
+            });
+        }
+        self.offsets[u + 1] += 1;
+        self.offsets[v + 1] += 1;
+        self.counted += 1;
+        Ok(())
+    }
+
+    /// Switches from counting to filling: builds the offset prefix sums and
+    /// allocates the half-edge arrays. Idempotent.
+    pub fn begin_fill(&mut self) {
+        if self.filling {
+            return;
+        }
+        let n = self.node_count();
+        for v in 0..n {
+            self.offsets[v + 1] += self.offsets[v];
+        }
+        let half = self.offsets[n] as usize;
+        self.targets = vec![NodeId::new(0); half];
+        self.weights = vec![0.0f64; half];
+        self.edge_ids = vec![EdgeId::new(0); half];
+        self.cursor = self.offsets[..n].to_vec();
+        self.filling = true;
+    }
+
+    /// Phase two: push edge `(u, v)` with its weight. Edges must arrive in
+    /// the same order as the counting pass; the edge receives the next
+    /// sequential [`EdgeId`].
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::InvalidWeight`] if `w` is negative or not finite.
+    /// * [`GraphError::NodeOutOfBounds`] / [`GraphError::SelfLoop`] as in
+    ///   [`CsrBuilder::count_edge`].
+    /// * [`GraphError::InvalidParameter`] if called before
+    ///   [`CsrBuilder::begin_fill`] or with more edges than were counted.
+    pub fn push_edge(&mut self, u: usize, v: usize, w: f64) -> Result<()> {
+        if !self.filling {
+            return Err(GraphError::InvalidParameter {
+                message: "push_edge called before begin_fill".into(),
+            });
+        }
+        let n = self.node_count();
+        for x in [u, v] {
+            if x >= n {
+                return Err(GraphError::NodeOutOfBounds { node: x, len: n });
+            }
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        if !(w.is_finite() && w >= 0.0) {
+            return Err(GraphError::InvalidWeight { weight: w });
+        }
+        if self.filled >= self.counted {
+            return Err(GraphError::InvalidParameter {
+                message: "more edges pushed than counted".into(),
+            });
+        }
+        let id = EdgeId::new(self.filled);
+        for (from, to) in [(u, v), (v, u)] {
+            let slot = self.cursor[from] as usize;
+            // A fill pass that deviates from the counting pass can overrun a
+            // vertex's slot range; the cheap invariant check below catches
+            // it at the vertex boundary.
+            if slot >= self.offsets[from + 1] as usize {
+                return Err(GraphError::InvalidParameter {
+                    message: format!("fill pass disagrees with counting pass at vertex {from}"),
+                });
+            }
+            self.targets[slot] = NodeId::new(to);
+            self.weights[slot] = w;
+            self.edge_ids[slot] = id;
+            self.cursor[from] += 1;
+        }
+        self.filled += 1;
+        Ok(())
+    }
+
+    /// Finishes the build.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidParameter`] if fewer edges were pushed
+    /// than counted.
+    pub fn finish(mut self) -> Result<CsrSubgraph> {
+        self.begin_fill(); // no-op unless zero edges were pushed at all
+        if self.filled != self.counted {
+            return Err(GraphError::InvalidParameter {
+                message: format!(
+                    "CSR builder counted {} edges but {} were pushed",
+                    self.counted, self.filled
+                ),
+            });
+        }
+        let (max_weight, weight_sum) = weight_stats(&self.weights);
+        Ok(CsrSubgraph {
+            offsets: self.offsets,
+            targets: self.targets,
+            weights: self.weights,
+            edge_ids: self.edge_ids,
+            edge_count: self.filled,
+            parent_edge_count: self.filled,
+            max_weight,
+            weight_sum,
+        })
+    }
+}
+
+/// Maximum and sum of the half-edge weight array (both 0 when empty).
+fn weight_stats(weights: &[f64]) -> (f64, f64) {
+    let mut max_weight = 0.0f64;
+    let mut weight_sum = 0.0f64;
+    for &w in weights {
+        if w > max_weight {
+            max_weight = w;
+        }
+        weight_sum += w;
+    }
+    (max_weight, weight_sum)
 }
 
 /// Reusable buffers for [`CsrSubgraph::sssp_into`]: the distance array, the
@@ -362,6 +775,7 @@ pub struct SsspWorkspace {
     dist: Vec<f64>,
     parent: Vec<Option<NodeId>>,
     heap: BinaryHeap<HeapEntry>,
+    buckets: BucketQueue,
 }
 
 impl SsspWorkspace {
@@ -565,6 +979,109 @@ mod tests {
         assert!(csr
             .sssp_into(NodeId::new(9), None, None, None, &mut ws)
             .is_err());
+    }
+
+    #[test]
+    fn edge_list_roundtrips_through_graph() {
+        let list = [(0usize, 1usize, 1.5), (2, 1, 0.5), (0, 3, 2.0), (2, 3, 1.0)];
+        let csr = CsrSubgraph::from_edge_list(4, &list).unwrap();
+        assert_eq!(csr.edge_count(), 4);
+        assert_eq!(csr.parent_edge_count(), 4);
+        let g = csr.to_graph().unwrap();
+        assert_eq!(g.edge_count(), 4);
+        // Edge ids follow list order, endpoints normalized.
+        let e1 = g.edge(EdgeId::new(1));
+        assert_eq!(
+            (e1.u, e1.v, e1.weight),
+            (NodeId::new(1), NodeId::new(2), 0.5)
+        );
+        // The reconstruction packs back to the same CSR.
+        assert_eq!(CsrSubgraph::from_graph(&g), csr);
+        // And distances agree with a Graph built the usual way.
+        let reference = Graph::from_edges(4, list).unwrap();
+        assert_eq!(
+            CsrSubgraph::from_graph(&reference)
+                .sssp(NodeId::new(0), None, None)
+                .unwrap(),
+            csr.sssp(NodeId::new(0), None, None).unwrap()
+        );
+    }
+
+    #[test]
+    fn edge_list_and_builder_validate() {
+        assert!(CsrSubgraph::from_edge_list(3, &[(0, 3, 1.0)]).is_err());
+        assert!(CsrSubgraph::from_edge_list(3, &[(1, 1, 1.0)]).is_err());
+        assert!(CsrSubgraph::from_edge_list(3, &[(0, 1, -2.0)]).is_err());
+        // Duplicates pack fine (multigraph view) but cannot become a Graph.
+        let dup = CsrSubgraph::from_edge_list(3, &[(0, 1, 1.0), (1, 0, 2.0)]).unwrap();
+        assert!(dup.to_graph().is_err());
+        // A partial view cannot speak for its parent's edge ids.
+        let g = generate::path(4);
+        let mut keep = g.empty_edge_set();
+        keep.insert(EdgeId::new(0));
+        let partial = CsrSubgraph::from_edge_set(&g, &keep).unwrap();
+        assert!(partial.to_graph().is_err());
+        // Builder phase errors are typed.
+        let mut b = CsrBuilder::new(2);
+        assert!(b.push_edge(0, 1, 1.0).is_err()); // fill before begin_fill
+        b.count_edge(0, 1).unwrap();
+        b.begin_fill();
+        assert!(b.count_edge(0, 1).is_err()); // count after begin_fill
+        assert!(b.clone().finish().is_err()); // fewer pushed than counted
+        b.push_edge(0, 1, 1.0).unwrap();
+        assert!(b.push_edge(0, 1, 1.0).is_err()); // more pushed than counted
+        let csr = b.finish().unwrap();
+        assert_eq!(csr.edge_count(), 1);
+    }
+
+    #[test]
+    fn bucket_and_heap_strategies_agree_exactly() {
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let mut heap_ws = SsspWorkspace::new();
+        let mut bucket_ws = SsspWorkspace::new();
+        for _ in 0..6 {
+            let g = generate::gnp(
+                30,
+                0.2,
+                generate::WeightKind::Uniform { min: 0.1, max: 9.0 },
+                &mut rng,
+            );
+            let csr = CsrSubgraph::from_graph(&g);
+            let mut dead = vec![false; g.node_count()];
+            dead[4] = true;
+            for src in [0usize, 9, 21] {
+                for cutoff in [None, Some(3.5)] {
+                    csr.sssp_into_with_strategy(
+                        NodeId::new(src),
+                        Some(&dead),
+                        None,
+                        cutoff,
+                        SsspStrategy::BinaryHeap,
+                        &mut heap_ws,
+                    )
+                    .unwrap();
+                    csr.sssp_into_with_strategy(
+                        NodeId::new(src),
+                        Some(&dead),
+                        None,
+                        cutoff,
+                        SsspStrategy::BucketQueue,
+                        &mut bucket_ws,
+                    )
+                    .unwrap();
+                    assert_eq!(heap_ws.distances(), bucket_ws.distances());
+                    // Parents may differ between strategies, but both must
+                    // be tight shortest-path trees.
+                    for (v, p) in bucket_ws.parents().iter().enumerate() {
+                        if let Some(p) = p {
+                            let e = g.find_edge(NodeId::new(v), *p).unwrap();
+                            let d = bucket_ws.distances();
+                            assert_eq!(d[v], d[p.index()] + g.edge(e).weight);
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

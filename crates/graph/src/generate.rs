@@ -47,17 +47,16 @@ pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, weights: WeightKind, rng: &mut R) 
         (0.0..=1.0).contains(&p),
         "edge probability must be in [0, 1], got {p}"
     );
-    let mut g = Graph::new(n);
+    let mut edges = Vec::new();
     for u in 0..n {
         for v in (u + 1)..n {
             if rng.gen::<f64>() < p {
                 let w = weights.sample(rng);
-                g.add_edge(NodeId::new(u), NodeId::new(v), w)
-                    .expect("generated edges are valid");
+                edges.push((u, v, w));
             }
         }
     }
-    g
+    Graph::from_sorted_edges(n, edges).expect("pair loop emits sorted, valid edges")
 }
 
 /// A connected Erdős–Rényi-like graph: a random Hamiltonian path guarantees
@@ -109,7 +108,7 @@ pub fn random_geometric<R: Rng + ?Sized>(
     let pts: Vec<(f64, f64)> = (0..n)
         .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
         .collect();
-    let mut g = Graph::new(n);
+    let mut edges = Vec::new();
     for u in 0..n {
         for v in (u + 1)..n {
             let dx = pts[u].0 - pts[v].0;
@@ -120,43 +119,34 @@ pub fn random_geometric<R: Rng + ?Sized>(
                     WeightKind::Euclidean => d.max(1e-9),
                     other => other.sample(rng),
                 };
-                g.add_edge(NodeId::new(u), NodeId::new(v), w)
-                    .expect("generated edges are valid");
+                edges.push((u, v, w));
             }
         }
     }
-    g
+    Graph::from_sorted_edges(n, edges).expect("pair loop emits sorted, valid edges")
 }
 
 /// The `rows × cols` grid graph with unit edge weights.
 pub fn grid(rows: usize, cols: usize) -> Graph {
-    let mut g = Graph::new(rows * cols);
-    let id = |r: usize, c: usize| NodeId::new(r * cols + c);
+    let id = |r: usize, c: usize| r * cols + c;
+    let mut edges = Vec::new();
     for r in 0..rows {
         for c in 0..cols {
             if c + 1 < cols {
-                g.add_edge(id(r, c), id(r, c + 1), 1.0)
-                    .expect("grid edges are valid");
+                edges.push((id(r, c), id(r, c + 1), 1.0));
             }
             if r + 1 < rows {
-                g.add_edge(id(r, c), id(r + 1, c), 1.0)
-                    .expect("grid edges are valid");
+                edges.push((id(r, c), id(r + 1, c), 1.0));
             }
         }
     }
-    g
+    Graph::from_sorted_edges(rows * cols, edges).expect("row-major emission is sorted")
 }
 
 /// The complete graph `K_n` with unit edge weights.
 pub fn complete(n: usize) -> Graph {
-    let mut g = Graph::new(n);
-    for u in 0..n {
-        for v in (u + 1)..n {
-            g.add_edge(NodeId::new(u), NodeId::new(v), 1.0)
-                .expect("complete graph edges are valid");
-        }
-    }
-    g
+    let edges = (0..n).flat_map(|u| ((u + 1)..n).map(move |v| (u, v, 1.0)));
+    Graph::from_sorted_edges(n, edges).expect("pair loop emits sorted, valid edges")
 }
 
 /// The complete bipartite graph `K_{a,b}` with unit edge weights.
@@ -165,41 +155,30 @@ pub fn complete(n: usize) -> Graph {
 /// `K_{a,b}` must contain every edge, which is the paper's example of why no
 /// non-trivial absolute size bound exists for stretch 2.
 pub fn complete_bipartite(a: usize, b: usize) -> Graph {
-    let mut g = Graph::new(a + b);
-    for u in 0..a {
-        for v in 0..b {
-            g.add_edge(NodeId::new(u), NodeId::new(a + v), 1.0)
-                .expect("bipartite edges are valid");
-        }
-    }
-    g
+    let edges = (0..a).flat_map(move |u| (0..b).map(move |v| (u, a + v, 1.0)));
+    Graph::from_sorted_edges(a + b, edges).expect("side-by-side emission is sorted")
 }
 
 /// The `dim`-dimensional hypercube graph (`2^dim` vertices) with unit
 /// weights.
 pub fn hypercube(dim: u32) -> Graph {
     let n = 1usize << dim;
-    let mut g = Graph::new(n);
+    let mut edges = Vec::new();
     for u in 0..n {
         for b in 0..dim {
             let v = u ^ (1usize << b);
             if u < v {
-                g.add_edge(NodeId::new(u), NodeId::new(v), 1.0)
-                    .expect("hypercube edges are valid");
+                edges.push((u, v, 1.0));
             }
         }
     }
-    g
+    Graph::from_sorted_edges(n, edges).expect("ascending-bit emission is sorted")
 }
 
 /// The path graph on `n` vertices with unit weights.
 pub fn path(n: usize) -> Graph {
-    let mut g = Graph::new(n);
-    for i in 1..n {
-        g.add_edge(NodeId::new(i - 1), NodeId::new(i), 1.0)
-            .expect("path edges are valid");
-    }
-    g
+    let edges = (1..n).map(|i| (i - 1, i, 1.0));
+    Graph::from_sorted_edges(n, edges).expect("consecutive pairs are sorted")
 }
 
 /// The cycle graph on `n >= 3` vertices with unit weights.
@@ -330,12 +309,8 @@ pub fn complete_digraph(n: usize) -> DiGraph {
 /// disconnects everything, so no spanner of the star is 1-fault tolerant
 /// with finite stretch — a useful sanity instance for the verifiers.
 pub fn star(n: usize) -> Graph {
-    let mut g = Graph::new(n);
-    for v in 1..n {
-        g.add_edge(NodeId::new(0), NodeId::new(v), 1.0)
-            .expect("star edges are valid");
-    }
-    g
+    let edges = (1..n).map(|v| (0, v, 1.0));
+    Graph::from_sorted_edges(n, edges).expect("hub emission is sorted")
 }
 
 /// The wheel graph: a cycle on vertices `1..n` plus a hub (vertex 0) joined

@@ -110,6 +110,94 @@ impl Graph {
         Self::from_edges(n, edges.into_iter().map(|(u, v)| (u, v, 1.0)))
     }
 
+    /// Creates a graph with `n` vertices from edges sorted lexicographically
+    /// by normalized endpoint pair `(min(u, v), max(u, v))`.
+    ///
+    /// Bulk loading through [`Graph::add_edge`] pays a binary search plus a
+    /// `Vec::insert` shift per edge, which degrades towards quadratic on
+    /// dense vertices. When the input arrives in sorted order every adjacency
+    /// list can be built with pure appends: vertex `x` first receives its
+    /// smaller neighbors (from edges `(a, x)` with `a` ascending) and then
+    /// its larger neighbors (from edges `(x, b)` with `b` ascending), so the
+    /// lists come out sorted by construction in `O(n + m)` total.
+    ///
+    /// Edge identifiers are assigned in input order, exactly as if the edges
+    /// had been added one by one.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::NodeOutOfBounds`] if any endpoint is `>= n`.
+    /// * [`GraphError::SelfLoop`] if any edge is a self-loop.
+    /// * [`GraphError::InvalidWeight`] if any weight is negative or not
+    ///   finite.
+    /// * [`GraphError::InvalidParameter`] if the normalized pairs are not
+    ///   strictly increasing (out of order, or a duplicate edge).
+    pub fn from_sorted_edges<I>(n: usize, edges: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = (usize, usize, f64)>,
+    {
+        let mut g = Graph::new(n);
+        let mut prev: Option<(usize, usize)> = None;
+        for (u, v, weight) in edges {
+            for x in [u, v] {
+                if x >= n {
+                    return Err(GraphError::NodeOutOfBounds { node: x, len: n });
+                }
+            }
+            if u == v {
+                return Err(GraphError::SelfLoop { node: u });
+            }
+            if !(weight.is_finite() && weight >= 0.0) {
+                return Err(GraphError::InvalidWeight { weight });
+            }
+            let (a, b) = (u.min(v), u.max(v));
+            if let Some(p) = prev {
+                if (a, b) <= p {
+                    return Err(GraphError::InvalidParameter {
+                        message: format!(
+                            "edge ({a}, {b}) is not strictly after ({}, {}); \
+                             from_sorted_edges requires strictly increasing \
+                             normalized pairs",
+                            p.0, p.1
+                        ),
+                    });
+                }
+            }
+            prev = Some((a, b));
+            let id = EdgeId::new(g.edges.len());
+            g.edges.push(Edge {
+                u: NodeId::new(a),
+                v: NodeId::new(b),
+                weight,
+            });
+            g.adj[a].push((NodeId::new(b), id));
+            g.adj[b].push((NodeId::new(a), id));
+        }
+        Ok(g)
+    }
+
+    /// Builds a graph from pre-validated edges whose position in `edges` is
+    /// their [`EdgeId`]. Endpoints must be normalized (`u <= v`), in bounds,
+    /// loop-free, with finite non-negative weights — callers (the CSR
+    /// reconstruction path) have already checked this. Adjacency lists are
+    /// appended then sorted, which also surfaces parallel edges.
+    pub(crate) fn from_indexed_edges(n: usize, edges: Vec<Edge>) -> Result<Self> {
+        let mut adj: Vec<Vec<(NodeId, EdgeId)>> = vec![Vec::new(); n];
+        for (i, e) in edges.iter().enumerate() {
+            adj[e.u.index()].push((e.v, EdgeId::new(i)));
+            adj[e.v.index()].push((e.u, EdgeId::new(i)));
+        }
+        for (v, list) in adj.iter_mut().enumerate() {
+            list.sort_unstable_by_key(|&(nbr, _)| nbr);
+            if list.windows(2).any(|w| w[0].0 == w[1].0) {
+                return Err(GraphError::InvalidParameter {
+                    message: format!("vertex {v} has parallel edges"),
+                });
+            }
+        }
+        Ok(Graph { edges, adj })
+    }
+
     /// Number of vertices.
     #[inline]
     pub fn node_count(&self) -> usize {
@@ -553,6 +641,57 @@ mod tests {
                 assert_eq!(g.find_edge(NodeId::new(u), NodeId::new(v)), expected);
             }
         }
+    }
+
+    #[test]
+    fn from_sorted_edges_matches_incremental_build() {
+        let edges = [
+            (0usize, 1usize, 1.5),
+            (0, 3, 2.0),
+            (1, 2, 0.5),
+            (2, 3, 1.0),
+            (2, 4, 3.0),
+        ];
+        let bulk = Graph::from_sorted_edges(5, edges).unwrap();
+        let incremental = Graph::from_edges(5, edges).unwrap();
+        assert_eq!(bulk, incremental);
+        for v in bulk.nodes() {
+            let nbrs: Vec<NodeId> = bulk.neighbors(v).collect();
+            let mut sorted = nbrs.clone();
+            sorted.sort_unstable();
+            assert_eq!(nbrs, sorted, "adjacency of {v} not sorted");
+        }
+        // Edge ids follow input order.
+        assert_eq!(
+            bulk.find_edge(NodeId::new(1), NodeId::new(2)),
+            Some(EdgeId::new(2))
+        );
+    }
+
+    #[test]
+    fn from_sorted_edges_rejects_bad_input() {
+        assert!(matches!(
+            Graph::from_sorted_edges(3, [(0, 5, 1.0)]),
+            Err(GraphError::NodeOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            Graph::from_sorted_edges(3, [(1, 1, 1.0)]),
+            Err(GraphError::SelfLoop { .. })
+        ));
+        assert!(matches!(
+            Graph::from_sorted_edges(3, [(0, 1, f64::NAN)]),
+            Err(GraphError::InvalidWeight { .. })
+        ));
+        // Out of order.
+        assert!(matches!(
+            Graph::from_sorted_edges(3, [(1, 2, 1.0), (0, 1, 1.0)]),
+            Err(GraphError::InvalidParameter { .. })
+        ));
+        // Duplicate (after normalization).
+        assert!(matches!(
+            Graph::from_sorted_edges(3, [(0, 1, 1.0), (1, 0, 2.0)]),
+            Err(GraphError::InvalidParameter { .. })
+        ));
     }
 
     #[test]

@@ -20,6 +20,9 @@
 //!   complete and bipartite graphs, hypercubes, preferential attachment,
 //!   small-world graphs, and the integrality-gap gadgets from Section 3 of
 //!   the paper).
+//! * [`stream`] — streaming, memory-bounded generators (`G(n, m)` by edge-
+//!   index sampling, grid/torus, preferential attachment) that emit straight
+//!   into a CSR builder for million-node construction runs.
 //! * [`faults`] — vertex- and edge-fault-set enumeration, sampling, and
 //!   adversarial heuristics.
 //! * [`par`] — a dependency-free scoped-thread work pool with deterministic,
@@ -70,6 +73,7 @@ pub mod par;
 pub mod partition;
 pub mod shortest_path;
 pub mod stats;
+pub mod stream;
 pub mod tree;
 pub mod verify;
 

@@ -14,7 +14,7 @@
 //!   characterization for directed 2-spanners: every arc is bought or covered
 //!   by at least `r + 1` length-2 paths.
 
-use crate::csr::CsrSubgraph;
+use crate::csr::{CsrSubgraph, SsspWorkspace};
 use crate::digraph::ArcSet;
 use crate::faults::{enumerate_fault_sets, sample_fault_set, FaultSet};
 use crate::par;
@@ -293,30 +293,41 @@ pub fn max_stretch_masked_csr_threaded(
                     .any(|(v, e)| v > u && !is_dead(v) && !dead_edges.is_some_and(|m| m[e.index()]))
         })
         .collect();
+    // Each worker thread keeps one pair of SSSP workspaces for the whole
+    // sweep, so a source costs two traversals but zero allocations after
+    // the first source a worker handles.
+    thread_local! {
+        static SWEEP_WS: std::cell::RefCell<(SsspWorkspace, SsspWorkspace)> =
+            std::cell::RefCell::new((SsspWorkspace::new(), SsspWorkspace::new()));
+    }
     par::map_reduce(
         threads,
         sources.len(),
         1.0f64,
         |i| {
             let u = sources[i];
-            let dg = full
-                .sssp(u, dead, dead_edges)
-                .expect("vertex ids from the graph are valid");
-            let dh = spanner
-                .sssp(u, dead, dead_edges)
-                .expect("vertex ids from the graph are valid");
-            let mut worst: f64 = 1.0;
-            for (v, e) in graph.incident(u) {
-                if v < u || is_dead(v) || dead_edges.is_some_and(|m| m[e.index()]) {
-                    continue;
+            SWEEP_WS.with(|cell| {
+                let (ws_full, ws_spanner) = &mut *cell.borrow_mut();
+                full.sssp_into(u, dead, dead_edges, None, ws_full)
+                    .expect("vertex ids from the graph are valid");
+                spanner
+                    .sssp_into(u, dead, dead_edges, None, ws_spanner)
+                    .expect("vertex ids from the graph are valid");
+                let dg = ws_full.distances();
+                let dh = ws_spanner.distances();
+                let mut worst: f64 = 1.0;
+                for (v, e) in graph.incident(u) {
+                    if v < u || is_dead(v) || dead_edges.is_some_and(|m| m[e.index()]) {
+                        continue;
+                    }
+                    let base = dg[v.index()];
+                    if base == 0.0 {
+                        continue;
+                    }
+                    worst = worst.max(dh[v.index()] / base);
                 }
-                let base = dg[v.index()];
-                if base == 0.0 {
-                    continue;
-                }
-                worst = worst.max(dh[v.index()] / base);
-            }
-            worst
+                worst
+            })
         },
         f64::max,
     )

@@ -1,0 +1,255 @@
+//! Property tests pinning the bucket-queue SSSP strategy **bit-equal** to
+//! the binary-heap baseline.
+//!
+//! Both strategies drive the same strict-improvement relaxation to
+//! exhaustion, so their distance arrays must agree to the last bit on every
+//! graph, mask and cutoff — that exact equality is what lets the serving
+//! paths switch strategies by size without changing a single digest. Parent
+//! trees may differ between strategies (any tight shortest-path tree is
+//! correct), so they are checked for validity, not identity.
+
+use ftspan_graph::csr::{CsrSubgraph, SsspStrategy, SsspWorkspace};
+use ftspan_graph::stream::GeneratorSpec;
+use ftspan_graph::{generate, Graph, NodeId};
+use proptest::prelude::*;
+
+fn graph_from_bits(n: usize, bits: &[bool], weights: &[f64]) -> Graph {
+    let mut g = Graph::new(n);
+    let mut idx = 0usize;
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if idx < bits.len() && bits[idx] {
+                let w = weights.get(idx).copied().unwrap_or(1.0).abs().max(0.01);
+                g.add_edge(NodeId::new(u), NodeId::new(v), w).unwrap();
+            }
+            idx += 1;
+        }
+    }
+    g
+}
+
+/// Runs both strategies on the same traversal and checks the contract:
+/// bit-identical distances, and a valid (tight, alive, rooted) parent tree
+/// from each strategy.
+fn assert_strategies_agree(
+    csr: &CsrSubgraph,
+    source: NodeId,
+    dead: Option<&[bool]>,
+    dead_edges: Option<&[bool]>,
+    cutoff: Option<f64>,
+    heap_ws: &mut SsspWorkspace,
+    bucket_ws: &mut SsspWorkspace,
+) {
+    csr.sssp_into_with_strategy(
+        source,
+        dead,
+        dead_edges,
+        cutoff,
+        SsspStrategy::BinaryHeap,
+        heap_ws,
+    )
+    .unwrap();
+    csr.sssp_into_with_strategy(
+        source,
+        dead,
+        dead_edges,
+        cutoff,
+        SsspStrategy::BucketQueue,
+        bucket_ws,
+    )
+    .unwrap();
+
+    let dh = heap_ws.distances();
+    let db = bucket_ws.distances();
+    assert_eq!(dh.len(), db.len());
+    for v in 0..dh.len() {
+        assert_eq!(
+            dh[v].to_bits(),
+            db[v].to_bits(),
+            "vertex {v}: heap {} vs bucket {}",
+            dh[v],
+            db[v]
+        );
+    }
+
+    let source_dead = dead.is_some_and(|d| d[source.index()]);
+    for ws in [&*heap_ws, &*bucket_ws] {
+        let d = ws.distances();
+        for (v, parent) in ws.parents().iter().enumerate() {
+            match parent {
+                None => {
+                    // Only the (alive) source and unreached vertices lack a
+                    // parent.
+                    if v == source.index() && !source_dead {
+                        assert_eq!(d[v], 0.0);
+                    } else {
+                        assert!(d[v].is_infinite(), "vertex {v} reached without parent");
+                    }
+                }
+                Some(p) => {
+                    assert!(d[v].is_finite());
+                    assert!(d[p.index()].is_finite());
+                    assert!(!dead.is_some_and(|m| m[v] || m[p.index()]));
+                    // Some alive edge (p, v) must make the label exactly
+                    // tight — the defining property of a shortest-path tree
+                    // edge under floating-point arithmetic.
+                    let tight = csr.neighbors(*p).any(|(nbr, w, e)| {
+                        nbr.index() == v
+                            && !dead_edges.is_some_and(|m| m[e.index()])
+                            && d[v] == d[p.index()] + w
+                    });
+                    assert!(tight, "vertex {v}: parent edge not tight/alive");
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// G(n, p)-style random graphs with arbitrary positive weights, under
+    /// random vertex masks, edge masks and cutoffs. The two workspaces are
+    /// reused across every traversal of every case, so this also exercises
+    /// workspace reuse across graphs of different sizes.
+    #[test]
+    fn bucket_matches_heap_on_random_graphs(
+        n in 2usize..14,
+        bits in proptest::collection::vec(any::<bool>(), 0..91),
+        weights in proptest::collection::vec(0.01f64..50.0, 0..91),
+        dead_bits in proptest::collection::vec(any::<bool>(), 14..15),
+        dead_edge_bits in proptest::collection::vec(any::<bool>(), 91..92),
+        cutoff_raw in 0.5f64..20.0,
+        use_cutoff in any::<bool>(),
+    ) {
+        let cutoff = if use_cutoff { Some(cutoff_raw) } else { None };
+        let g = graph_from_bits(n, &bits, &weights);
+        let csr = CsrSubgraph::from_graph(&g);
+        let dead: Vec<bool> = dead_bits[..n].to_vec();
+        let dead_edges: Vec<bool> = (0..g.edge_count())
+            .map(|e| dead_edge_bits[e % dead_edge_bits.len()])
+            .collect();
+        let mut heap_ws = SsspWorkspace::new();
+        let mut bucket_ws = SsspWorkspace::new();
+        for src in 0..n {
+            let source = NodeId::new(src);
+            assert_strategies_agree(&csr, source, None, None, None, &mut heap_ws, &mut bucket_ws);
+            assert_strategies_agree(
+                &csr, source, Some(&dead), Some(&dead_edges), cutoff,
+                &mut heap_ws, &mut bucket_ws,
+            );
+        }
+    }
+
+    /// Grids and tori from the streaming generator: uniform structure,
+    /// seeded uniform weights — the family in which many buckets hold many
+    /// entries at once.
+    #[test]
+    fn bucket_matches_heap_on_grids(
+        rows in 1usize..7,
+        cols in 1usize..7,
+        wrap in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let spec = GeneratorSpec::Grid {
+            rows,
+            cols,
+            wrap,
+            weights: generate::WeightKind::Uniform { min: 0.5, max: 3.0 },
+            seed,
+        };
+        let csr = spec.generate_csr().unwrap();
+        let n = csr.node_count();
+        let mut heap_ws = SsspWorkspace::new();
+        let mut bucket_ws = SsspWorkspace::new();
+        for src in [0, n / 2, n - 1] {
+            assert_strategies_agree(
+                &csr, NodeId::new(src), None, None, None, &mut heap_ws, &mut bucket_ws,
+            );
+        }
+    }
+
+    /// Preferential-attachment (power-law) graphs: hubs concentrate
+    /// relaxations, unit weights collapse everything into few buckets.
+    #[test]
+    fn bucket_matches_heap_on_power_law(
+        nodes in 5usize..40,
+        attach in 1usize..4,
+        seed in any::<u64>(),
+        masked in any::<bool>(),
+    ) {
+        let spec = GeneratorSpec::PreferentialAttachment { nodes, attach, seed };
+        let csr = spec.generate_csr().unwrap();
+        let dead: Vec<bool> = (0..nodes).map(|v| masked && v % 5 == 1).collect();
+        let mut heap_ws = SsspWorkspace::new();
+        let mut bucket_ws = SsspWorkspace::new();
+        for src in [0, nodes - 1] {
+            assert_strategies_agree(
+                &csr, NodeId::new(src), Some(&dead), None, None,
+                &mut heap_ws, &mut bucket_ws,
+            );
+        }
+    }
+}
+
+/// A single pair of workspaces serves an interleaved sequence of graphs of
+/// very different sizes and weight scales; every traversal must produce the
+/// same bits as a traversal into a fresh workspace.
+#[test]
+fn workspace_reuse_never_leaks_state() {
+    let specs = [
+        GeneratorSpec::Gnm {
+            nodes: 300,
+            edges: 900,
+            weights: generate::WeightKind::Uniform {
+                min: 0.001,
+                max: 0.01,
+            },
+            seed: 1,
+        },
+        GeneratorSpec::Grid {
+            rows: 9,
+            cols: 11,
+            wrap: true,
+            weights: generate::WeightKind::Uniform {
+                min: 100.0,
+                max: 90000.0,
+            },
+            seed: 2,
+        },
+        GeneratorSpec::PreferentialAttachment {
+            nodes: 50,
+            attach: 2,
+            seed: 3,
+        },
+        GeneratorSpec::Gnm {
+            nodes: 8,
+            edges: 12,
+            weights: generate::WeightKind::Unit,
+            seed: 4,
+        },
+    ];
+    let mut shared_heap = SsspWorkspace::new();
+    let mut shared_bucket = SsspWorkspace::new();
+    for spec in &specs {
+        let csr = spec.generate_csr().unwrap();
+        let n = csr.node_count();
+        for src in [0, n - 1] {
+            let source = NodeId::new(src);
+            assert_strategies_agree(
+                &csr,
+                source,
+                None,
+                None,
+                None,
+                &mut shared_heap,
+                &mut shared_bucket,
+            );
+            let mut fresh = SsspWorkspace::new();
+            csr.sssp_into_with_strategy(source, None, None, None, SsspStrategy::Auto, &mut fresh)
+                .unwrap();
+            assert_eq!(fresh.distances(), shared_heap.distances());
+            assert_eq!(fresh.distances(), shared_bucket.distances());
+        }
+    }
+}

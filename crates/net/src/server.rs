@@ -191,17 +191,17 @@ impl Shared {
             .names()
             .into_iter()
             .map(|name| {
-                let summary = self
+                let handle = self
                     .engine
-                    .artifact_summary(name)
+                    .artifact_handle(name)
                     .expect("names() only lists registered artifacts");
                 ArtifactInfo {
                     name: name.to_string(),
-                    fault_model: summary.fault_model,
-                    fault_budget: summary.fault_budget as u64,
-                    stretch: summary.stretch,
-                    nodes: summary.nodes as u64,
-                    spanner_edges: summary.spanner_edges as u64,
+                    fault_model: handle.fault_model(),
+                    fault_budget: handle.fault_budget() as u64,
+                    stretch: handle.stretch(),
+                    nodes: handle.node_count() as u64,
+                    spanner_edges: handle.spanner_edge_count() as u64,
                 }
             })
             .collect()

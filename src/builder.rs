@@ -2,7 +2,9 @@
 
 use crate::registry::registry;
 use ftspan_core::serve::FtSpanner;
-use ftspan_core::{CoreError, GraphInput, Result, SpannerReport, SpannerRequest};
+use ftspan_core::{
+    CoreError, GraphInput, GraphSource, ResolvedSource, Result, SpannerReport, SpannerRequest,
+};
 use ftspan_graph::{DiGraph, Graph};
 use ftspan_spanners::BlackBoxKind;
 use rand::{RngCore, SeedableRng};
@@ -198,6 +200,74 @@ impl FtSpannerBuilder {
         self.build_with_rng(GraphInput::from(graph), &mut rng)
     }
 
+    /// Builds on any owned [`GraphSource`] — an owned [`Graph`] or
+    /// [`DiGraph`], a pre-packed full CSR, or a seeded
+    /// [`GeneratorSpec`](ftspan_graph::stream::GeneratorSpec) — resolving
+    /// the source at the boundary (generators are evaluated here, streaming
+    /// straight into CSR form; nothing is generated before this call).
+    ///
+    /// This is the scale-out entry point: at `n = 10^5..10^6` a generator
+    /// spec skips the per-edge sorted-insertion build entirely, and
+    /// [`FtSpannerBuilder::artifact_on_graph`] additionally reuses the
+    /// boundary CSR for serving instead of re-packing.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FtSpannerBuilder::build`], plus resolution
+    /// errors (partial CSR views, inconsistent generator parameters).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use fault_tolerant_spanners::prelude::*;
+    /// use fault_tolerant_spanners::graph::stream::GeneratorSpec;
+    ///
+    /// let spec = GeneratorSpec::Gnm {
+    ///     nodes: 200,
+    ///     edges: 900,
+    ///     weights: generate::WeightKind::Unit,
+    ///     seed: 11,
+    /// };
+    /// let report = FtSpannerBuilder::new("conversion")
+    ///     .faults(1)
+    ///     .on_graph(spec)
+    ///     .unwrap();
+    /// assert!(report.size() <= 900);
+    /// ```
+    pub fn on_graph(&self, source: impl Into<GraphSource>) -> Result<SpannerReport> {
+        let resolved = source.into().resolve()?;
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        self.build_with_rng(resolved.as_input(), &mut rng)
+    }
+
+    /// Like [`FtSpannerBuilder::on_graph`], but promotes the report to a
+    /// queryable [`FtSpanner`] artifact. The CSR packed when the source was
+    /// resolved is adopted by the artifact — the source graph is packed
+    /// exactly once end to end.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FtSpannerBuilder::on_graph`], plus an error if
+    /// the selected algorithm produces directed plans (they cannot serve
+    /// distance queries).
+    pub fn artifact_on_graph(&self, source: impl Into<GraphSource>) -> Result<FtSpanner> {
+        let resolved = source.into().resolve()?;
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let report = self.build_with_rng(resolved.as_input(), &mut rng)?;
+        match resolved {
+            ResolvedSource::Undirected { graph, csr } => {
+                FtSpanner::from_report_with_csr(&graph, csr, &report)
+            }
+            ResolvedSource::Directed(_) => Err(CoreError::InvalidParameter {
+                message: format!(
+                    "algorithm `{}` consumed a directed input; only undirected spanners \
+                     can serve distance queries",
+                    report.algorithm
+                ),
+            }),
+        }
+    }
+
     /// Builds on a directed graph with the builder-owned generator.
     pub fn build_directed(&self, graph: &DiGraph) -> Result<SpannerReport> {
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
@@ -329,6 +399,43 @@ mod tests {
         let c = builder.clone().seed(78).build(&g).unwrap();
         // Different seed almost surely differs on a non-trivial instance.
         assert!(a.edges != c.edges || a.size() == g.edge_count());
+    }
+
+    #[test]
+    fn on_graph_accepts_every_source_form() {
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let g = generate::gnp(18, 0.4, generate::WeightKind::Unit, &mut rng);
+        let builder = FtSpannerBuilder::new("conversion").faults(1);
+        let by_ref = builder.build(&g).unwrap();
+        // Owned graph, pre-packed CSR: identical reports (same seed, same
+        // resolved graph).
+        let by_owned = builder.on_graph(g.clone()).unwrap();
+        assert_eq!(by_ref.edges, by_owned.edges);
+        let csr = ftspan_graph::csr::CsrSubgraph::from_graph(&g);
+        let by_csr = builder.on_graph(csr).unwrap();
+        assert_eq!(by_ref.edges, by_csr.edges);
+        // Generator spec: reproducible, and the artifact path adopts the
+        // boundary CSR.
+        let spec = ftspan_graph::stream::GeneratorSpec::Gnm {
+            nodes: 60,
+            edges: 240,
+            weights: generate::WeightKind::Unit,
+            seed: 4,
+        };
+        let a = builder.artifact_on_graph(spec).unwrap();
+        let b = builder.artifact_on_graph(spec).unwrap();
+        assert_eq!(a.spanner_edges(), b.spanner_edges());
+        assert_eq!(a.node_count(), 60);
+        assert_eq!(a.source_edge_count(), 240);
+        // Directed owned input flows through the same entry point.
+        let dg = generate::directed_gnp(8, 0.5, generate::WeightKind::Unit, &mut rng);
+        let lp = FtSpannerBuilder::new("two-spanner-lp").faults(1);
+        assert_eq!(
+            lp.build_directed(&dg).unwrap().edges,
+            lp.on_graph(dg.clone()).unwrap().edges
+        );
+        // ...but cannot become a distance-serving artifact.
+        assert!(lp.artifact_on_graph(dg).is_err());
     }
 
     #[test]

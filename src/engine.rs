@@ -269,6 +269,102 @@ enum Registered {
     Sharded(Arc<ShardedArtifact>),
 }
 
+/// A borrowed view of a registered serving target, mirroring the two
+/// registration paths ([`Engine::register`] / [`Engine::register_sharded`])
+/// without forcing callers to guess which one a name went through.
+///
+/// Obtained from [`Engine::artifact_handle`]. The uniform accessors
+/// (`fault_model`, `stretch`, [`ArtifactHandle::summary`], …) answer the
+/// questions a listing or routing layer asks without branching on the
+/// artifact kind; `as_single` / `as_sharded` recover the concrete type when
+/// a caller genuinely needs one shape.
+#[derive(Debug, Clone, Copy)]
+pub enum ArtifactHandle<'e> {
+    /// A flat artifact registered through [`Engine::register`].
+    Single(&'e FtSpanner),
+    /// A sharded artifact registered through [`Engine::register_sharded`].
+    Sharded(&'e ShardedArtifact),
+}
+
+impl<'e> ArtifactHandle<'e> {
+    /// Declared fault model.
+    pub fn fault_model(&self) -> FaultModel {
+        match self {
+            ArtifactHandle::Single(a) => a.fault_model(),
+            ArtifactHandle::Sharded(a) => a.fault_model(),
+        }
+    }
+
+    /// Declared fault budget `r`.
+    pub fn fault_budget(&self) -> usize {
+        match self {
+            ArtifactHandle::Single(a) => a.fault_budget(),
+            ArtifactHandle::Sharded(a) => a.fault_budget(),
+        }
+    }
+
+    /// Declared stretch bound `k`.
+    pub fn stretch(&self) -> f64 {
+        match self {
+            ArtifactHandle::Single(a) => a.stretch(),
+            ArtifactHandle::Sharded(a) => a.stretch(),
+        }
+    }
+
+    /// Vertices of the (whole) source graph.
+    pub fn node_count(&self) -> usize {
+        match self {
+            ArtifactHandle::Single(a) => a.node_count(),
+            ArtifactHandle::Sharded(a) => a.node_count(),
+        }
+    }
+
+    /// Edges of the spanner (for sharded artifacts: the union spanner,
+    /// shard spanners plus cut edges).
+    pub fn spanner_edge_count(&self) -> usize {
+        match self {
+            ArtifactHandle::Single(a) => a.spanner_edge_count(),
+            ArtifactHandle::Sharded(a) => a.spanner_edge_count(),
+        }
+    }
+
+    /// Number of shards, or `None` for a flat artifact.
+    pub fn shard_count(&self) -> Option<usize> {
+        match self {
+            ArtifactHandle::Single(_) => None,
+            ArtifactHandle::Sharded(a) => Some(a.shard_count()),
+        }
+    }
+
+    /// The flat artifact underneath, if this handle is one.
+    pub fn as_single(&self) -> Option<&'e FtSpanner> {
+        match self {
+            ArtifactHandle::Single(a) => Some(a),
+            ArtifactHandle::Sharded(_) => None,
+        }
+    }
+
+    /// The sharded artifact underneath, if this handle is one.
+    pub fn as_sharded(&self) -> Option<&'e ShardedArtifact> {
+        match self {
+            ArtifactHandle::Single(_) => None,
+            ArtifactHandle::Sharded(a) => Some(a),
+        }
+    }
+
+    /// The owned, kind-agnostic shape of this artifact.
+    pub fn summary(&self) -> ArtifactSummary {
+        ArtifactSummary {
+            fault_model: self.fault_model(),
+            fault_budget: self.fault_budget(),
+            stretch: self.stretch(),
+            nodes: self.node_count(),
+            spanner_edges: self.spanner_edge_count(),
+            shards: self.shard_count(),
+        }
+    }
+}
+
 /// The serving-relevant shape of a registered artifact, uniform across flat
 /// and sharded registrations ([`Engine::artifact_summary`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -365,45 +461,33 @@ impl Engine {
         self
     }
 
+    /// Looks up any registered artifact as a kind-agnostic
+    /// [`ArtifactHandle`]. This is the one accessor listing and routing
+    /// layers need; [`Engine::artifact`] / [`Engine::sharded_artifact`]
+    /// remain as kind-specific conveniences built on top of it.
+    pub fn artifact_handle(&self, name: &str) -> Option<ArtifactHandle<'_>> {
+        Some(match self.artifacts.get(name)? {
+            Registered::Single(a) => ArtifactHandle::Single(a.as_ref()),
+            Registered::Sharded(a) => ArtifactHandle::Sharded(a.as_ref()),
+        })
+    }
+
     /// Looks up a registered *flat* artifact (`None` for names registered
     /// through [`Engine::register_sharded`]; use
-    /// [`Engine::sharded_artifact`] or [`Engine::artifact_summary`] there).
+    /// [`Engine::artifact_handle`] for a kind-agnostic view).
     pub fn artifact(&self, name: &str) -> Option<&FtSpanner> {
-        match self.artifacts.get(name) {
-            Some(Registered::Single(a)) => Some(a.as_ref()),
-            _ => None,
-        }
+        self.artifact_handle(name)?.as_single()
     }
 
     /// Looks up a registered *sharded* artifact.
     pub fn sharded_artifact(&self, name: &str) -> Option<&ShardedArtifact> {
-        match self.artifacts.get(name) {
-            Some(Registered::Sharded(a)) => Some(a.as_ref()),
-            _ => None,
-        }
+        self.artifact_handle(name)?.as_sharded()
     }
 
     /// The serving-relevant shape of a registered artifact, uniform across
     /// flat and sharded registrations.
     pub fn artifact_summary(&self, name: &str) -> Option<ArtifactSummary> {
-        Some(match self.artifacts.get(name)? {
-            Registered::Single(a) => ArtifactSummary {
-                fault_model: a.fault_model(),
-                fault_budget: a.fault_budget(),
-                stretch: a.stretch(),
-                nodes: a.node_count(),
-                spanner_edges: a.spanner_edge_count(),
-                shards: None,
-            },
-            Registered::Sharded(a) => ArtifactSummary {
-                fault_model: a.fault_model(),
-                fault_budget: a.fault_budget(),
-                stretch: a.stretch(),
-                nodes: a.node_count(),
-                spanner_edges: a.spanner_edge_count(),
-                shards: Some(a.shard_count()),
-            },
-        })
+        Some(self.artifact_handle(name)?.summary())
     }
 
     /// The registered artifact names, sorted.
@@ -778,6 +862,43 @@ mod tests {
             .unwrap();
         engine.register("alt", other);
         assert_eq!(engine.names(), vec!["alt", "net"]);
+    }
+
+    #[test]
+    fn artifact_handle_is_uniform_across_kinds() {
+        let (mut engine, _) = engine_with_artifact(6);
+        let mut rng = ChaCha8Rng::seed_from_u64(60);
+        let g = generate::connected_gnp(30, 0.2, generate::WeightKind::Unit, &mut rng);
+        let builder = FtSpannerBuilder::new("conversion").faults(1).seed(60);
+        let config = ftspan_graph::partition::PartitionConfig::new(3).with_seed(60);
+        let sharded = crate::shard::ShardedArtifact::build(&g, &builder, &config).unwrap();
+        engine.register_sharded("backbone", sharded);
+
+        // The handle answers shape questions without branching on kind, and
+        // its summary is exactly what artifact_summary reports.
+        for name in ["net", "backbone"] {
+            let handle = engine.artifact_handle(name).unwrap();
+            assert_eq!(Some(handle.summary()), engine.artifact_summary(name));
+        }
+        assert!(engine.artifact_handle("missing").is_none());
+
+        // Kind-specific recovery mirrors Registered::{Single, Sharded}.
+        let flat = engine.artifact_handle("net").unwrap();
+        assert!(flat.as_single().is_some());
+        assert!(flat.as_sharded().is_none());
+        assert_eq!(flat.shard_count(), None);
+        let sharded = engine.artifact_handle("backbone").unwrap();
+        assert!(sharded.as_single().is_none());
+        assert!(sharded.as_sharded().is_some());
+        assert_eq!(sharded.shard_count(), Some(3));
+        assert_eq!(sharded.node_count(), 30);
+
+        // The legacy kind-specific accessors are now thin wrappers; they
+        // must agree with the handle.
+        assert!(engine.artifact("net").is_some());
+        assert!(engine.artifact("backbone").is_none());
+        assert!(engine.sharded_artifact("backbone").is_some());
+        assert!(engine.sharded_artifact("net").is_none());
     }
 
     #[test]

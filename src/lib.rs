@@ -153,7 +153,8 @@ mod store;
 
 pub use builder::FtSpannerBuilder;
 pub use engine::{
-    ArtifactSummary, Engine, EngineConfig, EngineStats, Query, QueryKind, QueryOutcome,
+    ArtifactHandle, ArtifactSummary, Engine, EngineConfig, EngineStats, Query, QueryKind,
+    QueryOutcome,
 };
 pub use registry::registry;
 pub use shard::{CutEdge, ShardedArtifact, ShardedSession};
@@ -170,14 +171,16 @@ pub mod prelude {
     pub use crate::builder::FtSpannerBuilder;
     pub use crate::registry::registry;
     pub use ftspan_core::{
-        FaultModel, FtSpannerAlgorithm, GraphFamily, GraphInput, Registry, SpannerEdges,
-        SpannerReport, SpannerRequest,
+        FaultModel, FtSpannerAlgorithm, GraphFamily, GraphInput, GraphSource, Registry,
+        ResolvedSource, SpannerEdges, SpannerReport, SpannerRequest,
     };
+    pub use ftspan_graph::stream::GeneratorSpec;
 
     // The query side: artifacts, fault-scoped sessions, the serving engine
     // and the directory-backed artifact store.
     pub use crate::engine::{
-        ArtifactSummary, Engine, EngineConfig, EngineStats, Query, QueryKind, QueryOutcome,
+        ArtifactHandle, ArtifactSummary, Engine, EngineConfig, EngineStats, Query, QueryKind,
+        QueryOutcome,
     };
     pub use crate::shard::{CutEdge, ShardedArtifact, ShardedSession};
     pub use crate::store::ArtifactStore;
@@ -193,8 +196,8 @@ pub mod prelude {
 
     // The graph substrate.
     pub use ftspan_graph::{
-        components, faults, generate, io, par, partition, shortest_path, stats, tree, verify,
-        ArcSet, DiGraph, EdgeSet, Graph, NodeId,
+        components, faults, generate, io, par, partition, shortest_path, stats, stream, tree,
+        verify, ArcSet, DiGraph, EdgeSet, Graph, NodeId,
     };
 
     // Distributed verification (LOCAL-model checkers).
