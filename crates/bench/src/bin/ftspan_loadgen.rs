@@ -3,8 +3,9 @@
 //! ```text
 //! ftspan_loadgen --addr HOST:PORT [--duration-secs N] [--connections C]
 //!                [--batch B] [--seed N] [--zipf-exponent F] [--scopes S]
-//!                [--burst K] [--min-qps Q] [--out PATH] [--server-stats]
-//!                [--shutdown]
+//!                [--burst K] [--update-stream] [--churn D]
+//!                [--update-artifact NAME] [--min-qps Q] [--out PATH]
+//!                [--server-stats] [--shutdown]
 //! ```
 //!
 //! * `--addr` — server to drive (required).
@@ -18,6 +19,20 @@
 //!   (default 4; repeated scopes exercise the server's planner groups).
 //! * `--burst` — open-loop burstiness: each connection sends `K` requests
 //!   back-to-back, then yields (default 1 = smooth).
+//! * `--update-stream` — mixed read/write traffic: alongside the query
+//!   connections, one writer connection pushes seeded `ApplyDeltas` batches
+//!   at a dynamic artifact for the whole run, so every warm swap happens
+//!   under live query load. The writer only deletes/reweights edges it
+//!   inserted itself, so its churn stream stays valid without knowing the
+//!   server's graph; an insert that collides with an existing edge is a
+//!   *typed* rejection the server must answer cleanly (counted, not fatal).
+//!   Apply latency lands in its own histogram, reported separately from
+//!   query latency.
+//! * `--churn` — edge deltas per `ApplyDeltas` batch (default 4; only with
+//!   `--update-stream`).
+//! * `--update-artifact` — artifact the writer targets (default: the
+//!   server's first artifact; it must be served dynamic, e.g. via
+//!   `ftspan_serve --dynamic`, or every apply is rejected).
 //! * `--min-qps` — exit 1 if measured throughput falls below this (CI gate).
 //! * `--out` — write a `BENCH.json`-compatible report here.
 //! * `--server-stats` — after the run, fetch and print the server's wire
@@ -54,6 +69,9 @@ struct Args {
     zipf_exponent: f64,
     scopes: usize,
     burst: usize,
+    update_stream: bool,
+    churn: usize,
+    update_artifact: Option<String>,
     min_qps: Option<f64>,
     out: Option<std::path::PathBuf>,
     server_stats: bool,
@@ -70,6 +88,9 @@ fn parse_args() -> Args {
         zipf_exponent: 1.0,
         scopes: 4,
         burst: 1,
+        update_stream: false,
+        churn: 4,
+        update_artifact: None,
         min_qps: None,
         out: None,
         server_stats: false,
@@ -116,6 +137,13 @@ fn parse_args() -> Args {
                     .parse()
                     .expect("--burst expects a positive integer");
             }
+            "--update-stream" => args.update_stream = true,
+            "--churn" => {
+                args.churn = value_of("--churn")
+                    .parse()
+                    .expect("--churn expects a positive integer");
+            }
+            "--update-artifact" => args.update_artifact = Some(value_of("--update-artifact")),
             "--min-qps" => {
                 args.min_qps = Some(
                     value_of("--min-qps")
@@ -285,6 +313,138 @@ fn drive_connection(
     Ok(outcome)
 }
 
+struct UpdateOutcome {
+    apply_us: Histogram,
+    applies: u64,
+    deltas_applied: u64,
+    apply_rejected: u64,
+    rebuilds: u64,
+    protocol_errors: u64,
+}
+
+/// The writer connection behind `--update-stream`: an open loop of seeded
+/// `ApplyDeltas` batches against one artifact. The writer keeps a private
+/// set of edges it has inserted — deletes and reweights only ever touch
+/// those, so the stream stays valid against a graph it cannot see. Inserts
+/// draw random vertex pairs; one that collides with a base-graph edge makes
+/// the whole batch a typed rejection (applies are atomic), in which case the
+/// private set is left unchanged and the collision is counted.
+fn drive_updates(
+    addr: &str,
+    deadline: Instant,
+    stop: &AtomicBool,
+    churn: usize,
+    seed: u64,
+    artifact: Option<String>,
+) -> Result<UpdateOutcome, ftspan_net::NetError> {
+    let mut client = Client::connect(addr)?;
+    let artifacts = client.artifacts()?;
+    let target = match artifact {
+        Some(name) => name,
+        None => {
+            let Some(first) = artifacts.first() else {
+                return Err(ftspan_net::NetError::Io {
+                    message: "server holds no artifacts".into(),
+                });
+            };
+            first.name.clone()
+        }
+    };
+    let n = artifacts
+        .iter()
+        .find(|a| a.name == target)
+        .map(|a| (a.nodes as usize).max(2))
+        .unwrap_or(2);
+
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    // Edges this writer has successfully inserted (normalized u < v), with
+    // their current weight.
+    let mut owned: Vec<((usize, usize), f64)> = Vec::new();
+    let mut outcome = UpdateOutcome {
+        apply_us: Histogram::new(),
+        applies: 0,
+        deltas_applied: 0,
+        apply_rejected: 0,
+        rebuilds: 0,
+        protocol_errors: 0,
+    };
+    while Instant::now() < deadline && !stop.load(Ordering::Relaxed) {
+        // Build the batch against a scratch copy so a rejected batch leaves
+        // the committed set untouched.
+        let mut scratch = owned.clone();
+        let mut deltas = Vec::with_capacity(churn);
+        for _ in 0..churn {
+            match rng.gen_range(0..4u32) {
+                0 if !scratch.is_empty() => {
+                    let ((a, b), _) = scratch.swap_remove(rng.gen_range(0..scratch.len()));
+                    deltas.push(EdgeDelta::Delete {
+                        u: NodeId::new(a),
+                        v: NodeId::new(b),
+                    });
+                }
+                1 if !scratch.is_empty() => {
+                    let pick = rng.gen_range(0..scratch.len());
+                    let entry = &mut scratch[pick];
+                    entry.1 += 0.25;
+                    deltas.push(EdgeDelta::Reweight {
+                        u: NodeId::new(entry.0 .0),
+                        v: NodeId::new(entry.0 .1),
+                        weight: entry.1,
+                    });
+                }
+                _ => {
+                    for _ in 0..16 {
+                        let a = rng.gen_range(0..n);
+                        let b = rng.gen_range(0..n);
+                        if a == b {
+                            continue;
+                        }
+                        let pair = (a.min(b), a.max(b));
+                        if scratch.iter().any(|(p, _)| *p == pair) {
+                            continue;
+                        }
+                        let weight = 1.0 + rng.gen::<f64>();
+                        scratch.push((pair, weight));
+                        deltas.push(EdgeDelta::Insert {
+                            u: NodeId::new(pair.0),
+                            v: NodeId::new(pair.1),
+                            weight,
+                        });
+                        break;
+                    }
+                }
+            }
+        }
+        if deltas.is_empty() {
+            continue;
+        }
+
+        let start = Instant::now();
+        match client.apply_deltas(&target, &deltas) {
+            Ok(Ok(info)) => {
+                let elapsed_us = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                outcome.apply_us.record(elapsed_us);
+                outcome.applies += 1;
+                outcome.deltas_applied += info.applied;
+                outcome.rebuilds += u64::from(info.rebuilt);
+                owned = scratch;
+            }
+            Ok(Err(_)) => {
+                // A typed rejection: an insert hit an existing base-graph
+                // edge (or the artifact is not dynamic). Nothing applied;
+                // keep the committed set and roll fresh dice next round.
+                outcome.apply_rejected += 1;
+            }
+            Err(_) => {
+                outcome.protocol_errors += 1;
+                break;
+            }
+        }
+        std::thread::yield_now();
+    }
+    Ok(outcome)
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
     let Some(addr) = args.addr else {
@@ -321,6 +481,26 @@ fn main() -> ExitCode {
         })
         .collect();
 
+    let updater = args.update_stream.then(|| {
+        let addr = addr.clone();
+        let stop = Arc::clone(&stop);
+        let failed = Arc::clone(&failed);
+        let churn = args.churn.max(1);
+        let artifact = args.update_artifact.clone();
+        // A seed stream disjoint from every query connection's.
+        let seed = args.seed ^ 0xD17A_5EED_0F0F_2011;
+        std::thread::spawn(move || {
+            match drive_updates(&addr, deadline, &stop, churn, seed, artifact) {
+                Ok(outcome) => Some(outcome),
+                Err(e) => {
+                    eprintln!("ftspan_loadgen: update connection failed: {e}");
+                    failed.fetch_add(1, Ordering::Relaxed);
+                    None
+                }
+            }
+        })
+    });
+
     let mut latency_us = Histogram::new();
     let mut queries = 0u64;
     let mut query_errors = 0u64;
@@ -333,6 +513,13 @@ fn main() -> ExitCode {
             query_errors += outcome.query_errors;
             overloaded += outcome.overloaded;
             protocol_errors += outcome.protocol_errors;
+        }
+    }
+    let mut updates: Option<UpdateOutcome> = None;
+    if let Some(handle) = updater {
+        if let Ok(Some(outcome)) = handle.join() {
+            protocol_errors += outcome.protocol_errors;
+            updates = Some(outcome);
         }
     }
     let elapsed = start.elapsed().as_secs_f64();
@@ -377,6 +564,12 @@ fn main() -> ExitCode {
                     "cache_hit_rate".to_string(),
                     format!("{:.3}", engine.hit_rate()),
                 ]);
+                table.row(&["swaps".to_string(), engine.swaps.to_string()]);
+                table.row(&[
+                    "deltas_applied".to_string(),
+                    engine.deltas_applied.to_string(),
+                ]);
+                table.row(&["rebuilds".to_string(), engine.rebuilds.to_string()]);
                 println!("{}", table.render());
             }
             Err(e) => {
@@ -419,6 +612,28 @@ fn main() -> ExitCode {
     table.row(&["query_errors".to_string(), query_errors.to_string()]);
     table.row(&["overloaded".to_string(), overloaded.to_string()]);
     table.row(&["protocol_errors".to_string(), protocol_errors.to_string()]);
+    if let Some(u) = &updates {
+        // The write side of the mixed workload, kept apart from query
+        // latency: applies are rare and heavy (a rebuild can take
+        // milliseconds), and folding them into the query histogram would
+        // wreck its tail.
+        table.row(&["applies".to_string(), u.applies.to_string()]);
+        table.row(&["deltas_applied".to_string(), u.deltas_applied.to_string()]);
+        table.row(&["apply_rejected".to_string(), u.apply_rejected.to_string()]);
+        table.row(&["apply_rebuilds".to_string(), u.rebuilds.to_string()]);
+        table.row(&[
+            "apply_p50_us".to_string(),
+            u.apply_us.quantile(0.50).to_string(),
+        ]);
+        table.row(&[
+            "apply_p99_us".to_string(),
+            u.apply_us.quantile(0.99).to_string(),
+        ]);
+        table.row(&[
+            "apply_mean_us".to_string(),
+            format!("{:.0}", u.apply_us.mean()),
+        ]);
+    }
     println!("{}", table.render());
 
     if let Some(out) = &args.out {

@@ -230,6 +230,16 @@ enum Workload {
     ///
     /// [`sssp_into`]: ftspan_graph::csr::CsrSubgraph::sssp_into
     LargeSssp,
+    /// The dynamic-artifact maintenance loop: a seeded edge-delta stream
+    /// applied round by round through [`DynamicArtifact::apply`] under the
+    /// default patch-vs-rebuild policy — the cost of keeping an artifact
+    /// fresh without serving in the way.
+    DeltaReplay,
+    /// Serving under churn: query batches streamed through a loopback
+    /// `ftspan-net` server, interleaved with `ApplyDeltas` frames that warm-
+    /// swap the served version between batches — the full read/write wire
+    /// path.
+    ServeUnderChurn,
 }
 
 /// A named, seeded benchmark workload.
@@ -380,6 +390,16 @@ pub fn all() -> Vec<Scenario> {
             description: "large-n shortest paths: bucket-queue SSSP sweeps over a generated CSR",
             workload: Workload::LargeSssp,
         },
+        Scenario {
+            name: "delta-replay",
+            description: "dynamic maintenance: a seeded delta stream applied through DynamicArtifact::apply",
+            workload: Workload::DeltaReplay,
+        },
+        Scenario {
+            name: "serve-under-churn",
+            description: "network serving interleaved with ApplyDeltas warm swaps over loopback",
+            workload: Workload::ServeUnderChurn,
+        },
     ]
 }
 
@@ -447,6 +467,8 @@ impl Scenario {
             Workload::ServeShardedBatch => self.run_serve_sharded(config),
             Workload::LargeConstruction => self.run_construct_large(config),
             Workload::LargeSssp => self.run_sssp_large(config),
+            Workload::DeltaReplay => self.run_delta_replay(config),
+            Workload::ServeUnderChurn => self.run_serve_under_churn(config),
         };
         result.peak_rss_kb = peak_rss_kb();
         result
@@ -715,6 +737,162 @@ impl Scenario {
             spanner_edges: 0,
             edges_per_sec: None,
             queries_per_sec: throughput(queries.len(), wall_ms),
+            peak_rss_kb: None,
+            digest: format!("{:016x}", digest.finish()),
+        }
+    }
+
+    /// The dynamic-artifact maintenance loop in isolation: a seeded churn
+    /// stream applied round by round through [`DynamicArtifact::apply`],
+    /// each round generated against the *current* post-delta graph. The
+    /// timed section covers delta generation, patch-vs-rebuild decisions
+    /// and the repairs themselves. The digest pins the final version,
+    /// applied sequence and a query battery over the final artifact — so
+    /// any drift in the repair path (at any worker count) fails the
+    /// determinism suite before it could reach serving.
+    fn run_delta_replay(&self, config: &ScenarioConfig) -> ScenarioResult {
+        let seed = self.seed_for(config.seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let (n, rounds, churn) = match config.profile {
+            Profile::Ci => (40, 6, 6),
+            Profile::Full => (96, 12, 12),
+        };
+        let g = generate::connected_gnp(n, 24.0 / n as f64, generate::WeightKind::Unit, &mut rng);
+        let input_edges = g.edge_count();
+        let mut current = DynamicArtifact::build(&g, dynamic_recipe(config, seed))
+            .expect("scenario inputs build");
+
+        let policy = RebuildPolicy::default();
+        let mut applied_total = 0usize;
+        let start = Instant::now();
+        for _ in 0..rounds {
+            let deltas = churn_batch(current.artifact().source_graph(), &mut rng, churn);
+            let (next, report) = current
+                .apply(&deltas, &policy)
+                .expect("churn batches are valid against the current graph");
+            applied_total += report.applied;
+            current = next;
+        }
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        let mut digest = Fnv::new();
+        digest.write_u64(current.version());
+        digest.write_u64(current.applied_seq());
+        let spanner_edges = current.artifact().spanner_edge_count();
+        let mut engine = engine_with_workers(config);
+        engine.register_dynamic("backbone", current);
+        let mut queries = Vec::with_capacity(200);
+        for q in 0..200usize {
+            let u = NodeId::new((q * 7 + 1) % n);
+            let v = NodeId::new((q * 11 + 3) % n);
+            let scope = if q % 3 == 0 {
+                vec![NodeId::new((q * 5 + 2) % n)]
+            } else {
+                vec![]
+            };
+            queries.push(match q % 5 {
+                0 => Query::certificate("backbone", scope, u, v),
+                1 => Query::path("backbone", scope, u, v),
+                _ => Query::distance("backbone", scope, u, v),
+            });
+        }
+        digest_outcomes(&mut digest, &engine.run_batch(&queries));
+        ScenarioResult {
+            name: self.name.to_string(),
+            wall_ms,
+            input_nodes: n,
+            input_edges,
+            spanner_edges,
+            edges_per_sec: throughput(applied_total, wall_ms),
+            queries_per_sec: None,
+            peak_rss_kb: None,
+            digest: format!("{:016x}", digest.finish()),
+        }
+    }
+
+    /// Serving under churn: the loopback network path of `serve-net`, but
+    /// interleaved with `ApplyDeltas` warm swaps. One sequential client
+    /// alternates a query batch with a churn batch each round, so the
+    /// version every query observes is a pure function of the seed and the
+    /// digest is comparable across runs and worker counts. Churn batches
+    /// are generated from the engine's *shared* registry snapshot — the
+    /// same post-delta graph the server just swapped in.
+    fn run_serve_under_churn(&self, config: &ScenarioConfig) -> ScenarioResult {
+        let seed = self.seed_for(config.seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let (n, rounds, per_round, churn) = match config.profile {
+            Profile::Ci => (40, 8, 250, 4),
+            Profile::Full => (96, 12, 1500, 8),
+        };
+        let g = generate::connected_gnp(n, 24.0 / n as f64, generate::WeightKind::Unit, &mut rng);
+        let artifact = DynamicArtifact::build(&g, dynamic_recipe(config, seed))
+            .expect("scenario inputs build");
+        let mut engine = engine_with_workers(config);
+        engine.register_dynamic("backbone", artifact);
+
+        // Setup (untimed): bind the server on a clone sharing the registry,
+        // keep our copy for snapshotting the current graph between rounds.
+        let server_config = ftspan_net::ServerConfig {
+            workers: config.threads.unwrap_or_else(par::available_threads),
+            ..ftspan_net::ServerConfig::default()
+        };
+        let server = ftspan_net::Server::bind(engine.clone(), "127.0.0.1:0", server_config)
+            .expect("loopback bind succeeds")
+            .spawn()
+            .expect("server threads start");
+        let mut client =
+            ftspan_net::Client::connect(server.addr()).expect("loopback connect succeeds");
+
+        let mut digest = Fnv::new();
+        let start = Instant::now();
+        for round in 0..rounds {
+            let mut queries = Vec::with_capacity(per_round);
+            for q in 0..per_round {
+                let u = NodeId::new((q * 7 + round + 1) % n);
+                let v = NodeId::new((q * 13 + 4) % n);
+                let scope = if q % 4 == 0 {
+                    vec![NodeId::new((q * 3 + round) % n)]
+                } else {
+                    vec![]
+                };
+                queries.push(match q % 6 {
+                    0 => Query::certificate("backbone", scope, u, v),
+                    1 => Query::path("backbone", scope, u, v),
+                    _ => Query::distance("backbone", scope, u, v),
+                });
+            }
+            let results = client
+                .run_batch(&queries)
+                .expect("loopback request succeeds")
+                .expect_results()
+                .expect("a sequential client is never rejected");
+            digest_outcomes(&mut digest, &results);
+
+            let deltas = {
+                let snapshot = engine.artifact("backbone").expect("backbone is registered");
+                churn_batch(snapshot.source_graph(), &mut rng, churn)
+            };
+            let info = client
+                .apply_deltas("backbone", &deltas)
+                .expect("loopback request succeeds")
+                .expect("churn batches are valid against the current graph");
+            digest.write_u64(info.version);
+            digest.write_u64(info.applied);
+            digest.write_u64(info.last_seq);
+        }
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        drop(client);
+        server.shutdown().expect("server drains cleanly");
+
+        ScenarioResult {
+            name: self.name.to_string(),
+            wall_ms,
+            input_nodes: n,
+            input_edges: g.edge_count(),
+            spanner_edges: 0,
+            edges_per_sec: None,
+            queries_per_sec: throughput(rounds * per_round, wall_ms),
             peak_rss_kb: None,
             digest: format!("{:016x}", digest.finish()),
         }
@@ -995,6 +1173,79 @@ impl Scenario {
 
 /// The shared serving-scenario setup: a builder for `algorithm` with
 /// `config.threads` threaded through.
+/// A seeded, always-valid delta batch against `g`: deletes and reweights
+/// draw from the current edge list, inserts draw fresh absent pairs, and no
+/// pair is touched twice within one batch — so the batch always applies
+/// cleanly and the stream is a pure function of the seed.
+fn churn_batch(g: &Graph, rng: &mut ChaCha8Rng, size: usize) -> Vec<EdgeDelta> {
+    let pairs: Vec<(NodeId, NodeId, f64)> = g.edges().map(|(_, e)| (e.u, e.v, e.weight)).collect();
+    let n = g.node_count();
+    let mut touched = std::collections::BTreeSet::new();
+    let mut deltas = Vec::with_capacity(size);
+    for _ in 0..size {
+        match rng.gen_range(0..4u32) {
+            0 if !pairs.is_empty() => {
+                // Bounded retries: an occupied draw is skipped, keeping the
+                // loop total even when the batch covers most of the graph.
+                for _ in 0..8 {
+                    let (u, v, _) = pairs[rng.gen_range(0..pairs.len())];
+                    if touched.insert((u.index(), v.index())) {
+                        deltas.push(EdgeDelta::Delete { u, v });
+                        break;
+                    }
+                }
+            }
+            1 if !pairs.is_empty() => {
+                for _ in 0..8 {
+                    let (u, v, weight) = pairs[rng.gen_range(0..pairs.len())];
+                    if touched.insert((u.index(), v.index())) {
+                        deltas.push(EdgeDelta::Reweight {
+                            u,
+                            v,
+                            weight: weight + 0.25,
+                        });
+                        break;
+                    }
+                }
+            }
+            _ => {
+                for _ in 0..32 {
+                    let a = rng.gen_range(0..n);
+                    let b = rng.gen_range(0..n);
+                    if a == b {
+                        continue;
+                    }
+                    let (u, v) = (NodeId::new(a.min(b)), NodeId::new(a.max(b)));
+                    if g.find_edge(u, v).is_some() || !touched.insert((u.index(), v.index())) {
+                        continue;
+                    }
+                    deltas.push(EdgeDelta::Insert {
+                        u,
+                        v,
+                        weight: 1.0 + rng.gen::<f64>(),
+                    });
+                    break;
+                }
+            }
+        }
+    }
+    deltas
+}
+
+/// The recipe both dynamic scenarios build from: a repairable construction
+/// with a fixed iteration budget, threaded per the config (digests are
+/// thread-count invariant).
+fn dynamic_recipe(config: &ScenarioConfig, seed: u64) -> BuildRecipe {
+    let request = SpannerRequest {
+        faults: 1,
+        stretch: 3.0,
+        iterations: Some(8),
+        threads: config.threads,
+        ..SpannerRequest::default()
+    };
+    BuildRecipe::new("corollary-2.2", request, seed)
+}
+
 fn configured_builder(
     config: &ScenarioConfig,
     algorithm: &str,
@@ -1418,6 +1669,8 @@ mod tests {
                 "serve-sharded-batch",
                 "construct-large-gnm",
                 "sssp-large",
+                "delta-replay",
+                "serve-under-churn",
             ]
         );
     }

@@ -8,7 +8,7 @@ use ftspan_bench::scenarios::{self, Profile, ScenarioConfig};
 /// cover every digest path (undirected, directed, engine, planner, store)
 /// while keeping the suite fast. The full-suite sweep lives in
 /// `bench_runner` itself.
-const PINNED: [&str; 11] = [
+const PINNED: [&str; 13] = [
     "conversion-gnp",
     "conversion-grid",
     "two-spanner-greedy-gnp",
@@ -20,6 +20,8 @@ const PINNED: [&str; 11] = [
     "serve-sharded-batch",
     "construct-large-gnm",
     "sssp-large",
+    "delta-replay",
+    "serve-under-churn",
 ];
 
 #[test]

@@ -24,7 +24,7 @@ use ftspan_graph::Graph;
 use rand::RngCore;
 use std::time::Instant;
 
-fn conversion_params(request: &SpannerRequest) -> ConversionParams {
+pub(crate) fn conversion_params(request: &SpannerRequest) -> ConversionParams {
     let mut params = ConversionParams::new(request.faults).with_scale(request.scale);
     if let Some(iterations) = request.iterations {
         params = params.with_iterations(iterations);

@@ -17,6 +17,7 @@
 //! comes from.
 
 use crate::par;
+use crate::{CoreError, Result};
 use ftspan_graph::{EdgeId, EdgeSet, Graph, NodeId};
 use ftspan_spanners::SpannerAlgorithm;
 use rand::Rng;
@@ -256,6 +257,312 @@ impl FaultTolerantConverter {
     }
 }
 
+/// Replay record of one conversion iteration, kept by
+/// [`FaultTolerantConverter::build_traced`].
+///
+/// The oversampled fault set itself is not stored — it is a pure function of
+/// the iteration's seed (the mask consumes exactly `n` `f64` draws from the
+/// seed's private stream), so a repair can recompute it bit-exactly. Only
+/// what the black box *decided* is recorded: the endpoint pairs of the edges
+/// it admitted, in output order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracedIteration {
+    /// Normalized `(u, v)` endpoint pairs of the edges the black box
+    /// admitted, in the order they were merged into the union.
+    pub endpoints: Vec<(NodeId, NodeId)>,
+    /// Number of vertices that survived the oversampled fault set.
+    pub surviving_vertices: usize,
+    /// Number of edges of `G \ J`.
+    pub surviving_edges: usize,
+}
+
+/// Everything needed to replay a conversion build iteration-by-iteration:
+/// the per-iteration seeds plus each iteration's admitted edges.
+///
+/// A trace makes the conversion *incrementally repairable*: after an
+/// edge-only change to the graph, an iteration whose oversampled fault set
+/// does not expose any changed edge (no changed edge has both endpoints
+/// alive) produced — and would again produce — exactly the same black-box
+/// output, so its recorded endpoints can be replayed without re-running the
+/// black box. See [`FaultTolerantConverter::repair_traced`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConversionTrace {
+    /// Vertex count of the graph the trace was built on. Repair requires the
+    /// vertex set to be unchanged (edge-only deltas), because the alive mask
+    /// consumes exactly this many draws per iteration.
+    pub nodes: usize,
+    /// Per-iteration seeds, in iteration order, as drawn by
+    /// [`crate::par::derive_seeds`] from the root generator.
+    pub seeds: Vec<u64>,
+    /// Per-iteration replay records, in iteration order.
+    pub iterations: Vec<TracedIteration>,
+}
+
+/// A successful incremental repair: the rebuilt result, the refreshed trace
+/// (valid for the *post-delta* graph), and how much work it took.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairedConversion {
+    /// The conversion result on the post-delta graph — bit-identical to what
+    /// [`FaultTolerantConverter::build_traced`] would produce from scratch
+    /// with the same root generator state.
+    pub result: ConversionResult,
+    /// The refreshed trace, usable for the next repair.
+    pub trace: ConversionTrace,
+    /// Number of iterations whose black box had to be re-run.
+    pub touched_iterations: usize,
+}
+
+/// Outcome of a repair attempt (see
+/// [`FaultTolerantConverter::repair_traced`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RepairAttempt {
+    /// The repair completed within the touched-iteration budget.
+    Repaired(RepairedConversion),
+    /// More iterations were touched than `max_touched` allows; nothing was
+    /// rebuilt — the caller should fall back to a full build.
+    TooManyTouched {
+        /// Number of iterations that would have to re-run the black box.
+        touched: usize,
+    },
+}
+
+impl FaultTolerantConverter {
+    /// [`FaultTolerantConverter::build_with_threads`], additionally recording
+    /// a [`ConversionTrace`] that makes the build incrementally repairable.
+    ///
+    /// The returned [`ConversionResult`] is bit-identical to what
+    /// [`FaultTolerantConverter::build_with_threads`] produces from the same
+    /// generator state — tracing only records, it never draws.
+    pub fn build_traced<A>(
+        &self,
+        graph: &Graph,
+        algorithm: &A,
+        rng: &mut dyn RngCore,
+        threads: usize,
+    ) -> (ConversionResult, ConversionTrace)
+    where
+        A: SpannerAlgorithm + ?Sized,
+    {
+        let n = graph.node_count();
+        let p = self.params.sampling_probability();
+        let alpha = self.params.iterations_for(n);
+        let seeds = par::derive_seeds(rng, alpha);
+
+        let outcomes = par::map(threads, alpha, |i| {
+            let mut task_rng = par::stream(seeds[i]);
+            let alive: Vec<bool> = (0..n).map(|_| task_rng.gen::<f64>() >= p).collect();
+            let (sub, edge_map) = induced_subgraph(graph, &alive);
+            let spanner = algorithm.build(&sub, &mut task_rng);
+            let edges: Vec<EdgeId> = spanner
+                .iter()
+                .map(|sub_edge| edge_map[sub_edge.index()])
+                .collect();
+            let endpoints: Vec<(NodeId, NodeId)> = edges
+                .iter()
+                .map(|&id| {
+                    let e = graph.edge(id);
+                    (e.u, e.v)
+                })
+                .collect();
+            let stats = IterationStats {
+                surviving_vertices: alive.iter().filter(|&&a| a).count(),
+                surviving_edges: sub.edge_count(),
+                spanner_edges: spanner.len(),
+                new_edges: 0, // filled during the in-order merge below
+            };
+            (edges, endpoints, stats)
+        });
+
+        let mut union = graph.empty_edge_set();
+        let mut per_iteration = Vec::with_capacity(alpha);
+        let mut iterations = Vec::with_capacity(alpha);
+        for (edges, endpoints, mut stats) in outcomes {
+            for parent in edges {
+                if union.insert(parent) {
+                    stats.new_edges += 1;
+                }
+            }
+            iterations.push(TracedIteration {
+                endpoints,
+                surviving_vertices: stats.surviving_vertices,
+                surviving_edges: stats.surviving_edges,
+            });
+            per_iteration.push(stats);
+        }
+
+        (
+            ConversionResult {
+                edges: union,
+                iterations: alpha,
+                per_iteration,
+            },
+            ConversionTrace {
+                nodes: n,
+                seeds,
+                iterations,
+            },
+        )
+    }
+
+    /// Incrementally repairs a traced build after an edge-only change.
+    ///
+    /// `new_graph` must be the post-delta graph with the *same vertex set*
+    /// as the traced build and with the relative order of surviving edges
+    /// preserved (deletions compact, insertions append — the contract of
+    /// `ftspan_core::dynamic::apply_deltas`). `changed` lists the endpoint
+    /// pairs of every inserted, deleted, or reweighted edge.
+    ///
+    /// An iteration is *touched* when some changed edge has both endpoints
+    /// alive in that iteration's oversampled mask — only then can its
+    /// induced subgraph differ from the traced build's, so only those
+    /// iterations re-run the black box (from the recorded seed, drawing the
+    /// mask first so the stream position matches a from-scratch run).
+    /// Untouched iterations replay their recorded endpoints. Merging in
+    /// iteration order then reproduces — bit-identically — the result of
+    /// [`FaultTolerantConverter::build_traced`] on `new_graph` from the same
+    /// root generator state, because that build would draw the very same
+    /// seeds (`α` depends only on `n` and the parameters, both unchanged).
+    ///
+    /// When more than `max_touched` iterations are touched the attempt is
+    /// abandoned before any black-box work and
+    /// [`RepairAttempt::TooManyTouched`] is returned.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidParameter`] if the vertex count changed, if the
+    ///   parameters no longer yield the traced iteration count, or if an
+    ///   untouched iteration's recorded edge is missing from `new_graph`
+    ///   (the `changed` list was incomplete).
+    pub fn repair_traced<A>(
+        &self,
+        new_graph: &Graph,
+        algorithm: &A,
+        trace: &ConversionTrace,
+        changed: &[(NodeId, NodeId)],
+        max_touched: usize,
+        threads: usize,
+    ) -> Result<RepairAttempt>
+    where
+        A: SpannerAlgorithm + ?Sized,
+    {
+        let n = new_graph.node_count();
+        if n != trace.nodes {
+            return Err(CoreError::InvalidParameter {
+                message: format!(
+                    "conversion repair requires an unchanged vertex set: trace has {} nodes, \
+                     graph has {n}",
+                    trace.nodes
+                ),
+            });
+        }
+        let alpha = self.params.iterations_for(n);
+        if alpha != trace.seeds.len() || trace.iterations.len() != trace.seeds.len() {
+            return Err(CoreError::InvalidParameter {
+                message: format!(
+                    "conversion repair parameters drifted: trace has {} iterations, parameters \
+                     now yield {alpha}",
+                    trace.seeds.len()
+                ),
+            });
+        }
+        let p = self.params.sampling_probability();
+
+        // Pass 1: recompute the masks (n draws each, no subgraphs) and flag
+        // the touched iterations.
+        let touched_flags = par::map(threads, alpha, |i| {
+            let mut task_rng = par::stream(trace.seeds[i]);
+            let alive: Vec<bool> = (0..n).map(|_| task_rng.gen::<f64>() >= p).collect();
+            changed
+                .iter()
+                .any(|&(u, v)| alive[u.index()] && alive[v.index()])
+        });
+        let touched = touched_flags.iter().filter(|&&t| t).count();
+        if touched > max_touched {
+            return Ok(RepairAttempt::TooManyTouched { touched });
+        }
+
+        // Pass 2: re-run the black box for touched iterations, replay the
+        // recorded endpoints for the rest.
+        let outcomes = par::map(threads, alpha, |i| -> Result<_> {
+            if touched_flags[i] {
+                let mut task_rng = par::stream(trace.seeds[i]);
+                let alive: Vec<bool> = (0..n).map(|_| task_rng.gen::<f64>() >= p).collect();
+                let (sub, edge_map) = induced_subgraph(new_graph, &alive);
+                let spanner = algorithm.build(&sub, &mut task_rng);
+                let edges: Vec<EdgeId> = spanner
+                    .iter()
+                    .map(|sub_edge| edge_map[sub_edge.index()])
+                    .collect();
+                let endpoints: Vec<(NodeId, NodeId)> = edges
+                    .iter()
+                    .map(|&id| {
+                        let e = new_graph.edge(id);
+                        (e.u, e.v)
+                    })
+                    .collect();
+                let record = TracedIteration {
+                    endpoints,
+                    surviving_vertices: alive.iter().filter(|&&a| a).count(),
+                    surviving_edges: sub.edge_count(),
+                };
+                Ok((edges, record))
+            } else {
+                let record = trace.iterations[i].clone();
+                let edges = record
+                    .endpoints
+                    .iter()
+                    .map(|&(u, v)| {
+                        new_graph
+                            .find_edge(u, v)
+                            .ok_or_else(|| CoreError::InvalidParameter {
+                                message: format!(
+                                    "conversion repair replay: recorded edge ({u}, {v}) of \
+                                     iteration {i} is missing from the post-delta graph — the \
+                                     changed-edge list was incomplete"
+                                ),
+                            })
+                    })
+                    .collect::<Result<Vec<EdgeId>>>()?;
+                Ok((edges, record))
+            }
+        });
+
+        let mut union = new_graph.empty_edge_set();
+        let mut per_iteration = Vec::with_capacity(alpha);
+        let mut iterations = Vec::with_capacity(alpha);
+        for outcome in outcomes {
+            let (edges, record) = outcome?;
+            let mut stats = IterationStats {
+                surviving_vertices: record.surviving_vertices,
+                surviving_edges: record.surviving_edges,
+                spanner_edges: record.endpoints.len(),
+                new_edges: 0,
+            };
+            for parent in edges {
+                if union.insert(parent) {
+                    stats.new_edges += 1;
+                }
+            }
+            per_iteration.push(stats);
+            iterations.push(record);
+        }
+
+        Ok(RepairAttempt::Repaired(RepairedConversion {
+            result: ConversionResult {
+                edges: union,
+                iterations: alpha,
+                per_iteration,
+            },
+            trace: ConversionTrace {
+                nodes: n,
+                seeds: trace.seeds.clone(),
+                iterations,
+            },
+            touched_iterations: touched,
+        }))
+    }
+}
+
 /// Builds the subgraph of `graph` induced by the vertices with
 /// `alive[v] == true`, preserving vertex identifiers, together with a map
 /// from the subgraph's edge ids back to the parent graph's edge ids.
@@ -437,6 +744,111 @@ mod tests {
         let g = Graph::new(0);
         let result = corollary_2_2(&g, 3.0, 2, &mut r);
         assert_eq!(result.size(), 0);
+    }
+
+    #[test]
+    fn traced_build_matches_untraced_build_exactly() {
+        let g = generate::gnp(22, 0.4, generate::WeightKind::Unit, &mut rng(11));
+        let converter = FaultTolerantConverter::new(ConversionParams::new(2).with_iterations(30));
+        let plain = converter.build_with_threads(&g, &GreedySpanner::new(3.0), &mut rng(12), 2);
+        let (traced, trace) = converter.build_traced(&g, &GreedySpanner::new(3.0), &mut rng(12), 2);
+        assert_eq!(plain, traced);
+        assert_eq!(trace.nodes, g.node_count());
+        assert_eq!(trace.seeds.len(), 30);
+        assert_eq!(trace.iterations.len(), 30);
+        for (record, stats) in trace.iterations.iter().zip(&traced.per_iteration) {
+            assert_eq!(record.endpoints.len(), stats.spanner_edges);
+            assert_eq!(record.surviving_vertices, stats.surviving_vertices);
+        }
+    }
+
+    #[test]
+    fn repair_with_no_changes_replays_the_trace_verbatim() {
+        let g = generate::gnp(20, 0.4, generate::WeightKind::Unit, &mut rng(13));
+        let converter = FaultTolerantConverter::new(ConversionParams::new(1).with_iterations(25));
+        let alg = GreedySpanner::new(3.0);
+        let (result, trace) = converter.build_traced(&g, &alg, &mut rng(14), 1);
+        match converter
+            .repair_traced(&g, &alg, &trace, &[], usize::MAX, 2)
+            .unwrap()
+        {
+            RepairAttempt::Repaired(repaired) => {
+                assert_eq!(repaired.result, result);
+                assert_eq!(repaired.trace, trace);
+                assert_eq!(repaired.touched_iterations, 0);
+            }
+            RepairAttempt::TooManyTouched { .. } => panic!("no change touched an iteration"),
+        }
+    }
+
+    #[test]
+    fn repair_matches_a_from_scratch_rebuild_bit_for_bit() {
+        let mut r = rng(15);
+        let g = generate::connected_gnp(24, 0.3, generate::WeightKind::Unit, &mut r);
+        let converter = FaultTolerantConverter::new(ConversionParams::new(2).with_iterations(40));
+        let alg = GreedySpanner::new(3.0);
+        let (_, trace) = converter.build_traced(&g, &alg, &mut rng(16), 2);
+
+        // Post-delta graph: drop one edge (compacting), append one new edge —
+        // the contract repair_traced documents.
+        let dropped = *g.edge(ftspan_graph::EdgeId::new(0));
+        let mut new_graph = Graph::new(g.node_count());
+        for (id, e) in g.edges() {
+            if id.index() != 0 {
+                new_graph.add_edge(e.u, e.v, e.weight).unwrap();
+            }
+        }
+        let (mut iu, mut iv) = (NodeId::new(0), NodeId::new(0));
+        'outer: for u in 0..g.node_count() {
+            for v in (u + 1)..g.node_count() {
+                if g.find_edge(NodeId::new(u), NodeId::new(v)).is_none() {
+                    iu = NodeId::new(u);
+                    iv = NodeId::new(v);
+                    break 'outer;
+                }
+            }
+        }
+        assert_ne!(iu, iv, "test graph unexpectedly complete");
+        new_graph.add_edge(iu, iv, 1.0).unwrap();
+        let changed = vec![(dropped.u, dropped.v), (iu, iv)];
+
+        let (reference, _) = converter.build_traced(&new_graph, &alg, &mut rng(16), 1);
+        for threads in [1usize, 2, 8] {
+            match converter
+                .repair_traced(&new_graph, &alg, &trace, &changed, usize::MAX, threads)
+                .unwrap()
+            {
+                RepairAttempt::Repaired(repaired) => {
+                    assert_eq!(repaired.result, reference, "threads = {threads}");
+                    assert!(repaired.touched_iterations > 0);
+                    assert!(repaired.touched_iterations < trace.seeds.len());
+                }
+                RepairAttempt::TooManyTouched { .. } => panic!("unlimited budget"),
+            }
+        }
+    }
+
+    #[test]
+    fn repair_respects_the_touched_budget_and_rejects_node_changes() {
+        let g = generate::gnp(18, 0.5, generate::WeightKind::Unit, &mut rng(17));
+        let converter = FaultTolerantConverter::new(ConversionParams::new(1).with_iterations(20));
+        let alg = GreedySpanner::new(3.0);
+        let (_, trace) = converter.build_traced(&g, &alg, &mut rng(18), 1);
+        let e = *g.edge(ftspan_graph::EdgeId::new(0));
+        let changed = vec![(e.u, e.v)];
+        // p = 1/2: both endpoints alive in ~1/4 of 20 iterations; budget 0
+        // forces the fallback signal.
+        match converter
+            .repair_traced(&g, &alg, &trace, &changed, 0, 1)
+            .unwrap()
+        {
+            RepairAttempt::TooManyTouched { touched } => assert!(touched > 0),
+            RepairAttempt::Repaired(_) => panic!("budget 0 must refuse any touched iteration"),
+        }
+        let bigger = Graph::new(g.node_count() + 1);
+        assert!(converter
+            .repair_traced(&bigger, &alg, &trace, &[], usize::MAX, 1)
+            .is_err());
     }
 
     #[test]

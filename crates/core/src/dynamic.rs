@@ -1,0 +1,1238 @@
+//! Dynamic-graph subsystem: delta logs, incremental artifact repair, and the
+//! rebuild scheduler.
+//!
+//! Every [`crate::FtSpanner`] is a snapshot of its source graph. This module
+//! makes the snapshot *maintainable* under edge churn:
+//!
+//! * [`DeltaLog`] — a versioned, append-only, replayable log of edge
+//!   [`EdgeDelta`]s (insert / delete / reweight) with monotone sequence
+//!   numbers and a `.ftdelta` binary codec following the `.ftspan` section
+//!   discipline (magic, version, length-prefixed records, typed decode
+//!   errors, no allocation bombs).
+//! * [`apply_deltas`] — the canonical post-delta graph: deletions compact,
+//!   insertions append, so the relative order of surviving edges is
+//!   preserved. That order contract is what makes incremental repair sound.
+//! * [`DynamicArtifact`] — an artifact bundled with its build recipe, its
+//!   delta log, and (for the conversion-family constructions) a
+//!   [`ConversionTrace`]. [`DynamicArtifact::apply`] produces the next
+//!   version either by **incremental repair** — re-running the black box
+//!   only for the iterations whose oversampled fault set exposes a changed
+//!   edge — or by a full rebuild, and the result is pinned bit-identical to
+//!   a from-scratch build on the post-delta graph either way.
+//! * [`RebuildPolicy`] — the scheduler deciding patch vs. rebuild from the
+//!   delta volume relative to the artifact and from the touched-iteration
+//!   budget.
+//!
+//! The locality argument is the same one the sharded overlay uses: the
+//! conversion of Theorem 2.1 unions independent black-box runs, each a pure
+//! function of `(seed, induced subgraph)`. An edge-only delta leaves every
+//! iteration's oversampled fault set unchanged (the mask consumes exactly
+//! `n` draws from the iteration seed), so an iteration can only be affected
+//! when one of the changed edges has both endpoints alive in its mask — for
+//! sampling probability `p`, an expected `(1 − p)²` fraction of iterations
+//! per changed edge.
+
+use crate::algorithms::{conversion_params, core_algorithms};
+use crate::api::{FaultModel, GraphInput, Registry, SpannerRequest};
+use crate::conversion::{ConversionTrace, FaultTolerantConverter, RepairAttempt};
+use crate::serve::FtSpanner;
+use crate::{CoreError, Result};
+use ftspan_graph::{Graph, NodeId};
+use ftspan_spanners::SpannerAlgorithm;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+/// Magic bytes opening a `.ftdelta` stream.
+const DELTA_MAGIC: [u8; 4] = *b"FTDL";
+/// Current `.ftdelta` format version.
+const DELTA_VERSION: u32 = 1;
+/// Upper bound on a single record's declared length. Real records are 17 or
+/// 25 bytes; anything larger is a lie and is rejected before allocation.
+const MAX_RECORD_LEN: u32 = 64;
+/// Capacity clamp when pre-allocating from an untrusted record count.
+const DECODE_CAPACITY_CLAMP: usize = 1024;
+
+/// A single edge mutation.
+///
+/// Endpoints refer to the (fixed) vertex set of the artifact's source graph;
+/// the subsystem handles edge churn only — vertex insertions would change
+/// the length of every oversampled-mask draw and therefore invalidate the
+/// replay discipline (see [`ConversionTrace`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum EdgeDelta {
+    /// Add the edge `(u, v)` with the given weight. Fails on apply if the
+    /// edge already exists.
+    Insert {
+        /// One endpoint.
+        u: NodeId,
+        /// The other endpoint.
+        v: NodeId,
+        /// Edge weight (finite, non-negative).
+        weight: f64,
+    },
+    /// Remove the edge `(u, v)`. Fails on apply if the edge is missing.
+    Delete {
+        /// One endpoint.
+        u: NodeId,
+        /// The other endpoint.
+        v: NodeId,
+    },
+    /// Change the weight of the existing edge `(u, v)`. Fails on apply if
+    /// the edge is missing.
+    Reweight {
+        /// One endpoint.
+        u: NodeId,
+        /// The other endpoint.
+        v: NodeId,
+        /// The new weight (finite, non-negative).
+        weight: f64,
+    },
+}
+
+impl EdgeDelta {
+    /// The endpoint pair this delta touches.
+    pub fn endpoints(&self) -> (NodeId, NodeId) {
+        match *self {
+            EdgeDelta::Insert { u, v, .. }
+            | EdgeDelta::Delete { u, v }
+            | EdgeDelta::Reweight { u, v, .. } => (u, v),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            EdgeDelta::Insert { .. } => "insert",
+            EdgeDelta::Delete { .. } => "delete",
+            EdgeDelta::Reweight { .. } => "reweight",
+        }
+    }
+}
+
+impl fmt::Display for EdgeDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            EdgeDelta::Insert { u, v, weight } => write!(f, "insert ({u}, {v}) w={weight}"),
+            EdgeDelta::Delete { u, v } => write!(f, "delete ({u}, {v})"),
+            EdgeDelta::Reweight { u, v, weight } => write!(f, "reweight ({u}, {v}) w={weight}"),
+        }
+    }
+}
+
+/// An [`EdgeDelta`] stamped with its position in the log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SequencedDelta {
+    /// Monotone sequence number (1-based; assigned by [`DeltaLog::append`]).
+    pub seq: u64,
+    /// The mutation.
+    pub delta: EdgeDelta,
+}
+
+/// A versioned, append-only, replayable log of edge mutations.
+///
+/// Sequence numbers start at 1 and increase strictly; [`DeltaLog::append`]
+/// assigns them. The log replays onto the graph it was recorded against via
+/// [`DeltaLog::replay`], and serializes to the `.ftdelta` binary format —
+/// magic `FTDL`, a `u32` version, a `u64` record count, then length-prefixed
+/// records — with typed decode errors mirroring the `.ftspan` discipline:
+/// decoding untrusted bytes returns [`CoreError::InvalidParameter`], never
+/// panics, and never allocates proportionally to a lying length field.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeltaLog {
+    records: Vec<SequencedDelta>,
+    next_seq: u64,
+}
+
+impl DeltaLog {
+    /// An empty log; the first appended delta receives sequence number 1.
+    pub fn new() -> Self {
+        DeltaLog {
+            records: Vec::new(),
+            next_seq: 1,
+        }
+    }
+
+    /// Rebuilds a log from already-sequenced records.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] if the sequence numbers are not
+    /// strictly increasing or start at 0.
+    pub fn from_records(records: Vec<SequencedDelta>) -> Result<Self> {
+        let mut prev = 0u64;
+        for record in &records {
+            if record.seq <= prev {
+                return Err(CoreError::InvalidParameter {
+                    message: format!(
+                        "delta log sequence numbers must increase strictly: {} after {prev}",
+                        record.seq
+                    ),
+                });
+            }
+            prev = record.seq;
+        }
+        Ok(DeltaLog {
+            next_seq: prev + 1,
+            records,
+        })
+    }
+
+    /// Appends a delta, assigning and returning its sequence number.
+    pub fn append(&mut self, delta: EdgeDelta) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.records.push(SequencedDelta { seq, delta });
+        seq
+    }
+
+    /// Number of records in the log.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` if the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// All records, in sequence order.
+    pub fn records(&self) -> &[SequencedDelta] {
+        &self.records
+    }
+
+    /// The records with sequence numbers strictly greater than `seq`.
+    pub fn records_since(&self, seq: u64) -> &[SequencedDelta] {
+        let start = self.records.partition_point(|r| r.seq <= seq);
+        &self.records[start..]
+    }
+
+    /// The highest assigned sequence number, if any.
+    pub fn last_seq(&self) -> Option<u64> {
+        self.records.last().map(|r| r.seq)
+    }
+
+    /// The sequence number the next [`DeltaLog::append`] will assign.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Replays the whole log onto `base`, producing the post-delta graph.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`apply_deltas`].
+    pub fn replay(&self, base: &Graph) -> Result<Graph> {
+        apply_deltas(base, &self.records)
+    }
+
+    /// Writes the log in the `.ftdelta` binary format.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `writer`.
+    pub fn to_binary_writer<W: Write>(&self, mut writer: W) -> std::io::Result<()> {
+        writer.write_all(&DELTA_MAGIC)?;
+        writer.write_all(&DELTA_VERSION.to_le_bytes())?;
+        writer.write_all(&(self.records.len() as u64).to_le_bytes())?;
+        for record in &self.records {
+            let mut payload = Vec::with_capacity(25);
+            payload.extend_from_slice(&record.seq.to_le_bytes());
+            match record.delta {
+                EdgeDelta::Insert { u, v, weight } => {
+                    payload.push(0u8);
+                    payload.extend_from_slice(&(u.index() as u32).to_le_bytes());
+                    payload.extend_from_slice(&(v.index() as u32).to_le_bytes());
+                    payload.extend_from_slice(&weight.to_le_bytes());
+                }
+                EdgeDelta::Delete { u, v } => {
+                    payload.push(1u8);
+                    payload.extend_from_slice(&(u.index() as u32).to_le_bytes());
+                    payload.extend_from_slice(&(v.index() as u32).to_le_bytes());
+                }
+                EdgeDelta::Reweight { u, v, weight } => {
+                    payload.push(2u8);
+                    payload.extend_from_slice(&(u.index() as u32).to_le_bytes());
+                    payload.extend_from_slice(&(v.index() as u32).to_le_bytes());
+                    payload.extend_from_slice(&weight.to_le_bytes());
+                }
+            }
+            writer.write_all(&(payload.len() as u32).to_le_bytes())?;
+            writer.write_all(&payload)?;
+        }
+        Ok(())
+    }
+
+    /// Reads a log previously written by [`DeltaLog::to_binary_writer`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] on a bad magic, an unsupported
+    /// version, a truncated stream, a lying record length, an unknown record
+    /// tag, a non-monotone sequence number, or trailing bytes. Never panics
+    /// on malformed input.
+    pub fn from_binary_reader<R: Read>(mut reader: R) -> Result<Self> {
+        let mut header = [0u8; 16];
+        read_delta_exact(&mut reader, &mut header, "header")?;
+        if header[..4] != DELTA_MAGIC {
+            return Err(CoreError::InvalidParameter {
+                message: format!(
+                    "bad magic in ftdelta data: expected `FTDL`, got {:?}",
+                    &header[..4]
+                ),
+            });
+        }
+        let version = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        if version != DELTA_VERSION {
+            return Err(CoreError::InvalidParameter {
+                message: format!(
+                    "unsupported ftdelta version {version} (this build reads version \
+                     {DELTA_VERSION})"
+                ),
+            });
+        }
+        let count = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes")) as usize;
+        // The count has no backing bytes yet — records stream in one at a
+        // time, so a lying count can cost at most this clamped capacity.
+        let mut records = Vec::with_capacity(count.min(DECODE_CAPACITY_CLAMP));
+        let mut prev_seq = 0u64;
+        for i in 0..count {
+            let mut len_bytes = [0u8; 4];
+            read_delta_exact(&mut reader, &mut len_bytes, "record length")?;
+            let len = u32::from_le_bytes(len_bytes);
+            if len > MAX_RECORD_LEN {
+                return Err(CoreError::InvalidParameter {
+                    message: format!(
+                        "ftdelta record {i} declares {len} bytes (limit {MAX_RECORD_LEN}): \
+                         refusing the allocation"
+                    ),
+                });
+            }
+            let mut payload = vec![0u8; len as usize];
+            read_delta_exact(&mut reader, &mut payload, "record payload")?;
+            let record = decode_delta_record(&payload, i)?;
+            if record.seq <= prev_seq {
+                return Err(CoreError::InvalidParameter {
+                    message: format!(
+                        "ftdelta record {i} breaks sequence monotonicity: {} after {prev_seq}",
+                        record.seq
+                    ),
+                });
+            }
+            prev_seq = record.seq;
+            records.push(record);
+        }
+        let mut trailing = [0u8; 1];
+        match reader.read(&mut trailing) {
+            Ok(0) => {}
+            Ok(_) => {
+                return Err(CoreError::InvalidParameter {
+                    message: "trailing bytes after the last ftdelta record".to_string(),
+                })
+            }
+            Err(e) => {
+                return Err(CoreError::InvalidParameter {
+                    message: format!("read error in ftdelta data: {e}"),
+                })
+            }
+        }
+        DeltaLog::from_records(records)
+    }
+}
+
+fn read_delta_exact<R: Read>(reader: &mut R, buf: &mut [u8], what: &str) -> Result<()> {
+    reader
+        .read_exact(buf)
+        .map_err(|e| CoreError::InvalidParameter {
+            message: format!("truncated ftdelta data while reading {what}: {e}"),
+        })
+}
+
+fn decode_delta_record(payload: &[u8], index: usize) -> Result<SequencedDelta> {
+    let malformed = |why: &str| CoreError::InvalidParameter {
+        message: format!("malformed ftdelta record {index}: {why}"),
+    };
+    if payload.len() < 17 {
+        return Err(malformed(&format!("{} bytes is too short", payload.len())));
+    }
+    let seq = u64::from_le_bytes(payload[0..8].try_into().expect("8 bytes"));
+    let tag = payload[8];
+    let u = NodeId::new(u32::from_le_bytes(payload[9..13].try_into().expect("4 bytes")) as usize);
+    let v = NodeId::new(u32::from_le_bytes(payload[13..17].try_into().expect("4 bytes")) as usize);
+    let weight_of = |payload: &[u8]| -> Result<f64> {
+        if payload.len() != 25 {
+            return Err(malformed(&format!(
+                "expected 25 bytes for a weighted record, got {}",
+                payload.len()
+            )));
+        }
+        let w = f64::from_le_bytes(payload[17..25].try_into().expect("8 bytes"));
+        if !w.is_finite() || w < 0.0 {
+            return Err(malformed(&format!("invalid weight {w}")));
+        }
+        Ok(w)
+    };
+    let delta = match tag {
+        0 => EdgeDelta::Insert {
+            u,
+            v,
+            weight: weight_of(payload)?,
+        },
+        1 => {
+            if payload.len() != 17 {
+                return Err(malformed(&format!(
+                    "expected 17 bytes for a delete record, got {}",
+                    payload.len()
+                )));
+            }
+            EdgeDelta::Delete { u, v }
+        }
+        2 => EdgeDelta::Reweight {
+            u,
+            v,
+            weight: weight_of(payload)?,
+        },
+        other => return Err(malformed(&format!("unknown record tag {other}"))),
+    };
+    Ok(SequencedDelta { seq, delta })
+}
+
+/// Applies sequenced deltas to `base`, producing the canonical post-delta
+/// graph.
+///
+/// The canonical order contract — relied on by the incremental repair in
+/// [`FaultTolerantConverter::repair_traced`] — is: surviving edges keep
+/// their relative order (deletions compact the edge list), and inserted
+/// edges are appended in delta order. Edge identifiers are reassigned
+/// accordingly.
+///
+/// # Errors
+///
+/// [`CoreError::InvalidParameter`] if the sequence numbers are not strictly
+/// increasing, an endpoint is out of range or a self-loop, a weight is not
+/// finite and non-negative, an insert targets an existing edge, or a delete
+/// or reweight targets a missing edge. `base` is never modified.
+pub fn apply_deltas(base: &Graph, deltas: &[SequencedDelta]) -> Result<Graph> {
+    let n = base.node_count();
+    let mut slots: Vec<Option<(NodeId, NodeId, f64)>> = base
+        .edges()
+        .map(|(_, e)| Some((e.u, e.v, e.weight)))
+        .collect();
+    let mut index: HashMap<(usize, usize), usize> = slots
+        .iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            let (u, v, _) = slot.expect("freshly collected");
+            ((u.index(), v.index()), i)
+        })
+        .collect();
+
+    let mut prev_seq = 0u64;
+    for record in deltas {
+        if record.seq <= prev_seq {
+            return Err(CoreError::InvalidParameter {
+                message: format!(
+                    "delta sequence numbers must increase strictly: {} after {prev_seq}",
+                    record.seq
+                ),
+            });
+        }
+        prev_seq = record.seq;
+        let (u, v) = record.delta.endpoints();
+        let reject = |why: String| CoreError::InvalidParameter {
+            message: format!(
+                "delta #{} ({} ({u}, {v})): {why}",
+                record.seq,
+                record.delta.kind()
+            ),
+        };
+        if u.index() >= n || v.index() >= n {
+            return Err(reject(format!("endpoint out of range for {n} vertices")));
+        }
+        if u == v {
+            return Err(reject("self-loops are not allowed".to_string()));
+        }
+        let key = (u.index().min(v.index()), u.index().max(v.index()));
+        let (a, b) = (NodeId::new(key.0), NodeId::new(key.1));
+        match record.delta {
+            EdgeDelta::Insert { weight, .. } => {
+                if !weight.is_finite() || weight < 0.0 {
+                    return Err(reject(format!("invalid weight {weight}")));
+                }
+                if index.contains_key(&key) {
+                    return Err(reject("edge already exists".to_string()));
+                }
+                index.insert(key, slots.len());
+                slots.push(Some((a, b, weight)));
+            }
+            EdgeDelta::Delete { .. } => match index.remove(&key) {
+                Some(slot) => slots[slot] = None,
+                None => return Err(reject("edge does not exist".to_string())),
+            },
+            EdgeDelta::Reweight { weight, .. } => {
+                if !weight.is_finite() || weight < 0.0 {
+                    return Err(reject(format!("invalid weight {weight}")));
+                }
+                match index.get(&key) {
+                    Some(&slot) => {
+                        slots[slot] = Some((a, b, weight));
+                    }
+                    None => return Err(reject("edge does not exist".to_string())),
+                }
+            }
+        }
+    }
+
+    let mut graph = Graph::new(n);
+    for (u, v, w) in slots.into_iter().flatten() {
+        graph
+            .add_edge(u, v, w)
+            .map_err(|e| CoreError::InvalidParameter {
+                message: format!("post-delta graph rejected edge ({u}, {v}): {e}"),
+            })?;
+    }
+    Ok(graph)
+}
+
+/// The rebuild scheduler: decides whether a delta batch is patched
+/// incrementally or triggers a full rebuild.
+///
+/// Both limits are *performance* knobs — patch and rebuild produce
+/// bit-identical artifacts, so the policy never affects answers, only how
+/// much work the next version costs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RebuildPolicy {
+    /// Patch only when the batch has at most `max_delta_fraction ×
+    /// source-edge-count` deltas (minimum 1); larger batches invalidate so
+    /// many iterations that a rebuild is cheaper.
+    pub max_delta_fraction: f64,
+    /// During a patch, fall back to a full rebuild when more than
+    /// `max_touched_fraction × α` iterations would have to re-run the black
+    /// box.
+    pub max_touched_fraction: f64,
+}
+
+impl Default for RebuildPolicy {
+    fn default() -> Self {
+        RebuildPolicy {
+            max_delta_fraction: 0.05,
+            max_touched_fraction: 0.25,
+        }
+    }
+}
+
+impl RebuildPolicy {
+    /// A policy that always rebuilds from scratch (useful as a baseline and
+    /// for differential testing).
+    pub fn always_rebuild() -> Self {
+        RebuildPolicy {
+            max_delta_fraction: -1.0,
+            max_touched_fraction: -1.0,
+        }
+    }
+
+    /// A policy that patches whenever a trace exists, with no touched-set
+    /// budget.
+    pub fn always_patch() -> Self {
+        RebuildPolicy {
+            max_delta_fraction: f64::INFINITY,
+            max_touched_fraction: f64::INFINITY,
+        }
+    }
+
+    /// `true` when a batch of `deltas` mutations against a graph of
+    /// `source_edges` edges is small enough to patch.
+    pub fn patch_allowed(&self, deltas: usize, source_edges: usize) -> bool {
+        if self.max_delta_fraction < 0.0 {
+            return false;
+        }
+        if self.max_delta_fraction.is_infinite() {
+            return true;
+        }
+        let budget = (self.max_delta_fraction * source_edges.max(1) as f64).floor() as usize;
+        deltas <= budget.max(1)
+    }
+
+    /// The maximum number of touched iterations a patch may re-run before
+    /// falling back to a rebuild.
+    pub fn touched_budget(&self, iterations: usize) -> usize {
+        if self.max_touched_fraction < 0.0 {
+            return 0;
+        }
+        if self.max_touched_fraction.is_infinite() {
+            return usize::MAX;
+        }
+        (self.max_touched_fraction * iterations as f64).floor() as usize
+    }
+}
+
+/// Why an apply fell back to a full rebuild.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RebuildReason {
+    /// The recipe's algorithm is not incrementally repairable (no trace).
+    NoTrace,
+    /// The batch exceeded [`RebuildPolicy::max_delta_fraction`].
+    DeltaVolume,
+    /// The touched-iteration count exceeded
+    /// [`RebuildPolicy::max_touched_fraction`].
+    TouchedSet {
+        /// Iterations that would have re-run the black box.
+        touched: usize,
+    },
+}
+
+impl fmt::Display for RebuildReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RebuildReason::NoTrace => write!(f, "algorithm is not incrementally repairable"),
+            RebuildReason::DeltaVolume => write!(f, "delta batch too large relative to artifact"),
+            RebuildReason::TouchedSet { touched } => {
+                write!(f, "{touched} touched iterations exceeded the patch budget")
+            }
+        }
+    }
+}
+
+/// How [`DynamicArtifact::apply`] produced the new version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApplyAction {
+    /// Incremental repair: only the touched iterations re-ran the black box.
+    Patched {
+        /// Iterations whose black box re-ran.
+        touched_iterations: usize,
+        /// Total iterations `α` of the construction.
+        total_iterations: usize,
+    },
+    /// Full rebuild on the post-delta graph.
+    Rebuilt {
+        /// What ruled the patch out.
+        reason: RebuildReason,
+    },
+}
+
+impl ApplyAction {
+    /// `true` for the incremental-repair outcome.
+    pub fn is_patch(&self) -> bool {
+        matches!(self, ApplyAction::Patched { .. })
+    }
+}
+
+/// The outcome of one [`DynamicArtifact::apply`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApplyReport {
+    /// Version number of the *new* artifact.
+    pub version: u64,
+    /// Number of deltas applied in this batch.
+    pub applied: usize,
+    /// Sequence number of the batch's last delta.
+    pub last_seq: u64,
+    /// Patch or rebuild, and why.
+    pub action: ApplyAction,
+}
+
+/// Everything needed to rebuild an artifact from scratch, deterministically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BuildRecipe {
+    /// Registry name of the construction (`ftspan_core` algorithms only).
+    pub algorithm: String,
+    /// The construction's knobs.
+    pub request: SpannerRequest,
+    /// Root seed; the build draws from `ChaCha8Rng::seed_from_u64(seed)`
+    /// exactly as `FtSpannerBuilder` does, so a recipe reproduces the
+    /// builder's artifact bit-for-bit.
+    pub seed: u64,
+}
+
+impl BuildRecipe {
+    /// A recipe for `algorithm` with the given knobs and root seed.
+    pub fn new(algorithm: impl Into<String>, request: SpannerRequest, seed: u64) -> Self {
+        BuildRecipe {
+            algorithm: algorithm.into(),
+            request,
+            seed,
+        }
+    }
+}
+
+/// A plan for the traced (repairable) build path of a recipe.
+struct RepairablePlan {
+    converter: FaultTolerantConverter,
+    black_box: Box<dyn SpannerAlgorithm>,
+    provenance: String,
+    stretch: f64,
+}
+
+fn repairable_plan(recipe: &BuildRecipe) -> Option<RepairablePlan> {
+    let request = &recipe.request;
+    if request.fault_model != FaultModel::Vertex {
+        // The edge-fault extension samples *edges* into the oversized fault
+        // set, so an edge delta changes every iteration's mask — there is no
+        // locality to exploit.
+        return None;
+    }
+    match recipe.algorithm.as_str() {
+        "conversion" => {
+            let black_box = request.black_box.instantiate(request.stretch);
+            let stretch = black_box.stretch();
+            let provenance = format!(
+                "Theorem 2.1 conversion over {} (k = {}, r = {})",
+                request.black_box, stretch, request.faults
+            );
+            Some(RepairablePlan {
+                converter: FaultTolerantConverter::new(conversion_params(request)),
+                black_box,
+                provenance,
+                stretch,
+            })
+        }
+        "corollary-2.2" => {
+            let provenance = format!(
+                "Corollary 2.2 (greedy, k = {}, r = {})",
+                request.stretch, request.faults
+            );
+            Some(RepairablePlan {
+                converter: FaultTolerantConverter::new(conversion_params(request)),
+                black_box: Box::new(ftspan_spanners::GreedySpanner::new(request.stretch)),
+                provenance,
+                stretch: request.stretch,
+            })
+        }
+        _ => None,
+    }
+}
+
+/// An [`FtSpanner`] bundled with its build recipe, delta log, and — when the
+/// construction is incrementally repairable — its [`ConversionTrace`].
+///
+/// [`DynamicArtifact::apply`] is *functional*: it returns the next version
+/// and leaves `self` untouched, which is what lets `Engine` serve version
+/// `v_k` (behind its own `Arc`) while `v_{k+1}` builds, then swap atomically.
+#[derive(Debug, Clone)]
+pub struct DynamicArtifact {
+    artifact: Arc<FtSpanner>,
+    version: u64,
+    recipe: BuildRecipe,
+    trace: Option<ConversionTrace>,
+    log: DeltaLog,
+}
+
+impl DynamicArtifact {
+    /// Builds version 1 from a recipe.
+    ///
+    /// For the repairable constructions (`conversion` with vertex faults,
+    /// `corollary-2.2`) this runs the traced build and keeps the trace; for
+    /// every other registered algorithm it runs the normal registry build
+    /// (applying deltas then always rebuilds from scratch). Either way the
+    /// artifact is bit-identical to what `FtSpannerBuilder` with the same
+    /// algorithm, knobs, and seed would produce.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] for an unknown algorithm; otherwise
+    /// whatever the construction itself reports.
+    pub fn build(graph: &Graph, recipe: BuildRecipe) -> Result<Self> {
+        let (artifact, trace) = build_for_recipe(graph, &recipe)?;
+        Ok(DynamicArtifact {
+            artifact: Arc::new(artifact),
+            version: 1,
+            recipe,
+            trace,
+            log: DeltaLog::new(),
+        })
+    }
+
+    /// The served artifact.
+    pub fn artifact(&self) -> &FtSpanner {
+        &self.artifact
+    }
+
+    /// The served artifact, shared.
+    pub fn artifact_arc(&self) -> Arc<FtSpanner> {
+        Arc::clone(&self.artifact)
+    }
+
+    /// Version number, starting at 1 and incremented by every apply.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The build recipe.
+    pub fn recipe(&self) -> &BuildRecipe {
+        &self.recipe
+    }
+
+    /// The delta history applied so far.
+    pub fn log(&self) -> &DeltaLog {
+        &self.log
+    }
+
+    /// The highest applied sequence number (0 before any apply).
+    pub fn applied_seq(&self) -> u64 {
+        self.log.last_seq().unwrap_or(0)
+    }
+
+    /// `true` when the construction supports incremental repair.
+    pub fn is_repairable(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Applies a delta batch and returns the next version.
+    ///
+    /// The batch is appended to the log (sequence numbers assigned here),
+    /// the post-delta graph is materialized via [`apply_deltas`], and the
+    /// new artifact is produced by incremental repair when `policy` allows —
+    /// otherwise by a full rebuild with the same recipe. **Both paths yield
+    /// the same bytes**: the repaired artifact equals a from-scratch build
+    /// on the post-delta graph, bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] for an empty batch or an invalid
+    /// delta (see [`apply_deltas`]); construction errors pass through. On
+    /// error `self` is unchanged and no version is produced.
+    pub fn apply(
+        &self,
+        deltas: &[EdgeDelta],
+        policy: &RebuildPolicy,
+    ) -> Result<(DynamicArtifact, ApplyReport)> {
+        if deltas.is_empty() {
+            return Err(CoreError::InvalidParameter {
+                message: "empty delta batch has nothing to apply".to_string(),
+            });
+        }
+        let mut log = self.log.clone();
+        let already = self.applied_seq();
+        for delta in deltas {
+            log.append(delta.clone());
+        }
+        let batch = log.records_since(already);
+        let new_graph = apply_deltas(self.artifact.source_graph(), batch)?;
+        let last_seq = log.last_seq().expect("non-empty batch was appended");
+
+        let mut fallback = RebuildReason::NoTrace;
+        let mut patched: Option<(FtSpanner, ConversionTrace, usize, usize)> = None;
+        if let Some(trace) = &self.trace {
+            if policy.patch_allowed(deltas.len(), self.artifact.source_graph().edge_count()) {
+                let plan =
+                    repairable_plan(&self.recipe).ok_or_else(|| CoreError::InvalidParameter {
+                        message: format!(
+                            "artifact carries a trace but recipe `{}` is not repairable",
+                            self.recipe.algorithm
+                        ),
+                    })?;
+                let changed: Vec<(NodeId, NodeId)> =
+                    deltas.iter().map(EdgeDelta::endpoints).collect();
+                let attempt = plan.converter.repair_traced(
+                    &new_graph,
+                    plan.black_box.as_ref(),
+                    trace,
+                    &changed,
+                    policy.touched_budget(trace.seeds.len()),
+                    self.recipe.request.effective_threads(),
+                )?;
+                match attempt {
+                    RepairAttempt::Repaired(repaired) => {
+                        let artifact = FtSpanner::from_edge_set(
+                            &new_graph,
+                            repaired.result.edges,
+                            &self.recipe.algorithm,
+                            &plan.provenance,
+                            FaultModel::Vertex,
+                            self.recipe.request.faults,
+                            plan.stretch,
+                        )?;
+                        let total = repaired.trace.seeds.len();
+                        patched =
+                            Some((artifact, repaired.trace, repaired.touched_iterations, total));
+                    }
+                    RepairAttempt::TooManyTouched { touched } => {
+                        fallback = RebuildReason::TouchedSet { touched };
+                    }
+                }
+            } else {
+                fallback = RebuildReason::DeltaVolume;
+            }
+        }
+
+        let (artifact, trace, action) = match patched {
+            Some((artifact, trace, touched, total)) => (
+                artifact,
+                Some(trace),
+                ApplyAction::Patched {
+                    touched_iterations: touched,
+                    total_iterations: total,
+                },
+            ),
+            None => {
+                let (artifact, trace) = build_for_recipe(&new_graph, &self.recipe)?;
+                (artifact, trace, ApplyAction::Rebuilt { reason: fallback })
+            }
+        };
+
+        let version = self.version + 1;
+        let report = ApplyReport {
+            version,
+            applied: deltas.len(),
+            last_seq,
+            action,
+        };
+        Ok((
+            DynamicArtifact {
+                artifact: Arc::new(artifact),
+                version,
+                recipe: self.recipe.clone(),
+                trace,
+                log,
+            },
+            report,
+        ))
+    }
+}
+
+/// Runs a recipe from scratch: the traced path for repairable algorithms,
+/// the registry path otherwise.
+fn build_for_recipe(
+    graph: &Graph,
+    recipe: &BuildRecipe,
+) -> Result<(FtSpanner, Option<ConversionTrace>)> {
+    let mut rng = ChaCha8Rng::seed_from_u64(recipe.seed);
+    if let Some(plan) = repairable_plan(recipe) {
+        let (result, trace) = plan.converter.build_traced(
+            graph,
+            plan.black_box.as_ref(),
+            &mut rng,
+            recipe.request.effective_threads(),
+        );
+        let artifact = FtSpanner::from_edge_set(
+            graph,
+            result.edges,
+            &recipe.algorithm,
+            &plan.provenance,
+            FaultModel::Vertex,
+            recipe.request.faults,
+            plan.stretch,
+        )?;
+        return Ok((artifact, Some(trace)));
+    }
+    let registry = Registry::from_algorithms(core_algorithms());
+    let algorithm = registry
+        .get(&recipe.algorithm)
+        .ok_or_else(|| CoreError::InvalidParameter {
+            message: format!(
+                "unknown algorithm `{}`; registered: {}",
+                recipe.algorithm,
+                registry.names().join(", ")
+            ),
+        })?;
+    let report = algorithm.build(GraphInput::from(graph), &recipe.request, &mut rng)?;
+    let artifact = FtSpanner::from_report(graph, &report)?;
+    Ok((artifact, None))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftspan_graph::generate;
+    use rand::Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    fn node(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn small_request(faults: usize, iterations: usize) -> SpannerRequest {
+        SpannerRequest {
+            faults,
+            iterations: Some(iterations),
+            threads: Some(1),
+            ..SpannerRequest::default()
+        }
+    }
+
+    #[test]
+    fn delta_log_assigns_monotone_sequence_numbers() {
+        let mut log = DeltaLog::new();
+        assert_eq!(log.next_seq(), 1);
+        assert_eq!(
+            log.append(EdgeDelta::Delete {
+                u: node(0),
+                v: node(1)
+            }),
+            1
+        );
+        assert_eq!(
+            log.append(EdgeDelta::Insert {
+                u: node(1),
+                v: node(2),
+                weight: 2.0
+            }),
+            2
+        );
+        assert_eq!(log.last_seq(), Some(2));
+        assert_eq!(log.records_since(0).len(), 2);
+        assert_eq!(log.records_since(1).len(), 1);
+        assert_eq!(log.records_since(2).len(), 0);
+        assert!(DeltaLog::from_records(vec![
+            SequencedDelta {
+                seq: 2,
+                delta: EdgeDelta::Delete {
+                    u: node(0),
+                    v: node(1)
+                }
+            },
+            SequencedDelta {
+                seq: 2,
+                delta: EdgeDelta::Delete {
+                    u: node(1),
+                    v: node(2)
+                }
+            },
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn ftdelta_codec_round_trips() {
+        let mut log = DeltaLog::new();
+        log.append(EdgeDelta::Insert {
+            u: node(3),
+            v: node(7),
+            weight: 2.5,
+        });
+        log.append(EdgeDelta::Delete {
+            u: node(0),
+            v: node(1),
+        });
+        log.append(EdgeDelta::Reweight {
+            u: node(2),
+            v: node(4),
+            weight: 0.125,
+        });
+        let mut bytes = Vec::new();
+        log.to_binary_writer(&mut bytes).unwrap();
+        let decoded = DeltaLog::from_binary_reader(&bytes[..]).unwrap();
+        assert_eq!(decoded, log);
+        // Appending after a round trip continues the sequence.
+        let mut decoded = decoded;
+        assert_eq!(
+            decoded.append(EdgeDelta::Delete {
+                u: node(2),
+                v: node(4)
+            }),
+            4
+        );
+    }
+
+    #[test]
+    fn apply_deltas_validates_and_preserves_order() {
+        let g = Graph::from_edges(5, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0)]).unwrap();
+        let mut log = DeltaLog::new();
+        log.append(EdgeDelta::Delete {
+            u: node(1),
+            v: node(2),
+        });
+        log.append(EdgeDelta::Insert {
+            u: node(0),
+            v: node(4),
+            weight: 2.0,
+        });
+        log.append(EdgeDelta::Reweight {
+            u: node(2),
+            v: node(3),
+            weight: 5.0,
+        });
+        let patched = log.replay(&g).unwrap();
+        // Surviving edges keep relative order; the insert lands at the end.
+        let edges: Vec<(usize, usize, f64)> = patched
+            .edges()
+            .map(|(_, e)| (e.u.index(), e.v.index(), e.weight))
+            .collect();
+        assert_eq!(
+            edges,
+            vec![(0, 1, 1.0), (2, 3, 5.0), (3, 4, 1.0), (0, 4, 2.0)]
+        );
+
+        let bad =
+            |delta: EdgeDelta| apply_deltas(&g, &[SequencedDelta { seq: 1, delta }]).unwrap_err();
+        bad(EdgeDelta::Insert {
+            u: node(0),
+            v: node(1),
+            weight: 1.0,
+        }); // exists
+        bad(EdgeDelta::Delete {
+            u: node(0),
+            v: node(3),
+        }); // missing
+        bad(EdgeDelta::Reweight {
+            u: node(0),
+            v: node(3),
+            weight: 1.0,
+        }); // missing
+        bad(EdgeDelta::Delete {
+            u: node(0),
+            v: node(9),
+        }); // out of range
+        bad(EdgeDelta::Insert {
+            u: node(2),
+            v: node(2),
+            weight: 1.0,
+        }); // self-loop
+        bad(EdgeDelta::Insert {
+            u: node(0),
+            v: node(3),
+            weight: f64::NAN,
+        }); // bad weight
+    }
+
+    #[test]
+    fn rebuild_policy_budgets() {
+        let policy = RebuildPolicy::default();
+        assert!(policy.patch_allowed(1, 10)); // minimum budget of 1
+        assert!(policy.patch_allowed(5, 100));
+        assert!(!policy.patch_allowed(6, 100));
+        assert_eq!(policy.touched_budget(100), 25);
+        assert!(!RebuildPolicy::always_rebuild().patch_allowed(1, 1_000_000));
+        assert!(RebuildPolicy::always_patch().patch_allowed(1_000, 10));
+        assert_eq!(
+            RebuildPolicy::always_patch().touched_budget(100),
+            usize::MAX
+        );
+    }
+
+    #[test]
+    fn dynamic_build_matches_the_registry_build_bit_for_bit() {
+        let g = generate::connected_gnp(20, 0.3, generate::WeightKind::Unit, &mut rng(30));
+        for algorithm in ["conversion", "corollary-2.2", "clpr09"] {
+            let request = small_request(1, 20);
+            let recipe = BuildRecipe::new(algorithm, request, 2011);
+            let dynamic = DynamicArtifact::build(&g, recipe).unwrap();
+            let registry = Registry::from_algorithms(core_algorithms());
+            let mut r = rng(2011);
+            let report = registry
+                .get(algorithm)
+                .unwrap()
+                .build(GraphInput::from(&g), &request, &mut r)
+                .unwrap();
+            let reference = FtSpanner::from_report(&g, &report).unwrap();
+            assert_eq!(*dynamic.artifact(), reference, "algorithm = {algorithm}");
+            assert_eq!(
+                dynamic.is_repairable(),
+                algorithm != "clpr09",
+                "algorithm = {algorithm}"
+            );
+        }
+    }
+
+    #[test]
+    fn patched_apply_matches_a_from_scratch_rebuild() {
+        let g = generate::connected_gnp(24, 0.3, generate::WeightKind::Unit, &mut rng(31));
+        let recipe = BuildRecipe::new("conversion", small_request(2, 40), 7);
+        let v1 = DynamicArtifact::build(&g, recipe.clone()).unwrap();
+
+        // A mixed batch: delete an existing edge, insert a fresh one.
+        let existing = *g.edge(ftspan_graph::EdgeId::new(1));
+        let mut r = rng(32);
+        let (mut iu, mut iv) = (0, 0);
+        while iu == iv || g.has_edge(node(iu), node(iv)) {
+            iu = r.gen_range(0..g.node_count());
+            iv = r.gen_range(0..g.node_count());
+        }
+        let deltas = vec![
+            EdgeDelta::Delete {
+                u: existing.u,
+                v: existing.v,
+            },
+            EdgeDelta::Insert {
+                u: node(iu),
+                v: node(iv),
+                weight: 1.0,
+            },
+        ];
+
+        let (patched, report) = v1.apply(&deltas, &RebuildPolicy::always_patch()).unwrap();
+        assert!(report.action.is_patch(), "action = {:?}", report.action);
+        assert_eq!(report.version, 2);
+        assert_eq!(report.applied, 2);
+        assert_eq!(report.last_seq, 2);
+        assert_eq!(patched.applied_seq(), 2);
+
+        let (rebuilt, rebuilt_report) =
+            v1.apply(&deltas, &RebuildPolicy::always_rebuild()).unwrap();
+        assert!(!rebuilt_report.action.is_patch());
+        assert_eq!(*patched.artifact(), *rebuilt.artifact());
+
+        // And both equal a version-1 build on the post-delta graph.
+        let post = v1.log().clone();
+        assert!(post.is_empty(), "v1's own log must be untouched");
+        let fresh_graph = patched.log().replay(&g).unwrap();
+        let fresh = DynamicArtifact::build(&fresh_graph, recipe).unwrap();
+        assert_eq!(*patched.artifact(), *fresh.artifact());
+
+        // A second batch patches on top of the first.
+        let deltas2 = vec![EdgeDelta::Reweight {
+            u: node(iu),
+            v: node(iv),
+            weight: 3.0,
+        }];
+        let (v3, report3) = patched
+            .apply(&deltas2, &RebuildPolicy::always_patch())
+            .unwrap();
+        assert!(report3.action.is_patch());
+        assert_eq!(v3.version(), 3);
+        assert_eq!(v3.applied_seq(), 3);
+        let fresh3_graph = v3.log().replay(&g).unwrap();
+        let fresh3 = DynamicArtifact::build(&fresh3_graph, v3.recipe().clone()).unwrap();
+        assert_eq!(*v3.artifact(), *fresh3.artifact());
+    }
+
+    #[test]
+    fn policy_falls_back_to_rebuild_and_reports_why() {
+        let g = generate::connected_gnp(18, 0.4, generate::WeightKind::Unit, &mut rng(33));
+        let recipe = BuildRecipe::new("conversion", small_request(1, 20), 9);
+        let v1 = DynamicArtifact::build(&g, recipe).unwrap();
+        let existing = *g.edge(ftspan_graph::EdgeId::new(0));
+        let deltas = vec![EdgeDelta::Reweight {
+            u: existing.u,
+            v: existing.v,
+            weight: 4.0,
+        }];
+
+        // Touched budget 0 forces the TouchedSet fallback (p = 1/2, so some
+        // of the 20 iterations expose the edge with overwhelming probability).
+        let tight = RebuildPolicy {
+            max_delta_fraction: f64::INFINITY,
+            max_touched_fraction: 0.0,
+        };
+        let (_, report) = v1.apply(&deltas, &tight).unwrap();
+        match report.action {
+            ApplyAction::Rebuilt {
+                reason: RebuildReason::TouchedSet { touched },
+            } => assert!(touched > 0),
+            other => panic!("expected TouchedSet fallback, got {other:?}"),
+        }
+
+        let (_, report) = v1.apply(&deltas, &RebuildPolicy::always_rebuild()).unwrap();
+        assert_eq!(
+            report.action,
+            ApplyAction::Rebuilt {
+                reason: RebuildReason::DeltaVolume
+            }
+        );
+
+        // A non-repairable algorithm reports NoTrace even under always_patch.
+        let recipe = BuildRecipe::new("clpr09", small_request(1, 4), 9);
+        let v1 = DynamicArtifact::build(&g, recipe).unwrap();
+        let (_, report) = v1.apply(&deltas, &RebuildPolicy::always_patch()).unwrap();
+        assert_eq!(
+            report.action,
+            ApplyAction::Rebuilt {
+                reason: RebuildReason::NoTrace
+            }
+        );
+    }
+}

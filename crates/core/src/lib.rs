@@ -58,6 +58,7 @@ pub mod algorithms;
 pub mod api;
 pub mod baselines;
 pub mod conversion;
+pub mod dynamic;
 pub mod edge_faults;
 mod error;
 pub mod lower_bounds;
@@ -68,6 +69,10 @@ pub mod two_spanner;
 pub use api::{
     FaultModel, FtSpannerAlgorithm, GraphFamily, GraphInput, GraphSource, Registry, ResolvedSource,
     SpannerEdges, SpannerReport, SpannerRequest,
+};
+pub use dynamic::{
+    ApplyAction, ApplyReport, BuildRecipe, DeltaLog, DynamicArtifact, EdgeDelta, RebuildPolicy,
+    RebuildReason, SequencedDelta,
 };
 pub use error::CoreError;
 pub use serve::{

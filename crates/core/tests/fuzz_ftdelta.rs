@@ -1,0 +1,237 @@
+//! Fuzz-style battery for the `.ftdelta` binary decoder, mirroring the wire
+//! battery in `crates/net/tests/fuzz_decode.rs`.
+//!
+//! Seeded (fully reproducible) adversarial inputs — random bytes, every
+//! truncation point of a valid log, lying record lengths and counts,
+//! version skew, mutated valid streams — must all decode to **typed**
+//! [`CoreError`]s: no panics, no allocation bombs, no silent successes on
+//! garbage.
+
+use ftspan_core::{CoreError, DeltaLog, EdgeDelta};
+use ftspan_graph::NodeId;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// The record-length cap `from_binary_reader` enforces before allocating.
+const MAX_RECORD_LEN: u32 = 64;
+
+fn sample_log() -> DeltaLog {
+    let mut log = DeltaLog::new();
+    log.append(EdgeDelta::Insert {
+        u: NodeId::new(3),
+        v: NodeId::new(9),
+        weight: 1.25,
+    });
+    log.append(EdgeDelta::Delete {
+        u: NodeId::new(0),
+        v: NodeId::new(5),
+    });
+    log.append(EdgeDelta::Reweight {
+        u: NodeId::new(3),
+        v: NodeId::new(9),
+        weight: 4.0,
+    });
+    log.append(EdgeDelta::Insert {
+        u: NodeId::new(1),
+        v: NodeId::new(2),
+        weight: 0.5,
+    });
+    log
+}
+
+fn encode(log: &DeltaLog) -> Vec<u8> {
+    let mut out = Vec::new();
+    log.to_binary_writer(&mut out).expect("encoding succeeds");
+    out
+}
+
+/// A stream with a hand-built header, for forging versions and counts.
+fn raw_stream(magic: &[u8; 4], version: u32, count: u64, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(magic);
+    out.extend_from_slice(&version.to_le_bytes());
+    out.extend_from_slice(&count.to_le_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+#[test]
+fn a_valid_log_round_trips() {
+    let log = sample_log();
+    let wire = encode(&log);
+    let back = DeltaLog::from_binary_reader(&wire[..]).expect("own encoding decodes");
+    assert_eq!(back.records(), log.records());
+    assert_eq!(back.last_seq(), log.last_seq());
+    assert_eq!(back.next_seq(), log.next_seq());
+}
+
+#[test]
+fn random_bytes_decode_to_typed_errors_without_panicking() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xF426);
+    for _ in 0..2000 {
+        let len = rng.gen_range(0..300usize);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+        // Random bytes essentially never start with `FTDL`, so the decoder
+        // must return a typed error (and absolutely must not panic or hang).
+        let result = DeltaLog::from_binary_reader(&bytes[..]);
+        assert!(
+            matches!(result, Err(CoreError::InvalidParameter { .. })),
+            "random bytes decoded as a delta log: {bytes:?}"
+        );
+    }
+}
+
+#[test]
+fn random_bodies_under_a_valid_header_never_panic() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xF427);
+    for _ in 0..2000 {
+        let len = rng.gen_range(0..200usize);
+        let body: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+        let count = rng.gen_range(0..8u64);
+        let wire = raw_stream(b"FTDL", 1, count, &body);
+        // Structurally valid header, garbage records: decoding must finish
+        // (no panic, no unbounded allocation) with Ok or a typed error.
+        let _ = DeltaLog::from_binary_reader(&wire[..]);
+    }
+}
+
+#[test]
+fn every_truncation_of_a_valid_stream_is_a_typed_error() {
+    let wire = encode(&sample_log());
+    for cut in 0..wire.len() {
+        match DeltaLog::from_binary_reader(&wire[..cut]) {
+            Err(CoreError::InvalidParameter { message }) => {
+                assert!(
+                    message.contains("truncated"),
+                    "cut at {cut}/{}: error does not name the truncation: {message}",
+                    wire.len()
+                );
+            }
+            other => panic!(
+                "cut at {cut}/{}: expected a typed truncation error, got {other:?}",
+                wire.len()
+            ),
+        }
+    }
+}
+
+#[test]
+fn trailing_bytes_after_the_last_record_are_rejected() {
+    let mut wire = encode(&sample_log());
+    wire.push(0);
+    match DeltaLog::from_binary_reader(&wire[..]) {
+        Err(CoreError::InvalidParameter { message }) => {
+            assert!(
+                message.contains("trailing"),
+                "unexpected message: {message}"
+            );
+        }
+        other => panic!("expected a trailing-bytes error, got {other:?}"),
+    }
+}
+
+#[test]
+fn oversized_record_lengths_are_rejected_before_any_allocation() {
+    for lying_len in [MAX_RECORD_LEN + 1, u32::MAX, u32::MAX / 2] {
+        let mut body = Vec::new();
+        body.extend_from_slice(&lying_len.to_le_bytes());
+        body.extend_from_slice(b"tiny");
+        let wire = raw_stream(b"FTDL", 1, 1, &body);
+        match DeltaLog::from_binary_reader(&wire[..]) {
+            Err(CoreError::InvalidParameter { message }) => {
+                assert!(
+                    message.contains(&lying_len.to_string()),
+                    "error does not carry the lying length: {message}"
+                );
+            }
+            other => panic!("declared {lying_len}: expected a typed error, got {other:?}"),
+        }
+    }
+    // A lying *count* with no backing bytes must cost only the clamped
+    // capacity, then fail as a truncation — not allocate per the count.
+    let wire = raw_stream(b"FTDL", 1, u64::MAX, b"");
+    assert!(matches!(
+        DeltaLog::from_binary_reader(&wire[..]),
+        Err(CoreError::InvalidParameter { .. })
+    ));
+}
+
+#[test]
+fn version_skew_is_a_typed_error_naming_both_versions() {
+    for found in [0u32, 2, 7, u32::MAX] {
+        let wire = raw_stream(b"FTDL", found, 0, b"");
+        match DeltaLog::from_binary_reader(&wire[..]) {
+            Err(CoreError::InvalidParameter { message }) => {
+                assert!(
+                    message.contains(&found.to_string()) && message.contains('1'),
+                    "version {found}: error does not name both versions: {message}"
+                );
+            }
+            other => panic!("version {found}: expected a typed error, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn bad_magic_is_a_typed_error() {
+    let mut wire = encode(&sample_log());
+    wire[..4].copy_from_slice(b"HTTP");
+    match DeltaLog::from_binary_reader(&wire[..]) {
+        Err(CoreError::InvalidParameter { message }) => {
+            assert!(message.contains("magic"), "unexpected message: {message}");
+        }
+        other => panic!("expected a bad-magic error, got {other:?}"),
+    }
+}
+
+#[test]
+fn non_monotone_sequences_are_rejected() {
+    // Two otherwise-valid Delete records both claiming seq 1.
+    let mut record = Vec::new();
+    record.extend_from_slice(&1u64.to_le_bytes());
+    record.push(1u8); // Delete tag
+    record.extend_from_slice(&0u32.to_le_bytes());
+    record.extend_from_slice(&5u32.to_le_bytes());
+    let mut body = Vec::new();
+    for _ in 0..2 {
+        body.extend_from_slice(&(record.len() as u32).to_le_bytes());
+        body.extend_from_slice(&record);
+    }
+    let wire = raw_stream(b"FTDL", 1, 2, &body);
+    match DeltaLog::from_binary_reader(&wire[..]) {
+        Err(CoreError::InvalidParameter { message }) => {
+            assert!(
+                message.contains("monotonicity"),
+                "unexpected message: {message}"
+            );
+        }
+        other => panic!("expected a monotonicity error, got {other:?}"),
+    }
+}
+
+#[test]
+fn mutated_valid_streams_never_panic_and_errors_stay_typed() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xF428);
+    let original = encode(&sample_log());
+    for _ in 0..4000 {
+        let mut wire = original.clone();
+        for _ in 0..rng.gen_range(1..9usize) {
+            let at = rng.gen_range(0..wire.len());
+            wire[at] = rng.gen();
+        }
+        // Any mutation outcome is acceptable except a panic, a hang, or an
+        // allocation proportional to a lying length instead of real bytes.
+        match DeltaLog::from_binary_reader(&wire[..]) {
+            Ok(log) => {
+                // A surviving decode must still be internally consistent.
+                let mut prev = 0u64;
+                for record in log.records() {
+                    assert!(record.seq > prev, "accepted a non-monotone log");
+                    prev = record.seq;
+                }
+            }
+            Err(CoreError::InvalidParameter { .. }) => {}
+            Err(other) => panic!("unexpected error class: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! End-to-end smoke test for the dynamic-artifact path — the second half of
+//! the CI serve-smoke job:
+//!
+//! ```text
+//! delta_smoke STORE_DIR ADDR [--artifact NAME] [--shutdown]
+//! ```
+//!
+//! Connects to a running `ftspan_serve --dynamic` instance serving
+//! `STORE_DIR`, pushes a deterministic edge-delta batch at `NAME` (default
+//! `mesh`) through `ApplyDeltas`, and asserts the warm-swapped artifact
+//! answers a mixed query battery **identically** to a from-scratch
+//! `DynamicArtifact::build` on the post-delta graph computed locally — the
+//! paper-level repair invariant, checked over a real socket. Any protocol
+//! error, typed rejection, or answer mismatch panics (non-zero exit).
+//!
+//! With `--shutdown`, asks the server to drain and exit afterwards.
+
+use fault_tolerant_spanners::prelude::*;
+use fault_tolerant_spanners::{ArtifactStore, BuildRecipe, DeltaLog, DynamicArtifact, EdgeDelta};
+use ftspan_net::Client;
+
+/// Must match the seed `ftspan_serve --dynamic` rebuilds with, or the local
+/// differential build diverges from the served one before any delta flows.
+const DYNAMIC_SEED: u64 = 2011;
+
+fn main() {
+    let mut positional = Vec::new();
+    let mut artifact_name = "mesh".to_string();
+    let mut shutdown = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--artifact" => {
+                artifact_name = it.next().expect("--artifact requires a value");
+            }
+            "--shutdown" => shutdown = true,
+            other => positional.push(other.to_string()),
+        }
+    }
+    let [store_dir, addr] = positional.as_slice() else {
+        panic!("usage: delta_smoke STORE_DIR ADDR [--artifact NAME] [--shutdown]");
+    };
+
+    // Re-derive the exact recipe the server's `--dynamic` promotion used,
+    // from the same stored artifact.
+    let store = ArtifactStore::open(store_dir).expect("store opens");
+    let flat = store.load(&artifact_name).expect("stored artifact loads");
+    let base = flat.source_graph().clone();
+    let request = SpannerRequest {
+        faults: flat.fault_budget(),
+        stretch: flat.stretch(),
+        ..SpannerRequest::default()
+    };
+    let recipe = BuildRecipe::new(flat.algorithm(), request, DYNAMIC_SEED);
+
+    // A deterministic churn batch: drop the first edge, reweight the last,
+    // and insert the lexicographically first absent pair.
+    let n = base.node_count();
+    let (_, first) = base.edges().next().expect("graph has edges");
+    let (_, last) = base.edges().last().expect("graph has edges");
+    let absent = (0..n)
+        .flat_map(|u| (u + 1..n).map(move |v| (u, v)))
+        .find(|&(u, v)| {
+            let (u, v) = (NodeId::new(u), NodeId::new(v));
+            base.find_edge(u, v).is_none() && !(first.u == u && first.v == v)
+        })
+        .expect("the demo graphs are not complete");
+    let deltas = vec![
+        EdgeDelta::Delete {
+            u: first.u,
+            v: first.v,
+        },
+        EdgeDelta::Reweight {
+            u: last.u,
+            v: last.v,
+            weight: last.weight + 0.5,
+        },
+        EdgeDelta::Insert {
+            u: NodeId::new(absent.0),
+            v: NodeId::new(absent.1),
+            weight: 1.25,
+        },
+    ];
+
+    let mut client = Client::connect(addr).expect("server is reachable");
+    let info = client
+        .apply_deltas(&artifact_name, &deltas)
+        .expect("transport succeeds")
+        .expect("deltas apply cleanly");
+    assert_eq!(info.applied, deltas.len() as u64, "all deltas applied");
+    assert!(info.version >= 2, "the served version advanced");
+
+    // The local differential: replay the same deltas on the base graph and
+    // build from scratch with the same recipe.
+    let mut log = DeltaLog::new();
+    for delta in &deltas {
+        log.append(delta.clone());
+    }
+    let post = log.replay(&base).expect("deltas replay on the base graph");
+    let fresh = DynamicArtifact::build(&post, recipe).expect("fresh build succeeds");
+    let mut expected_engine = Engine::new();
+    expected_engine.register_dynamic(&artifact_name, fresh);
+
+    // A mixed battery: plain and fault-scoped distances, paths and
+    // certificates, plus one over-budget scope that must fail identically.
+    let mut queries = Vec::new();
+    for q in 0..60usize {
+        let u = NodeId::new((q * 7 + 1) % n);
+        let v = NodeId::new((q * 11 + 3) % n);
+        let scope = if q % 3 == 0 {
+            vec![NodeId::new((q * 5 + 2) % n)]
+        } else {
+            vec![]
+        };
+        queries.push(match q % 4 {
+            0 => Query::certificate(&artifact_name, scope, u, v),
+            1 => Query::path(&artifact_name, scope, u, v),
+            _ => Query::distance(&artifact_name, scope, u, v),
+        });
+    }
+    queries.push(Query::distance(
+        &artifact_name,
+        (0..n.min(8)).map(NodeId::new).collect(),
+        NodeId::new(0),
+        NodeId::new(1),
+    ));
+    let expected = expected_engine.run_batch(&queries);
+    let got = client
+        .run_batch(&queries)
+        .expect("transport succeeds")
+        .expect_results()
+        .expect("batch admitted");
+    assert_eq!(
+        got, expected,
+        "post-swap answers differ from a fresh rebuild on the post-delta graph"
+    );
+
+    let stats = client.stats().expect("stats succeed");
+    assert!(stats.engine.swaps >= 1, "the swap counter moved");
+    assert_eq!(
+        stats.engine.deltas_applied,
+        deltas.len() as u64,
+        "the delta counter moved"
+    );
+
+    println!(
+        "delta-smoke OK: {} deltas -> version {} ({}), {} answers identical to fresh rebuild",
+        info.applied,
+        info.version,
+        if info.rebuilt { "rebuilt" } else { "patched" },
+        queries.len(),
+    );
+
+    if shutdown {
+        client
+            .shutdown_server()
+            .expect("server acknowledges shutdown");
+    }
+}

@@ -2,11 +2,20 @@
 //!
 //! ```text
 //! ftspan_serve --store DIR [--addr HOST:PORT] [--workers N]
-//!              [--queue-capacity N] [--timeout-secs N] [--print-port]
+//!              [--queue-capacity N] [--timeout-secs N] [--dynamic]
+//!              [--print-port]
 //! ```
 //!
 //! * `--store` — directory of `.ftspan` artifacts (required). Every
 //!   artifact is loaded into the engine at startup under its file stem.
+//! * `--dynamic` — promote every flat artifact to a *dynamic* registration:
+//!   a `BuildRecipe` is re-derived from the artifact's own metadata
+//!   (algorithm, fault budget, stretch), the artifact is rebuilt from its
+//!   embedded source graph, and clients may then push `ApplyDeltas` frames
+//!   at it — the server patches or rebuilds off-lock and warm-swaps the new
+//!   version under live traffic. Sharded artifacts stay sharded (they have
+//!   no delta path). A flat artifact whose recipe cannot rebuild keeps its
+//!   flat registration, with a warning.
 //! * `--addr` — listen address (default `127.0.0.1:0`; port 0 lets the OS
 //!   pick).
 //! * `--workers` — batch-executing worker threads (default: one per CPU).
@@ -19,15 +28,21 @@
 //! The server runs until a client sends a `Shutdown` frame, then drains
 //! in-flight batches and exits 0, printing a final stats line.
 
-use fault_tolerant_spanners::{ArtifactStore, Engine};
+use fault_tolerant_spanners::prelude::SpannerRequest;
+use fault_tolerant_spanners::{ArtifactStore, BuildRecipe, DynamicArtifact, Engine};
 use ftspan_net::{Server, ServerConfig};
 use std::process::ExitCode;
 use std::time::Duration;
+
+/// Seed for the dynamic rebuilds of `--dynamic` promotion. Fixed so two
+/// servers promoting the same store serve byte-identical versions.
+const DYNAMIC_SEED: u64 = 2011;
 
 struct Args {
     store: Option<std::path::PathBuf>,
     addr: String,
     config: ServerConfig,
+    dynamic: bool,
     print_port: bool,
 }
 
@@ -36,6 +51,7 @@ fn parse_args() -> Args {
         store: None,
         addr: "127.0.0.1:0".to_string(),
         config: ServerConfig::default(),
+        dynamic: false,
         print_port: false,
     };
     let mut it = std::env::args().skip(1);
@@ -64,6 +80,7 @@ fn parse_args() -> Args {
                 args.config.read_timeout = Some(Duration::from_secs(secs));
                 args.config.write_timeout = Some(Duration::from_secs(secs));
             }
+            "--dynamic" => args.dynamic = true,
             "--print-port" => args.print_port = true,
             other => panic!("unknown argument `{other}` (see the ftspan_serve docs)"),
         }
@@ -100,6 +117,37 @@ fn main() -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
+    let mut dynamic_count = 0usize;
+    if args.dynamic {
+        for name in &names {
+            // Only flat registrations are promoted; sharded artifacts keep
+            // their scatter-gather serving path.
+            if engine.sharded_artifact(name).is_some() {
+                continue;
+            }
+            let Some(flat) = engine.artifact(name) else {
+                continue;
+            };
+            let request = SpannerRequest {
+                faults: flat.fault_budget(),
+                stretch: flat.stretch(),
+                ..SpannerRequest::default()
+            };
+            let recipe = BuildRecipe::new(flat.algorithm(), request, DYNAMIC_SEED);
+            match DynamicArtifact::build(flat.source_graph(), recipe) {
+                Ok(dynamic) => {
+                    engine.register_dynamic(name, dynamic);
+                    dynamic_count += 1;
+                }
+                Err(e) => {
+                    eprintln!(
+                        "ftspan_serve: cannot promote `{name}` to dynamic ({e}); \
+                         serving it as a flat artifact"
+                    );
+                }
+            }
+        }
+    }
 
     let server = match Server::bind(engine, args.addr.as_str(), args.config.clone()) {
         Ok(server) => server,
@@ -124,7 +172,8 @@ fn main() -> ExitCode {
     };
 
     eprintln!(
-        "ftspan_serve: serving {} artifact(s) [{}] on {addr} ({} workers, queue {})",
+        "ftspan_serve: serving {} artifact(s) [{}] on {addr} ({} workers, queue {}, \
+         {dynamic_count} dynamic)",
         names.len(),
         names.join(", "),
         args.config.workers,

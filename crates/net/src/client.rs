@@ -1,9 +1,9 @@
 //! A blocking client for the framed protocol.
 
 use crate::error::NetError;
-use crate::protocol::{ArtifactInfo, Request, Response, ServerStats};
+use crate::protocol::{ArtifactInfo, DeltaApplyInfo, Request, Response, ServerStats};
 use fault_tolerant_spanners::core::CoreError;
-use fault_tolerant_spanners::{Query, QueryOutcome};
+use fault_tolerant_spanners::{EdgeDelta, Query, QueryOutcome};
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -120,6 +120,30 @@ impl Client {
         match self.call(&Request::Stats)? {
             Response::Stats(stats) => Ok(stats),
             other => Err(unexpected(&other, "stats")),
+        }
+    }
+
+    /// Applies an edge-delta batch to a dynamic artifact on the server and
+    /// waits for the warm swap to complete. The inner `Result` is the same
+    /// typed outcome `Engine::apply_deltas` returns in-process (unknown or
+    /// non-dynamic artifact, invalid delta, concurrent-change retry); the
+    /// outer error is transport-level. A server mid-shutdown answers
+    /// `ShuttingDown`, surfaced here as a typed [`NetError::Io`].
+    pub fn apply_deltas(
+        &mut self,
+        artifact: &str,
+        deltas: &[EdgeDelta],
+    ) -> Result<Result<DeltaApplyInfo, CoreError>, NetError> {
+        let request = Request::ApplyDeltas {
+            artifact: artifact.to_string(),
+            deltas: deltas.to_vec(),
+        };
+        match self.call(&request)? {
+            Response::DeltasApplied(result) => Ok(result),
+            Response::ShuttingDown => Err(NetError::Io {
+                message: "server is shutting down: deltas were not applied".into(),
+            }),
+            other => Err(unexpected(&other, "deltas-applied")),
         }
     }
 

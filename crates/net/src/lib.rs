@@ -35,6 +35,7 @@ pub mod server;
 pub use client::{BatchReply, Client};
 pub use error::NetError;
 pub use protocol::{
-    ArtifactInfo, Request, Response, ServerStats, MAX_FRAME_LEN, PROTOCOL_MAGIC, PROTOCOL_VERSION,
+    ArtifactInfo, DeltaApplyInfo, Request, Response, ServerStats, MAX_FRAME_LEN, PROTOCOL_MAGIC,
+    PROTOCOL_VERSION,
 };
 pub use server::{RunningServer, Server, ServerConfig, ServerHandle};

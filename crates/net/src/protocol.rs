@@ -52,7 +52,7 @@ use crate::error::NetError;
 use fault_tolerant_spanners::core::{CoreError, FaultModel, StretchCertificate};
 use fault_tolerant_spanners::graph::{GraphError, NodeId};
 use fault_tolerant_spanners::lp::LpError;
-use fault_tolerant_spanners::{EngineStats, Query, QueryKind, QueryOutcome};
+use fault_tolerant_spanners::{EdgeDelta, EngineStats, Query, QueryKind, QueryOutcome};
 use std::io::{Read, Write};
 
 /// First four bytes of every frame.
@@ -60,7 +60,10 @@ pub const PROTOCOL_MAGIC: [u8; 4] = *b"FTNW";
 
 /// Protocol version carried in every frame; peers reject skewed versions
 /// with [`NetError::VersionSkew`] instead of misinterpreting payloads.
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// Version 2 added the [`Request::ApplyDeltas`] / [`Response::DeltasApplied`]
+/// frames and the dynamic-artifact counters in [`ServerStats`].
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Upper bound on a frame's declared payload length. Declaring more is
 /// [`NetError::FrameTooLarge`] — rejected before any allocation.
@@ -70,11 +73,13 @@ const TAG_REQ_BATCH: [u8; 4] = *b"QBAT";
 const TAG_REQ_LIST: [u8; 4] = *b"LIST";
 const TAG_REQ_STATS: [u8; 4] = *b"STAT";
 const TAG_REQ_SHUTDOWN: [u8; 4] = *b"SHUT";
+const TAG_REQ_APPLY_DELTAS: [u8; 4] = *b"ADLT";
 const TAG_RESP_BATCH: [u8; 4] = *b"RBAT";
 const TAG_RESP_LIST: [u8; 4] = *b"RLST";
 const TAG_RESP_STATS: [u8; 4] = *b"RSTA";
 const TAG_RESP_OVERLOADED: [u8; 4] = *b"OVLD";
 const TAG_RESP_SHUTTING_DOWN: [u8; 4] = *b"RSHD";
+const TAG_RESP_DELTAS_APPLIED: [u8; 4] = *b"RADL";
 
 /// What a client can ask a server.
 #[derive(Debug, Clone, PartialEq)]
@@ -90,6 +95,16 @@ pub enum Request {
     /// Ask the server to shut down gracefully, draining in-flight batches
     /// (acknowledged with [`Response::ShuttingDown`]).
     Shutdown,
+    /// Apply an edge-delta batch to a dynamic artifact and warm-swap the new
+    /// version in ([`Response::DeltasApplied`]). Deltas are sent bare —
+    /// sequence numbers are assigned by the server's delta log, so clients
+    /// never have to coordinate them.
+    ApplyDeltas {
+        /// Serving name of the dynamic artifact to evolve.
+        artifact: String,
+        /// The edge mutations, applied in order as one atomic batch.
+        deltas: Vec<EdgeDelta>,
+    },
 }
 
 /// What a server answers.
@@ -109,6 +124,25 @@ pub enum Response {
     /// The server is shutting down (sent for batches arriving during the
     /// drain, and as the acknowledgement of [`Request::Shutdown`]).
     ShuttingDown,
+    /// The outcome of a [`Request::ApplyDeltas`]: the swap summary on
+    /// success, or the same typed [`CoreError`] the in-process
+    /// `Engine::apply_deltas` would have returned.
+    DeltasApplied(Result<DeltaApplyInfo, CoreError>),
+}
+
+/// Summary of a completed delta apply ([`Response::DeltasApplied`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaApplyInfo {
+    /// Version number of the artifact now being served.
+    pub version: u64,
+    /// Deltas applied in this batch.
+    pub applied: u64,
+    /// Sequence number the server's delta log assigned to the batch's last
+    /// record.
+    pub last_seq: u64,
+    /// `true` when the new version came from a full rebuild rather than an
+    /// incremental patch.
+    pub rebuilt: bool,
 }
 
 /// One registered artifact, as reported by [`Response::Artifacts`].
@@ -252,6 +286,12 @@ impl Request {
             Request::ListArtifacts => (TAG_REQ_LIST, Vec::new()),
             Request::Stats => (TAG_REQ_STATS, Vec::new()),
             Request::Shutdown => (TAG_REQ_SHUTDOWN, Vec::new()),
+            Request::ApplyDeltas { artifact, deltas } => {
+                let mut buf = Vec::new();
+                put_str(&mut buf, artifact);
+                put_seq(&mut buf, deltas, put_edge_delta);
+                (TAG_REQ_APPLY_DELTAS, buf)
+            }
         };
         write_frame(w, tag, &payload)
     }
@@ -265,6 +305,10 @@ impl Request {
             TAG_REQ_LIST => Request::ListArtifacts,
             TAG_REQ_STATS => Request::Stats,
             TAG_REQ_SHUTDOWN => Request::Shutdown,
+            TAG_REQ_APPLY_DELTAS => Request::ApplyDeltas {
+                artifact: c.string("delta artifact")?,
+                deltas: c.seq(Cursor::edge_delta)?,
+            },
             _ => return Err(NetError::UnknownTag { tag }),
         };
         c.finish()?;
@@ -293,6 +337,23 @@ impl Response {
             }
             Response::Overloaded => (TAG_RESP_OVERLOADED, Vec::new()),
             Response::ShuttingDown => (TAG_RESP_SHUTTING_DOWN, Vec::new()),
+            Response::DeltasApplied(result) => {
+                let mut buf = Vec::new();
+                match result {
+                    Ok(info) => {
+                        put_u8(&mut buf, 0);
+                        put_u64(&mut buf, info.version);
+                        put_u64(&mut buf, info.applied);
+                        put_u64(&mut buf, info.last_seq);
+                        put_u8(&mut buf, u8::from(info.rebuilt));
+                    }
+                    Err(e) => {
+                        put_u8(&mut buf, 1);
+                        put_core_error(&mut buf, e);
+                    }
+                }
+                (TAG_RESP_DELTAS_APPLIED, buf)
+            }
         };
         write_frame(w, tag, &payload)
     }
@@ -307,6 +368,30 @@ impl Response {
             TAG_RESP_STATS => Response::Stats(c.server_stats()?),
             TAG_RESP_OVERLOADED => Response::Overloaded,
             TAG_RESP_SHUTTING_DOWN => Response::ShuttingDown,
+            TAG_RESP_DELTAS_APPLIED => {
+                Response::DeltasApplied(match c.u8("apply result kind")? {
+                    0 => Ok(DeltaApplyInfo {
+                        version: c.u64("apply field")?,
+                        applied: c.u64("apply field")?,
+                        last_seq: c.u64("apply field")?,
+                        rebuilt: match c.u8("apply rebuilt flag")? {
+                            0 => false,
+                            1 => true,
+                            other => {
+                                return Err(NetError::Malformed {
+                                    message: format!("invalid rebuilt discriminant {other}"),
+                                })
+                            }
+                        },
+                    }),
+                    1 => Err(c.core_error()?),
+                    other => {
+                        return Err(NetError::Malformed {
+                            message: format!("invalid apply result discriminant {other}"),
+                        })
+                    }
+                })
+            }
             _ => return Err(NetError::UnknownTag { tag }),
         };
         c.finish()?;
@@ -360,6 +445,28 @@ fn fault_model_code(m: FaultModel) -> u8 {
     match m {
         FaultModel::Vertex => 0,
         FaultModel::Edge => 1,
+    }
+}
+
+fn put_edge_delta(buf: &mut Vec<u8>, delta: &EdgeDelta) {
+    match delta {
+        EdgeDelta::Insert { u, v, weight } => {
+            put_u8(buf, 0);
+            put_node(buf, *u);
+            put_node(buf, *v);
+            put_f64(buf, *weight);
+        }
+        EdgeDelta::Delete { u, v } => {
+            put_u8(buf, 1);
+            put_node(buf, *u);
+            put_node(buf, *v);
+        }
+        EdgeDelta::Reweight { u, v, weight } => {
+            put_u8(buf, 2);
+            put_node(buf, *u);
+            put_node(buf, *v);
+            put_f64(buf, *weight);
+        }
     }
 }
 
@@ -544,6 +651,9 @@ fn put_server_stats(buf: &mut Vec<u8>, s: &ServerStats) {
     put_u64(buf, s.engine.planner_units);
     put_u64(buf, s.engine.cache_hits);
     put_u64(buf, s.engine.cache_misses);
+    put_u64(buf, s.engine.swaps);
+    put_u64(buf, s.engine.deltas_applied);
+    put_u64(buf, s.engine.rebuilds);
 }
 
 // ---------------------------------------------------------------------------
@@ -653,6 +763,28 @@ impl<'a> Cursor<'a> {
             1 => Ok(FaultModel::Edge),
             other => Err(NetError::Malformed {
                 message: format!("invalid fault model discriminant {other}"),
+            }),
+        }
+    }
+
+    fn edge_delta(&mut self) -> Result<EdgeDelta, NetError> {
+        match self.u8("delta kind")? {
+            0 => Ok(EdgeDelta::Insert {
+                u: self.node("delta endpoint")?,
+                v: self.node("delta endpoint")?,
+                weight: self.f64("delta weight")?,
+            }),
+            1 => Ok(EdgeDelta::Delete {
+                u: self.node("delta endpoint")?,
+                v: self.node("delta endpoint")?,
+            }),
+            2 => Ok(EdgeDelta::Reweight {
+                u: self.node("delta endpoint")?,
+                v: self.node("delta endpoint")?,
+                weight: self.f64("delta weight")?,
+            }),
+            other => Err(NetError::Malformed {
+                message: format!("invalid delta kind discriminant {other}"),
             }),
         }
     }
@@ -835,6 +967,9 @@ impl<'a> Cursor<'a> {
                 planner_units: self.u64("stats field")?,
                 cache_hits: self.u64("stats field")?,
                 cache_misses: self.u64("stats field")?,
+                swaps: self.u64("stats field")?,
+                deltas_applied: self.u64("stats field")?,
+                rebuilds: self.u64("stats field")?,
             },
         })
     }
@@ -895,6 +1030,29 @@ mod tests {
             Query::distance("edges", vec![], NodeId::new(0), NodeId::new(1))
                 .with_edge_faults(vec![(NodeId::new(0), NodeId::new(3))]),
         ]));
+        round_trip_request(Request::ApplyDeltas {
+            artifact: "backbone".into(),
+            deltas: vec![],
+        });
+        round_trip_request(Request::ApplyDeltas {
+            artifact: "backbone".into(),
+            deltas: vec![
+                EdgeDelta::Insert {
+                    u: NodeId::new(0),
+                    v: NodeId::new(7),
+                    weight: 1.5,
+                },
+                EdgeDelta::Delete {
+                    u: NodeId::new(3),
+                    v: NodeId::new(4),
+                },
+                EdgeDelta::Reweight {
+                    u: NodeId::new(2),
+                    v: NodeId::new(9),
+                    weight: 0.25,
+                },
+            ],
+        });
     }
 
     #[test]
@@ -923,8 +1081,20 @@ mod tests {
                 planner_units: 10,
                 cache_hits: 11,
                 cache_misses: 12,
+                swaps: 13,
+                deltas_applied: 14,
+                rebuilds: 15,
             },
         }));
+        round_trip_response(Response::DeltasApplied(Ok(DeltaApplyInfo {
+            version: 4,
+            applied: 17,
+            last_seq: 42,
+            rebuilt: true,
+        })));
+        round_trip_response(Response::DeltasApplied(Err(CoreError::UnknownArtifact {
+            name: "backbone".into(),
+        })));
 
         let errors: Vec<CoreError> = vec![
             CoreError::Graph(GraphError::NodeOutOfBounds { node: 9, len: 4 }),

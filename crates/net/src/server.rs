@@ -29,9 +29,9 @@
 //! is closed.
 
 use crate::error::NetError;
-use crate::protocol::{ArtifactInfo, Request, Response, ServerStats};
+use crate::protocol::{ArtifactInfo, DeltaApplyInfo, Request, Response, ServerStats};
 use fault_tolerant_spanners::core::CoreError;
-use fault_tolerant_spanners::{Engine, Query, QueryOutcome};
+use fault_tolerant_spanners::{EdgeDelta, Engine, Query, QueryOutcome, RebuildPolicy};
 use std::collections::VecDeque;
 use std::io::BufWriter;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -42,7 +42,7 @@ use std::thread;
 use std::time::Duration;
 
 /// Tuning knobs of a [`Server`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServerConfig {
     /// Worker threads executing admitted batches (clamped to at least 1).
     /// Defaults to one per available CPU.
@@ -55,6 +55,8 @@ pub struct ServerConfig {
     pub read_timeout: Option<Duration>,
     /// Per-connection write timeout for response frames.
     pub write_timeout: Option<Duration>,
+    /// Patch-vs-rebuild policy applied to [`Request::ApplyDeltas`] frames.
+    pub rebuild_policy: RebuildPolicy,
 }
 
 impl Default for ServerConfig {
@@ -64,6 +66,7 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             read_timeout: Some(Duration::from_secs(30)),
             write_timeout: Some(Duration::from_secs(30)),
+            rebuild_policy: RebuildPolicy::default(),
         }
     }
 }
@@ -165,6 +168,7 @@ struct Shared {
     engine: Engine,
     queue: BoundedQueue,
     counters: Counters,
+    rebuild_policy: RebuildPolicy,
     shutting_down: AtomicBool,
     /// Read-half handles of live connections, so shutdown can unblock
     /// threads parked in `read`. Writes stay open for drained responses.
@@ -193,10 +197,10 @@ impl Shared {
             .map(|name| {
                 let handle = self
                     .engine
-                    .artifact_handle(name)
+                    .artifact_handle(&name)
                     .expect("names() only lists registered artifacts");
                 ArtifactInfo {
-                    name: name.to_string(),
+                    name,
                     fault_model: handle.fault_model(),
                     fault_budget: handle.fault_budget() as u64,
                     stretch: handle.stretch(),
@@ -262,6 +266,7 @@ impl Server {
             engine,
             queue: BoundedQueue::new(config.queue_capacity),
             counters: Counters::default(),
+            rebuild_policy: config.rebuild_policy,
             shutting_down: AtomicBool::new(false),
             connections: Mutex::new(Vec::new()),
         });
@@ -485,11 +490,35 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
                 shared.queue.close();
                 Response::ShuttingDown
             }
+            // Runs inline on the connection thread, NOT on the worker pool:
+            // a minutes-long rebuild must not occupy a batch worker, and
+            // query traffic keeps flowing against the old version while the
+            // new one builds. One slow updater stalls only its own
+            // connection.
+            Request::ApplyDeltas { artifact, deltas } => {
+                apply_deltas_response(shared, &artifact, &deltas)
+            }
         };
         if response.write_to(&mut writer).is_err() {
             return;
         }
     }
+}
+
+fn apply_deltas_response(shared: &Arc<Shared>, artifact: &str, deltas: &[EdgeDelta]) -> Response {
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        return Response::ShuttingDown;
+    }
+    let result = shared
+        .engine
+        .apply_deltas(artifact, deltas, &shared.rebuild_policy)
+        .map(|report| DeltaApplyInfo {
+            version: report.version,
+            applied: report.applied as u64,
+            last_seq: report.last_seq,
+            rebuilt: !report.action.is_patch(),
+        });
+    Response::DeltasApplied(result)
 }
 
 fn run_batch_response(shared: &Arc<Shared>, queries: Vec<Query>) -> Response {

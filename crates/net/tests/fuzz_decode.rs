@@ -8,7 +8,9 @@
 use fault_tolerant_spanners::core::CoreError;
 use fault_tolerant_spanners::prelude::*;
 use fault_tolerant_spanners::QueryOutcome;
-use ftspan_net::{NetError, Request, Response, MAX_FRAME_LEN, PROTOCOL_MAGIC, PROTOCOL_VERSION};
+use ftspan_net::{
+    DeltaApplyInfo, NetError, Request, Response, MAX_FRAME_LEN, PROTOCOL_MAGIC, PROTOCOL_VERSION,
+};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -54,6 +56,28 @@ fn sample_request() -> Request {
     ])
 }
 
+fn sample_apply_request() -> Request {
+    Request::ApplyDeltas {
+        artifact: "backbone".into(),
+        deltas: vec![
+            EdgeDelta::Insert {
+                u: NodeId::new(3),
+                v: NodeId::new(9),
+                weight: 1.25,
+            },
+            EdgeDelta::Delete {
+                u: NodeId::new(0),
+                v: NodeId::new(5),
+            },
+            EdgeDelta::Reweight {
+                u: NodeId::new(3),
+                v: NodeId::new(9),
+                weight: 4.0,
+            },
+        ],
+    }
+}
+
 fn sample_response() -> Response {
     Response::Batch(vec![
         Ok(QueryOutcome::Distance(2.5)),
@@ -91,7 +115,7 @@ fn random_bytes_decode_to_typed_errors_without_panicking() {
 #[test]
 fn random_payloads_under_a_valid_header_never_panic() {
     let mut rng = ChaCha8Rng::seed_from_u64(0xF423);
-    let tags: [[u8; 4]; 4] = [*b"QBAT", *b"LIST", *b"RBAT", *b"RSTA"];
+    let tags: [[u8; 4]; 6] = [*b"QBAT", *b"LIST", *b"RBAT", *b"RSTA", *b"ADLT", *b"RADL"];
     for round in 0..2000 {
         let len = rng.gen_range(0..200usize);
         let payload: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
@@ -104,11 +128,22 @@ fn random_payloads_under_a_valid_header_never_panic() {
     }
 }
 
+fn sample_apply_response() -> Response {
+    Response::DeltasApplied(Ok(DeltaApplyInfo {
+        version: 4,
+        applied: 3,
+        last_seq: 17,
+        rebuilt: false,
+    }))
+}
+
 #[test]
 fn every_truncation_of_a_valid_frame_is_closed_or_truncated() {
     for wire in [
         encode_request(&sample_request()),
+        encode_request(&sample_apply_request()),
         encode_response(&sample_response()),
+        encode_response(&sample_apply_response()),
     ] {
         for cut in 0..wire.len() {
             let req = Request::read_from(&mut &wire[..cut]);
@@ -153,7 +188,9 @@ fn oversized_declared_lengths_are_rejected_before_any_payload_read() {
 
 #[test]
 fn version_skew_is_a_typed_error_carrying_both_versions() {
-    for found in [0u32, 2, 7, u32::MAX] {
+    // Version 1 (pre-`ApplyDeltas`) is now skew too: the codec refuses to
+    // guess what an older peer meant.
+    for found in [0u32, 1, 7, u32::MAX] {
         let wire = raw_frame(found, *b"QBAT", 0, b"");
         match Request::read_from(&mut &wire[..]) {
             Err(NetError::VersionSkew { found: f, expected }) => {
@@ -190,7 +227,9 @@ fn mutated_valid_frames_never_panic_and_errors_stay_typed() {
     let mut rng = ChaCha8Rng::seed_from_u64(0xF424);
     let originals = [
         encode_request(&sample_request()),
+        encode_request(&sample_apply_request()),
         encode_response(&sample_response()),
+        encode_response(&sample_apply_response()),
     ];
     for round in 0..4000 {
         let mut wire = originals[round % originals.len()].clone();

@@ -26,6 +26,19 @@
 //! session ([`Engine::run_batch_naive`]), at any worker count and any cache
 //! capacity.
 //!
+//! # Dynamic artifacts and warm hand-off
+//!
+//! An artifact registered through [`Engine::register_dynamic`] carries its
+//! build recipe and delta log (a [`DynamicArtifact`]) and can be evolved in
+//! place with [`Engine::apply_deltas`]: version `v_{k+1}` is built **outside
+//! the registry lock** — by incremental repair when the
+//! [`RebuildPolicy`] allows, by a full rebuild otherwise — while `v_k` keeps
+//! serving, then swapped in atomically. Every batch snapshots the registry
+//! exactly once before planning, so all of a batch's queries are answered by
+//! the same artifact version, and in-flight batches pin the version they
+//! started with (`Arc`) until their last query completes: **no query ever
+//! observes a half-swapped artifact**, and a swap never waits on queries.
+//!
 //! [`FaultSession`]: ftspan_core::FaultSession
 //! [`CachedSession`]: ftspan_core::CachedSession
 //!
@@ -56,11 +69,13 @@
 
 use crate::shard::{ShardedArtifact, ShardedSession};
 use ftspan_core::serve::{CachedSession, FaultSession, FtSpanner, StretchCertificate};
-use ftspan_core::{par, CoreError, FaultModel, Result};
+use ftspan_core::{
+    par, ApplyReport, CoreError, DynamicArtifact, EdgeDelta, FaultModel, RebuildPolicy, Result,
+};
 use ftspan_graph::NodeId;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// What a [`Query`] asks for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -197,12 +212,12 @@ impl Default for EngineConfig {
 /// A point-in-time snapshot of an [`Engine`]'s serving counters
 /// ([`Engine::stats`]).
 ///
-/// Counters accumulate across every [`Engine::run_batch`] call over the
-/// engine's lifetime (the naive reference executor
-/// [`Engine::run_batch_naive`] is deliberately uninstrumented). They are
-/// observability only — they never influence answers. Clones of an engine
-/// share one stats sink, so a server handing clones to worker threads reads
-/// fleet-wide totals from any of them.
+/// Counters accumulate across every [`Engine::run_batch`] and
+/// [`Engine::apply_deltas`] call over the engine's lifetime (the naive
+/// reference executor [`Engine::run_batch_naive`] is deliberately
+/// uninstrumented). They are observability only — they never influence
+/// answers. Clones of an engine share one stats sink, so a server handing
+/// clones to worker threads reads fleet-wide totals from any of them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct EngineStats {
     /// Batches executed through [`Engine::run_batch`].
@@ -220,6 +235,15 @@ pub struct EngineStats {
     /// traversal). Singleton units skip the cache machinery entirely and are
     /// counted in neither hits nor misses.
     pub cache_misses: u64,
+    /// Warm artifact swaps completed by [`Engine::apply_deltas`] (one per
+    /// successfully installed version).
+    pub swaps: u64,
+    /// Edge deltas applied across those swaps.
+    pub deltas_applied: u64,
+    /// Swaps whose new version came from a full rebuild rather than an
+    /// incremental patch (see
+    /// [`RebuildPolicy`]).
+    pub rebuilds: u64,
 }
 
 impl EngineStats {
@@ -246,6 +270,9 @@ struct StatsCell {
     planner_units: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    swaps: AtomicU64,
+    deltas_applied: AtomicU64,
+    rebuilds: AtomicU64,
 }
 
 impl StatsCell {
@@ -257,41 +284,58 @@ impl StatsCell {
             planner_units: self.planner_units.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            swaps: self.swaps.load(Ordering::Relaxed),
+            deltas_applied: self.deltas_applied.load(Ordering::Relaxed),
+            rebuilds: self.rebuilds.load(Ordering::Relaxed),
         }
     }
 }
 
-/// A registered serving target: one flat artifact, or a sharded one whose
-/// queries scatter-gather over a boundary overlay.
+/// A registered serving target: one flat artifact, a sharded one whose
+/// queries scatter-gather over a boundary overlay, or a dynamic one carrying
+/// its recipe and delta log. Every variant is an `Arc`, so a registry
+/// snapshot is a cheap map clone and an in-flight batch keeps the version it
+/// planned against alive across a concurrent swap.
 #[derive(Debug, Clone)]
 enum Registered {
     Single(Arc<FtSpanner>),
     Sharded(Arc<ShardedArtifact>),
+    Dynamic(Arc<DynamicArtifact>),
 }
 
-/// A borrowed view of a registered serving target, mirroring the two
-/// registration paths ([`Engine::register`] / [`Engine::register_sharded`])
-/// without forcing callers to guess which one a name went through.
+/// One consistent view of the registry: all queries of a batch are answered
+/// from a single snapshot, taken once before planning.
+type Snapshot = BTreeMap<String, Registered>;
+
+/// An owned view of a registered serving target, mirroring the three
+/// registration paths ([`Engine::register`] / [`Engine::register_sharded`] /
+/// [`Engine::register_dynamic`]) without forcing callers to guess which one
+/// a name went through.
 ///
 /// Obtained from [`Engine::artifact_handle`]. The uniform accessors
 /// (`fault_model`, `stretch`, [`ArtifactHandle::summary`], …) answer the
 /// questions a listing or routing layer asks without branching on the
-/// artifact kind; `as_single` / `as_sharded` recover the concrete type when
-/// a caller genuinely needs one shape.
-#[derive(Debug, Clone, Copy)]
-pub enum ArtifactHandle<'e> {
+/// artifact kind; `as_single` / `as_sharded` / `as_dynamic` recover the
+/// concrete type when a caller genuinely needs one shape. The handle holds
+/// `Arc`s, so it stays valid (pinned to the version it was taken at) even if
+/// the artifact is concurrently swapped or unregistered.
+#[derive(Debug, Clone)]
+pub enum ArtifactHandle {
     /// A flat artifact registered through [`Engine::register`].
-    Single(&'e FtSpanner),
+    Single(Arc<FtSpanner>),
     /// A sharded artifact registered through [`Engine::register_sharded`].
-    Sharded(&'e ShardedArtifact),
+    Sharded(Arc<ShardedArtifact>),
+    /// A dynamic artifact registered through [`Engine::register_dynamic`].
+    Dynamic(Arc<DynamicArtifact>),
 }
 
-impl<'e> ArtifactHandle<'e> {
+impl ArtifactHandle {
     /// Declared fault model.
     pub fn fault_model(&self) -> FaultModel {
         match self {
             ArtifactHandle::Single(a) => a.fault_model(),
             ArtifactHandle::Sharded(a) => a.fault_model(),
+            ArtifactHandle::Dynamic(d) => d.artifact().fault_model(),
         }
     }
 
@@ -300,6 +344,7 @@ impl<'e> ArtifactHandle<'e> {
         match self {
             ArtifactHandle::Single(a) => a.fault_budget(),
             ArtifactHandle::Sharded(a) => a.fault_budget(),
+            ArtifactHandle::Dynamic(d) => d.artifact().fault_budget(),
         }
     }
 
@@ -308,6 +353,7 @@ impl<'e> ArtifactHandle<'e> {
         match self {
             ArtifactHandle::Single(a) => a.stretch(),
             ArtifactHandle::Sharded(a) => a.stretch(),
+            ArtifactHandle::Dynamic(d) => d.artifact().stretch(),
         }
     }
 
@@ -316,6 +362,7 @@ impl<'e> ArtifactHandle<'e> {
         match self {
             ArtifactHandle::Single(a) => a.node_count(),
             ArtifactHandle::Sharded(a) => a.node_count(),
+            ArtifactHandle::Dynamic(d) => d.artifact().node_count(),
         }
     }
 
@@ -325,30 +372,42 @@ impl<'e> ArtifactHandle<'e> {
         match self {
             ArtifactHandle::Single(a) => a.spanner_edge_count(),
             ArtifactHandle::Sharded(a) => a.spanner_edge_count(),
+            ArtifactHandle::Dynamic(d) => d.artifact().spanner_edge_count(),
         }
     }
 
-    /// Number of shards, or `None` for a flat artifact.
+    /// Number of shards, or `None` for a flat or dynamic artifact.
     pub fn shard_count(&self) -> Option<usize> {
         match self {
-            ArtifactHandle::Single(_) => None,
+            ArtifactHandle::Single(_) | ArtifactHandle::Dynamic(_) => None,
             ArtifactHandle::Sharded(a) => Some(a.shard_count()),
         }
     }
 
-    /// The flat artifact underneath, if this handle is one.
-    pub fn as_single(&self) -> Option<&'e FtSpanner> {
+    /// The flat artifact underneath. For a dynamic registration this is the
+    /// currently served version — the handle's answer-giving shape is a
+    /// plain [`FtSpanner`] in both cases.
+    pub fn as_single(&self) -> Option<&FtSpanner> {
         match self {
             ArtifactHandle::Single(a) => Some(a),
+            ArtifactHandle::Dynamic(d) => Some(d.artifact()),
             ArtifactHandle::Sharded(_) => None,
         }
     }
 
     /// The sharded artifact underneath, if this handle is one.
-    pub fn as_sharded(&self) -> Option<&'e ShardedArtifact> {
+    pub fn as_sharded(&self) -> Option<&ShardedArtifact> {
         match self {
-            ArtifactHandle::Single(_) => None,
             ArtifactHandle::Sharded(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The dynamic artifact underneath, if this handle is one.
+    pub fn as_dynamic(&self) -> Option<&DynamicArtifact> {
+        match self {
+            ArtifactHandle::Dynamic(d) => Some(d),
+            _ => None,
         }
     }
 
@@ -365,8 +424,8 @@ impl<'e> ArtifactHandle<'e> {
     }
 }
 
-/// The serving-relevant shape of a registered artifact, uniform across flat
-/// and sharded registrations ([`Engine::artifact_summary`]).
+/// The serving-relevant shape of a registered artifact, uniform across flat,
+/// sharded and dynamic registrations ([`Engine::artifact_summary`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ArtifactSummary {
     /// Declared fault model.
@@ -384,20 +443,20 @@ pub struct ArtifactSummary {
     pub shards: Option<usize>,
 }
 
-/// A serving engine holding named, immutable [`FtSpanner`] artifacts and
-/// executing query batches through a session-reusing planner across worker
-/// threads.
+/// A serving engine holding named [`FtSpanner`] artifacts and executing
+/// query batches through a session-reusing planner across worker threads.
 ///
 /// Results are returned in input order and depend only on the artifacts and
 /// the queries — never on the worker count or the cache capacity — so
 /// repeated runs of the same batch are byte-identical.
 ///
-/// The engine keeps running [`EngineStats`] tallies (batches, queries,
-/// planner groups/units, source-cache hits and misses); clones share the
-/// same stats sink.
+/// Clones share everything: the artifact registry (so a swap through one
+/// clone is visible to all), the [`EngineStats`] sink, but each clone keeps
+/// its own [`EngineConfig`]. A server hands clones to worker threads and
+/// applies deltas through any of them.
 #[derive(Debug, Clone)]
 pub struct Engine {
-    artifacts: BTreeMap<String, Registered>,
+    artifacts: Arc<RwLock<Snapshot>>,
     config: EngineConfig,
     stats: Arc<StatsCell>,
 }
@@ -406,7 +465,7 @@ impl Engine {
     /// An empty engine with the default [`EngineConfig`].
     pub fn new() -> Self {
         Engine {
-            artifacts: BTreeMap::new(),
+            artifacts: Arc::new(RwLock::new(BTreeMap::new())),
             config: EngineConfig::default(),
             stats: Arc::new(StatsCell::default()),
         }
@@ -444,9 +503,23 @@ impl Engine {
         &self.config
     }
 
+    fn registry(&self) -> std::sync::RwLockReadGuard<'_, Snapshot> {
+        self.artifacts.read().expect("artifact registry poisoned")
+    }
+
+    fn registry_mut(&self) -> std::sync::RwLockWriteGuard<'_, Snapshot> {
+        self.artifacts.write().expect("artifact registry poisoned")
+    }
+
+    /// One consistent view of the registry for a whole batch: a cheap map
+    /// clone of `Arc`s taken under the read lock.
+    fn snapshot(&self) -> Snapshot {
+        self.registry().clone()
+    }
+
     /// Registers (or replaces) an artifact under `name`.
     pub fn register(&mut self, name: &str, artifact: FtSpanner) -> &mut Self {
-        self.artifacts
+        self.registry_mut()
             .insert(name.to_string(), Registered::Single(Arc::new(artifact)));
         self
     }
@@ -456,61 +529,176 @@ impl Engine {
     /// (scatter-gather over the boundary overlay) is an engine concern, not
     /// a client concern.
     pub fn register_sharded(&mut self, name: &str, artifact: ShardedArtifact) -> &mut Self {
-        self.artifacts
+        self.registry_mut()
             .insert(name.to_string(), Registered::Sharded(Arc::new(artifact)));
+        self
+    }
+
+    /// Registers (or replaces) a dynamic artifact under `name`. Dynamic
+    /// artifacts serve the same [`Query`] values as flat ones and can be
+    /// evolved in place with [`Engine::apply_deltas`].
+    pub fn register_dynamic(&mut self, name: &str, artifact: DynamicArtifact) -> &mut Self {
+        self.registry_mut()
+            .insert(name.to_string(), Registered::Dynamic(Arc::new(artifact)));
         self
     }
 
     /// Looks up any registered artifact as a kind-agnostic
     /// [`ArtifactHandle`]. This is the one accessor listing and routing
-    /// layers need; [`Engine::artifact`] / [`Engine::sharded_artifact`]
-    /// remain as kind-specific conveniences built on top of it.
-    pub fn artifact_handle(&self, name: &str) -> Option<ArtifactHandle<'_>> {
-        Some(match self.artifacts.get(name)? {
-            Registered::Single(a) => ArtifactHandle::Single(a.as_ref()),
-            Registered::Sharded(a) => ArtifactHandle::Sharded(a.as_ref()),
+    /// layers need; [`Engine::artifact`] / [`Engine::sharded_artifact`] /
+    /// [`Engine::dynamic_artifact`] remain as kind-specific conveniences
+    /// built on top of it.
+    pub fn artifact_handle(&self, name: &str) -> Option<ArtifactHandle> {
+        Some(match self.registry().get(name)? {
+            Registered::Single(a) => ArtifactHandle::Single(Arc::clone(a)),
+            Registered::Sharded(a) => ArtifactHandle::Sharded(Arc::clone(a)),
+            Registered::Dynamic(d) => ArtifactHandle::Dynamic(Arc::clone(d)),
         })
     }
 
-    /// Looks up a registered *flat* artifact (`None` for names registered
-    /// through [`Engine::register_sharded`]; use
-    /// [`Engine::artifact_handle`] for a kind-agnostic view).
-    pub fn artifact(&self, name: &str) -> Option<&FtSpanner> {
-        self.artifact_handle(name)?.as_single()
+    /// Looks up the served [`FtSpanner`] of a flat **or dynamic**
+    /// registration (for a dynamic one: the currently served version).
+    /// `None` for names registered through [`Engine::register_sharded`]; use
+    /// [`Engine::artifact_handle`] for a kind-agnostic view.
+    pub fn artifact(&self, name: &str) -> Option<Arc<FtSpanner>> {
+        match self.registry().get(name)? {
+            Registered::Single(a) => Some(Arc::clone(a)),
+            Registered::Dynamic(d) => Some(d.artifact_arc()),
+            Registered::Sharded(_) => None,
+        }
     }
 
     /// Looks up a registered *sharded* artifact.
-    pub fn sharded_artifact(&self, name: &str) -> Option<&ShardedArtifact> {
-        self.artifact_handle(name)?.as_sharded()
+    pub fn sharded_artifact(&self, name: &str) -> Option<Arc<ShardedArtifact>> {
+        match self.registry().get(name)? {
+            Registered::Sharded(a) => Some(Arc::clone(a)),
+            _ => None,
+        }
+    }
+
+    /// Looks up a registered *dynamic* artifact (the current version — a
+    /// concurrent [`Engine::apply_deltas`] replaces the registry slot, never
+    /// the value this `Arc` points at).
+    pub fn dynamic_artifact(&self, name: &str) -> Option<Arc<DynamicArtifact>> {
+        match self.registry().get(name)? {
+            Registered::Dynamic(d) => Some(Arc::clone(d)),
+            _ => None,
+        }
     }
 
     /// The serving-relevant shape of a registered artifact, uniform across
-    /// flat and sharded registrations.
+    /// flat, sharded and dynamic registrations.
     pub fn artifact_summary(&self, name: &str) -> Option<ArtifactSummary> {
         Some(self.artifact_handle(name)?.summary())
     }
 
     /// The registered artifact names, sorted.
-    pub fn names(&self) -> Vec<&str> {
-        self.artifacts.keys().map(String::as_str).collect()
+    pub fn names(&self) -> Vec<String> {
+        self.registry().keys().cloned().collect()
     }
 
     /// Number of registered artifacts.
     pub fn len(&self) -> usize {
-        self.artifacts.len()
+        self.registry().len()
     }
 
     /// Returns `true` if no artifact is registered.
     pub fn is_empty(&self) -> bool {
-        self.artifacts.is_empty()
+        self.registry().is_empty()
     }
 
-    fn lookup(&self, query: &Query) -> Result<&Registered> {
-        self.artifacts
+    /// Applies a delta batch to the dynamic artifact registered under
+    /// `name`, building the next version **off the registry lock** and then
+    /// swapping it in atomically.
+    ///
+    /// # Warm hand-off
+    ///
+    /// The sequence is: take the current version's `Arc` under a read lock;
+    /// release the lock; run [`DynamicArtifact::apply`] (incremental repair
+    /// or full rebuild per `policy`) while queries keep being served from
+    /// the old version; re-take the lock for writing and swap the registry
+    /// slot only if it still holds the version the batch was computed
+    /// against (compare-and-swap on `Arc` identity). Batches that snapshot
+    /// the registry before the swap finish against the old version —
+    /// answers within one batch are always single-version — and the old
+    /// version is freed when its last in-flight batch drops it.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownArtifact`] when `name` is not registered;
+    /// [`CoreError::InvalidParameter`] when `name` is not a dynamic
+    /// registration, when the batch is empty or invalid (see
+    /// [`DynamicArtifact::apply`]), or when a concurrent `apply_deltas` /
+    /// re-registration replaced the artifact while this batch was building —
+    /// in that case nothing is swapped and the caller should retry against
+    /// the new current version.
+    pub fn apply_deltas(
+        &self,
+        name: &str,
+        deltas: &[EdgeDelta],
+        policy: &RebuildPolicy,
+    ) -> Result<ApplyReport> {
+        let current = match self.registry().get(name) {
+            None => {
+                return Err(CoreError::UnknownArtifact {
+                    name: name.to_string(),
+                })
+            }
+            Some(Registered::Dynamic(d)) => Arc::clone(d),
+            Some(_) => {
+                return Err(CoreError::InvalidParameter {
+                    message: format!(
+                        "artifact `{name}` was not registered as dynamic; register it \
+                         through Engine::register_dynamic to apply deltas"
+                    ),
+                })
+            }
+        };
+        // Build v_{k+1} with no lock held: v_k keeps serving throughout.
+        let (next, report) = current.apply(deltas, policy)?;
+        let next = Arc::new(next);
+        {
+            let mut registry = self.registry_mut();
+            match registry.get_mut(name) {
+                Some(Registered::Dynamic(slot)) if Arc::ptr_eq(slot, &current) => {
+                    *slot = next;
+                }
+                _ => {
+                    return Err(CoreError::InvalidParameter {
+                        message: format!(
+                            "artifact `{name}` changed while the delta batch was \
+                             building; retry against the current version"
+                        ),
+                    })
+                }
+            }
+        }
+        self.stats
+            .deltas_applied
+            .fetch_add(report.applied as u64, Ordering::Relaxed);
+        self.stats.swaps.fetch_add(1, Ordering::Relaxed);
+        if !report.action.is_patch() {
+            self.stats.rebuilds.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(report)
+    }
+
+    fn lookup<'s>(snapshot: &'s Snapshot, query: &Query) -> Result<&'s Registered> {
+        snapshot
             .get(&query.artifact)
             .ok_or_else(|| CoreError::UnknownArtifact {
                 name: query.artifact.clone(),
             })
+    }
+
+    /// The flat serving surface of a registered target: a dynamic artifact
+    /// answers queries exactly like its currently served [`FtSpanner`].
+    fn as_flat(registered: &Registered) -> Option<&FtSpanner> {
+        match registered {
+            Registered::Single(a) => Some(a),
+            Registered::Dynamic(d) => Some(d.artifact()),
+            Registered::Sharded(_) => None,
+        }
     }
 
     /// Opens the session a query asks for on a flat artifact, mirroring the
@@ -566,9 +754,14 @@ impl Engine {
         }
     }
 
-    fn answer(&self, query: &Query) -> Result<QueryOutcome> {
-        match self.lookup(query)? {
-            Registered::Single(artifact) => {
+    fn answer(&self, snapshot: &Snapshot, query: &Query) -> Result<QueryOutcome> {
+        match Self::lookup(snapshot, query)? {
+            Registered::Sharded(artifact) => {
+                let mut session = self.open_sharded(artifact, query)?;
+                Self::answer_sharded(&mut session, query)
+            }
+            registered => {
+                let artifact = Self::as_flat(registered).expect("non-sharded target is flat");
                 let session = self.open_single(artifact, query)?;
                 Ok(match query.kind {
                     QueryKind::Distance => {
@@ -579,10 +772,6 @@ impl Engine {
                         QueryOutcome::Certificate(session.stretch_certificate(query.u, query.v)?)
                     }
                 })
-            }
-            Registered::Sharded(artifact) => {
-                let mut session = self.open_sharded(artifact, query)?;
-                Self::answer_sharded(&mut session, query)
             }
         }
     }
@@ -616,31 +805,25 @@ impl Engine {
     /// shared session cannot be opened, every query is answered naively so
     /// each reports exactly the error it would have produced on its own —
     /// error queries never poison their group.
-    fn run_unit(&self, queries: &[Query], indices: &[usize]) -> Vec<Result<QueryOutcome>> {
+    fn run_unit(
+        &self,
+        snapshot: &Snapshot,
+        queries: &[Query],
+        indices: &[usize],
+    ) -> Vec<Result<QueryOutcome>> {
         // A unit of one query has nothing to reuse; skip the cache
         // machinery (the cache is transparent, so the answer is identical).
         if let [i] = indices {
-            return vec![self.answer(&queries[*i])];
+            return vec![self.answer(snapshot, &queries[*i])];
         }
         let naive = |indices: &[usize]| -> Vec<Result<QueryOutcome>> {
-            indices.iter().map(|&i| self.answer(&queries[i])).collect()
+            indices
+                .iter()
+                .map(|&i| self.answer(snapshot, &queries[i]))
+                .collect()
         };
-        match self.lookup(&queries[indices[0]]) {
+        match Self::lookup(snapshot, &queries[indices[0]]) {
             Err(_) => naive(indices),
-            Ok(Registered::Single(artifact)) => {
-                match self.open_single(artifact, &queries[indices[0]]) {
-                    Ok(session) => {
-                        let mut cached = session.cached(self.config.source_cache_capacity);
-                        let results = indices
-                            .iter()
-                            .map(|&i| self.answer_cached(&mut cached, &queries[i]))
-                            .collect();
-                        self.record_cache(cached.cache_stats());
-                        results
-                    }
-                    Err(_) => naive(indices),
-                }
-            }
             Ok(Registered::Sharded(artifact)) => {
                 match self.open_sharded(artifact, &queries[indices[0]]) {
                     Ok(mut session) => {
@@ -649,6 +832,21 @@ impl Engine {
                             .map(|&i| Self::answer_sharded(&mut session, &queries[i]))
                             .collect();
                         self.record_cache(session.cache_stats());
+                        results
+                    }
+                    Err(_) => naive(indices),
+                }
+            }
+            Ok(registered) => {
+                let artifact = Self::as_flat(registered).expect("non-sharded target is flat");
+                match self.open_single(artifact, &queries[indices[0]]) {
+                    Ok(session) => {
+                        let mut cached = session.cached(self.config.source_cache_capacity);
+                        let results = indices
+                            .iter()
+                            .map(|&i| self.answer_cached(&mut cached, &queries[i]))
+                            .collect();
+                        self.record_cache(cached.cache_stats());
                         results
                     }
                     Err(_) => naive(indices),
@@ -669,8 +867,11 @@ impl Engine {
     /// Executes a batch of queries through the query planner and returns one
     /// result per query **in input order**.
     ///
-    /// The planner canonicalizes each query's fault scope, groups the batch
-    /// by `(artifact, fault scope)`, builds each group's session **once**,
+    /// The planner snapshots the registry **once** (so every query in the
+    /// batch — and every retry inside it — sees the same artifact
+    /// versions, even while [`Engine::apply_deltas`] swaps concurrently),
+    /// canonicalizes each query's fault scope, groups the batch by
+    /// `(artifact, fault scope)`, builds each group's session **once**,
     /// reuses per-source Dijkstra trees within a group
     /// ([`EngineConfig::source_cache_capacity`]) and fans the groups out
     /// across the worker pool (large groups are split so a single hot scope
@@ -684,6 +885,7 @@ impl Engine {
         if queries.is_empty() {
             return Vec::new();
         }
+        let snapshot = self.snapshot();
         let workers = self.config.workers.max(1).min(queries.len());
 
         // Group by canonical (artifact, fault scope).
@@ -717,7 +919,9 @@ impl Engine {
             .planner_units
             .fetch_add(units.len() as u64, Ordering::Relaxed);
 
-        let per_unit = par::map(workers, units.len(), |i| self.run_unit(queries, &units[i]));
+        let per_unit = par::map(workers, units.len(), |i| {
+            self.run_unit(&snapshot, queries, &units[i])
+        });
 
         let mut results: Vec<Option<Result<QueryOutcome>>> = vec![None; queries.len()];
         for (unit, unit_results) in units.iter().zip(per_unit) {
@@ -732,14 +936,16 @@ impl Engine {
     }
 
     /// The reference executor: answers every query sequentially in its own
-    /// fresh session, with no planning, grouping or caching.
+    /// fresh session, with no planning, grouping or caching (it still
+    /// snapshots the registry once, so its batches are single-version too).
     ///
     /// This is the semantics [`Engine::run_batch`] is pinned against (the
     /// planner must be observationally transparent); it exists for tests,
     /// benchmarks and debugging — serving traffic should use
     /// [`Engine::run_batch`].
     pub fn run_batch_naive(&self, queries: &[Query]) -> Vec<Result<QueryOutcome>> {
-        queries.iter().map(|q| self.answer(q)).collect()
+        let snapshot = self.snapshot();
+        queries.iter().map(|q| self.answer(&snapshot, q)).collect()
     }
 }
 
@@ -786,6 +992,7 @@ impl Default for Engine {
 mod tests {
     use super::*;
     use crate::FtSpannerBuilder;
+    use ftspan_core::{BuildRecipe, DynamicArtifact, SpannerRequest};
     use ftspan_graph::generate;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
@@ -801,6 +1008,17 @@ mod tests {
         let mut engine = Engine::new();
         engine.register("net", artifact);
         (engine, n)
+    }
+
+    fn dynamic_recipe(faults: usize) -> BuildRecipe {
+        let request = SpannerRequest {
+            faults,
+            stretch: 3.0,
+            iterations: Some(6),
+            threads: Some(1),
+            ..SpannerRequest::default()
+        };
+        BuildRecipe::new("corollary-2.2", request, 2011)
     }
 
     #[test]
@@ -873,32 +1091,46 @@ mod tests {
         let config = ftspan_graph::partition::PartitionConfig::new(3).with_seed(60);
         let sharded = crate::shard::ShardedArtifact::build(&g, &builder, &config).unwrap();
         engine.register_sharded("backbone", sharded);
+        let live = DynamicArtifact::build(&g, dynamic_recipe(1)).unwrap();
+        engine.register_dynamic("live", live);
 
         // The handle answers shape questions without branching on kind, and
         // its summary is exactly what artifact_summary reports.
-        for name in ["net", "backbone"] {
+        for name in ["net", "backbone", "live"] {
             let handle = engine.artifact_handle(name).unwrap();
             assert_eq!(Some(handle.summary()), engine.artifact_summary(name));
         }
         assert!(engine.artifact_handle("missing").is_none());
 
-        // Kind-specific recovery mirrors Registered::{Single, Sharded}.
+        // Kind-specific recovery mirrors Registered::{Single, Sharded,
+        // Dynamic}.
         let flat = engine.artifact_handle("net").unwrap();
         assert!(flat.as_single().is_some());
         assert!(flat.as_sharded().is_none());
+        assert!(flat.as_dynamic().is_none());
         assert_eq!(flat.shard_count(), None);
         let sharded = engine.artifact_handle("backbone").unwrap();
         assert!(sharded.as_single().is_none());
         assert!(sharded.as_sharded().is_some());
+        assert!(sharded.as_dynamic().is_none());
         assert_eq!(sharded.shard_count(), Some(3));
         assert_eq!(sharded.node_count(), 30);
+        let dynamic = engine.artifact_handle("live").unwrap();
+        assert!(dynamic.as_dynamic().is_some());
+        assert!(dynamic.as_sharded().is_none());
+        // A dynamic handle's serving surface is its current flat version.
+        assert!(dynamic.as_single().is_some());
+        assert_eq!(dynamic.shard_count(), None);
 
         // The legacy kind-specific accessors are now thin wrappers; they
         // must agree with the handle.
         assert!(engine.artifact("net").is_some());
         assert!(engine.artifact("backbone").is_none());
+        assert!(engine.artifact("live").is_some());
         assert!(engine.sharded_artifact("backbone").is_some());
         assert!(engine.sharded_artifact("net").is_none());
+        assert!(engine.dynamic_artifact("live").is_some());
+        assert!(engine.dynamic_artifact("net").is_none());
     }
 
     #[test]
@@ -1141,5 +1373,135 @@ mod tests {
             Err(CoreError::FaultModelMismatch { .. })
         ));
         assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn apply_deltas_swaps_the_served_version_and_counts_it() {
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let g = generate::connected_gnp(20, 0.3, generate::WeightKind::Unit, &mut rng);
+        let live = DynamicArtifact::build(&g, dynamic_recipe(1)).unwrap();
+        let mut engine = Engine::new();
+        engine.register_dynamic("live", live);
+        let v1 = engine.dynamic_artifact("live").unwrap();
+        assert_eq!(v1.version(), 1);
+
+        // Insert a fresh edge through a *clone*: the registry is shared, so
+        // the original engine serves the new version after the swap.
+        let clone = engine.clone();
+        let fresh = (0..20)
+            .flat_map(|u| (u + 1..20).map(move |v| (u, v)))
+            .find(|&(u, v)| g.find_edge(NodeId::new(u), NodeId::new(v)).is_none())
+            .map(|(u, v)| EdgeDelta::Insert {
+                u: NodeId::new(u),
+                v: NodeId::new(v),
+                weight: 1.0,
+            })
+            .expect("a G(20, 0.3) draw is not complete");
+        let report = clone
+            .apply_deltas(
+                "live",
+                std::slice::from_ref(&fresh),
+                &RebuildPolicy::always_patch(),
+            )
+            .unwrap();
+        assert_eq!(report.version, 2);
+        assert_eq!(report.applied, 1);
+        assert!(report.action.is_patch(), "always_patch must patch");
+
+        let v2 = engine.dynamic_artifact("live").unwrap();
+        assert_eq!(v2.version(), 2);
+        assert_eq!(v2.applied_seq(), 1);
+        // The pre-swap handle still pins version 1 — in-flight batches that
+        // snapshotted before the swap keep answering from it.
+        assert_eq!(v1.version(), 1);
+
+        let stats = engine.stats();
+        assert_eq!(stats.swaps, 1);
+        assert_eq!(stats.deltas_applied, 1);
+        assert_eq!(stats.rebuilds, 0);
+
+        // Force the rebuild path; the rebuild counter moves.
+        let (fu, fv) = fresh.endpoints();
+        let report = engine
+            .apply_deltas(
+                "live",
+                &[EdgeDelta::Delete { u: fu, v: fv }],
+                &RebuildPolicy::always_rebuild(),
+            )
+            .unwrap();
+        assert!(!report.action.is_patch());
+        let stats = engine.stats();
+        assert_eq!(stats.swaps, 2);
+        assert_eq!(stats.deltas_applied, 2);
+        assert_eq!(stats.rebuilds, 1);
+        assert_eq!(engine.dynamic_artifact("live").unwrap().version(), 3);
+
+        // Both swapped versions answer queries through the normal path.
+        let results = engine.run_batch(&[Query::distance(
+            "live",
+            vec![NodeId::new(2)],
+            NodeId::new(0),
+            NodeId::new(5),
+        )]);
+        assert!(results[0].is_ok());
+    }
+
+    #[test]
+    fn apply_deltas_rejects_missing_and_non_dynamic_targets() {
+        let (engine, _) = engine_with_artifact(22);
+        let delta = EdgeDelta::Delete {
+            u: NodeId::new(0),
+            v: NodeId::new(1),
+        };
+        assert!(matches!(
+            engine.apply_deltas(
+                "missing",
+                std::slice::from_ref(&delta),
+                &RebuildPolicy::default()
+            ),
+            Err(CoreError::UnknownArtifact { .. })
+        ));
+        // `net` is a flat registration: deltas need a recipe to replay.
+        assert!(matches!(
+            engine.apply_deltas("net", &[delta], &RebuildPolicy::default()),
+            Err(CoreError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn swapped_version_answers_like_a_fresh_build_on_the_post_delta_graph() {
+        let mut rng = ChaCha8Rng::seed_from_u64(23);
+        let g = generate::connected_gnp(18, 0.35, generate::WeightKind::Unit, &mut rng);
+        let live = DynamicArtifact::build(&g, dynamic_recipe(1)).unwrap();
+        let mut engine = Engine::new();
+        engine.register_dynamic("live", live);
+
+        let (_, doomed) = g.edges().next().unwrap();
+        let doomed = *doomed;
+        let deltas = vec![
+            EdgeDelta::Delete {
+                u: doomed.u,
+                v: doomed.v,
+            },
+            EdgeDelta::Insert {
+                u: doomed.u,
+                v: doomed.v,
+                weight: 2.5,
+            },
+        ];
+        engine
+            .apply_deltas("live", &deltas, &RebuildPolicy::default())
+            .unwrap();
+
+        // A from-scratch dynamic build on the replayed graph must be the
+        // same artifact, and the engine must serve identical answers.
+        let replayed = engine
+            .dynamic_artifact("live")
+            .unwrap()
+            .log()
+            .replay(&g)
+            .unwrap();
+        let fresh = DynamicArtifact::build(&replayed, dynamic_recipe(1)).unwrap();
+        assert_eq!(fresh.artifact(), engine.artifact("live").unwrap().as_ref());
     }
 }

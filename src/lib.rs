@@ -17,9 +17,14 @@
 //! sessions answer `distance` / `path` / `stretch_certificate` queries; the
 //! batched [`Engine`] serves named artifacts through a session-reusing query
 //! planner (grouped fault scopes, per-source Dijkstra caching, worker
-//! threads — see [`EngineConfig`]); and artifacts persist as versioned
+//! threads — see [`EngineConfig`]); artifacts persist as versioned
 //! binary `.ftspan` files through the directory-backed [`ArtifactStore`] —
-//! build once, query many.
+//! build once, query many. When the graph churns, a
+//! [`DynamicArtifact`] registered through
+//! [`Engine::register_dynamic`] absorbs edge deltas in place:
+//! [`Engine::apply_deltas`] builds the next version off-lock (incremental
+//! repair where the construction's locality allows, full rebuild otherwise)
+//! and swaps it in atomically under live query load.
 //!
 //! # Quickstart
 //!
@@ -156,9 +161,13 @@ pub use engine::{
     ArtifactHandle, ArtifactSummary, Engine, EngineConfig, EngineStats, Query, QueryKind,
     QueryOutcome,
 };
+pub use ftspan_core::{
+    ApplyAction, ApplyReport, BuildRecipe, DeltaLog, DynamicArtifact, EdgeDelta, RebuildPolicy,
+    RebuildReason, SequencedDelta,
+};
 pub use registry::registry;
 pub use shard::{CutEdge, ShardedArtifact, ShardedSession};
-pub use store::{ArtifactStore, ARTIFACT_EXTENSION, SHARD_MANIFEST_EXTENSION};
+pub use store::{ArtifactStore, ARTIFACT_EXTENSION, DELTA_LOG_EXTENSION, SHARD_MANIFEST_EXTENSION};
 
 /// The most commonly used items, re-exported flat for convenient glob
 /// imports in examples and applications.
@@ -186,6 +195,13 @@ pub mod prelude {
     pub use crate::store::ArtifactStore;
     pub use ftspan_core::{
         CacheStats, CachedSession, FaultSession, FtSpanner, FtSpannerView, StretchCertificate,
+    };
+
+    // The dynamic-graph subsystem: delta logs, build recipes, incremental
+    // repair and the warm hand-off policy knobs.
+    pub use ftspan_core::{
+        ApplyAction, ApplyReport, BuildRecipe, DeltaLog, DynamicArtifact, EdgeDelta, RebuildPolicy,
+        RebuildReason, SequencedDelta,
     };
 
     // Combinatorial lower bounds, reported alongside construction sizes.
