@@ -180,6 +180,10 @@ enum Family {
     Grid,
     /// `random_near_regular(n, degree)` — the bounded-degree family.
     NearRegular,
+    /// [`GeneratorSpec::PlanarMesh`] — the road-network-like jittered mesh.
+    PlanarMesh,
+    /// [`GeneratorSpec::Hyperbolic`] — heavy-tailed degrees, tight core.
+    Hyperbolic,
     /// `directed_gnp(n, p)` for the 2-spanner problem.
     DirectedGnp,
 }
@@ -281,6 +285,26 @@ pub fn all() -> Vec<Scenario> {
             workload: Workload::Construction {
                 algorithm: "conversion",
                 family: Family::NearRegular,
+                faults: 1,
+                samples: None,
+            },
+        },
+        Scenario {
+            name: "construct-planar-mesh",
+            description: "Theorem 2.1 conversion (r = 1) on a road-network-like jittered planar mesh",
+            workload: Workload::Construction {
+                algorithm: "conversion",
+                family: Family::PlanarMesh,
+                faults: 1,
+                samples: None,
+            },
+        },
+        Scenario {
+            name: "construct-hyperbolic",
+            description: "Theorem 2.1 conversion (r = 1) on a hyperbolic random graph (heavy-tailed degrees)",
+            workload: Workload::Construction {
+                algorithm: "conversion",
+                family: Family::Hyperbolic,
                 faults: 1,
                 samples: None,
             },
@@ -1375,8 +1399,48 @@ fn undirected_input(family: Family, profile: Profile, rng: &mut ChaCha8Rng) -> G
         (Family::Grid, Profile::Full) => generate::grid(16, 16),
         (Family::NearRegular, Profile::Ci) => generate::random_near_regular(48, 6, rng),
         (Family::NearRegular, Profile::Full) => generate::random_near_regular(120, 6, rng),
+        (Family::PlanarMesh, Profile::Ci) => planar_mesh_input(8, 9, rng),
+        (Family::PlanarMesh, Profile::Full) => planar_mesh_input(16, 16, rng),
+        (Family::Hyperbolic, Profile::Ci) => hyperbolic_input(64, rng),
+        (Family::Hyperbolic, Profile::Full) => hyperbolic_input(160, rng),
         (Family::DirectedGnp, _) => unreachable!("directed families use directed_input"),
     }
+}
+
+/// A seeded road-network-like mesh through the [`GeneratorSpec`] path (the
+/// same generator the adversarial battery sweeps).
+fn planar_mesh_input(rows: usize, cols: usize, rng: &mut ChaCha8Rng) -> Graph {
+    GeneratorSpec::PlanarMesh {
+        rows,
+        cols,
+        diagonal_p: 0.4,
+        jitter: 0.25,
+        seed: rng.gen(),
+    }
+    .generate()
+    .expect("mesh parameters are valid")
+}
+
+/// A seeded *connected* hyperbolic instance: connectivity is seed-dependent
+/// at these sizes, so the first connected seed in a fixed window derived
+/// from the scenario stream is used — deterministic for a fixed base seed.
+fn hyperbolic_input(nodes: usize, rng: &mut ChaCha8Rng) -> Graph {
+    let radius = 2.0 * (nodes as f64).ln() * 0.55;
+    let base: u64 = rng.gen();
+    for offset in 0..64 {
+        let g = GeneratorSpec::Hyperbolic {
+            nodes,
+            alpha: 0.75,
+            radius,
+            seed: base.wrapping_add(offset),
+        }
+        .generate()
+        .expect("hyperbolic parameters are valid");
+        if g.is_connected() {
+            return g;
+        }
+    }
+    panic!("no connected hyperbolic instance with {nodes} nodes in 64 seeds; retune alpha/radius")
 }
 
 fn directed_input(profile: Profile, rng: &mut ChaCha8Rng) -> DiGraph {
@@ -1654,6 +1718,8 @@ mod tests {
                 "conversion-gnp",
                 "conversion-grid",
                 "conversion-regular",
+                "construct-planar-mesh",
+                "construct-hyperbolic",
                 "corollary22-gnp-r2",
                 "edge-fault-gnp",
                 "adaptive-gnp",

@@ -1,0 +1,183 @@
+//! Differential battery for [`ftspan_bench::hist::Histogram`]: every
+//! reported quantile is checked against the exact order statistic of the
+//! same stream, with the histogram's advertised error bound — exact below
+//! 128, at most one sub-bucket (~1.6%) of relative error above — enforced
+//! per query, across several value distributions, plus the q = 0 / q = 1
+//! edges and merge identities.
+
+use ftspan_bench::hist::Histogram;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// The exact rank the histogram promises: the smallest value such that at
+/// least `ceil(q * count)` recorded values fall at or below it.
+fn exact_order_statistic(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+/// A histogram quantile may overshoot the exact order statistic by at most
+/// one sub-bucket width: `exact <= got <= exact * (1 + 1/64) + 1`.
+fn assert_within_bound(got: u64, exact: u64, context: &str) {
+    assert!(
+        got >= exact,
+        "{context}: quantile {got} undershoots the exact order statistic {exact}"
+    );
+    let ceiling = (exact as f64 * (1.0 + 1.0 / 64.0)) + 1.0;
+    assert!(
+        (got as f64) <= ceiling,
+        "{context}: quantile {got} overshoots the exact order statistic {exact} \
+         past the 1/64 bucket bound ({ceiling})"
+    );
+}
+
+const QUANTILES: [f64; 10] = [0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0];
+
+/// Seeded streams over very different scales: exact-range small values,
+/// mid-range uniforms, heavy-tailed octave jumps, and a mixture.
+fn streams(rng: &mut ChaCha8Rng) -> Vec<(&'static str, Vec<u64>)> {
+    let small: Vec<u64> = (0..4000).map(|_| rng.gen_range(0..128u64)).collect();
+    let mid: Vec<u64> = (0..4000)
+        .map(|_| rng.gen_range(100..1_000_000u64))
+        .collect();
+    let heavy: Vec<u64> = (0..4000)
+        .map(|_| {
+            let octave = rng.gen_range(0..50u32);
+            let base = 1u64 << octave;
+            base + rng.gen_range(0..base.max(2))
+        })
+        .collect();
+    let mixed: Vec<u64> = small
+        .iter()
+        .zip(&mid)
+        .zip(&heavy)
+        .flat_map(|((&a, &b), &c)| [a, b, c])
+        .collect();
+    vec![
+        ("small-exact", small),
+        ("mid-uniform", mid),
+        ("heavy-octaves", heavy),
+        ("mixed", mixed),
+    ]
+}
+
+#[test]
+fn quantiles_match_exact_order_statistics_within_the_bucket_bound() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x4157);
+    for (name, values) in streams(&mut rng) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in QUANTILES {
+            let exact = exact_order_statistic(&sorted, q);
+            let got = h.quantile(q);
+            assert_within_bound(got, exact, &format!("{name} q={q}"));
+        }
+        // Values below 128 land in exact buckets: the differential is
+        // equality there, not just the bound.
+        if name == "small-exact" {
+            for q in QUANTILES {
+                assert_eq!(
+                    h.quantile(q),
+                    exact_order_statistic(&sorted, q),
+                    "{name} q={q}: sub-128 values must be exact"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn q0_and_q1_edges_anchor_to_the_observed_extrema() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x4158);
+    for (name, values) in streams(&mut rng) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let min = *values.iter().min().unwrap();
+        let max = *values.iter().max().unwrap();
+        // q = 1 is clamped to the observed maximum exactly.
+        assert_eq!(h.quantile(1.0), max, "{name}: q=1 must equal max()");
+        assert_eq!(h.max(), max, "{name}: max()");
+        assert_eq!(h.min(), min, "{name}: min()");
+        // q = 0 reports rank 1 — the minimum, up to its bucket width.
+        assert_within_bound(h.quantile(0.0), min, &format!("{name} q=0"));
+        // Out-of-range inputs clamp to the edges instead of panicking.
+        assert_eq!(h.quantile(-3.0), h.quantile(0.0), "{name}: q<0 clamps");
+        assert_eq!(h.quantile(7.0), h.quantile(1.0), "{name}: q>1 clamps");
+    }
+}
+
+#[test]
+fn merging_an_empty_histogram_changes_nothing_in_either_direction() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x4159);
+    let values: Vec<u64> = (0..3000).map(|_| rng.gen_range(0..5_000_000u64)).collect();
+    let mut full = Histogram::new();
+    for &v in &values {
+        full.record(v);
+    }
+    let reference = full.clone();
+
+    // full.merge(empty): a no-op — count, extrema, mean and every quantile.
+    full.merge(&Histogram::new());
+    assert_eq!(full.count(), reference.count());
+    assert_eq!(full.min(), reference.min());
+    assert_eq!(full.max(), reference.max());
+    assert_eq!(full.mean(), reference.mean());
+    for q in QUANTILES {
+        assert_eq!(full.quantile(q), reference.quantile(q), "q={q}");
+    }
+
+    // empty.merge(full): adopts the extrema without corrupting min (the
+    // empty sentinel min is u64::MAX and must not leak through).
+    let mut empty = Histogram::new();
+    empty.merge(&reference);
+    assert_eq!(empty.count(), reference.count());
+    assert_eq!(empty.min(), reference.min());
+    assert_eq!(empty.max(), reference.max());
+    assert_eq!(empty.mean(), reference.mean());
+    for q in QUANTILES {
+        assert_eq!(empty.quantile(q), reference.quantile(q), "q={q}");
+    }
+
+    // empty.merge(empty) stays empty and well-defined.
+    let mut both = Histogram::new();
+    both.merge(&Histogram::new());
+    assert_eq!(both.count(), 0);
+    assert_eq!(both.min(), 0);
+    assert_eq!(both.max(), 0);
+    assert_eq!(both.quantile(0.5), 0);
+}
+
+#[test]
+fn merged_shards_agree_with_one_histogram_over_the_whole_stream() {
+    // The load generator's actual usage: per-connection histograms merged
+    // at the end must answer like one histogram that saw everything.
+    let mut rng = ChaCha8Rng::seed_from_u64(0x415A);
+    let mut whole = Histogram::new();
+    let mut shards: Vec<Histogram> = (0..7).map(|_| Histogram::new()).collect();
+    for i in 0..10_000usize {
+        let v = match i % 3 {
+            0 => rng.gen_range(0..100u64),
+            1 => rng.gen_range(100..50_000u64),
+            _ => 1u64 << rng.gen_range(10..40u32),
+        };
+        whole.record(v);
+        shards[i % 7].record(v);
+    }
+    let mut merged = Histogram::new();
+    for shard in &shards {
+        merged.merge(shard);
+    }
+    assert_eq!(merged.count(), whole.count());
+    assert_eq!(merged.min(), whole.min());
+    assert_eq!(merged.max(), whole.max());
+    assert_eq!(merged.mean(), whole.mean());
+    for q in QUANTILES {
+        assert_eq!(merged.quantile(q), whole.quantile(q), "q={q}");
+    }
+}

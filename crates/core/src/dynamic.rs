@@ -645,6 +645,10 @@ pub struct BuildRecipe {
     pub seed: u64,
 }
 
+/// Opening marker of the machine-readable recipe tag (see
+/// [`BuildRecipe::provenance_tag`]).
+const RECIPE_TAG_OPEN: &str = "[recipe v1 ";
+
 impl BuildRecipe {
     /// A recipe for `algorithm` with the given knobs and root seed.
     pub fn new(algorithm: impl Into<String>, request: SpannerRequest, seed: u64) -> Self {
@@ -653,6 +657,122 @@ impl BuildRecipe {
             request,
             seed,
         }
+    }
+
+    /// The machine-readable tag recording every result-affecting knob of
+    /// this recipe, as appended to artifact provenance by the recipe build
+    /// paths and by `FtSpannerBuilder`'s artifact constructors.
+    ///
+    /// The tag is what lets `ftspan_serve --dynamic` re-derive the *exact*
+    /// recipe a stored artifact was built with (seed included) instead of
+    /// guessing defaults. Floating-point knobs are encoded as IEEE-754 bit
+    /// patterns in hex, so parsing reproduces them exactly. The `threads`
+    /// knob is deliberately excluded: results are byte-identical at any
+    /// worker count, and omitting it keeps artifacts built at different
+    /// worker counts byte-identical too.
+    pub fn provenance_tag(&self) -> String {
+        fn opt_usize(v: Option<usize>) -> String {
+            v.map_or_else(|| "-".to_string(), |x| x.to_string())
+        }
+        fn opt_bits(v: Option<f64>) -> String {
+            v.map_or_else(|| "-".to_string(), |x| format!("{:016x}", x.to_bits()))
+        }
+        let r = &self.request;
+        format!(
+            "{RECIPE_TAG_OPEN}seed={} faults={} stretch={:016x} model={} bb={} iters={} \
+             scale={:016x} alpha={} degree={} cuts={} reps={} batch={} samples={} repair={}]",
+            self.seed,
+            r.faults,
+            r.stretch.to_bits(),
+            match r.fault_model {
+                FaultModel::Vertex => "vertex",
+                FaultModel::Edge => "edge",
+            },
+            r.black_box.name(),
+            opt_usize(r.iterations),
+            r.scale.to_bits(),
+            opt_bits(r.alpha_constant),
+            opt_usize(r.degree_bound),
+            r.max_cut_rounds,
+            opt_usize(r.repetitions),
+            opt_usize(r.batch),
+            opt_usize(r.samples),
+            u8::from(r.repair),
+        )
+    }
+
+    /// `base` with this recipe's tag appended — the provenance string the
+    /// recipe build paths store on their artifacts.
+    pub fn tagged_provenance(&self, base: &str) -> String {
+        format!("{base} {}", self.provenance_tag())
+    }
+
+    /// Recovers the recipe of an artifact from its `algorithm` and tagged
+    /// `provenance`, inverting [`BuildRecipe::provenance_tag`].
+    ///
+    /// Returns `None` when the provenance carries no tag (artifacts written
+    /// before tagging existed, or built through the untagged report paths),
+    /// or when the tag is malformed — callers are expected to fall back to
+    /// serving the stored artifact as-is rather than rebuilding under
+    /// guessed parameters.
+    pub fn from_tagged_provenance(algorithm: &str, provenance: &str) -> Option<BuildRecipe> {
+        let start = provenance.rfind(RECIPE_TAG_OPEN)?;
+        let tag = &provenance[start + RECIPE_TAG_OPEN.len()..];
+        let tag = tag.strip_suffix(']')?;
+
+        fn parse_usize(v: &str) -> Option<Option<usize>> {
+            if v == "-" {
+                Some(None)
+            } else {
+                v.parse().ok().map(Some)
+            }
+        }
+        fn parse_bits(v: &str) -> Option<f64> {
+            u64::from_str_radix(v, 16).ok().map(f64::from_bits)
+        }
+
+        let mut request = SpannerRequest::default();
+        let mut seed = None;
+        for field in tag.split(' ') {
+            let (key, value) = field.split_once('=')?;
+            match key {
+                "seed" => seed = Some(value.parse().ok()?),
+                "faults" => request.faults = value.parse().ok()?,
+                "stretch" => request.stretch = parse_bits(value)?,
+                "model" => {
+                    request.fault_model = match value {
+                        "vertex" => FaultModel::Vertex,
+                        "edge" => FaultModel::Edge,
+                        _ => return None,
+                    }
+                }
+                "bb" => request.black_box = ftspan_spanners::BlackBoxKind::parse(value)?,
+                "iters" => request.iterations = parse_usize(value)?,
+                "scale" => request.scale = parse_bits(value)?,
+                "alpha" => {
+                    request.alpha_constant = if value == "-" {
+                        None
+                    } else {
+                        Some(parse_bits(value)?)
+                    }
+                }
+                "degree" => request.degree_bound = parse_usize(value)?,
+                "cuts" => request.max_cut_rounds = value.parse().ok()?,
+                "reps" => request.repetitions = parse_usize(value)?,
+                "batch" => request.batch = parse_usize(value)?,
+                "samples" => request.samples = parse_usize(value)?,
+                "repair" => {
+                    request.repair = match value {
+                        "0" => false,
+                        "1" => true,
+                        _ => return None,
+                    }
+                }
+                _ => return None,
+            }
+        }
+        request.threads = None;
+        Some(BuildRecipe::new(algorithm, request, seed?))
     }
 }
 
@@ -838,7 +958,7 @@ impl DynamicArtifact {
                             &new_graph,
                             repaired.result.edges,
                             &self.recipe.algorithm,
-                            &plan.provenance,
+                            &self.recipe.tagged_provenance(&plan.provenance),
                             FaultModel::Vertex,
                             self.recipe.request.faults,
                             plan.stretch,
@@ -909,7 +1029,7 @@ fn build_for_recipe(
             graph,
             result.edges,
             &recipe.algorithm,
-            &plan.provenance,
+            &recipe.tagged_provenance(&plan.provenance),
             FaultModel::Vertex,
             recipe.request.faults,
             plan.stretch,
@@ -926,7 +1046,8 @@ fn build_for_recipe(
                 registry.names().join(", ")
             ),
         })?;
-    let report = algorithm.build(GraphInput::from(graph), &recipe.request, &mut rng)?;
+    let mut report = algorithm.build(GraphInput::from(graph), &recipe.request, &mut rng)?;
+    report.provenance = recipe.tagged_provenance(&report.provenance);
     let artifact = FtSpanner::from_report(graph, &report)?;
     Ok((artifact, None))
 }
@@ -994,6 +1115,89 @@ mod tests {
             },
         ])
         .is_err());
+    }
+
+    #[test]
+    fn recipe_tag_round_trips_every_knob_exactly() {
+        let request = SpannerRequest {
+            faults: 3,
+            stretch: 5.0_f64.sqrt(), // an irrational: only bit-exact encoding survives
+            fault_model: FaultModel::Edge,
+            black_box: ftspan_spanners::BlackBoxKind::BaswanaSen,
+            iterations: Some(12),
+            scale: 0.75,
+            alpha_constant: Some(1.5),
+            degree_bound: Some(9),
+            max_cut_rounds: 17,
+            repetitions: Some(4),
+            batch: Some(6),
+            samples: Some(32),
+            repair: false,
+            threads: Some(8),
+        };
+        let recipe = BuildRecipe::new("conversion", request, 0xDEADBEEF);
+        let provenance = recipe.tagged_provenance("Theorem 2.1 conversion over greedy");
+        let back = BuildRecipe::from_tagged_provenance("conversion", &provenance)
+            .expect("tagged provenance parses");
+        assert_eq!(back.algorithm, "conversion");
+        assert_eq!(back.seed, 0xDEADBEEF);
+        // Every knob but `threads` round-trips exactly; `threads` is
+        // normalized away (results are worker-count invariant).
+        let mut expected = request;
+        expected.threads = None;
+        assert_eq!(back.request, expected);
+        // Re-tagging the parsed recipe reproduces the same tag bytes.
+        assert_eq!(back.provenance_tag(), recipe.provenance_tag());
+    }
+
+    #[test]
+    fn recipe_tag_parser_rejects_untagged_and_mangled_provenance() {
+        assert!(BuildRecipe::from_tagged_provenance("conversion", "").is_none());
+        assert!(BuildRecipe::from_tagged_provenance(
+            "conversion",
+            "Theorem 2.1 conversion over greedy (k = 3, r = 1)"
+        )
+        .is_none());
+        let recipe = BuildRecipe::new("conversion", SpannerRequest::default(), 7);
+        let good = recipe.tagged_provenance("base");
+        assert!(BuildRecipe::from_tagged_provenance("conversion", &good).is_some());
+        // Truncations and field mutations must parse to None, never panic.
+        for cut in 0..good.len() {
+            let _ = BuildRecipe::from_tagged_provenance("conversion", &good[..cut]);
+        }
+        for mangled in [
+            good.replace("model=vertex", "model=diagonal"),
+            good.replace("bb=greedy", "bb=unknown"),
+            good.replace("repair=1", "repair=yes"),
+            good.replace("seed=7", "seed=x"),
+            good.replace("stretch=", "stretchiness="),
+        ] {
+            assert!(
+                BuildRecipe::from_tagged_provenance("conversion", &mangled).is_none(),
+                "mangled tag parsed: {mangled}"
+            );
+        }
+    }
+
+    #[test]
+    fn recipe_builds_store_a_parseable_tag_that_reproduces_the_artifact() {
+        let mut r = rng(88);
+        let g = generate::connected_gnp(18, 0.3, generate::WeightKind::Unit, &mut r);
+        for algorithm in ["conversion", "corollary-2.2", "edge-fault"] {
+            let recipe = BuildRecipe::new(algorithm, small_request(1, 4), 88);
+            let built = DynamicArtifact::build(&g, recipe.clone()).unwrap();
+            let parsed = BuildRecipe::from_tagged_provenance(
+                built.artifact().algorithm(),
+                built.artifact().provenance(),
+            )
+            .expect("recipe builds tag their provenance");
+            let again = DynamicArtifact::build(&g, parsed).unwrap();
+            assert_eq!(
+                built.artifact(),
+                again.artifact(),
+                "{algorithm}: the recorded recipe does not reproduce the artifact"
+            );
+        }
     }
 
     #[test]
@@ -1110,14 +1314,17 @@ mod tests {
         for algorithm in ["conversion", "corollary-2.2", "clpr09"] {
             let request = small_request(1, 20);
             let recipe = BuildRecipe::new(algorithm, request, 2011);
-            let dynamic = DynamicArtifact::build(&g, recipe).unwrap();
+            let dynamic = DynamicArtifact::build(&g, recipe.clone()).unwrap();
             let registry = Registry::from_algorithms(core_algorithms());
             let mut r = rng(2011);
-            let report = registry
+            let mut report = registry
                 .get(algorithm)
                 .unwrap()
                 .build(GraphInput::from(&g), &request, &mut r)
                 .unwrap();
+            // Recipe builds tag their provenance; the reference build gets
+            // the same tag to stay byte-comparable.
+            report.provenance = recipe.tagged_provenance(&report.provenance);
             let reference = FtSpanner::from_report(&g, &report).unwrap();
             assert_eq!(*dynamic.artifact(), reference, "algorithm = {algorithm}");
             assert_eq!(

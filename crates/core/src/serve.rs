@@ -567,20 +567,23 @@ impl FtSpanner {
                 })
             }
         };
-        let mut graph = Graph::new(n);
+        // Edge lines are buffered before the vertex array is allocated, so
+        // every allocation is proportional to bytes actually present: a
+        // forged `graph 4294967295 4294967295` header previously allocated
+        // the adjacency lists for a claimed four billion vertices before
+        // the first edge line was even read (found by the artifact fuzz
+        // battery).
+        let mut edge_lines: Vec<(usize, usize, f64)> = Vec::new();
         for _ in 0..m {
             let line = next_line()?;
             let parts: Vec<&str> = line.split_whitespace().collect();
             match parts.as_slice() {
                 [u, v, w] => {
-                    let u = parse_count("endpoint", u)?;
-                    let v = parse_count("endpoint", v)?;
-                    let w = parse("weight", w)?;
-                    graph
-                        .add_edge(NodeId::new(u), NodeId::new(v), w)
-                        .map_err(|e| CoreError::InvalidParameter {
-                            message: format!("invalid edge line `{line}` in ftspanner data: {e}"),
-                        })?;
+                    edge_lines.push((
+                        parse_count("endpoint", u)?,
+                        parse_count("endpoint", v)?,
+                        parse("weight", w)?,
+                    ));
                 }
                 _ => {
                     return Err(CoreError::InvalidParameter {
@@ -588,6 +591,23 @@ impl FtSpanner {
                     })
                 }
             }
+        }
+        if n > binary_node_bound(m) {
+            return Err(CoreError::InvalidParameter {
+                message: format!(
+                    "implausible node count {n} for {m} edges in ftspanner data (limit {}): \
+                     refusing the allocation",
+                    binary_node_bound(m)
+                ),
+            });
+        }
+        let mut graph = Graph::new(n);
+        for (u, v, w) in edge_lines {
+            graph
+                .add_edge(NodeId::new(u), NodeId::new(v), w)
+                .map_err(|e| CoreError::InvalidParameter {
+                    message: format!("invalid edge ({u}, {v}) in ftspanner data: {e}"),
+                })?;
         }
         let spanner_line = next_line()?;
         let s = match spanner_line

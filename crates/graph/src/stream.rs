@@ -90,6 +90,76 @@ pub enum GeneratorSpec {
         /// RNG seed.
         seed: u64,
     },
+    /// A road-network-like planar mesh: a `rows x cols` grid of points,
+    /// each jittered away from its lattice position, connected by the grid
+    /// backbone plus one random diagonal per cell with probability
+    /// `diagonal_p`. Every edge weight is the Euclidean distance between
+    /// the jittered endpoints, so the graph behaves like a street network:
+    /// locally planar, near-uniform degree, metric weights.
+    ///
+    /// The grid backbone keeps the mesh connected for any seed.
+    ///
+    /// # Parameter constraints
+    ///
+    /// * `rows >= 2` and `cols >= 2` (the mesh needs at least one cell);
+    /// * `diagonal_p` in `[0, 1]` and finite;
+    /// * `jitter` in `[0, 0.5)` and finite — below `0.5`, neighboring
+    ///   points cannot cross, so every edge weight stays strictly
+    ///   positive.
+    ///
+    /// Violations are reported as [`GraphError::InvalidParameter`] by the
+    /// generate calls.
+    PlanarMesh {
+        /// Number of point rows.
+        rows: usize,
+        /// Number of point columns.
+        cols: usize,
+        /// Probability that a cell gains one diagonal (main or anti,
+        /// chosen uniformly).
+        diagonal_p: f64,
+        /// Maximum coordinate displacement from the lattice position,
+        /// drawn uniformly from `[-jitter, jitter)` per axis.
+        jitter: f64,
+        /// RNG seed; positions, diagonals and therefore weights are a pure
+        /// function of the spec.
+        seed: u64,
+    },
+    /// A threshold hyperbolic random graph: `nodes` points placed in the
+    /// hyperbolic disk of radius `radius` (angles uniform, radii with
+    /// density proportional to `sinh(alpha * r)`), connected exactly when
+    /// their hyperbolic distance is at most `radius`. Edge weights are the
+    /// hyperbolic distances. This family produces the heavy-tailed degree
+    /// sequences and tight clustering of internet-like topologies —
+    /// structurally unlike both G(n, m) and meshes.
+    ///
+    /// # Parameter constraints
+    ///
+    /// * `nodes >= 2`;
+    /// * `alpha > 0` and finite (larger pushes mass to the rim: sparser,
+    ///   flatter degrees; `alpha = 1` is the uniform hyperbolic measure);
+    /// * `radius > 0` and finite — degree falls as `radius` grows; around
+    ///   `2 ln nodes` the graph sits at the sparse connectivity threshold.
+    ///
+    /// Generation sweeps all vertex pairs, so it costs `O(nodes^2)` time:
+    /// the family is meant for adversarial batteries and benchmarks up to
+    /// roughly `10^4` vertices, not the million-node streaming path.
+    /// Connectivity is *not* guaranteed; callers that need a connected
+    /// instance should check [`Graph::is_connected`] and pick seeds
+    /// accordingly.
+    ///
+    /// Violations are reported as [`GraphError::InvalidParameter`] by the
+    /// generate calls.
+    Hyperbolic {
+        /// Number of vertices.
+        nodes: usize,
+        /// Radial density exponent (`> 0`).
+        alpha: f64,
+        /// Disk radius and connection threshold (`> 0`).
+        radius: f64,
+        /// RNG seed; the point set and the edge set are a pure function of
+        /// the spec.
+        seed: u64,
+    },
 }
 
 impl GeneratorSpec {
@@ -99,6 +169,8 @@ impl GeneratorSpec {
             GeneratorSpec::Gnm { nodes, .. } => nodes,
             GeneratorSpec::Grid { rows, cols, .. } => rows * cols,
             GeneratorSpec::PreferentialAttachment { nodes, .. } => nodes,
+            GeneratorSpec::PlanarMesh { rows, cols, .. } => rows * cols,
+            GeneratorSpec::Hyperbolic { nodes, .. } => nodes,
         }
     }
 
@@ -126,6 +198,8 @@ impl GeneratorSpec {
                 Some(m)
             }
             GeneratorSpec::PreferentialAttachment { .. } => None,
+            // Diagonal and threshold edges depend on the seed.
+            GeneratorSpec::PlanarMesh { .. } | GeneratorSpec::Hyperbolic { .. } => None,
         }
     }
 
@@ -156,6 +230,19 @@ impl GeneratorSpec {
                 attach,
                 seed,
             } => generate_preferential(nodes, attach, seed),
+            GeneratorSpec::PlanarMesh {
+                rows,
+                cols,
+                diagonal_p,
+                jitter,
+                seed,
+            } => generate_planar_mesh(rows, cols, diagonal_p, jitter, seed),
+            GeneratorSpec::Hyperbolic {
+                nodes,
+                alpha,
+                radius,
+                seed,
+            } => generate_hyperbolic(nodes, alpha, radius, seed),
         }
     }
 
@@ -350,6 +437,153 @@ fn generate_preferential(n: usize, attach: usize, seed: u64) -> Result<CsrSubgra
     builder.finish()
 }
 
+/// Per-cell diagonal choice of the planar mesh.
+const DIAG_NONE: u8 = 0;
+const DIAG_MAIN: u8 = 1;
+const DIAG_ANTI: u8 = 2;
+
+fn generate_planar_mesh(
+    rows: usize,
+    cols: usize,
+    diagonal_p: f64,
+    jitter: f64,
+    seed: u64,
+) -> Result<CsrSubgraph> {
+    if rows < 2 || cols < 2 {
+        return Err(GraphError::InvalidParameter {
+            message: format!("planar mesh needs rows >= 2 and cols >= 2, got {rows} x {cols}"),
+        });
+    }
+    if !(diagonal_p.is_finite() && (0.0..=1.0).contains(&diagonal_p)) {
+        return Err(GraphError::InvalidParameter {
+            message: format!("planar mesh needs diagonal_p in [0, 1], got {diagonal_p}"),
+        });
+    }
+    if !(jitter.is_finite() && (0.0..0.5).contains(&jitter)) {
+        return Err(GraphError::InvalidParameter {
+            message: format!("planar mesh needs jitter in [0, 0.5), got {jitter}"),
+        });
+    }
+    let n = rows * cols;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    // Positions first (node order), then diagonal choices (cell order):
+    // both are drawn once so the two builder sweeps agree edge for edge.
+    let positions: Vec<(f64, f64)> = (0..n)
+        .map(|id| {
+            let (r, c) = (id / cols, id % cols);
+            let mut offset = || jitter * (2.0 * rng.gen_range(0.0..1.0) - 1.0);
+            let (dx, dy) = (offset(), offset());
+            (c as f64 + dx, r as f64 + dy)
+        })
+        .collect();
+    let diagonals: Vec<u8> = (0..(rows - 1) * (cols - 1))
+        .map(|_| {
+            if rng.gen_range(0.0..1.0) < diagonal_p {
+                if rng.gen_range(0..2u32) == 0 {
+                    DIAG_MAIN
+                } else {
+                    DIAG_ANTI
+                }
+            } else {
+                DIAG_NONE
+            }
+        })
+        .collect();
+
+    // Deterministic edge enumeration: for every point, its right and down
+    // backbone edges; for every cell, its chosen diagonal.
+    let sweep = |f: &mut dyn FnMut(usize, usize) -> Result<()>| -> Result<()> {
+        let id = |r: usize, c: usize| r * cols + c;
+        for r in 0..rows {
+            for c in 0..cols {
+                if c + 1 < cols {
+                    f(id(r, c), id(r, c + 1))?;
+                }
+                if r + 1 < rows {
+                    f(id(r, c), id(r + 1, c))?;
+                }
+                if r + 1 < rows && c + 1 < cols {
+                    match diagonals[r * (cols - 1) + c] {
+                        DIAG_MAIN => f(id(r, c), id(r + 1, c + 1))?,
+                        DIAG_ANTI => f(id(r, c + 1), id(r + 1, c))?,
+                        _ => {}
+                    }
+                }
+            }
+        }
+        Ok(())
+    };
+    let euclid = |u: usize, v: usize| {
+        let (ux, uy) = positions[u];
+        let (vx, vy) = positions[v];
+        ((ux - vx).powi(2) + (uy - vy).powi(2)).sqrt()
+    };
+    let mut builder = CsrBuilder::new(n);
+    sweep(&mut |u, v| builder.count_edge(u, v))?;
+    builder.begin_fill();
+    sweep(&mut |u, v| builder.push_edge(u, v, euclid(u, v)))?;
+    builder.finish()
+}
+
+fn generate_hyperbolic(n: usize, alpha: f64, radius: f64, seed: u64) -> Result<CsrSubgraph> {
+    if n < 2 {
+        return Err(GraphError::InvalidParameter {
+            message: format!("hyperbolic graph needs at least 2 vertices, got {n}"),
+        });
+    }
+    if !(alpha.is_finite() && alpha > 0.0) {
+        return Err(GraphError::InvalidParameter {
+            message: format!("hyperbolic graph needs alpha > 0, got {alpha}"),
+        });
+    }
+    if !(radius.is_finite() && radius > 0.0) {
+        return Err(GraphError::InvalidParameter {
+            message: format!("hyperbolic graph needs radius > 0, got {radius}"),
+        });
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    // Radii by inverse CDF of the sinh density, angles uniform. cosh/sinh
+    // are precomputed per point so the pair sweep is trig-free except for
+    // one cosine per pair.
+    let span = (alpha * radius).cosh() - 1.0;
+    let mut cosh_r = Vec::with_capacity(n);
+    let mut sinh_r = Vec::with_capacity(n);
+    let mut theta = Vec::with_capacity(n);
+    for _ in 0..n {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let r = (1.0 + u * span).acosh() / alpha;
+        cosh_r.push(r.cosh());
+        sinh_r.push(r.sinh());
+        theta.push(rng.gen_range(0.0..std::f64::consts::TAU));
+    }
+    // The connection rule d(u, v) <= radius compares on the cosh scale
+    // (cosh is increasing), so no acosh is needed to decide membership —
+    // only accepted edges pay for the exact distance.
+    let threshold = radius.cosh();
+    let mut edges: Vec<(usize, usize, f64)> = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let cosh_d = (cosh_r[u] * cosh_r[v]
+                - sinh_r[u] * sinh_r[v] * (theta[u] - theta[v]).cos())
+            .max(1.0);
+            if cosh_d <= threshold {
+                // Coincident points are possible in principle; a tiny floor
+                // keeps the weight a valid positive length.
+                edges.push((u, v, cosh_d.acosh().max(1e-12)));
+            }
+        }
+    }
+    let mut builder = CsrBuilder::new(n);
+    for &(u, v, _) in &edges {
+        builder.count_edge(u, v)?;
+    }
+    builder.begin_fill();
+    for &(u, v, w) in &edges {
+        builder.push_edge(u, v, w)?;
+    }
+    builder.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -452,6 +686,123 @@ mod tests {
         }
         .generate()
         .is_err());
+    }
+
+    #[test]
+    fn planar_mesh_is_connected_metric_and_deterministic() {
+        let spec = GeneratorSpec::PlanarMesh {
+            rows: 9,
+            cols: 11,
+            diagonal_p: 0.4,
+            jitter: 0.3,
+            seed: 17,
+        };
+        let (g, csr) = spec.generate_with_csr().unwrap();
+        assert_eq!(g.node_count(), 99);
+        assert_eq!(CsrSubgraph::from_graph(&g), csr);
+        assert_eq!(spec.generate().unwrap(), g);
+        assert!(
+            g.is_connected(),
+            "the grid backbone keeps the mesh connected"
+        );
+        // Edge count sits between the bare backbone and backbone + one
+        // diagonal per cell.
+        let backbone = 9 * 10 + 11 * 8;
+        assert!(g.edge_count() >= backbone);
+        assert!(g.edge_count() <= backbone + 8 * 10);
+        // Euclidean weights of a sub-half-unit jitter: every edge is
+        // strictly positive and no longer than a jittered cell diagonal.
+        let max_len = (2.0f64).sqrt() + 4.0 * 0.3;
+        for (_, e) in g.edges() {
+            assert!(e.weight > 0.0);
+            assert!(e.weight <= max_len, "weight {} exceeds {max_len}", e.weight);
+        }
+        let other = GeneratorSpec::PlanarMesh {
+            rows: 9,
+            cols: 11,
+            diagonal_p: 0.4,
+            jitter: 0.3,
+            seed: 18,
+        };
+        assert_ne!(other.generate().unwrap(), g);
+    }
+
+    #[test]
+    fn planar_mesh_without_jitter_or_diagonals_is_the_unit_grid_shape() {
+        let spec = GeneratorSpec::PlanarMesh {
+            rows: 4,
+            cols: 5,
+            diagonal_p: 0.0,
+            jitter: 0.0,
+            seed: 3,
+        };
+        let g = spec.generate().unwrap();
+        assert_eq!(g.edge_count(), 4 * 4 + 5 * 3);
+        assert!(g.edges().all(|(_, e)| (e.weight - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn planar_mesh_rejects_bad_parameters() {
+        let base = |rows, cols, diagonal_p, jitter| GeneratorSpec::PlanarMesh {
+            rows,
+            cols,
+            diagonal_p,
+            jitter,
+            seed: 0,
+        };
+        assert!(base(1, 5, 0.5, 0.2).generate_csr().is_err());
+        assert!(base(5, 1, 0.5, 0.2).generate_csr().is_err());
+        assert!(base(5, 5, -0.1, 0.2).generate_csr().is_err());
+        assert!(base(5, 5, 1.5, 0.2).generate_csr().is_err());
+        assert!(base(5, 5, f64::NAN, 0.2).generate_csr().is_err());
+        assert!(base(5, 5, 0.5, 0.5).generate_csr().is_err());
+        assert!(base(5, 5, 0.5, -0.1).generate_csr().is_err());
+        assert!(base(5, 5, 0.5, f64::NAN).generate_csr().is_err());
+        assert!(base(2, 2, 1.0, 0.49).generate_csr().is_ok());
+    }
+
+    #[test]
+    fn hyperbolic_is_deterministic_heterogeneous_and_metric() {
+        let spec = GeneratorSpec::Hyperbolic {
+            nodes: 300,
+            alpha: 0.8,
+            radius: 2.0 * (300.0f64).ln() * 0.55,
+            seed: 23,
+        };
+        let (g, csr) = spec.generate_with_csr().unwrap();
+        assert_eq!(g.node_count(), 300);
+        assert_eq!(CsrSubgraph::from_graph(&g), csr);
+        assert_eq!(spec.generate().unwrap(), g);
+        assert!(g.edge_count() > 300, "the disk should be reasonably dense");
+        // Hub-and-spoke degrees: the maximum dwarfs the average.
+        let avg = 2.0 * g.edge_count() as f64 / g.node_count() as f64;
+        assert!(
+            g.max_degree() as f64 > 3.0 * avg,
+            "max degree {} vs average {avg}",
+            g.max_degree()
+        );
+        // Weights are hyperbolic distances: positive, at most the radius.
+        for (_, e) in g.edges() {
+            assert!(e.weight > 0.0);
+            assert!(e.weight <= 2.0 * (300.0f64).ln() * 0.55 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn hyperbolic_rejects_bad_parameters() {
+        let base = |nodes, alpha, radius| GeneratorSpec::Hyperbolic {
+            nodes,
+            alpha,
+            radius,
+            seed: 0,
+        };
+        assert!(base(1, 1.0, 4.0).generate_csr().is_err());
+        assert!(base(50, 0.0, 4.0).generate_csr().is_err());
+        assert!(base(50, -1.0, 4.0).generate_csr().is_err());
+        assert!(base(50, f64::NAN, 4.0).generate_csr().is_err());
+        assert!(base(50, 1.0, 0.0).generate_csr().is_err());
+        assert!(base(50, 1.0, f64::INFINITY).generate_csr().is_err());
+        assert!(base(2, 1.0, 0.5).generate_csr().is_ok());
     }
 
     #[test]

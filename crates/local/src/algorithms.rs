@@ -66,6 +66,23 @@ impl FtSpannerAlgorithm for DistributedConversionAlgorithm {
     ) -> Result<SpannerReport> {
         self.supports(request)?;
         let graph = input.expect_undirected(self.name())?;
+        // The constant-round 3-spanner black box clusters by hops, not by
+        // weight, so its stretch guarantee only holds on unit-length
+        // graphs. Declaring stretch 3 over a weighted input would be a lie
+        // the serving layer cannot detect. (Found by the adversarial
+        // differential battery on the hyperbolic family.)
+        if let Some((_, heavy)) = graph.edges().find(|(_, e)| e.weight != 1.0) {
+            return Err(CoreError::InvalidParameter {
+                message: format!(
+                    "the distributed conversion requires unit edge lengths (its 3-spanner \
+                     black box clusters by hops); found weight {} on ({}, {}) — use the \
+                     centralized `conversion` for weighted graphs",
+                    heavy.weight,
+                    heavy.u.index(),
+                    heavy.v.index()
+                ),
+            });
+        }
         let mut config =
             DistributedConversionConfig::new(request.faults, 3).with_scale(request.scale);
         if let Some(iterations) = request.iterations {
@@ -211,6 +228,31 @@ mod tests {
         ));
         assert_eq!(report.rounds, Some(report.iterations * 2));
         assert!(report.messages.unwrap() > 0);
+    }
+
+    #[test]
+    fn distributed_conversion_rejects_weighted_graphs() {
+        // Pinned regression (adversarial battery, hyperbolic family): on a
+        // weighted graph the hop-based 3-spanner black box can exceed its
+        // declared stretch, so the build must refuse with a typed error
+        // instead of reporting a guarantee it cannot honor.
+        let mut r = rng(7);
+        let g = generate::connected_gnp(
+            12,
+            0.4,
+            generate::WeightKind::Uniform { min: 0.5, max: 2.0 },
+            &mut r,
+        );
+        let request = SpannerRequest::new(1);
+        let err = DistributedConversionAlgorithm
+            .build(GraphInput::from(&g), &request, &mut r)
+            .unwrap_err();
+        match err {
+            CoreError::InvalidParameter { message } => {
+                assert!(message.contains("unit edge lengths"), "message: {message}")
+            }
+            other => panic!("expected a typed rejection, got {other:?}"),
+        }
     }
 
     #[test]

@@ -6,22 +6,21 @@
 //! ```
 //!
 //! Connects to a running `ftspan_serve --dynamic` instance serving
-//! `STORE_DIR`, pushes a deterministic edge-delta batch at `NAME` (default
-//! `mesh`) through `ApplyDeltas`, and asserts the warm-swapped artifact
-//! answers a mixed query battery **identically** to a from-scratch
-//! `DynamicArtifact::build` on the post-delta graph computed locally — the
-//! paper-level repair invariant, checked over a real socket. Any protocol
-//! error, typed rejection, or answer mismatch panics (non-zero exit).
+//! `STORE_DIR`. First asserts the promoted artifact is **invisible until
+//! the first delta**: a mixed query battery against the server must answer
+//! bit-identically to the flat stored artifact loaded locally. Then it
+//! pushes a deterministic edge-delta batch at `NAME` (default `mesh`)
+//! through `ApplyDeltas` and asserts the warm-swapped artifact answers the
+//! battery **identically** to a from-scratch `DynamicArtifact::build` on
+//! the post-delta graph computed locally — the paper-level repair
+//! invariant, checked over a real socket. Any protocol error, typed
+//! rejection, or answer mismatch panics (non-zero exit).
 //!
 //! With `--shutdown`, asks the server to drain and exit afterwards.
 
 use fault_tolerant_spanners::prelude::*;
 use fault_tolerant_spanners::{ArtifactStore, BuildRecipe, DeltaLog, DynamicArtifact, EdgeDelta};
 use ftspan_net::Client;
-
-/// Must match the seed `ftspan_serve --dynamic` rebuilds with, or the local
-/// differential build diverges from the served one before any delta flows.
-const DYNAMIC_SEED: u64 = 2011;
 
 fn main() {
     let mut positional = Vec::new();
@@ -41,17 +40,13 @@ fn main() {
         panic!("usage: delta_smoke STORE_DIR ADDR [--artifact NAME] [--shutdown]");
     };
 
-    // Re-derive the exact recipe the server's `--dynamic` promotion used,
-    // from the same stored artifact.
+    // Re-derive the exact recipe the server's `--dynamic` promotion used:
+    // the one recorded in the stored artifact's own provenance tag.
     let store = ArtifactStore::open(store_dir).expect("store opens");
     let flat = store.load(&artifact_name).expect("stored artifact loads");
     let base = flat.source_graph().clone();
-    let request = SpannerRequest {
-        faults: flat.fault_budget(),
-        stretch: flat.stretch(),
-        ..SpannerRequest::default()
-    };
-    let recipe = BuildRecipe::new(flat.algorithm(), request, DYNAMIC_SEED);
+    let recipe = BuildRecipe::from_tagged_provenance(flat.algorithm(), flat.provenance())
+        .expect("the stored artifact records its build recipe");
 
     // A deterministic churn batch: drop the first edge, reweight the last,
     // and insert the lexicographically first absent pair.
@@ -82,7 +77,55 @@ fn main() {
         },
     ];
 
+    // A mixed battery: plain and fault-scoped distances, paths and
+    // certificates, plus one over-budget scope that must fail identically.
+    let battery = |n: usize| {
+        let mut queries = Vec::new();
+        for q in 0..60usize {
+            let u = NodeId::new((q * 7 + 1) % n);
+            let v = NodeId::new((q * 11 + 3) % n);
+            let scope = if q % 3 == 0 {
+                vec![NodeId::new((q * 5 + 2) % n)]
+            } else {
+                vec![]
+            };
+            queries.push(match q % 4 {
+                0 => Query::certificate(&artifact_name, scope, u, v),
+                1 => Query::path(&artifact_name, scope, u, v),
+                _ => Query::distance(&artifact_name, scope, u, v),
+            });
+        }
+        queries.push(Query::distance(
+            &artifact_name,
+            (0..n.min(8)).map(NodeId::new).collect(),
+            NodeId::new(0),
+            NodeId::new(1),
+        ));
+        queries
+    };
+
     let mut client = Client::connect(addr).expect("server is reachable");
+
+    // Before any delta, promotion must be invisible: the server's answers
+    // must be bit-identical to the flat stored artifact served locally.
+    let queries = battery(n);
+    let mut flat_engine = Engine::new();
+    flat_engine.register(&artifact_name, flat.clone());
+    let expected_flat = flat_engine.run_batch(&queries);
+    let got_flat = client
+        .run_batch(&queries)
+        .expect("transport succeeds")
+        .expect_results()
+        .expect("batch admitted");
+    assert_eq!(
+        got_flat, expected_flat,
+        "promoted artifact answers differ from the stored flat artifact before any delta"
+    );
+    println!(
+        "delta-smoke: {} pre-delta answers identical to the stored flat artifact",
+        queries.len()
+    );
+
     let info = client
         .apply_deltas(&artifact_name, &deltas)
         .expect("transport succeeds")
@@ -101,29 +144,7 @@ fn main() {
     let mut expected_engine = Engine::new();
     expected_engine.register_dynamic(&artifact_name, fresh);
 
-    // A mixed battery: plain and fault-scoped distances, paths and
-    // certificates, plus one over-budget scope that must fail identically.
-    let mut queries = Vec::new();
-    for q in 0..60usize {
-        let u = NodeId::new((q * 7 + 1) % n);
-        let v = NodeId::new((q * 11 + 3) % n);
-        let scope = if q % 3 == 0 {
-            vec![NodeId::new((q * 5 + 2) % n)]
-        } else {
-            vec![]
-        };
-        queries.push(match q % 4 {
-            0 => Query::certificate(&artifact_name, scope, u, v),
-            1 => Query::path(&artifact_name, scope, u, v),
-            _ => Query::distance(&artifact_name, scope, u, v),
-        });
-    }
-    queries.push(Query::distance(
-        &artifact_name,
-        (0..n.min(8)).map(NodeId::new).collect(),
-        NodeId::new(0),
-        NodeId::new(1),
-    ));
+    let queries = battery(n);
     let expected = expected_engine.run_batch(&queries);
     let got = client
         .run_batch(&queries)

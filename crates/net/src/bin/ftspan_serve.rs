@@ -9,13 +9,16 @@
 //! * `--store` — directory of `.ftspan` artifacts (required). Every
 //!   artifact is loaded into the engine at startup under its file stem.
 //! * `--dynamic` — promote every flat artifact to a *dynamic* registration:
-//!   a `BuildRecipe` is re-derived from the artifact's own metadata
-//!   (algorithm, fault budget, stretch), the artifact is rebuilt from its
-//!   embedded source graph, and clients may then push `ApplyDeltas` frames
-//!   at it — the server patches or rebuilds off-lock and warm-swaps the new
-//!   version under live traffic. Sharded artifacts stay sharded (they have
-//!   no delta path). A flat artifact whose recipe cannot rebuild keeps its
-//!   flat registration, with a warning.
+//!   the exact `BuildRecipe` (seed, black box, every request knob) is
+//!   recovered from the recipe tag the builder records in the artifact's
+//!   provenance, the artifact is rebuilt from its embedded source graph and
+//!   checked **bit-identical** to the stored one, and clients may then push
+//!   `ApplyDeltas` frames at it — the server patches or rebuilds off-lock
+//!   and warm-swaps the new version under live traffic. Sharded artifacts
+//!   stay sharded (they have no delta path). A flat artifact with no recipe
+//!   tag, whose recipe cannot rebuild, or whose rebuild does not reproduce
+//!   the stored bytes keeps its flat registration, with a warning — the
+//!   server never silently serves a different spanner than the store holds.
 //! * `--addr` — listen address (default `127.0.0.1:0`; port 0 lets the OS
 //!   pick).
 //! * `--workers` — batch-executing worker threads (default: one per CPU).
@@ -28,15 +31,10 @@
 //! The server runs until a client sends a `Shutdown` frame, then drains
 //! in-flight batches and exits 0, printing a final stats line.
 
-use fault_tolerant_spanners::prelude::SpannerRequest;
 use fault_tolerant_spanners::{ArtifactStore, BuildRecipe, DynamicArtifact, Engine};
 use ftspan_net::{Server, ServerConfig};
 use std::process::ExitCode;
 use std::time::Duration;
-
-/// Seed for the dynamic rebuilds of `--dynamic` promotion. Fixed so two
-/// servers promoting the same store serve byte-identical versions.
-const DYNAMIC_SEED: u64 = 2011;
 
 struct Args {
     store: Option<std::path::PathBuf>,
@@ -128,14 +126,30 @@ fn main() -> ExitCode {
             let Some(flat) = engine.artifact(name) else {
                 continue;
             };
-            let request = SpannerRequest {
-                faults: flat.fault_budget(),
-                stretch: flat.stretch(),
-                ..SpannerRequest::default()
+            // The recipe comes from the artifact's own recorded provenance;
+            // an artifact without a tag (pre-tag stores, external-RNG
+            // builds) is *not* rebuilt under guessed parameters.
+            let Some(recipe) =
+                BuildRecipe::from_tagged_provenance(flat.algorithm(), flat.provenance())
+            else {
+                eprintln!(
+                    "ftspan_serve: `{name}` records no build recipe in its provenance; \
+                     serving it as a flat artifact"
+                );
+                continue;
             };
-            let recipe = BuildRecipe::new(flat.algorithm(), request, DYNAMIC_SEED);
             match DynamicArtifact::build(flat.source_graph(), recipe) {
                 Ok(dynamic) => {
+                    // Promotion must be invisible until the first delta: the
+                    // rebuilt artifact has to reproduce the stored bytes.
+                    if dynamic.artifact() != &*flat {
+                        eprintln!(
+                            "ftspan_serve: rebuilding `{name}` from its recorded recipe \
+                             does not reproduce the stored artifact; serving it as a \
+                             flat artifact"
+                        );
+                        continue;
+                    }
                     engine.register_dynamic(name, dynamic);
                     dynamic_count += 1;
                 }

@@ -3,7 +3,8 @@
 use crate::registry::registry;
 use ftspan_core::serve::FtSpanner;
 use ftspan_core::{
-    CoreError, GraphInput, GraphSource, ResolvedSource, Result, SpannerReport, SpannerRequest,
+    BuildRecipe, CoreError, GraphInput, GraphSource, ResolvedSource, Result, SpannerReport,
+    SpannerRequest,
 };
 use ftspan_graph::{DiGraph, Graph};
 use ftspan_spanners::BlackBoxKind;
@@ -253,7 +254,8 @@ impl FtSpannerBuilder {
     pub fn artifact_on_graph(&self, source: impl Into<GraphSource>) -> Result<FtSpanner> {
         let resolved = source.into().resolve()?;
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
-        let report = self.build_with_rng(resolved.as_input(), &mut rng)?;
+        let mut report = self.build_with_rng(resolved.as_input(), &mut rng)?;
+        report.provenance = self.recipe().tagged_provenance(&report.provenance);
         match resolved {
             ResolvedSource::Undirected { graph, csr } => {
                 FtSpanner::from_report_with_csr(&graph, csr, &report)
@@ -301,12 +303,25 @@ impl FtSpannerBuilder {
     /// assert!(cert.holds());
     /// ```
     pub fn build_artifact(&self, graph: &Graph) -> Result<FtSpanner> {
-        let report = self.build(graph)?;
+        let mut report = self.build(graph)?;
+        report.provenance = self.recipe().tagged_provenance(&report.provenance);
         FtSpanner::from_report(graph, &report)
     }
 
+    /// The [`BuildRecipe`] this builder's seeded artifact constructors run:
+    /// algorithm, knobs, and root seed. [`FtSpannerBuilder::build_artifact`]
+    /// and [`FtSpannerBuilder::artifact_on_graph`] append its
+    /// [tag](BuildRecipe::provenance_tag) to the artifact provenance, which
+    /// is what lets `ftspan_serve --dynamic` rebuild a stored artifact
+    /// bit-identically instead of guessing defaults.
+    pub fn recipe(&self) -> BuildRecipe {
+        BuildRecipe::new(&self.algorithm, self.request, self.seed)
+    }
+
     /// Like [`FtSpannerBuilder::build_artifact`] with a caller-supplied
-    /// generator.
+    /// generator. The artifact provenance carries **no** recipe tag: with
+    /// external randomness there is no seed a recipe could reproduce the
+    /// build from.
     pub fn build_artifact_with_rng(
         &self,
         graph: &Graph,

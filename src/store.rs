@@ -339,7 +339,12 @@ impl ArtifactStore {
             return Err(malformed("assignment length"));
         }
 
-        let mut cut_edges = Vec::with_capacity(cut_count);
+        // The claimed count only sizes the first allocation up to a clamp;
+        // real growth is driven by `cut` lines actually present, so a lying
+        // `cuts` value cannot allocate past the clamp before the parse
+        // fails. (Found by the `.ftshard` fuzz battery: a forged
+        // `cuts 4294967295` previously requested ~100 GiB up front.)
+        let mut cut_edges = Vec::with_capacity(cut_count.min(1024));
         for _ in 0..cut_count {
             let line = field("cut")?;
             let mut tokens = line.split_ascii_whitespace();
@@ -360,6 +365,12 @@ impl ArtifactStore {
             cut_edges.push(CutEdge { u, v, weight });
         }
         if lines.next().map(str::trim) != Some("end") {
+            return Err(malformed("trailer"));
+        }
+        // Anything after `end` is smuggled content, not formatting slack.
+        // (Found by the `.ftshard` fuzz battery: trailing garbage was
+        // silently accepted.)
+        if lines.next().is_some() {
             return Err(malformed("trailer"));
         }
 
